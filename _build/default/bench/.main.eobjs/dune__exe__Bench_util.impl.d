@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Fmt Hashtbl List Measure Staged String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Fd_set Float Fmt List Repair_core Result Schema Table Tuple Unix Value

@@ -1,0 +1,61 @@
+(* Shared benchmark plumbing: section banners, aligned tables, and a thin
+   wrapper over Bechamel's OLS pipeline returning ns/run per test. *)
+
+let section id title =
+  Fmt.pr "@.%s@.%s  %s@.%s@." (String.make 78 '=') id title
+    (String.make 78 '=')
+
+let subsection title = Fmt.pr "@.--- %s@." title
+
+let row fmt = Fmt.pr fmt
+
+(* Run a list of (label, thunk) under Bechamel; returns (label, ns/run). *)
+let time_tests ?(quota = 0.3) ~name tests =
+  let open Bechamel in
+  let tests' =
+    List.map (fun (n, f) -> Test.make ~name:n (Staged.stage f)) tests
+  in
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests' in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  List.filter_map
+    (fun (label, _) ->
+      let key = name ^ "/" ^ label in
+      match Hashtbl.find_opt results key with
+      | None -> None
+      | Some r -> (
+        match Analyze.OLS.estimates r with
+        | Some (ns :: _) -> Some (label, ns)
+        | _ -> None))
+    tests
+
+let pp_ns ppf ns =
+  if ns >= 1e9 then Fmt.pf ppf "%.2f s" (ns /. 1e9)
+  else if ns >= 1e6 then Fmt.pf ppf "%.2f ms" (ns /. 1e6)
+  else if ns >= 1e3 then Fmt.pf ppf "%.2f µs" (ns /. 1e3)
+  else Fmt.pf ppf "%.0f ns" ns
+
+let failures = ref 0
+
+let check label ok =
+  if not ok then incr failures;
+  Fmt.pr "  [%s] %s@." (if ok then "OK " else "BAD") label
+
+(* Called once at the end of the harness: nonzero exit on any BAD check so
+   the bench doubles as a reproduction gate in CI. *)
+let finish () =
+  if !failures = 0 then Fmt.pr "@.All experiments completed.@."
+  else begin
+    Fmt.pr "@.%d experiment check(s) FAILED.@." !failures;
+    exit 1
+  end
+
+(* Aggregates over per-seed measurements. *)
+let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+let maximum xs = List.fold_left max neg_infinity xs

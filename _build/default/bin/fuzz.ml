@@ -1,0 +1,177 @@
+(* repair-fuzz — differential fuzzer: cross-checks the polynomial
+   algorithms against exponential baselines on random instances. Exits
+   nonzero (printing the failing seed) on the first discrepancy, so it can
+   run in CI or overnight.
+
+   Checks per trial:
+     1. OptSRepair succeeds iff OSRSucceeds (Algorithm 1 vs Algorithm 2);
+     2. when it succeeds, its distance matches the exact vertex-cover
+        baseline, and the result is a consistent subset;
+     3. the 2-approximation respects its bound;
+     4. when the U-repair solver claims tractability, its distance matches
+        the exhaustive update search (small instances);
+     5. the combined U-approximation is consistent and within its
+        certificate (small instances);
+     6. enumerated S-repairs are exactly maximal consistent subsets, and
+        the polynomial optimum count agrees on chain sets;
+     7. MPD via the reduction matches brute force (small instances).  *)
+
+open Cmdliner
+module R = Repair_core.Repair
+open R.Relational
+open R.Fd
+module Rng = R.Workload.Rng
+module Gen_fd = R.Workload.Gen_fd
+module Gen_table = R.Workload.Gen_table
+
+let close a b = Float.abs (a -. b) < 1e-6
+
+exception Found of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Found m)) fmt
+
+let check_s_repair d t =
+  match R.Srepair.Opt_s_repair.run d t with
+  | Ok s ->
+    if not (R.Dichotomy.Simplify.succeeds d) then
+      fail "OptSRepair succeeded but OSRSucceeds says hard: %a" Fd_set.pp d;
+    if not (R.Srepair.S_check.is_consistent_subset d ~of_:t s) then
+      fail "OptSRepair produced a non-subset or inconsistent result";
+    let exact = R.Srepair.S_exact.distance d t in
+    if not (close (Table.dist_sub s t) exact) then
+      fail "OptSRepair distance %g != exact %g under %a" (Table.dist_sub s t)
+        exact Fd_set.pp d
+  | Error _ ->
+    if R.Dichotomy.Simplify.succeeds d then
+      fail "OptSRepair failed but OSRSucceeds says tractable: %a" Fd_set.pp d
+
+let check_approx d t =
+  let apx = R.Srepair.S_approx.distance d t in
+  let exact = R.Srepair.S_exact.distance d t in
+  if apx > (2.0 *. exact) +. 1e-6 then
+    fail "2-approximation %g exceeds 2x optimum %g under %a" apx exact
+      Fd_set.pp d
+
+let check_u_repair d t =
+  if Table.size t * Schema.arity (Table.schema t) <= 12 then
+    match R.Urepair.Opt_u_repair.solve d t with
+    | Ok u ->
+      if not (Fd_set.satisfied_by d u) then
+        fail "U-repair solver produced inconsistent update under %a"
+          Fd_set.pp d;
+      let exact = R.Urepair.U_exact.distance ~max_cells:12 d t in
+      if not (close (Table.dist_upd u t) exact) then
+        fail "U-repair distance %g != exhaustive %g under %a"
+          (Table.dist_upd u t) exact Fd_set.pp d
+    | Error _ -> ()
+
+let check_enumeration d t =
+  if Table.size t <= 7 then begin
+    (* enumerated repairs must be exactly the maximal consistent subsets,
+       and on chain sets the polynomial count must agree. *)
+    let reps = R.Enumerate.Enumerate.s_repairs d t in
+    List.iter
+      (fun s ->
+        if not (R.Srepair.S_check.is_s_repair d ~of_:t s) then
+          fail "enumeration produced a non-repair under %a" Fd_set.pp d)
+      reps;
+    if Fd_set.is_chain d then
+      match R.Enumerate.Count.optimal_s_repairs d t with
+      | Ok c ->
+        let enumerated =
+          List.length (R.Enumerate.Enumerate.optimal_s_repairs d t)
+        in
+        if c <> enumerated then
+          fail "count %d != enumerated optima %d under %a" c enumerated
+            Fd_set.pp d
+      | Error _ -> ()
+  end
+
+let check_u_approx d t =
+  let u, ratio = R.Urepair.U_approx.best d t in
+  if not (Fd_set.satisfied_by d u) then
+    fail "U_approx.best inconsistent under %a" Fd_set.pp d;
+  if Table.size t * Schema.arity (Table.schema t) <= 9 then begin
+    let opt = R.Urepair.U_exact.distance ~max_cells:9 d t in
+    if Table.dist_upd u t > (ratio *. opt) +. 1e-6 then
+      fail "U_approx.best exceeds its certificate under %a" Fd_set.pp d
+  end
+
+let check_mpd d t =
+  if Table.size t <= 8 && R.Dichotomy.Simplify.succeeds d then begin
+    let pt =
+      R.Mpd.Prob_table.of_table (Table.map_weights t (fun _ _ -> 0.75))
+    in
+    match R.Mpd.Mpd.solve ~strategy:R.Mpd.Mpd.Poly d pt with
+    | Ok (Some world) ->
+      let bf = R.Mpd.Mpd.brute_force d pt in
+      if
+        not
+          (close
+             (R.Mpd.Prob_table.log_probability pt world)
+             (R.Mpd.Prob_table.log_probability pt bf))
+      then fail "MPD reduction suboptimal under %a" Fd_set.pp d
+    | Ok None -> fail "MPD returned None without certain tuples"
+    | Error _ -> fail "MPD Poly failed although OSRSucceeds holds"
+  end
+
+let trial seed =
+  let rng = Rng.make seed in
+  let n_attrs = Rng.in_range rng 2 4 in
+  let schema, d =
+    Gen_fd.random rng ~n_attrs ~n_fds:(Rng.in_range rng 1 3) ~max_lhs:2
+  in
+  let t =
+    Gen_table.dirty rng schema d
+      {
+        Gen_table.default with
+        n = Rng.in_range rng 0 10;
+        noise = 0.3;
+        domain_size = 3;
+        weighted = Rng.bool rng;
+        duplicate_rate = 0.1;
+      }
+  in
+  check_s_repair d t;
+  check_approx d t;
+  check_u_repair d t;
+  check_u_approx d t;
+  check_enumeration d t;
+  check_mpd d t
+
+let run trials seed0 quiet =
+  let failures = ref 0 in
+  (try
+     for i = 0 to trials - 1 do
+       let seed = seed0 + i in
+       (try trial seed
+        with Found msg ->
+          incr failures;
+          Fmt.epr "FAIL seed %d: %s@." seed msg);
+       if (not quiet) && (i + 1) mod 500 = 0 then
+         Fmt.epr "… %d/%d trials@." (i + 1) trials
+     done
+   with exn ->
+     Fmt.epr "fuzzer crashed: %s@." (Printexc.to_string exn);
+     exit 2);
+  if !failures = 0 then begin
+    Fmt.pr "repair-fuzz: %d trials, all checks passed@." trials;
+    exit 0
+  end
+  else begin
+    Fmt.pr "repair-fuzz: %d/%d trials failed@." !failures trials;
+    exit 1
+  end
+
+let main =
+  let trials =
+    Arg.(value & opt int 1_000 & info [ "t"; "trials" ] ~doc:"Number of trials.")
+  in
+  let seed =
+    Arg.(value & opt int 0 & info [ "seed" ] ~doc:"First seed (trials use seed, seed+1, ...).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
+  let doc = "differential fuzzer for the repair algorithms" in
+  Cmd.v (Cmd.info "repair-fuzz" ~doc) Term.(const run $ trials $ seed $ quiet)
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,412 @@
+(* repair-cli — command-line front end.
+
+   Subcommands:
+     classify   complexity report for an FD set
+     s-repair   optimal/approximate subset repair of a CSV table
+     u-repair   optimal/approximate update repair of a CSV table
+     mpd        most probable database of a probabilistic CSV table  *)
+
+open Cmdliner
+module R = Repair_core.Repair
+open R.Relational
+open R.Fd
+
+let fds_arg =
+  let doc =
+    "Functional dependencies, semicolon-separated, e.g. 'A B -> C; C -> A'."
+  in
+  Arg.(required & opt (some string) None & info [ "f"; "fds" ] ~docv:"FDS" ~doc)
+
+let csv_in =
+  let doc = "Input CSV file (header row; optional #id and #weight columns)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.csv" ~doc)
+
+let csv_out =
+  let doc = "Output CSV file (defaults to stdout)." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+
+let strategy_arg =
+  let strategies =
+    [ ("auto", R.Driver.Auto);
+      ("poly", R.Driver.Poly);
+      ("exact", R.Driver.Exact);
+      ("approx", R.Driver.Approximate) ]
+  in
+  let doc =
+    "Algorithm choice: auto (dichotomy-driven), poly, exact, approx."
+  in
+  Arg.(value & opt (enum strategies) R.Driver.Auto & info [ "s"; "strategy" ] ~doc)
+
+let parse_fds s =
+  try Ok (Fd_set.parse s) with Failure m -> Error (`Msg m)
+
+let is_jsonl path = Filename.check_suffix path ".jsonl"
+
+let load_table path =
+  try
+    Ok
+      (if is_jsonl path then Jsonl_io.load ~name:"T" path
+       else Csv_io.load ~name:"T" path)
+  with Failure m -> Error (`Msg m)
+
+let or_die = function
+  | Ok v -> v
+  | Error (`Msg m) ->
+    Fmt.epr "repair-cli: %s@." m;
+    exit 1
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log algorithm choices.")
+
+let emit out tbl =
+  match out with
+  | None -> print_string (Csv_io.to_string tbl)
+  | Some path ->
+    let text =
+      if is_jsonl path then Jsonl_io.to_string tbl else Csv_io.to_string tbl
+    in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+
+let classify_cmd =
+  let run fds =
+    let d = or_die (parse_fds fds) in
+    print_string (R.Driver.describe d)
+  in
+  let doc = "Report the repair complexity of an FD set (Theorem 3.4 etc.)." in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ fds_arg)
+
+let report_header kind (r : R.Driver.report) =
+  Fmt.epr "%s: distance=%g method=%s %s@." kind r.distance r.method_used
+    (if r.optimal then "(optimal)"
+     else Fmt.str "(within factor %g of optimal)" r.ratio)
+
+let s_repair_cmd =
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ] ~doc:"Print why each tuple was deleted (stderr).")
+  in
+  let run fds input out strategy explain verbose =
+    setup_logs verbose;
+    let d = or_die (parse_fds fds) in
+    let tbl = or_die (load_table input) in
+    let r = R.Driver.s_repair ~strategy d tbl in
+    report_header "s-repair" r;
+    if explain then
+      List.iter
+        (fun reason -> Fmt.epr "  %a@." R.Srepair.Explain.pp_reason reason)
+        (R.Srepair.Explain.deletions d ~table:tbl r.result);
+    emit out r.result
+  in
+  let doc = "Compute a (weighted-)optimal subset repair of a CSV table." in
+  Cmd.v
+    (Cmd.info "s-repair" ~doc)
+    Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
+          $ verbose_arg)
+
+let u_repair_cmd =
+  let explain_arg =
+    Arg.(value & flag
+         & info [ "explain" ] ~doc:"Print every changed cell (stderr).")
+  in
+  let run fds input out strategy explain verbose =
+    setup_logs verbose;
+    let d = or_die (parse_fds fds) in
+    let tbl = or_die (load_table input) in
+    let r = R.Driver.u_repair ~strategy d tbl in
+    report_header "u-repair" r;
+    if explain then begin
+      let schema = Table.schema tbl in
+      List.iter
+        (fun (i, j) ->
+          Fmt.epr "  tuple %d, %s: %a → %a@." i (Schema.attribute_at schema j)
+            Value.pp (Tuple.get (Table.tuple tbl i) j)
+            Value.pp (Tuple.get (Table.tuple r.result i) j))
+        (R.Urepair.U_check.updated_cells ~of_:tbl r.result)
+    end;
+    emit out r.result
+  in
+  let doc = "Compute an optimal/approximate update repair of a CSV table." in
+  Cmd.v
+    (Cmd.info "u-repair" ~doc)
+    Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
+          $ verbose_arg)
+
+let mpd_cmd =
+  let run fds input out =
+    let d = or_die (parse_fds fds) in
+    let tbl = or_die (load_table input) in
+    let pt =
+      try R.Mpd.Prob_table.of_table tbl
+      with Invalid_argument m -> or_die (Error (`Msg m))
+    in
+    match R.Mpd.Mpd.solve ~strategy:R.Mpd.Mpd.Poly d pt with
+    | Ok (Some world) ->
+      Fmt.epr "mpd: log-probability=%g@."
+        (R.Mpd.Prob_table.log_probability pt world);
+      emit out world
+    | Ok None ->
+      Fmt.epr "mpd: certain tuples conflict; every world has probability 0@."
+    | Error stuck ->
+      or_die
+        (Error
+           (`Msg
+             (Fmt.str
+                "FD set is on the hard side of the dichotomy (stuck at %a); \
+                 rerun s-repair with --strategy exact on a small table"
+                Fd_set.pp stuck)))
+  in
+  let doc =
+    "Most probable database: weights in (0,1] are tuple probabilities."
+  in
+  Cmd.v (Cmd.info "mpd" ~doc) Term.(const run $ fds_arg $ csv_in $ csv_out)
+
+let generate_cmd =
+  let attrs_arg =
+    let doc = "Attribute names, space-separated, e.g. 'A B C'." in
+    Arg.(required & opt (some string) None & info [ "a"; "attrs" ] ~docv:"ATTRS" ~doc)
+  in
+  let n_arg =
+    Arg.(value & opt int 100 & info [ "size" ] ~doc:"Number of tuples.")
+  in
+  let noise_arg =
+    Arg.(value & opt float 0.05 & info [ "noise" ] ~doc:"Cell perturbation probability.")
+  in
+  let domain_arg =
+    Arg.(value & opt int 10 & info [ "domain" ] ~doc:"Values per attribute.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let weighted_arg =
+    Arg.(value & flag & info [ "weighted" ] ~doc:"Draw integer weights in 1..5.")
+  in
+  let dup_arg =
+    Arg.(value & opt float 0.0 & info [ "duplicates" ] ~doc:"Duplicate-tuple rate.")
+  in
+  let run fds attrs n noise domain seed weighted duplicates out =
+    let d = or_die (parse_fds fds) in
+    let names =
+      String.split_on_char ' ' attrs |> List.map String.trim
+      |> List.filter (fun a -> a <> "")
+    in
+    let schema =
+      try Schema.make "T" names
+      with Invalid_argument m -> or_die (Error (`Msg m))
+    in
+    let missing =
+      Attr_set.diff (Fd_set.attrs d) (Schema.attribute_set schema)
+    in
+    if not (Attr_set.is_empty missing) then
+      or_die
+        (Error
+           (`Msg
+             (Fmt.str "FD attributes %a not in --attrs" Attr_set.pp
+                missing)));
+    let rng = R.Workload.Rng.make seed in
+    let spec =
+      { R.Workload.Gen_table.default with
+        n; noise; domain_size = domain; weighted; duplicate_rate = duplicates }
+    in
+    let t = R.Workload.Gen_table.dirty rng schema d spec in
+    emit out t
+  in
+  let doc =
+    "Generate a dirty CSV table: consistent w.r.t. the FDs, then perturbed."
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(
+      const run $ fds_arg $ attrs_arg $ n_arg $ noise_arg $ domain_arg
+      $ seed_arg $ weighted_arg $ dup_arg $ csv_out)
+
+let cqa_cmd =
+  let where_arg =
+    let doc = "Selection, comma-separated equalities, e.g. 'facility=HQ'." in
+    Arg.(value & opt string "" & info [ "w"; "where" ] ~docv:"COND" ~doc)
+  in
+  let select_arg =
+    let doc = "Attributes to project, space-separated." in
+    Arg.(required & opt (some string) None & info [ "p"; "project" ] ~docv:"ATTRS" ~doc)
+  in
+  let run fds input where select =
+    let d = or_die (parse_fds fds) in
+    let tbl = or_die (load_table input) in
+    let parse_cond tok =
+      match String.index_opt tok '=' with
+      | Some i ->
+        ( String.trim (String.sub tok 0 i),
+          Value.of_string (String.sub tok (i + 1) (String.length tok - i - 1)) )
+      | None -> or_die (Error (`Msg ("bad condition: " ^ tok)))
+    in
+    let conds =
+      String.split_on_char ',' where
+      |> List.map String.trim
+      |> List.filter (fun tok -> tok <> "")
+      |> List.map parse_cond
+    in
+    let attrs =
+      String.split_on_char ' ' select |> List.map String.trim
+      |> List.filter (fun a -> a <> "")
+    in
+    let q = R.Cqa.Cqa.query ~select:conds attrs in
+    let certain, possible =
+      try R.Cqa.Cqa.range q d tbl
+      with Failure m -> or_die (Error (`Msg m))
+    in
+    let print_tuples label ts =
+      Fmt.pr "%s (%d):@." label (List.length ts);
+      List.iter (fun t -> Fmt.pr "  %a@." Tuple.pp t) ts
+    in
+    print_tuples "certain answers" certain;
+    print_tuples "possible answers" possible
+  in
+  let doc =
+    "Consistent query answering: answers holding in every/some S-repair."
+  in
+  Cmd.v
+    (Cmd.info "cqa" ~doc)
+    Term.(const run $ fds_arg $ csv_in $ where_arg $ select_arg)
+
+let normalize_cmd =
+  let attrs_arg =
+    let doc = "Attribute names, space-separated (defaults to attr(Δ))." in
+    Arg.(value & opt (some string) None & info [ "a"; "attrs" ] ~docv:"ATTRS" ~doc)
+  in
+  let run fds attrs =
+    let d = or_die (parse_fds fds) in
+    let attr_set =
+      match attrs with
+      | None -> R.Fd.Fd_set.attrs d
+      | Some s ->
+        String.split_on_char ' ' s |> List.map String.trim
+        |> List.filter (fun a -> a <> "")
+        |> Attr_set.of_list
+    in
+    Fmt.pr "attributes: %a@." Attr_set.pp attr_set;
+    Fmt.pr "BCNF: %b; 3NF: %b@."
+      (R.Fd.Normalize.is_bcnf d ~attrs:attr_set)
+      (R.Fd.Normalize.is_3nf d ~attrs:attr_set);
+    Fmt.pr "keys: %a@."
+      Fmt.(list ~sep:(any "; ") Attr_set.pp)
+      (R.Fd.Cover.keys d ~attrs:attr_set);
+    Fmt.pr "BCNF decomposition:@.";
+    List.iter
+      (fun f -> Fmt.pr "  %a@." R.Fd.Normalize.pp_fragment f)
+      (R.Fd.Normalize.bcnf_decompose d ~attrs:attr_set);
+    Fmt.pr "3NF synthesis:@.";
+    List.iter
+      (fun f -> Fmt.pr "  %a@." R.Fd.Normalize.pp_fragment f)
+      (R.Fd.Normalize.synthesize_3nf d ~attrs:attr_set)
+  in
+  let doc = "Check normal forms and decompose the schema (BCNF / 3NF)." in
+  Cmd.v (Cmd.info "normalize" ~doc) Term.(const run $ fds_arg $ attrs_arg)
+
+let dirtiness_cmd =
+  let run fds input =
+    let d = or_die (parse_fds fds) in
+    let tbl = or_die (load_table input) in
+    let e = R.Cleaning.Dirtiness.estimate d tbl in
+    Fmt.pr "%a@." R.Cleaning.Dirtiness.pp e;
+    Fmt.pr "fraction dirty (upper bound): %.1f%%@."
+      (100.0 *. R.Cleaning.Dirtiness.fraction_dirty e tbl)
+  in
+  let doc =
+    "Estimate how dirty a table is: certified bounds on the optimal repair \
+     costs (Section 1 motivation)."
+  in
+  Cmd.v (Cmd.info "dirtiness" ~doc) Term.(const run $ fds_arg $ csv_in)
+
+let session_cmd =
+  let module Session = R.Cleaning.Session in
+  let run fds input =
+    let d = or_die (parse_fds fds) in
+    let tbl = or_die (load_table input) in
+    let session = ref (Session.start d tbl) in
+    let done_ = ref false in
+    let handle line =
+      match
+        String.split_on_char ' ' (String.trim line)
+        |> List.filter (fun tok -> tok <> "")
+      with
+      | [] -> ()
+      | [ "show" ] -> Fmt.pr "%a@." Table.pp (Session.current !session)
+      | [ "violations" ] ->
+        List.iter
+          (fun (i, j, fd) ->
+            Fmt.pr "tuples %d and %d violate %a@." i j R.Fd.Fd.pp fd)
+          (Session.violations !session)
+      | [ "dirtiness" ] ->
+        Fmt.pr "%a@." R.Cleaning.Dirtiness.pp (Session.dirtiness !session)
+      | [ "cost" ] -> Fmt.pr "manual cost so far: %g@." (Session.cost !session)
+      | [ "delete"; i ] ->
+        session := Session.delete !session (int_of_string i)
+      | [ "restore"; i ] ->
+        session := Session.restore !session (int_of_string i)
+      | [ "update"; i; attr; value ] ->
+        session :=
+          Session.update !session (int_of_string i) attr (Value.of_string value)
+      | [ "finish"; "deletions" ] ->
+        print_string (Csv_io.to_string (Session.auto_finish ~prefer:`Deletions !session));
+        done_ := true
+      | [ "finish"; "updates" ] ->
+        print_string (Csv_io.to_string (Session.auto_finish ~prefer:`Updates !session));
+        done_ := true
+      | [ "quit" ] -> done_ := true
+      | toks ->
+        Fmt.epr "session: unknown command %s@." (String.concat " " toks)
+    in
+    (try
+       while not !done_ do
+         handle (input_line stdin)
+       done
+     with
+    | End_of_file -> ()
+    | Invalid_argument m | Failure m -> or_die (Error (`Msg m)))
+  in
+  let doc =
+    "Interactive cleaning session (reads commands from stdin): show, \
+     violations, dirtiness, cost, delete ID, update ID ATTR VALUE, restore \
+     ID, finish deletions|updates, quit."
+  in
+  Cmd.v (Cmd.info "session" ~doc) Term.(const run $ fds_arg $ csv_in)
+
+let armstrong_cmd =
+  let attrs_arg =
+    let doc = "Attribute names, space-separated (defaults to attr(Δ))." in
+    Arg.(value & opt (some string) None & info [ "a"; "attrs" ] ~docv:"ATTRS" ~doc)
+  in
+  let run fds attrs out =
+    let d = or_die (parse_fds fds) in
+    let names =
+      match attrs with
+      | Some s ->
+        String.split_on_char ' ' s |> List.map String.trim
+        |> List.filter (fun a -> a <> "")
+      | None -> Attr_set.elements (R.Fd.Fd_set.attrs d)
+    in
+    let schema =
+      try Schema.make "Armstrong" names
+      with Invalid_argument m -> or_die (Error (`Msg m))
+    in
+    emit out (R.Fd.Armstrong.relation d schema)
+  in
+  let doc =
+    "Emit an Armstrong relation: a table satisfying exactly the FDs \
+     entailed by Δ."
+  in
+  Cmd.v
+    (Cmd.info "armstrong" ~doc)
+    Term.(const run $ fds_arg $ attrs_arg $ csv_out)
+
+let main =
+  let doc = "optimal repairs for functional dependencies (PODS'18)" in
+  Cmd.group
+    (Cmd.info "repair-cli" ~version:"1.0.0" ~doc)
+    [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
+      dirtiness_cmd; session_cmd; armstrong_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/beyond_fds.ml: Fd_set Fmt List Repair_core Schema Table Tuple Value

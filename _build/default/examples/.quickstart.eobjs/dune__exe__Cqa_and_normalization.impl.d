@@ -1,0 +1,1 @@
+examples/cqa_and_normalization.ml: Fmt List Repair_core Schema Table Tuple Value

@@ -1,0 +1,1 @@
+examples/cqa_and_normalization.mli:

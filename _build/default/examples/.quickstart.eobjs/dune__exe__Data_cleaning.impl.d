@@ -1,0 +1,1 @@
+examples/data_cleaning.ml: Fd_set Fmt Gen_table List Repair_core Rng Schema Table

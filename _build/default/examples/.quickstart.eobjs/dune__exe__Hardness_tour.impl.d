@@ -1,0 +1,1 @@
+examples/hardness_tour.ml: Classify Cnf Factwise Fd_set Fmt List Max_sat Repair_core Schema Simplify Table Tuple Value

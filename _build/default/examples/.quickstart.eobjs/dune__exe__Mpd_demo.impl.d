@@ -1,0 +1,1 @@
+examples/mpd_demo.ml: Fd_set Fmt List Mpd Prob_table Repair_core Schema Table Tuple Value

@@ -1,0 +1,1 @@
+examples/mpd_demo.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fd_set Fmt Repair_core Schema Table Tuple Value

@@ -1,0 +1,83 @@
+(* Beyond plain FDs: the Section 5 extension directions in action —
+   conditional FDs, binary denial constraints, mixed deletion/update
+   repairs, and repair enumeration/counting.
+
+   Run with:  dune exec examples/beyond_fds.exe *)
+
+module R = Repair_core.Repair
+open R.Relational
+open R.Fd
+module Cfd = R.Cfd.Cfd
+module Denial = R.Denial.Denial
+module Mixed = R.Mixed.Mixed_exact
+
+let banner title = Fmt.pr "@.=== %s ===@." title
+
+let schema = Schema.make "Cust" [ "country"; "zip"; "city" ]
+let mk c z ci = Tuple.make [ Value.str c; Value.int z; Value.str ci ]
+
+let () =
+  banner "Conditional FDs (pattern tableaux)";
+  (* Within the UK, zip determines city; zip 10001 is always NYC. *)
+  let uk_zip = Cfd.parse "country='UK' zip -> city" in
+  let nyc = Cfd.parse "zip='10001' -> city='NYC'" in
+  Fmt.pr "constraints: %a;  %a@." Cfd.pp uk_zip Cfd.pp nyc;
+  let t =
+    Table.of_list schema
+      [ (1, 1.0, mk "UK" 7 "Leeds");
+        (2, 1.0, mk "UK" 7 "York"); (* conflicts with 1 under uk_zip *)
+        (3, 1.0, mk "FR" 7 "Paris"); (* exempt: pattern is UK-only *)
+        (4, 2.0, mk "US" 10001 "Boston") (* violates nyc all by itself *) ]
+  in
+  Fmt.pr "input satisfies constraints: %b@." (Cfd.satisfied_by [ uk_zip; nyc ] t);
+  let s = Cfd.optimal_s_repair [ uk_zip; nyc ] t in
+  Fmt.pr "optimal CFD S-repair keeps ids %a (Boston must go despite its \
+          weight; one of Leeds/York goes)@."
+    Fmt.(list ~sep:(any ", ") int) (Table.ids s);
+
+  banner "Denial constraints (semantic predicates)";
+  let no_self_ship =
+    Denial.binary "same-zip-different-country" (fun sch t1 t2 ->
+        Value.equal (Tuple.get_attr sch t1 "zip") (Tuple.get_attr sch t2 "zip")
+        && not
+             (Value.equal
+                (Tuple.get_attr sch t1 "country")
+                (Tuple.get_attr sch t2 "country")))
+  in
+  let v = Denial.violations [ no_self_ship ] t in
+  Fmt.pr "violations of %s: %d pairs@." (Denial.name no_self_ship)
+    (List.length v);
+  let s2 = Denial.optimal_s_repair [ no_self_ship ] t in
+  Fmt.pr "optimal denial S-repair keeps %d of %d tuples@." (Table.size s2)
+    (Table.size t);
+
+  banner "Mixed deletion/update repairs";
+  let fds = Fd_set.parse "zip -> city" in
+  let dirty =
+    Table.of_list schema
+      [ (1, 1.0, mk "UK" 7 "Leeds"); (2, 1.0, mk "UK" 7 "York");
+        (3, 1.0, mk "FR" 8 "Paris") ]
+  in
+  List.iter
+    (fun df ->
+      let o = Mixed.optimal ~delete_factor:df fds dirty in
+      Fmt.pr "delete costs %.2f× a cell update → cost %.2f, deletions %a@."
+        df o.Mixed.cost
+        Fmt.(list ~sep:(any ", ") int) o.Mixed.deleted)
+    [ 2.0; 1.0; 0.25 ];
+
+  banner "Enumerating and counting repairs";
+  let office = R.Workload.Datasets.office_table in
+  let office_fds = R.Workload.Datasets.office_fds in
+  let reps = R.Enumerate.Enumerate.s_repairs office_fds office in
+  Fmt.pr "the Office table has %d S-repairs (maximal consistent subsets):@."
+    (List.length reps);
+  List.iter
+    (fun s ->
+      Fmt.pr "  ids %a (deleted weight %g)@."
+        Fmt.(list ~sep:(any ", ") int) (Table.ids s)
+        (Table.dist_sub s office))
+    reps;
+  Fmt.pr "of which optimal: %d (counted in polynomial time: %d)@."
+    (List.length (R.Enumerate.Enumerate.optimal_s_repairs office_fds office))
+    (R.Enumerate.Count.optimal_s_repairs_exn office_fds office)

@@ -1,0 +1,1 @@
+lib/cfd/cfd.ml: Array Attr_set Fd Fmt List Repair_fd Repair_graph Repair_relational String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/cfd/cfd.mli: Attr_set Fd Format Repair_fd Repair_relational Schema Table Tuple Value

@@ -1,0 +1,163 @@
+open Repair_relational
+open Repair_fd
+module G = Repair_graph.Graph
+module Vc = Repair_graph.Vertex_cover
+
+type pattern_entry = Const of Value.t | Any
+
+type t = {
+  embedded : Fd.t;
+  lhs_pattern : (Attr_set.attribute * pattern_entry) list;
+  rhs_pattern : pattern_entry;
+}
+
+let make fd ~lhs_pattern ~rhs_pattern =
+  if Attr_set.cardinal (Fd.rhs fd) <> 1 then
+    invalid_arg "Cfd.make: rhs must be a single attribute";
+  let covered = Attr_set.of_list (List.map fst lhs_pattern) in
+  if not (Attr_set.equal covered (Fd.lhs fd)) then
+    invalid_arg "Cfd.make: lhs pattern must cover exactly the lhs attributes";
+  { embedded = fd; lhs_pattern; rhs_pattern }
+
+let of_fd fd =
+  match Fd.split fd with
+  | [ single ] ->
+    make single
+      ~lhs_pattern:(List.map (fun a -> (a, Any)) (Attr_set.elements (Fd.lhs single)))
+      ~rhs_pattern:Any
+  | _ -> invalid_arg "Cfd.of_fd: rhs must be a single attribute"
+
+(* Syntax: "attr['='value] ... -> attr['='value]"; a value token "_" means
+   the wildcard (as does omitting the '='). *)
+let parse_entry token =
+  match String.index_opt token '=' with
+  | None -> (String.trim token, Any)
+  | Some i ->
+    let attr = String.trim (String.sub token 0 i) in
+    let v = String.trim (String.sub token (i + 1) (String.length token - i - 1)) in
+    let v = if String.length v >= 2 && v.[0] = '\'' then String.sub v 1 (String.length v - 2) else v in
+    if v = "_" then (attr, Any) else (attr, Const (Value.of_string v))
+
+let parse s =
+  let arrow_split =
+    let rec find i =
+      if i + 1 >= String.length s then None
+      else if s.[i] = '-' && s.[i + 1] = '>' then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match arrow_split with
+  | None -> failwith "Cfd.parse: expected ->"
+  | Some i ->
+    let left = String.sub s 0 i in
+    let right = String.sub s (i + 2) (String.length s - i - 2) in
+    let tokens side =
+      String.split_on_char ' ' side
+      |> List.map String.trim
+      |> List.filter (fun tk -> tk <> "")
+    in
+    let lhs_entries = List.map parse_entry (tokens left) in
+    (match List.map parse_entry (tokens right) with
+    | [ (rhs_attr, rhs_pat) ] ->
+      let fd =
+        Fd.make (Attr_set.of_list (List.map fst lhs_entries))
+          (Attr_set.singleton rhs_attr)
+      in
+      make fd ~lhs_pattern:lhs_entries ~rhs_pattern:rhs_pat
+    | _ -> failwith "Cfd.parse: rhs must be a single attribute")
+
+let rhs_attr cfd =
+  match Attr_set.elements (Fd.rhs cfd.embedded) with
+  | [ a ] -> a
+  | _ -> assert false
+
+let matches_lhs schema cfd t =
+  List.for_all
+    (fun (a, pat) ->
+      match pat with
+      | Any -> true
+      | Const v -> Value.equal (Tuple.get_attr schema t a) v)
+    cfd.lhs_pattern
+
+let single_tuple_violation schema cfd t =
+  matches_lhs schema cfd t
+  &&
+  match cfd.rhs_pattern with
+  | Any -> false
+  | Const v -> not (Value.equal (Tuple.get_attr schema t (rhs_attr cfd)) v)
+
+let pair_violation schema cfd t1 t2 =
+  matches_lhs schema cfd t1
+  && matches_lhs schema cfd t2
+  && Tuple.agree_on schema t1 t2 (Fd.lhs cfd.embedded)
+  && not (Tuple.agree_on schema t1 t2 (Fd.rhs cfd.embedded))
+
+let satisfied_by cfds tbl =
+  let schema = Table.schema tbl in
+  let tuples = Table.tuples tbl in
+  List.for_all
+    (fun cfd ->
+      List.for_all
+        (fun t -> not (single_tuple_violation schema cfd t))
+        tuples
+      &&
+      let rec pairs = function
+        | [] -> true
+        | t :: rest ->
+          List.for_all (fun t' -> not (pair_violation schema cfd t t')) rest
+          && pairs rest
+      in
+      pairs tuples)
+    cfds
+
+(* Split the problem: tuples with single-tuple violations must go; the rest
+   forms a conflict graph handled exactly like Proposition 3.3. *)
+let conflict_structure cfds tbl =
+  let schema = Table.schema tbl in
+  let mandatory, viable =
+    List.partition
+      (fun i ->
+        List.exists
+          (fun cfd -> single_tuple_violation schema cfd (Table.tuple tbl i))
+          cfds)
+      (Table.ids tbl)
+  in
+  let viable = Array.of_list viable in
+  let n = Array.length viable in
+  let weights = Array.map (fun i -> Table.weight tbl i) viable in
+  let g = if n = 0 then G.create 0 else G.create_weighted weights in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if
+        List.exists
+          (fun cfd ->
+            pair_violation schema cfd
+              (Table.tuple tbl viable.(a))
+              (Table.tuple tbl viable.(b)))
+          cfds
+      then G.add_edge g a b
+    done
+  done;
+  (mandatory, viable, g)
+
+let repair_with_cover cfds tbl cover_algorithm =
+  let mandatory, viable, g = conflict_structure cfds tbl in
+  let cover = cover_algorithm g in
+  let deleted = mandatory @ List.map (fun v -> viable.(v)) cover in
+  Table.remove tbl deleted
+
+let optimal_s_repair cfds tbl = repair_with_cover cfds tbl Vc.exact
+let approx_s_repair cfds tbl = repair_with_cover cfds tbl Vc.approx2
+
+let pp_entry ppf = function
+  | Any -> Fmt.string ppf "_"
+  | Const v -> Fmt.pf ppf "'%a'" Value.pp v
+
+let pp ppf cfd =
+  let item ppf (a, pat) =
+    match pat with Any -> Fmt.string ppf a | _ -> Fmt.pf ppf "%s=%a" a pp_entry pat
+  in
+  Fmt.pf ppf "%a → %s=%a"
+    Fmt.(list ~sep:(any " ") item)
+    cfd.lhs_pattern (rhs_attr cfd) pp_entry cfd.rhs_pattern

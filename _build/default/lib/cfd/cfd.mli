@@ -1,0 +1,72 @@
+(** Conditional functional dependencies — the first extension direction
+    named in the paper's future work (Section 5, after Bohannon et al.).
+
+    A CFD is an embedded FD [X → A] plus a {e pattern tuple} over [X ∪ {A}]
+    whose entries are either constants or the wildcard [_]: the FD is only
+    required to hold among tuples matching the [X]-pattern, and a constant
+    in the [A] position additionally pins the value of [A] itself. CFDs
+    with constants can be violated by a {e single} tuple, so the conflict
+    structure is a graph plus a set of mandatory deletions — the
+    vertex-cover view of Proposition 3.3 extends directly, giving an exact
+    solver and a 2-approximation for optimal S-repairs under CFDs. (The
+    dichotomy itself does not transfer; this module provides the machinery
+    the paper's extension would need.) *)
+
+open Repair_relational
+open Repair_fd
+
+type pattern_entry =
+  | Const of Value.t
+  | Any  (** the wildcard [_] *)
+
+(** A conditional FD [(X → A, tp)]. *)
+type t = private {
+  embedded : Fd.t;  (** X → A with singleton rhs *)
+  lhs_pattern : (Attr_set.attribute * pattern_entry) list;
+      (** one entry per attribute of X *)
+  rhs_pattern : pattern_entry;  (** entry for A *)
+}
+
+(** [make fd ~lhs_pattern ~rhs_pattern] builds a CFD.
+
+    @raise Invalid_argument if the rhs of [fd] is not a single attribute or
+    [lhs_pattern] does not cover exactly the lhs attributes. *)
+val make :
+  Fd.t ->
+  lhs_pattern:(Attr_set.attribute * pattern_entry) list ->
+  rhs_pattern:pattern_entry ->
+  t
+
+(** [of_fd fd] is the plain FD as a CFD (all wildcards). *)
+val of_fd : Fd.t -> t
+
+(** [parse s] parses e.g. ["country='UK' zip -> city = _"]: attributes
+    optionally constrained with ['=' value]; values are read with
+    {!Value.of_string}. *)
+val parse : string -> t
+
+(** [matches_lhs schema cfd t] — does tuple [t] match the X-pattern? *)
+val matches_lhs : Schema.t -> t -> Tuple.t -> bool
+
+(** [single_tuple_violation schema cfd t] — [t] matches the X-pattern but
+    its [A]-value contradicts a constant rhs pattern. *)
+val single_tuple_violation : Schema.t -> t -> Tuple.t -> bool
+
+(** [pair_violation schema cfd t1 t2] — both match the X-pattern, agree on
+    X, and disagree on A. *)
+val pair_violation : Schema.t -> t -> Tuple.t -> Tuple.t -> bool
+
+(** [satisfied_by cfds tbl] — no single-tuple and no pair violations. *)
+val satisfied_by : t list -> Table.t -> bool
+
+(** [optimal_s_repair cfds tbl] — exact optimal subset repair under CFDs:
+    mandatory deletions (single-tuple violators) plus a minimum-weight
+    vertex cover over the remaining conflict pairs. Exponential worst
+    case, like {!Repair_srepair.S_exact}. *)
+val optimal_s_repair : t list -> Table.t -> Table.t
+
+(** [approx_s_repair cfds tbl] — the 2-approximation (the mandatory part
+    is exact, the pairwise part is Bar-Yehuda–Even). *)
+val approx_s_repair : t list -> Table.t -> Table.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/cleaning/dirtiness.ml: Fd_set Fmt List Repair_fd Repair_relational Repair_srepair Repair_urepair Table

@@ -1,0 +1,1 @@
+lib/cleaning/dirtiness.mli: Fd_set Format Repair_fd Repair_relational Table

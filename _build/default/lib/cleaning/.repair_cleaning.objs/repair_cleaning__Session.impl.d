@@ -1,0 +1,1 @@
+lib/cleaning/session.ml: Dirtiness Fd_set List Printf Repair_fd Repair_relational Repair_srepair Repair_urepair Schema Table Tuple Value

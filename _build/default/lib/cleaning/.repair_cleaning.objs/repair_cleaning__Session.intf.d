@@ -1,0 +1,1 @@
+lib/cleaning/session.mli: Dirtiness Fd Fd_set Repair_fd Repair_relational Schema Table Value

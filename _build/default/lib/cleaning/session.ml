@@ -1,0 +1,80 @@
+open Repair_relational
+open Repair_fd
+
+type operation =
+  | Delete of Table.id
+  | Update of Table.id * Schema.attribute * Value.t
+  | Restore of Table.id
+
+type t = {
+  fds : Fd_set.t;
+  original : Table.t;
+  current : Table.t;
+  log : operation list; (* newest first *)
+}
+
+let start fds original = { fds; original; current = original; log = [] }
+let current s = s.current
+let original s = s.original
+let fds s = s.fds
+let log s = List.rev s.log
+let violations s = Fd_set.violations s.fds s.current
+let is_clean s = Fd_set.satisfied_by s.fds s.current
+let dirtiness s = Dirtiness.estimate s.fds s.current
+
+let delete s i =
+  if not (Table.mem s.current i) then
+    invalid_arg (Printf.sprintf "Session.delete: tuple %d not present" i);
+  { s with current = Table.remove s.current [ i ]; log = Delete i :: s.log }
+
+let update s i a v =
+  match Table.find_opt s.current i with
+  | None ->
+    invalid_arg (Printf.sprintf "Session.update: tuple %d not present" i)
+  | Some (t, _) ->
+    let schema = Table.schema s.current in
+    if not (Schema.mem schema a) then
+      invalid_arg (Printf.sprintf "Session.update: no attribute %s" a);
+    {
+      s with
+      current = Table.set_tuple s.current i (Tuple.set_attr schema t a v);
+      log = Update (i, a, v) :: s.log;
+    }
+
+let restore s i =
+  match Table.find_opt s.original i with
+  | None ->
+    invalid_arg (Printf.sprintf "Session.restore: tuple %d never existed" i)
+  | Some (t, w) ->
+    let current =
+      if Table.mem s.current i then Table.set_tuple s.current i t
+      else Table.add ~id:i ~weight:w s.current t
+    in
+    { s with current; log = Restore i :: s.log }
+
+let cost s =
+  Table.fold
+    (fun i t w acc ->
+      match Table.find_opt s.current i with
+      | None -> acc +. w (* deleted *)
+      | Some (t', _) ->
+        acc +. (w *. float_of_int (Tuple.hamming t t')))
+    s.original 0.0
+
+let small_enough tbl = Table.size tbl <= 64
+
+let auto_finish ?(prefer = `Deletions) s =
+  match prefer with
+  | `Deletions -> (
+    match Repair_srepair.Opt_s_repair.run s.fds s.current with
+    | Ok repaired -> repaired
+    | Error _ ->
+      if small_enough s.current then Repair_srepair.S_exact.optimal s.fds s.current
+      else Repair_srepair.S_approx.approx2 s.fds s.current)
+  | `Updates -> (
+    match Repair_urepair.Opt_u_repair.solve s.fds s.current with
+    | Ok repaired -> repaired
+    | Error _ ->
+      if Table.size s.current * Schema.arity (Table.schema s.current) <= 18
+      then Repair_urepair.U_exact.optimal s.fds s.current
+      else fst (Repair_urepair.U_approx.best s.fds s.current))

@@ -1,0 +1,67 @@
+(** Interactive cleaning sessions — the human-in-the-loop workflow of
+    Section 1 (DANCE/QOCO/NADEEF-style), built on the repair machinery:
+
+    the user inspects violations, deletes or edits individual tuples,
+    undoes mistakes, watches the dirtiness estimate shrink, and finally
+    lets the optimal-repair algorithms finish the residual cleaning.
+    Sessions are persistent values: every operation returns a new session
+    and the full history is kept. *)
+
+open Repair_relational
+open Repair_fd
+
+type t
+
+type operation =
+  | Delete of Table.id
+  | Update of Table.id * Schema.attribute * Value.t
+  | Restore of Table.id  (** reset a tuple to its original state *)
+
+(** [start d tbl] opens a session. *)
+val start : Fd_set.t -> Table.t -> t
+
+(** The table as currently edited. *)
+val current : t -> Table.t
+
+(** The untouched input. *)
+val original : t -> Table.t
+
+val fds : t -> Fd_set.t
+
+(** Chronological operation log. *)
+val log : t -> operation list
+
+(** Remaining violating pairs in the current table. *)
+val violations : t -> (Table.id * Table.id * Fd.t) list
+
+val is_clean : t -> bool
+
+(** Dirtiness estimate for the current table. *)
+val dirtiness : t -> Dirtiness.estimate
+
+(** [delete s i] removes a tuple.
+    @raise Invalid_argument if [i] is not present. *)
+val delete : t -> Table.id -> t
+
+(** [update s i a v] edits one cell.
+    @raise Invalid_argument if [i] was deleted / never existed, or [a] is
+    not an attribute. *)
+val update : t -> Table.id -> Schema.attribute -> Value.t -> t
+
+(** [restore s i] brings a tuple back to its original value (also
+    un-deletes it).
+    @raise Invalid_argument for unknown ids. *)
+val restore : t -> Table.id -> t
+
+(** [cost s] is the weighted cost of the manual work so far: deleted
+    tuples count their weight, edited cells count the tuple weight per
+    changed cell (relative to the original; a delete after edits costs the
+    deletion only). *)
+val cost : t -> float
+
+(** [auto_finish ?prefer s] completes the cleaning automatically on the
+    current table — by deletions ([`Deletions], default) or updates
+    ([`Updates]) — using the dichotomy-driven driver strategies
+    (polynomial when possible, exact when small, else certified
+    approximation) and returns the final consistent table. *)
+val auto_finish : ?prefer:[ `Deletions | `Updates ] -> t -> Table.t

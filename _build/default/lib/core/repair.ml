@@ -1,0 +1,178 @@
+module Relational = Repair_relational
+module Fd = Repair_fd
+module Graph = Repair_graph
+module Sat = Repair_sat
+module Srepair = Repair_srepair
+module Urepair = Repair_urepair
+module Dichotomy = Repair_dichotomy
+module Mpd = Repair_mpd
+module Reductions = Repair_reductions
+module Workload = Repair_workload
+module Enumerate = Repair_enumerate
+module Cfd = Repair_cfd
+module Denial = Repair_denial
+module Mixed = Repair_mixed
+module Cqa = Repair_cqa
+module Prioritized = Repair_prioritized
+module Cleaning = Repair_cleaning
+
+module Driver = struct
+  open Repair_relational
+  open Repair_fd
+
+  let src = Logs.Src.create "repair.driver" ~doc:"algorithm selection"
+
+  module Log = (val Logs.src_log src : Logs.LOG)
+
+  type strategy = Auto | Poly | Exact | Approximate
+
+  type report = {
+    result : Table.t;
+    distance : float;
+    optimal : bool;
+    ratio : float;
+    method_used : string;
+  }
+
+  let exact_size_limit = 64
+
+  let s_report tbl result ~optimal ~ratio ~method_used =
+    {
+      result;
+      distance = Table.dist_sub result tbl;
+      optimal;
+      ratio;
+      method_used;
+    }
+
+  let s_repair ?(strategy = Auto) d tbl =
+    let poly () =
+      s_report tbl
+        (Repair_srepair.Opt_s_repair.run_exn d tbl)
+        ~optimal:true ~ratio:1.0 ~method_used:"OptSRepair (Algorithm 1)"
+    in
+    let exact () =
+      s_report tbl
+        (Repair_srepair.S_exact.optimal d tbl)
+        ~optimal:true ~ratio:1.0
+        ~method_used:"exact minimum-weight vertex cover (baseline)"
+    in
+    let approx () =
+      s_report tbl
+        (Repair_srepair.S_approx.approx2 d tbl)
+        ~optimal:false ~ratio:2.0
+        ~method_used:"Bar-Yehuda–Even 2-approximation (Proposition 3.3)"
+    in
+    match strategy with
+    | Poly -> poly ()
+    | Exact -> exact ()
+    | Approximate -> approx ()
+    | Auto ->
+      if Repair_dichotomy.Simplify.succeeds d then begin
+        Log.debug (fun m -> m "s-repair: OSRSucceeds — Algorithm 1");
+        poly ()
+      end
+      else if Table.size tbl <= exact_size_limit then begin
+        Log.debug (fun m ->
+            m "s-repair: hard Δ, n=%d small — exact baseline" (Table.size tbl));
+        exact ()
+      end
+      else begin
+        Log.debug (fun m -> m "s-repair: hard Δ at scale — 2-approximation");
+        approx ()
+      end
+
+  let u_report tbl result ~optimal ~ratio ~method_used =
+    {
+      result;
+      distance = Table.dist_upd result tbl;
+      optimal;
+      ratio;
+      method_used;
+    }
+
+  let u_repair ?(strategy = Auto) d tbl =
+    let poly () =
+      u_report tbl
+        (Repair_urepair.Opt_u_repair.solve_exn d tbl)
+        ~optimal:true ~ratio:1.0
+        ~method_used:"tractable-case solver (Section 4)"
+    in
+    let exact () =
+      u_report tbl
+        (Repair_urepair.U_exact.optimal d tbl)
+        ~optimal:true ~ratio:1.0
+        ~method_used:"bounded exhaustive search (baseline)"
+    in
+    let approx () =
+      let u, ratio = Repair_urepair.U_approx.best d tbl in
+      u_report tbl u ~optimal:(ratio = 1.0) ~ratio
+        ~method_used:
+          "combined per-component approximation (Theorems 4.1/4.3/4.12)"
+    in
+    match strategy with
+    | Poly -> poly ()
+    | Exact -> exact ()
+    | Approximate -> approx ()
+    | Auto ->
+      if Repair_urepair.Opt_u_repair.tractable d then begin
+        Log.debug (fun m -> m "u-repair: Section-4 tractable case");
+        poly ()
+      end
+      else if Table.size tbl * Schema.arity (Table.schema tbl) <= 18 then begin
+        Log.debug (fun m -> m "u-repair: exhaustive search on tiny instance");
+        exact ()
+      end
+      else begin
+        Log.debug (fun m -> m "u-repair: certified combined approximation");
+        approx ()
+      end
+
+  let s_repair_database ?strategy constraints db =
+    let total = ref 0.0 in
+    let repaired =
+      Database.map db (fun name tbl ->
+          match List.assoc_opt name constraints with
+          | None -> tbl
+          | Some d ->
+            let r = s_repair ?strategy d tbl in
+            total := !total +. r.distance;
+            r.result)
+    in
+    (repaired, !total)
+
+  let describe d =
+    let module Simplify = Repair_dichotomy.Simplify in
+    let module Classify = Repair_dichotomy.Classify in
+    let buf = Buffer.create 256 in
+    let ppf = Fmt.with_buffer buf in
+    Fmt.pf ppf "Δ = %a@." Fd_set.pp d;
+    (match Classify.classify d with
+    | `Tractable trace ->
+      Fmt.pf ppf
+        "Optimal S-repair: polynomial time (OSRSucceeds holds).@.%a@."
+        Simplify.pp_trace (d, trace)
+    | `Hard (stuck, trace, cert) ->
+      Fmt.pf ppf
+        "Optimal S-repair: APX-complete (OSRSucceeds fails).@.%a@.Stuck \
+         set: %a@.Certificate: %a@."
+        Simplify.pp_trace (d, trace) Fd_set.pp stuck Classify.pp_certificate
+        cert);
+    (match Repair_urepair.Opt_u_repair.diagnose d with
+    | None ->
+      Fmt.pf ppf "Optimal U-repair: polynomial time (Section 4 cases).@."
+    | Some f ->
+      Fmt.pf ppf "Optimal U-repair: not known tractable — %a@."
+        Repair_urepair.Opt_u_repair.pp_failure f);
+    let d' = Fd_set.normalize d in
+    if not (Fd_set.is_empty d') then begin
+      Fmt.pf ppf
+        "U-repair approximation ratios: ours (Thm 4.12, per-component) = \
+         %g; Kolahi–Lakshmanan (Thm 4.13) = %d (MFS=%d, MCI=%d).@."
+        (Repair_urepair.U_approx.certified_ratio d)
+        (Lhs_analysis.kl_ratio d') (Lhs_analysis.mfs d')
+        (Lhs_analysis.mci d')
+    end;
+    Fmt.flush ppf ();
+    Buffer.contents buf
+end

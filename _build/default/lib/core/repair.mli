@@ -1,0 +1,92 @@
+(** Single entry point for the library: re-exports of every subsystem plus
+    a high-level driver that picks the right algorithm from the paper's
+    dichotomies.
+
+    {1 Layout}
+
+    - {!Relational}: values, schemas, tuples, weighted tables, CSV;
+    - {!Fd}: functional dependencies, closures, covers, lhs analysis;
+    - {!Graph}: vertex cover, bipartite matching, triangle packing;
+    - {!Sat}: CNF and MAX-SAT (hardness-gadget sources);
+    - {!Srepair}: Algorithm 1, exact baseline, 2-approximation;
+    - {!Urepair}: tractable U-repairs, 2·mlc approximation, exact search;
+    - {!Dichotomy}: OSRSucceeds, five-class certificates, fact-wise
+      reductions;
+    - {!Mpd}: the Most Probable Database problem;
+    - {!Reductions}: executable hardness gadgets;
+    - {!Workload}: datasets and generators;
+    - {!Enumerate}: S-repair enumeration and optimal-repair counting
+      (the PODS'17 connection, reference [26]);
+    - {!Cfd}: conditional FDs, {!Denial}: binary denial constraints, and
+      {!Mixed}: mixed deletion/update repairs, and {!Prioritized}:
+      prioritized repairing — the Section 5 extension directions;
+    - {!Cqa}: consistent query answering over the repair space;
+    - {!Cleaning}: dirtiness estimation and interactive cleaning sessions
+      (the human-in-the-loop workflow of Section 1).
+
+    The {!Driver} chooses automatically: polynomial algorithms when the
+    dichotomy permits, exact search on small instances otherwise, and
+    certified approximations at scale. *)
+
+module Relational = Repair_relational
+module Fd = Repair_fd
+module Graph = Repair_graph
+module Sat = Repair_sat
+module Srepair = Repair_srepair
+module Urepair = Repair_urepair
+module Dichotomy = Repair_dichotomy
+module Mpd = Repair_mpd
+module Reductions = Repair_reductions
+module Workload = Repair_workload
+module Enumerate = Repair_enumerate
+module Cfd = Repair_cfd
+module Denial = Repair_denial
+module Mixed = Repair_mixed
+module Cqa = Repair_cqa
+module Prioritized = Repair_prioritized
+module Cleaning = Repair_cleaning
+
+module Driver : sig
+  open Repair_relational
+  open Repair_fd
+
+  type strategy =
+    | Auto  (** poly if tractable, exact if small, else approximate *)
+    | Poly  (** insist on the paper's polynomial algorithm *)
+    | Exact  (** insist on the exponential baseline *)
+    | Approximate  (** insist on the certified approximation *)
+
+  type report = {
+    result : Table.t;
+    distance : float;
+    optimal : bool;  (** distance is provably minimal *)
+    ratio : float;  (** certified bound; 1.0 when optimal *)
+    method_used : string;
+  }
+
+  (** [s_repair ?strategy d tbl] computes a subset repair.
+
+      @raise Failure if [Poly] was requested on the APX-hard side or
+      [Exact] on an oversized instance. *)
+  val s_repair : ?strategy:strategy -> Fd_set.t -> Table.t -> report
+
+  (** [u_repair ?strategy d tbl] computes an update repair. *)
+  val u_repair : ?strategy:strategy -> Fd_set.t -> Table.t -> report
+
+  (** [s_repair_database ?strategy constraints db] repairs every relation
+      of a multi-relation database by deletions — FDs never span relations,
+      so per-relation repairs compose (paper, Section 1). [constraints]
+      maps relation names to their FD sets (missing names mean no
+      constraints). Returns the repaired database and the total deleted
+      weight. *)
+  val s_repair_database :
+    ?strategy:strategy ->
+    (string * Fd_set.t) list ->
+    Database.t ->
+    Database.t * float
+
+  (** [describe d] is a human-readable complexity report for Δ: the
+      OSRSucceeds trace or the hardness certificate, U-repair
+      tractability, and the approximation ratios of Theorems 4.12/4.13. *)
+  val describe : Fd_set.t -> string
+end

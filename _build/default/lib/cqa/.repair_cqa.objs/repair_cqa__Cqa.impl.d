@@ -1,0 +1,1 @@
+lib/cqa/cqa.ml: Attr_set List Repair_enumerate Repair_relational Schema Set Table Tuple Value

@@ -1,0 +1,1 @@
+lib/cqa/cqa.mli: Attr_set Fd_set Repair_fd Repair_relational Schema Table Tuple Value

@@ -1,0 +1,51 @@
+open Repair_relational
+module Enumerate = Repair_enumerate.Enumerate
+
+type query = {
+  select : (Schema.attribute * Value.t) list;
+  project : Attr_set.t;
+}
+
+let query ?(select = []) project_attrs =
+  { select; project = Attr_set.of_list project_attrs }
+
+module Tset = Set.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let answer_set q tbl =
+  let schema = Table.schema tbl in
+  Table.fold
+    (fun _ t _ acc ->
+      let keep =
+        List.for_all
+          (fun (a, v) -> Value.equal (Tuple.get_attr schema t a) v)
+          q.select
+      in
+      if keep then Tset.add (Tuple.project schema t q.project) acc else acc)
+    tbl Tset.empty
+
+let answers q tbl = Tset.elements (answer_set q tbl)
+
+let repair_answer_sets ?limit q d tbl =
+  Enumerate.s_repairs ?limit d tbl |> List.map (answer_set q)
+
+let certain ?limit q d tbl =
+  match repair_answer_sets ?limit q d tbl with
+  | [] -> []
+  | first :: rest -> Tset.elements (List.fold_left Tset.inter first rest)
+
+let possible ?limit q d tbl =
+  repair_answer_sets ?limit q d tbl
+  |> List.fold_left Tset.union Tset.empty
+  |> Tset.elements
+
+let range ?limit q d tbl =
+  match repair_answer_sets ?limit q d tbl with
+  | [] -> ([], [])
+  | first :: rest ->
+    let certain = List.fold_left Tset.inter first rest in
+    let possible = List.fold_left Tset.union first rest in
+    (Tset.elements certain, Tset.elements possible)

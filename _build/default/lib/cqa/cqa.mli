@@ -1,0 +1,38 @@
+(** Consistent query answering (Arenas–Bertossi–Chomicki, the framework
+    the paper's introduction builds on): the {e consistent answers} to a
+    query are those returned in {e every} repair.
+
+    We evaluate selection–projection queries over the S-repairs (maximal
+    consistent subsets) of a table, by explicit repair enumeration — the
+    semantics-first implementation suitable for moderate repair counts
+    (see {!Repair_enumerate.Enumerate}); a [limit] guards the blow-up. *)
+
+open Repair_relational
+open Repair_fd
+
+(** A selection–projection query: conjunctive equality selections, then
+    projection onto [project] (in schema order). An empty [select] keeps
+    every tuple. *)
+type query = {
+  select : (Schema.attribute * Value.t) list;
+  project : Attr_set.t;
+}
+
+val query :
+  ?select:(Schema.attribute * Value.t) list -> Schema.attribute list -> query
+
+(** [answers q tbl] evaluates the query on one table: distinct projected
+    tuples, sorted. *)
+val answers : query -> Table.t -> Tuple.t list
+
+(** [certain ?limit q d tbl] — tuples returned in every S-repair. *)
+val certain : ?limit:int -> query -> Fd_set.t -> Table.t -> Tuple.t list
+
+(** [possible ?limit q d tbl] — tuples returned in at least one
+    S-repair. *)
+val possible : ?limit:int -> query -> Fd_set.t -> Table.t -> Tuple.t list
+
+(** [range ?limit q d tbl] is [(certain, possible)] computed in one
+    enumeration pass. *)
+val range :
+  ?limit:int -> query -> Fd_set.t -> Table.t -> Tuple.t list * Tuple.t list

@@ -1,0 +1,1 @@
+lib/denial/denial.ml: Array Fd Fd_set Fmt List Printf Repair_fd Repair_graph Repair_relational Schema Table Tuple Value

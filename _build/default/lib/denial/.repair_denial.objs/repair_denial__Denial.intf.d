@@ -1,0 +1,1 @@
+lib/denial/denial.mli: Fd Fd_set Repair_fd Repair_relational Schema Table Tuple

@@ -1,0 +1,99 @@
+open Repair_relational
+open Repair_fd
+module G = Repair_graph.Graph
+module Vc = Repair_graph.Vertex_cover
+
+type kind =
+  | Unary of (Schema.t -> Tuple.t -> bool)
+  | Binary of (Schema.t -> Tuple.t -> Tuple.t -> bool)
+
+type t = { name : string; kind : kind }
+
+let unary name p = { name; kind = Unary p }
+let binary name p = { name; kind = Binary p }
+
+let of_fd fd =
+  binary (Fmt.str "fd:%a" Fd.pp fd) (fun schema t1 t2 ->
+      Tuple.agree_on schema t1 t2 (Fd.lhs fd)
+      && not (Tuple.agree_on schema t1 t2 (Fd.rhs fd)))
+
+let of_fd_set d = List.map of_fd (Fd_set.to_list (Fd_set.normalize d))
+
+let lt_atom a b =
+  binary
+    (Printf.sprintf "%s<%s" a b)
+    (fun schema t1 t2 ->
+      Value.compare (Tuple.get_attr schema t1 a) (Tuple.get_attr schema t2 b) < 0)
+
+let name c = c.name
+
+let pair_violates schema c t1 t2 =
+  match c.kind with
+  | Unary _ -> false
+  | Binary p -> p schema t1 t2 || p schema t2 t1
+
+let unary_violates schema c t =
+  match c.kind with Unary p -> p schema t | Binary _ -> false
+
+let violations cs tbl =
+  let schema = Table.schema tbl in
+  let rows = List.map (fun i -> (i, Table.tuple tbl i)) (Table.ids tbl) in
+  let unary_hits =
+    List.concat_map
+      (fun (i, t) ->
+        List.filter_map
+          (fun c ->
+            if unary_violates schema c t then Some (`Unary (i, c.name)) else None)
+          cs)
+      rows
+  in
+  let rec pair_hits acc = function
+    | [] -> List.rev acc
+    | (i, ti) :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc (j, tj) ->
+            List.fold_left
+              (fun acc c ->
+                if pair_violates schema c ti tj then `Pair (i, j, c.name) :: acc
+                else acc)
+              acc cs)
+          acc rest
+      in
+      pair_hits acc rest
+  in
+  unary_hits @ pair_hits [] rows
+
+let satisfied_by cs tbl = violations cs tbl = []
+
+let repair_with cs tbl cover_algorithm =
+  let schema = Table.schema tbl in
+  let mandatory, viable =
+    List.partition
+      (fun i ->
+        List.exists (fun c -> unary_violates schema c (Table.tuple tbl i)) cs)
+      (Table.ids tbl)
+  in
+  let viable = Array.of_list viable in
+  let n = Array.length viable in
+  let g =
+    if n = 0 then G.create 0
+    else G.create_weighted (Array.map (fun i -> Table.weight tbl i) viable)
+  in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if
+        List.exists
+          (fun c ->
+            pair_violates schema c
+              (Table.tuple tbl viable.(a))
+              (Table.tuple tbl viable.(b)))
+          cs
+      then G.add_edge g a b
+    done
+  done;
+  let cover = cover_algorithm g in
+  Table.remove tbl (mandatory @ List.map (fun v -> viable.(v)) cover)
+
+let optimal_s_repair cs tbl = repair_with cs tbl Vc.exact
+let approx_s_repair cs tbl = repair_with cs tbl Vc.approx2

@@ -1,0 +1,59 @@
+(** Binary denial constraints — the second extension direction of
+    Section 5.
+
+    A (binary) denial constraint forbids certain single tuples or certain
+    pairs of tuples from co-existing; FDs are the special case "agree on X
+    but not on Y". Subset repairing under any family of unary + binary
+    constraints is still a vertex-cover problem (mandatory deletions for
+    unary violations, minimum-weight cover of the pair-conflict graph), so
+    the exact solver and the factor-2 approximation of Proposition 3.3
+    carry over verbatim — only the dichotomy is specific to FDs.
+
+    Constraints are given semantically (OCaml predicates) with a name for
+    diagnostics; {!of_fd_set} and comparison atoms cover the common
+    syntactic fragments. *)
+
+open Repair_relational
+open Repair_fd
+
+type t
+
+(** [unary name p] forbids single tuples satisfying [p]. *)
+val unary : string -> (Schema.t -> Tuple.t -> bool) -> t
+
+(** [binary name p] forbids (unordered) pairs on which [p] holds; [p] must
+    be symmetric — {!optimal_s_repair} evaluates it in both orders and
+    takes the disjunction, so an asymmetric predicate is interpreted as
+    "forbidden in either order". *)
+val binary : string -> (Schema.t -> Tuple.t -> Tuple.t -> bool) -> t
+
+(** [of_fd fd] is the denial form of an FD: pairs agreeing on the lhs and
+    disagreeing on the rhs. *)
+val of_fd : Fd.t -> t
+
+(** [of_fd_set d] is one constraint per FD. *)
+val of_fd_set : Fd_set.t -> t list
+
+(** [lt_atom a b] forbids pairs where [t1.a < t2.b] and [t1], [t2] agree
+    nowhere required — a classic order denial constraint example: use with
+    care, it is asymmetric and therefore symmetrized as described in
+    {!binary}. *)
+val lt_atom : Schema.attribute -> Schema.attribute -> t
+
+val name : t -> string
+
+(** [violations cs tbl] lists named violations: [`Unary (i, name)] and
+    [`Pair (i, j, name)] with [i < j]. *)
+val violations :
+  t list ->
+  Table.t ->
+  [ `Unary of Table.id * string | `Pair of Table.id * Table.id * string ] list
+
+val satisfied_by : t list -> Table.t -> bool
+
+(** [optimal_s_repair cs tbl] — exact optimal subset repair (exponential
+    worst case, Proposition 3.3 machinery). *)
+val optimal_s_repair : t list -> Table.t -> Table.t
+
+(** [approx_s_repair cs tbl] — 2-approximation. *)
+val approx_s_repair : t list -> Table.t -> Table.t

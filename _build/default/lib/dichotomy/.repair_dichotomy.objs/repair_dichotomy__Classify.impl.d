@@ -1,0 +1,1 @@
+lib/dichotomy/classify.ml: Attr_set Fd_set Fmt List Option Repair_fd Repair_relational Simplify Stdlib

@@ -1,0 +1,1 @@
+lib/dichotomy/classify.mli: Attr_set Fd_set Format Repair_fd Repair_relational Simplify

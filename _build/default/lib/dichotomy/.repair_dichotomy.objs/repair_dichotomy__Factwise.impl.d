@@ -1,0 +1,1 @@
+lib/dichotomy/factwise.ml: Attr_set Classify Fd_set List Printf Repair_fd Repair_relational Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/dichotomy/factwise.mli: Attr_set Classify Fd_set Repair_fd Repair_relational Schema Table Tuple

@@ -1,0 +1,1 @@
+lib/dichotomy/simplify.ml: Attr_set Fd Fd_set Fmt List Repair_fd Repair_relational

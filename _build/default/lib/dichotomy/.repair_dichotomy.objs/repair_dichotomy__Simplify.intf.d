@@ -1,0 +1,1 @@
+lib/dichotomy/simplify.mli: Attr_set Fd Fd_set Format Repair_fd Repair_relational

@@ -1,0 +1,44 @@
+(** Classification of unsimplifiable FD sets into the five classes of
+    Figure 2 (Section 3.3, Lemma A.22).
+
+    When [OSRSucceeds] fails, the residual Δ has at least two local minima
+    (FDs with set-minimal lhs). Writing [X̂i = cl_Δ(Xi) ∖ Xi], the ordered
+    pair falls into one of five classes, each admitting a fact-wise
+    reduction from one of the four hard FD sets of Table 1:
+
+    + class 1: [X̂2∩X1 = ∅], [X̂1∩cl(X2) = ∅] — from [Δ_{A→C←B}];
+    + class 2: [X̂2∩X1 = ∅], [X̂1∩X̂2 ≠ ∅], [X̂1∩X2 = ∅] — from [Δ_{A→B→C}];
+    + class 3: [X̂2∩X1 = ∅], [X̂1∩X2 ≠ ∅] — from [Δ_{A→B→C}];
+    + class 4: [X̂2∩X1 ≠ ∅], [X̂1∩X2 ≠ ∅], [(X1∖X2) ⊆ X̂2], [(X2∖X1) ⊆ X̂1]
+      (a third local minimum then exists) — from [Δ_{AB↔AC↔BC}];
+    + class 5: [X̂2∩X1 ≠ ∅], [X̂1∩X2 ≠ ∅], [(X2∖X1) ⊄ X̂1] — from
+      [Δ_{AB→C→B}]. *)
+
+open Repair_relational
+open Repair_fd
+
+type source = From_a_c_b | From_a_b_c | From_triangle | From_ab_c_b
+
+type certificate = {
+  cls : int;  (** 1..5 *)
+  x1 : Attr_set.t;
+  x2 : Attr_set.t;
+  x3 : Attr_set.t option;  (** the third local minimum, class 4 only *)
+  source : source;  (** which Table-1 FD set reduces to Δ *)
+}
+
+(** [certify d] classifies an FD set on which no simplification applies.
+
+    @raise Invalid_argument if a simplification still applies (the caller
+    should run {!Simplify.run} to a fixpoint first) or [d] is trivial. *)
+val certify : Fd_set.t -> certificate
+
+(** [classify d] runs the full pipeline: [Tractable] with the
+    simplification trace, or [Hard] with the stuck set and its
+    certificate. *)
+val classify :
+  Fd_set.t ->
+  [ `Tractable of Simplify.trace | `Hard of Fd_set.t * Simplify.trace * certificate ]
+
+val source_name : source -> string
+val pp_certificate : Format.formatter -> certificate -> unit

@@ -1,0 +1,121 @@
+open Repair_relational
+open Repair_fd
+
+type t = {
+  source_schema : Schema.t;
+  source_fds : Fd_set.t;
+  target_schema : Schema.t;
+  target_fds : Fd_set.t;
+  map_tuple : Tuple.t -> Tuple.t;
+}
+
+let map_table r tbl =
+  if not (Schema.equal (Table.schema tbl) r.source_schema) then
+    invalid_arg "Factwise.map_table: wrong source schema";
+  Table.fold
+    (fun i t w acc -> Table.add ~id:i ~weight:w acc (r.map_tuple t))
+    tbl
+    (Table.empty r.target_schema)
+
+let source_schema_abc = Schema.make "R" [ "A"; "B"; "C" ]
+
+let source_fds_of = function
+  | Classify.From_a_c_b -> Fd_set.parse "A -> C; B -> C"
+  | Classify.From_a_b_c -> Fd_set.parse "A -> B; B -> C"
+  | Classify.From_triangle -> Fd_set.parse "A B -> C; A C -> B; B C -> A"
+  | Classify.From_ab_c_b -> Fd_set.parse "A B -> C; C -> B"
+
+(* Build Π attribute by attribute: [rules] is an ordered list of
+   (attribute-set, value constructor) cases; the first case whose set
+   contains the attribute wins, [default] applies otherwise. *)
+let tuple_mapper target_schema rules default =
+  fun src ->
+    let a = Tuple.get src 0 and b = Tuple.get src 1 and c = Tuple.get src 2 in
+    let value_of attr =
+      let rec pick = function
+        | [] -> default (a, b, c)
+        | (set, make) :: rest ->
+          if Attr_set.mem attr set then make (a, b, c) else pick rest
+      in
+      pick rules
+    in
+    Tuple.make (List.map value_of (Schema.attributes target_schema))
+
+let of_certificate target_schema d (cert : Classify.certificate) =
+  let cl = Fd_set.closure_of d in
+  let hat x = Attr_set.diff (cl x) x in
+  let x1 = cert.x1 and x2 = cert.x2 in
+  let inter = Attr_set.inter x1 x2 in
+  let unit_ _ = Value.Unit in
+  let fst3 (a, _, _) = a in
+  let snd3 (_, b, _) = b in
+  let thd3 (_, _, c) = c in
+  let pair f g v = Value.pair (f v) (g v) in
+  let rules, default =
+    match cert.cls with
+    | 1 ->
+      (* Lemma A.14. *)
+      ( [ (inter, unit_);
+          (Attr_set.diff x1 x2, fst3);
+          (Attr_set.diff x2 x1, snd3);
+          (hat x1, pair fst3 thd3);
+          (hat x2, pair snd3 thd3) ],
+        pair fst3 snd3 )
+    | 2 | 3 ->
+      (* Lemma A.15 (covers both classes). *)
+      ( [ (inter, unit_);
+          (Attr_set.diff x1 x2, fst3);
+          (Attr_set.diff x2 x1, snd3);
+          (Attr_set.diff (hat x1) (cl x2), pair fst3 thd3);
+          (hat x2, pair snd3 thd3) ],
+        fst3 )
+    | 4 ->
+      (* Lemma A.16: uses three local minima. *)
+      let x3 =
+        match cert.x3 with
+        | Some x3 -> x3
+        | None -> invalid_arg "Factwise.of_certificate: class 4 needs X3"
+      in
+      let i123 = Attr_set.inter inter x3 in
+      ( [ (i123, unit_);
+          (Attr_set.diff (Attr_set.inter x1 x2) x3, fst3);
+          (Attr_set.diff (Attr_set.inter x1 x3) x2, snd3);
+          (Attr_set.diff (Attr_set.inter x2 x3) x1, thd3);
+          (Attr_set.diff (Attr_set.diff x1 x2) x3, pair fst3 snd3);
+          (Attr_set.diff (Attr_set.diff x2 x1) x3, pair fst3 thd3);
+          (Attr_set.diff (Attr_set.diff x3 x1) x2, pair snd3 thd3) ],
+        fun (a, b, c) -> Value.triple a b c )
+    | 5 ->
+      (* Lemma A.17. *)
+      let x2m1 = Attr_set.diff x2 x1 in
+      ( [ (inter, unit_);
+          (Attr_set.diff x1 x2, thd3);
+          (Attr_set.inter x2m1 (hat x1), snd3);
+          (Attr_set.diff x2m1 (hat x1), pair fst3 snd3);
+          (Attr_set.diff (hat x1) x2m1, pair snd3 thd3) ],
+        fun (a, b, c) -> Value.triple a b c )
+    | n -> invalid_arg (Printf.sprintf "Factwise.of_certificate: class %d" n)
+  in
+  {
+    source_schema = source_schema_abc;
+    source_fds = source_fds_of cert.source;
+    target_schema;
+    target_fds = d;
+    map_tuple = tuple_mapper target_schema rules default;
+  }
+
+let minus_reduction schema d x =
+  let map_tuple src =
+    Tuple.make
+      (List.mapi
+         (fun i attr ->
+           if Attr_set.mem attr x then Value.Unit else Tuple.get src i)
+         (Schema.attributes schema))
+  in
+  {
+    source_schema = schema;
+    source_fds = Fd_set.minus d x;
+    target_schema = schema;
+    target_fds = d;
+    map_tuple;
+  }

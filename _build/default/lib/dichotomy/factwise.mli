@@ -1,0 +1,36 @@
+(** Executable fact-wise reductions (Section 3.3, Lemmas A.14–A.18).
+
+    A fact-wise reduction from (R, Δ) to (R', Δ') is an injective,
+    polynomial-time tuple mapping Π that preserves consistency both ways;
+    it yields a strict reduction between the optimal-S-repair problems
+    (Lemma 3.7). We implement the concrete mappings used in the hardness
+    proof, so the reductions can be exercised and property-tested rather
+    than merely cited. *)
+
+open Repair_relational
+open Repair_fd
+
+type t = {
+  source_schema : Schema.t;
+  source_fds : Fd_set.t;
+  target_schema : Schema.t;
+  target_fds : Fd_set.t;
+  map_tuple : Tuple.t -> Tuple.t;
+}
+
+(** [map_table r tbl] applies [r.map_tuple] to every tuple, preserving ids
+    and weights.
+
+    @raise Invalid_argument if [tbl]'s schema is not the source schema. *)
+val map_table : t -> Table.t -> Table.t
+
+(** [of_certificate target_schema d cert] builds the Lemma A.14–A.17
+    reduction from the hard Table-1 schema named by [cert.source] to
+    [(target_schema, d)]; [d] must be the stuck FD set that produced
+    [cert]. The source schema is R(A, B, C). *)
+val of_certificate : Schema.t -> Fd_set.t -> Classify.certificate -> t
+
+(** [minus_reduction schema d x] is the Lemma A.18 reduction from
+    [(schema, Δ − X)] to [(schema, Δ)]: removed attributes are padded with
+    the constant [⊙]. *)
+val minus_reduction : Schema.t -> Fd_set.t -> Attr_set.t -> t

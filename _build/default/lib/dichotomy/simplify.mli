@@ -1,0 +1,39 @@
+(** Algorithm 2 ([OSRSucceeds]): the dichotomy test.
+
+    Success or failure of [OptSRepair] depends only on Δ; this module
+    simulates the simplification cases and records the trace, reproducing
+    the derivations displayed in Example 3.5. By Theorem 3.4:
+
+    - [Tractable]: an optimal S-repair is computable in PTIME;
+    - [Hard]: the problem is APX-complete, even on unweighted,
+      duplicate-free tables. *)
+
+open Repair_relational
+open Repair_fd
+
+type step =
+  | Removed_trivial of Fd_set.t  (** trivial FDs removed *)
+  | Common_lhs of Attr_set.attribute  (** Δ := Δ − A *)
+  | Consensus of Fd.t  (** consensus FD ∅ → X; Δ := Δ − X *)
+  | Marriage of Attr_set.t * Attr_set.t  (** Δ := Δ − X1X2 *)
+
+(** Each trace entry pairs the step applied with the FD set it produced. *)
+type trace = (step * Fd_set.t) list
+
+type outcome =
+  | Tractable
+  | Hard of Fd_set.t
+      (** the fully-simplified, nontrivial FD set on which no rule applies *)
+
+(** [run d] executes OSRSucceeds, returning the outcome and the full
+    trace. Terminates in time polynomial in |Δ|. *)
+val run : Fd_set.t -> outcome * trace
+
+(** [succeeds d] is [true] iff [run d] is [Tractable]. *)
+val succeeds : Fd_set.t -> bool
+
+val pp_step : Format.formatter -> step -> unit
+
+(** [pp_trace] renders an Example 3.5-style derivation:
+    [{...} (common lhs) ⇛ {...} (consensus) ⇛ {}]. *)
+val pp_trace : Format.formatter -> Fd_set.t * trace -> unit

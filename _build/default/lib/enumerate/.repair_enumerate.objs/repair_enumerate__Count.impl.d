@@ -1,0 +1,1 @@
+lib/enumerate/count.ml: Attr_set Fd Fd_set Fmt List Repair_fd Repair_relational Table

@@ -1,0 +1,1 @@
+lib/enumerate/count.mli: Fd_set Repair_fd Repair_relational Table

@@ -1,0 +1,28 @@
+(** Counting optimal S-repairs in polynomial time.
+
+    Livshits and Kimelfeld (PODS'17, the paper's reference [26]) showed
+    that {e chain} FD sets are exactly the sets whose subset repairs can be
+    counted in polynomial time. Here we count {e optimal} S-repairs along
+    the recursion of Algorithm 1: the common-lhs case multiplies block
+    counts, and the consensus case sums the counts of the maximum-weight
+    blocks. The lhs-marriage case would require counting maximum-weight
+    bipartite matchings (#P-hard in general), so it is refused — chain FD
+    sets never need it (Corollary 3.6). *)
+
+open Repair_relational
+open Repair_fd
+
+(** [optimal_s_repairs d tbl] is the number of distinct optimal S-repairs
+    (as identifier sets), saturating at [max_int] — counts grow
+    exponentially with the number of independent ties. [Error stuck] when
+    the recursion hits an lhs-marriage or an unsimplifiable set. *)
+val optimal_s_repairs : Fd_set.t -> Table.t -> (int, Fd_set.t) result
+
+(** [optimal_s_repairs_exn d tbl] raises [Failure] instead. *)
+val optimal_s_repairs_exn : Fd_set.t -> Table.t -> int
+
+(** [optimal_weight_and_count d tbl] also returns the weight kept by an
+    optimal S-repair — cross-checkable against
+    {!Repair_srepair.Opt_s_repair.distance}. *)
+val optimal_weight_and_count :
+  Fd_set.t -> Table.t -> (float * int, Fd_set.t) result

@@ -1,0 +1,90 @@
+open Repair_relational
+open Repair_fd
+module Iset = Set.Make (Int)
+
+exception Limit_exceeded
+
+(* S-repairs are the maximal cliques of the *compatibility* graph (the
+   complement of the conflict graph): FD consistency is a pairwise
+   property. We run Bron–Kerbosch with pivoting, where adjacency means
+   "this pair of tuples is consistent". *)
+let s_repairs ?(limit = 10_000) d tbl =
+  let d = Fd_set.remove_trivial d in
+  let ids = Array.of_list (Table.ids tbl) in
+  let n = Array.length ids in
+  let schema = Table.schema tbl in
+  let compatible = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ok =
+        Fd_set.pair_consistent d schema (Table.tuple tbl ids.(i))
+          (Table.tuple tbl ids.(j))
+      in
+      compatible.(i).(j) <- ok;
+      compatible.(j).(i) <- ok
+    done
+  done;
+  let neighbours v =
+    let rec go j acc =
+      if j < 0 then acc
+      else go (j - 1) (if compatible.(v).(j) then Iset.add j acc else acc)
+    in
+    go (n - 1) Iset.empty
+  in
+  let adj = Array.init n neighbours in
+  let found = ref [] in
+  let count = ref 0 in
+  let emit clique =
+    incr count;
+    if !count > limit then raise Limit_exceeded;
+    found := Table.restrict tbl (List.map (fun v -> ids.(v)) (Iset.elements clique)) :: !found
+  in
+  let rec bron_kerbosch r p x =
+    if Iset.is_empty p && Iset.is_empty x then emit r
+    else begin
+      (* Pivot on the candidate with the most neighbours in p. *)
+      let pivot =
+        Iset.fold
+          (fun v best ->
+            let score = Iset.cardinal (Iset.inter adj.(v) p) in
+            match best with
+            | Some (_, s) when s >= score -> best
+            | _ -> Some (v, score))
+          (Iset.union p x) None
+      in
+      let candidates =
+        match pivot with
+        | Some (v, _) -> Iset.diff p adj.(v)
+        | None -> p
+      in
+      let p = ref p and x = ref x in
+      Iset.iter
+        (fun v ->
+          bron_kerbosch (Iset.add v r) (Iset.inter !p adj.(v))
+            (Iset.inter !x adj.(v));
+          p := Iset.remove v !p;
+          x := Iset.add v !x)
+        candidates
+    end
+  in
+  (match n with
+  | 0 -> emit Iset.empty
+  | _ ->
+    (try bron_kerbosch Iset.empty (Iset.of_list (List.init n Fun.id)) Iset.empty
+     with Limit_exceeded ->
+       failwith
+         (Printf.sprintf "Enumerate.s_repairs: more than %d repairs" limit)));
+  List.rev !found
+
+let count_s_repairs ?limit d tbl = List.length (s_repairs ?limit d tbl)
+
+let optimal_s_repairs ?limit d tbl =
+  let all = s_repairs ?limit d tbl in
+  let best =
+    List.fold_left (fun acc s -> max acc (Table.total_weight s)) 0.0 all
+  in
+  List.filter (fun s -> Table.total_weight s >= best -. 1e-9) all
+
+let cardinality_repair_exists d tbl ~max_deletions =
+  let s = Repair_srepair.S_exact.optimal d (Table.map_weights tbl (fun _ _ -> 1.0)) in
+  Table.size tbl - Table.size s <= max_deletions

@@ -1,0 +1,32 @@
+(** Enumeration of subset repairs.
+
+    S-repairs (maximal consistent subsets) are exactly the maximal
+    independent sets of the conflict graph; this module enumerates them by
+    pivot-free backtracking. Enumeration is inherently exponential in the
+    number of repairs — use the [limit] argument. This supports the
+    paper's discussion of prioritized repairs (Section 5) and connects to
+    the counting results of Livshits–Kimelfeld (PODS'17, the paper's
+    reference [26]) exercised in {!Count}. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [s_repairs ?limit d tbl] lists the S-repairs of [tbl] (maximal
+    consistent subsets), up to [limit] (default 10_000) of them; raises
+    [Failure] if the limit is exceeded — counting repairs is #P-hard in
+    general [26]. Each result is a subset of [tbl]. *)
+val s_repairs : ?limit:int -> Fd_set.t -> Table.t -> Table.t list
+
+(** [count_s_repairs ?limit d tbl] is [List.length (s_repairs d tbl)]. *)
+val count_s_repairs : ?limit:int -> Fd_set.t -> Table.t -> int
+
+(** [optimal_s_repairs ?limit d tbl] lists only the optimal S-repairs
+    (minimum deleted weight). *)
+val optimal_s_repairs : ?limit:int -> Fd_set.t -> Table.t -> Table.t list
+
+(** [cardinality_repair_exists d tbl ~max_deletions] — is there a
+    consistent subset deleting at most [max_deletions] tuples? (The
+    decision version of cardinality repairs, useful for dirtiness
+    budgeting.) *)
+val cardinality_repair_exists :
+  Fd_set.t -> Table.t -> max_deletions:int -> bool

@@ -1,0 +1,1 @@
+lib/fd/armstrong.ml: Attr_set Fd_set List Repair_relational Schema Table Tuple Value

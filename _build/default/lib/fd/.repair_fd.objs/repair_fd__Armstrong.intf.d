@@ -1,0 +1,1 @@
+lib/fd/armstrong.mli: Attr_set Fd_set Repair_relational Schema Table

@@ -1,0 +1,1 @@
+lib/fd/cover.ml: Attr_set Fd Fd_set List Repair_relational

@@ -1,0 +1,1 @@
+lib/fd/cover.mli: Attr_set Fd Fd_set Repair_relational

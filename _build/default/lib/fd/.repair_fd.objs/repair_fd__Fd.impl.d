@@ -1,0 +1,1 @@
+lib/fd/fd.ml: Attr_set Buffer Char Fmt List Printf Repair_relational String Tuple

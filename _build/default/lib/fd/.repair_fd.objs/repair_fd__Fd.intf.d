@@ -1,0 +1,1 @@
+lib/fd/fd.mli: Attr_set Format Repair_relational Schema Tuple

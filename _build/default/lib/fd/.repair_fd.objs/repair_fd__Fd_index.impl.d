@@ -1,0 +1,1 @@
+lib/fd/fd_index.ml: Fd Fd_set Hashtbl Int List Map Option Printf Repair_relational Schema Set Table Tuple

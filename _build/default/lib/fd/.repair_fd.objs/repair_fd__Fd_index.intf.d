@@ -1,0 +1,1 @@
+lib/fd/fd_index.mli: Fd_set Repair_relational Schema Table Tuple

@@ -1,0 +1,1 @@
+lib/fd/fd_set.ml: Attr_set Fd Fmt List Repair_relational String Table Tuple

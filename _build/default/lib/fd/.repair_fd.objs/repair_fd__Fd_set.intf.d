@@ -1,0 +1,1 @@
+lib/fd/fd_set.mli: Attr_set Fd Format Repair_relational Schema Table Tuple

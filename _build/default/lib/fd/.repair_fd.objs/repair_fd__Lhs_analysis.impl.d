@@ -1,0 +1,1 @@
+lib/fd/lhs_analysis.ml: Attr_set Fd Fd_set List Repair_relational Stdlib

@@ -1,0 +1,1 @@
+lib/fd/lhs_analysis.mli: Attr_set Fd_set Repair_relational

@@ -1,0 +1,1 @@
+lib/fd/normalize.ml: Attr_set Cover Fd Fd_set Fmt List Repair_relational Schema Table

@@ -1,0 +1,1 @@
+lib/fd/normalize.mli: Attr_set Fd_set Format Repair_relational Schema Table

@@ -1,0 +1,29 @@
+open Repair_relational
+
+let closed_sets d schema =
+  let attrs = Schema.attribute_set schema in
+  Attr_set.subsets attrs
+  |> List.filter (fun x ->
+         Attr_set.equal x (Attr_set.inter (Fd_set.closure_of d x) attrs))
+
+let relation d schema =
+  let attrs = Schema.attribute_set schema in
+  let base = Tuple.make (List.map (fun _ -> Value.int 0) (Schema.attributes schema)) in
+  let proper_closed =
+    closed_sets d schema |> List.filter (fun c -> not (Attr_set.equal c attrs))
+  in
+  (* Tuple for closed set C: 0 on C, a value unique to C elsewhere. Two
+     such tuples agree exactly on the intersection of their closed sets,
+     which is again closed. *)
+  let tuples =
+    base
+    :: List.mapi
+         (fun i c ->
+           Tuple.make
+             (List.map
+                (fun a ->
+                  if Attr_set.mem a c then Value.int 0 else Value.int (i + 1))
+                (Schema.attributes schema)))
+         proper_closed
+  in
+  Table.of_tuples schema tuples

@@ -1,0 +1,23 @@
+(** Armstrong relations: tables that satisfy {e exactly} the closure of a
+    given FD set — an FD holds in the table iff Δ entails it.
+
+    Classic FD-toolkit functionality (Fagin 1982), and a powerful testing
+    device: the table is a concrete witness separating entailed from
+    non-entailed FDs, used by our property suite to cross-validate
+    {!Fd_set.closure_of} against {!Fd_set.satisfied_by}. *)
+
+open Repair_relational
+
+(** [closed_sets d schema] is every [X ⊆ attrs] with [cl_Δ(X) ∩ attrs = X]
+    (exponential in arity; data-complexity regime). *)
+val closed_sets : Fd_set.t -> Schema.t -> Attr_set.t list
+
+(** [relation d schema] builds an Armstrong relation for Δ over the
+    schema: a base tuple of zeros plus, for every proper closed set [C],
+    a tuple agreeing with the base exactly on [C]. Pairwise agreement
+    sets are then exactly the closed sets, so
+
+    [Fd_set.satisfied_by d' (relation d schema)] iff [Fd_set.entails d d']
+
+    for every FD over the schema. *)
+val relation : Fd_set.t -> Schema.t -> Table.t

@@ -1,0 +1,60 @@
+open Repair_relational
+
+let remove_extraneous_lhs d fd =
+  (* An lhs attribute a is extraneous in X → Y if (X ∖ a) → Y is already
+     entailed; removing it preserves the closure. *)
+  let rec shrink fd =
+    let candidate =
+      Attr_set.fold
+        (fun a found ->
+          match found with
+          | Some _ -> found
+          | None ->
+            let smaller = Fd.make (Attr_set.remove a (Fd.lhs fd)) (Fd.rhs fd) in
+            if Fd_set.entails d smaller then Some smaller else None)
+        (Fd.lhs fd) None
+    in
+    match candidate with Some fd' -> shrink fd' | None -> fd
+  in
+  shrink fd
+
+let is_redundant d fd =
+  let rest = Fd_set.filter (fun fd' -> not (Fd.equal fd fd')) d in
+  Fd_set.entails rest fd
+
+let minimal d =
+  let split = Fd_set.normalize d in
+  let shrunk = Fd_set.map (remove_extraneous_lhs split) split in
+  (* Drop redundant FDs one at a time; each removal preserves equivalence. *)
+  List.fold_left
+    (fun acc fd ->
+      if is_redundant acc fd then
+        Fd_set.filter (fun fd' -> not (Fd.equal fd fd')) acc
+      else acc)
+    shrunk (Fd_set.to_list shrunk)
+
+let canonical d =
+  let m = Fd_set.to_list (minimal d) in
+  let merged =
+    List.fold_left
+      (fun acc fd ->
+        let same, other =
+          List.partition (fun fd' -> Attr_set.equal (Fd.lhs fd) (Fd.lhs fd')) acc
+        in
+        match same with
+        | [] -> fd :: other
+        | fd' :: _ ->
+          Fd.make (Fd.lhs fd) (Attr_set.union (Fd.rhs fd) (Fd.rhs fd')) :: other)
+      [] m
+  in
+  Fd_set.of_list (List.sort Fd.compare merged)
+
+let keys d ~attrs =
+  let all = Attr_set.subsets attrs in
+  let is_key x = Attr_set.subset attrs (Fd_set.closure_of d x) in
+  let key_sets = List.filter is_key all in
+  List.filter
+    (fun x ->
+      not (List.exists (fun z -> Attr_set.strict_subset z x) key_sets))
+    key_sets
+  |> List.sort Attr_set.compare

@@ -1,0 +1,31 @@
+(** Covers of FD sets: equivalence-preserving normal forms.
+
+    Not used by the paper's algorithms directly, but a standard part of any
+    FD toolkit and convenient for presenting equivalent FD sets compactly
+    (the paper freely switches between equivalent sets, e.g. when splitting
+    right-hand sides). *)
+
+open Repair_relational
+
+(** [minimal d] is a minimal cover of [d]: every rhs is a singleton, no lhs
+    contains an extraneous attribute, and no FD is redundant. The result is
+    equivalent to [d]. *)
+val minimal : Fd_set.t -> Fd_set.t
+
+(** [canonical d] is [minimal d] with right-hand sides of equal lhs merged
+    back together, sorted canonically; two equivalent FD sets over the same
+    attributes need not have equal canonical covers in general, but the
+    form is deterministic for a given input. *)
+val canonical : Fd_set.t -> Fd_set.t
+
+(** [remove_extraneous_lhs d fd] shrinks the lhs of [fd] as long as
+    equivalence with [d] is preserved (assumes [fd ∈ d]). *)
+val remove_extraneous_lhs : Fd_set.t -> Fd.t -> Fd.t
+
+(** [is_redundant d fd] holds iff [d ∖ {fd} ⊧ fd]. *)
+val is_redundant : Fd_set.t -> Fd.t -> bool
+
+(** [keys d ~attrs] is the list of minimal keys of a relation with
+    attribute set [attrs] under [d]: minimal [X ⊆ attrs] with
+    [cl_Δ(X) ⊇ attrs]. *)
+val keys : Fd_set.t -> attrs:Attr_set.t -> Attr_set.t list

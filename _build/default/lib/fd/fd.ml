@@ -1,0 +1,74 @@
+open Repair_relational
+
+type t = { lhs : Attr_set.t; rhs : Attr_set.t }
+
+let make lhs rhs = { lhs; rhs }
+let of_lists xs ys = make (Attr_set.of_list xs) (Attr_set.of_list ys)
+let lhs fd = fd.lhs
+let rhs fd = fd.rhs
+let is_trivial fd = Attr_set.subset fd.rhs fd.lhs
+let is_consensus fd = Attr_set.is_empty fd.lhs
+let is_unary fd = Attr_set.cardinal fd.lhs = 1
+let attrs fd = Attr_set.union fd.lhs fd.rhs
+
+let split fd =
+  Attr_set.fold (fun a acc -> make fd.lhs (Attr_set.singleton a) :: acc) fd.rhs []
+  |> List.rev
+
+let minus fd x =
+  make (Attr_set.diff fd.lhs x) (Attr_set.diff fd.rhs x)
+
+let holds_on schema t1 t2 fd =
+  (not (Tuple.agree_on schema t1 t2 fd.lhs))
+  || Tuple.agree_on schema t1 t2 fd.rhs
+
+let compare fd1 fd2 =
+  let c = Attr_set.compare fd1.lhs fd2.lhs in
+  if c <> 0 then c else Attr_set.compare fd1.rhs fd2.rhs
+
+let equal fd1 fd2 = compare fd1 fd2 = 0
+
+let parse_side s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char ',')
+  |> List.map String.trim
+  |> List.filter (fun tok -> tok <> "" && tok <> "∅")
+  |> Attr_set.of_list
+
+(* Accept both "->" and the UTF-8 arrow "→". *)
+let arrowized s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && s.[!i] = '-' && s.[!i + 1] = '>' then begin
+      Buffer.add_char b '\x01';
+      i := !i + 2
+    end
+    else if
+      !i + 2 < n
+      && Char.code s.[!i] = 0xE2
+      && Char.code s.[!i + 1] = 0x86
+      && Char.code s.[!i + 2] = 0x92
+    then begin
+      Buffer.add_char b '\x01';
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let parse s =
+  match String.split_on_char '\x01' (arrowized s) with
+  | [ l; r ] ->
+    let rhs = parse_side r in
+    if Attr_set.is_empty rhs then
+      failwith (Printf.sprintf "Fd.parse: empty right-hand side in %S" s);
+    make (parse_side l) rhs
+  | _ -> failwith (Printf.sprintf "Fd.parse: expected one arrow in %S" s)
+
+let pp ppf fd = Fmt.pf ppf "%a → %a" Attr_set.pp fd.lhs Attr_set.pp fd.rhs
+let to_string fd = Fmt.str "%a" pp fd

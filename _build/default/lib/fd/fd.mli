@@ -1,0 +1,52 @@
+(** Functional dependencies [X → Y] over a relation schema (Section 2.2).
+
+    Sides are attribute sets. An FD with an empty left-hand side is a
+    {e consensus} FD [∅ → Y]. *)
+
+open Repair_relational
+
+type t = private { lhs : Attr_set.t; rhs : Attr_set.t }
+
+(** [make lhs rhs] builds the FD [lhs → rhs]. *)
+val make : Attr_set.t -> Attr_set.t -> t
+
+(** [of_lists xs ys] is [make (of_list xs) (of_list ys)]. *)
+val of_lists : string list -> string list -> t
+
+val lhs : t -> Attr_set.t
+val rhs : t -> Attr_set.t
+
+(** [is_trivial fd] holds iff [rhs ⊆ lhs]. *)
+val is_trivial : t -> bool
+
+(** [is_consensus fd] holds iff the lhs is empty. *)
+val is_consensus : t -> bool
+
+(** [is_unary fd] holds iff the lhs is a single attribute. *)
+val is_unary : t -> bool
+
+(** Attributes appearing on either side. *)
+val attrs : t -> Attr_set.t
+
+(** [split fd] rewrites [X → A1...An] into [[X → A1; ...; X → An]],
+    preserving equivalence (the convention of Section 3). Trivial
+    right-hand-side attributes are kept. *)
+val split : t -> t list
+
+(** [minus fd x] removes the attributes of [x] from both sides
+    (the paper's [Δ − X] applied to one FD). *)
+val minus : t -> Attr_set.t -> t
+
+(** [holds_on schema t1 t2 fd] holds iff the pair [{t1, t2}] satisfies
+    [fd]: if they agree on the lhs they also agree on the rhs. *)
+val holds_on : Schema.t -> Tuple.t -> Tuple.t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [parse s] parses ["A B -> C D"]; an empty lhs parses the consensus FD.
+    @raise Failure on syntax errors. *)
+val parse : string -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,102 @@
+open Repair_relational
+module Iset = Set.Make (Int)
+
+module Tmap = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+(* One entry per FD: lhs projection -> (rhs projection -> supporting ids). *)
+type fd_entry = {
+  fd : Fd.t;
+  mutable groups : Iset.t Tmap.t Tmap.t;
+}
+
+type t = {
+  schema : Schema.t;
+  entries : fd_entry list;
+  ids : (Table.id, Tuple.t) Hashtbl.t;
+}
+
+let create d schema =
+  let fds = Fd_set.to_list (Fd_set.normalize d) in
+  {
+    schema;
+    entries = List.map (fun fd -> { fd; groups = Tmap.empty }) fds;
+    ids = Hashtbl.create 64;
+  }
+
+let project idx entry tuple =
+  ( Tuple.project idx.schema tuple (Fd.lhs entry.fd),
+    Tuple.project idx.schema tuple (Fd.rhs entry.fd) )
+
+let add idx id tuple =
+  if Hashtbl.mem idx.ids id then
+    invalid_arg (Printf.sprintf "Fd_index.add: id %d already indexed" id);
+  Hashtbl.add idx.ids id tuple;
+  List.iter
+    (fun entry ->
+      let lhs, rhs = project idx entry tuple in
+      let group = Option.value (Tmap.find_opt lhs entry.groups) ~default:Tmap.empty in
+      let ids = Option.value (Tmap.find_opt rhs group) ~default:Iset.empty in
+      entry.groups <- Tmap.add lhs (Tmap.add rhs (Iset.add id ids) group) entry.groups)
+    idx.entries
+
+let remove idx id tuple =
+  (match Hashtbl.find_opt idx.ids id with
+  | Some t when Tuple.equal t tuple -> Hashtbl.remove idx.ids id
+  | _ -> invalid_arg "Fd_index.remove: id/tuple not indexed");
+  List.iter
+    (fun entry ->
+      let lhs, rhs = project idx entry tuple in
+      match Tmap.find_opt lhs entry.groups with
+      | None -> ()
+      | Some group ->
+        let ids = Option.value (Tmap.find_opt rhs group) ~default:Iset.empty in
+        let ids = Iset.remove id ids in
+        let group =
+          if Iset.is_empty ids then Tmap.remove rhs group
+          else Tmap.add rhs ids group
+        in
+        entry.groups <-
+          (if Tmap.is_empty group then Tmap.remove lhs entry.groups
+           else Tmap.add lhs group entry.groups))
+    idx.entries
+
+let build d tbl =
+  let idx = create d (Table.schema tbl) in
+  Table.iter (fun i t _ -> add idx i t) tbl;
+  idx
+
+let conflicts idx tuple =
+  List.fold_left
+    (fun acc entry ->
+      let lhs, rhs = project idx entry tuple in
+      match Tmap.find_opt lhs entry.groups with
+      | None -> acc
+      | Some group ->
+        Tmap.fold
+          (fun rhs' ids acc ->
+            if Tuple.equal rhs rhs' then acc else Iset.union ids acc)
+          group acc)
+    Iset.empty idx.entries
+  |> Iset.elements
+
+let compatible idx tuple =
+  List.for_all
+    (fun entry ->
+      let lhs, rhs = project idx entry tuple in
+      match Tmap.find_opt lhs entry.groups with
+      | None -> true
+      | Some group ->
+        (* consistent iff the group holds no other rhs projection *)
+        Tmap.for_all (fun rhs' _ -> Tuple.equal rhs rhs') group)
+    idx.entries
+
+let size idx = Hashtbl.length idx.ids
+
+let is_consistent idx =
+  List.for_all
+    (fun entry -> Tmap.for_all (fun _ group -> Tmap.cardinal group <= 1) entry.groups)
+    idx.entries

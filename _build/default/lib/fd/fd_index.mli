@@ -1,0 +1,44 @@
+(** Incremental FD consistency index.
+
+    A hash index per FD, keyed by the lhs projection and mapping to the
+    rhs projections present (with the supporting tuple ids). It answers
+    "which tuples would this candidate conflict with?" in expected O(|Δ|)
+    time instead of scanning the table, and supports insertion and
+    deletion — the building block a production cleaner uses for
+    tuple-at-a-time maintenance (e.g. extending a consistent subset to a
+    maximal one, or validating a stream of inserts). *)
+
+open Repair_relational
+
+type t
+
+(** [create d schema] is an empty index for the (normalized) FD set. *)
+val create : Fd_set.t -> Schema.t -> t
+
+(** [build d tbl] indexes every tuple of [tbl]. *)
+val build : Fd_set.t -> Table.t -> t
+
+(** [add idx id tuple] indexes a tuple (its consistency is {e not}
+    checked — indices may deliberately hold inconsistent data).
+
+    @raise Invalid_argument if [id] is already indexed. *)
+val add : t -> Table.id -> Tuple.t -> unit
+
+(** [remove idx id tuple] un-indexes a tuple.
+
+    @raise Invalid_argument if [id] is not indexed with this tuple. *)
+val remove : t -> Table.id -> Tuple.t -> unit
+
+(** [conflicts idx tuple] — ids of indexed tuples that agree with [tuple]
+    on some FD's lhs but disagree on its rhs (deduplicated, sorted). *)
+val conflicts : t -> Tuple.t -> Table.id list
+
+(** [compatible idx tuple] is [conflicts idx tuple = []], computed with
+    early exit. *)
+val compatible : t -> Tuple.t -> bool
+
+(** [size idx] — number of indexed tuples. *)
+val size : t -> int
+
+(** [is_consistent idx] — no indexed pair violates any FD. *)
+val is_consistent : t -> bool

@@ -1,0 +1,103 @@
+open Repair_relational
+
+type fragment = { attrs : Attr_set.t; fds : Fd_set.t }
+
+let project d ~onto =
+  (* Entailed FDs within [onto]: for each X ⊆ onto, X → (cl(X) ∩ onto).
+     Reduced to a minimal cover for readability. *)
+  let fds =
+    Attr_set.subsets onto
+    |> List.filter_map (fun x ->
+           let rhs = Attr_set.diff (Attr_set.inter (Fd_set.closure_of d x) onto) x in
+           if Attr_set.is_empty rhs then None else Some (Fd.make x rhs))
+  in
+  Cover.minimal (Fd_set.of_list fds)
+
+let is_superkey d ~attrs x = Attr_set.subset attrs (Fd_set.closure_of d x)
+
+let prime_attrs d ~attrs =
+  Cover.keys d ~attrs
+  |> List.fold_left Attr_set.union Attr_set.empty
+
+let violating_fd d ~attrs =
+  Fd_set.to_list (Fd_set.normalize d)
+  |> List.find_opt (fun fd ->
+         (not (Fd.is_trivial fd)) && not (is_superkey d ~attrs (Fd.lhs fd)))
+
+let is_bcnf d ~attrs =
+  (* It suffices to check the FDs of (a cover of) the projection. *)
+  violating_fd (project d ~onto:attrs) ~attrs = None
+
+let is_3nf d ~attrs =
+  let proj = project d ~onto:attrs in
+  let prime = prime_attrs proj ~attrs in
+  Fd_set.to_list (Fd_set.normalize proj)
+  |> List.for_all (fun fd ->
+         Fd.is_trivial fd
+         || is_superkey proj ~attrs (Fd.lhs fd)
+         || Attr_set.subset (Fd.rhs fd) prime)
+
+let bcnf_decompose d ~attrs =
+  let rec split attrs =
+    let proj = project d ~onto:attrs in
+    match violating_fd proj ~attrs with
+    | None -> [ { attrs; fds = proj } ]
+    | Some fd ->
+      let x = Fd.lhs fd in
+      let clx = Attr_set.inter (Fd_set.closure_of proj x) attrs in
+      let left = clx in
+      let right = Attr_set.union x (Attr_set.diff attrs clx) in
+      split left @ split right
+  in
+  split attrs
+
+let synthesize_3nf d ~attrs =
+  let cover = Cover.canonical d in
+  let fragments =
+    Fd_set.to_list cover
+    |> List.map (fun fd -> Fd.attrs fd)
+    (* drop fragments contained in others *)
+    |> fun sets ->
+    List.filter
+      (fun s ->
+        not
+          (List.exists
+             (fun s' -> Attr_set.strict_subset s s')
+             sets))
+      sets
+    |> List.sort_uniq Attr_set.compare
+  in
+  let fragments =
+    (* Add a key fragment when no fragment contains a key of [attrs]. *)
+    let keys = Cover.keys d ~attrs in
+    let contains_key s = List.exists (fun k -> Attr_set.subset k s) keys in
+    if List.exists contains_key fragments then fragments
+    else
+      (match keys with
+      | [] -> fragments
+      | k :: _ -> k :: fragments)
+  in
+  (* Attributes in no FD must still be stored somewhere: attach them as a
+     fragment with the key (standard completeness fix). *)
+  let covered = List.fold_left Attr_set.union Attr_set.empty fragments in
+  let loose = Attr_set.diff attrs covered in
+  let fragments =
+    if Attr_set.is_empty loose then fragments
+    else
+      match Cover.keys d ~attrs with
+      | k :: _ -> Attr_set.union k loose :: fragments
+      | [] -> loose :: fragments
+  in
+  List.map (fun s -> { attrs = s; fds = project d ~onto:s }) fragments
+
+let decompose_table schema tbl fragment_attrs =
+  let names =
+    Schema.indices_of schema fragment_attrs
+    |> List.map (Schema.attribute_at schema)
+  in
+  let sub_schema = Schema.make (Schema.name schema ^ "_frag") names in
+  let distinct = Table.project_distinct tbl fragment_attrs in
+  (sub_schema, Table.of_tuples sub_schema distinct)
+
+let pp_fragment ppf f =
+  Fmt.pf ppf "R(%a) with %a" Attr_set.pp f.attrs Fd_set.pp f.fds

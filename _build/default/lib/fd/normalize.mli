@@ -1,0 +1,42 @@
+(** Schema normalization: BCNF decomposition and 3NF synthesis.
+
+    Not part of the paper's results, but the natural companion toolkit: a
+    schema in BCNF admits no FD violations beyond key violations, i.e.
+    normalization is the {e schema-level} counterpart of repairing. *)
+
+open Repair_relational
+
+(** A decomposed fragment: its attributes and the projection of Δ onto
+    them. *)
+type fragment = { attrs : Attr_set.t; fds : Fd_set.t }
+
+(** [project d ~onto] is the projection of Δ onto an attribute set: all
+    entailed FDs X → A with X ∪ {A} ⊆ onto, given as a minimal cover
+    (exponential in |onto|, fine for fixed schemas). *)
+val project : Fd_set.t -> onto:Attr_set.t -> Fd_set.t
+
+(** [is_bcnf d ~attrs] — every nontrivial entailed FD over [attrs] has a
+    super-key lhs. *)
+val is_bcnf : Fd_set.t -> attrs:Attr_set.t -> bool
+
+(** [is_3nf d ~attrs] — every nontrivial entailed FD has a super-key lhs
+    or a prime rhs attribute (member of some key). *)
+val is_3nf : Fd_set.t -> attrs:Attr_set.t -> bool
+
+(** [bcnf_decompose d ~attrs] is the classic BCNF decomposition: split on
+    a violating FD [X → Y] into [cl(X) ∩ attrs] and [X ∪ (attrs ∖ cl(X))]
+    until every fragment is in BCNF. Lossless-join by construction; may
+    lose dependencies. *)
+val bcnf_decompose : Fd_set.t -> attrs:Attr_set.t -> fragment list
+
+(** [synthesize_3nf d ~attrs] is the 3NF synthesis algorithm over a
+    minimal cover: one fragment per lhs group, plus a key fragment if no
+    fragment contains a key. Lossless and dependency-preserving. *)
+val synthesize_3nf : Fd_set.t -> attrs:Attr_set.t -> fragment list
+
+(** [decompose_table schema tbl fragment_attrs] projects a table onto a
+    fragment (removing duplicate projections and re-numbering ids 1..n,
+    unit weights). *)
+val decompose_table : Schema.t -> Table.t -> Attr_set.t -> Schema.t * Table.t
+
+val pp_fragment : Format.formatter -> fragment -> unit

@@ -1,0 +1,1 @@
+lib/graph/vertex_cover.ml: Array Graph Int List Max_flow Set

@@ -1,0 +1,122 @@
+let validate w =
+  let n1 = Array.length w in
+  if n1 = 0 then 0
+  else begin
+    let n2 = Array.length w.(0) in
+    Array.iter
+      (fun row ->
+        if Array.length row <> n2 then
+          invalid_arg "Bipartite_matching: ragged matrix";
+        Array.iter
+          (fun x ->
+            if x < 0.0 then
+              invalid_arg "Bipartite_matching: negative weight")
+          row)
+      w;
+    n2
+  end
+
+let matching_weight w pairs =
+  List.fold_left (fun acc (i, j) -> acc +. w.(i).(j)) 0.0 pairs
+
+let is_matching pairs =
+  let rows = List.map fst pairs and cols = List.map snd pairs in
+  let distinct xs = List.length (List.sort_uniq Stdlib.compare xs) = List.length xs in
+  distinct rows && distinct cols
+
+(* Hungarian algorithm (shortest augmenting paths with potentials), in its
+   minimization form on a rows ≤ columns rectangular cost matrix; the
+   classic O(n²m) implementation with 1-based arrays. *)
+let hungarian_min cost n m =
+  (* cost is n x m with n <= m; returns col_of_row array. *)
+  let inf = infinity in
+  let u = Array.make (n + 1) 0.0 in
+  let v = Array.make (m + 1) 0.0 in
+  let p = Array.make (m + 1) 0 in
+  let way = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (m + 1) inf in
+    let used = Array.make (m + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref inf in
+      let j1 = ref 0 in
+      for j = 1 to m do
+        if not used.(j) then begin
+          let cur = cost.(i0 - 1).(j - 1) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to m do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* Augment along the alternating path. *)
+    let j0 = ref !j0 in
+    while !j0 <> 0 do
+      let j1 = way.(!j0) in
+      p.(!j0) <- p.(j1);
+      j0 := j1
+    done
+  done;
+  let col_of_row = Array.make n (-1) in
+  for j = 1 to m do
+    if p.(j) > 0 then col_of_row.(p.(j) - 1) <- j - 1
+  done;
+  col_of_row
+
+let solve w =
+  let n1 = Array.length w in
+  let n2 = validate w in
+  if n1 = 0 || n2 = 0 then ([], 0.0)
+  else begin
+    (* Maximize by minimizing the negated weights; append n1 zero-cost dummy
+       columns so a row may profitably stay unmatched. *)
+    let m = n2 + n1 in
+    let cost =
+      Array.init n1 (fun i ->
+          Array.init m (fun j -> if j < n2 then -.w.(i).(j) else 0.0))
+    in
+    let col_of_row = hungarian_min cost n1 m in
+    let pairs = ref [] in
+    Array.iteri
+      (fun i j -> if j >= 0 && j < n2 && w.(i).(j) > 0.0 then pairs := (i, j) :: !pairs)
+      col_of_row;
+    let pairs = List.rev !pairs in
+    (pairs, matching_weight w pairs)
+  end
+
+let brute_force w =
+  let n1 = Array.length w in
+  let n2 = validate w in
+  let best = ref ([], 0.0) in
+  let rec go i used acc acc_w =
+    if acc_w > snd !best then best := (List.rev acc, acc_w);
+    if i < n1 then begin
+      (* Leave row i unmatched. *)
+      go (i + 1) used acc acc_w;
+      for j = 0 to n2 - 1 do
+        if (not (List.mem j used)) && w.(i).(j) > 0.0 then
+          go (i + 1) (j :: used) ((i, j) :: acc) (acc_w +. w.(i).(j))
+      done
+    end
+  in
+  go 0 [] [] 0.0;
+  !best

@@ -1,0 +1,27 @@
+(** Maximum-weight bipartite matching.
+
+    Subroutine [MarriageRep] of Algorithm 1 reduces the lhs-marriage case to
+    a maximum-weight matching of a weighted bipartite graph; the paper notes
+    that the Hungarian algorithm solves it in polynomial time. We implement
+    the O(n³) shortest-augmenting-path form with potentials, allowing
+    vertices to stay unmatched (via zero-cost dummy columns), plus a
+    brute-force reference for testing. *)
+
+(** [solve w] takes an [n1 × n2] weight matrix (nonnegative entries;
+    [w.(i).(j) = 0.] means "no edge / worthless edge") and returns a
+    maximum-weight matching as a list of [(i, j)] pairs with positive
+    weight, each row and column used at most once, together with its total
+    weight.
+
+    @raise Invalid_argument on ragged or negatively-weighted input. *)
+val solve : float array array -> (int * int) list * float
+
+(** [brute_force w] is the same by exhaustive search — exponential, for
+    cross-checking on small matrices. *)
+val brute_force : float array array -> (int * int) list * float
+
+(** [matching_weight w pairs] sums [w.(i).(j)] over the pairs. *)
+val matching_weight : float array array -> (int * int) list -> float
+
+(** [is_matching pairs] checks that no row or column repeats. *)
+val is_matching : (int * int) list -> bool

@@ -1,0 +1,89 @@
+module Iset = Set.Make (Int)
+
+type t = {
+  weights : float array;
+  adj : Iset.t array;
+  mutable n_edges : int;
+}
+
+let create_weighted weights =
+  Array.iter
+    (fun w ->
+      if w <= 0.0 then invalid_arg "Graph.create_weighted: nonpositive weight")
+    weights;
+  {
+    weights = Array.copy weights;
+    adj = Array.make (Array.length weights) Iset.empty;
+    n_edges = 0;
+  }
+
+let create n = create_weighted (Array.make n 1.0)
+
+let check_vertex g v =
+  if v < 0 || v >= Array.length g.weights then
+    invalid_arg (Printf.sprintf "Graph: vertex %d out of range" v)
+
+let add_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if not (Iset.mem v g.adj.(u)) then begin
+    g.adj.(u) <- Iset.add v g.adj.(u);
+    g.adj.(v) <- Iset.add u g.adj.(v);
+    g.n_edges <- g.n_edges + 1
+  end
+
+let of_edges ?weights n edge_list =
+  let g =
+    match weights with
+    | Some w ->
+      if Array.length w <> n then
+        invalid_arg "Graph.of_edges: weights length mismatch";
+      create_weighted w
+    | None -> create n
+  in
+  List.iter (fun (u, v) -> add_edge g u v) edge_list;
+  g
+
+let n_vertices g = Array.length g.weights
+let n_edges g = g.n_edges
+let weight g v =
+  check_vertex g v;
+  g.weights.(v)
+
+let total_weight g = Array.fold_left ( +. ) 0.0 g.weights
+
+let mem_edge g u v =
+  check_vertex g u;
+  check_vertex g v;
+  Iset.mem v g.adj.(u)
+
+let neighbours g v =
+  check_vertex g v;
+  Iset.elements g.adj.(v)
+
+let degree g v =
+  check_vertex g v;
+  Iset.cardinal g.adj.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  Array.iter (fun s -> best := max !best (Iset.cardinal s)) g.adj;
+  !best
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  Array.iteri
+    (fun u s -> Iset.iter (fun v -> if u < v then acc := f (u, v) !acc) s)
+    g.adj;
+  !acc
+
+let edges g = List.rev (fold_edges (fun e acc -> e :: acc) g [])
+
+let subgraph_weight g vs =
+  List.fold_left (fun acc v -> acc +. weight g v) 0.0 vs
+
+let pp ppf g =
+  Fmt.pf ppf "graph(n=%d, m=%d, edges=[%a])" (n_vertices g) (n_edges g)
+    Fmt.(list ~sep:(any "; ") (pair ~sep:(any ",") int int))
+    (edges g)

@@ -1,0 +1,46 @@
+(** Simple undirected graphs with vertex weights.
+
+    Vertices are integers [0 .. n-1]. Parallel edges and self-loops are
+    rejected. This is the substrate for the vertex-cover view of subset
+    repairs (Proposition 3.3) and for the hardness gadgets. *)
+
+type t
+
+(** [create n] is the edgeless graph on [n] vertices with unit weights. *)
+val create : int -> t
+
+(** [create_weighted weights] uses the given vertex weights.
+    @raise Invalid_argument if a weight is not positive. *)
+val create_weighted : float array -> t
+
+(** [add_edge g u v] adds the undirected edge [{u, v}]; adding an existing
+    edge is a no-op.
+    @raise Invalid_argument on self-loops or out-of-range vertices. *)
+val add_edge : t -> int -> int -> unit
+
+(** [of_edges ?weights n edges] bulk-builds a graph. *)
+val of_edges : ?weights:float array -> int -> (int * int) list -> t
+
+val n_vertices : t -> int
+val n_edges : t -> int
+val weight : t -> int -> float
+val total_weight : t -> float
+
+(** [mem_edge g u v] tests edge presence (symmetric). *)
+val mem_edge : t -> int -> int -> bool
+
+(** Neighbours of a vertex, ascending. *)
+val neighbours : t -> int -> int list
+
+val degree : t -> int -> int
+val max_degree : t -> int
+
+(** Edges as pairs [(u, v)] with [u < v], lexicographic. *)
+val edges : t -> (int * int) list
+
+val fold_edges : ((int * int) -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [subgraph_weight g vs] sums the weights of the listed vertices. *)
+val subgraph_weight : t -> int list -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+(* Dinic's algorithm with an adjacency-array edge list: edges are stored in
+   pairs so that [e lxor 1] is the reverse edge of [e]. *)
+
+type t = {
+  n : int;
+  mutable head : int array; (* edge target *)
+  mutable cap : float array; (* residual capacity *)
+  adj : int list array; (* edge indices leaving each node *)
+  mutable n_edges : int;
+  mutable level : int array;
+  mutable iter : int list array;
+  mutable original_cap : float array;
+}
+
+let create n =
+  {
+    n;
+    head = Array.make 16 0;
+    cap = Array.make 16 0.0;
+    adj = Array.make n [];
+    n_edges = 0;
+    level = Array.make n (-1);
+    iter = Array.make n [];
+    original_cap = [||];
+  }
+
+let ensure_capacity net needed =
+  let len = Array.length net.head in
+  if needed > len then begin
+    let len' = max needed (2 * len) in
+    let head' = Array.make len' 0 and cap' = Array.make len' 0.0 in
+    Array.blit net.head 0 head' 0 len;
+    Array.blit net.cap 0 cap' 0 len;
+    net.head <- head';
+    net.cap <- cap'
+  end
+
+let add_edge net u v capacity =
+  if capacity < 0.0 then invalid_arg "Max_flow.add_edge: negative capacity";
+  if u < 0 || u >= net.n || v < 0 || v >= net.n then
+    invalid_arg "Max_flow.add_edge: node out of range";
+  ensure_capacity net (net.n_edges + 2);
+  let e = net.n_edges in
+  net.head.(e) <- v;
+  net.cap.(e) <- capacity;
+  net.head.(e + 1) <- u;
+  net.cap.(e + 1) <- 0.0;
+  net.adj.(u) <- e :: net.adj.(u);
+  net.adj.(v) <- (e + 1) :: net.adj.(v);
+  net.n_edges <- net.n_edges + 2
+
+let bfs net source =
+  Array.fill net.level 0 net.n (-1);
+  net.level.(source) <- 0;
+  let q = Queue.create () in
+  Queue.add source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun e ->
+        let v = net.head.(e) in
+        if net.cap.(e) > 1e-12 && net.level.(v) < 0 then begin
+          net.level.(v) <- net.level.(u) + 1;
+          Queue.add v q
+        end)
+      net.adj.(u)
+  done
+
+let rec dfs net u sink pushed =
+  if u = sink then pushed
+  else begin
+    let rec try_edges () =
+      match net.iter.(u) with
+      | [] -> 0.0
+      | e :: rest ->
+        let v = net.head.(e) in
+        if net.cap.(e) > 1e-12 && net.level.(v) = net.level.(u) + 1 then begin
+          let d = dfs net v sink (min pushed net.cap.(e)) in
+          if d > 1e-12 then begin
+            net.cap.(e) <- net.cap.(e) -. d;
+            net.cap.(e lxor 1) <- net.cap.(e lxor 1) +. d;
+            d
+          end
+          else begin
+            net.iter.(u) <- rest;
+            try_edges ()
+          end
+        end
+        else begin
+          net.iter.(u) <- rest;
+          try_edges ()
+        end
+    in
+    try_edges ()
+  end
+
+let max_flow net ~source ~sink =
+  if source = sink then invalid_arg "Max_flow.max_flow: source = sink";
+  (* Reset residual capacities so repeated calls start fresh. *)
+  if Array.length net.original_cap <> net.n_edges then
+    net.original_cap <- Array.sub net.cap 0 net.n_edges
+  else Array.blit net.original_cap 0 net.cap 0 net.n_edges;
+  let flow = ref 0.0 in
+  let continue = ref true in
+  while !continue do
+    bfs net source;
+    if net.level.(sink) < 0 then continue := false
+    else begin
+      net.iter <- Array.copy net.adj;
+      let rec push () =
+        let f = dfs net source sink infinity in
+        if f > 1e-12 then begin
+          flow := !flow +. f;
+          push ()
+        end
+      in
+      push ()
+    end
+  done;
+  !flow
+
+let min_cut_side net ~source =
+  bfs net source;
+  let side = ref [] in
+  for v = net.n - 1 downto 0 do
+    if net.level.(v) >= 0 then side := v :: !side
+  done;
+  !side

@@ -1,0 +1,31 @@
+(** Maximum flow / minimum cut (Dinic's algorithm).
+
+    Substrate for the LP-based vertex-cover lower bound
+    ({!Vertex_cover.lp_lower_bound}): the LP relaxation of weighted vertex
+    cover is half-integral and computable as half the minimum weighted
+    vertex cover of the bipartite double cover, which by König-style
+    duality is a minimum s-t cut. Capacities are floats; [infinity] is a
+    legal capacity. O(V²E) worst case — comfortably fast at conflict-graph
+    scale. *)
+
+type t
+
+(** [create n] — a flow network on nodes [0 .. n-1]. *)
+val create : int -> t
+
+(** [add_edge net u v capacity] adds a directed edge (and its residual
+    reverse edge of capacity 0).
+
+    @raise Invalid_argument on negative capacity or bad nodes. *)
+val add_edge : t -> int -> int -> float -> unit
+
+(** [max_flow net ~source ~sink] computes the maximum flow value.
+    Resets any previous flow first, so it can be called repeatedly.
+
+    @raise Invalid_argument if [source = sink]. *)
+val max_flow : t -> source:int -> sink:int -> float
+
+(** [min_cut_side net ~source] — after {!max_flow}, the set of nodes
+    reachable from [source] in the residual network (the source side of a
+    minimum cut), sorted. *)
+val min_cut_side : t -> source:int -> int list

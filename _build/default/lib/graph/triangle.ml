@@ -1,0 +1,77 @@
+type triangle = int * int * int
+
+let enumerate g =
+  let n = Graph.n_vertices g in
+  let ts = ref [] in
+  for u = 0 to n - 1 do
+    let nu = Graph.neighbours g u in
+    List.iter
+      (fun v ->
+        if v > u then
+          List.iter
+            (fun w -> if w > v && Graph.mem_edge g v w then ts := (u, v, w) :: !ts)
+            nu)
+      nu
+  done;
+  List.sort Stdlib.compare !ts
+
+let edges_of (a, b, c) = [ (a, b); (a, c); (b, c) ]
+
+module Eset = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+let edge_disjoint ts =
+  let rec go seen = function
+    | [] -> true
+    | t :: rest ->
+      let es = Eset.of_list (edges_of t) in
+      Eset.disjoint es seen && go (Eset.union es seen) rest
+  in
+  go Eset.empty ts
+
+let greedy_packing g =
+  let rec go taken used = function
+    | [] -> List.rev taken
+    | t :: rest ->
+      let es = Eset.of_list (edges_of t) in
+      if Eset.disjoint es used then go (t :: taken) (Eset.union es used) rest
+      else go taken used rest
+  in
+  go [] Eset.empty (enumerate g)
+
+let max_packing g =
+  let all = Array.of_list (enumerate g) in
+  let n = Array.length all in
+  let best = ref [] in
+  let rec go i taken count used =
+    (* Remaining triangles bound the achievable count. *)
+    if count + (n - i) <= List.length !best then ()
+    else if i = n then begin
+      if count > List.length !best then best := List.rev taken
+    end
+    else begin
+      let t = all.(i) in
+      let es = Eset.of_list (edges_of t) in
+      if Eset.disjoint es used then
+        go (i + 1) (t :: taken) (count + 1) (Eset.union es used);
+      go (i + 1) taken count used
+    end
+  in
+  go 0 [] 0 Eset.empty;
+  !best
+
+let tripartite_of_parts p1 p2 p3 edge_list =
+  let part v =
+    if v < p1 then 0 else if v < p1 + p2 then 1 else 2
+  in
+  let g = Graph.create (p1 + p2 + p3) in
+  List.iter
+    (fun (u, v) ->
+      if part u = part v then
+        invalid_arg "Triangle.tripartite_of_parts: intra-part edge";
+      Graph.add_edge g u v)
+    edge_list;
+  g

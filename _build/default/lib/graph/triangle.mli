@@ -1,0 +1,31 @@
+(** Triangles and edge-disjoint triangle packing.
+
+    The APX-hardness of the FD set [Δ_{AB↔AC↔BC}] is proved by reduction
+    from maximum edge-disjoint triangle packing in bounded-degree tripartite
+    graphs (Lemma A.11, after Amini et al.). This module supplies the
+    source problem: triangle enumeration, an exact packing solver for the
+    baseline, and a greedy packing. *)
+
+(** A triangle, as a sorted vertex triple. *)
+type triangle = int * int * int
+
+(** [enumerate g] lists all triangles of [g], each with sorted vertices,
+    lexicographically. *)
+val enumerate : Graph.t -> triangle list
+
+(** [edge_disjoint ts] checks pairwise edge-disjointness. *)
+val edge_disjoint : triangle list -> bool
+
+(** [max_packing g] is a maximum-cardinality edge-disjoint set of
+    triangles, by branch and bound (exponential; for small baselines). *)
+val max_packing : Graph.t -> triangle list
+
+(** [greedy_packing g] takes triangles first-fit — a 1/3-approximation. *)
+val greedy_packing : Graph.t -> triangle list
+
+(** [tripartite_of_parts p1 p2 p3 edges] builds a tripartite graph whose
+    parts are [0..p1-1], [p1..p1+p2-1], [p1+p2..p1+p2+p3-1]; edges crossing
+    within a part are rejected.
+
+    @raise Invalid_argument if an edge stays inside one part. *)
+val tripartite_of_parts : int -> int -> int -> (int * int) list -> Graph.t

@@ -1,0 +1,1 @@
+lib/mixed/mixed_exact.ml: Array Fd_set List Repair_fd Repair_relational Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/mixed/mixed_exact.mli: Fd_set Repair_fd Repair_relational Table

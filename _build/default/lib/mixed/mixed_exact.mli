@@ -1,0 +1,44 @@
+(** Mixed-operation repairs — the third extension direction of Section 5:
+    allow deletions {e and} value updates in one repair, with the cost of
+    deleting tuple [i] being [delete_factor · w(i)] and the cost of each
+    cell update being [w(i)] (the paper's per-tuple weights).
+
+    With [delete_factor = 1] a deletion costs the same as one cell update,
+    so mixing strictly generalizes both repair notions:
+    the optimal mixed cost is at most the minimum of the optimal subset
+    and update distances — we test exactly that. The solver is an exponential baseline in the spirit of
+    {!Repair_urepair.U_exact}: iterative deepening over the number of
+    operations, with per-column candidate values (active domain + shared
+    fresh constants). *)
+
+open Repair_relational
+open Repair_fd
+
+type outcome = {
+  result : Table.t;  (** the surviving, possibly updated tuples *)
+  deleted : Table.id list;
+  cost : float;
+}
+
+(** [optimal ?delete_factor ?fresh ?max_cells d tbl] computes a
+    minimum-cost mixed repair. [delete_factor] defaults to 1.0 (a deletion
+    costs one cell update of the same tuple).
+
+    @raise Invalid_argument if the instance exceeds [max_cells] (default
+    21) cells. *)
+val optimal :
+  ?delete_factor:float ->
+  ?fresh:int ->
+  ?max_cells:int ->
+  Fd_set.t ->
+  Table.t ->
+  outcome
+
+(** [cost ?delete_factor ?fresh ?max_cells d tbl] is the optimal cost. *)
+val cost :
+  ?delete_factor:float ->
+  ?fresh:int ->
+  ?max_cells:int ->
+  Fd_set.t ->
+  Table.t ->
+  float

@@ -1,0 +1,1 @@
+lib/mpd/mpd.ml: Array Fd_set Prob_table Repair_fd Repair_relational Repair_srepair Result Table

@@ -1,0 +1,1 @@
+lib/mpd/mpd.mli: Fd_set Prob_table Repair_fd Repair_relational Table

@@ -1,0 +1,1 @@
+lib/mpd/prob_table.ml: List Printf Repair_relational Table

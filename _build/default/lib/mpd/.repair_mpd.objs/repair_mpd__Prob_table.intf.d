@@ -1,0 +1,1 @@
+lib/mpd/prob_table.mli: Repair_relational Table

@@ -1,0 +1,74 @@
+open Repair_relational
+open Repair_fd
+
+type strategy = Poly | Exact_search
+
+let log_odds p = log (p /. (1.0 -. p))
+
+let weights_of_probabilities pt =
+  let tbl = Prob_table.table pt in
+  (* Tuples with p ≤ 1/2 can always be excluded without hurting the
+     probability, so they leave the instance. *)
+  let uncertain =
+    Table.select tbl (fun i _ ->
+        let w = Table.weight tbl i in
+        w > 0.5 && w < 1.0)
+  in
+  let big =
+    1.0 +. Table.fold (fun _ _ p acc -> acc +. log_odds p) uncertain 0.0
+  in
+  (* Certain tuples get a weight exceeding everything else combined: no
+     optimal repair will delete one unless forced by inconsistency among
+     certain tuples (handled by the caller). *)
+  Table.fold
+    (fun i t p acc ->
+      if p >= 1.0 then Table.add ~id:i ~weight:big acc t
+      else if p > 0.5 then Table.add ~id:i ~weight:(log_odds p) acc t
+      else acc)
+    tbl
+    (Table.empty (Table.schema tbl))
+
+let solve ~strategy d pt =
+  let tbl = Prob_table.table pt in
+  let certain_ids = Prob_table.certain pt in
+  let certain_tbl = Table.restrict tbl certain_ids in
+  if not (Fd_set.satisfied_by d certain_tbl) then
+    (* Every world containing all certain tuples is inconsistent, and every
+       world must contain them: probability 0 across the board. *)
+    Ok None
+  else
+    let weighted = weights_of_probabilities pt in
+    let repair =
+      match strategy with
+      | Poly -> Repair_srepair.Opt_s_repair.run d weighted
+      | Exact_search -> Ok (Repair_srepair.S_exact.optimal d weighted)
+    in
+    Result.map (fun s -> Some (Table.restrict tbl (Table.ids s))) repair
+
+let brute_force d pt =
+  let tbl = Prob_table.table pt in
+  let ids = Array.of_list (Table.ids tbl) in
+  let n = Array.length ids in
+  if n > 20 then invalid_arg "Mpd.brute_force: table too large";
+  let best = ref (Table.empty (Table.schema tbl)) in
+  let best_p = ref neg_infinity in
+  for mask = 0 to (1 lsl n) - 1 do
+    let keep = ref [] in
+    for b = 0 to n - 1 do
+      if mask land (1 lsl b) <> 0 then keep := ids.(b) :: !keep
+    done;
+    let s = Table.restrict tbl !keep in
+    if Fd_set.satisfied_by d s then begin
+      let p = Prob_table.log_probability pt s in
+      if p > !best_p then begin
+        best := s;
+        best_p := p
+      end
+    end
+  done;
+  !best
+
+let of_unweighted_table ?(p = 0.9) tbl =
+  if p <= 0.5 || p >= 1.0 then
+    invalid_arg "Mpd.of_unweighted_table: p must lie in (1/2, 1)";
+  Prob_table.of_table (Table.map_weights tbl (fun _ _ -> p))

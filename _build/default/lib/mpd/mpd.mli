@@ -1,0 +1,53 @@
+(** The Most Probable Database problem (Section 3.4).
+
+    Given a tuple-independent probabilistic table and a set Δ of FDs, find
+    the consistent subset of maximal probability. Theorem 3.10 settles its
+    complexity via reductions to and from optimal S-repairing:
+
+    - {e to S-repairs}: certain tuples must jointly satisfy Δ (else every
+      consistent world containing them has probability 0 and we return the
+      most probable consistent world ignoring them); tuples with
+      probability ≤ 1/2 may be deleted for free, so they are dropped; the
+      rest get weight [log(p/(1−p))] and an optimal (max-weight-kept)
+      S-repair is the most probable database;
+    - {e from S-repairs}: give every tuple of an unweighted table
+      probability 0.9 — a most probable world is then a maximum-cardinality
+      consistent subset.
+
+    [OSRSucceeds(Δ)] therefore decides MPD's tractability for {e all} FD
+    sets, closing the open problem of Gribkoff, Van den Broeck and
+    Suciu. *)
+
+open Repair_relational
+open Repair_fd
+
+(** How to solve the weighted S-repair instance the reduction produces. *)
+type strategy =
+  | Poly  (** Algorithm 1; fails on the hard side of the dichotomy *)
+  | Exact_search  (** branch-and-bound baseline, any Δ, small tables *)
+
+(** [solve ~strategy d pt] is a most probable database of [pt] w.r.t. [d].
+    [Error stuck] is returned only under [Poly] when OSRSucceeds fails.
+
+    Certain tuples (probability 1) are handled as in the paper: if they
+    conflict, the answer is an arbitrary maximally-probable world — we
+    return [Ok None]; otherwise [Ok (Some world)]. *)
+val solve :
+  strategy:strategy ->
+  Fd_set.t ->
+  Prob_table.t ->
+  (Table.t option, Fd_set.t) result
+
+(** [brute_force d pt] maximizes Equation (2) over all 2^n subsets — for
+    validation on tiny tables. *)
+val brute_force : Fd_set.t -> Prob_table.t -> Table.t
+
+(** [weights_of_probabilities pt] is the table with weight
+    [log(p/(1−p))] per tuple, after dropping p ≤ 1/2 tuples and clamping
+    certain tuples — the exact instance the reduction solves. Exposed for
+    inspection and testing. *)
+val weights_of_probabilities : Prob_table.t -> Table.t
+
+(** [of_unweighted_table tbl ~p] is the reverse reduction: assign fixed
+    probability [p] (default 0.9) to each tuple of an unweighted table. *)
+val of_unweighted_table : ?p:float -> Table.t -> Prob_table.t

@@ -1,0 +1,33 @@
+open Repair_relational
+
+type t = Table.t
+
+let of_table tbl =
+  Table.iter
+    (fun i _ w ->
+      if w > 1.0 then
+        invalid_arg
+          (Printf.sprintf "Prob_table.of_table: weight of tuple %d exceeds 1" i))
+    tbl;
+  tbl
+
+let table pt = pt
+
+let probability pt s =
+  if not (Table.is_subset_of s pt) then
+    invalid_arg "Prob_table.probability: not a subset";
+  Table.fold
+    (fun i _ w acc -> acc *. (if Table.mem s i then w else 1.0 -. w))
+    pt 1.0
+
+let log_probability pt s =
+  if not (Table.is_subset_of s pt) then
+    invalid_arg "Prob_table.log_probability: not a subset";
+  Table.fold
+    (fun i _ w acc ->
+      acc +. (if Table.mem s i then log w else log (1.0 -. w)))
+    pt 0.0
+
+let certain pt =
+  Table.fold (fun i _ w acc -> if w = 1.0 then i :: acc else acc) pt []
+  |> List.rev

@@ -1,0 +1,31 @@
+(** Tuple-independent probabilistic tables (Section 3.4).
+
+    A table whose weights lie in (0, 1] is read as a tuple-independent
+    probabilistic database: each tuple [T[i]] is present independently with
+    probability [w_T(i)]. The probability of a specific subset [S] is
+    Equation (2):
+
+    [Pr_T(S) = Π_{i∈ids(S)} w_T(i) × Π_{i∉ids(S)} (1 − w_T(i))]. *)
+
+open Repair_relational
+
+type t
+
+(** [of_table tbl] validates the weights.
+
+    @raise Invalid_argument if some weight exceeds 1. *)
+val of_table : Table.t -> t
+
+val table : t -> Table.t
+
+(** [probability pt s] is [Pr_T(S)] per Equation (2).
+
+    @raise Invalid_argument if [s] is not a subset of the table. *)
+val probability : t -> Table.t -> float
+
+(** [log_probability pt s] is its logarithm, computed in log-space
+    (tuples with probability exactly 1 contribute [−∞] when absent). *)
+val log_probability : t -> Table.t -> float
+
+(** [certain pt] lists ids with probability 1. *)
+val certain : t -> Table.id list

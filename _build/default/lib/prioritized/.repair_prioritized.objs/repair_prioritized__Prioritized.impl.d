@@ -1,0 +1,1 @@
+lib/prioritized/prioritized.ml: Array Fd_set Hashtbl Int List Option Printf Queue Repair_fd Repair_relational Set Stdlib Table

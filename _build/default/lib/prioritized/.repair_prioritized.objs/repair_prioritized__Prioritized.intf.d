@@ -1,0 +1,1 @@
+lib/prioritized/prioritized.mli: Fd_set Repair_fd Repair_relational Table

@@ -1,0 +1,172 @@
+open Repair_relational
+open Repair_fd
+module Iset = Set.Make (Int)
+
+type t = {
+  d : Fd_set.t;
+  tbl : Table.t;
+  edges : (Table.id * Table.id) list; (* i ≻ j *)
+}
+
+let conflicts d tbl i j =
+  let schema = Table.schema tbl in
+  not (Fd_set.pair_consistent d schema (Table.tuple tbl i) (Table.tuple tbl j))
+
+let acyclic edges ids =
+  (* Kahn's algorithm over the preference digraph. *)
+  let succs = Hashtbl.create 16 in
+  let indeg = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace indeg i 0) ids;
+  List.iter
+    (fun (i, j) ->
+      Hashtbl.replace succs i (j :: Option.value (Hashtbl.find_opt succs i) ~default:[]);
+      Hashtbl.replace indeg j (1 + Option.value (Hashtbl.find_opt indeg j) ~default:0))
+    edges;
+  let queue = Queue.create () in
+  List.iter (fun i -> if Hashtbl.find indeg i = 0 then Queue.add i queue) ids;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    incr seen;
+    List.iter
+      (fun j ->
+        let deg = Hashtbl.find indeg j - 1 in
+        Hashtbl.replace indeg j deg;
+        if deg = 0 then Queue.add j queue)
+      (Option.value (Hashtbl.find_opt succs i) ~default:[])
+  done;
+  !seen = List.length ids
+
+let create d tbl preferences =
+  let ids = Table.ids tbl in
+  List.iter
+    (fun (i, j) ->
+      if not (Table.mem tbl i && Table.mem tbl j) then
+        invalid_arg "Prioritized.create: unknown tuple id";
+      if not (conflicts d tbl i j) then
+        invalid_arg
+          (Printf.sprintf
+             "Prioritized.create: %d and %d do not conflict under Δ" i j))
+    preferences;
+  let edges = List.sort_uniq Stdlib.compare preferences in
+  if not (acyclic edges ids) then
+    invalid_arg "Prioritized.create: preference cycle";
+  { d; tbl; edges }
+
+let prefers p i j = List.mem (i, j) p.edges
+
+let neighbours_in p i s =
+  List.filter (fun j -> j <> i && conflicts p.d p.tbl i j) (Table.ids s)
+
+let is_maximal_consistent p s =
+  Table.is_subset_of s p.tbl
+  && Fd_set.satisfied_by p.d s
+  && List.for_all
+       (fun i -> Table.mem s i || neighbours_in p i s <> [])
+       (Table.ids p.tbl)
+
+(* Binary conflicts: a Pareto improvement exists iff some excluded tuple
+   dominates every conflicting survivor. *)
+let is_pareto_optimal p s =
+  is_maximal_consistent p s
+  && not
+       (List.exists
+          (fun i ->
+            (not (Table.mem s i))
+            && List.for_all (prefers p i) (neighbours_in p i s))
+          (Table.ids p.tbl))
+
+let is_globally_optimal p s =
+  let ids = Array.of_list (Table.ids p.tbl) in
+  let n = Array.length ids in
+  if n > 20 then invalid_arg "Prioritized.is_globally_optimal: table too large";
+  if not (Table.is_subset_of s p.tbl && Fd_set.satisfied_by p.d s) then false
+  else begin
+    let in_s = Iset.of_list (Table.ids s) in
+    let improvement = ref false in
+    for mask = 0 to (1 lsl n) - 1 do
+      if not !improvement then begin
+        let s' = ref Iset.empty in
+        for b = 0 to n - 1 do
+          if mask land (1 lsl b) <> 0 then s' := Iset.add ids.(b) !s'
+        done;
+        let s' = !s' in
+        if not (Iset.equal s' in_s) then begin
+          let table' = Table.restrict p.tbl (Iset.elements s') in
+          if Fd_set.satisfied_by p.d table' then begin
+            let removed = Iset.diff in_s s' and added = Iset.diff s' in_s in
+            let global =
+              Iset.for_all
+                (fun t -> Iset.exists (fun t' -> prefers p t' t) added)
+                removed
+            in
+            if global then improvement := true
+          end
+        end
+      end
+    done;
+    not !improvement
+  end
+
+let dominated p i unprocessed =
+  List.exists (fun j -> prefers p j i) (Iset.elements unprocessed)
+
+let c_repair ?(tie = Stdlib.compare) p =
+  let rec go unprocessed s =
+    if Iset.is_empty unprocessed then s
+    else
+      let maximal =
+        Iset.elements unprocessed
+        |> List.filter (fun i -> not (dominated p i unprocessed))
+        |> List.sort tie
+      in
+      match maximal with
+      | [] -> assert false (* acyclicity guarantees a maximal element *)
+      | i :: _ ->
+        let keep =
+          Table.for_all
+            (fun _ t ->
+              Fd_set.pair_consistent p.d (Table.schema p.tbl)
+                (Table.tuple p.tbl i) t)
+            s
+        in
+        let s =
+          if keep then
+            Table.add ~id:i ~weight:(Table.weight p.tbl i) s (Table.tuple p.tbl i)
+          else s
+        in
+        go (Iset.remove i unprocessed) s
+  in
+  go (Iset.of_list (Table.ids p.tbl)) (Table.empty (Table.schema p.tbl))
+
+let all_c_repairs p =
+  let module Sset = Set.Make (struct
+    type t = Iset.t
+
+    let compare = Iset.compare
+  end) in
+  let results = ref Sset.empty in
+  let rec go unprocessed s =
+    if Iset.is_empty unprocessed then results := Sset.add s !results
+    else
+      let maximal =
+        Iset.elements unprocessed
+        |> List.filter (fun i -> not (dominated p i unprocessed))
+      in
+      List.iter
+        (fun i ->
+          let consistent_with_s =
+            Iset.for_all (fun j -> not (conflicts p.d p.tbl i j)) s
+          in
+          let s' = if consistent_with_s then Iset.add i s else s in
+          go (Iset.remove i unprocessed) s')
+        maximal
+  in
+  go (Iset.of_list (Table.ids p.tbl)) Iset.empty;
+  Sset.elements !results
+  |> List.map (fun s -> Table.restrict p.tbl (Iset.elements s))
+
+let is_unambiguous p =
+  match all_c_repairs p with
+  | [] | [ _ ] -> true
+  | first :: rest -> List.for_all (Table.equal first) rest

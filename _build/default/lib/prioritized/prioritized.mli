@@ -1,0 +1,65 @@
+(** Prioritized repairing — the final future-work direction of Section 5,
+    after Staworko, Chomicki and Marcinkowski ("prioritized repairing and
+    consistent query answering", the paper's reference [29]) and the
+    ambiguity analysis of Kimelfeld, Livshits and Peterfreund [23].
+
+    A {e priority} is an acyclic relation [t1 ≻ t2] over {e conflicting}
+    tuple pairs, stating that we trust [t1] over [t2]. It refines the
+    space of S-repairs (maximal consistent subsets):
+
+    - a {e Pareto improvement} of [S] replaces some tuples with a single
+      witness tuple preferred to {e all} of them; [S] is a
+      {e Pareto-optimal repair} (p-repair) if none exists — for FDs
+      (binary conflicts) this reduces to a single-tuple test and is
+      decided in polynomial time;
+    - a {e global improvement} replaces tuples so that {e each} removed
+      tuple is dominated by {e some} added tuple; [S] is a {e globally
+      optimal repair} (g-repair) if none exists — checked here by
+      exhaustive search (the decision problem is coNP-complete in
+      general);
+    - a {e completion-optimal repair} (c-repair) is produced by the greedy
+      algorithm on some linear extension of ≻: every c-repair is a
+      g-repair, every g-repair a p-repair.
+
+    The paper asks (§5) how many priorities make cleaning
+    {e unambiguous}; {!is_unambiguous} decides it for a given priority by
+    enumerating the c-repairs. *)
+
+open Repair_relational
+open Repair_fd
+
+type t
+
+(** [create d tbl preferences] validates and builds a priority: each pair
+    [(i, j)] states tuple [i] ≻ tuple [j].
+
+    @raise Invalid_argument if some pair does not conflict under [d], ids
+    are missing, or the relation has a cycle. *)
+val create : Fd_set.t -> Table.t -> (Table.id * Table.id) list -> t
+
+(** [prefers p i j] — is [i ≻ j] (directly)? *)
+val prefers : t -> Table.id -> Table.id -> bool
+
+(** [is_pareto_optimal p s] — [s] is a maximal consistent subset with no
+    Pareto improvement (polynomial, single-tuple witness argument). *)
+val is_pareto_optimal : t -> Table.t -> bool
+
+(** [is_globally_optimal p s] — no global improvement exists; exhaustive
+    over consistent subsets.
+
+    @raise Invalid_argument on tables with more than ~20 tuples. *)
+val is_globally_optimal : t -> Table.t -> bool
+
+(** [c_repair ?tie p] — the greedy repair for the linear extension of ≻
+    obtained by breaking ties with [tie] (a total order on ids; defaults
+    to [compare]). *)
+val c_repair : ?tie:(Table.id -> Table.id -> int) -> t -> Table.t
+
+(** [all_c_repairs p] — every c-repair (over all linear extensions), by
+    branching on the maximal available tuples. Exponential; small tables
+    only. *)
+val all_c_repairs : t -> Table.t list
+
+(** [is_unambiguous p] — all c-repairs coincide: the priority is rich
+    enough to clean the table deterministically [23]. *)
+val is_unambiguous : t -> bool

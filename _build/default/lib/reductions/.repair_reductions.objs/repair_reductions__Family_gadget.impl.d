@@ -1,0 +1,1 @@
+lib/reductions/family_gadget.ml: Fd Fd_set List Printf Repair_fd Repair_relational Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/reductions/family_gadget.mli: Fd_set Repair_fd Repair_relational Schema Table

@@ -1,0 +1,1 @@
+lib/reductions/sat_gadget.ml: Array Cnf Fd_set List Repair_fd Repair_relational Repair_sat Schema Stdlib Table Tuple Value

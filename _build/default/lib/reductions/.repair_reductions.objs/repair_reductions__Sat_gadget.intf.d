@@ -1,0 +1,1 @@
+lib/reductions/sat_gadget.mli: Cnf Fd_set Repair_fd Repair_relational Repair_sat Schema Table

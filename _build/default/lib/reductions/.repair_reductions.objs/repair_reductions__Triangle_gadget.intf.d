@@ -1,0 +1,1 @@
+lib/reductions/triangle_gadget.mli: Fd_set Repair_fd Repair_graph Repair_relational Schema Table

@@ -1,0 +1,1 @@
+lib/reductions/vc_gadget.ml: Array Fd_set List Repair_fd Repair_graph Repair_relational Schema Table Tuple Value

@@ -1,0 +1,83 @@
+open Repair_relational
+open Repair_fd
+
+type instance = { schema : Schema.t; fds : Fd_set.t; table : Table.t }
+
+let chain_source =
+  (Schema.make "S" [ "A"; "B"; "C" ], Fd_set.parse "A -> B; B -> C")
+
+let attr_range prefix lo hi =
+  List.init (hi - lo + 1) (fun i -> Printf.sprintf "%s%d" prefix (lo + i))
+
+let delta_k_target k =
+  let a = attr_range "A" 0 k and b = attr_range "B" 0 k in
+  let schema = Schema.make "Rk" (a @ b @ [ "C" ]) in
+  let fds =
+    Fd.of_lists a [ "B0" ]
+    :: Fd.of_lists [ "B0" ] [ "C" ]
+    :: List.map (fun bi -> Fd.of_lists [ bi ] [ "A0" ]) (attr_range "B" 1 k)
+  in
+  (schema, Fd_set.of_list fds)
+
+let embed_in_delta_k ~k tbl =
+  if k < 1 then invalid_arg "Family_gadget.embed_in_delta_k: k must be >= 1";
+  let src_schema, _ = chain_source in
+  if not (Schema.equal (Table.schema tbl) src_schema) then
+    invalid_arg "Family_gadget.embed_in_delta_k: table not over S(A,B,C)";
+  let schema, fds = delta_k_target k in
+  let zero = Value.int 0 in
+  let embed t =
+    (* r.A1 = s.A, r.B0 = s.B, r.C = s.C, everything else 0. *)
+    Tuple.make
+      (List.map
+         (fun attr ->
+           match attr with
+           | "A1" -> Tuple.get t 0
+           | "B0" -> Tuple.get t 1
+           | "C" -> Tuple.get t 2
+           | _ -> zero)
+         (Schema.attributes schema))
+  in
+  let table =
+    Table.fold
+      (fun i t w acc -> Table.add ~id:i ~weight:w acc (embed t))
+      tbl (Table.empty schema)
+  in
+  { schema; fds; table }
+
+let delta'_source =
+  let schema = Schema.make "R'1" [ "A0"; "A1"; "A2"; "B0"; "B1" ] in
+  (schema, Fd_set.parse "A0 A1 -> B0; A1 A2 -> B1")
+
+let delta'_k_target k =
+  let a = attr_range "A" 0 (k + 1) and b = attr_range "B" 0 k in
+  let schema = Schema.make "R'k" (a @ b) in
+  let fds =
+    List.init (k + 1) (fun i ->
+        Fd.of_lists
+          [ Printf.sprintf "A%d" i; Printf.sprintf "A%d" (i + 1) ]
+          [ Printf.sprintf "B%d" i ])
+  in
+  (schema, Fd_set.of_list fds)
+
+let lift_to_delta'_k ~k tbl =
+  if k < 2 then invalid_arg "Family_gadget.lift_to_delta'_k: k must be >= 2";
+  let src_schema, _ = delta'_source in
+  if not (Schema.equal (Table.schema tbl) src_schema) then
+    invalid_arg "Family_gadget.lift_to_delta'_k: table not over R'1";
+  let schema, fds = delta'_k_target k in
+  let lift t =
+    Tuple.make
+      (List.map
+         (fun attr ->
+           match Schema.index_of_opt src_schema attr with
+           | Some i -> Tuple.get t i
+           | None -> Value.Unit)
+         (Schema.attributes schema))
+  in
+  let table =
+    Table.fold
+      (fun i t w acc -> Table.add ~id:i ~weight:w acc (lift t))
+      tbl (Table.empty schema)
+  in
+  { schema; fds; table }

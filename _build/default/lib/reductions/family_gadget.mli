@@ -1,0 +1,36 @@
+(** The Theorem 4.14 reductions (Appendix B.5): embedding small hard
+    U-repair instances into the parameterized families Δk and Δ'k.
+
+    - Lemma B.6: a table over S(A,B,C) for [{A→B, B→C}] embeds into
+      R(A0..Ak, B0..Bk, C) for Δk by storing A in [A1], B in [B0], C in
+      [C], and 0 everywhere else; optimal update distances coincide.
+    - Lemma B.7: a table over R'1(A0,A1,A2,B0,B1) for Δ'1 lifts to
+      R'k by padding the new attributes with the constant ⊙; optimal
+      update distances coincide.
+
+    Together with the hardness of the base cases, these make the whole
+    families APX-complete; here they are executable and checked
+    numerically against the exhaustive U-repair baseline. *)
+
+open Repair_relational
+open Repair_fd
+
+type instance = { schema : Schema.t; fds : Fd_set.t; table : Table.t }
+
+(** Source schema of Lemma B.6: S(A, B, C) with [{A→B, B→C}]. *)
+val chain_source : Schema.t * Fd_set.t
+
+(** [embed_in_delta_k ~k tbl] builds the Δk instance from a table over
+    {!chain_source}.
+
+    @raise Invalid_argument if [tbl] is not over S(A,B,C) or [k < 1]. *)
+val embed_in_delta_k : k:int -> Table.t -> instance
+
+(** Source schema of Lemma B.7: Δ'1 over R'1(A0, A1, A2, B0, B1). *)
+val delta'_source : Schema.t * Fd_set.t
+
+(** [lift_to_delta'_k ~k tbl] builds the Δ'k instance from a table over
+    {!delta'_source}.
+
+    @raise Invalid_argument if [tbl] is not over R'1 or [k < 2]. *)
+val lift_to_delta'_k : k:int -> Table.t -> instance

@@ -1,0 +1,101 @@
+open Repair_relational
+open Repair_fd
+open Repair_sat
+
+type t = { schema : Schema.t; fds : Fd_set.t; table : Table.t }
+
+let schema_abc = Schema.make "R" [ "A"; "B"; "C" ]
+
+let check_no_duplicate_literals f =
+  List.iter
+    (fun clause ->
+      let distinct = List.sort_uniq Stdlib.compare clause in
+      if List.length distinct <> List.length clause then
+        invalid_arg "Sat_gadget: duplicate literal in a clause")
+    (Cnf.clauses f)
+
+(* Identifier of the l-th literal of clause j (both 0-based): 1 + the
+   number of literals in earlier clauses + l. *)
+let clause_offsets f =
+  let offsets = Array.make (Cnf.n_clauses f) 0 in
+  let _ =
+    List.fold_left
+      (fun (j, acc) clause ->
+        offsets.(j) <- acc;
+        (j + 1, acc + List.length clause))
+      (0, 0) (Cnf.clauses f)
+  in
+  offsets
+
+let tuple_id offsets j l = offsets.(j) + l + 1
+
+let build f tuple_of_literal =
+  check_no_duplicate_literals f;
+  let offsets = clause_offsets f in
+  List.fold_left
+    (fun (j, tbl) clause ->
+      let tbl =
+        List.fold_left
+          (fun (l, tbl) lit ->
+            ( l + 1,
+              Table.add ~id:(tuple_id offsets j l) tbl (tuple_of_literal j lit) ))
+          (0, tbl) clause
+        |> snd
+      in
+      (j + 1, tbl))
+    (0, Table.empty schema_abc)
+    (Cnf.clauses f)
+  |> snd
+
+let bool_value b = Value.int (if b then 1 else 0)
+
+let of_2cnf_chain f =
+  if not (Cnf.is_2cnf f) then invalid_arg "Sat_gadget.of_2cnf_chain: not 2-CNF";
+  List.iter
+    (fun clause ->
+      match List.map (fun (l : Cnf.literal) -> l.var) clause with
+      | [ x; y ] when x <> y -> ()
+      | _ -> invalid_arg "Sat_gadget.of_2cnf_chain: repeated variable in clause")
+    (Cnf.clauses f);
+  let tuple_of j (lit : Cnf.literal) =
+    Tuple.make [ Value.int j; Value.int lit.var; bool_value lit.positive ]
+  in
+  { schema = schema_abc; fds = Fd_set.parse "A -> B; B -> C"; table = build f tuple_of }
+
+let of_2cnf_fork f =
+  if not (Cnf.is_2cnf f) then invalid_arg "Sat_gadget.of_2cnf_fork: not 2-CNF";
+  let tuple_of j (lit : Cnf.literal) =
+    Tuple.make
+      [ Value.int j;
+        Value.int lit.var;
+        Value.pair (Value.int lit.var) (bool_value lit.positive) ]
+  in
+  { schema = schema_abc; fds = Fd_set.parse "A -> C; B -> C"; table = build f tuple_of }
+
+let of_non_mixed f =
+  if not (Cnf.is_non_mixed f) then
+    invalid_arg "Sat_gadget.of_non_mixed: formula is mixed";
+  let tuple_of j (lit : Cnf.literal) =
+    Tuple.make [ Value.int j; bool_value lit.positive; Value.int lit.var ]
+  in
+  { schema = schema_abc; fds = Fd_set.parse "A B -> C; C -> B"; table = build f tuple_of }
+
+let kept_of_assignment g f assignment =
+  let offsets = clause_offsets f in
+  let eval (l : Cnf.literal) =
+    if l.positive then assignment.(l.var) else not assignment.(l.var)
+  in
+  let keep =
+    List.concat
+      (List.mapi
+         (fun j clause ->
+           (* One satisfied literal per satisfied clause. *)
+           let rec first l = function
+             | [] -> []
+             | lit :: rest ->
+               if eval lit then [ tuple_id offsets j l ] else first (l + 1) rest
+           in
+           first 0 clause)
+         (Cnf.clauses f))
+  in
+  Table.restrict g.table keep

@@ -1,0 +1,41 @@
+(** SAT → S-repair hardness gadgets (Appendix A.2.1).
+
+    Each constructor turns a formula into an unweighted, duplicate-free
+    table over R(A,B,C) such that the maximum number of simultaneously
+    satisfiable clauses equals the size (tuple count) of an optimal
+    S-repair — so the optimal repair {e distance} is
+    [#tuples − maxsat], making the reductions strict for the complement
+    objective. Formulas must not repeat a literal inside a clause
+    (duplicate tuples would inflate the count). *)
+
+open Repair_relational
+open Repair_fd
+open Repair_sat
+
+type t = { schema : Schema.t; fds : Fd_set.t; table : Table.t }
+
+(** [of_2cnf_chain f] targets [Δ_{A→B→C} = {A→B, B→C}] (Lemma A.5 /
+    Gribkoff et al.): clause [j] with literal [(x, s)] yields tuple
+    [(j, x, s)]. [A→B] picks at most one variable per clause; [B→C] forces
+    a global assignment.
+
+    @raise Invalid_argument unless [f] is 2-CNF with distinct variables in
+    each clause. *)
+val of_2cnf_chain : Cnf.t -> t
+
+(** [of_2cnf_fork f] targets [Δ_{A→C←B} = {A→C, B→C}] (Lemma A.4): clause
+    [j] with literal [(x, s)] yields [(j, x, ⟨x,s⟩)]. [B→C] forces an
+    assignment; [A→C] picks at most one literal per clause. *)
+val of_2cnf_fork : Cnf.t -> t
+
+(** [of_non_mixed f] targets [Δ_{AB→C→B} = {AB→C, C→B}] (Lemma A.13):
+    clause [j], polarity [b], variable [x] yield [(j, b, x)].
+
+    @raise Invalid_argument unless [f] is non-mixed. *)
+val of_non_mixed : Cnf.t -> t
+
+(** [kept_of_assignment g f assignment] builds the consistent subset
+    corresponding to an assignment: for each satisfied clause, the tuple of
+    one satisfied literal. Its size equals the number of satisfied
+    clauses. The returned table is a consistent subset of [g.table]. *)
+val kept_of_assignment : t -> Cnf.t -> bool array -> Table.t

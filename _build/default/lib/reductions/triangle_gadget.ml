@@ -1,0 +1,37 @@
+open Repair_relational
+open Repair_fd
+module Triangle = Repair_graph.Triangle
+
+type t = {
+  schema : Schema.t;
+  fds : Fd_set.t;
+  table : Table.t;
+  triangles : Triangle.triangle array;
+}
+
+let schema_abc = Schema.make "R" [ "A"; "B"; "C" ]
+let fds_abc = Fd_set.parse "A B -> C; A C -> B; B C -> A"
+
+let of_tripartite g =
+  let triangles = Array.of_list (Triangle.enumerate g) in
+  let table =
+    Array.to_list triangles
+    |> List.mapi (fun i (a, b, c) ->
+           (i + 1, 1.0, Tuple.make [ Value.int a; Value.int b; Value.int c ]))
+    |> Table.of_list schema_abc
+  in
+  { schema = schema_abc; fds = fds_abc; table; triangles }
+
+let id_of_triangle gadget t =
+  let rec find i =
+    if i >= Array.length gadget.triangles then raise Not_found
+    else if gadget.triangles.(i) = t then i + 1
+    else find (i + 1)
+  in
+  find 0
+
+let kept_of_packing gadget ts =
+  Table.restrict gadget.table (List.map (id_of_triangle gadget) ts)
+
+let packing_of_kept gadget s =
+  Table.ids s |> List.map (fun i -> gadget.triangles.(i - 1))

@@ -1,0 +1,30 @@
+(** Triangle packing → S-repair gadget for [Δ_{AB↔AC↔BC}] (Lemma A.11).
+
+    Every triangle (a, b, c) of a tripartite graph — one vertex per part —
+    becomes the tuple (a, b, c). The three FDs [AB→C], [AC→B], [BC→A]
+    forbid two kept tuples from sharing two coordinates, i.e. an edge: a
+    consistent subset is exactly an edge-disjoint triangle set, so the
+    optimal S-repair size equals the maximum packing. *)
+
+open Repair_relational
+open Repair_fd
+
+type t = {
+  schema : Schema.t;
+  fds : Fd_set.t;
+  table : Table.t;
+  triangles : Repair_graph.Triangle.triangle array;
+      (** tuple with id [i+1] encodes [triangles.(i)] *)
+}
+
+(** [of_tripartite g] builds the gadget from a tripartite graph (triangles
+    necessarily take one vertex per part). *)
+val of_tripartite : Repair_graph.Graph.t -> t
+
+(** [kept_of_packing gadget ts] is the consistent subset encoding an
+    edge-disjoint triangle set. *)
+val kept_of_packing : t -> Repair_graph.Triangle.triangle list -> Table.t
+
+(** [packing_of_kept gadget s] decodes a consistent subset back into the
+    (edge-disjoint) triangle list it encodes. *)
+val packing_of_kept : t -> Table.t -> Repair_graph.Triangle.triangle list

@@ -1,0 +1,51 @@
+open Repair_relational
+open Repair_fd
+module G = Repair_graph.Graph
+module Vc = Repair_graph.Vertex_cover
+
+type t = { schema : Schema.t; fds : Fd_set.t; table : Table.t; graph : G.t }
+
+let schema_abc = Schema.make "R" [ "A"; "B"; "C" ]
+let fds_marriage = Fd_set.parse "A -> B; B -> A; B -> C"
+
+let row a b c = Tuple.make [ Value.int a; Value.int b; Value.int c ]
+
+(* Edge {u,v} (u < v) at position e gets tuple ids 2e+1 (u,v,0) and 2e+2
+   (v,u,0); vertex v gets id 2|E| + v + 1. *)
+let of_graph g =
+  let edges = G.edges g in
+  let m = List.length edges in
+  let table = ref (Table.empty schema_abc) in
+  List.iteri
+    (fun e (u, v) ->
+      table := Table.add ~id:((2 * e) + 1) !table (row u v 0);
+      table := Table.add ~id:((2 * e) + 2) !table (row v u 0))
+    edges;
+  for v = 0 to G.n_vertices g - 1 do
+    table := Table.add ~id:((2 * m) + v + 1) !table (row v v 1)
+  done;
+  { schema = schema_abc; fds = fds_marriage; table = !table; graph = g }
+
+let update_of_cover gadget cover =
+  if not (Vc.is_cover gadget.graph cover) then
+    invalid_arg "Vc_gadget.update_of_cover: not a vertex cover";
+  let in_cover = Array.make (G.n_vertices gadget.graph) false in
+  List.iter (fun v -> in_cover.(v) <- true) cover;
+  let edges = G.edges gadget.graph in
+  let m = List.length edges in
+  let u = ref gadget.table in
+  List.iteri
+    (fun e (a, b) ->
+      (* Collapse both edge tuples onto the covering endpoint: one cell
+         each. *)
+      let w = if in_cover.(a) then a else b in
+      u := Table.set_tuple !u ((2 * e) + 1) (row w w 0);
+      u := Table.set_tuple !u ((2 * e) + 2) (row w w 0))
+    edges;
+  for v = 0 to G.n_vertices gadget.graph - 1 do
+    if in_cover.(v) then u := Table.set_tuple !u ((2 * m) + v + 1) (row v v 0)
+  done;
+  !u
+
+let expected_distance gadget ~tau =
+  float_of_int ((2 * G.n_edges gadget.graph) + tau)

@@ -1,0 +1,28 @@
+(** Vertex cover → U-repair gadget for [Δ_{A↔B→C}] (Theorem 4.10).
+
+    For a graph G(V, E): each edge {u, v} yields tuples (u, v, 0) and
+    (v, u, 0); each vertex v yields (v, v, 1). All weights are 1. The
+    theorem shows the optimal U-repair distance is exactly [2|E| + τ(G)],
+    where τ is the minimum vertex cover size; {!update_of_cover} realizes
+    the upper bound constructively, as in the proof's direction (1). *)
+
+open Repair_relational
+open Repair_fd
+
+type t = {
+  schema : Schema.t;
+  fds : Fd_set.t;  (** [{A→B, B→A, B→C}] *)
+  table : Table.t;
+  graph : Repair_graph.Graph.t;
+}
+
+val of_graph : Repair_graph.Graph.t -> t
+
+(** [update_of_cover gadget cover] is the consistent update built from a
+    vertex cover, of distance [2|E| + |cover|].
+
+    @raise Invalid_argument if [cover] is not a vertex cover. *)
+val update_of_cover : t -> int list -> Table.t
+
+(** [expected_distance gadget ~tau] is [2|E| + tau]. *)
+val expected_distance : t -> tau:int -> float

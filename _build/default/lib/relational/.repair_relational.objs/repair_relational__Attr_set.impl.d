@@ -1,0 +1,1 @@
+lib/relational/attr_set.ml: Fmt List Set String

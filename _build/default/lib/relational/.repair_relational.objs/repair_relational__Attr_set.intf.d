@@ -1,0 +1,1 @@
+lib/relational/attr_set.mli: Format

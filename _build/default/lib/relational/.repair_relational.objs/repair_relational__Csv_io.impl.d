@@ -1,0 +1,1 @@
+lib/relational/csv_io.ml: Buffer Fun List Option Printf Schema String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/jsonl_io.mli: Table

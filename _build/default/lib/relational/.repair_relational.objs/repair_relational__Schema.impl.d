@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Array Attr_set Fmt Hashtbl List Printf Stdlib String

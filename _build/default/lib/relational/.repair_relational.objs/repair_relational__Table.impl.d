@@ -1,0 +1,1 @@
+lib/relational/table.ml: Fmt Int List Map Option Printf Schema Set Tuple Value

@@ -1,0 +1,1 @@
+lib/relational/table.mli: Attr_set Format Schema Tuple Value

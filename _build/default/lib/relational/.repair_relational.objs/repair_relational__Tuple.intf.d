@@ -1,0 +1,1 @@
+lib/relational/tuple.mli: Attr_set Format Schema Value

@@ -1,0 +1,42 @@
+module S = Set.Make (String)
+
+type t = S.t
+type attribute = string
+
+let empty = S.empty
+let is_empty = S.is_empty
+let singleton = S.singleton
+let of_list = S.of_list
+let to_list = S.elements
+let add = S.add
+let remove = S.remove
+let mem = S.mem
+let cardinal = S.cardinal
+let union = S.union
+let inter = S.inter
+let diff = S.diff
+let subset = S.subset
+let equal = S.equal
+let strict_subset x y = subset x y && not (equal x y)
+let compare = S.compare
+let disjoint = S.disjoint
+let exists = S.exists
+let for_all = S.for_all
+let fold = S.fold
+let iter = S.iter
+let filter = S.filter
+let choose_opt = S.choose_opt
+let elements = S.elements
+
+let subsets x =
+  let grow subs a = subs @ List.map (add a) subs in
+  List.fold_left grow [ empty ] (elements x)
+
+let pp ppf x =
+  if is_empty x then Fmt.string ppf "∅"
+  else
+    let names = elements x in
+    let sep = if List.for_all (fun n -> String.length n = 1) names then "" else " " in
+    Fmt.string ppf (String.concat sep names)
+
+let to_string x = Fmt.str "%a" pp x

@@ -1,0 +1,50 @@
+(** Sets of attribute names.
+
+    The paper writes attribute sets without braces or commas (e.g. [ABC]);
+    {!pp} follows that convention when every attribute is a single character
+    and falls back to space separation otherwise. *)
+
+type t
+
+type attribute = string
+
+val empty : t
+val is_empty : t -> bool
+val singleton : attribute -> t
+val of_list : attribute list -> t
+val to_list : t -> attribute list
+val add : attribute -> t -> t
+val remove : attribute -> t -> t
+val mem : attribute -> t -> bool
+val cardinal : t -> int
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+
+(** [strict_subset x y] is [subset x y && not (equal x y)]. *)
+val strict_subset : t -> t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val disjoint : t -> t -> bool
+
+val exists : (attribute -> bool) -> t -> bool
+val for_all : (attribute -> bool) -> t -> bool
+val fold : (attribute -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (attribute -> unit) -> t -> unit
+val filter : (attribute -> bool) -> t -> t
+val choose_opt : t -> attribute option
+val elements : t -> attribute list
+
+(** [subsets x] enumerates all subsets of [x] (exponential; intended for the
+    small, fixed attribute sets of data complexity). *)
+val subsets : t -> t list
+
+(** [pp] prints in the paper's juxtaposition style: [∅] for the empty set,
+    [ABC] when all names are single characters, [A1 B2 C] otherwise. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

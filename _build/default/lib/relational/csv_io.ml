@@ -1,0 +1,169 @@
+(* A small CSV implementation: enough for round-tripping tables with
+   quoted fields, without pulling in an external dependency. *)
+
+let split_records s =
+  (* Split into records, honoring quotes (newlines inside quotes kept). *)
+  let buf = Buffer.create 64 in
+  let records = ref [] in
+  let in_quotes = ref false in
+  let flush () =
+    records := Buffer.contents buf :: !records;
+    Buffer.clear buf
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+        in_quotes := not !in_quotes;
+        Buffer.add_char buf c
+      | '\n' when not !in_quotes -> flush ()
+      | '\r' when not !in_quotes -> ()
+      | c -> Buffer.add_char buf c)
+    s;
+  if Buffer.length buf > 0 then flush ();
+  List.rev !records |> List.filter (fun r -> String.trim r <> "")
+
+let split_fields record =
+  let fields = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length record in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match record.[i] with
+      | ',' ->
+        flush ();
+        plain (i + 1)
+      | '"' -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "Csv_io: unterminated quoted field"
+    else
+      match record.[i] with
+      | '"' when i + 1 < n && record.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+
+let quote_field s =
+  if needs_quoting s then
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  else s
+
+let parse_string ~name s =
+  match split_records s with
+  | [] -> failwith "Csv_io.parse_string: empty input"
+  | header :: body ->
+    let cols = split_fields header |> List.map String.trim in
+    let id_col = ref None and weight_col = ref None in
+    let attrs =
+      List.filteri
+        (fun i c ->
+          match c with
+          | "#id" ->
+            id_col := Some i;
+            false
+          | "#weight" ->
+            weight_col := Some i;
+            false
+          | _ -> true)
+        cols
+    in
+    if attrs = [] then failwith "Csv_io.parse_string: no attribute columns";
+    let schema = Schema.make name attrs in
+    let parse_row line_no tbl record =
+      let fields = split_fields record in
+      if List.length fields <> List.length cols then
+        failwith
+          (Printf.sprintf "Csv_io: row %d has %d fields, expected %d" line_no
+             (List.length fields) (List.length cols));
+      let id =
+        Option.map
+          (fun i ->
+            match int_of_string_opt (List.nth fields i) with
+            | Some v -> v
+            | None ->
+              failwith (Printf.sprintf "Csv_io: row %d: bad #id" line_no))
+          !id_col
+      in
+      let weight =
+        match !weight_col with
+        | None -> 1.0
+        | Some i -> (
+          match float_of_string_opt (List.nth fields i) with
+          | Some v -> v
+          | None ->
+            failwith (Printf.sprintf "Csv_io: row %d: bad #weight" line_no))
+      in
+      let vs =
+        List.filteri
+          (fun i _ -> Some i <> !id_col && Some i <> !weight_col)
+          fields
+        |> List.map Value.of_string
+      in
+      Table.add ?id ~weight tbl (Tuple.make vs)
+    in
+    List.fold_left
+      (fun (line_no, tbl) record -> (line_no + 1, parse_row line_no tbl record))
+      (2, Table.empty schema) body
+    |> snd
+
+let to_string ?(with_meta = true) tbl =
+  let schema = Table.schema tbl in
+  let buf = Buffer.create 256 in
+  let attrs = Schema.attributes schema in
+  let header =
+    (if with_meta then [ "#id"; "#weight" ] else []) @ attrs
+  in
+  Buffer.add_string buf (String.concat "," (List.map quote_field header));
+  Buffer.add_char buf '\n';
+  Table.iter
+    (fun i t w ->
+      let meta =
+        if with_meta then [ string_of_int i; Printf.sprintf "%g" w ] else []
+      in
+      let fields =
+        meta @ List.map Value.to_string (Tuple.values t)
+        |> List.map quote_field
+      in
+      Buffer.add_string buf (String.concat "," fields);
+      Buffer.add_char buf '\n')
+    tbl;
+  Buffer.contents buf
+
+let load ~name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string ~name (really_input_string ic n))
+
+let save ?with_meta tbl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?with_meta tbl))

@@ -1,0 +1,23 @@
+(** Minimal CSV reading/writing for tables.
+
+    The format is: a header row of attribute names, then one row per tuple.
+    Two optional reserved columns are recognized in the header: [#id] (tuple
+    identifier, integer) and [#weight] (positive float). When absent, ids
+    are assigned 1..n and weights default to 1. Fields containing commas,
+    quotes or newlines are double-quoted on output; quoted fields are
+    understood on input. Values are parsed with {!Value.of_string}. *)
+
+(** [parse_string ~name s] parses CSV text into a table over a schema named
+    [name].
+
+    @raise Failure on malformed input. *)
+val parse_string : name:string -> string -> Table.t
+
+(** [to_string ?with_meta tbl] renders a table. With [with_meta] (default
+    [true]) the [#id] and [#weight] columns are included. *)
+val to_string : ?with_meta:bool -> Table.t -> string
+
+(** File variants of the above. *)
+
+val load : name:string -> string -> Table.t
+val save : ?with_meta:bool -> Table.t -> string -> unit

@@ -1,0 +1,41 @@
+module Smap = Map.Make (String)
+
+type t = Table.t Smap.t
+
+let empty = Smap.empty
+
+let add db ~name tbl =
+  if Smap.mem name db then
+    invalid_arg (Printf.sprintf "Database.add: duplicate relation %s" name);
+  Smap.add name tbl db
+
+let find db name = Smap.find_opt name db
+let names db = List.map fst (Smap.bindings db)
+let relations db = Smap.bindings db
+
+let update db ~name tbl =
+  if not (Smap.mem name db) then raise Not_found;
+  Smap.add name tbl db
+
+let total_weight db =
+  Smap.fold (fun _ tbl acc -> acc +. Table.total_weight tbl) db 0.0
+
+let map db f = Smap.mapi f db
+let fold db f acc = Smap.fold f db acc
+
+let matched_fold what f db' db =
+  if names db' <> names db then
+    invalid_arg (Printf.sprintf "Database.%s: relation names differ" what);
+  Smap.fold
+    (fun name tbl acc -> acc +. f (Smap.find name db') tbl)
+    db 0.0
+
+let dist_sub db' db = matched_fold "dist_sub" Table.dist_sub db' db
+let dist_upd db' db = matched_fold "dist_upd" Table.dist_upd db' db
+
+let pp ppf db =
+  Fmt.pf ppf "@[<v>%a@]"
+    Fmt.(
+      list ~sep:cut (fun ppf (name, tbl) ->
+          pf ppf "%s:@,%a" name Table.pp tbl))
+    (relations db)

@@ -1,0 +1,44 @@
+(** Multi-relation databases.
+
+    The paper works with a single table and notes (Section 1) that "in a
+    general database, our results can be applied to each relation
+    individually" — FDs never span relations. This module provides that
+    lift: a named collection of tables, each with its own FD set, where
+    consistency, distances and repairs are per-relation and aggregate
+    additively. *)
+
+type t
+
+val empty : t
+
+(** [add db ~name tbl] registers a relation.
+    @raise Invalid_argument on duplicate names. *)
+val add : t -> name:string -> Table.t -> t
+
+val find : t -> string -> Table.t option
+val names : t -> string list
+val relations : t -> (string * Table.t) list
+
+(** [update db ~name tbl] replaces a relation's table.
+    @raise Not_found for unknown names. *)
+val update : t -> name:string -> Table.t -> t
+
+(** [total_weight db] sums over relations. *)
+val total_weight : t -> float
+
+(** [map db f] applies [f] to every relation's table (e.g. a per-relation
+    repair), keeping names. *)
+val map : t -> (string -> Table.t -> Table.t) -> t
+
+(** [fold db f acc] folds over relations in name order. *)
+val fold : t -> (string -> Table.t -> 'a -> 'a) -> 'a -> 'a
+
+(** [dist_sub db' db] — sum of per-relation subset distances; relations
+    must match by name.
+    @raise Invalid_argument on name mismatch. *)
+val dist_sub : t -> t -> float
+
+(** [dist_upd db' db] — sum of per-relation update distances. *)
+val dist_upd : t -> t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,257 @@
+(* A minimal JSON-object-per-line reader/writer. Only the subset needed by
+   the format is implemented: flat objects with string keys and
+   string/integer values. *)
+
+type json_scalar = J_int of int | J_str of string
+
+exception Parse_error of string
+
+let error fmt = Fmt.kstr (fun m -> raise (Parse_error m)) fmt
+
+(* --- scanner over a single line --- *)
+
+type cursor = { line : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.line then Some c.line.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> error "expected '%c', found '%c' at %d" ch x c.pos
+  | None -> error "expected '%c', found end of line" ch
+
+let parse_string_literal c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some 'n' -> Buffer.add_char buf '\n'; advance c; go ()
+      | Some 't' -> Buffer.add_char buf '\t'; advance c; go ()
+      | Some 'r' -> Buffer.add_char buf '\r'; advance c; go ()
+      | Some 'b' -> Buffer.add_char buf '\b'; advance c; go ()
+      | Some 'f' -> Buffer.add_char buf '\012'; advance c; go ()
+      | Some ('"' | '\\' | '/') ->
+        Buffer.add_char buf (Option.get (peek c));
+        advance c;
+        go ()
+      | Some 'u' ->
+        advance c;
+        let hex = Buffer.create 4 in
+        for _ = 1 to 4 do
+          (match peek c with
+          | Some h -> Buffer.add_char hex h
+          | None -> error "truncated \\u escape");
+          advance c
+        done;
+        let code = int_of_string ("0x" ^ Buffer.contents hex) in
+        (* encode as UTF-8 (BMP only) *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        go ()
+      | _ -> error "bad escape")
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      go ()
+    | Some ('.' | 'e' | 'E') -> error "floats are not supported"
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub c.line start (c.pos - start) in
+  match int_of_string_opt text with
+  | Some i -> J_int i
+  | None -> error "bad number %S" text
+
+let parse_scalar c =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> J_str (parse_string_literal c)
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ('t' | 'f' | 'n' | '[' | '{') ->
+    error "only strings and integers are supported"
+  | Some ch -> error "unexpected '%c'" ch
+  | None -> error "unexpected end of line"
+
+let parse_object line =
+  let c = { line; pos = 0 } in
+  expect c '{';
+  skip_ws c;
+  let fields = ref [] in
+  (match peek c with
+  | Some '}' -> advance c
+  | _ ->
+    let rec members () =
+      skip_ws c;
+      let key = parse_string_literal c in
+      expect c ':';
+      let v = parse_scalar c in
+      fields := (key, v) :: !fields;
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+        advance c;
+        members ()
+      | Some '}' -> advance c
+      | _ -> error "expected ',' or '}'"
+    in
+    members ());
+  skip_ws c;
+  if peek c <> None then error "trailing characters after object";
+  List.rev !fields
+
+(* --- table-level reader --- *)
+
+let value_of_scalar = function
+  | J_int i -> Value.Int i
+  | J_str s -> Value.of_string s
+
+let parse_string ~name text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  if lines = [] then failwith "Jsonl_io.parse_string: empty input";
+  let objects =
+    List.mapi
+      (fun i line ->
+        try parse_object line
+        with Parse_error m ->
+          failwith (Printf.sprintf "Jsonl_io: line %d: %s" (i + 1) m))
+      lines
+  in
+  let attrs =
+    match objects with
+    | first :: _ ->
+      List.filter (fun (k, _) -> k <> "#id" && k <> "#weight") first
+      |> List.map fst
+    | [] -> assert false
+  in
+  if attrs = [] then failwith "Jsonl_io: no attribute keys";
+  let schema = Schema.make name attrs in
+  List.fold_left
+    (fun tbl fields ->
+      let id =
+        match List.assoc_opt "#id" fields with
+        | Some (J_int i) -> Some i
+        | Some (J_str _) -> failwith "Jsonl_io: #id must be an integer"
+        | None -> None
+      in
+      let weight =
+        match List.assoc_opt "#weight" fields with
+        | Some (J_int i) -> float_of_int i
+        | Some (J_str s) -> (
+          match float_of_string_opt s with
+          | Some f -> f
+          | None -> failwith "Jsonl_io: bad #weight")
+        | None -> 1.0
+      in
+      let values =
+        List.map
+          (fun a ->
+            match List.assoc_opt a fields with
+            | Some v -> value_of_scalar v
+            | None ->
+              failwith (Printf.sprintf "Jsonl_io: missing attribute %s" a))
+          attrs
+      in
+      Table.add ?id ~weight tbl (Tuple.make values))
+    (Table.empty schema) objects
+
+(* --- writer --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let scalar_of_value v =
+  match v with
+  | Value.Int i -> string_of_int i
+  | _ -> Printf.sprintf "\"%s\"" (escape (Value.to_string v))
+
+let to_string ?(with_meta = true) tbl =
+  let schema = Table.schema tbl in
+  let buf = Buffer.create 256 in
+  Table.iter
+    (fun i t w ->
+      Buffer.add_char buf '{';
+      let fields =
+        (if with_meta then
+           [ Printf.sprintf "\"#id\": %d" i;
+             Printf.sprintf "\"#weight\": %s"
+               (if Float.is_integer w then string_of_int (int_of_float w)
+                else Printf.sprintf "\"%g\"" w) ]
+         else [])
+        @ List.map
+            (fun a ->
+              Printf.sprintf "\"%s\": %s" (escape a)
+                (scalar_of_value (Tuple.get_attr schema t a)))
+            (Schema.attributes schema)
+      in
+      Buffer.add_string buf (String.concat ", " fields);
+      Buffer.add_string buf "}\n")
+    tbl;
+  Buffer.contents buf
+
+let load ~name path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse_string ~name (really_input_string ic n))
+
+let save ?with_meta tbl path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?with_meta tbl))

@@ -1,0 +1,40 @@
+type attribute = string
+
+type t = {
+  name : string;
+  attrs : attribute array;
+  index : (attribute, int) Hashtbl.t;
+}
+
+let make name attrs =
+  if attrs = [] then invalid_arg "Schema.make: no attributes";
+  let index = Hashtbl.create (List.length attrs) in
+  List.iteri
+    (fun i a ->
+      if Hashtbl.mem index a then
+        invalid_arg (Printf.sprintf "Schema.make: duplicate attribute %s" a);
+      Hashtbl.add index a i)
+    attrs;
+  { name; attrs = Array.of_list attrs; index }
+
+let name s = s.name
+let arity s = Array.length s.attrs
+let attributes s = Array.to_list s.attrs
+let attribute_set s = Attr_set.of_list (attributes s)
+
+let index_of_opt s a = Hashtbl.find_opt s.index a
+
+let index_of s a =
+  match index_of_opt s a with Some i -> i | None -> raise Not_found
+
+let mem s a = Hashtbl.mem s.index a
+let attribute_at s i = s.attrs.(i)
+
+let indices_of s x =
+  Attr_set.fold (fun a acc -> index_of s a :: acc) x []
+  |> List.sort Stdlib.compare
+
+let equal s1 s2 = s1.name = s2.name && s1.attrs = s2.attrs
+
+let pp ppf s =
+  Fmt.pf ppf "%s(%s)" s.name (String.concat ", " (attributes s))

@@ -1,0 +1,43 @@
+(** Relation schemas [R(A1, ..., Ak)].
+
+    A schema has a relation name and an ordered sequence of distinct
+    attribute names. Attribute positions are fixed, so tuples can be stored
+    as plain value arrays. *)
+
+type t
+
+type attribute = string
+
+(** [make name attrs] builds a schema.
+
+    @raise Invalid_argument if [attrs] contains duplicates or is empty. *)
+val make : string -> attribute list -> t
+
+val name : t -> string
+
+(** [arity s] is the number [k] of attributes. *)
+val arity : t -> int
+
+(** Attributes in declaration order. *)
+val attributes : t -> attribute list
+
+val attribute_set : t -> Attr_set.t
+
+(** [index_of s a] is the position of attribute [a].
+
+    @raise Not_found if [a] is not an attribute of [s]. *)
+val index_of : t -> attribute -> int
+
+val index_of_opt : t -> attribute -> int option
+val mem : t -> attribute -> bool
+
+(** [attribute_at s i] is the attribute at position [i]. *)
+val attribute_at : t -> int -> attribute
+
+(** [indices_of s x] maps an attribute set to its sorted position list.
+
+    @raise Not_found if some attribute of [x] is not in [s]. *)
+val indices_of : t -> Attr_set.t -> int list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,194 @@
+module Imap = Map.Make (Int)
+
+type id = int
+
+type row = { tuple : Tuple.t; weight : float }
+
+type t = { schema : Schema.t; rows : row Imap.t }
+
+let empty schema = { schema; rows = Imap.empty }
+
+let check_row schema ?(what = "Table.add") weight tuple =
+  if weight <= 0.0 then invalid_arg (what ^ ": weight must be positive");
+  if Tuple.arity tuple <> Schema.arity schema then
+    invalid_arg (what ^ ": tuple arity does not match schema")
+
+let next_id tbl =
+  match Imap.max_binding_opt tbl.rows with
+  | None -> 1
+  | Some (i, _) -> i + 1
+
+let add ?id ?(weight = 1.0) tbl tuple =
+  check_row tbl.schema weight tuple;
+  let id = match id with Some i -> i | None -> next_id tbl in
+  if Imap.mem id tbl.rows then
+    invalid_arg (Printf.sprintf "Table.add: duplicate identifier %d" id);
+  { tbl with rows = Imap.add id { tuple; weight } tbl.rows }
+
+let of_list schema rows =
+  List.fold_left
+    (fun tbl (id, weight, tuple) -> add ~id ~weight tbl tuple)
+    (empty schema) rows
+
+let of_tuples schema tuples =
+  List.fold_left (fun tbl tuple -> add tbl tuple) (empty schema) tuples
+
+let schema tbl = tbl.schema
+let ids tbl = Imap.bindings tbl.rows |> List.map fst
+let size tbl = Imap.cardinal tbl.rows
+let is_empty tbl = Imap.is_empty tbl.rows
+let mem tbl i = Imap.mem i tbl.rows
+
+let find_opt tbl i =
+  Imap.find_opt i tbl.rows |> Option.map (fun r -> (r.tuple, r.weight))
+
+let tuple tbl i = (Imap.find i tbl.rows).tuple
+let weight tbl i = (Imap.find i tbl.rows).weight
+
+let tuples tbl = Imap.bindings tbl.rows |> List.map (fun (_, r) -> r.tuple)
+
+let fold f tbl acc =
+  Imap.fold (fun i r acc -> f i r.tuple r.weight acc) tbl.rows acc
+
+let iter f tbl = Imap.iter (fun i r -> f i r.tuple r.weight) tbl.rows
+let for_all p tbl = Imap.for_all (fun i r -> p i r.tuple) tbl.rows
+let exists p tbl = Imap.exists (fun i r -> p i r.tuple) tbl.rows
+
+let total_weight tbl = fold (fun _ _ w acc -> acc +. w) tbl 0.0
+
+let is_duplicate_free tbl =
+  let module Tset = Set.Make (struct
+    type t = Tuple.t
+
+    let compare = Tuple.compare
+  end) in
+  let distinct = Tset.of_list (tuples tbl) in
+  Tset.cardinal distinct = size tbl
+
+let is_unweighted tbl =
+  match Imap.min_binding_opt tbl.rows with
+  | None -> true
+  | Some (_, r0) -> Imap.for_all (fun _ r -> r.weight = r0.weight) tbl.rows
+
+let select tbl p =
+  { tbl with rows = Imap.filter (fun i r -> p i r.tuple) tbl.rows }
+
+let select_eq tbl x key =
+  select tbl (fun _ t -> Tuple.equal (Tuple.project tbl.schema t x) key)
+
+module Tmap = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+let group_by tbl x =
+  let groups =
+    fold
+      (fun i t _ acc ->
+        let key = Tuple.project tbl.schema t x in
+        let prev = Option.value (Tmap.find_opt key acc) ~default:[] in
+        Tmap.add key (i :: prev) acc)
+      tbl Tmap.empty
+  in
+  let module Iset = Set.Make (Int) in
+  Tmap.bindings groups
+  |> List.map (fun (key, members) ->
+         let keep = Iset.of_list members in
+         let sub =
+           { tbl with rows = Imap.filter (fun i _ -> Iset.mem i keep) tbl.rows }
+         in
+         (key, sub))
+
+let project_distinct tbl x = group_by tbl x |> List.map fst
+
+let restrict tbl keep =
+  let module Iset = Set.Make (Int) in
+  let keep = Iset.of_list keep in
+  { tbl with rows = Imap.filter (fun i _ -> Iset.mem i keep) tbl.rows }
+
+let remove tbl gone =
+  let module Iset = Set.Make (Int) in
+  let gone = Iset.of_list gone in
+  { tbl with rows = Imap.filter (fun i _ -> not (Iset.mem i gone)) tbl.rows }
+
+let union t1 t2 =
+  let rows =
+    Imap.union
+      (fun i _ _ ->
+        invalid_arg (Printf.sprintf "Table.union: identifier %d in both" i))
+      t1.rows t2.rows
+  in
+  { t1 with rows }
+
+let map_tuples tbl f =
+  { tbl with rows = Imap.mapi (fun i r -> { r with tuple = f i r.tuple }) tbl.rows }
+
+let set_tuple tbl i tp =
+  let r = Imap.find i tbl.rows in
+  check_row tbl.schema ~what:"Table.set_tuple" r.weight tp;
+  { tbl with rows = Imap.add i { r with tuple = tp } tbl.rows }
+
+let map_weights tbl f =
+  let rows =
+    Imap.mapi
+      (fun i r ->
+        let w = f i r.weight in
+        if w <= 0.0 then invalid_arg "Table.map_weights: weight must be positive";
+        { r with weight = w })
+      tbl.rows
+  in
+  { tbl with rows }
+
+let is_subset_of s tbl =
+  Schema.equal s.schema tbl.schema
+  && Imap.for_all
+       (fun i r ->
+         match Imap.find_opt i tbl.rows with
+         | Some r' -> Tuple.equal r.tuple r'.tuple && r.weight = r'.weight
+         | None -> false)
+       s.rows
+
+let is_update_of u tbl =
+  Schema.equal u.schema tbl.schema
+  && size u = size tbl
+  && Imap.for_all
+       (fun i r ->
+         match Imap.find_opt i tbl.rows with
+         | Some r' -> r.weight = r'.weight
+         | None -> false)
+       u.rows
+
+let dist_sub s tbl =
+  if not (is_subset_of s tbl) then invalid_arg "Table.dist_sub: not a subset";
+  fold (fun i _ w acc -> if mem s i then acc else acc +. w) tbl 0.0
+
+let dist_upd u tbl =
+  if not (is_update_of u tbl) then invalid_arg "Table.dist_upd: not an update";
+  fold
+    (fun i t w acc -> acc +. (w *. float_of_int (Tuple.hamming t (tuple u i))))
+    tbl 0.0
+
+let active_domain tbl a =
+  let i = Schema.index_of tbl.schema a in
+  tuples tbl
+  |> List.map (fun t -> Tuple.get t i)
+  |> List.sort_uniq Value.compare
+
+let all_values tbl =
+  tuples tbl |> List.concat_map Tuple.values |> List.sort_uniq Value.compare
+
+let equal t1 t2 =
+  Schema.equal t1.schema t2.schema
+  && Imap.equal
+       (fun r1 r2 -> Tuple.equal r1.tuple r2.tuple && r1.weight = r2.weight)
+       t1.rows t2.rows
+
+let pp ppf tbl =
+  Fmt.pf ppf "@[<v>%a@," Schema.pp tbl.schema;
+  iter
+    (fun i t w -> Fmt.pf ppf "  %3d | %a | w=%g@," i Tuple.pp t w)
+    tbl;
+  Fmt.pf ppf "@]"
+
+let to_string tbl = Fmt.str "%a" pp tbl

@@ -1,0 +1,148 @@
+(** Tables: the paper's data model (Section 2.1).
+
+    A table [T] over a schema maps each tuple identifier [i ∈ ids(T)] to a
+    tuple [T[i]] and a positive weight [w_T(i)]. Duplicate tuples (equal
+    tuples under distinct identifiers) are allowed. Tables are immutable;
+    all operations are persistent. *)
+
+type t
+
+type id = int
+
+(** {1 Construction} *)
+
+(** [empty schema] is the table with no tuples. *)
+val empty : Schema.t -> t
+
+(** [add ?id ?weight tbl tuple] adds a tuple. When [id] is omitted, a fresh
+    identifier (one above the current maximum) is used. [weight] defaults
+    to [1.0].
+
+    @raise Invalid_argument if the id is already used, the weight is not
+    positive, or the tuple arity mismatches the schema. *)
+val add : ?id:id -> ?weight:float -> t -> Tuple.t -> t
+
+(** [of_list schema rows] builds a table from [(id, weight, tuple)] rows. *)
+val of_list : Schema.t -> (id * float * Tuple.t) list -> t
+
+(** [of_tuples schema tuples] numbers tuples 1..n with unit weights. *)
+val of_tuples : Schema.t -> Tuple.t list -> t
+
+(** {1 Access} *)
+
+val schema : t -> Schema.t
+
+(** [ids tbl] is [ids(T)], in increasing order. *)
+val ids : t -> id list
+
+(** [size tbl] is [|T|], the number of tuple identifiers. *)
+val size : t -> int
+
+val is_empty : t -> bool
+val mem : t -> id -> bool
+
+(** [tuple tbl i] is [T[i]].
+    @raise Not_found if [i ∉ ids(T)]. *)
+val tuple : t -> id -> Tuple.t
+
+(** [weight tbl i] is [w_T(i)].
+    @raise Not_found if [i ∉ ids(T)]. *)
+val weight : t -> id -> float
+
+val find_opt : t -> id -> (Tuple.t * float) option
+
+(** [tuples tbl] is the list of tuples [T[*]] (with duplicates, in id
+    order). *)
+val tuples : t -> Tuple.t list
+
+(** [total_weight tbl] is [w_T(T)], the sum of all tuple weights. *)
+val total_weight : t -> float
+
+val fold : (id -> Tuple.t -> float -> 'a -> 'a) -> t -> 'a -> 'a
+val iter : (id -> Tuple.t -> float -> unit) -> t -> unit
+val for_all : (id -> Tuple.t -> bool) -> t -> bool
+val exists : (id -> Tuple.t -> bool) -> t -> bool
+
+(** {1 Predicates from the paper} *)
+
+(** No two distinct identifiers carry equal tuples. *)
+val is_duplicate_free : t -> bool
+
+(** All weights are equal. *)
+val is_unweighted : t -> bool
+
+(** {1 Relational operations} *)
+
+(** [select tbl p] keeps the rows satisfying [p]. *)
+val select : t -> (id -> Tuple.t -> bool) -> t
+
+(** [select_eq tbl x key] is [σ_{X=key} T]: the rows whose projection on [x]
+    equals [key] (a tuple over the attributes of [x] in schema order). *)
+val select_eq : t -> Attr_set.t -> Tuple.t -> t
+
+(** [project_distinct tbl x] is [π_X T[*]]: the distinct projections of the
+    tuples on [x]. *)
+val project_distinct : t -> Attr_set.t -> Tuple.t list
+
+(** [group_by tbl x] partitions the table by the projection on [x],
+    returning each distinct key with its subtable. The subtables keep the
+    original identifiers and weights, so they are subsets of [tbl]. *)
+val group_by : t -> Attr_set.t -> (Tuple.t * t) list
+
+(** [restrict tbl ids] is the subset of [tbl] with the given identifiers
+    (identifiers absent from [tbl] are ignored). *)
+val restrict : t -> id list -> t
+
+(** [remove tbl ids] deletes the given identifiers. *)
+val remove : t -> id list -> t
+
+(** [union t1 t2] merges tables with disjoint identifier sets.
+
+    @raise Invalid_argument if an identifier occurs in both. *)
+val union : t -> t -> t
+
+(** [map_tuples tbl f] applies [f] to every tuple, keeping ids and weights:
+    the result is an update of [tbl] in the paper's sense. *)
+val map_tuples : t -> (id -> Tuple.t -> Tuple.t) -> t
+
+(** [set_tuple tbl i tp] replaces the tuple at [i], keeping its weight.
+    @raise Not_found if [i ∉ ids(T)]. *)
+val set_tuple : t -> id -> Tuple.t -> t
+
+(** [map_weights tbl f] replaces each weight [w] by [f id w].
+    @raise Invalid_argument if some new weight is not positive. *)
+val map_weights : t -> (id -> float -> float) -> t
+
+(** {1 Repair-related distances (Section 2.3)} *)
+
+(** [is_subset_of s tbl] holds iff [s] is a subset of [tbl]: same schema,
+    [ids(S) ⊆ ids(T)], and matching tuples and weights. *)
+val is_subset_of : t -> t -> bool
+
+(** [is_update_of u tbl] holds iff [u] is an update of [tbl]: same schema,
+    [ids(U) = ids(T)], and matching weights. *)
+val is_update_of : t -> t -> bool
+
+(** [dist_sub s tbl] is [dist_sub(S, T)]: the total weight of the tuples of
+    [tbl] missing from [s].
+
+    @raise Invalid_argument if [s] is not a subset of [tbl]. *)
+val dist_sub : t -> t -> float
+
+(** [dist_upd u tbl] is [dist_upd(U, T)]: the weighted Hamming distance.
+
+    @raise Invalid_argument if [u] is not an update of [tbl]. *)
+val dist_upd : t -> t -> float
+
+(** [active_domain tbl a] is the set of values attribute [a] takes,
+    de-duplicated and sorted. *)
+val active_domain : t -> Schema.attribute -> Value.t list
+
+(** All values occurring anywhere in the table. *)
+val all_values : t -> Value.t list
+
+(** {1 Display} *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

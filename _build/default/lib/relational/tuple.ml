@@ -1,0 +1,54 @@
+type t = Value.t array
+
+let make vs = Array.of_list vs
+let of_array a = Array.copy a
+let arity = Array.length
+let get t i = t.(i)
+let get_attr schema t a = t.(Schema.index_of schema a)
+
+let set t i v =
+  let t' = Array.copy t in
+  t'.(i) <- v;
+  t'
+
+let set_attr schema t a v = set t (Schema.index_of schema a) v
+
+let project schema t x =
+  let idxs = Schema.indices_of schema x in
+  Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let agree_on schema t1 t2 x =
+  let idxs = Schema.indices_of schema x in
+  List.for_all (fun i -> Value.equal t1.(i) t2.(i)) idxs
+
+let hamming t1 t2 =
+  if Array.length t1 <> Array.length t2 then
+    invalid_arg "Tuple.hamming: arity mismatch";
+  let d = ref 0 in
+  for i = 0 to Array.length t1 - 1 do
+    if not (Value.equal t1.(i) t2.(i)) then incr d
+  done;
+  !d
+
+let values = Array.to_list
+
+let compare t1 t2 =
+  let n1 = Array.length t1 and n2 = Array.length t2 in
+  if n1 <> n2 then Stdlib.compare n1 n2
+  else
+    let rec loop i =
+      if i = n1 then 0
+      else
+        let c = Value.compare t1.(i) t2.(i) in
+        if c <> 0 then c else loop (i + 1)
+    in
+    loop 0
+
+let equal t1 t2 = compare t1 t2 = 0
+
+let hash t = Hashtbl.hash (Array.map Value.hash t)
+
+let pp ppf t =
+  Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") Value.pp) (values t)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,48 @@
+(** Tuples: sequences of values conforming to a schema.
+
+    A tuple is an immutable array of values; position [i] holds the value of
+    the schema's [i]-th attribute. *)
+
+type t
+
+(** [make vs] builds a tuple from values in schema order. *)
+val make : Value.t list -> t
+
+val of_array : Value.t array -> t
+
+(** [arity t] is the number of values. *)
+val arity : t -> int
+
+(** [get t i] is the value at position [i]. *)
+val get : t -> int -> Value.t
+
+(** [get_attr schema t a] is the value of attribute [a] (the paper's
+    [t.A]). *)
+val get_attr : Schema.t -> t -> Schema.attribute -> Value.t
+
+(** [set t i v] is a copy of [t] with position [i] replaced by [v]. *)
+val set : t -> int -> Value.t -> t
+
+(** [set_attr schema t a v] is a copy of [t] with attribute [a] set to
+    [v]. *)
+val set_attr : Schema.t -> t -> Schema.attribute -> Value.t -> t
+
+(** [project schema t x] is the paper's [t[X]]: the sequence of values of
+    the attributes of [x], in schema order. *)
+val project : Schema.t -> t -> Attr_set.t -> t
+
+(** [agree_on schema t1 t2 x] holds iff [t1[X] = t2[X]]. *)
+val agree_on : Schema.t -> t -> t -> Attr_set.t -> bool
+
+(** [hamming t1 t2] is the Hamming distance [H(t1, t2)]: the number of
+    positions where the tuples disagree (Section 2.3).
+
+    @raise Invalid_argument on arity mismatch. *)
+val hamming : t -> t -> int
+
+val values : t -> Value.t list
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,93 @@
+type t =
+  | Unit
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | Triple of t * t * t
+  | Fresh of int
+
+let rec compare v1 v2 =
+  match v1, v2 with
+  | Unit, Unit -> 0
+  | Unit, _ -> -1
+  | _, Unit -> 1
+  | Int a, Int b -> Stdlib.compare a b
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str a, Str b -> String.compare a b
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (a1, b1), Pair (a2, b2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c else compare b1 b2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | Triple (a1, b1, c1), Triple (a2, b2, c2) ->
+    let c = compare a1 a2 in
+    if c <> 0 then c
+    else
+      let c = compare b1 b2 in
+      if c <> 0 then c else compare c1 c2
+  | Triple _, _ -> -1
+  | _, Triple _ -> 1
+  | Fresh a, Fresh b -> Stdlib.compare a b
+
+let equal v1 v2 = compare v1 v2 = 0
+
+let rec hash = function
+  | Unit -> 17
+  | Int i -> Hashtbl.hash (0, i)
+  | Str s -> Hashtbl.hash (1, s)
+  | Pair (a, b) -> Hashtbl.hash (2, hash a, hash b)
+  | Triple (a, b, c) -> Hashtbl.hash (3, hash a, hash b, hash c)
+  | Fresh i -> Hashtbl.hash (4, i)
+
+let rec pp ppf = function
+  | Unit -> Fmt.string ppf "⊙"
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.string ppf s
+  | Pair (a, b) -> Fmt.pf ppf "⟨%a,%a⟩" pp a pp b
+  | Triple (a, b, c) -> Fmt.pf ppf "⟨%a,%a,%a⟩" pp a pp b pp c
+  | Fresh i -> Fmt.pf ppf "$%d" i
+
+let to_string v = Fmt.str "%a" pp v
+
+let int i = Int i
+let str s = Str s
+let pair a b = Pair (a, b)
+let triple a b c = Triple (a, b, c)
+
+let of_string s =
+  let s = String.trim s in
+  if s = "_|_" then Unit
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      if String.length s > 1 && s.[0] = '$' then
+        match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+        | Some i -> Fresh i
+        | None -> Str s
+      else Str s
+
+module Supply = struct
+  type value = t
+  type t = { mutable next_id : int }
+
+  let create () = { next_id = 0 }
+
+  let rec max_fresh acc = function
+    | Unit | Int _ | Str _ -> acc
+    | Fresh i -> max acc i
+    | Pair (a, b) -> max_fresh (max_fresh acc a) b
+    | Triple (a, b, c) -> max_fresh (max_fresh (max_fresh acc a) b) c
+
+  let starting_above vs =
+    let top = List.fold_left max_fresh (-1) vs in
+    { next_id = top + 1 }
+
+  let next s =
+    let i = s.next_id in
+    s.next_id <- i + 1;
+    (Fresh i : value)
+end

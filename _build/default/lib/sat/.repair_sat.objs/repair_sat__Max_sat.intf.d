@@ -1,0 +1,1 @@
+lib/sat/max_sat.mli: Cnf

@@ -1,0 +1,52 @@
+type literal = { var : int; positive : bool }
+type clause = literal list
+
+type t = { n_vars : int; clauses : clause list }
+
+let make ~n_vars clauses =
+  List.iter
+    (fun c ->
+      if c = [] then invalid_arg "Cnf.make: empty clause";
+      List.iter
+        (fun l ->
+          if l.var < 0 || l.var >= n_vars then
+            invalid_arg "Cnf.make: variable out of range")
+        c)
+    clauses;
+  { n_vars; clauses }
+
+let n_vars f = f.n_vars
+let n_clauses f = List.length f.clauses
+let clauses f = f.clauses
+
+let pos var = { var; positive = true }
+let neg var = { var; positive = false }
+
+let eval_literal assignment l =
+  if l.positive then assignment.(l.var) else not assignment.(l.var)
+
+let eval_clause assignment c = List.exists (eval_literal assignment) c
+
+let count_satisfied assignment f =
+  List.fold_left
+    (fun acc c -> if eval_clause assignment c then acc + 1 else acc)
+    0 f.clauses
+
+let is_2cnf f = List.for_all (fun c -> List.length c = 2) f.clauses
+
+let is_non_mixed f =
+  List.for_all
+    (fun c ->
+      List.for_all (fun l -> l.positive) c
+      || List.for_all (fun l -> not l.positive) c)
+    f.clauses
+
+let pp_literal ppf l =
+  Fmt.pf ppf "%sx%d" (if l.positive then "" else "¬") l.var
+
+let pp ppf f =
+  Fmt.pf ppf "@[<h>%a@]"
+    Fmt.(
+      list ~sep:(any " ∧ ") (fun ppf c ->
+          pf ppf "(%a)" (list ~sep:(any " ∨ ") pp_literal) c))
+    f.clauses

@@ -1,0 +1,41 @@
+(** CNF formulas for the MAX-SAT source problems of the hardness proofs.
+
+    The S-repair hardness for [Δ_{A→B→C}] and [Δ_{A→C←B}] is by reduction
+    from MAX-2-SAT (Lemmas A.4/A.5); for [Δ_{AB→C→B}] from
+    MAX-non-mixed-SAT, where every clause is all-positive or all-negative
+    (Lemma A.13). *)
+
+(** A literal: variable index (0-based) and polarity. *)
+type literal = { var : int; positive : bool }
+
+type clause = literal list
+
+type t
+
+(** [make ~n_vars clauses] builds a formula.
+
+    @raise Invalid_argument if a variable index is out of range or a clause
+    is empty. *)
+val make : n_vars:int -> clause list -> t
+
+val n_vars : t -> int
+val n_clauses : t -> int
+val clauses : t -> clause list
+
+val pos : int -> literal
+val neg : int -> literal
+
+(** [eval_clause assignment c] — [assignment.(v)] is the truth value of
+    variable [v]. *)
+val eval_clause : bool array -> clause -> bool
+
+(** [count_satisfied assignment f] counts satisfied clauses. *)
+val count_satisfied : bool array -> t -> int
+
+(** Every clause has exactly two literals. *)
+val is_2cnf : t -> bool
+
+(** Every clause is all-positive or all-negative (non-mixed). *)
+val is_non_mixed : t -> bool
+
+val pp : Format.formatter -> t -> unit

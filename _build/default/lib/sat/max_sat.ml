@@ -1,0 +1,47 @@
+let exact f =
+  let n = Cnf.n_vars f in
+  if n > 24 then invalid_arg "Max_sat.exact: too many variables";
+  let best = ref (Array.make (max n 1) false) in
+  let best_count = ref (Cnf.count_satisfied !best f) in
+  let assignment = Array.make (max n 1) false in
+  let total = 1 lsl n in
+  for mask = 0 to total - 1 do
+    for v = 0 to n - 1 do
+      assignment.(v) <- mask land (1 lsl v) <> 0
+    done;
+    let c = Cnf.count_satisfied assignment f in
+    if c > !best_count then begin
+      best := Array.copy assignment;
+      best_count := c
+    end
+  done;
+  (!best, !best_count)
+
+let local_search ~seed ~restarts f =
+  let n = Cnf.n_vars f in
+  let rng = Random.State.make [| seed |] in
+  let best = ref (Array.make (max n 1) false) in
+  let best_count = ref (Cnf.count_satisfied !best f) in
+  for _ = 1 to max 1 restarts do
+    let a = Array.init (max n 1) (fun _ -> Random.State.bool rng) in
+    let improved = ref true in
+    while !improved do
+      improved := false;
+      let base = Cnf.count_satisfied a f in
+      for v = 0 to n - 1 do
+        a.(v) <- not a.(v);
+        if Cnf.count_satisfied a f > base then improved := true
+        else a.(v) <- not a.(v)
+      done
+    done;
+    let c = Cnf.count_satisfied a f in
+    if c > !best_count then begin
+      best := Array.copy a;
+      best_count := c
+    end
+  done;
+  (!best, !best_count)
+
+let min_unsatisfied f =
+  let _, k = exact f in
+  Cnf.n_clauses f - k

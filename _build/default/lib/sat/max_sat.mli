@@ -1,0 +1,14 @@
+(** MAX-SAT solvers: exact (for baselines) and local search (for scale). *)
+
+(** [exact f] is [(assignment, k)] maximizing the number [k] of satisfied
+    clauses, by exhaustive search over assignments — use only for
+    [n_vars ≲ 22]. *)
+val exact : Cnf.t -> bool array * int
+
+(** [local_search ~seed ~restarts f] is a hill-climbing heuristic with
+    random restarts; returns the best assignment found and its count. *)
+val local_search : seed:int -> restarts:int -> Cnf.t -> bool array * int
+
+(** [min_unsatisfied f] is [n_clauses − exact count]: the complement
+    objective that the strict reductions of the paper preserve. *)
+val min_unsatisfied : Cnf.t -> int

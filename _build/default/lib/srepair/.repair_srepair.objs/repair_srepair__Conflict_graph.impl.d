@@ -1,0 +1,1 @@
+lib/srepair/conflict_graph.ml: Array Fd Fd_set Hashtbl List Repair_fd Repair_graph Repair_relational Table

@@ -1,0 +1,1 @@
+lib/srepair/conflict_graph.mli: Fd_set Repair_fd Repair_graph Repair_relational Table

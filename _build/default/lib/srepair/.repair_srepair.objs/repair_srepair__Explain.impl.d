@@ -1,0 +1,1 @@
+lib/srepair/explain.ml: Fd Fd_set Fmt List Repair_fd Repair_relational S_check Table

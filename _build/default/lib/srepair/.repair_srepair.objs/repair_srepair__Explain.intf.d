@@ -1,0 +1,1 @@
+lib/srepair/explain.mli: Fd Fd_set Format Repair_fd Repair_relational Table

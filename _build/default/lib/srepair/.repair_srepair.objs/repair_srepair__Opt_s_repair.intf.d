@@ -1,0 +1,1 @@
+lib/srepair/opt_s_repair.mli: Fd_set Repair_fd Repair_relational Table

@@ -1,0 +1,1 @@
+lib/srepair/s_approx.ml: Conflict_graph Repair_graph Repair_relational Table

@@ -1,0 +1,1 @@
+lib/srepair/s_check.ml: Fd_index Fd_set Repair_fd Repair_relational S_exact Table

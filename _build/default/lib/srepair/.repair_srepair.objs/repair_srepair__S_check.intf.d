@@ -1,0 +1,1 @@
+lib/srepair/s_check.mli: Fd_set Repair_fd Repair_relational Table

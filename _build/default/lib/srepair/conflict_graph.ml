@@ -1,0 +1,76 @@
+open Repair_relational
+open Repair_fd
+module G = Repair_graph.Graph
+
+type t = {
+  graph : G.t;
+  ids : Table.id array; (* dense vertex -> tuple id *)
+  index : (Table.id, int) Hashtbl.t;
+}
+
+let build d tbl =
+  let ids = Array.of_list (Table.ids tbl) in
+  let n = Array.length ids in
+  let index = Hashtbl.create n in
+  Array.iteri (fun v i -> Hashtbl.add index i v) ids;
+  let weights = Array.map (fun i -> Table.weight tbl i) ids in
+  let graph = G.create_weighted weights in
+  (* For each FD X → Y: group tuples by their X-projection; within a group,
+     split by the Y-projection; any two tuples in different Y-subgroups of
+     the same X-group conflict. *)
+  let add_fd fd =
+    let groups = Table.group_by tbl (Fd.lhs fd) in
+    List.iter
+      (fun (_, sub) ->
+        let subgroups = Table.group_by sub (Fd.rhs fd) in
+        let id_lists = List.map (fun (_, s) -> Table.ids s) subgroups in
+        let rec cross = function
+          | [] -> ()
+          | g1 :: rest ->
+            List.iter
+              (fun g2 ->
+                List.iter
+                  (fun i ->
+                    List.iter
+                      (fun j ->
+                        G.add_edge graph (Hashtbl.find index i)
+                          (Hashtbl.find index j))
+                      g2)
+                  g1)
+              rest;
+            cross rest
+        in
+        cross id_lists)
+      groups
+  in
+  List.iter add_fd (Fd_set.to_list (Fd_set.remove_trivial d));
+  { graph; ids; index }
+
+let build_naive d tbl =
+  let d = Fd_set.remove_trivial d in
+  let schema = Table.schema tbl in
+  let ids = Array.of_list (Table.ids tbl) in
+  let n = Array.length ids in
+  let index = Hashtbl.create n in
+  Array.iteri (fun v i -> Hashtbl.add index i v) ids;
+  let weights = Array.map (fun i -> Table.weight tbl i) ids in
+  let graph = G.create_weighted weights in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if
+        not
+          (Fd_set.pair_consistent d schema
+             (Table.tuple tbl ids.(a))
+             (Table.tuple tbl ids.(b)))
+      then G.add_edge graph a b
+    done
+  done;
+  { graph; ids; index }
+
+let graph cg = cg.graph
+let id_of_vertex cg v = cg.ids.(v)
+let vertex_of_id cg i = Hashtbl.find cg.index i
+let n_conflicts cg = G.n_edges cg.graph
+
+let delete_cover cg tbl cover =
+  Table.remove tbl (List.map (id_of_vertex cg) cover)

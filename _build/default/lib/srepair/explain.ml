@@ -1,0 +1,44 @@
+open Repair_relational
+open Repair_fd
+
+type reason = {
+  deleted : Table.id;
+  conflicts : (Table.id * Fd.t) list;
+}
+
+let deletions d ~table s =
+  if not (S_check.is_consistent_subset d ~of_:table s) then
+    invalid_arg "Explain.deletions: not a consistent subset";
+  let schema = Table.schema table in
+  let fds = Fd_set.to_list (Fd_set.normalize d) in
+  Table.fold
+    (fun i t _ acc ->
+      if Table.mem s i then acc
+      else
+        let conflicts =
+          Table.fold
+            (fun j t' _ acc ->
+              List.fold_left
+                (fun acc fd ->
+                  if Fd.holds_on schema t t' fd then acc else (j, fd) :: acc)
+                acc fds)
+            s []
+          |> List.rev
+        in
+        { deleted = i; conflicts } :: acc)
+    table []
+  |> List.rev
+
+let gratuitous d ~table s =
+  deletions d ~table s
+  |> List.filter_map (fun r ->
+         if r.conflicts = [] then Some r.deleted else None)
+
+let pp_reason ppf r =
+  match r.conflicts with
+  | [] -> Fmt.pf ppf "tuple %d: gratuitous deletion (restorable)" r.deleted
+  | cs ->
+    Fmt.pf ppf "tuple %d conflicts with %a" r.deleted
+      Fmt.(
+        list ~sep:(any ", ") (fun ppf (j, fd) -> pf ppf "%d (%a)" j Fd.pp fd))
+      cs

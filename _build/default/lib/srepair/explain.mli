@@ -1,0 +1,32 @@
+(** Explanations for subset repairs: why was each tuple deleted?
+
+    In the human-in-the-loop workflow the paper motivates (Section 1),
+    a cleaner wants not just a repair but the {e justification}: the
+    surviving tuples and FDs each deletion conflicts with. A deletion with
+    no surviving conflict partner is {e gratuitous} — the subset was not
+    maximal — and is reported as such. *)
+
+open Repair_relational
+open Repair_fd
+
+type reason = {
+  deleted : Table.id;
+  conflicts : (Table.id * Fd.t) list;
+      (** surviving tuples (and the FD violated with each); empty means the
+          deletion was gratuitous *)
+}
+
+(** [deletions d ~table s] explains every tuple of [table] missing from
+    the consistent subset [s].
+
+    @raise Invalid_argument if [s] is not a consistent subset of
+    [table]. *)
+val deletions : Fd_set.t -> table:Table.t -> Table.t -> reason list
+
+(** [gratuitous d ~table s] — the deleted ids with no surviving conflict:
+    restoring them keeps consistency. Empty iff [s] is an S-repair. *)
+val gratuitous : Fd_set.t -> table:Table.t -> Table.t -> Table.id list
+
+(** [pp_reason] renders e.g.
+    ["tuple 2 conflicts with 1 (facility → city), 1 (facility room → floor)"]. *)
+val pp_reason : Format.formatter -> reason -> unit

@@ -1,0 +1,34 @@
+(** Algorithm 1 ([OptSRepair]) with its three subroutines.
+
+    The algorithm repeatedly simplifies (Δ, T):
+
+    - {e common lhs} ([CommonLHSRep], Subroutine 1): if some attribute [A]
+      occurs in every lhs, partition by [A], solve each block under
+      [Δ − A], and return the union;
+    - {e consensus} ([ConsensusRep], Subroutine 2): if Δ has a consensus FD
+      [∅ → X], partition by [X], solve each block under [Δ − X], and keep
+      the heaviest block repair;
+    - {e lhs marriage} ([MarriageRep], Subroutine 3): if Δ has an lhs
+      marriage [(X1, X2)], solve each [(a1, a2)]-block under [Δ − X1X2],
+      and combine blocks with a maximum-weight bipartite matching between
+      the [X1]- and [X2]-projections.
+
+    If none applies and Δ is still nontrivial, the algorithm fails; by the
+    dichotomy (Theorem 3.4) the problem is then APX-complete. On success
+    the result is an optimal S-repair (Theorem 3.2), and the run takes
+    polynomial time even under combined complexity. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [run d tbl] executes OptSRepair. [Ok s] is an optimal S-repair;
+    [Error stuck] reports the simplified-but-nontrivial FD set on which the
+    algorithm got stuck. *)
+val run : Fd_set.t -> Table.t -> (Table.t, Fd_set.t) result
+
+(** [run_exn d tbl] is [run], raising [Failure] on the hard side. *)
+val run_exn : Fd_set.t -> Table.t -> Table.t
+
+(** [distance d tbl] is the optimal S-repair distance
+    [dist_sub(S*, T)], when computable by OptSRepair. *)
+val distance : Fd_set.t -> Table.t -> (float, Fd_set.t) result

@@ -1,0 +1,35 @@
+open Repair_relational
+open Repair_fd
+
+let is_consistent_subset d ~of_ s =
+  Table.is_subset_of s of_ && Fd_set.satisfied_by d s
+
+let compatible d s tuple =
+  let schema = Table.schema s in
+  Table.for_all (fun _ t -> Fd_set.pair_consistent d schema tuple t) s
+
+let is_s_repair d ~of_ s =
+  is_consistent_subset d ~of_ s
+  && Table.fold
+       (fun i t _ ok -> ok && (Table.mem s i || not (compatible d s t)))
+       of_ true
+
+(* Tuple-at-a-time extension through the incremental index: expected
+   O(|T|·|Δ|·log|T|) instead of the quadratic pairwise scan. *)
+let make_maximal d ~of_ s =
+  let idx = Fd_index.build d s in
+  Table.fold
+    (fun i t w acc ->
+      if Table.mem acc i then acc
+      else if Fd_index.compatible idx t then begin
+        Fd_index.add idx i t;
+        Table.add ~id:i ~weight:w acc t
+      end
+      else acc)
+    of_ s
+
+let is_alpha_optimal d ~of_ ~alpha s =
+  is_consistent_subset d ~of_ s
+  &&
+  let opt = S_exact.distance d of_ in
+  Table.dist_sub s of_ <= (alpha *. opt) +. 1e-9

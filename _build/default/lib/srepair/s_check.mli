@@ -1,0 +1,26 @@
+(** Checking subset-repair properties (Section 2.3).
+
+    A {e consistent subset} satisfies Δ; an {e S-repair} is a consistent
+    subset not strictly contained in another one; the paper notes that a
+    consistent subset can always be extended to an S-repair with no
+    increase of distance ({!make_maximal}). *)
+
+open Repair_relational
+open Repair_fd
+
+(** [is_consistent_subset d ~of_:t s] holds iff [s] is a subset of [t] and
+    satisfies [d]. *)
+val is_consistent_subset : Fd_set.t -> of_:Table.t -> Table.t -> bool
+
+(** [is_s_repair d ~of_:t s] additionally checks maximality: restoring any
+    deleted tuple breaks consistency. *)
+val is_s_repair : Fd_set.t -> of_:Table.t -> Table.t -> bool
+
+(** [make_maximal d ~of_:t s] greedily restores deleted tuples while
+    consistency is preserved, yielding an S-repair containing [s]. *)
+val make_maximal : Fd_set.t -> of_:Table.t -> Table.t -> Table.t
+
+(** [is_alpha_optimal d ~of_:t ~alpha s] holds iff [s] is a consistent
+    subset with [dist_sub(s, t) ≤ alpha · dist_sub(S*, t)], where the
+    optimum is computed by the exact baseline (small tables only). *)
+val is_alpha_optimal : Fd_set.t -> of_:Table.t -> alpha:float -> Table.t -> bool

@@ -1,0 +1,17 @@
+(** Exact optimal S-repairs for {e any} FD set, via minimum-weight vertex
+    cover of the conflict graph. Exponential worst case — this is the
+    optimality baseline used to validate {!Opt_s_repair} and to measure the
+    quality of {!S_approx} on small instances of APX-hard FD sets. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [optimal d tbl] is an optimal S-repair of [tbl] under [d]. *)
+val optimal : Fd_set.t -> Table.t -> Table.t
+
+(** [distance d tbl] is [dist_sub(S*, T)]. *)
+val distance : Fd_set.t -> Table.t -> float
+
+(** [brute_force d tbl] enumerates all 2^|T| subsets — the ground-truth of
+    ground truths, for tables of at most ~20 tuples. *)
+val brute_force : Fd_set.t -> Table.t -> Table.t

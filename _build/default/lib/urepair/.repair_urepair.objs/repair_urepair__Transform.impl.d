@@ -1,0 +1,1 @@
+lib/urepair/transform.ml: Attr_set Fd Fd_set Lhs_analysis List Repair_fd Repair_relational Table Tuple Value

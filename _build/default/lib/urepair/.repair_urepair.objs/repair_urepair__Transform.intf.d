@@ -1,0 +1,1 @@
+lib/urepair/transform.mli: Attr_set Fd_set Repair_fd Repair_relational Table

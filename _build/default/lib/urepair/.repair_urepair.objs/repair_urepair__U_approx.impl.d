@@ -1,0 +1,1 @@
+lib/urepair/u_approx.ml: Attr_set Fd_set Lhs_analysis List Opt_u_repair Repair_fd Repair_relational Repair_srepair Table Transform Tuple U_heuristic

@@ -1,0 +1,1 @@
+lib/urepair/u_check.ml: Array Fd_set List Repair_fd Repair_relational Table Tuple Value

@@ -1,0 +1,1 @@
+lib/urepair/u_check.mli: Fd_set Repair_fd Repair_relational Table

@@ -1,0 +1,1 @@
+lib/urepair/u_heuristic.ml: Attr_set Fd Fd_set Hashtbl Lhs_analysis List Option Repair_fd Repair_relational Schema Table Tuple Value

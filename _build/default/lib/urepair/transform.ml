@@ -1,0 +1,41 @@
+open Repair_relational
+open Repair_fd
+
+let subset_of_update ~table u =
+  if not (Table.is_update_of u table) then
+    invalid_arg "Transform.subset_of_update: not an update";
+  let untouched =
+    Table.fold
+      (fun i t _ acc ->
+        if Tuple.equal t (Table.tuple u i) then i :: acc else acc)
+      table []
+  in
+  Table.restrict table untouched
+
+let update_of_subset ?cover d ~table s =
+  if not (Table.is_subset_of s table) then
+    invalid_arg "Transform.update_of_subset: not a subset";
+  let d = Fd_set.remove_trivial d in
+  if not (Fd_set.is_consensus_free d) then
+    invalid_arg "Transform.update_of_subset: FD set has consensus attributes";
+  let cover =
+    match cover with
+    | Some c ->
+      List.iter
+        (fun fd ->
+          if Attr_set.disjoint (Fd.lhs fd) c then
+            invalid_arg "Transform.update_of_subset: cover misses an lhs")
+        (Fd_set.to_list d);
+      c
+    | None -> if Fd_set.is_empty d then Attr_set.empty else Lhs_analysis.lhs_cover d
+  in
+  let schema = Table.schema table in
+  let supply = Value.Supply.starting_above (Table.all_values table) in
+  Table.map_tuples table (fun i t ->
+      if Table.mem s i then t
+      else
+        (* One fresh constant per deleted tuple, written into every cover
+           attribute: the tuple can no longer agree with anything on any
+           lhs. *)
+        let fresh = Value.Supply.next supply in
+        Attr_set.fold (fun a acc -> Tuple.set_attr schema acc a fresh) cover t)

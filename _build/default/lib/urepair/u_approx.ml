@@ -1,0 +1,76 @@
+open Repair_relational
+open Repair_fd
+
+let via_s_repair d tbl =
+  let d = Fd_set.normalize d in
+  if Fd_set.is_empty d then (tbl, 1.0)
+  else begin
+    if not (Fd_set.is_consensus_free d) then
+      invalid_arg "U_approx.via_s_repair: consensus attributes present";
+    let s = Repair_srepair.S_approx.approx2 d tbl in
+    let u = Transform.update_of_subset d ~table:tbl s in
+    (u, 2.0 *. float_of_int (Lhs_analysis.mlc d))
+  end
+
+let best d tbl =
+  let schema = Table.schema tbl in
+  let d = Fd_set.normalize d in
+  let consensus = Fd_set.consensus_attrs d in
+  (* Theorem 4.3: the consensus part is solved exactly (ratio 1). *)
+  let base =
+    if Attr_set.is_empty consensus then tbl
+    else Opt_u_repair.consensus_majority tbl consensus
+  in
+  let rest = Fd_set.remove_trivial (Fd_set.minus d consensus) in
+  let solve_component c =
+    match Opt_u_repair.solve c tbl with
+    | Ok u -> (u, 1.0)
+    | Error _ ->
+      (* Certified algorithm (Theorem 4.12) and the voting heuristic run
+         side by side; keep the cheaper update under the certified ratio —
+         the paper's "combine the two and take the best" remark. *)
+      let certified, ratio = via_s_repair c tbl in
+      let heuristic = U_heuristic.local_repair c tbl in
+      let pick =
+        if Table.dist_upd heuristic tbl < Table.dist_upd certified tbl then
+          heuristic
+        else certified
+      in
+      (pick, ratio)
+  in
+  let solved =
+    Fd_set.components rest
+    |> List.filter (fun c -> not (Fd_set.is_trivial c))
+    |> List.map (fun c ->
+           let u, ratio = solve_component c in
+           (Fd_set.attrs c, u, ratio))
+  in
+  let u =
+    List.fold_left
+      (fun acc (attrs, cu, _) ->
+        Table.map_tuples acc (fun i t ->
+            Attr_set.fold
+              (fun a t' ->
+                Tuple.set_attr schema t' a
+                  (Tuple.get_attr schema (Table.tuple cu i) a))
+              attrs t))
+      base solved
+  in
+  let ratio =
+    List.fold_left (fun acc (_, _, r) -> max acc r) 1.0 solved
+  in
+  (u, ratio)
+
+let certified_ratio d =
+  let d = Fd_set.normalize d in
+  let rest = Fd_set.remove_trivial (Fd_set.minus d (Fd_set.consensus_attrs d)) in
+  Fd_set.components rest
+  |> List.filter (fun c -> not (Fd_set.is_trivial c))
+  |> List.fold_left
+       (fun acc c ->
+         let r =
+           if Opt_u_repair.tractable c then 1.0
+           else 2.0 *. float_of_int (Lhs_analysis.mlc c)
+         in
+         max acc r)
+       1.0

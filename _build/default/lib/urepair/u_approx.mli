@@ -1,0 +1,33 @@
+(** Approximate U-repairs with certified ratios (Section 4.4).
+
+    Theorem 4.12: composing the 2-approximate S-repair (Proposition 3.3)
+    with the subset→update transformation (Proposition 4.4) yields a
+    [2·mlc(Δ)]-optimal U-repair. Theorem 4.1 sharpens the ratio to the
+    maximum over attribute-disjoint components, and components that
+    {!Opt_u_repair} solves exactly contribute ratio 1. The paper's closing
+    remark of Section 4.4 — run every available algorithm and keep the
+    cheapest update — is {!best}. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [via_s_repair d tbl] is the plain Theorem 4.12 algorithm (no
+    decomposition): a consistent update together with its certified ratio
+    [2·mlc(Δ)].
+
+    @raise Invalid_argument if [d] has consensus attributes (eliminate
+    them first — {!best} does). *)
+val via_s_repair : Fd_set.t -> Table.t -> Table.t * float
+
+(** [best d tbl] is the combined algorithm: consensus elimination
+    (Theorem 4.3), per-component solving (Theorem 4.1) using the exact
+    solver when the component is tractable and otherwise the better of the
+    Theorem 4.12 approximation and the {!U_heuristic} voting repair,
+    returning the update and the certified ratio (1.0 when everything was
+    exact; the heuristic can only improve the cost, never the
+    certificate). *)
+val best : Fd_set.t -> Table.t -> Table.t * float
+
+(** [certified_ratio d] is the ratio [best] would certify — depends only
+    on Δ. *)
+val certified_ratio : Fd_set.t -> float

@@ -1,0 +1,60 @@
+open Repair_relational
+open Repair_fd
+
+let is_consistent_update d ~of_ u =
+  Table.is_update_of u of_ && Fd_set.satisfied_by d u
+
+let updated_cells ~of_ u =
+  Table.fold
+    (fun i t _ acc ->
+      let ut = Table.tuple u i in
+      let rec collect j acc =
+        if j < 0 then acc
+        else
+          collect (j - 1)
+            (if Value.equal (Tuple.get t j) (Tuple.get ut j) then acc
+             else (i, j) :: acc)
+      in
+      collect (Tuple.arity t - 1) acc)
+    of_ []
+
+let restore ~of_ u cells =
+  List.fold_left
+    (fun acc (i, j) ->
+      Table.set_tuple acc i
+        (Tuple.set (Table.tuple acc i) j (Tuple.get (Table.tuple of_ i) j)))
+    u cells
+
+let is_u_repair ?(max_cells = 16) d ~of_ u =
+  is_consistent_update d ~of_ u
+  &&
+  let cells = Array.of_list (updated_cells ~of_ u) in
+  let c = Array.length cells in
+  if c > max_cells then
+    invalid_arg "U_check.is_u_repair: too many updated cells";
+  (* Every nonempty restoration must break consistency. *)
+  let rec masks m ok =
+    if (not ok) || m >= 1 lsl c then ok
+    else
+      let subset = ref [] in
+      for b = 0 to c - 1 do
+        if m land (1 lsl b) <> 0 then subset := cells.(b) :: !subset
+      done;
+      let restored = restore ~of_ u !subset in
+      masks (m + 1) (not (Fd_set.satisfied_by d restored))
+  in
+  masks 1 true
+
+let minimize d ~of_ u =
+  let rec loop u =
+    let cells = updated_cells ~of_ u in
+    let improvement =
+      List.find_map
+        (fun cell ->
+          let restored = restore ~of_ u [ cell ] in
+          if Fd_set.satisfied_by d restored then Some restored else None)
+        cells
+    in
+    match improvement with Some u' -> loop u' | None -> u
+  in
+  loop u

@@ -1,0 +1,30 @@
+(** Checking update-repair properties (Section 2.3).
+
+    A {e consistent update} satisfies Δ; a {e U-repair} becomes
+    inconsistent whenever any nonempty set of updated cells is restored to
+    the original values. Exact minimality checking is exponential in the
+    number of updated cells; {!is_u_repair} performs it on the (small) set
+    of touched cells, and {!minimize} greedily restores cells to reach a
+    U-repair with no increase of distance. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [is_consistent_update d ~of_:t u] holds iff [u] is an update of [t]
+    satisfying [d]. *)
+val is_consistent_update : Fd_set.t -> of_:Table.t -> Table.t -> bool
+
+(** [updated_cells ~of_:t u] lists the changed cells as
+    [(id, attribute-index)] pairs. *)
+val updated_cells : of_:Table.t -> Table.t -> (Table.id * int) list
+
+(** [is_u_repair ?max_cells d ~of_:t u] checks consistency and minimality
+    by trying every nonempty subset of updated cells (2^c subsets; refuses
+    beyond [max_cells], default 16). *)
+val is_u_repair : ?max_cells:int -> Fd_set.t -> of_:Table.t -> Table.t -> bool
+
+(** [minimize d ~of_:t u] greedily restores updated cells while
+    consistency is preserved. The result is a consistent update with
+    [dist_upd ≤] the input's; single-cell minimality is guaranteed
+    (full-subset minimality is checked by [is_u_repair]). *)
+val minimize : Fd_set.t -> of_:Table.t -> Table.t -> Table.t

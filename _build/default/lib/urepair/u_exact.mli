@@ -1,0 +1,28 @@
+(** Exact optimal U-repairs by bounded search — the ground-truth baseline.
+
+    The search explores updates changing k = 0, 1, 2, ... cells (iterative
+    deepening); each changed cell may take any value of its column's active
+    domain or one of a small pool of shared fresh constants per column.
+    It stops when no deeper level can beat the incumbent
+    (k·min-tuple-weight ≥ best cost).
+
+    The candidate restriction is justified for small k: a repair may need
+    cells to agree on a value from outside the table, which shared fresh
+    constants provide; [fresh] bounds how many mutually-distinct new values
+    per column the optimum may use (at most the number of changed cells in
+    that column, so [fresh ≥ k] is always safe and the default suits the
+    small instances this baseline is for). The paper's Section 5 discusses
+    restricting updates to the active domain — pass [~fresh:0] for that
+    semantics. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [optimal ?fresh ?max_cells d tbl] is an optimal U-repair.
+
+    @raise Invalid_argument if the search space is plainly too large
+    (more than [max_cells], default 24, cells in the table). *)
+val optimal : ?fresh:int -> ?max_cells:int -> Fd_set.t -> Table.t -> Table.t
+
+(** [distance ?fresh ?max_cells d tbl] is [dist_upd(U*, T)]. *)
+val distance : ?fresh:int -> ?max_cells:int -> Fd_set.t -> Table.t -> float

@@ -1,0 +1,91 @@
+open Repair_relational
+open Repair_fd
+
+(* One sweep: for each FD X → Y and each X-group, overwrite every tuple's
+   Y-projection with the group's weighted-majority Y-projection. A sweep
+   resolves each FD in isolation; sweeps are iterated because fixing one
+   FD's rhs can re-group another's lhs. *)
+let vote_sweep d tbl =
+  let schema = Table.schema tbl in
+  List.fold_left
+    (fun tbl fd ->
+      let groups = Table.group_by tbl (Fd.lhs fd) in
+      List.fold_left
+        (fun tbl (_, sub) ->
+          let totals = Hashtbl.create 8 in
+          Table.iter
+            (fun _ t w ->
+              let key = Tuple.project schema t (Fd.rhs fd) in
+              let prev = Option.value (Hashtbl.find_opt totals key) ~default:0.0 in
+              Hashtbl.replace totals key (prev +. w))
+            sub;
+          let majority =
+            Hashtbl.fold
+              (fun key w best ->
+                match best with
+                | Some (_, bw) when bw >= w -> best
+                | _ -> Some (key, w))
+              totals None
+          in
+          match majority with
+          | None -> tbl
+          | Some (rhs_values, _) ->
+            let rhs_attrs =
+              Schema.indices_of schema (Fd.rhs fd)
+              |> List.map (Schema.attribute_at schema)
+            in
+            List.fold_left
+              (fun tbl i ->
+                let t = Table.tuple tbl i in
+                let t' =
+                  List.fold_left2
+                    (fun acc a v -> Tuple.set_attr schema acc a v)
+                    t rhs_attrs (Tuple.values rhs_values)
+                in
+                if Tuple.equal t t' then tbl else Table.set_tuple tbl i t')
+              tbl (Table.ids sub))
+        tbl groups)
+    tbl
+    (Fd_set.to_list d)
+
+(* Fallback: give every tuple still involved in a violation a fresh
+   constant on a minimum lhs cover — afterwards it shares no lhs with
+   anything, so all violations involving it vanish. *)
+let isolate_violators d tbl =
+  let violators =
+    Fd_set.violations d tbl
+    |> List.concat_map (fun (i, j, _) -> [ i; j ])
+    |> List.sort_uniq compare
+  in
+  if violators = [] then tbl
+  else begin
+    let schema = Table.schema tbl in
+    let cover = Lhs_analysis.lhs_cover d in
+    let supply = Value.Supply.starting_above (Table.all_values tbl) in
+    List.fold_left
+      (fun tbl i ->
+        let fresh = Value.Supply.next supply in
+        let t =
+          Attr_set.fold
+            (fun a acc -> Tuple.set_attr schema acc a fresh)
+            cover (Table.tuple tbl i)
+        in
+        Table.set_tuple tbl i t)
+      tbl violators
+  end
+
+let local_repair ?(max_rounds = 4) d tbl =
+  let d = Fd_set.normalize d in
+  if Fd_set.is_empty d then tbl
+  else begin
+    if not (Fd_set.is_consensus_free d) then
+      invalid_arg "U_heuristic.local_repair: consensus attributes present";
+    let rec rounds n tbl =
+      if n = 0 || Fd_set.satisfied_by d tbl then tbl
+      else rounds (n - 1) (vote_sweep d tbl)
+    in
+    let swept = rounds max_rounds tbl in
+    let result = isolate_violators d swept in
+    assert (Fd_set.satisfied_by d result);
+    result
+  end

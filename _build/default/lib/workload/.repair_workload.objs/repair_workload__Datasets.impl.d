@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Fd Fd_set Gen_table List Printf Repair_fd Repair_relational Rng Schema Table Tuple Value

@@ -1,0 +1,1 @@
+lib/workload/datasets.mli: Fd_set Repair_fd Repair_relational Schema Table

@@ -1,0 +1,1 @@
+lib/workload/gen_fd.ml: Array Attr_set Fd Fd_set List Printf Repair_fd Repair_relational Rng Schema

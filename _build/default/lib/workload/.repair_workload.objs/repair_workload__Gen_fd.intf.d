@@ -1,0 +1,1 @@
+lib/workload/gen_fd.mli: Fd_set Repair_fd Repair_relational Rng Schema

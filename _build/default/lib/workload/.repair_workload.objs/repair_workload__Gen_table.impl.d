@@ -1,0 +1,1 @@
+lib/workload/gen_table.ml: Fd Fd_set Fun Hashtbl List Repair_fd Repair_relational Rng Schema Table Tuple Value

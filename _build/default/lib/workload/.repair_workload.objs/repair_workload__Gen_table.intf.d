@@ -1,0 +1,1 @@
+lib/workload/gen_table.mli: Fd_set Repair_fd Repair_relational Rng Schema Table

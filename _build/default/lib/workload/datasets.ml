@@ -1,0 +1,139 @@
+open Repair_relational
+open Repair_fd
+
+let v = Value.str
+let vi = Value.int
+
+let office_schema =
+  Schema.make "Office" [ "facility"; "room"; "floor"; "city" ]
+
+let office_fds =
+  Fd_set.of_list
+    [ Fd.of_lists [ "facility" ] [ "city" ];
+      Fd.of_lists [ "facility"; "room" ] [ "floor" ] ]
+
+let office_row facility room floor city =
+  Tuple.make [ v facility; v room; vi floor; v city ]
+
+let office_table =
+  Table.of_list office_schema
+    [ (1, 2.0, office_row "HQ" "322" 3 "Paris");
+      (2, 1.0, office_row "HQ" "322" 30 "Madrid");
+      (3, 1.0, office_row "HQ" "122" 1 "Madrid");
+      (4, 2.0, office_row "Lab1" "B35" 3 "London") ]
+
+let office_s1 = Table.remove office_table [ 1 ]
+let office_s2 = Table.remove office_table [ 2; 3 ]
+let office_s3 = Table.remove office_table [ 1; 2 ]
+
+let office_u1 =
+  Table.set_tuple office_table 1 (office_row "F01" "322" 3 "Paris")
+
+let office_u2 =
+  let t = Table.set_tuple office_table 2 (office_row "HQ" "322" 3 "Paris") in
+  Table.set_tuple t 3 (office_row "HQ" "122" 1 "Paris")
+
+let office_u3 =
+  Table.set_tuple office_table 1 (office_row "HQ" "322" 30 "Madrid")
+
+let purchase_schema =
+  Schema.make "Purchase" [ "product"; "price"; "buyer"; "email"; "address" ]
+
+let delta0 =
+  Fd_set.of_list
+    [ Fd.of_lists [ "product" ] [ "price" ]; Fd.of_lists [ "buyer" ] [ "email" ] ]
+
+let delta3 =
+  Fd_set.of_list
+    [ Fd.of_lists [ "email" ] [ "buyer" ];
+      Fd.of_lists [ "buyer" ] [ "address" ] ]
+
+let delta4 =
+  Fd_set.of_list
+    [ Fd.of_lists [ "buyer" ] [ "email" ];
+      Fd.of_lists [ "email" ] [ "buyer" ];
+      Fd.of_lists [ "buyer" ] [ "address" ] ]
+
+let r3_schema = Schema.make "R" [ "A"; "B"; "C" ]
+
+let delta_a_b_c_marriage = Fd_set.parse "A -> B; B -> A; B -> C"
+
+let employee_schema =
+  Schema.make "Employee"
+    [ "ssn"; "first"; "last"; "address"; "office"; "phone"; "fax" ]
+
+let delta_ssn =
+  Fd_set.parse
+    "ssn -> first; ssn -> last; first last -> ssn; ssn -> address; ssn \
+     office -> phone; ssn office -> fax"
+
+let delta_a_to_b_to_c = Fd_set.parse "A -> B; B -> C"
+let delta_a_to_c_from_b = Fd_set.parse "A -> C; B -> C"
+let delta_ab_to_c_to_b = Fd_set.parse "A B -> C; C -> B"
+let delta_ab_ac_bc = Fd_set.parse "A B -> C; A C -> B; B C -> A"
+
+let table1 =
+  [ ("Δ_A→B→C", delta_a_to_b_to_c);
+    ("Δ_A→C←B", delta_a_to_c_from_b);
+    ("Δ_AB→C→B", delta_ab_to_c_to_b);
+    ("Δ_AB↔AC↔BC", delta_ab_ac_bc) ]
+
+let passport_schema = Schema.make "Travel" [ "id"; "country"; "passport" ]
+
+let delta_passport =
+  Fd_set.parse "id country -> passport; id passport -> country"
+
+let zip_schema = Schema.make "Address" [ "state"; "city"; "zip"; "country" ]
+let delta_zip = Fd_set.parse "state city -> zip; state zip -> country"
+
+let attr_range prefix lo hi =
+  List.init (hi - lo + 1) (fun i -> Printf.sprintf "%s%d" prefix (lo + i))
+
+let delta_k k =
+  if k < 1 then invalid_arg "Datasets.delta_k: k must be >= 1";
+  let a_attrs = attr_range "A" 0 k and b_attrs = attr_range "B" 0 k in
+  let schema = Schema.make "Rk" (a_attrs @ b_attrs @ [ "C" ]) in
+  let fds =
+    Fd.of_lists a_attrs [ "B0" ]
+    :: Fd.of_lists [ "B0" ] [ "C" ]
+    :: List.map (fun bi -> Fd.of_lists [ bi ] [ "A0" ]) (attr_range "B" 1 k)
+  in
+  (schema, Fd_set.of_list fds)
+
+let delta'_k k =
+  if k < 1 then invalid_arg "Datasets.delta'_k: k must be >= 1";
+  let a_attrs = attr_range "A" 0 (k + 1) and b_attrs = attr_range "B" 0 k in
+  let schema = Schema.make "R'k" (a_attrs @ b_attrs) in
+  let fds =
+    List.init (k + 1) (fun i ->
+        Fd.of_lists
+          [ Printf.sprintf "A%d" i; Printf.sprintf "A%d" (i + 1) ]
+          [ Printf.sprintf "B%d" i ])
+  in
+  (schema, Fd_set.of_list fds)
+
+let hospital_schema =
+  Schema.make "HospitalInfo"
+    [ "provider"; "hospital"; "city"; "state"; "zip"; "phone" ]
+
+let hospital_fds =
+  Fd_set.parse
+    "provider -> hospital phone; zip -> city state; hospital city -> zip"
+
+let hospital ?(n = 500) ?(seed = 2018) () =
+  let rng = Rng.make seed in
+  Gen_table.dirty rng hospital_schema hospital_fds
+    { Gen_table.default with n; domain_size = max 8 (n / 12); noise = 0.03;
+      zipf_s = 0.7 }
+
+let class_examples =
+  [ (1, Schema.make "R1" [ "A"; "B"; "C"; "D" ], Fd_set.parse "A -> B; C -> D");
+    ( 2,
+      Schema.make "R2" [ "A"; "B"; "C"; "D"; "E" ],
+      Fd_set.parse "A -> C D; B -> C E" );
+    (3, Schema.make "R3" [ "A"; "B"; "C"; "D" ], Fd_set.parse "A -> B C; B -> D");
+    ( 4,
+      Schema.make "R4" [ "A"; "B"; "C" ],
+      Fd_set.parse "A B -> C; A C -> B; B C -> A" );
+    (5, Schema.make "R5" [ "A"; "B"; "C"; "D" ], Fd_set.parse "A B -> C; C -> A D")
+  ]

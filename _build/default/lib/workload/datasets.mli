@@ -1,0 +1,112 @@
+(** The paper's worked examples, as ready-made schemas, FD sets and
+    tables. All references are to Livshits–Kimelfeld–Roy (PODS'18). *)
+
+open Repair_relational
+open Repair_fd
+
+(** {1 The running example (Figures 1a-1g, Examples 2.1-2.3)} *)
+
+(** [Office(facility, room, floor, city)]. *)
+val office_schema : Schema.t
+
+(** [Δ = {facility → city, facility room → floor}]. *)
+val office_fds : Fd_set.t
+
+(** Figure 1(a): the inconsistent table [T] (weights 2,1,1,2). *)
+val office_table : Table.t
+
+(** Figures 1(b)-(d): consistent subsets S1, S2, S3 with
+    [dist_sub] 2, 2, 3. *)
+val office_s1 : Table.t
+
+val office_s2 : Table.t
+val office_s3 : Table.t
+
+(** Figures 1(e)-(g): consistent updates U1, U2, U3 with
+    [dist_upd] 2, 3, 4. *)
+val office_u1 : Table.t
+
+val office_u2 : Table.t
+val office_u3 : Table.t
+
+(** {1 FD sets from the introduction and Section 3} *)
+
+(** [Δ0 = {product → price, buyer → email}] over
+    Purchase(product, price, buyer, email, address). *)
+val purchase_schema : Schema.t
+
+val delta0 : Fd_set.t
+
+(** [Δ3 = {email → buyer, buyer → address}] (hard for both repairs). *)
+val delta3 : Fd_set.t
+
+(** [Δ4 = {buyer → email, email → buyer, buyer → address}] (tractable for
+    S-repairs, APX-complete for U-repairs). *)
+val delta4 : Fd_set.t
+
+(** Example 3.1: [Δ_{A↔B→C} = {A → B, B → A, B → C}] over R(A,B,C). *)
+val r3_schema : Schema.t
+
+val delta_a_b_c_marriage : Fd_set.t
+
+(** Example 3.1: the employee FD set Δ1 over
+    R(ssn, first, last, address, office, phone, fax). *)
+val employee_schema : Schema.t
+
+val delta_ssn : Fd_set.t
+
+(** {1 Table 1: the four hard FD sets over R(A,B,C)} *)
+
+val delta_a_to_b_to_c : Fd_set.t (* A → B, B → C *)
+val delta_a_to_c_from_b : Fd_set.t (* A → C, B → C *)
+val delta_ab_to_c_to_b : Fd_set.t (* AB → C, C → B *)
+val delta_ab_ac_bc : Fd_set.t (* AB → C, AC → B, BC → A *)
+
+(** All four, with their display names. *)
+val table1 : (string * Fd_set.t) list
+
+(** {1 Example 4.7 FD sets} *)
+
+(** [{id country → passport, id passport → country}]. *)
+val delta_passport : Fd_set.t
+
+val passport_schema : Schema.t
+
+(** [{state city → zip, state zip → country}]. *)
+val delta_zip : Fd_set.t
+
+val zip_schema : Schema.t
+
+(** {1 Section 4.4 families} *)
+
+(** [Δ_k = {A0…Ak → B0, B0 → C, B1 → A0, …, Bk → A0}] over
+    R(A0..Ak, B0..Bk, C). Returns (schema, FD set). *)
+val delta_k : int -> Schema.t * Fd_set.t
+
+(** [Δ'_k = {A0 A1 → B0, A1 A2 → B1, …, Ak Ak+1 → Bk}] over
+    R(A0..Ak+1, B0..Bk). Returns (schema, FD set). *)
+val delta'_k : int -> Schema.t * Fd_set.t
+
+(** {1 A realistic embedded workload} *)
+
+(** [hospital ~n ~seed ()] is a deterministic dirty "provider directory"
+    table in the style of the classic data-cleaning benchmarks:
+    HospitalInfo(provider, hospital, city, state, zip, phone) with
+
+    [Δ_hospital = {provider → hospital phone, zip → city state,
+    hospital city → zip}]
+
+    generated consistent and then perturbed with ~3% cell noise. The FD
+    set is a chain-free mix: tractable for S-repairs? No — it fails
+    OSRSucceeds — making it a realistic stress case for the approximation
+    and dirtiness machinery. Defaults: n = 500, seed = 2018. *)
+val hospital : ?n:int -> ?seed:int -> unit -> Table.t
+
+val hospital_schema : Schema.t
+val hospital_fds : Fd_set.t
+
+(** {1 Example 3.8: representatives of the five hardness classes} *)
+
+(** Class index (1..5) paired with schema and FD set, exactly as in
+    Example 3.8. *)
+val class_examples : (int * Schema.t * Fd_set.t) list

@@ -1,0 +1,65 @@
+open Repair_relational
+open Repair_fd
+
+let attr i = Printf.sprintf "A%d" i
+
+let schema k = Schema.make "R" (List.init k (fun i -> attr (i + 1)))
+
+let random rng ~n_attrs ~n_fds ~max_lhs =
+  let s = schema n_attrs in
+  let attrs = Schema.attributes s in
+  let draw_fd () =
+    let lhs_size = Rng.in_range rng 1 (min max_lhs (n_attrs - 1)) in
+    let shuffled = Rng.shuffle rng attrs in
+    let lhs = Attr_set.of_list (List.filteri (fun i _ -> i < lhs_size) shuffled) in
+    let rhs_candidates = List.filter (fun a -> not (Attr_set.mem a lhs)) attrs in
+    Fd.make lhs (Attr_set.singleton (Rng.pick rng rhs_candidates))
+  in
+  (s, Fd_set.of_list (List.init n_fds (fun _ -> draw_fd ())))
+
+let chain rng ~n_attrs ~n_fds =
+  let s = schema n_attrs in
+  let attrs = Array.of_list (Schema.attributes s) in
+  (* Build nested lhs's: X1 ⊆ X2 ⊆ ... by extending a random permutation. *)
+  let order = Rng.shuffle rng (Array.to_list attrs) in
+  let fds =
+    List.init n_fds (fun i ->
+        let lhs_size = min (i + 1) (n_attrs - 1) in
+        let lhs = Attr_set.of_list (List.filteri (fun j _ -> j < lhs_size) order) in
+        let rhs_pool =
+          List.filter (fun a -> not (Attr_set.mem a lhs)) (Array.to_list attrs)
+        in
+        Fd.make lhs (Attr_set.singleton (Rng.pick rng rhs_pool)))
+  in
+  (s, Fd_set.of_list fds)
+
+let common_lhs rng ~n_attrs ~n_fds =
+  let s = schema n_attrs in
+  let attrs = Schema.attributes s in
+  let shared = attr 1 in
+  let fds =
+    List.init n_fds (fun _ ->
+        let extra =
+          if Rng.bool rng && n_attrs > 2 then
+            [ Rng.pick rng (List.filter (fun a -> a <> shared) attrs) ]
+          else []
+        in
+        let lhs = Attr_set.of_list (shared :: extra) in
+        let rhs_pool = List.filter (fun a -> not (Attr_set.mem a lhs)) attrs in
+        Fd.make lhs (Attr_set.singleton (Rng.pick rng rhs_pool)))
+  in
+  (s, Fd_set.of_list fds)
+
+let marriage n_extra =
+  let cs = List.init n_extra (fun i -> Printf.sprintf "C%d" (i + 1)) in
+  let s = Schema.make "R" ([ "A"; "B" ] @ cs) in
+  let fds =
+    Fd.of_lists [ "A" ] [ "B" ]
+    :: Fd.of_lists [ "B" ] [ "A" ]
+    :: List.map (fun c -> Fd.of_lists [ "B" ] [ c ]) cs
+  in
+  (s, Fd_set.of_list fds)
+
+let two_unary () =
+  let s = Schema.make "R" [ "A"; "B" ] in
+  (s, Fd_set.parse "A -> B; B -> A")

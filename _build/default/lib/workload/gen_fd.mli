@@ -1,0 +1,28 @@
+(** Random FD-set generators for property tests and sweeps. *)
+
+open Repair_relational
+open Repair_fd
+
+(** [schema k] is R(A1, ..., Ak). *)
+val schema : int -> Schema.t
+
+(** [random rng ~n_attrs ~n_fds ~max_lhs] draws nontrivial FDs with lhs
+    size in [1..max_lhs] and a singleton rhs outside the lhs. *)
+val random : Rng.t -> n_attrs:int -> n_fds:int -> max_lhs:int -> Schema.t * Fd_set.t
+
+(** [chain rng ~n_attrs ~n_fds] draws a chain FD set: the lhs's form an
+    inclusion chain (always tractable, Corollaries 3.6 and 4.8). *)
+val chain : Rng.t -> n_attrs:int -> n_fds:int -> Schema.t * Fd_set.t
+
+(** [common_lhs rng ~n_attrs ~n_fds] draws FDs all sharing attribute A1 on
+    the left. Tractability then coincides for S- and U-repairs
+    (Corollary 4.6). *)
+val common_lhs : Rng.t -> n_attrs:int -> n_fds:int -> Schema.t * Fd_set.t
+
+(** [marriage n_extra] is [{A → B, B → A, B → C1, ..., B → Cn}] — an
+    lhs-marriage family on 2+n attributes. *)
+val marriage : int -> Schema.t * Fd_set.t
+
+(** [two_unary ()] is ({A,B} schema, [{A → B, B → A}]) — Proposition 4.9's
+    set. *)
+val two_unary : unit -> Schema.t * Fd_set.t

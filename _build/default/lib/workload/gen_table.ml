@@ -1,0 +1,128 @@
+open Repair_relational
+open Repair_fd
+
+type spec = {
+  n : int;
+  domain_size : int;
+  zipf_s : float;
+  noise : float;
+  weighted : bool;
+  duplicate_rate : float;
+}
+
+let default =
+  {
+    n = 100;
+    domain_size = 10;
+    zipf_s = 0.0;
+    noise = 0.05;
+    weighted = false;
+    duplicate_rate = 0.0;
+  }
+
+let draw_value rng spec =
+  let v =
+    if spec.zipf_s > 0.0 then Rng.zipf rng ~n:spec.domain_size ~s:spec.zipf_s
+    else Rng.in_range rng 1 spec.domain_size
+  in
+  Value.int v
+
+let draw_weight rng spec =
+  if spec.weighted then float_of_int (Rng.in_range rng 1 5) else 1.0
+
+let random_tuple rng schema spec =
+  Tuple.make (List.init (Schema.arity schema) (fun _ -> draw_value rng spec))
+
+(* Rewrite a candidate tuple so that whenever its lhs projection matches an
+   already-stored combination, the rhs values are copied from the store;
+   iterate to a fixpoint (FDs interact through shared attributes). *)
+let chase schema fds store tuple =
+  let apply tuple fd =
+    let key = Tuple.project schema tuple (Fd.lhs fd) in
+    match Hashtbl.find_opt store (Fd.lhs fd, key) with
+    | None -> tuple
+    | Some rhs_tuple ->
+      (* Attribute order must match Tuple.project's (schema position). *)
+      let rhs_attrs =
+        Schema.indices_of schema (Fd.rhs fd)
+        |> List.map (Schema.attribute_at schema)
+      in
+      List.fold_left2
+        (fun acc a value -> Tuple.set_attr schema acc a value)
+        tuple rhs_attrs (Tuple.values rhs_tuple)
+  in
+  let step tuple = List.fold_left apply tuple fds in
+  let rec fix tuple budget =
+    if budget = 0 then tuple
+    else
+      let tuple' = step tuple in
+      if Tuple.equal tuple tuple' then tuple else fix tuple' (budget - 1)
+  in
+  fix tuple (4 * (List.length fds + 1))
+
+let consistent_with schema fds store tuple =
+  List.for_all
+    (fun fd ->
+      let key = Tuple.project schema tuple (Fd.lhs fd) in
+      match Hashtbl.find_opt store (Fd.lhs fd, key) with
+      | None -> true
+      | Some rhs ->
+        Tuple.equal (Tuple.project schema tuple (Fd.rhs fd)) rhs)
+    fds
+
+let record schema fds store tuple =
+  List.iter
+    (fun fd ->
+      let key = Tuple.project schema tuple (Fd.lhs fd) in
+      if not (Hashtbl.mem store (Fd.lhs fd, key)) then
+        Hashtbl.add store (Fd.lhs fd, key)
+          (Tuple.project schema tuple (Fd.rhs fd)))
+    fds
+
+let consistent rng schema d spec =
+  let fds = Fd_set.to_list (Fd_set.remove_trivial d) in
+  let store = Hashtbl.create 64 in
+  let accepted = ref [] in
+  let n_accepted = ref 0 in
+  let rec fresh_tuple retries =
+    let candidate = chase schema fds store (random_tuple rng schema spec) in
+    if consistent_with schema fds store candidate then candidate
+    else if retries > 0 then fresh_tuple (retries - 1)
+    else
+      (* Fall back on duplicating an existing tuple: always consistent. *)
+      match !accepted with
+      | [] -> candidate (* empty store cannot actually conflict *)
+      | ts -> Rng.pick rng ts
+  in
+  let tbl = ref (Table.empty schema) in
+  while !n_accepted < spec.n do
+    let tuple =
+      if !accepted <> [] && Rng.bernoulli rng spec.duplicate_rate then
+        Rng.pick rng !accepted
+      else fresh_tuple 5
+    in
+    record schema fds store tuple;
+    accepted := tuple :: !accepted;
+    incr n_accepted;
+    tbl := Table.add ~weight:(draw_weight rng spec) !tbl tuple
+  done;
+  !tbl
+
+let perturb rng schema spec tbl =
+  Table.map_tuples tbl (fun _ tuple ->
+      List.fold_left
+        (fun acc i ->
+          if Rng.bernoulli rng spec.noise then
+            Tuple.set acc i (draw_value rng spec)
+          else acc)
+        tuple
+        (List.init (Schema.arity schema) Fun.id))
+
+let dirty rng schema d spec = perturb rng schema spec (consistent rng schema d spec)
+
+let uniform rng schema spec =
+  let tbl = ref (Table.empty schema) in
+  for _ = 1 to spec.n do
+    tbl := Table.add ~weight:(draw_weight rng spec) !tbl (random_tuple rng schema spec)
+  done;
+  !tbl

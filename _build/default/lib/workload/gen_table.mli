@@ -1,0 +1,36 @@
+(** Random table generators.
+
+    The paper's experiments are over arbitrary tables; these generators
+    produce instances with controllable size, skew, weighting, duplicate
+    rate, and — most importantly — violation structure: a table is first
+    generated {e consistent} with Δ (by functionally deriving determined
+    attributes), then noise is injected by perturbing individual cells, so
+    that the "dirtiness" level is a parameter. *)
+
+open Repair_relational
+open Repair_fd
+
+type spec = {
+  n : int;  (** number of tuples *)
+  domain_size : int;  (** values per attribute pool *)
+  zipf_s : float;  (** skew of value choice; 0.0 = uniform *)
+  noise : float;  (** probability that a cell is perturbed *)
+  weighted : bool;  (** integer weights in 1..5 instead of unit *)
+  duplicate_rate : float;  (** probability a tuple copies an earlier one *)
+}
+
+val default : spec
+
+(** [consistent rng schema d spec] generates a table satisfying [d]:
+    attribute values are drawn left to right; when a prefix of drawn
+    attributes already fixes an attribute via some FD of [d] and an earlier
+    tuple shares that lhs value, the forced value is copied. *)
+val consistent : Rng.t -> Schema.t -> Fd_set.t -> spec -> Table.t
+
+(** [dirty rng schema d spec] is [consistent] followed by cell noise:
+    each cell is redrawn with probability [spec.noise]. *)
+val dirty : Rng.t -> Schema.t -> Fd_set.t -> spec -> Table.t
+
+(** [uniform rng schema spec] ignores the FDs entirely — fully random
+    tables (the adversarial case). *)
+val uniform : Rng.t -> Schema.t -> spec -> Table.t

@@ -1,0 +1,38 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x5ee0; seed * 31 + 7 |]
+let int t bound = Random.State.int t (max 1 bound)
+let in_range t lo hi = lo + int t (hi - lo + 1)
+let bool = Random.State.bool
+let float = Random.State.float
+let bernoulli t p = Random.State.float t 1.0 < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let zipf t ~n ~s =
+  (* Inverse-CDF sampling over the finite harmonic weights. *)
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let x = Random.State.float t total in
+  let rec find i acc =
+    if i >= n - 1 then n
+    else
+      let acc = acc +. weights.(i) in
+      if x < acc then i + 1 else find (i + 1) acc
+  in
+  find 0 0.0
+
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]

@@ -1,0 +1,28 @@
+(** Seeded random sources for reproducible workloads. *)
+
+type t
+
+val make : int -> t
+val int : t -> int -> int
+
+(** [in_range rng lo hi] draws uniformly from [lo..hi] inclusive. *)
+val in_range : t -> int -> int -> int
+
+val bool : t -> bool
+val float : t -> float -> float
+
+(** [bernoulli rng p] is true with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** [pick rng xs] draws a uniform element.
+    @raise Invalid_argument on empty list. *)
+val pick : t -> 'a list -> 'a
+
+(** [shuffle rng xs] is a uniform permutation. *)
+val shuffle : t -> 'a list -> 'a list
+
+(** [zipf rng ~n ~s] draws from [1..n] with probability ∝ 1/rank^s —
+    skewed value distributions make FD violations realistic. *)
+val zipf : t -> n:int -> s:float -> int
+
+val split : t -> t

@@ -1,0 +1,1 @@
+test/test_adversarial.ml: Alcotest Fd_set Helpers List Repair_fd Repair_relational Repair_srepair Repair_urepair Repair_workload Schema Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_cfd.ml: Alcotest Cfd Fd Fd_set Fmt Helpers List QCheck2 Repair_cfd Repair_fd Repair_relational Repair_srepair Repair_workload Schema Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_cleaning.ml: Alcotest Fd_set Helpers List QCheck2 Repair_cleaning Repair_fd Repair_relational Repair_srepair Repair_workload Table Value

@@ -1,0 +1,1 @@
+test/test_cqa_prioritized.ml: Alcotest Fd_set Helpers List QCheck2 Repair_cqa Repair_fd Repair_prioritized Repair_relational Repair_workload Schema Table Tuple Value

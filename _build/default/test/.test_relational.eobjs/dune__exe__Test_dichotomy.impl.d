@@ -1,0 +1,1 @@
+test/test_dichotomy.ml: Alcotest Attr_set Classify Factwise Fd_set Helpers List Printf QCheck2 Repair_dichotomy Repair_fd Repair_relational Repair_srepair Repair_workload Schema Simplify Table Tuple

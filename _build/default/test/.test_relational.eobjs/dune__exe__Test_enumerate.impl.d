@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Array Count Enumerate Fd_set Helpers List QCheck2 Repair_enumerate Repair_fd Repair_relational Repair_srepair Repair_workload Result Schema Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Fd Fd_set Helpers List QCheck2 Repair_denial Repair_fd Repair_mixed Repair_relational Repair_srepair Repair_urepair Repair_workload Schema Table Tuple Value

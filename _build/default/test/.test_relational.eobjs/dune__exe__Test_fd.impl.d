@@ -1,0 +1,1 @@
+test/test_fd.ml: Alcotest Armstrong Attr_set Cover Fd Fd_set Helpers Lhs_analysis List Printf QCheck2 Repair_fd Repair_relational Repair_workload Schema Table Tuple Value

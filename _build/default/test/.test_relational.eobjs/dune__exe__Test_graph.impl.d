@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bipartite_matching Float Graph Helpers List Max_flow QCheck2 Repair_graph Repair_workload Triangle Vertex_cover

@@ -1,0 +1,1 @@
+test/test_index_explain.ml: Alcotest Fd_index Fd_set Fmt Helpers List QCheck2 Repair_fd Repair_relational Repair_srepair Repair_workload Schema Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Csv_io Database Fd_set Helpers Option Repair_core String Table Tuple Value

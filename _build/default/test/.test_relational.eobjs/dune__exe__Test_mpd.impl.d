@@ -1,0 +1,1 @@
+test/test_mpd.ml: Alcotest Fd_set Helpers List Mpd Prob_table QCheck2 Repair_fd Repair_mpd Repair_relational Repair_workload Schema Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Attr_set Cover Fd Fd_set Helpers List Normalize Repair_fd Repair_relational Schema Table Tuple Value

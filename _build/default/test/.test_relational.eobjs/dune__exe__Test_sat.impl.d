@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Cnf Helpers List Max_sat QCheck2 Repair_sat

@@ -1,0 +1,34 @@
+  $ repair-cli classify -f "facility -> city; facility room -> floor" | head -3
+  $ repair-cli classify -f "A -> B; B -> C" | grep -c "APX"
+  $ cat > office.csv <<'CSV'
+  > #id,#weight,facility,room,floor,city
+  > 1,2,HQ,322,3,Paris
+  > 2,1,HQ,322,30,Madrid
+  > 3,1,HQ,122,1,Madrid
+  > 4,2,Lab1,B35,3,London
+  > CSV
+  $ repair-cli s-repair -f "facility -> city; facility room -> floor" office.csv
+  $ repair-cli u-repair -f "facility -> city; facility room -> floor" office.csv
+  $ cat > readings.csv <<'CSV'
+  > #id,#weight,sensor,location
+  > 1,0.9,s1,atrium
+  > 2,0.6,s1,garage
+  > 3,0.8,s2,roof
+  > CSV
+  $ repair-cli mpd -f "sensor -> location" readings.csv
+  $ repair-cli s-repair -f "A -> " office.csv
+  $ repair-cli generate -f "A -> B" -a "A B C" --size 5 --seed 3 --noise 0.2 --domain 3 -o gen.csv
+  $ repair-cli s-repair -f "A -> B" gen.csv -o /dev/null
+  $ repair-cli generate -f "A -> B" -a "A B" --size 3 --seed 1
+  $ repair-cli cqa -f "facility -> city; facility room -> floor" -w "facility=HQ" -p "city" office.csv
+  $ repair-cli cqa -f "facility -> city; facility room -> floor" -w "facility=Lab1" -p "city" office.csv
+  $ repair-cli s-repair -f "facility -> city; facility room -> floor" --explain office.csv -o /dev/null
+  $ repair-cli normalize -f "facility -> city; facility room -> floor"
+  $ repair-cli dirtiness -f "facility -> city; facility room -> floor" office.csv
+  $ repair-cli s-repair -f "facility -> city; facility room -> floor" office.csv -o office.jsonl
+  $ cat office.jsonl
+  $ repair-cli dirtiness -f "facility -> city" office.jsonl
+  $ printf 'violations\ndelete 1\ncost\nfinish updates\n' | repair-cli session -f "facility -> city; facility room -> floor" office.csv
+  $ repair-cli u-repair -f "facility -> city; facility room -> floor" --explain office.csv -o /dev/null
+  $ repair-cli generate -f "A -> B" -a "A C" --size 3
+  $ repair-cli armstrong -f "A -> B"

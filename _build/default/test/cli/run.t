@@ -1,0 +1,154 @@
+Classify a tractable FD set (the paper's running example):
+
+  $ repair-cli classify -f "facility -> city; facility room -> floor" | head -3
+  Δ = {facility → city, facility room → floor}
+  Optimal S-repair: polynomial time (OSRSucceeds holds).
+  {facility → city, facility room → floor}
+
+Classify a hard FD set:
+
+  $ repair-cli classify -f "A -> B; B -> C" | grep -c "APX"
+  2
+
+Repair a CSV table by deletions (weights respected):
+
+  $ cat > office.csv <<'CSV'
+  > #id,#weight,facility,room,floor,city
+  > 1,2,HQ,322,3,Paris
+  > 2,1,HQ,322,30,Madrid
+  > 3,1,HQ,122,1,Madrid
+  > 4,2,Lab1,B35,3,London
+  > CSV
+  $ repair-cli s-repair -f "facility -> city; facility room -> floor" office.csv
+  s-repair: distance=2 method=OptSRepair (Algorithm 1) (optimal)
+  #id,#weight,facility,room,floor,city
+  2,1,HQ,322,30,Madrid
+  3,1,HQ,122,1,Madrid
+  4,2,Lab1,B35,3,London
+
+Repair by updates (one cell of tuple 1 moves to a fresh constant):
+
+  $ repair-cli u-repair -f "facility -> city; facility room -> floor" office.csv
+  u-repair: distance=2 method=tractable-case solver (Section 4) (optimal)
+  #id,#weight,facility,room,floor,city
+  1,2,$0,322,3,Paris
+  2,1,HQ,322,30,Madrid
+  3,1,HQ,122,1,Madrid
+  4,2,Lab1,B35,3,London
+
+Most probable database (probabilities as weights):
+
+  $ cat > readings.csv <<'CSV'
+  > #id,#weight,sensor,location
+  > 1,0.9,s1,atrium
+  > 2,0.6,s1,garage
+  > 3,0.8,s2,roof
+  > CSV
+  $ repair-cli mpd -f "sensor -> location" readings.csv
+  mpd: log-probability=-1.24479
+  #id,#weight,sensor,location
+  1,0.9,s1,atrium
+  3,0.8,s2,roof
+
+Errors are reported cleanly:
+
+  $ repair-cli s-repair -f "A -> " office.csv
+  repair-cli: Fd.parse: empty right-hand side in "A ->"
+  [1]
+
+Generate a reproducible dirty table and repair it end to end:
+
+  $ repair-cli generate -f "A -> B" -a "A B C" --size 5 --seed 3 --noise 0.2 --domain 3 -o gen.csv
+  $ repair-cli s-repair -f "A -> B" gen.csv -o /dev/null
+  s-repair: distance=2 method=OptSRepair (Algorithm 1) (optimal)
+  $ repair-cli generate -f "A -> B" -a "A B" --size 3 --seed 1
+  #id,#weight,A,B
+  1,1,3,10
+  2,1,1,10
+  3,1,9,9
+
+Consistent query answering over the inconsistent table:
+
+  $ repair-cli cqa -f "facility -> city; facility room -> floor" -w "facility=HQ" -p "city" office.csv
+  certain answers (0):
+  possible answers (2):
+    (Madrid)
+    (Paris)
+  $ repair-cli cqa -f "facility -> city; facility room -> floor" -w "facility=Lab1" -p "city" office.csv
+  certain answers (1):
+    (London)
+  possible answers (1):
+    (London)
+
+Explanations for deletions:
+
+  $ repair-cli s-repair -f "facility -> city; facility room -> floor" --explain office.csv -o /dev/null
+  s-repair: distance=2 method=OptSRepair (Algorithm 1) (optimal)
+    tuple 1 conflicts with 2 (facility → city), 2 (facility room → floor), 3 (facility → city)
+
+Normal forms and decomposition:
+
+  $ repair-cli normalize -f "facility -> city; facility room -> floor"
+  attributes: city facility floor room
+  BCNF: false; 3NF: false
+  keys: facility room
+  BCNF decomposition:
+    R(city facility) with {facility → city}
+    R(facility floor room) with {facility room → floor}
+  3NF synthesis:
+    R(city facility) with {facility → city}
+    R(facility floor room) with {facility room → floor}
+
+Dirtiness estimation:
+
+  $ repair-cli dirtiness -f "facility -> city; facility room -> floor" office.csv
+  conflicting pairs : 3
+  optimal deletions : 2 (exact)
+  optimal updates   : 2 (exact)
+  fraction dirty (upper bound): 33.3%
+
+JSON-lines round trip (format chosen by extension):
+
+  $ repair-cli s-repair -f "facility -> city; facility room -> floor" office.csv -o office.jsonl
+  s-repair: distance=2 method=OptSRepair (Algorithm 1) (optimal)
+  $ cat office.jsonl
+  {"#id": 2, "#weight": 1, "facility": "HQ", "room": 322, "floor": 30, "city": "Madrid"}
+  {"#id": 3, "#weight": 1, "facility": "HQ", "room": 122, "floor": 1, "city": "Madrid"}
+  {"#id": 4, "#weight": 2, "facility": "Lab1", "room": "B35", "floor": 3, "city": "London"}
+  $ repair-cli dirtiness -f "facility -> city" office.jsonl
+  conflicting pairs : 0
+  optimal deletions : 0 (exact)
+  optimal updates   : 0 (exact)
+  fraction dirty (upper bound): 0.0%
+
+Interactive cleaning session driven from stdin:
+
+  $ printf 'violations\ndelete 1\ncost\nfinish updates\n' | repair-cli session -f "facility -> city; facility room -> floor" office.csv
+  tuples 1 and 2 violate facility → city
+  tuples 1 and 2 violate facility room → floor
+  tuples 1 and 3 violate facility → city
+  manual cost so far: 2
+  #id,#weight,facility,room,floor,city
+  2,1,HQ,322,30,Madrid
+  3,1,HQ,122,1,Madrid
+  4,2,Lab1,B35,3,London
+
+Explaining an update repair cell by cell:
+
+  $ repair-cli u-repair -f "facility -> city; facility room -> floor" --explain office.csv -o /dev/null
+  u-repair: distance=2 method=tractable-case solver (Section 4) (optimal)
+    tuple 1, facility: HQ → $0
+
+Generate validates that FD attributes appear in the schema:
+
+  $ repair-cli generate -f "A -> B" -a "A C" --size 3
+  repair-cli: FD attributes B not in --attrs
+  [1]
+
+Armstrong relations from the command line:
+
+  $ repair-cli armstrong -f "A -> B"
+  #id,#weight,A,B
+  1,1,0,0
+  2,1,1,1
+  3,1,2,0

@@ -1,0 +1,71 @@
+(* Shared test utilities: alcotest testables, qcheck generators for tables
+   and FD sets, and tolerance helpers. *)
+
+open Repair_relational
+open Repair_fd
+
+let attr_set = Alcotest.testable Attr_set.pp Attr_set.equal
+let fd = Alcotest.testable Fd.pp Fd.equal
+let fd_set = Alcotest.testable Fd_set.pp Fd_set.equal_syntactic
+let value = Alcotest.testable Value.pp Value.equal
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+let table = Alcotest.testable Table.pp Table.equal
+
+let feq ?(eps = 1e-9) () = Alcotest.float eps
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.check (feq ~eps ()) msg expected actual
+
+(* ---------- qcheck generators ---------- *)
+
+let small_schema = Schema.make "R" [ "A"; "B"; "C" ]
+
+(* A tuple over [schema] with values drawn from 1..dom per column. *)
+let gen_tuple ?(dom = 3) schema =
+  QCheck2.Gen.(
+    list_repeat (Schema.arity schema) (int_range 1 dom)
+    |> map (fun vs -> Tuple.make (List.map Value.int vs)))
+
+(* A table of [size] tuples; optionally weighted with small integer
+   weights. *)
+let gen_table ?(dom = 3) ?(max_size = 8) ?(weighted = false) schema =
+  QCheck2.Gen.(
+    int_range 0 max_size >>= fun n ->
+    list_repeat n (pair (gen_tuple ~dom schema) (int_range 1 3))
+    |> map (fun rows ->
+           List.fold_left
+             (fun tbl (t, w) ->
+               let weight = if weighted then float_of_int w else 1.0 in
+               Table.add ~weight tbl t)
+             (Table.empty schema) rows))
+
+(* Random nontrivial FDs over the attributes of [schema]. *)
+let gen_fd schema =
+  let attrs = Schema.attributes schema in
+  QCheck2.Gen.(
+    let* lhs_mask = int_range 1 ((1 lsl List.length attrs) - 1) in
+    let lhs =
+      Attr_set.of_list
+        (List.filteri (fun i _ -> lhs_mask land (1 lsl i) <> 0) attrs)
+    in
+    let outside = List.filter (fun a -> not (Attr_set.mem a lhs)) attrs in
+    match outside with
+    | [] ->
+      (* lhs = all attributes; use a singleton lhs instead. *)
+      let a = List.hd attrs and b = List.nth attrs 1 in
+      return (Fd.make (Attr_set.singleton a) (Attr_set.singleton b))
+    | _ ->
+      let* rhs = oneofl outside in
+      return (Fd.make lhs (Attr_set.singleton rhs)))
+
+let gen_fd_set ?(max_fds = 3) schema =
+  QCheck2.Gen.(
+    int_range 1 max_fds >>= fun n ->
+    list_repeat n (gen_fd schema) |> map Fd_set.of_list)
+
+(* Wrap a qcheck property as an alcotest case. *)
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let consistent_distance_eq ?(eps = 1e-6) a b = Float.abs (a -. b) < eps

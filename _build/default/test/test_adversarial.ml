@@ -1,0 +1,203 @@
+(* Adversarial and corner-case tests cutting across libraries: multi-attr
+   right-hand sides, duplicates, heavy weights, the paper's bigger FD sets
+   run end to end against exact baselines. *)
+
+open Repair_relational
+open Repair_fd
+open Helpers
+module D = Repair_workload.Datasets
+module Gen_table = Repair_workload.Gen_table
+module Rng = Repair_workload.Rng
+
+(* ---------- employee set (Example 3.1) end to end ---------- *)
+
+let employee_tuple rng =
+  let v bound = Value.int (Rng.in_range rng 1 bound) in
+  Tuple.make [ v 3; v 3; v 3; v 3; v 2; v 3; v 3 ]
+
+let test_employee_repair_matches_exact () =
+  let rng = Rng.make 271 in
+  for _ = 1 to 10 do
+    let t =
+      Table.of_tuples D.employee_schema
+        (List.init 9 (fun _ -> employee_tuple rng))
+    in
+    let s = Repair_srepair.Opt_s_repair.run_exn D.delta_ssn t in
+    Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by D.delta_ssn s);
+    check_float "matches exact"
+      (Repair_srepair.S_exact.distance D.delta_ssn t)
+      (Table.dist_sub s t)
+  done
+
+let test_passport_repair_matches_exact () =
+  let rng = Rng.make 137 in
+  for _ = 1 to 10 do
+    let t =
+      Gen_table.dirty rng D.passport_schema D.delta_passport
+        { Gen_table.default with n = 9; noise = 0.3; domain_size = 3 }
+    in
+    let s = Repair_srepair.Opt_s_repair.run_exn D.delta_passport t in
+    check_float "matches exact"
+      (Repair_srepair.S_exact.distance D.delta_passport t)
+      (Table.dist_sub s t)
+  done
+
+(* ---------- multi-attribute right-hand sides ---------- *)
+
+let test_multi_rhs () =
+  let schema = Schema.make "R" [ "A"; "B"; "C" ] in
+  let d = Fd_set.parse "A -> B C" in
+  let mk a b c = Tuple.make [ Value.int a; Value.int b; Value.int c ] in
+  let t = Table.of_tuples schema [ mk 1 1 1; mk 1 1 2; mk 1 2 1 ] in
+  let s = Repair_srepair.Opt_s_repair.run_exn d t in
+  Alcotest.(check int) "keeps one of the A=1 group" 1 (Table.size s);
+  check_float "matches exact" (Repair_srepair.S_exact.distance d t)
+    (Table.dist_sub s t);
+  (* normalized Δ behaves identically *)
+  let s' = Repair_srepair.Opt_s_repair.run_exn (Fd_set.normalize d) t in
+  check_float "normalization irrelevant" (Table.dist_sub s t) (Table.dist_sub s' t)
+
+(* ---------- duplicates at scale ---------- *)
+
+let test_heavy_duplicates () =
+  let schema = Schema.make "R" [ "A"; "B" ] in
+  let mk a b = Tuple.make [ Value.int a; Value.int b ] in
+  (* 5 copies of (1,1), 3 copies of (1,2): optimal keeps the 5 copies. *)
+  let rows =
+    List.init 5 (fun i -> (i + 1, 1.0, mk 1 1))
+    @ List.init 3 (fun i -> (i + 6, 1.0, mk 1 2))
+  in
+  let t = Table.of_list schema rows in
+  let d = Fd_set.parse "A -> B" in
+  let s = Repair_srepair.Opt_s_repair.run_exn d t in
+  Alcotest.(check int) "keeps the majority copies" 5 (Table.size s);
+  Alcotest.(check bool) "all kept tuples equal" true
+    (List.for_all (Tuple.equal (mk 1 1)) (Table.tuples s));
+  (* U-repair: 3 single-cell updates collapse the minority. *)
+  let u = Repair_urepair.Opt_u_repair.solve_exn d t in
+  check_float "update distance 3" 3.0 (Table.dist_upd u t)
+
+(* ---------- extreme weights ---------- *)
+
+let test_extreme_weights () =
+  let schema = Schema.make "R" [ "A"; "B" ] in
+  let mk a b = Tuple.make [ Value.int a; Value.int b ] in
+  let t =
+    Table.of_list schema
+      [ (1, 1e6, mk 1 1); (2, 1e-6, mk 1 2); (3, 1e-6, mk 1 3) ]
+  in
+  let d = Fd_set.parse "A -> B" in
+  let s = Repair_srepair.Opt_s_repair.run_exn d t in
+  Alcotest.(check (list int)) "heavy tuple always survives" [ 1 ] (Table.ids s);
+  check_float ~eps:1e-9 "distance is the two light tuples" 2e-6
+    (Table.dist_sub s t)
+
+(* ---------- single tuple / single attribute ---------- *)
+
+let test_degenerate_shapes () =
+  let schema1 = Schema.make "R" [ "A" ] in
+  let t1 = Table.of_tuples schema1 [ Tuple.make [ Value.int 1 ]; Tuple.make [ Value.int 2 ] ] in
+  (* consensus FD over a single attribute *)
+  let d = Fd_set.parse "-> A" in
+  let s = Repair_srepair.Opt_s_repair.run_exn d t1 in
+  Alcotest.(check int) "one survivor" 1 (Table.size s);
+  let u = Repair_urepair.Opt_u_repair.solve_exn d t1 in
+  check_float "one update" 1.0 (Table.dist_upd u t1);
+  (* single tuple: everything is trivially consistent *)
+  let t2 = Table.of_tuples schema1 [ Tuple.make [ Value.int 1 ] ] in
+  Alcotest.check table "single tuple untouched" t2
+    (Repair_srepair.Opt_s_repair.run_exn d t2)
+
+(* ---------- equivalence robustness ---------- *)
+
+let test_equivalent_fd_sets_same_answers () =
+  (* Two equivalent presentations of the same constraints must yield the
+     same optimal distances. *)
+  let d1 = Fd_set.parse "A -> B C; B -> C" in
+  let d2 = Fd_set.parse "A -> B; B -> C; A -> C" in
+  Alcotest.(check bool) "equivalent" true (Fd_set.equivalent d1 d2);
+  let rng = Rng.make 5 in
+  for _ = 1 to 10 do
+    let t =
+      Gen_table.dirty rng small_schema d1
+        { Gen_table.default with n = 8; noise = 0.3; domain_size = 3 }
+    in
+    check_float "same exact distance"
+      (Repair_srepair.S_exact.distance d1 t)
+      (Repair_srepair.S_exact.distance d2 t)
+  done
+
+(* ---------- U-repair of Δ0 (intro example) ---------- *)
+
+let test_delta0_u_repair () =
+  (* Δ0 is U-tractable but S-hard: Section 4.3's first separation. *)
+  let rng = Rng.make 404 in
+  for _ = 1 to 5 do
+    let t =
+      Gen_table.dirty rng D.purchase_schema D.delta0
+        { Gen_table.default with n = 4; noise = 0.4; domain_size = 2 }
+    in
+    let u = Repair_urepair.Opt_u_repair.solve_exn D.delta0 t in
+    Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by D.delta0 u);
+    (* compare against exhaustive search over the 4x5 = 20 cell table *)
+    check_float "matches exhaustive optimum"
+      (Repair_urepair.U_exact.distance ~max_cells:20 D.delta0 t)
+      (Table.dist_upd u t)
+  done
+
+(* ---------- large consistent tables are returned unchanged ---------- *)
+
+let test_clean_input_fast_path () =
+  let rng = Rng.make 9 in
+  let t =
+    Gen_table.consistent rng D.office_schema D.office_fds
+      { Gen_table.default with n = 2_000; domain_size = 25 }
+  in
+  let s = Repair_srepair.Opt_s_repair.run_exn D.office_fds t in
+  check_float "nothing deleted" 0.0 (Table.dist_sub s t);
+  let u = Repair_urepair.Opt_u_repair.solve_exn D.office_fds t in
+  check_float "nothing updated" 0.0 (Table.dist_upd u t)
+
+(* ---------- stress: consistency invariants at n=300 ---------- *)
+
+let test_stress_consistency_invariants () =
+  let rng = Rng.make 31415 in
+  List.iter
+    (fun (name, schema, d) ->
+      let t =
+        Gen_table.dirty rng schema d
+          { Gen_table.default with n = 300; noise = 0.1; domain_size = 8;
+            weighted = true; duplicate_rate = 0.1 }
+      in
+      (match Repair_srepair.Opt_s_repair.run d t with
+      | Ok s ->
+        Alcotest.(check bool) (name ^ ": poly S consistent") true
+          (Fd_set.satisfied_by d s)
+      | Error _ -> ());
+      let apx = Repair_srepair.S_approx.approx2 d t in
+      Alcotest.(check bool) (name ^ ": approx consistent") true
+        (Fd_set.satisfied_by d apx);
+      let u, _ = Repair_urepair.U_approx.best d t in
+      Alcotest.(check bool) (name ^ ": U approx consistent") true
+        (Fd_set.satisfied_by d u))
+    [ ("office", D.office_schema, D.office_fds);
+      ("A->B->C", D.r3_schema, D.delta_a_to_b_to_c);
+      ("marriage", D.r3_schema, D.delta_a_b_c_marriage);
+      ("employee", D.employee_schema, D.delta_ssn);
+      ("zip", D.zip_schema, D.delta_zip) ]
+
+let () =
+  Alcotest.run "adversarial"
+    [ ( "paper FD sets end to end",
+        [ Alcotest.test_case "employee vs exact" `Quick test_employee_repair_matches_exact;
+          Alcotest.test_case "passport vs exact" `Quick test_passport_repair_matches_exact;
+          Alcotest.test_case "Δ0 U-repair vs exhaustive" `Quick test_delta0_u_repair ] );
+      ( "shapes",
+        [ Alcotest.test_case "multi-attribute rhs" `Quick test_multi_rhs;
+          Alcotest.test_case "heavy duplicates" `Quick test_heavy_duplicates;
+          Alcotest.test_case "extreme weights" `Quick test_extreme_weights;
+          Alcotest.test_case "degenerate shapes" `Quick test_degenerate_shapes;
+          Alcotest.test_case "equivalent FD sets" `Quick test_equivalent_fd_sets_same_answers ] );
+      ( "scale",
+        [ Alcotest.test_case "clean input" `Quick test_clean_input_fast_path;
+          Alcotest.test_case "stress invariants n=300" `Quick test_stress_consistency_invariants ] ) ]

@@ -1,0 +1,178 @@
+(* Focused coverage for API corners not exercised by the thematic suites:
+   smaller utilities, pretty-printers, generator structure, and the
+   embedded hospital workload. *)
+
+open Repair_relational
+open Repair_fd
+open Helpers
+module D = Repair_workload.Datasets
+module Rng = Repair_workload.Rng
+module Gen_fd = Repair_workload.Gen_fd
+
+let aset = Attr_set.of_list
+
+(* ---------- graph utilities ---------- *)
+
+let test_graph_weights () =
+  let g = Repair_graph.Graph.of_edges ~weights:[| 1.0; 2.5; 4.0 |] 3 [ (0, 1) ] in
+  check_float "total weight" 7.5 (Repair_graph.Graph.total_weight g);
+  check_float "subgraph weight" 5.0 (Repair_graph.Graph.subgraph_weight g [ 0; 2 ]);
+  Alcotest.(check bool) "pp mentions edges" true
+    (String.length (Fmt.str "%a" Repair_graph.Graph.pp g) > 0)
+
+(* ---------- rng ---------- *)
+
+let test_rng_determinism () =
+  let draw seed = List.init 10 (fun _ -> Rng.int (Rng.make seed) 100) in
+  Alcotest.(check (list int)) "same seed, same stream" (draw 5) (draw 5);
+  Alcotest.(check bool) "different seeds differ" true (draw 5 <> draw 6)
+
+let test_rng_ranges () =
+  let rng = Rng.make 1 in
+  for _ = 1 to 200 do
+    let x = Rng.in_range rng 3 7 in
+    Alcotest.(check bool) "in range" true (x >= 3 && x <= 7)
+  done;
+  Alcotest.(check bool) "pick empty rejected" true
+    (try ignore (Rng.pick rng ([] : int list)); false
+     with Invalid_argument _ -> true);
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "shuffle is a permutation" xs
+    (List.sort compare (Rng.shuffle rng xs));
+  let sub = Rng.split rng in
+  Alcotest.(check bool) "split usable" true (Rng.int sub 10 >= 0)
+
+(* ---------- covers ---------- *)
+
+let test_cover_canonical () =
+  let d = Fd_set.parse "A -> B; A -> C; B -> B" in
+  let c = Cover.canonical d in
+  Alcotest.(check bool) "equivalent" true (Fd_set.equivalent d c);
+  (* same-lhs FDs merged into A -> BC *)
+  Alcotest.(check int) "merged" 1 (Fd_set.size c);
+  Alcotest.(check bool) "redundant detected" true
+    (Cover.is_redundant (Fd_set.parse "A -> B; A -> B C") (Fd.parse "A -> B"))
+
+(* ---------- dichotomy pretty-printers ---------- *)
+
+let test_pp_step () =
+  let txt step = Fmt.str "%a" Repair_dichotomy.Simplify.pp_step step in
+  Alcotest.(check string) "common lhs" "(common lhs A)"
+    (txt (Repair_dichotomy.Simplify.Common_lhs "A"));
+  Alcotest.(check bool) "consensus mentions arrow" true
+    (String.length (txt (Repair_dichotomy.Simplify.Consensus (Fd.parse "-> B"))) > 0);
+  Alcotest.(check string) "marriage" "(lhs marriage (A, B))"
+    (txt (Repair_dichotomy.Simplify.Marriage (aset [ "A" ], aset [ "B" ])))
+
+(* ---------- generator structure ---------- *)
+
+let test_gen_fd_families () =
+  let rng = Rng.make 11 in
+  let _, marriage = Gen_fd.marriage 2 in
+  Alcotest.(check bool) "marriage has lhs marriage" true
+    (Fd_set.lhs_marriage marriage <> None);
+  let _, two = Gen_fd.two_unary () in
+  Alcotest.(check int) "two unary FDs" 2 (Fd_set.size two);
+  let _, chain = Gen_fd.chain rng ~n_attrs:5 ~n_fds:4 in
+  Alcotest.(check bool) "chain is a chain" true (Fd_set.is_chain chain);
+  let _, common = Gen_fd.common_lhs rng ~n_attrs:4 ~n_fds:3 in
+  Alcotest.(check bool) "common lhs present" true (Fd_set.common_lhs common <> None)
+
+(* ---------- datasets integrity ---------- *)
+
+let test_dataset_consistency_flags () =
+  Alcotest.(check bool) "S2 duplicate free + unweighted is from the paper" true
+    (Table.is_duplicate_free D.office_s2);
+  Alcotest.(check bool) "table1 sets all fail OSRSucceeds" true
+    (List.for_all
+       (fun (_, d) -> not (Repair_dichotomy.Simplify.succeeds d))
+       D.table1)
+
+let test_hospital_dataset () =
+  let t = D.hospital ~n:300 () in
+  Alcotest.(check int) "requested size" 300 (Table.size t);
+  (* deterministic *)
+  Alcotest.check table "deterministic" t (D.hospital ~n:300 ());
+  Alcotest.(check bool) "dirty" false (Fd_set.satisfied_by D.hospital_fds t);
+  Alcotest.(check bool) "hard for S-repairs" false
+    (Repair_dichotomy.Simplify.succeeds D.hospital_fds);
+  (* the whole cleaning pipeline runs on it *)
+  let e = Repair_cleaning.Dirtiness.estimate D.hospital_fds t in
+  Alcotest.(check bool) "bounds ordered" true
+    (e.Repair_cleaning.Dirtiness.deletions_lower
+     <= e.Repair_cleaning.Dirtiness.deletions_upper);
+  let apx = Repair_srepair.S_approx.approx2 D.hospital_fds t in
+  Alcotest.(check bool) "approx repair consistent" true
+    (Fd_set.satisfied_by D.hospital_fds apx);
+  let u, _ = Repair_urepair.U_approx.best D.hospital_fds t in
+  Alcotest.(check bool) "update repair consistent" true
+    (Fd_set.satisfied_by D.hospital_fds u)
+
+(* ---------- mixed / misc validation ---------- *)
+
+let test_mixed_validation () =
+  let big =
+    Table.of_tuples D.r3_schema
+      (List.init 10 (fun i ->
+           Tuple.make [ Value.int i; Value.int i; Value.int i ]))
+  in
+  Alcotest.(check bool) "oversized rejected" true
+    (try
+       ignore (Repair_mixed.Mixed_exact.optimal (Fd_set.parse "A -> B") big);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_exists_forall () =
+  let t = D.office_table in
+  Alcotest.(check bool) "exists Paris" true
+    (Table.exists
+       (fun _ tp ->
+         Value.equal (Tuple.get_attr D.office_schema tp "city") (Value.str "Paris"))
+       t);
+  Alcotest.(check bool) "not all Paris" false
+    (Table.for_all
+       (fun _ tp ->
+         Value.equal (Tuple.get_attr D.office_schema tp "city") (Value.str "Paris"))
+       t)
+
+let test_implicants_nontrivial () =
+  (* implicants of C under {A→B, B→C, AB→C}: minimal ones are {A} and {B}. *)
+  let d = Fd_set.parse "A -> B; B -> C" in
+  let imps = Lhs_analysis.implicants d "C" in
+  Alcotest.(check int) "two minimal implicants" 2 (List.length imps);
+  Alcotest.(check bool) "A and B" true
+    (List.exists (Attr_set.equal (aset [ "A" ])) imps
+     && List.exists (Attr_set.equal (aset [ "B" ])) imps)
+
+(* ---------- scale smoke ---------- *)
+
+let test_scale_smoke () =
+  (* n = 20_000 through the tractable pipeline in well under a second. *)
+  let rng = Rng.make 8 in
+  let t =
+    Repair_workload.Gen_table.dirty rng D.office_schema D.office_fds
+      { Repair_workload.Gen_table.default with n = 20_000; noise = 0.03;
+        domain_size = 60 }
+  in
+  let s = Repair_srepair.Opt_s_repair.run_exn D.office_fds t in
+  Alcotest.(check bool) "consistent at 20k" true
+    (Fd_set.satisfied_by D.office_fds s);
+  Alcotest.(check bool) "kept most tuples" true
+    (Table.size s > 17_000)
+
+let () =
+  Alcotest.run "api-surface"
+    [ ( "utilities",
+        [ Alcotest.test_case "graph weights" `Quick test_graph_weights;
+          Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "canonical cover" `Quick test_cover_canonical;
+          Alcotest.test_case "pp_step" `Quick test_pp_step;
+          Alcotest.test_case "table exists/for_all" `Quick test_table_exists_forall;
+          Alcotest.test_case "implicants" `Quick test_implicants_nontrivial;
+          Alcotest.test_case "mixed validation" `Quick test_mixed_validation ] );
+      ( "workload",
+        [ Alcotest.test_case "generator families" `Quick test_gen_fd_families;
+          Alcotest.test_case "dataset flags" `Quick test_dataset_consistency_flags;
+          Alcotest.test_case "hospital dataset" `Quick test_hospital_dataset;
+          Alcotest.test_case "scale smoke 20k" `Quick test_scale_smoke ] ) ]

@@ -1,0 +1,144 @@
+open Repair_relational
+open Repair_fd
+open Repair_cfd
+open Helpers
+
+let schema = Schema.make "Cust" [ "country"; "zip"; "city" ]
+let mk c z ci = Tuple.make [ Value.str c; Value.int z; Value.str ci ]
+
+(* CFD: within the UK, zip determines city. *)
+let uk_zip = Cfd.parse "country='UK' zip -> city"
+
+(* CFD with a constant rhs: zip 10001 is always NYC (any country). *)
+let nyc = Cfd.parse "zip='10001' -> city='NYC'"
+
+let test_parse_and_pp () =
+  Alcotest.(check string) "pp uk" "country='UK' zip → city=_"
+    (Fmt.str "%a" Cfd.pp uk_zip);
+  Alcotest.(check string) "pp nyc" "zip='10001' → city='NYC'"
+    (Fmt.str "%a" Cfd.pp nyc);
+  Alcotest.(check bool) "bad rhs arity" true
+    (try ignore (Cfd.parse "A -> B C"); false with Failure _ -> true)
+
+let test_of_fd () =
+  let c = Cfd.of_fd (Fd.parse "A -> B") in
+  Alcotest.(check string) "all wildcards" "A → B=_" (Fmt.str "%a" Cfd.pp c)
+
+let test_matching () =
+  let t_uk = mk "UK" 1 "Leeds" and t_fr = mk "FR" 1 "Paris" in
+  Alcotest.(check bool) "UK matches" true (Cfd.matches_lhs schema uk_zip t_uk);
+  Alcotest.(check bool) "FR does not" false (Cfd.matches_lhs schema uk_zip t_fr)
+
+let test_single_tuple_violation () =
+  let bad = mk "US" 10001 "Boston" and good = mk "US" 10001 "NYC" in
+  Alcotest.(check bool) "violates constant rhs" true
+    (Cfd.single_tuple_violation schema nyc bad);
+  Alcotest.(check bool) "satisfies constant rhs" false
+    (Cfd.single_tuple_violation schema nyc good);
+  Alcotest.(check bool) "non-matching tuple is fine" false
+    (Cfd.single_tuple_violation schema nyc (mk "US" 20001 "Boston"))
+
+let test_pair_violation () =
+  let t1 = mk "UK" 7 "Leeds" and t2 = mk "UK" 7 "York" and t3 = mk "FR" 7 "Paris" in
+  Alcotest.(check bool) "same UK zip, different city" true
+    (Cfd.pair_violation schema uk_zip t1 t2);
+  Alcotest.(check bool) "FR tuple exempt" false
+    (Cfd.pair_violation schema uk_zip t1 t3)
+
+let test_satisfied_by () =
+  let ok = Table.of_tuples schema [ mk "UK" 7 "Leeds"; mk "FR" 7 "Paris"; mk "US" 10001 "NYC" ] in
+  Alcotest.(check bool) "clean table" true (Cfd.satisfied_by [ uk_zip; nyc ] ok);
+  let bad = Table.add ok (mk "UK" 7 "York") in
+  Alcotest.(check bool) "pair violation detected" false
+    (Cfd.satisfied_by [ uk_zip; nyc ] bad)
+
+let test_repair_mandatory_deletion () =
+  (* The Boston/10001 tuple violates alone: it must go even though no pair
+     conflicts. *)
+  let t =
+    Table.of_list schema
+      [ (1, 1.0, mk "US" 10001 "Boston"); (2, 1.0, mk "US" 2 "Boston") ]
+  in
+  let s = Cfd.optimal_s_repair [ nyc ] t in
+  Alcotest.(check (list int)) "keeps only tuple 2" [ 2 ] (Table.ids s);
+  Alcotest.(check bool) "consistent" true (Cfd.satisfied_by [ nyc ] s)
+
+let test_repair_weighted_pairs () =
+  let t =
+    Table.of_list schema
+      [ (1, 3.0, mk "UK" 7 "Leeds");
+        (2, 1.0, mk "UK" 7 "York");
+        (3, 1.0, mk "UK" 8 "Hull") ]
+  in
+  let s = Cfd.optimal_s_repair [ uk_zip ] t in
+  Alcotest.(check (list int)) "drops the light conflicting tuple" [ 1; 3 ]
+    (Table.ids s)
+
+let test_plain_fd_agrees_with_srepair () =
+  (* With all-wildcard CFDs, the repair must match the FD machinery. *)
+  let d = Fd_set.parse "country zip -> city" in
+  let cfds = List.map Cfd.of_fd (Fd_set.to_list d) in
+  let t =
+    Table.of_list schema
+      [ (1, 1.0, mk "UK" 7 "Leeds"); (2, 1.0, mk "UK" 7 "York");
+        (3, 2.0, mk "FR" 7 "Paris") ]
+  in
+  check_float "same optimal distance"
+    (Repair_srepair.S_exact.distance d t)
+    (Table.dist_sub (Cfd.optimal_s_repair cfds t) t)
+
+let prop_cfd_approx_bound =
+  qcheck ~count:40 "CFD 2-approximation within factor 2 of exact"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Repair_workload.Rng.make seed in
+      let t = ref (Table.empty schema) in
+      for _ = 1 to 8 do
+        t :=
+          Table.add !t
+            (mk
+               (if Repair_workload.Rng.bool rng then "UK" else "FR")
+               (Repair_workload.Rng.in_range rng 1 3)
+               (List.nth [ "Leeds"; "York"; "NYC" ]
+                  (Repair_workload.Rng.int rng 3)))
+      done;
+      let cfds = [ uk_zip; nyc ] in
+      let apx = Cfd.approx_s_repair cfds !t in
+      let opt = Cfd.optimal_s_repair cfds !t in
+      Cfd.satisfied_by cfds apx
+      && Table.dist_sub apx !t <= (2.0 *. Table.dist_sub opt !t) +. 1e-9)
+
+let prop_cfd_repair_consistent =
+  qcheck ~count:40 "CFD exact repair is always consistent"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Repair_workload.Rng.make seed in
+      let t = ref (Table.empty schema) in
+      for _ = 1 to 7 do
+        t :=
+          Table.add
+            ~weight:(float_of_int (Repair_workload.Rng.in_range rng 1 3))
+            !t
+            (mk
+               (if Repair_workload.Rng.bool rng then "UK" else "US")
+               (Repair_workload.Rng.in_range rng 1 2)
+               (List.nth [ "Leeds"; "NYC" ] (Repair_workload.Rng.int rng 2)))
+      done;
+      let cfds = [ uk_zip; nyc ] in
+      Cfd.satisfied_by cfds (Cfd.optimal_s_repair cfds !t))
+
+let () =
+  Alcotest.run "cfd"
+    [ ( "structure",
+        [ Alcotest.test_case "parse & pp" `Quick test_parse_and_pp;
+          Alcotest.test_case "of_fd" `Quick test_of_fd;
+          Alcotest.test_case "matching" `Quick test_matching;
+          Alcotest.test_case "single-tuple violation" `Quick test_single_tuple_violation;
+          Alcotest.test_case "pair violation" `Quick test_pair_violation;
+          Alcotest.test_case "satisfied_by" `Quick test_satisfied_by ] );
+      ( "repair",
+        [ Alcotest.test_case "mandatory deletion" `Quick test_repair_mandatory_deletion;
+          Alcotest.test_case "weighted pairs" `Quick test_repair_weighted_pairs;
+          Alcotest.test_case "plain FDs agree" `Quick test_plain_fd_agrees_with_srepair;
+          prop_cfd_approx_bound;
+          prop_cfd_repair_consistent ] ) ]

@@ -1,0 +1,178 @@
+open Repair_relational
+open Repair_fd
+open Helpers
+module Cqa = Repair_cqa.Cqa
+module Prioritized = Repair_prioritized.Prioritized
+module D = Repair_workload.Datasets
+
+let schema = Schema.make "R" [ "A"; "B" ]
+let mk a b = Tuple.make [ Value.int a; Value.int b ]
+let fd_ab = Fd_set.parse "A -> B"
+
+(* ---------- CQA ---------- *)
+
+(* (1,1) (1,2) (2,1): repairs {1,3} and {2,3}. *)
+let t3 = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 1 2); (3, 1.0, mk 2 1) ]
+
+let test_answers () =
+  let q = Cqa.query ~select:[ ("A", Value.int 1) ] [ "B" ] in
+  Alcotest.(check int) "two B values for A=1" 2 (List.length (Cqa.answers q t3));
+  let q_all = Cqa.query [ "A" ] in
+  Alcotest.(check int) "two distinct A" 2 (List.length (Cqa.answers q_all t3))
+
+let test_certain_possible () =
+  let q = Cqa.query [ "A" ] in
+  (* A=2 appears in every repair; A=1 also appears in every repair (either
+     tuple 1 or 2 survives). *)
+  Alcotest.(check int) "both A certain" 2 (List.length (Cqa.certain q fd_ab t3));
+  let qb = Cqa.query ~select:[ ("A", Value.int 1) ] [ "B" ] in
+  (* B for A=1 differs across repairs: no certain answer, two possible. *)
+  Alcotest.(check int) "no certain B" 0 (List.length (Cqa.certain qb fd_ab t3));
+  Alcotest.(check int) "two possible B" 2 (List.length (Cqa.possible qb fd_ab t3));
+  let certain, possible = Cqa.range qb fd_ab t3 in
+  Alcotest.(check int) "range certain" 0 (List.length certain);
+  Alcotest.(check int) "range possible" 2 (List.length possible)
+
+let test_cqa_consistent_table () =
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 2 2) ] in
+  let q = Cqa.query [ "A"; "B" ] in
+  Alcotest.(check int) "certain = all tuples" 2
+    (List.length (Cqa.certain q fd_ab t))
+
+let test_cqa_office () =
+  (* city of facility HQ across office repairs: Paris in one, Madrid in the
+     other — not certain. *)
+  let q =
+    Cqa.query ~select:[ ("facility", Value.str "HQ") ] [ "city" ]
+  in
+  Alcotest.(check int) "city of HQ uncertain" 0
+    (List.length (Cqa.certain q D.office_fds D.office_table));
+  Alcotest.(check int) "two possible cities" 2
+    (List.length (Cqa.possible q D.office_fds D.office_table));
+  (* London is certain: tuple 4 conflicts with nothing. *)
+  let q4 = Cqa.query ~select:[ ("facility", Value.str "Lab1") ] [ "city" ] in
+  Alcotest.(check int) "Lab1 city certain" 1
+    (List.length (Cqa.certain q4 D.office_fds D.office_table))
+
+let prop_certain_subset_possible =
+  qcheck ~count:40 "certain ⊆ possible ⊆ answers on the full table"
+    QCheck2.Gen.(pair (gen_fd_set small_schema) (gen_table ~max_size:6 small_schema))
+    (fun (d, t) ->
+      let q = Cqa.query [ "A"; "B" ] in
+      let certain, possible = Cqa.range q d t in
+      let full = Cqa.answers q t in
+      let subset xs ys = List.for_all (fun x -> List.exists (Tuple.equal x) ys) xs in
+      subset certain possible && subset possible full)
+
+(* ---------- prioritized repairs ---------- *)
+
+let prio prefs = Prioritized.create fd_ab t3 prefs
+
+let test_create_validation () =
+  Alcotest.(check bool) "non-conflicting pair rejected" true
+    (try ignore (prio [ (1, 3) ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "cycle rejected" true
+    (try ignore (prio [ (1, 2); (2, 1) ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "unknown id rejected" true
+    (try ignore (prio [ (1, 99) ]); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "valid priority accepted" true
+    (ignore (prio [ (1, 2) ]); true)
+
+let test_c_repair () =
+  let p = prio [ (1, 2) ] in
+  let c = Prioritized.c_repair p in
+  Alcotest.(check (list int)) "preferred tuple wins" [ 1; 3 ] (Table.ids c);
+  Alcotest.(check bool) "c-repair consistent" true
+    (Fd_set.satisfied_by fd_ab c);
+  (* with the opposite priority the other repair is produced *)
+  let p2 = prio [ (2, 1) ] in
+  Alcotest.(check (list int)) "reversed" [ 2; 3 ]
+    (Table.ids (Prioritized.c_repair p2))
+
+let test_all_c_repairs_and_ambiguity () =
+  (* No priority: both repairs are c-repairs — ambiguous. *)
+  let p0 = prio [] in
+  Alcotest.(check int) "two c-repairs" 2 (List.length (Prioritized.all_c_repairs p0));
+  Alcotest.(check bool) "ambiguous" false (Prioritized.is_unambiguous p0);
+  (* One preference resolves everything. *)
+  let p1 = prio [ (1, 2) ] in
+  Alcotest.(check int) "one c-repair" 1 (List.length (Prioritized.all_c_repairs p1));
+  Alcotest.(check bool) "unambiguous" true (Prioritized.is_unambiguous p1)
+
+let test_pareto_global () =
+  let p = prio [ (1, 2) ] in
+  let s_good = Table.restrict t3 [ 1; 3 ] in
+  let s_bad = Table.restrict t3 [ 2; 3 ] in
+  Alcotest.(check bool) "preferred repair is Pareto-optimal" true
+    (Prioritized.is_pareto_optimal p s_good);
+  Alcotest.(check bool) "dominated repair is not" false
+    (Prioritized.is_pareto_optimal p s_bad);
+  Alcotest.(check bool) "preferred repair is globally optimal" true
+    (Prioritized.is_globally_optimal p s_good);
+  Alcotest.(check bool) "dominated repair is not globally optimal" false
+    (Prioritized.is_globally_optimal p s_bad);
+  (* without priorities both maximal repairs are optimal under both
+     notions *)
+  let p0 = prio [] in
+  Alcotest.(check bool) "no-priority: both Pareto" true
+    (Prioritized.is_pareto_optimal p0 s_good
+     && Prioritized.is_pareto_optimal p0 s_bad)
+
+let test_non_maximal_not_pareto () =
+  let p = prio [] in
+  Alcotest.(check bool) "non-maximal subset rejected" false
+    (Prioritized.is_pareto_optimal p (Table.restrict t3 [ 3 ]))
+
+(* Containment chain: every c-repair is globally optimal; every globally
+   optimal repair is Pareto-optimal. *)
+let prop_containment =
+  qcheck ~count:30 "c-repairs ⊆ g-repairs ⊆ p-repairs"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Repair_workload.Rng.make seed in
+      let t =
+        Repair_workload.Gen_table.uniform rng schema
+          { Repair_workload.Gen_table.default with n = 5; domain_size = 2 }
+      in
+      (* random acyclic priority: prefer lower id on a few conflicting
+         pairs *)
+      let prefs =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                let schema' = Table.schema t in
+                if
+                  i < j
+                  && (not
+                        (Fd_set.pair_consistent fd_ab schema'
+                           (Table.tuple t i) (Table.tuple t j)))
+                  && Repair_workload.Rng.bool rng
+                then Some (i, j)
+                else None)
+              (Table.ids t))
+          (Table.ids t)
+      in
+      let p = Prioritized.create fd_ab t prefs in
+      let crs = Prioritized.all_c_repairs p in
+      List.for_all
+        (fun c ->
+          Prioritized.is_globally_optimal p c && Prioritized.is_pareto_optimal p c)
+        crs)
+
+let () =
+  Alcotest.run "cqa+prioritized"
+    [ ( "cqa",
+        [ Alcotest.test_case "plain answers" `Quick test_answers;
+          Alcotest.test_case "certain/possible" `Quick test_certain_possible;
+          Alcotest.test_case "consistent table" `Quick test_cqa_consistent_table;
+          Alcotest.test_case "office" `Quick test_cqa_office;
+          prop_certain_subset_possible ] );
+      ( "prioritized",
+        [ Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "c-repair" `Quick test_c_repair;
+          Alcotest.test_case "ambiguity" `Quick test_all_c_repairs_and_ambiguity;
+          Alcotest.test_case "pareto/global" `Quick test_pareto_global;
+          Alcotest.test_case "non-maximal" `Quick test_non_maximal_not_pareto;
+          prop_containment ] ) ]

@@ -1,0 +1,150 @@
+(* Tests for the Section 5 extension libraries: denial constraints and
+   mixed-operation repairs. *)
+
+open Repair_relational
+open Repair_fd
+open Helpers
+module Denial = Repair_denial.Denial
+module Mixed = Repair_mixed.Mixed_exact
+module Rng = Repair_workload.Rng
+module Gen_table = Repair_workload.Gen_table
+
+let schema = Schema.make "R" [ "A"; "B" ]
+let mk a b = Tuple.make [ Value.int a; Value.int b ]
+
+(* ---------- denial constraints ---------- *)
+
+let no_nines = Denial.unary "no-nines" (fun s t -> Tuple.get_attr s t "A" = Value.int 9)
+
+let fd_ab = Fd.parse "A -> B"
+
+let test_denial_of_fd_matches_fd () =
+  let d = Fd_set.of_list [ fd_ab ] in
+  let cs = Denial.of_fd_set d in
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 1 2); (3, 1.0, mk 2 1) ] in
+  Alcotest.(check bool) "same satisfaction" (Fd_set.satisfied_by d t)
+    (Denial.satisfied_by cs t);
+  check_float "same optimal distance"
+    (Repair_srepair.S_exact.distance d t)
+    (Table.dist_sub (Denial.optimal_s_repair cs t) t)
+
+let test_denial_unary () =
+  let t = Table.of_list schema [ (1, 5.0, mk 9 1); (2, 1.0, mk 1 1) ] in
+  let v = Denial.violations [ no_nines ] t in
+  Alcotest.(check int) "one violation" 1 (List.length v);
+  (match v with
+  | [ `Unary (1, "no-nines") ] -> ()
+  | _ -> Alcotest.fail "expected unary violation of tuple 1");
+  let s = Denial.optimal_s_repair [ no_nines ] t in
+  Alcotest.(check (list int)) "mandatory deletion despite weight" [ 2 ]
+    (Table.ids s)
+
+let test_denial_order_constraint () =
+  (* lt_atom A A symmetrized forbids any two tuples with different A. *)
+  let c = Denial.lt_atom "A" "A" in
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 2 2); (3, 1.0, mk 1 9) ] in
+  Alcotest.(check bool) "violated" false (Denial.satisfied_by [ c ] t);
+  let s = Denial.optimal_s_repair [ c ] t in
+  Alcotest.(check bool) "consistent after repair" true (Denial.satisfied_by [ c ] s);
+  Alcotest.(check int) "keeps the two A=1 tuples" 2 (Table.size s)
+
+let test_denial_mixed_family () =
+  let cs = no_nines :: Denial.of_fd_set (Fd_set.of_list [ fd_ab ]) in
+  let t =
+    Table.of_list schema
+      [ (1, 1.0, mk 9 1); (2, 1.0, mk 1 1); (3, 1.0, mk 1 2); (4, 1.0, mk 2 2) ]
+  in
+  let s = Denial.optimal_s_repair cs t in
+  Alcotest.(check bool) "consistent" true (Denial.satisfied_by cs s);
+  Alcotest.(check int) "keeps 2 of 4" 2 (Table.size s)
+
+let prop_denial_approx_bound =
+  qcheck ~count:40 "denial 2-approximation within factor 2"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let t =
+        Gen_table.uniform rng schema
+          { Gen_table.default with n = 8; domain_size = 3; weighted = true }
+      in
+      let cs = no_nines :: Denial.of_fd_set (Fd_set.of_list [ fd_ab ]) in
+      let apx = Denial.approx_s_repair cs t in
+      let opt = Denial.optimal_s_repair cs t in
+      Denial.satisfied_by cs apx
+      && Table.dist_sub apx t <= (2.0 *. Table.dist_sub opt t) +. 1e-9)
+
+(* ---------- mixed repairs ---------- *)
+
+let test_mixed_prefers_update () =
+  (* (1,1) vs (1,2): one cell update beats deleting a tuple when deletions
+     are expensive. *)
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 1 2) ] in
+  let fd = Fd_set.parse "A -> B" in
+  let o = Mixed.optimal ~delete_factor:2.0 fd t in
+  check_float "cost one update" 1.0 o.cost;
+  Alcotest.(check (list int)) "nothing deleted" [] o.deleted;
+  Alcotest.(check int) "both kept" 2 (Table.size o.result);
+  Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by fd o.result)
+
+let test_mixed_prefers_delete () =
+  (* A tuple violating in two attributes: deleting (cost 0.5·w) beats two
+     updates. *)
+  let fd = Fd_set.parse "A -> B" in
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 1 2) ] in
+  let o = Mixed.optimal ~delete_factor:0.25 fd t in
+  check_float "cheap deletion wins" 0.25 o.cost;
+  Alcotest.(check int) "one deleted" 1 (List.length o.deleted)
+
+let test_mixed_consistent_input () =
+  let fd = Fd_set.parse "A -> B" in
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 2 2) ] in
+  let o = Mixed.optimal fd t in
+  check_float "zero cost" 0.0 o.cost;
+  Alcotest.check table "unchanged" t o.result
+
+let prop_mixed_lower_bound =
+  qcheck ~count:25 "mixed optimum ≤ min(subset, update) at delete_factor 1"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let fd = Fd_set.parse "A -> B" in
+      let t =
+        Gen_table.dirty rng schema fd
+          { Gen_table.default with n = 4; noise = 0.4; domain_size = 3 }
+      in
+      let mixed = Mixed.cost fd t in
+      let subset = Repair_srepair.S_exact.distance fd t in
+      let update = Repair_urepair.U_exact.distance fd t in
+      mixed <= subset +. 1e-9
+      && mixed <= update +. 1e-9
+      (* and with free-ish deletions it can only get cheaper *)
+      && Mixed.cost ~delete_factor:0.5 fd t <= mixed +. 1e-9)
+
+let prop_mixed_result_consistent =
+  qcheck ~count:25 "mixed repair output is always consistent"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let fd = Fd_set.parse "A -> B; B -> A" in
+      let t =
+        Gen_table.dirty rng schema fd
+          { Gen_table.default with n = 4; noise = 0.5; domain_size = 2 }
+      in
+      let o = Mixed.optimal fd t in
+      Fd_set.satisfied_by fd o.result
+      && List.for_all (fun i -> not (Table.mem o.result i)) o.deleted)
+
+let () =
+  Alcotest.run "extensions"
+    [ ( "denial",
+        [ Alcotest.test_case "FDs as denial constraints" `Quick test_denial_of_fd_matches_fd;
+          Alcotest.test_case "unary violations" `Quick test_denial_unary;
+          Alcotest.test_case "order constraint" `Quick test_denial_order_constraint;
+          Alcotest.test_case "mixed family" `Quick test_denial_mixed_family;
+          prop_denial_approx_bound ] );
+      ( "mixed",
+        [ Alcotest.test_case "prefers update" `Quick test_mixed_prefers_update;
+          Alcotest.test_case "prefers delete" `Quick test_mixed_prefers_delete;
+          Alcotest.test_case "consistent input" `Quick test_mixed_consistent_input;
+          prop_mixed_lower_bound;
+          prop_mixed_result_consistent ] ) ]

@@ -1,0 +1,171 @@
+open Repair_relational
+open Repair_fd
+open Helpers
+module D = Repair_workload.Datasets
+module Explain = Repair_srepair.Explain
+
+let schema = Schema.make "R" [ "A"; "B" ]
+let mk a b = Tuple.make [ Value.int a; Value.int b ]
+let fd_ab = Fd_set.parse "A -> B"
+
+(* ---------- Fd_index ---------- *)
+
+let test_index_basic () =
+  let idx = Fd_index.create fd_ab schema in
+  Alcotest.(check int) "empty" 0 (Fd_index.size idx);
+  Fd_index.add idx 1 (mk 1 1);
+  Alcotest.(check bool) "same tuple compatible" true
+    (Fd_index.compatible idx (mk 1 1));
+  Alcotest.(check bool) "conflicting tuple detected" false
+    (Fd_index.compatible idx (mk 1 2));
+  Alcotest.(check (list int)) "conflict ids" [ 1 ]
+    (Fd_index.conflicts idx (mk 1 2));
+  Alcotest.(check bool) "unrelated tuple fine" true
+    (Fd_index.compatible idx (mk 2 9))
+
+let test_index_add_remove () =
+  let idx = Fd_index.create fd_ab schema in
+  Fd_index.add idx 1 (mk 1 1);
+  Fd_index.add idx 2 (mk 1 2);
+  Alcotest.(check bool) "now inconsistent" false (Fd_index.is_consistent idx);
+  Fd_index.remove idx 2 (mk 1 2);
+  Alcotest.(check bool) "consistent after removal" true (Fd_index.is_consistent idx);
+  Alcotest.(check int) "size" 1 (Fd_index.size idx);
+  Alcotest.(check bool) "duplicate id rejected" true
+    (try Fd_index.add idx 1 (mk 3 3); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad removal rejected" true
+    (try Fd_index.remove idx 9 (mk 1 1); false with Invalid_argument _ -> true)
+
+let test_index_multi_fd () =
+  let d = D.office_fds in
+  let idx = Fd_index.build d D.office_table in
+  Alcotest.(check int) "all indexed" 4 (Fd_index.size idx);
+  Alcotest.(check bool) "office table inconsistent" false
+    (Fd_index.is_consistent idx);
+  (* conflicts of a fresh tuple matching HQ with yet another city *)
+  let probe =
+    Tuple.make [ Value.str "HQ"; Value.str "777"; Value.int 1; Value.str "Rome" ]
+  in
+  Alcotest.(check (list int)) "conflicts with all HQ tuples" [ 1; 2; 3 ]
+    (Fd_index.conflicts idx probe)
+
+let prop_index_matches_pairwise =
+  qcheck ~count:60 "index conflicts = pairwise scan"
+    QCheck2.Gen.(
+      pair
+        (gen_fd_set small_schema)
+        (pair (gen_table ~max_size:8 small_schema) (gen_tuple small_schema)))
+    (fun (d, (t, probe)) ->
+      let idx = Fd_index.build d t in
+      let scan =
+        Table.fold
+          (fun i tp _ acc ->
+            if Fd_set.pair_consistent d small_schema probe tp then acc
+            else i :: acc)
+          t []
+        |> List.sort compare
+      in
+      Fd_index.conflicts idx probe = scan
+      && Fd_index.compatible idx probe = (scan = []))
+
+let prop_index_consistency_matches =
+  qcheck ~count:60 "index consistency = Fd_set.satisfied_by"
+    QCheck2.Gen.(pair (gen_fd_set small_schema) (gen_table ~max_size:8 small_schema))
+    (fun (d, t) ->
+      Fd_index.is_consistent (Fd_index.build d t) = Fd_set.satisfied_by d t)
+
+(* Model-based: a random add/remove sequence keeps the index in sync with
+   a naive association-list reference. *)
+let prop_index_model_based =
+  qcheck ~count:60 "random op sequences match the reference model"
+    QCheck2.Gen.(
+      pair (gen_fd_set small_schema)
+        (list_size (int_range 1 25)
+           (pair bool (gen_tuple ~dom:3 small_schema))))
+    (fun (d, ops) ->
+      let idx = Fd_index.create d small_schema in
+      let reference = ref [] in
+      let next = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (is_add, tuple) ->
+          (if is_add || !reference = [] then begin
+             incr next;
+             Fd_index.add idx !next tuple;
+             reference := (!next, tuple) :: !reference
+           end
+           else
+             match !reference with
+             | (i, t) :: rest ->
+               Fd_index.remove idx i t;
+               reference := rest
+             | [] -> ());
+          (* compare a probe after every operation *)
+          let probe = tuple in
+          let expected =
+            List.filter_map
+              (fun (i, t) ->
+                if Fd_set.pair_consistent d small_schema probe t then None
+                else Some i)
+              !reference
+            |> List.sort compare
+          in
+          if Fd_index.conflicts idx probe <> expected then ok := false;
+          if Fd_index.size idx <> List.length !reference then ok := false)
+        ops;
+      !ok)
+
+(* ---------- Explain ---------- *)
+
+let test_explain_office () =
+  let s = Repair_srepair.Opt_s_repair.run_exn D.office_fds D.office_table in
+  let reasons = Explain.deletions D.office_fds ~table:D.office_table s in
+  Alcotest.(check int) "one deletion" 1 (List.length reasons);
+  let r = List.hd reasons in
+  Alcotest.(check int) "tuple 1 deleted" 1 r.Explain.deleted;
+  Alcotest.(check int) "three conflict facts" 3 (List.length r.Explain.conflicts);
+  Alcotest.(check (list int)) "no gratuitous deletions" []
+    (Explain.gratuitous D.office_fds ~table:D.office_table s)
+
+let test_explain_gratuitous () =
+  (* S3 = {3,4}: deleting tuple 2 was unnecessary. *)
+  let g = Explain.gratuitous D.office_fds ~table:D.office_table D.office_s3 in
+  Alcotest.(check (list int)) "tuple 2 restorable" [ 2 ] g;
+  let reasons = Explain.deletions D.office_fds ~table:D.office_table D.office_s3 in
+  let r2 = List.find (fun r -> r.Explain.deleted = 2) reasons in
+  Alcotest.(check string) "pp mentions gratuitous"
+    "tuple 2: gratuitous deletion (restorable)"
+    (Fmt.str "%a" Explain.pp_reason r2)
+
+let test_explain_rejects_inconsistent () =
+  Alcotest.(check bool) "rejects non-subset" true
+    (try
+       ignore (Explain.deletions D.office_fds ~table:D.office_table D.office_table);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_explain_complete =
+  qcheck ~count:40 "every deletion from an S-repair has a conflict"
+    QCheck2.Gen.(pair (gen_fd_set small_schema) (gen_table ~max_size:8 small_schema))
+    (fun (d, t) ->
+      let s = Repair_srepair.S_exact.optimal d t in
+      let reasons = Explain.deletions d ~table:t s in
+      (* exact optimum is maximal (weights positive), so no gratuitous
+         deletions, and the count matches *)
+      List.length reasons = Table.size t - Table.size s
+      && List.for_all (fun r -> r.Explain.conflicts <> []) reasons)
+
+let () =
+  Alcotest.run "index+explain"
+    [ ( "fd_index",
+        [ Alcotest.test_case "basics" `Quick test_index_basic;
+          Alcotest.test_case "add/remove" `Quick test_index_add_remove;
+          Alcotest.test_case "multi-FD office" `Quick test_index_multi_fd;
+          prop_index_matches_pairwise;
+          prop_index_consistency_matches;
+          prop_index_model_based ] );
+      ( "explain",
+        [ Alcotest.test_case "office" `Quick test_explain_office;
+          Alcotest.test_case "gratuitous" `Quick test_explain_gratuitous;
+          Alcotest.test_case "validation" `Quick test_explain_rejects_inconsistent;
+          prop_explain_complete ] ) ]

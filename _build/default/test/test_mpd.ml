@@ -1,0 +1,134 @@
+open Repair_relational
+open Repair_fd
+open Repair_mpd
+open Helpers
+module Rng = Repair_workload.Rng
+
+let schema = Schema.make "R" [ "A"; "B" ]
+let mk a b = Tuple.make [ Value.int a; Value.int b ]
+let fd_ab = Fd_set.parse "A -> B"
+
+let prob_table rows = Prob_table.of_table (Table.of_list schema rows)
+
+(* ---------- Equation (2) ---------- *)
+
+let test_probability () =
+  let pt = prob_table [ (1, 0.9, mk 1 1); (2, 0.6, mk 1 2) ] in
+  let tbl = Prob_table.table pt in
+  check_float "both kept" (0.9 *. 0.6) (Prob_table.probability pt tbl);
+  check_float "first only" (0.9 *. 0.4)
+    (Prob_table.probability pt (Table.restrict tbl [ 1 ]));
+  check_float "none" (0.1 *. 0.4)
+    (Prob_table.probability pt (Table.empty schema));
+  check_float "log agrees" (log (0.9 *. 0.4))
+    (Prob_table.log_probability pt (Table.restrict tbl [ 1 ]))
+
+let test_validation () =
+  Alcotest.(check bool) "p > 1 rejected" true
+    (try ignore (prob_table [ (1, 1.5, mk 1 1) ]); false
+     with Invalid_argument _ -> true)
+
+let test_certain () =
+  let pt = prob_table [ (1, 1.0, mk 1 1); (2, 0.7, mk 1 2) ] in
+  Alcotest.(check (list int)) "certain ids" [ 1 ] (Prob_table.certain pt)
+
+(* ---------- reduction mechanics ---------- *)
+
+let test_weights_of_probabilities () =
+  let pt =
+    prob_table [ (1, 0.9, mk 1 1); (2, 0.5, mk 1 2); (3, 0.3, mk 2 1); (4, 1.0, mk 2 2) ]
+  in
+  let w = Mpd.weights_of_probabilities pt in
+  (* p ≤ 0.5 tuples dropped; the certain tuple gets the dominant weight. *)
+  Alcotest.(check (list int)) "kept ids" [ 1; 4 ] (Table.ids w);
+  check_float "log-odds weight" (log (0.9 /. 0.1)) (Table.weight w 1);
+  Alcotest.(check bool) "certain dominates" true
+    (Table.weight w 4 > Table.weight w 1)
+
+let test_certain_conflict () =
+  let pt = prob_table [ (1, 1.0, mk 1 1); (2, 1.0, mk 1 2) ] in
+  match Mpd.solve ~strategy:Mpd.Poly fd_ab pt with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "conflicting certain tuples must yield None"
+
+let test_solve_known () =
+  (* One A-group with a strong and a weak reading. *)
+  let pt = prob_table [ (1, 0.9, mk 1 1); (2, 0.6, mk 1 2); (3, 0.8, mk 2 1) ] in
+  match Mpd.solve ~strategy:Mpd.Poly fd_ab pt with
+  | Ok (Some world) ->
+    Alcotest.(check (list int)) "keeps strong readings" [ 1; 3 ] (Table.ids world)
+  | _ -> Alcotest.fail "expected a world"
+
+let test_hard_side_reported () =
+  let d = Fd_set.parse "A -> B; B -> A2" in
+  (* {A→B, B→C} shape: OSRSucceeds fails, Poly must report it. *)
+  let schema3 = Schema.make "R" [ "A"; "B"; "A2" ] in
+  let pt =
+    Prob_table.of_table
+      (Table.of_list schema3 [ (1, 0.9, Tuple.make [ Value.int 1; Value.int 1; Value.int 1 ]) ])
+  in
+  match Mpd.solve ~strategy:Mpd.Poly d pt with
+  | Error stuck -> Alcotest.(check bool) "stuck nonempty" false (Fd_set.is_empty stuck)
+  | Ok _ -> Alcotest.fail "expected hard-side error"
+
+let test_reverse_reduction () =
+  let t = Table.of_list schema [ (1, 1.0, mk 1 1); (2, 1.0, mk 1 2); (3, 1.0, mk 2 1) ] in
+  let pt = Mpd.of_unweighted_table t in
+  (match Mpd.solve ~strategy:Mpd.Exact_search fd_ab pt with
+  | Ok (Some world) ->
+    (* max-cardinality repair keeps 2 tuples *)
+    Alcotest.(check int) "keeps 2" 2 (Table.size world)
+  | _ -> Alcotest.fail "expected world");
+  Alcotest.(check bool) "p out of range rejected" true
+    (try ignore (Mpd.of_unweighted_table ~p:0.4 t); false
+     with Invalid_argument _ -> true)
+
+(* ---------- solve = brute force ---------- *)
+
+let gen_prob_rows =
+  QCheck2.Gen.(
+    let prob = map (fun i -> float_of_int i /. 10.0) (int_range 1 10) in
+    list_size (int_range 1 7) (triple (int_range 1 2) (int_range 1 3) prob))
+
+let world_log_prob pt = function
+  | Some w -> Prob_table.log_probability pt w
+  | None -> neg_infinity
+
+let prop_solve_matches_brute_force strategy name =
+  qcheck ~count:80 name gen_prob_rows (fun rows ->
+      let tbl =
+        List.fold_left
+          (fun t (a, b, p) -> Table.add ~weight:p t (mk a b))
+          (Table.empty schema) rows
+      in
+      let pt = Prob_table.of_table tbl in
+      let certain = Table.restrict tbl (Prob_table.certain pt) in
+      if not (Fd_set.satisfied_by fd_ab certain) then true
+      else
+        match Mpd.solve ~strategy fd_ab pt with
+        | Error _ -> false
+        | Ok world ->
+          let bf = Mpd.brute_force fd_ab pt in
+          consistent_distance_eq ~eps:1e-6
+            (world_log_prob pt world)
+            (Prob_table.log_probability pt bf))
+
+let prop_poly = prop_solve_matches_brute_force Mpd.Poly
+    "MPD via OptSRepair equals brute force (A → B)"
+
+let prop_exact = prop_solve_matches_brute_force Mpd.Exact_search
+    "MPD via exact search equals brute force (A → B)"
+
+let () =
+  Alcotest.run "mpd"
+    [ ( "probability",
+        [ Alcotest.test_case "equation 2" `Quick test_probability;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "certain" `Quick test_certain ] );
+      ( "reduction",
+        [ Alcotest.test_case "weights" `Quick test_weights_of_probabilities;
+          Alcotest.test_case "certain conflict" `Quick test_certain_conflict;
+          Alcotest.test_case "known instance" `Quick test_solve_known;
+          Alcotest.test_case "hard side" `Quick test_hard_side_reported;
+          Alcotest.test_case "reverse reduction" `Quick test_reverse_reduction ] );
+      ("optimality", [ prop_poly; prop_exact ]) ]

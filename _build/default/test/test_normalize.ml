@@ -1,0 +1,168 @@
+open Repair_relational
+open Repair_fd
+open Helpers
+
+let aset = Attr_set.of_list
+
+let abc = aset [ "A"; "B"; "C" ]
+let abcd = aset [ "A"; "B"; "C"; "D" ]
+
+let test_project () =
+  let d = Fd_set.parse "A -> B; B -> C" in
+  let proj = Normalize.project d ~onto:(aset [ "A"; "C" ]) in
+  Alcotest.(check bool) "A -> C survives" true
+    (Fd_set.entails proj (Fd.parse "A -> C"));
+  Alcotest.(check bool) "nothing about B" true
+    (Attr_set.subset (Fd_set.attrs proj) (aset [ "A"; "C" ]))
+
+let test_is_bcnf () =
+  Alcotest.(check bool) "key FD only" true
+    (Normalize.is_bcnf (Fd_set.parse "A -> B C") ~attrs:abc);
+  Alcotest.(check bool) "transitive violates" false
+    (Normalize.is_bcnf (Fd_set.parse "A -> B; B -> C") ~attrs:abc);
+  Alcotest.(check bool) "empty Δ" true (Normalize.is_bcnf Fd_set.empty ~attrs:abc)
+
+let test_is_3nf () =
+  (* AB→C, C→B: C→B violates BCNF but B is prime (AB and AC are keys). *)
+  let d = Fd_set.parse "A B -> C; C -> B" in
+  Alcotest.(check bool) "3NF holds" true (Normalize.is_3nf d ~attrs:abc);
+  Alcotest.(check bool) "BCNF fails" false (Normalize.is_bcnf d ~attrs:abc);
+  Alcotest.(check bool) "transitive fails 3NF" false
+    (Normalize.is_3nf (Fd_set.parse "A -> B; B -> C") ~attrs:abc)
+
+let test_bcnf_decompose () =
+  let d = Fd_set.parse "A -> B; B -> C" in
+  let frags = Normalize.bcnf_decompose d ~attrs:abc in
+  Alcotest.(check bool) "every fragment in BCNF" true
+    (List.for_all
+       (fun f -> Normalize.is_bcnf f.Normalize.fds ~attrs:f.Normalize.attrs)
+       frags);
+  let union =
+    List.fold_left
+      (fun acc f -> Attr_set.union acc f.Normalize.attrs)
+      Attr_set.empty frags
+  in
+  Alcotest.check attr_set "attributes preserved" abc union;
+  Alcotest.(check int) "two fragments" 2 (List.length frags)
+
+let test_bcnf_decompose_table_lossless () =
+  (* Lossless join on a concrete table: decompose, join back, compare. *)
+  let schema = Schema.make "R" [ "A"; "B"; "C" ] in
+  let d = Fd_set.parse "A -> B" in
+  let mk a b c = Tuple.make [ Value.int a; Value.int b; Value.int c ] in
+  let t = Table.of_tuples schema [ mk 1 10 100; mk 1 10 200; mk 2 20 100 ] in
+  let frags = Normalize.bcnf_decompose d ~attrs:abc in
+  let projected =
+    List.map (fun f -> Normalize.decompose_table schema t f.Normalize.attrs) frags
+  in
+  (* natural join of the two fragments (they share A) *)
+  match projected with
+  | [ (s1, t1); (s2, t2) ] ->
+    let joined = ref [] in
+    Table.iter
+      (fun _ u _ ->
+        Table.iter
+          (fun _ v _ ->
+            let shared =
+              Attr_set.inter (Schema.attribute_set s1) (Schema.attribute_set s2)
+            in
+            let agree =
+              Attr_set.for_all
+                (fun a ->
+                  Value.equal (Tuple.get_attr s1 u a) (Tuple.get_attr s2 v a))
+                shared
+            in
+            if agree then begin
+              let values =
+                List.map
+                  (fun a ->
+                    if Schema.mem s1 a then Tuple.get_attr s1 u a
+                    else Tuple.get_attr s2 v a)
+                  (Schema.attributes schema)
+              in
+              joined := Tuple.make values :: !joined
+            end)
+          t2)
+      t1;
+    let join_set = List.sort_uniq Tuple.compare !joined in
+    let orig_set = List.sort_uniq Tuple.compare (Table.tuples t) in
+    Alcotest.(check bool) "join reconstructs the table" true
+      (join_set = orig_set)
+  | _ -> Alcotest.fail "expected two fragments"
+
+let test_synthesize_3nf () =
+  let d = Fd_set.parse "A -> B; B -> C" in
+  let frags = Normalize.synthesize_3nf d ~attrs:abc in
+  Alcotest.(check bool) "all fragments in 3NF" true
+    (List.for_all
+       (fun f -> Normalize.is_3nf f.Normalize.fds ~attrs:f.Normalize.attrs)
+       frags);
+  (* Dependency preservation: the union of fragment projections entails Δ. *)
+  let union_fds =
+    List.fold_left
+      (fun acc f -> Fd_set.union acc f.Normalize.fds)
+      Fd_set.empty frags
+  in
+  Alcotest.(check bool) "dependencies preserved" true
+    (List.for_all (Fd_set.entails union_fds) (Fd_set.to_list d));
+  (* A fragment contains a key of the whole schema. *)
+  let keys = Cover.keys d ~attrs:abc in
+  Alcotest.(check bool) "some fragment holds a key" true
+    (List.exists
+       (fun f -> List.exists (fun k -> Attr_set.subset k f.Normalize.attrs) keys)
+       frags)
+
+let test_synthesize_with_loose_attr () =
+  (* D occurs in no FD: it must still be stored. *)
+  let d = Fd_set.parse "A -> B; B -> C" in
+  let frags = Normalize.synthesize_3nf d ~attrs:abcd in
+  let union =
+    List.fold_left
+      (fun acc f -> Attr_set.union acc f.Normalize.attrs)
+      Attr_set.empty frags
+  in
+  Alcotest.check attr_set "all attributes covered" abcd union
+
+let prop_bcnf_decomposition_sound =
+  qcheck ~count:50 "BCNF decomposition: fragments in BCNF, attrs preserved"
+    (gen_fd_set ~max_fds:3 small_schema)
+    (fun d ->
+      let frags = Normalize.bcnf_decompose d ~attrs:abc in
+      List.for_all
+        (fun f -> Normalize.is_bcnf f.Normalize.fds ~attrs:f.Normalize.attrs)
+        frags
+      && Attr_set.equal abc
+           (List.fold_left
+              (fun acc f -> Attr_set.union acc f.Normalize.attrs)
+              Attr_set.empty frags))
+
+let prop_3nf_dependency_preserving =
+  qcheck ~count:50 "3NF synthesis preserves dependencies and attributes"
+    (gen_fd_set ~max_fds:3 small_schema)
+    (fun d ->
+      let frags = Normalize.synthesize_3nf d ~attrs:abc in
+      let union_fds =
+        List.fold_left
+          (fun acc f -> Fd_set.union acc f.Normalize.fds)
+          Fd_set.empty frags
+      in
+      List.for_all (Fd_set.entails union_fds) (Fd_set.to_list d)
+      && Attr_set.equal abc
+           (List.fold_left
+              (fun acc f -> Attr_set.union acc f.Normalize.attrs)
+              Attr_set.empty frags))
+
+let () =
+  Alcotest.run "normalize"
+    [ ( "projection",
+        [ Alcotest.test_case "project" `Quick test_project ] );
+      ( "normal forms",
+        [ Alcotest.test_case "is_bcnf" `Quick test_is_bcnf;
+          Alcotest.test_case "is_3nf" `Quick test_is_3nf ] );
+      ( "decomposition",
+        [ Alcotest.test_case "bcnf decompose" `Quick test_bcnf_decompose;
+          Alcotest.test_case "lossless join" `Quick test_bcnf_decompose_table_lossless;
+          Alcotest.test_case "3nf synthesis" `Quick test_synthesize_3nf;
+          Alcotest.test_case "loose attribute" `Quick test_synthesize_with_loose_attr;
+          prop_bcnf_decomposition_sound;
+          prop_3nf_dependency_preserving ] ) ]

@@ -1,0 +1,260 @@
+open Repair_relational
+open Repair_fd
+open Repair_sat
+open Repair_reductions
+open Helpers
+module G = Repair_graph.Graph
+module Vc = Repair_graph.Vertex_cover
+module Triangle = Repair_graph.Triangle
+module Rng = Repair_workload.Rng
+
+(* ---------- generators ---------- *)
+
+let gen_2cnf =
+  QCheck2.Gen.(
+    let* n_vars = int_range 2 5 in
+    let* n_clauses = int_range 1 7 in
+    let clause =
+      let* x = int_range 0 (n_vars - 1) in
+      let* shift = int_range 1 (n_vars - 1) in
+      let y = (x + shift) mod n_vars in
+      let* sx = bool and* sy = bool in
+      return
+        [ (if sx then Cnf.pos x else Cnf.neg x);
+          (if sy then Cnf.pos y else Cnf.neg y) ]
+    in
+    let* clauses = list_repeat n_clauses clause in
+    return (Cnf.make ~n_vars clauses))
+
+let gen_non_mixed =
+  QCheck2.Gen.(
+    let* n_vars = int_range 2 5 in
+    let* n_clauses = int_range 1 6 in
+    let clause =
+      let* polarity = bool in
+      let* vars =
+        list_size (int_range 1 3) (int_range 0 (n_vars - 1))
+        |> map (List.sort_uniq compare)
+      in
+      return (List.map (fun v -> if polarity then Cnf.pos v else Cnf.neg v) vars)
+    in
+    let* clauses = list_repeat n_clauses clause in
+    return (Cnf.make ~n_vars clauses))
+
+let random_graph rng n p =
+  let g = G.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Repair_workload.Rng.bernoulli rng p then G.add_edge g u v
+    done
+  done;
+  g
+
+(* ---------- SAT gadgets ---------- *)
+
+let check_sat_gadget build f =
+  let _, maxsat = Max_sat.exact f in
+  let g : Sat_gadget.t = build f in
+  let opt = Repair_srepair.S_exact.optimal g.fds g.table in
+  Table.size opt = maxsat
+  && Table.is_duplicate_free g.table
+  && Table.is_unweighted g.table
+
+let prop_chain_gadget =
+  qcheck ~count:60 "Δ_A→B→C gadget: optimal kept = maxsat (Lemma A.5)"
+    gen_2cnf (fun f -> check_sat_gadget Sat_gadget.of_2cnf_chain f)
+
+let prop_fork_gadget =
+  qcheck ~count:60 "Δ_A→C←B gadget: optimal kept = maxsat (Lemma A.4)"
+    gen_2cnf (fun f -> check_sat_gadget Sat_gadget.of_2cnf_fork f)
+
+let prop_non_mixed_gadget =
+  qcheck ~count:60 "Δ_AB→C→B gadget: optimal kept = maxsat (Lemma A.13)"
+    gen_non_mixed (fun f -> check_sat_gadget Sat_gadget.of_non_mixed f)
+
+let prop_assignment_encoding =
+  qcheck ~count:60 "assignments encode as consistent subsets of the right size"
+    gen_2cnf (fun f ->
+      let g = Sat_gadget.of_2cnf_chain f in
+      let a, k = Max_sat.exact f in
+      let enc = Sat_gadget.kept_of_assignment g f a in
+      Fd_set.satisfied_by g.fds enc
+      && Table.is_subset_of enc g.table
+      && Table.size enc = k)
+
+let test_gadget_validation () =
+  let mixed = Cnf.make ~n_vars:2 [ [ Cnf.pos 0; Cnf.neg 1 ] ] in
+  Alcotest.(check bool) "non-mixed rejects mixed" true
+    (try ignore (Sat_gadget.of_non_mixed mixed); false
+     with Invalid_argument _ -> true);
+  let cnf3 = Cnf.make ~n_vars:3 [ [ Cnf.pos 0; Cnf.pos 1; Cnf.pos 2 ] ] in
+  Alcotest.(check bool) "chain rejects 3-CNF" true
+    (try ignore (Sat_gadget.of_2cnf_chain cnf3); false
+     with Invalid_argument _ -> true);
+  let dup = Cnf.make ~n_vars:2 [ [ Cnf.pos 0; Cnf.pos 0 ] ] in
+  Alcotest.(check bool) "duplicate literal rejected" true
+    (try ignore (Sat_gadget.of_2cnf_fork dup); false
+     with Invalid_argument _ -> true)
+
+(* ---------- triangle gadget ---------- *)
+
+let gen_tripartite =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let rng = Rng.make seed in
+    let parts = 2 in
+    let edges = ref [] in
+    for u = 0 to parts - 1 do
+      for v = parts to (2 * parts) - 1 do
+        if Repair_workload.Rng.bernoulli rng 0.7 then edges := (u, v) :: !edges
+      done;
+      for w = 2 * parts to (3 * parts) - 1 do
+        if Repair_workload.Rng.bernoulli rng 0.7 then edges := (u, w) :: !edges
+      done
+    done;
+    for v = parts to (2 * parts) - 1 do
+      for w = 2 * parts to (3 * parts) - 1 do
+        if Repair_workload.Rng.bernoulli rng 0.7 then edges := (v, w) :: !edges
+      done
+    done;
+    return (Triangle.tripartite_of_parts parts parts parts !edges))
+
+let prop_triangle_gadget =
+  qcheck ~count:40 "Δ_AB↔AC↔BC gadget: optimal kept = max packing (Lemma A.11)"
+    gen_tripartite (fun g ->
+      let gadget = Triangle_gadget.of_tripartite g in
+      let packing = Triangle.max_packing g in
+      let opt = Repair_srepair.S_exact.optimal gadget.fds gadget.table in
+      Table.size opt = List.length packing)
+
+let prop_triangle_roundtrip =
+  qcheck ~count:40 "packings encode and decode through the gadget"
+    gen_tripartite (fun g ->
+      let gadget = Triangle_gadget.of_tripartite g in
+      let packing = Triangle.greedy_packing g in
+      let kept = Triangle_gadget.kept_of_packing gadget packing in
+      Fd_set.satisfied_by gadget.fds kept
+      && Triangle_gadget.packing_of_kept gadget kept = packing)
+
+(* ---------- vertex cover gadget (Theorem 4.10) ---------- *)
+
+let test_vc_gadget_structure () =
+  let g = G.of_edges 3 [ (0, 1); (1, 2) ] in
+  let vg = Vc_gadget.of_graph g in
+  Alcotest.(check int) "2|E| + |V| tuples" 7 (Table.size vg.table);
+  Alcotest.(check bool) "gadget table is inconsistent" false
+    (Fd_set.satisfied_by vg.fds vg.table)
+
+let prop_vc_gadget_upper_bound =
+  qcheck ~count:40 "cover → consistent update of distance 2|E| + |C|"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Rng.make seed in
+      let g = random_graph rng 5 0.4 in
+      let vg = Vc_gadget.of_graph g in
+      let cover = Vc.exact g in
+      let u = Vc_gadget.update_of_cover vg cover in
+      Fd_set.satisfied_by vg.fds u
+      && Table.is_update_of u vg.table
+      && consistent_distance_eq (Table.dist_upd u vg.table)
+           (Vc_gadget.expected_distance vg ~tau:(List.length cover)))
+
+let test_vc_gadget_exact_small () =
+  (* On tiny graphs, confirm optimality: the exact update distance equals 2|E| + tau. *)
+  List.iter
+    (fun (n, edges) ->
+      let g = G.of_edges n edges in
+      let vg = Vc_gadget.of_graph g in
+      let tau = List.length (Vc.exact g) in
+      let d = Repair_urepair.U_exact.distance ~max_cells:24 vg.fds vg.table in
+      check_float
+        (Fmt.str "graph %d edges" (List.length edges))
+        (Vc_gadget.expected_distance vg ~tau)
+        d)
+    [ (2, [ (0, 1) ]); (3, [ (0, 1); (1, 2) ]) ]
+
+let test_vc_gadget_rejects_non_cover () =
+  let g = G.of_edges 3 [ (0, 1); (1, 2) ] in
+  let vg = Vc_gadget.of_graph g in
+  Alcotest.(check bool) "non-cover rejected" true
+    (try ignore (Vc_gadget.update_of_cover vg [ 0 ]); false
+     with Invalid_argument _ -> true)
+
+
+
+(* ---------- family gadgets (Theorem 4.14 / Appendix B.5) ---------- *)
+
+module Fg = Family_gadget
+
+let test_family_delta_k () =
+  let src_schema, src_fds = Fg.chain_source in
+  let mk a b c = Tuple.make [ Value.int a; Value.int b; Value.int c ] in
+  List.iter
+    (fun tuples ->
+      let t = Table.of_tuples src_schema tuples in
+      let base = Repair_urepair.U_exact.distance src_fds t in
+      List.iter
+        (fun k ->
+          let inst = Fg.embed_in_delta_k ~k t in
+          let lifted =
+            Repair_urepair.U_exact.distance
+              ~max_cells:(Table.size inst.Fg.table * Schema.arity inst.Fg.schema)
+              inst.Fg.fds inst.Fg.table
+          in
+          check_float (Fmt.str "Δ%d distance preserved" k) base lifted)
+        [ 1; 2 ])
+    [ [ mk 1 1 1; mk 1 2 1 ];           (* A-group conflict *)
+      [ mk 1 1 1; mk 2 1 2 ];           (* B-group conflict *)
+      [ mk 1 1 1; mk 2 2 2 ] ]          (* consistent *)
+
+let test_family_delta'_k () =
+  let src_schema, src_fds = Fg.delta'_source in
+  let mk vs = Tuple.make (List.map Value.int vs) in
+  List.iter
+    (fun tuples ->
+      let t = Table.of_tuples src_schema tuples in
+      let base = Repair_urepair.U_exact.distance ~max_cells:20 src_fds t in
+      List.iter
+        (fun k ->
+          let inst = Fg.lift_to_delta'_k ~k t in
+          let lifted =
+            Repair_urepair.U_exact.distance
+              ~max_cells:(Table.size inst.Fg.table * Schema.arity inst.Fg.schema)
+              inst.Fg.fds inst.Fg.table
+          in
+          check_float (Fmt.str "Δ'%d distance preserved" k) base lifted)
+        [ 2; 3 ])
+    [ [ mk [ 1; 1; 1; 1; 1 ]; mk [ 1; 1; 2; 2; 1 ] ]; (* B0 conflict *)
+      [ mk [ 1; 1; 1; 1; 1 ]; mk [ 2; 2; 2; 2; 2 ] ] ](* consistent *)
+
+let test_family_validation () =
+  Alcotest.(check bool) "wrong schema rejected" true
+    (try
+       ignore (Fg.embed_in_delta_k ~k:1 (Table.empty (Schema.make "X" [ "A" ])));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "k too small" true
+    (try
+       ignore (Fg.lift_to_delta'_k ~k:1 (Table.empty (fst Fg.delta'_source)));
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "reductions"
+    [ ( "sat gadgets",
+        [ prop_chain_gadget;
+          prop_fork_gadget;
+          prop_non_mixed_gadget;
+          prop_assignment_encoding;
+          Alcotest.test_case "validation" `Quick test_gadget_validation ] );
+      ( "triangle gadget",
+        [ prop_triangle_gadget; prop_triangle_roundtrip ] );
+      ( "vc gadget",
+        [ Alcotest.test_case "structure" `Quick test_vc_gadget_structure;
+          prop_vc_gadget_upper_bound;
+          Alcotest.test_case "optimal on small graphs" `Quick test_vc_gadget_exact_small;
+          Alcotest.test_case "rejects non-cover" `Quick test_vc_gadget_rejects_non_cover ] );
+      ( "family gadgets (Thm 4.14)",
+        [ Alcotest.test_case "Δk embedding" `Quick test_family_delta_k;
+          Alcotest.test_case "Δ'k lifting" `Quick test_family_delta'_k;
+          Alcotest.test_case "validation" `Quick test_family_validation ] ) ]

@@ -1,0 +1,441 @@
+open Repair_relational
+open Helpers
+
+(* ---------- Value ---------- *)
+
+let test_value_order () =
+  Alcotest.(check bool) "unit smallest" true (Value.compare Value.Unit (Value.int 0) < 0);
+  Alcotest.(check int) "int eq" 0 (Value.compare (Value.int 3) (Value.int 3));
+  Alcotest.(check bool) "pair ordered" true
+    (Value.compare (Value.pair (Value.int 1) (Value.int 2))
+       (Value.pair (Value.int 1) (Value.int 3))
+     < 0);
+  Alcotest.(check bool) "str vs int incomparable kinds ordered" true
+    (Value.compare (Value.int 5) (Value.str "a") < 0)
+
+let test_value_hash_consistent () =
+  let vs =
+    [ Value.Unit; Value.int 7; Value.str "x";
+      Value.pair (Value.int 1) (Value.str "y");
+      Value.triple Value.Unit (Value.int 2) (Value.str "z"); Value.Fresh 3 ]
+  in
+  List.iter
+    (fun v ->
+      List.iter
+        (fun w ->
+          if Value.equal v w then
+            Alcotest.(check int) "equal values hash equal" (Value.hash v)
+              (Value.hash w))
+        vs)
+    vs
+
+let test_value_of_string () =
+  Alcotest.check value "int" (Value.int 42) (Value.of_string "42");
+  Alcotest.check value "negative" (Value.int (-3)) (Value.of_string "-3");
+  Alcotest.check value "string" (Value.str "Paris") (Value.of_string "Paris");
+  Alcotest.check value "unit" Value.Unit (Value.of_string "_|_");
+  Alcotest.check value "fresh" (Value.Fresh 5) (Value.of_string "$5");
+  Alcotest.check value "dollar word" (Value.str "$x") (Value.of_string "$x")
+
+let test_value_pp_roundtrip () =
+  Alcotest.(check string) "pp pair" "⟨1,a⟩"
+    (Value.to_string (Value.pair (Value.int 1) (Value.str "a")));
+  Alcotest.(check string) "pp fresh" "$7" (Value.to_string (Value.Fresh 7))
+
+let test_supply_avoids_collisions () =
+  let s = Value.Supply.starting_above [ Value.Fresh 4; Value.pair (Value.Fresh 9) (Value.int 1) ] in
+  Alcotest.check value "next above nested max" (Value.Fresh 10) (Value.Supply.next s);
+  Alcotest.check value "monotone" (Value.Fresh 11) (Value.Supply.next s)
+
+let test_supply_fresh_start () =
+  let s = Value.Supply.create () in
+  Alcotest.check value "starts at 0" (Value.Fresh 0) (Value.Supply.next s)
+
+(* ---------- Attr_set ---------- *)
+
+let test_attr_set_basic () =
+  let x = Attr_set.of_list [ "B"; "A"; "B" ] in
+  Alcotest.(check int) "dedup" 2 (Attr_set.cardinal x);
+  Alcotest.(check (list string)) "sorted" [ "A"; "B" ] (Attr_set.to_list x);
+  Alcotest.(check bool) "mem" true (Attr_set.mem "A" x);
+  Alcotest.(check bool) "strict subset" true
+    (Attr_set.strict_subset (Attr_set.singleton "A") x);
+  Alcotest.(check bool) "not strict of self" false (Attr_set.strict_subset x x)
+
+let test_attr_set_pp () =
+  Alcotest.(check string) "empty" "∅" (Attr_set.to_string Attr_set.empty);
+  Alcotest.(check string) "juxtaposed" "ABC"
+    (Attr_set.to_string (Attr_set.of_list [ "C"; "A"; "B" ]));
+  Alcotest.(check string) "spaced" "city facility"
+    (Attr_set.to_string (Attr_set.of_list [ "facility"; "city" ]))
+
+let test_attr_set_subsets () =
+  let x = Attr_set.of_list [ "A"; "B"; "C" ] in
+  Alcotest.(check int) "2^3 subsets" 8 (List.length (Attr_set.subsets x));
+  let all = Attr_set.subsets x in
+  Alcotest.(check bool) "contains empty" true
+    (List.exists Attr_set.is_empty all);
+  Alcotest.(check bool) "contains full" true
+    (List.exists (Attr_set.equal x) all)
+
+(* ---------- Schema / Tuple ---------- *)
+
+let test_schema_basic () =
+  let s = Schema.make "R" [ "A"; "B"; "C" ] in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check int) "index" 1 (Schema.index_of s "B");
+  Alcotest.(check string) "attr at" "C" (Schema.attribute_at s 2);
+  Alcotest.(check (list int)) "indices sorted" [ 0; 2 ]
+    (Schema.indices_of s (Attr_set.of_list [ "C"; "A" ]));
+  Alcotest.check_raises "duplicate attrs rejected"
+    (Invalid_argument "Schema.make: duplicate attribute A") (fun () ->
+      ignore (Schema.make "R" [ "A"; "A" ]))
+
+let mk vs = Tuple.make (List.map Value.int vs)
+
+let test_tuple_ops () =
+  let s = Schema.make "R" [ "A"; "B"; "C" ] in
+  let t = mk [ 1; 2; 3 ] in
+  Alcotest.check value "get_attr" (Value.int 2) (Tuple.get_attr s t "B");
+  let t' = Tuple.set_attr s t "B" (Value.int 9) in
+  Alcotest.check tuple "set_attr" (mk [ 1; 9; 3 ]) t';
+  Alcotest.check tuple "original untouched" (mk [ 1; 2; 3 ]) t;
+  Alcotest.check tuple "project" (mk [ 1; 3 ])
+    (Tuple.project s t (Attr_set.of_list [ "C"; "A" ]))
+
+let test_tuple_hamming () =
+  Alcotest.(check int) "identical" 0 (Tuple.hamming (mk [ 1; 2 ]) (mk [ 1; 2 ]));
+  Alcotest.(check int) "one diff" 1 (Tuple.hamming (mk [ 1; 2 ]) (mk [ 1; 3 ]));
+  Alcotest.(check int) "all diff" 2 (Tuple.hamming (mk [ 1; 2 ]) (mk [ 3; 4 ]));
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Tuple.hamming: arity mismatch") (fun () ->
+      ignore (Tuple.hamming (mk [ 1 ]) (mk [ 1; 2 ])))
+
+let test_tuple_agree_on () =
+  let s = Schema.make "R" [ "A"; "B"; "C" ] in
+  let t1 = mk [ 1; 2; 3 ] and t2 = mk [ 1; 5; 3 ] in
+  Alcotest.(check bool) "agree AC" true
+    (Tuple.agree_on s t1 t2 (Attr_set.of_list [ "A"; "C" ]));
+  Alcotest.(check bool) "disagree B" false
+    (Tuple.agree_on s t1 t2 (Attr_set.singleton "B"));
+  Alcotest.(check bool) "agree on empty" true
+    (Tuple.agree_on s t1 t2 Attr_set.empty)
+
+(* ---------- Table ---------- *)
+
+let schema3 = Schema.make "R" [ "A"; "B"; "C" ]
+
+let tbl3 () =
+  Table.of_list schema3
+    [ (1, 2.0, mk [ 1; 1; 1 ]);
+      (2, 1.0, mk [ 1; 2; 1 ]);
+      (3, 1.0, mk [ 2; 2; 2 ]);
+      (4, 0.5, mk [ 1; 1; 1 ]) ]
+
+let test_table_basics () =
+  let t = tbl3 () in
+  Alcotest.(check int) "size" 4 (Table.size t);
+  Alcotest.(check (list int)) "ids ordered" [ 1; 2; 3; 4 ] (Table.ids t);
+  check_float "total weight" 4.5 (Table.total_weight t);
+  Alcotest.(check bool) "has duplicates" false (Table.is_duplicate_free t);
+  Alcotest.(check bool) "not unweighted" false (Table.is_unweighted t);
+  Alcotest.check tuple "tuple 3" (mk [ 2; 2; 2 ]) (Table.tuple t 3);
+  check_float "weight 1" 2.0 (Table.weight t 1)
+
+let test_table_add_checks () =
+  Alcotest.check_raises "duplicate id"
+    (Invalid_argument "Table.add: duplicate identifier 1") (fun () ->
+      ignore (Table.add ~id:1 (tbl3 ()) (mk [ 9; 9; 9 ])));
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Table.add: weight must be positive") (fun () ->
+      ignore (Table.add ~weight:0.0 (tbl3 ()) (mk [ 9; 9; 9 ])));
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Table.add: tuple arity does not match schema")
+    (fun () -> ignore (Table.add (tbl3 ()) (mk [ 1 ])))
+
+let test_table_fresh_ids () =
+  let t = Table.add (tbl3 ()) (mk [ 7; 7; 7 ]) in
+  Alcotest.(check (list int)) "next id is max+1" [ 1; 2; 3; 4; 5 ] (Table.ids t)
+
+let test_table_select_group () =
+  let t = tbl3 () in
+  let a1 = Table.select_eq t (Attr_set.singleton "A") (mk [ 1 ]) in
+  Alcotest.(check (list int)) "A=1" [ 1; 2; 4 ] (Table.ids a1);
+  let groups = Table.group_by t (Attr_set.singleton "A") in
+  Alcotest.(check int) "two groups" 2 (List.length groups);
+  let keys = List.map fst groups in
+  Alcotest.(check bool) "keys distinct" true
+    (List.length (List.sort_uniq Tuple.compare keys) = 2);
+  (* Groups partition the table. *)
+  let total = List.fold_left (fun acc (_, sub) -> acc + Table.size sub) 0 groups in
+  Alcotest.(check int) "partition" (Table.size t) total
+
+let test_table_project_distinct () =
+  let t = tbl3 () in
+  Alcotest.(check int) "distinct A" 2
+    (List.length (Table.project_distinct t (Attr_set.singleton "A")));
+  Alcotest.(check int) "distinct AB" 3
+    (List.length (Table.project_distinct t (Attr_set.of_list [ "A"; "B" ])))
+
+let test_table_restrict_remove_union () =
+  let t = tbl3 () in
+  let s = Table.restrict t [ 1; 3; 99 ] in
+  Alcotest.(check (list int)) "restrict ignores unknown" [ 1; 3 ] (Table.ids s);
+  let r = Table.remove t [ 2 ] in
+  Alcotest.(check (list int)) "remove" [ 1; 3; 4 ] (Table.ids r);
+  let u = Table.union s (Table.restrict t [ 2 ]) in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3 ] (Table.ids u);
+  Alcotest.(check bool) "union overlap rejected" true
+    (try ignore (Table.union s s); false with Invalid_argument _ -> true)
+
+let test_table_subset_update_checks () =
+  let t = tbl3 () in
+  let s = Table.restrict t [ 1; 2 ] in
+  Alcotest.(check bool) "subset" true (Table.is_subset_of s t);
+  Alcotest.(check bool) "not reverse" false (Table.is_subset_of t s);
+  let u = Table.set_tuple t 1 (mk [ 9; 1; 1 ]) in
+  Alcotest.(check bool) "update" true (Table.is_update_of u t);
+  Alcotest.(check bool) "subset is not update" false (Table.is_update_of s t)
+
+let test_table_distances () =
+  let t = tbl3 () in
+  check_float "dist_sub" 1.5 (Table.dist_sub (Table.restrict t [ 1; 3 ]) t);
+  check_float "dist_sub self" 0.0 (Table.dist_sub t t);
+  let u = Table.set_tuple (Table.set_tuple t 1 (mk [ 9; 1; 1 ])) 3 (mk [ 9; 9; 2 ]) in
+  (* tuple 1 (w=2): 1 cell; tuple 3 (w=1): 2 cells *)
+  check_float "dist_upd" 4.0 (Table.dist_upd u t);
+  Alcotest.check_raises "dist_sub rejects non-subset"
+    (Invalid_argument "Table.dist_sub: not a subset") (fun () ->
+      ignore (Table.dist_sub u t))
+
+let test_table_active_domain () =
+  let t = tbl3 () in
+  Alcotest.(check int) "adom A" 2 (List.length (Table.active_domain t "A"));
+  Alcotest.(check int) "all values" 2 (List.length (Table.all_values t))
+
+let test_table_map_weights () =
+  let t = Table.map_weights (tbl3 ()) (fun _ w -> w *. 2.0) in
+  check_float "doubled" 9.0 (Table.total_weight t);
+  Alcotest.check_raises "rejects nonpositive"
+    (Invalid_argument "Table.map_weights: weight must be positive") (fun () ->
+      ignore (Table.map_weights t (fun _ _ -> 0.0)))
+
+(* ---------- CSV ---------- *)
+
+let test_csv_roundtrip () =
+  let t = tbl3 () in
+  let s = Csv_io.to_string t in
+  let t' = Csv_io.parse_string ~name:"R" s in
+  Alcotest.check table "roundtrip with meta" t t'
+
+let test_csv_no_meta () =
+  let t = tbl3 () in
+  let s = Csv_io.to_string ~with_meta:false t in
+  let t' = Csv_io.parse_string ~name:"R" s in
+  Alcotest.(check int) "same size" (Table.size t) (Table.size t');
+  Alcotest.(check bool) "unit weights" true (Table.is_unweighted t')
+
+let test_csv_quoting () =
+  let s = Schema.make "R" [ "A"; "B" ] in
+  let t =
+    Table.of_tuples s
+      [ Tuple.make [ Value.str "a,b"; Value.str "say \"hi\"" ] ]
+  in
+  let t' = Csv_io.parse_string ~name:"R" (Csv_io.to_string t) in
+  Alcotest.check value "comma survives" (Value.str "a,b") (Tuple.get (Table.tuple t' 1) 0);
+  Alcotest.check value "quotes survive" (Value.str "say \"hi\"")
+    (Tuple.get (Table.tuple t' 1) 1)
+
+let test_csv_errors () =
+  Alcotest.(check bool) "short row fails" true
+    (try ignore (Csv_io.parse_string ~name:"R" "A,B\n1\n"); false
+     with Failure _ -> true);
+  Alcotest.(check bool) "empty fails" true
+    (try ignore (Csv_io.parse_string ~name:"R" ""); false
+     with Failure _ -> true)
+
+(* ---------- JSON lines ---------- *)
+
+let test_jsonl_roundtrip () =
+  let t = tbl3 () in
+  let t' = Jsonl_io.parse_string ~name:"R" (Jsonl_io.to_string t) in
+  Alcotest.check table "roundtrip with meta" t t'
+
+let test_jsonl_strings_and_escapes () =
+  let s = Schema.make "R" [ "A"; "B" ] in
+  let t =
+    Table.of_tuples s
+      [ Tuple.make [ Value.str "say \"hi\""; Value.str "tab\there" ];
+        Tuple.make [ Value.str "back\\slash"; Value.str "plain" ] ]
+  in
+  let t' = Jsonl_io.parse_string ~name:"R" (Jsonl_io.to_string t) in
+  Alcotest.check value "quotes survive" (Value.str "say \"hi\"")
+    (Tuple.get (Table.tuple t' 1) 0);
+  Alcotest.check value "tab survives" (Value.str "tab\there")
+    (Tuple.get (Table.tuple t' 1) 1);
+  Alcotest.check value "backslash survives" (Value.str "back\\slash")
+    (Tuple.get (Table.tuple t' 2) 0)
+
+let test_jsonl_input_variants () =
+  let t =
+    Jsonl_io.parse_string ~name:"R"
+      "{\"A\": 1, \"B\": \"x\"}\n{ \"A\" : 2 , \"B\" : \"\\u0041\" }\n"
+  in
+  Alcotest.(check int) "two rows, auto ids" 2 (Table.size t);
+  Alcotest.check value "unicode escape" (Value.str "A")
+    (Tuple.get (Table.tuple t 2) 1);
+  Alcotest.(check bool) "unit weights" true (Table.is_unweighted t)
+
+let test_jsonl_errors () =
+  let fails s =
+    try ignore (Jsonl_io.parse_string ~name:"R" s); false with Failure _ -> true
+  in
+  Alcotest.(check bool) "float rejected" true (fails "{\"A\": 1.5}");
+  Alcotest.(check bool) "bool rejected" true (fails "{\"A\": true}");
+  Alcotest.(check bool) "nested rejected" true (fails "{\"A\": [1]}");
+  Alcotest.(check bool) "missing attr" true
+    (fails "{\"A\": 1, \"B\": 2}\n{\"A\": 3}");
+  Alcotest.(check bool) "empty input" true (fails "");
+  Alcotest.(check bool) "trailing junk" true (fails "{\"A\": 1} x")
+
+let test_jsonl_fractional_weight () =
+  let t =
+    Table.of_list (Schema.make "R" [ "A" ])
+      [ (1, 0.9, Tuple.make [ Value.int 1 ]) ]
+  in
+  let t' = Jsonl_io.parse_string ~name:"R" (Jsonl_io.to_string t) in
+  check_float "weight 0.9 roundtrips" 0.9 (Table.weight t' 1)
+
+let test_file_io_roundtrips () =
+  let t = tbl3 () in
+  let csv_path = Filename.temp_file "repair_test" ".csv" in
+  let jsonl_path = Filename.temp_file "repair_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove csv_path; Sys.remove jsonl_path)
+    (fun () ->
+      Csv_io.save t csv_path;
+      Alcotest.check table "csv file roundtrip" t (Csv_io.load ~name:"R" csv_path);
+      Jsonl_io.save t jsonl_path;
+      Alcotest.check table "jsonl file roundtrip" t
+        (Jsonl_io.load ~name:"R" jsonl_path))
+
+(* ---------- Database ---------- *)
+
+let test_database_basics () =
+  let db =
+    Database.empty
+    |> fun db -> Database.add db ~name:"office" (tbl3 ())
+    |> fun db -> Database.add db ~name:"staff" (Table.empty schema3)
+  in
+  Alcotest.(check (list string)) "names sorted" [ "office"; "staff" ]
+    (Database.names db);
+  Alcotest.(check bool) "find" true (Database.find db "office" <> None);
+  check_float "total weight" 4.5 (Database.total_weight db);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try ignore (Database.add db ~name:"office" (tbl3 ())); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "update unknown" true
+    (try ignore (Database.update db ~name:"nope" (tbl3 ())); false
+     with Not_found -> true)
+
+let test_database_distances () =
+  let db = Database.add Database.empty ~name:"r" (tbl3 ()) in
+  let db' = Database.update db ~name:"r" (Table.restrict (tbl3 ()) [ 1; 3 ]) in
+  check_float "dist_sub sums per relation" 1.5 (Database.dist_sub db' db);
+  let mismatched = Database.add Database.empty ~name:"other" (tbl3 ()) in
+  Alcotest.(check bool) "name mismatch rejected" true
+    (try ignore (Database.dist_sub mismatched db); false
+     with Invalid_argument _ -> true)
+
+(* ---------- properties ---------- *)
+
+let prop_group_by_partitions =
+  qcheck "group_by partitions the table"
+    (gen_table ~max_size:10 small_schema)
+    (fun t ->
+      let groups = Table.group_by t (Attr_set.of_list [ "A"; "B" ]) in
+      let total = List.fold_left (fun acc (_, s) -> acc + Table.size s) 0 groups in
+      total = Table.size t
+      && List.for_all (fun (_, s) -> Table.is_subset_of s t) groups)
+
+let prop_dist_sub_additive =
+  qcheck "dist_sub = total − kept weight" (gen_table ~weighted:true small_schema)
+    (fun t ->
+      let ids = Table.ids t in
+      let half = List.filteri (fun i _ -> i mod 2 = 0) ids in
+      let s = Table.restrict t half in
+      consistent_distance_eq
+        (Table.dist_sub s t)
+        (Table.total_weight t -. Table.total_weight s))
+
+let prop_hamming_triangle =
+  qcheck "hamming satisfies triangle inequality"
+    QCheck2.Gen.(
+      triple (gen_tuple small_schema) (gen_tuple small_schema)
+        (gen_tuple small_schema))
+    (fun (a, b, c) -> Tuple.hamming a c <= Tuple.hamming a b + Tuple.hamming b c)
+
+let prop_jsonl_roundtrip =
+  qcheck "jsonl roundtrips arbitrary nonempty int tables"
+    (gen_table ~weighted:true ~max_size:12 small_schema)
+    (fun t ->
+      (* an empty table has no lines, hence no schema to reconstruct *)
+      Table.is_empty t
+      || Table.equal t (Jsonl_io.parse_string ~name:"R" (Jsonl_io.to_string t)))
+
+let prop_csv_roundtrip =
+  qcheck "csv roundtrips arbitrary int tables"
+    (gen_table ~weighted:true ~max_size:12 small_schema)
+    (fun t ->
+      Table.equal t (Csv_io.parse_string ~name:"R" (Csv_io.to_string t)))
+
+let () =
+  Alcotest.run "relational"
+    [ ( "value",
+        [ Alcotest.test_case "ordering" `Quick test_value_order;
+          Alcotest.test_case "hash" `Quick test_value_hash_consistent;
+          Alcotest.test_case "of_string" `Quick test_value_of_string;
+          Alcotest.test_case "pp" `Quick test_value_pp_roundtrip;
+          Alcotest.test_case "supply collision-free" `Quick test_supply_avoids_collisions;
+          Alcotest.test_case "supply start" `Quick test_supply_fresh_start ] );
+      ( "attr_set",
+        [ Alcotest.test_case "basics" `Quick test_attr_set_basic;
+          Alcotest.test_case "pp" `Quick test_attr_set_pp;
+          Alcotest.test_case "subsets" `Quick test_attr_set_subsets ] );
+      ( "schema+tuple",
+        [ Alcotest.test_case "schema" `Quick test_schema_basic;
+          Alcotest.test_case "tuple ops" `Quick test_tuple_ops;
+          Alcotest.test_case "hamming" `Quick test_tuple_hamming;
+          Alcotest.test_case "agree_on" `Quick test_tuple_agree_on ] );
+      ( "table",
+        [ Alcotest.test_case "basics" `Quick test_table_basics;
+          Alcotest.test_case "add checks" `Quick test_table_add_checks;
+          Alcotest.test_case "fresh ids" `Quick test_table_fresh_ids;
+          Alcotest.test_case "select/group" `Quick test_table_select_group;
+          Alcotest.test_case "project distinct" `Quick test_table_project_distinct;
+          Alcotest.test_case "restrict/remove/union" `Quick test_table_restrict_remove_union;
+          Alcotest.test_case "subset/update" `Quick test_table_subset_update_checks;
+          Alcotest.test_case "distances" `Quick test_table_distances;
+          Alcotest.test_case "active domain" `Quick test_table_active_domain;
+          Alcotest.test_case "map_weights" `Quick test_table_map_weights ] );
+      ( "jsonl",
+        [ Alcotest.test_case "roundtrip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_jsonl_strings_and_escapes;
+          Alcotest.test_case "input variants" `Quick test_jsonl_input_variants;
+          Alcotest.test_case "errors" `Quick test_jsonl_errors;
+          Alcotest.test_case "fractional weight" `Quick test_jsonl_fractional_weight;
+          Alcotest.test_case "file roundtrips" `Quick test_file_io_roundtrips ] );
+      ( "database",
+        [ Alcotest.test_case "basics" `Quick test_database_basics;
+          Alcotest.test_case "distances" `Quick test_database_distances ] );
+      ( "csv",
+        [ Alcotest.test_case "roundtrip" `Quick test_csv_roundtrip;
+          Alcotest.test_case "no meta" `Quick test_csv_no_meta;
+          Alcotest.test_case "quoting" `Quick test_csv_quoting;
+          Alcotest.test_case "errors" `Quick test_csv_errors ] );
+      ( "properties",
+        [ prop_jsonl_roundtrip;
+          prop_group_by_partitions;
+          prop_dist_sub_additive;
+          prop_hamming_triangle;
+          prop_csv_roundtrip ] ) ]

@@ -1,0 +1,90 @@
+open Repair_sat
+
+let clause lits = List.map (fun (v, s) -> if s then Cnf.pos v else Cnf.neg v) lits
+
+let test_cnf_basics () =
+  let f = Cnf.make ~n_vars:3 [ clause [ (0, true); (1, false) ] ] in
+  Alcotest.(check int) "n_vars" 3 (Cnf.n_vars f);
+  Alcotest.(check int) "n_clauses" 1 (Cnf.n_clauses f);
+  Alcotest.(check bool) "2cnf" true (Cnf.is_2cnf f);
+  Alcotest.(check bool) "mixed clause" false (Cnf.is_non_mixed f)
+
+let test_cnf_validation () =
+  Alcotest.(check bool) "var out of range" true
+    (try ignore (Cnf.make ~n_vars:1 [ clause [ (3, true) ] ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty clause" true
+    (try ignore (Cnf.make ~n_vars:1 [ [] ]); false
+     with Invalid_argument _ -> true)
+
+let test_eval () =
+  let f =
+    Cnf.make ~n_vars:2
+      [ clause [ (0, true); (1, true) ]; clause [ (0, false); (1, false) ] ]
+  in
+  Alcotest.(check int) "TT sat 1st only... both? (T∨T)=1,(F∨F)=0 →1" 1
+    (Cnf.count_satisfied [| true; true |] f);
+  Alcotest.(check int) "TF sat both" 2 (Cnf.count_satisfied [| true; false |] f)
+
+let test_exact_known () =
+  (* x ∧ ¬x unsatisfiable together: max 1 of 2. *)
+  let f = Cnf.make ~n_vars:1 [ [ Cnf.pos 0 ]; [ Cnf.neg 0 ] ] in
+  let _, k = Max_sat.exact f in
+  Alcotest.(check int) "max 1" 1 k;
+  Alcotest.(check int) "min unsat 1" 1 (Max_sat.min_unsatisfied f);
+  (* Satisfiable 2-CNF. *)
+  let f2 =
+    Cnf.make ~n_vars:2
+      [ clause [ (0, true); (1, true) ]; clause [ (0, false); (1, true) ] ]
+  in
+  let _, k2 = Max_sat.exact f2 in
+  Alcotest.(check int) "all satisfiable" 2 k2
+
+let test_non_mixed () =
+  let f =
+    Cnf.make ~n_vars:3
+      [ clause [ (0, true); (1, true) ]; clause [ (0, false); (2, false) ] ]
+  in
+  Alcotest.(check bool) "non-mixed" true (Cnf.is_non_mixed f)
+
+let prop_local_search_sound =
+  Helpers.qcheck ~count:60 "local search never beats exact and stays valid"
+    QCheck2.Gen.(
+      let* n_vars = int_range 2 5 in
+      let* clauses =
+        list_size (int_range 1 8)
+          (list_size (int_range 1 3)
+             (pair (int_range 0 (n_vars - 1)) bool))
+      in
+      return (n_vars, clauses))
+    (fun (n_vars, raw) ->
+      let f = Cnf.make ~n_vars (List.map clause raw) in
+      let a, k = Max_sat.local_search ~seed:42 ~restarts:4 f in
+      let _, opt = Max_sat.exact f in
+      k = Cnf.count_satisfied a f && k <= opt && opt <= Cnf.n_clauses f)
+
+let prop_exact_assignment_consistent =
+  Helpers.qcheck ~count:60 "exact returns an assignment achieving its count"
+    QCheck2.Gen.(
+      let* n_vars = int_range 1 5 in
+      let* clauses =
+        list_size (int_range 1 6)
+          (list_size (int_range 1 2) (pair (int_range 0 (n_vars - 1)) bool))
+      in
+      return (n_vars, clauses))
+    (fun (n_vars, raw) ->
+      let f = Cnf.make ~n_vars (List.map clause raw) in
+      let a, k = Max_sat.exact f in
+      Cnf.count_satisfied a f = k)
+
+let () =
+  Alcotest.run "sat"
+    [ ( "cnf",
+        [ Alcotest.test_case "basics" `Quick test_cnf_basics;
+          Alcotest.test_case "validation" `Quick test_cnf_validation;
+          Alcotest.test_case "eval" `Quick test_eval;
+          Alcotest.test_case "non-mixed" `Quick test_non_mixed ] );
+      ( "max-sat",
+        [ Alcotest.test_case "exact known" `Quick test_exact_known;
+          prop_local_search_sound;
+          prop_exact_assignment_consistent ] ) ]
