@@ -1,0 +1,65 @@
+Budgets and graceful degradation from the command line.
+
+A table violating the APX-hard set Δ = {A → B, B → C}:
+
+  $ cat > hard.csv <<'CSV'
+  > #id,A,B,C
+  > 1,1,1,1
+  > 2,1,1,2
+  > 3,1,2,1
+  > CSV
+
+Unbudgeted, the small instance goes to the exact baseline:
+
+  $ repair-cli s-repair -f "A -> B; B -> C" hard.csv
+  s-repair: distance=2 method=exact minimum-weight vertex cover (baseline) (optimal)
+  #id,#weight,A,B,C
+  3,1,1,2,1
+
+With a one-step budget the exact search cannot finish; the driver
+degrades to the certified 2-approximation and says so. The repair is
+still consistent:
+
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 hard.csv
+  s-repair: distance=2 method=Bar-Yehuda–Even 2-approximation (Proposition 3.3) (within factor 2 of optimal) [degraded]
+    fallback: exact minimum-weight vertex cover (baseline) failed (budget-exhausted) → Bar-Yehuda–Even 2-approximation (Proposition 3.3)
+  #id,#weight,A,B,C
+  3,1,1,2,1
+
+Degradation is deterministic — same budget, same result:
+
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 hard.csv 2>/dev/null
+  #id,#weight,A,B,C
+  3,1,1,2,1
+
+Under --on-budget=fail the budget error surfaces with exit code 5:
+
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 --on-budget=fail hard.csv
+  repair-cli: budget exhausted in vertex-cover after 2 steps (0.000s)
+  [5]
+
+A zero wall-clock timeout exhausts at the first checkpoint:
+
+  $ repair-cli s-repair -f "A -> B; B -> C" --timeout 0 --on-budget=fail hard.csv 2>&1 | grep -c "budget exhausted"
+  1
+
+Update repairs degrade the same way:
+
+  $ repair-cli u-repair -f "A -> B; B -> C" --max-steps 1 hard.csv 1>/dev/null
+  u-repair: distance=2 method=combined per-component approximation (Theorems 4.1/4.3/4.12) (within factor 4 of optimal) [degraded]
+    fallback: bounded exhaustive search (baseline) failed (budget-exhausted) → combined per-component approximation (Theorems 4.1/4.3/4.12)
+
+Asking for the polynomial algorithm on the hard side is an intractability
+error (exit code 6), not a crash:
+
+  $ repair-cli s-repair -f "A -> B; B -> C" --strategy poly --on-budget=fail hard.csv
+  repair-cli: OptSRepair: intractable: no simplification applies to {A → B, B → C}
+  [6]
+
+Missing input files are I/O errors (exit code 3):
+
+  $ repair-cli s-repair -f "A -> B" no-such-file.csv
+  repair-cli: INPUT.csv argument: no 'no-such-file.csv' file or directory
+  Usage: repair-cli s-repair [OPTION]… INPUT.csv
+  Try 'repair-cli s-repair --help' or 'repair-cli --help' for more information.
+  [124]

@@ -14,7 +14,10 @@
         certificate (small instances);
      6. enumerated S-repairs are exactly maximal consistent subsets, and
         the polynomial optimum count agrees on chain sets;
-     7. MPD via the reduction matches brute force (small instances).  *)
+     7. MPD via the reduction matches brute force (small instances);
+     8. under a random step budget with the degrade policy, the driver
+        still returns a consistent repair, and the degraded flag agrees
+        with the recorded fallback edges.  *)
 
 open Cmdliner
 module R = Repair_core.Repair
@@ -115,6 +118,40 @@ let check_mpd d t =
     | Error _ -> fail "MPD Poly failed although OSRSucceeds holds"
   end
 
+let check_budgeted rng d t =
+  (* A fresh budget per call — budgets are single-use accumulators. *)
+  let max_steps = Rng.in_range rng 1 50 in
+  let budget () = R.Runtime.Budget.create ~max_steps () in
+  (match
+     R.Driver.s_repair_result ~budget:(budget ()) ~on_budget:`Degrade d t
+   with
+  | Ok r ->
+    if not (R.Srepair.S_check.is_consistent_subset d ~of_:t r.result) then
+      fail "budgeted s-repair (max_steps=%d) inconsistent under %a" max_steps
+        Fd_set.pp d;
+    if r.degraded <> (r.fallbacks <> []) then
+      fail "s-repair degraded flag disagrees with fallbacks under %a"
+        Fd_set.pp d
+  | Error e ->
+    fail "budgeted s-repair refused to degrade: %s under %a"
+      (R.Runtime.Repair_error.to_string e)
+      Fd_set.pp d);
+  if Table.size t * Schema.arity (Table.schema t) <= 12 then
+    match
+      R.Driver.u_repair_result ~budget:(budget ()) ~on_budget:`Degrade d t
+    with
+    | Ok r ->
+      if not (Fd_set.satisfied_by d r.result) then
+        fail "budgeted u-repair (max_steps=%d) inconsistent under %a"
+          max_steps Fd_set.pp d;
+      if r.degraded <> (r.fallbacks <> []) then
+        fail "u-repair degraded flag disagrees with fallbacks under %a"
+          Fd_set.pp d
+    | Error e ->
+      fail "budgeted u-repair refused to degrade: %s under %a"
+        (R.Runtime.Repair_error.to_string e)
+        Fd_set.pp d
+
 let trial seed =
   let rng = Rng.make seed in
   let n_attrs = Rng.in_range rng 2 4 in
@@ -137,7 +174,8 @@ let trial seed =
   check_u_repair d t;
   check_u_approx d t;
   check_enumeration d t;
-  check_mpd d t
+  check_mpd d t;
+  check_budgeted rng d t
 
 let run trials seed0 quiet =
   let failures = ref 0 in

@@ -8,6 +8,7 @@
 
 open Cmdliner
 module R = Repair_core.Repair
+module E = R.Runtime.Repair_error
 open R.Relational
 open R.Fd
 
@@ -37,23 +38,30 @@ let strategy_arg =
   in
   Arg.(value & opt (enum strategies) R.Driver.Auto & info [ "s"; "strategy" ] ~doc)
 
+(* Error classes map to documented exit codes (see Repair_error.exit_code):
+   0 success, 1 unexpected internal error, 2 parse, 3 i/o,
+   4 schema mismatch, 5 budget exhausted, 6 intractable, 7 size limit,
+   8 injected fault. *)
+let die_error e =
+  Fmt.epr "repair-cli: %a@." E.pp e;
+  exit (E.exit_code e)
+
+let or_die_error = function Ok v -> v | Error e -> die_error e
+
 let parse_fds s =
-  try Ok (Fd_set.parse s) with Failure m -> Error (`Msg m)
+  try Ok (Fd_set.parse s)
+  with Failure m -> Error (E.Parse { source = "<fds>"; line = None; detail = m })
 
 let is_jsonl path = Filename.check_suffix path ".jsonl"
 
 let load_table path =
-  try
-    Ok
-      (if is_jsonl path then Jsonl_io.load ~name:"T" path
-       else Csv_io.load ~name:"T" path)
-  with Failure m -> Error (`Msg m)
+  if is_jsonl path then Jsonl_io.load_result ~name:"T" path
+  else Csv_io.load_result ~name:"T" path
 
 let or_die = function
   | Ok v -> v
   | Error (`Msg m) ->
-    Fmt.epr "repair-cli: %s@." m;
-    exit 1
+    die_error (E.Parse { source = "<args>"; line = None; detail = m })
 
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
@@ -61,6 +69,36 @@ let setup_logs verbose =
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log algorithm choices.")
+
+let timeout_arg =
+  let doc =
+    "Wall-clock budget in seconds. Exponential solvers poll it \
+     cooperatively; on exhaustion the driver degrades or fails per \
+     $(b,--on-budget)."
+  in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc)
+
+let max_steps_arg =
+  let doc =
+    "Work budget: at most $(docv) solver checkpoints. Deterministic — the \
+     same instance and budget always degrade at the same point."
+  in
+  Arg.(value & opt (some int) None & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let on_budget_arg =
+  let doc =
+    "Budget-exhaustion policy: $(b,degrade) falls back to the certified \
+     polynomial approximation (marking the result degraded); $(b,fail) \
+     exits with code 5."
+  in
+  Arg.(value
+       & opt (enum [ ("degrade", `Degrade); ("fail", `Fail) ]) `Degrade
+       & info [ "on-budget" ] ~docv:"POLICY" ~doc)
+
+let budget_of timeout max_steps =
+  match (timeout, max_steps) with
+  | None, None -> None
+  | timeout_s, max_steps -> Some (R.Runtime.Budget.create ?timeout_s ?max_steps ())
 
 let emit out tbl =
   match out with
@@ -75,27 +113,32 @@ let emit out tbl =
 
 let classify_cmd =
   let run fds =
-    let d = or_die (parse_fds fds) in
+    let d = or_die_error (parse_fds fds) in
     print_string (R.Driver.describe d)
   in
   let doc = "Report the repair complexity of an FD set (Theorem 3.4 etc.)." in
   Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ fds_arg)
 
 let report_header kind (r : R.Driver.report) =
-  Fmt.epr "%s: distance=%g method=%s %s@." kind r.distance r.method_used
+  Fmt.epr "%s: distance=%g method=%s %s%s@." kind r.distance r.method_used
     (if r.optimal then "(optimal)"
      else Fmt.str "(within factor %g of optimal)" r.ratio)
+    (if r.degraded then " [degraded]" else "");
+  List.iter (fun f -> Fmt.epr "  fallback: %s@." f) r.fallbacks
 
 let s_repair_cmd =
   let explain_arg =
     Arg.(value & flag
          & info [ "explain" ] ~doc:"Print why each tuple was deleted (stderr).")
   in
-  let run fds input out strategy explain verbose =
+  let run fds input out strategy explain verbose timeout max_steps on_budget =
     setup_logs verbose;
-    let d = or_die (parse_fds fds) in
-    let tbl = or_die (load_table input) in
-    let r = R.Driver.s_repair ~strategy d tbl in
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
+    let budget = budget_of timeout max_steps in
+    let r =
+      or_die_error (R.Driver.s_repair_result ~strategy ?budget ~on_budget d tbl)
+    in
     report_header "s-repair" r;
     if explain then
       List.iter
@@ -107,18 +150,21 @@ let s_repair_cmd =
   Cmd.v
     (Cmd.info "s-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
-          $ verbose_arg)
+          $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg)
 
 let u_repair_cmd =
   let explain_arg =
     Arg.(value & flag
          & info [ "explain" ] ~doc:"Print every changed cell (stderr).")
   in
-  let run fds input out strategy explain verbose =
+  let run fds input out strategy explain verbose timeout max_steps on_budget =
     setup_logs verbose;
-    let d = or_die (parse_fds fds) in
-    let tbl = or_die (load_table input) in
-    let r = R.Driver.u_repair ~strategy d tbl in
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
+    let budget = budget_of timeout max_steps in
+    let r =
+      or_die_error (R.Driver.u_repair_result ~strategy ?budget ~on_budget d tbl)
+    in
     report_header "u-repair" r;
     if explain then begin
       let schema = Table.schema tbl in
@@ -135,15 +181,17 @@ let u_repair_cmd =
   Cmd.v
     (Cmd.info "u-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
-          $ verbose_arg)
+          $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg)
 
 let mpd_cmd =
   let run fds input out =
-    let d = or_die (parse_fds fds) in
-    let tbl = or_die (load_table input) in
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
     let pt =
       try R.Mpd.Prob_table.of_table tbl
-      with Invalid_argument m -> or_die (Error (`Msg m))
+      with Invalid_argument m ->
+        die_error
+          (E.Schema_mismatch { source = input; detail = m })
     in
     match R.Mpd.Mpd.solve ~strategy:R.Mpd.Mpd.Poly d pt with
     | Ok (Some world) ->
@@ -153,13 +201,16 @@ let mpd_cmd =
     | Ok None ->
       Fmt.epr "mpd: certain tuples conflict; every world has probability 0@."
     | Error stuck ->
-      or_die
-        (Error
-           (`Msg
-             (Fmt.str
-                "FD set is on the hard side of the dichotomy (stuck at %a); \
-                 rerun s-repair with --strategy exact on a small table"
-                Fd_set.pp stuck)))
+      die_error
+        (E.Intractable
+           {
+             what = "mpd";
+             detail =
+               Fmt.str
+                 "FD set is on the hard side of the dichotomy (stuck at %a); \
+                  rerun s-repair with --strategy exact on a small table"
+                 Fd_set.pp stuck;
+           })
   in
   let doc =
     "Most probable database: weights in (0,1] are tuple probabilities."
@@ -188,7 +239,7 @@ let generate_cmd =
     Arg.(value & opt float 0.0 & info [ "duplicates" ] ~doc:"Duplicate-tuple rate.")
   in
   let run fds attrs n noise domain seed weighted duplicates out =
-    let d = or_die (parse_fds fds) in
+    let d = or_die_error (parse_fds fds) in
     let names =
       String.split_on_char ' ' attrs |> List.map String.trim
       |> List.filter (fun a -> a <> "")
@@ -233,8 +284,8 @@ let cqa_cmd =
     Arg.(required & opt (some string) None & info [ "p"; "project" ] ~docv:"ATTRS" ~doc)
   in
   let run fds input where select =
-    let d = or_die (parse_fds fds) in
-    let tbl = or_die (load_table input) in
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
     let parse_cond tok =
       match String.index_opt tok '=' with
       | Some i ->
@@ -277,7 +328,7 @@ let normalize_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "attrs" ] ~docv:"ATTRS" ~doc)
   in
   let run fds attrs =
-    let d = or_die (parse_fds fds) in
+    let d = or_die_error (parse_fds fds) in
     let attr_set =
       match attrs with
       | None -> R.Fd.Fd_set.attrs d
@@ -307,8 +358,8 @@ let normalize_cmd =
 
 let dirtiness_cmd =
   let run fds input =
-    let d = or_die (parse_fds fds) in
-    let tbl = or_die (load_table input) in
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
     let e = R.Cleaning.Dirtiness.estimate d tbl in
     Fmt.pr "%a@." R.Cleaning.Dirtiness.pp e;
     Fmt.pr "fraction dirty (upper bound): %.1f%%@."
@@ -323,8 +374,8 @@ let dirtiness_cmd =
 let session_cmd =
   let module Session = R.Cleaning.Session in
   let run fds input =
-    let d = or_die (parse_fds fds) in
-    let tbl = or_die (load_table input) in
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
     let session = ref (Session.start d tbl) in
     let done_ = ref false in
     let handle line =
@@ -380,7 +431,7 @@ let armstrong_cmd =
     Arg.(value & opt (some string) None & info [ "a"; "attrs" ] ~docv:"ATTRS" ~doc)
   in
   let run fds attrs out =
-    let d = or_die (parse_fds fds) in
+    let d = or_die_error (parse_fds fds) in
     let names =
       match attrs with
       | Some s ->
@@ -404,8 +455,17 @@ let armstrong_cmd =
 
 let main =
   let doc = "optimal repairs for functional dependencies (PODS'18)" in
+  let man =
+    [ `S "EXIT STATUS";
+      `P "0 on success; 1 on unexpected internal errors; 2 malformed input \
+          (FDs, CSV/JSONL rows, inline expressions); 3 file-system errors; \
+          4 schema mismatches; 5 budget exhausted under --on-budget=fail; \
+          6 a polynomial algorithm was requested outside its tractable \
+          class; 7 an exact baseline was refused by its size gate; 8 an \
+          injected test fault fired." ]
+  in
   Cmd.group
-    (Cmd.info "repair-cli" ~version:"1.0.0" ~doc)
+    (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)
     [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
       dirtiness_cmd; session_cmd; armstrong_cmd ]
 

@@ -15,10 +15,13 @@ module Mixed = Repair_mixed
 module Cqa = Repair_cqa
 module Prioritized = Repair_prioritized
 module Cleaning = Repair_cleaning
+module Runtime = Repair_runtime
 
 module Driver = struct
   open Repair_relational
   open Repair_fd
+  module Budget = Repair_runtime.Budget
+  module Repair_error = Repair_runtime.Repair_error
 
   let src = Logs.Src.create "repair.driver" ~doc:"algorithm selection"
 
@@ -26,15 +29,50 @@ module Driver = struct
 
   type strategy = Auto | Poly | Exact | Approximate
 
+  type on_budget = [ `Fail | `Degrade ]
+
   type report = {
     result : Table.t;
     distance : float;
     optimal : bool;
     ratio : float;
     method_used : string;
+    degraded : bool;
+    fallbacks : string list;
   }
 
   let exact_size_limit = 64
+
+  let s_poly_name = "OptSRepair (Algorithm 1)"
+
+  let s_exact_name = "exact minimum-weight vertex cover (baseline)"
+
+  let s_approx_name = "Bar-Yehuda–Even 2-approximation (Proposition 3.3)"
+
+  let u_poly_name = "tractable-case solver (Section 4)"
+
+  let u_exact_name = "bounded exhaustive search (baseline)"
+
+  let u_approx_name =
+    "combined per-component approximation (Theorems 4.1/4.3/4.12)"
+
+  (* One rung of the degradation ladder: run [f]; when it dies of a
+     degradable error (budget exhausted, size gate, injected fault) and the
+     policy allows, run the certified fallback instead and record the edge.
+     The fallback is polynomial and runs unbudgeted — the engine always
+     returns a consistent repair under `Degrade. *)
+  let rung ~on_budget ~degraded ~fallbacks ~name ~fallback:(alt_name, alt) f =
+    try f () with
+    | Repair_error.Error e
+      when on_budget = `Degrade && Repair_error.is_degradable e ->
+      degraded := true;
+      fallbacks :=
+        Fmt.str "%s failed (%s) → %s" name (Repair_error.class_name e) alt_name
+        :: !fallbacks;
+      Log.info (fun m ->
+          m "degrading: %s — %a; falling back to %s" name Repair_error.pp e
+            alt_name);
+      alt ()
 
   let s_report tbl result ~optimal ~ratio ~method_used =
     {
@@ -43,44 +81,74 @@ module Driver = struct
       optimal;
       ratio;
       method_used;
+      degraded = false;
+      fallbacks = [];
     }
 
-  let s_repair ?(strategy = Auto) d tbl =
+  let s_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited)
+      ?(on_budget = `Degrade) d tbl =
+    let degraded = ref false and fallbacks = ref [] in
     let poly () =
-      s_report tbl
-        (Repair_srepair.Opt_s_repair.run_exn d tbl)
-        ~optimal:true ~ratio:1.0 ~method_used:"OptSRepair (Algorithm 1)"
+      match Repair_srepair.Opt_s_repair.run ~budget d tbl with
+      | Ok s -> s_report tbl s ~optimal:true ~ratio:1.0 ~method_used:s_poly_name
+      | Error stuck ->
+        Repair_error.raise_error
+          (Intractable
+             {
+               what = "OptSRepair";
+               detail =
+                 Fmt.str "no simplification applies to %a" Fd_set.pp stuck;
+             })
     in
     let exact () =
       s_report tbl
-        (Repair_srepair.S_exact.optimal d tbl)
-        ~optimal:true ~ratio:1.0
-        ~method_used:"exact minimum-weight vertex cover (baseline)"
+        (Repair_srepair.S_exact.optimal ~budget d tbl)
+        ~optimal:true ~ratio:1.0 ~method_used:s_exact_name
     in
     let approx () =
       s_report tbl
         (Repair_srepair.S_approx.approx2 d tbl)
-        ~optimal:false ~ratio:2.0
-        ~method_used:"Bar-Yehuda–Even 2-approximation (Proposition 3.3)"
+        ~optimal:false ~ratio:2.0 ~method_used:s_approx_name
     in
-    match strategy with
-    | Poly -> poly ()
-    | Exact -> exact ()
-    | Approximate -> approx ()
-    | Auto ->
-      if Repair_dichotomy.Simplify.succeeds d then begin
-        Log.debug (fun m -> m "s-repair: OSRSucceeds — Algorithm 1");
-        poly ()
-      end
-      else if Table.size tbl <= exact_size_limit then begin
-        Log.debug (fun m ->
-            m "s-repair: hard Δ, n=%d small — exact baseline" (Table.size tbl));
-        exact ()
-      end
-      else begin
-        Log.debug (fun m -> m "s-repair: hard Δ at scale — 2-approximation");
-        approx ()
-      end
+    let rung name f =
+      rung ~on_budget ~degraded ~fallbacks ~name
+        ~fallback:(s_approx_name, approx) f
+    in
+    Repair_error.guard (fun () ->
+        let r =
+          match strategy with
+          | Poly -> rung s_poly_name poly
+          | Exact -> rung s_exact_name exact
+          | Approximate -> approx ()
+          | Auto ->
+            if Repair_dichotomy.Simplify.succeeds d then begin
+              Log.debug (fun m -> m "s-repair: OSRSucceeds — Algorithm 1");
+              rung s_poly_name poly
+            end
+            else if Table.size tbl <= exact_size_limit then begin
+              Log.debug (fun m ->
+                  m "s-repair: hard Δ, n=%d small — exact baseline"
+                    (Table.size tbl));
+              rung s_exact_name exact
+            end
+            else begin
+              Log.debug (fun m ->
+                  m "s-repair: hard Δ at scale — 2-approximation");
+              approx ()
+            end
+        in
+        { r with degraded = !degraded; fallbacks = List.rev !fallbacks })
+
+  let raise_report = function
+    | Ok r -> r
+    | Error (Repair_error.Intractable { what; detail }) ->
+      (* Compatibility: the historic driver raised [Failure] when a
+         polynomial algorithm was requested on the hard side. *)
+      failwith (Fmt.str "%s failed: %s" what detail)
+    | Error e -> Repair_error.raise_error e
+
+  let s_repair ?strategy ?budget ?on_budget d tbl =
+    raise_report (s_repair_result ?strategy ?budget ?on_budget d tbl)
 
   let u_report tbl result ~optimal ~ratio ~method_used =
     {
@@ -89,53 +157,74 @@ module Driver = struct
       optimal;
       ratio;
       method_used;
+      degraded = false;
+      fallbacks = [];
     }
 
-  let u_repair ?(strategy = Auto) d tbl =
+  let u_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited)
+      ?(on_budget = `Degrade) d tbl =
+    let degraded = ref false and fallbacks = ref [] in
     let poly () =
-      u_report tbl
-        (Repair_urepair.Opt_u_repair.solve_exn d tbl)
-        ~optimal:true ~ratio:1.0
-        ~method_used:"tractable-case solver (Section 4)"
+      match Repair_urepair.Opt_u_repair.solve ~budget d tbl with
+      | Ok u -> u_report tbl u ~optimal:true ~ratio:1.0 ~method_used:u_poly_name
+      | Error f ->
+        Repair_error.raise_error
+          (Intractable
+             {
+               what = "Opt_u_repair";
+               detail = Fmt.str "%a" Repair_urepair.Opt_u_repair.pp_failure f;
+             })
     in
     let exact () =
       u_report tbl
-        (Repair_urepair.U_exact.optimal d tbl)
-        ~optimal:true ~ratio:1.0
-        ~method_used:"bounded exhaustive search (baseline)"
+        (Repair_urepair.U_exact.optimal ~budget d tbl)
+        ~optimal:true ~ratio:1.0 ~method_used:u_exact_name
     in
     let approx () =
       let u, ratio = Repair_urepair.U_approx.best d tbl in
-      u_report tbl u ~optimal:(ratio = 1.0) ~ratio
-        ~method_used:
-          "combined per-component approximation (Theorems 4.1/4.3/4.12)"
+      u_report tbl u ~optimal:(ratio = 1.0) ~ratio ~method_used:u_approx_name
     in
-    match strategy with
-    | Poly -> poly ()
-    | Exact -> exact ()
-    | Approximate -> approx ()
-    | Auto ->
-      if Repair_urepair.Opt_u_repair.tractable d then begin
-        Log.debug (fun m -> m "u-repair: Section-4 tractable case");
-        poly ()
-      end
-      else if Table.size tbl * Schema.arity (Table.schema tbl) <= 18 then begin
-        Log.debug (fun m -> m "u-repair: exhaustive search on tiny instance");
-        exact ()
-      end
-      else begin
-        Log.debug (fun m -> m "u-repair: certified combined approximation");
-        approx ()
-      end
+    let rung name f =
+      rung ~on_budget ~degraded ~fallbacks ~name
+        ~fallback:(u_approx_name, approx) f
+    in
+    Repair_error.guard (fun () ->
+        let r =
+          match strategy with
+          | Poly -> rung u_poly_name poly
+          | Exact -> rung u_exact_name exact
+          | Approximate -> approx ()
+          | Auto ->
+            if Repair_urepair.Opt_u_repair.tractable d then begin
+              Log.debug (fun m -> m "u-repair: Section-4 tractable case");
+              rung u_poly_name poly
+            end
+            else if
+              Table.size tbl * Schema.arity (Table.schema tbl) <= 18
+            then begin
+              Log.debug (fun m ->
+                  m "u-repair: exhaustive search on tiny instance");
+              rung u_exact_name exact
+            end
+            else begin
+              Log.debug (fun m ->
+                  m "u-repair: certified combined approximation");
+              approx ()
+            end
+        in
+        { r with degraded = !degraded; fallbacks = List.rev !fallbacks })
 
-  let s_repair_database ?strategy constraints db =
+  let u_repair ?strategy ?budget ?on_budget d tbl =
+    raise_report (u_repair_result ?strategy ?budget ?on_budget d tbl)
+
+  let s_repair_database ?strategy ?budget ?on_budget constraints db =
     let total = ref 0.0 in
     let repaired =
       Database.map db (fun name tbl ->
           match List.assoc_opt name constraints with
           | None -> tbl
           | Some d ->
-            let r = s_repair ?strategy d tbl in
+            let r = s_repair ?strategy ?budget ?on_budget d tbl in
             total := !total +. r.distance;
             r.result)
     in

@@ -26,7 +26,10 @@
 
     The {!Driver} chooses automatically: polynomial algorithms when the
     dichotomy permits, exact search on small instances otherwise, and
-    certified approximations at scale. *)
+    certified approximations at scale. {!Runtime} supplies the resilience
+    layer — cooperative budgets, the structured error taxonomy, and the
+    deterministic fault injector — and the driver degrades along the
+    ladder poly → exact → approx whenever a budget runs out. *)
 
 module Relational = Repair_relational
 module Fd = Repair_fd
@@ -45,6 +48,7 @@ module Mixed = Repair_mixed
 module Cqa = Repair_cqa
 module Prioritized = Repair_prioritized
 module Cleaning = Repair_cleaning
+module Runtime = Repair_runtime
 
 module Driver : sig
   open Repair_relational
@@ -56,31 +60,81 @@ module Driver : sig
     | Exact  (** insist on the exponential baseline *)
     | Approximate  (** insist on the certified approximation *)
 
+  (** Budget-exhaustion policy. [`Degrade] (the default) walks down the
+      degradation ladder — the exact or polynomial solver that ran out of
+      budget is replaced by the certified polynomial approximation, which
+      runs unbudgeted, so a repair is always produced. [`Fail] surfaces
+      the {!Runtime.Repair_error.Budget_exhausted} error instead. *)
+  type on_budget = [ `Degrade | `Fail ]
+
   type report = {
     result : Table.t;
     distance : float;
     optimal : bool;  (** distance is provably minimal *)
     ratio : float;  (** certified bound; 1.0 when optimal *)
     method_used : string;
+    degraded : bool;
+        (** a budget/fault forced a fallback below the requested rung *)
+    fallbacks : string list;
+        (** the fallback edges that fired, in firing order; empty unless
+            [degraded] *)
   }
 
-  (** [s_repair ?strategy d tbl] computes a subset repair.
+  (** [s_repair ?strategy ?budget ?on_budget d tbl] computes a subset
+      repair. The [budget] (default unlimited) is polled cooperatively
+      inside the solvers' hot loops; on exhaustion the driver degrades or
+      fails per [on_budget].
 
-      @raise Failure if [Poly] was requested on the APX-hard side or
-      [Exact] on an oversized instance. *)
-  val s_repair : ?strategy:strategy -> Fd_set.t -> Table.t -> report
+      @raise Failure if [Poly] was requested on the APX-hard side.
+      @raise Runtime.Repair_error.Error on budget exhaustion under
+      [`Fail]. *)
+  val s_repair :
+    ?strategy:strategy ->
+    ?budget:Runtime.Budget.t ->
+    ?on_budget:on_budget ->
+    Fd_set.t ->
+    Table.t ->
+    report
 
-  (** [u_repair ?strategy d tbl] computes an update repair. *)
-  val u_repair : ?strategy:strategy -> Fd_set.t -> Table.t -> report
+  (** [s_repair_result] is {!s_repair} with every failure returned as a
+      structured {!Runtime.Repair_error.t} instead of raised. *)
+  val s_repair_result :
+    ?strategy:strategy ->
+    ?budget:Runtime.Budget.t ->
+    ?on_budget:on_budget ->
+    Fd_set.t ->
+    Table.t ->
+    (report, Runtime.Repair_error.t) result
 
-  (** [s_repair_database ?strategy constraints db] repairs every relation
-      of a multi-relation database by deletions — FDs never span relations,
-      so per-relation repairs compose (paper, Section 1). [constraints]
-      maps relation names to their FD sets (missing names mean no
-      constraints). Returns the repaired database and the total deleted
+  (** [u_repair ?strategy ?budget ?on_budget d tbl] computes an update
+      repair; budget and degradation semantics as in {!s_repair}. *)
+  val u_repair :
+    ?strategy:strategy ->
+    ?budget:Runtime.Budget.t ->
+    ?on_budget:on_budget ->
+    Fd_set.t ->
+    Table.t ->
+    report
+
+  val u_repair_result :
+    ?strategy:strategy ->
+    ?budget:Runtime.Budget.t ->
+    ?on_budget:on_budget ->
+    Fd_set.t ->
+    Table.t ->
+    (report, Runtime.Repair_error.t) result
+
+  (** [s_repair_database ?strategy ?budget ?on_budget constraints db]
+      repairs every relation of a multi-relation database by deletions —
+      FDs never span relations, so per-relation repairs compose (paper,
+      Section 1). [constraints] maps relation names to their FD sets
+      (missing names mean no constraints). A shared [budget] bounds the
+      whole pass. Returns the repaired database and the total deleted
       weight. *)
   val s_repair_database :
     ?strategy:strategy ->
+    ?budget:Runtime.Budget.t ->
+    ?on_budget:on_budget ->
     (string * Fd_set.t) list ->
     Database.t ->
     Database.t * float

@@ -1,1 +1,1 @@
-lib/enumerate/enumerate.ml: Array Fd_set Fun Int List Printf Repair_fd Repair_relational Repair_srepair Set Table
+lib/enumerate/enumerate.ml: Array Budget Fd_set Fun Int List Printf Repair_fd Repair_relational Repair_runtime Repair_srepair Set Table

@@ -1,1 +1,1 @@
-lib/enumerate/enumerate.mli: Fd_set Repair_fd Repair_relational Table
+lib/enumerate/enumerate.mli: Fd_set Repair_fd Repair_relational Repair_runtime Table

@@ -1,5 +1,6 @@
 open Repair_relational
 open Repair_fd
+open Repair_runtime
 module Iset = Set.Make (Int)
 
 exception Limit_exceeded
@@ -8,7 +9,7 @@ exception Limit_exceeded
    complement of the conflict graph): FD consistency is a pairwise
    property. We run Bron–Kerbosch with pivoting, where adjacency means
    "this pair of tuples is consistent". *)
-let s_repairs ?(limit = 10_000) d tbl =
+let s_repairs ?(budget = Budget.unlimited) ?(limit = 10_000) d tbl =
   let d = Fd_set.remove_trivial d in
   let ids = Array.of_list (Table.ids tbl) in
   let n = Array.length ids in
@@ -40,6 +41,7 @@ let s_repairs ?(limit = 10_000) d tbl =
     found := Table.restrict tbl (List.map (fun v -> ids.(v)) (Iset.elements clique)) :: !found
   in
   let rec bron_kerbosch r p x =
+    Budget.tick ~phase:"enumerate" budget;
     if Iset.is_empty p && Iset.is_empty x then emit r
     else begin
       (* Pivot on the candidate with the most neighbours in p. *)
@@ -76,10 +78,11 @@ let s_repairs ?(limit = 10_000) d tbl =
          (Printf.sprintf "Enumerate.s_repairs: more than %d repairs" limit)));
   List.rev !found
 
-let count_s_repairs ?limit d tbl = List.length (s_repairs ?limit d tbl)
+let count_s_repairs ?budget ?limit d tbl =
+  List.length (s_repairs ?budget ?limit d tbl)
 
-let optimal_s_repairs ?limit d tbl =
-  let all = s_repairs ?limit d tbl in
+let optimal_s_repairs ?budget ?limit d tbl =
+  let all = s_repairs ?budget ?limit d tbl in
   let best =
     List.fold_left (fun acc s -> max acc (Table.total_weight s)) 0.0 all
   in

@@ -1,1 +1,1 @@
-lib/graph/vertex_cover.ml: Array Graph Int List Max_flow Set
+lib/graph/vertex_cover.ml: Array Graph Int List Max_flow Repair_runtime Set

@@ -1,1 +1,1 @@
-lib/graph/vertex_cover.mli: Graph
+lib/graph/vertex_cover.mli: Graph Repair_runtime

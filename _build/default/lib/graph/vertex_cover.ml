@@ -108,7 +108,8 @@ let lp_lower_bound g =
     Max_flow.max_flow net ~source ~sink /. 2.0
   end
 
-let exact ?(matching_bound = true) g =
+let exact ?(budget = Repair_runtime.Budget.unlimited) ?(matching_bound = true)
+    g =
   let all_edges = Graph.edges g in
   let best_cover = ref (Iset.of_list (approx2 g)) in
   let best_weight = ref (cover_weight g (Iset.elements !best_cover)) in
@@ -119,6 +120,7 @@ let exact ?(matching_bound = true) g =
     best_weight := greedy_weight
   end;
   let rec branch chosen chosen_weight =
+    Repair_runtime.Budget.tick ~phase:"vertex-cover" budget;
     let uncovered =
       List.filter
         (fun (u, v) -> not (Iset.mem u chosen || Iset.mem v chosen))

@@ -16,12 +16,17 @@ val approx2 : Graph.t -> int list
     guarantee for weighted instances; useful as a bound seed). *)
 val greedy : Graph.t -> int list
 
-(** [exact ?matching_bound g] is a minimum-weight vertex cover, by branch
-    and bound on the heaviest uncovered edge with a greedy incumbent and —
-    unless [matching_bound] is [false] (ablation) — a matching-based lower
-    bound. Exponential in the worst case; intended for baseline checks on
-    small graphs (tens of vertices). Sorted ascending. *)
-val exact : ?matching_bound:bool -> Graph.t -> int list
+(** [exact ?budget ?matching_bound g] is a minimum-weight vertex cover, by
+    branch and bound on the heaviest uncovered edge with a greedy incumbent
+    and — unless [matching_bound] is [false] (ablation) — a matching-based
+    lower bound. Exponential in the worst case; intended for baseline
+    checks on small graphs (tens of vertices). Sorted ascending.
+
+    Every branch-and-bound node is a [budget] checkpoint (phase
+    ["vertex-cover"]); on exhaustion the search raises
+    {!Repair_runtime.Repair_error.Budget_exhausted}. *)
+val exact :
+  ?budget:Repair_runtime.Budget.t -> ?matching_bound:bool -> Graph.t -> int list
 
 (** [cover_weight g vs] sums the cover's vertex weights. *)
 val cover_weight : Graph.t -> int list -> float

@@ -1,1 +1,1 @@
-lib/relational/csv_io.ml: Buffer Fun List Option Printf Schema String Table Tuple Value
+lib/relational/csv_io.ml: Buffer Fmt Fun List Option Printf Repair_runtime Schema String Table Tuple Value

@@ -1,1 +1,1 @@
-lib/relational/csv_io.mli: Table
+lib/relational/csv_io.mli: Repair_runtime Table

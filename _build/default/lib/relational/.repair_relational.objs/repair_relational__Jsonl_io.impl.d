@@ -1,1 +1,1 @@
-lib/relational/jsonl_io.ml: Buffer Char Float Fmt Fun List Option Printf Schema String Table Tuple Value
+lib/relational/jsonl_io.ml: Buffer Char Float Fmt Fun List Option Printf Repair_runtime Schema String Table Tuple Value

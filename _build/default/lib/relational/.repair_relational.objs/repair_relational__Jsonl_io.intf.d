@@ -1,1 +1,1 @@
-lib/relational/jsonl_io.mli: Table
+lib/relational/jsonl_io.mli: Repair_runtime Table

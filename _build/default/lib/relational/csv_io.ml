@@ -1,6 +1,16 @@
 (* A small CSV implementation: enough for round-tripping tables with
    quoted fields, without pulling in an external dependency. *)
 
+module Repair_error = Repair_runtime.Repair_error
+
+exception Unterminated
+
+let parse_err ~file ?line fmt =
+  Fmt.kstr
+    (fun detail ->
+      Repair_error.raise_error (Parse { source = file; line; detail }))
+    fmt
+
 let split_records s =
   (* Split into records, honoring quotes (newlines inside quotes kept). *)
   let buf = Buffer.create 64 in
@@ -43,7 +53,7 @@ let split_fields record =
         Buffer.add_char buf c;
         plain (i + 1)
   and quoted i =
-    if i >= n then failwith "Csv_io: unterminated quoted field"
+    if i >= n then raise Unterminated
     else
       match record.[i] with
       | '"' when i + 1 < n && record.[i + 1] = '"' ->
@@ -73,11 +83,16 @@ let quote_field s =
     Buffer.contents buf
   else s
 
-let parse_string ~name s =
+let parse_string ?(file = "<csv>") ~name s =
   match split_records s with
-  | [] -> failwith "Csv_io.parse_string: empty input"
+  | [] -> parse_err ~file "empty input"
   | header :: body ->
-    let cols = split_fields header |> List.map String.trim in
+    let fields_of ~line record =
+      try split_fields record
+      with Unterminated ->
+        parse_err ~file ~line "unterminated quoted field"
+    in
+    let cols = fields_of ~line:1 header |> List.map String.trim in
     let id_col = ref None and weight_col = ref None in
     let attrs =
       List.filteri
@@ -92,21 +107,23 @@ let parse_string ~name s =
           | _ -> true)
         cols
     in
-    if attrs = [] then failwith "Csv_io.parse_string: no attribute columns";
-    let schema = Schema.make name attrs in
+    if attrs = [] then parse_err ~file ~line:1 "no attribute columns";
+    let schema =
+      try Schema.make name attrs
+      with Invalid_argument m ->
+        Repair_error.raise_error (Schema_mismatch { source = file; detail = m })
+    in
     let parse_row line_no tbl record =
-      let fields = split_fields record in
+      let fields = fields_of ~line:line_no record in
       if List.length fields <> List.length cols then
-        failwith
-          (Printf.sprintf "Csv_io: row %d has %d fields, expected %d" line_no
-             (List.length fields) (List.length cols));
+        parse_err ~file ~line:line_no "row has %d fields, expected %d"
+          (List.length fields) (List.length cols);
       let id =
         Option.map
           (fun i ->
             match int_of_string_opt (List.nth fields i) with
             | Some v -> v
-            | None ->
-              failwith (Printf.sprintf "Csv_io: row %d: bad #id" line_no))
+            | None -> parse_err ~file ~line:line_no "bad #id")
           !id_col
       in
       let weight =
@@ -115,8 +132,7 @@ let parse_string ~name s =
         | Some i -> (
           match float_of_string_opt (List.nth fields i) with
           | Some v -> v
-          | None ->
-            failwith (Printf.sprintf "Csv_io: row %d: bad #weight" line_no))
+          | None -> parse_err ~file ~line:line_no "bad #weight")
       in
       let vs =
         List.filteri
@@ -124,12 +140,16 @@ let parse_string ~name s =
           fields
         |> List.map Value.of_string
       in
-      Table.add ?id ~weight tbl (Tuple.make vs)
+      try Table.add ?id ~weight tbl (Tuple.make vs)
+      with Invalid_argument m -> parse_err ~file ~line:line_no "%s" m
     in
     List.fold_left
       (fun (line_no, tbl) record -> (line_no + 1, parse_row line_no tbl record))
       (2, Table.empty schema) body
     |> snd
+
+let parse_result ?file ~name s =
+  Repair_error.guard (fun () -> parse_string ?file ~name s)
 
 let to_string ?(with_meta = true) tbl =
   let schema = Table.schema tbl in
@@ -154,13 +174,22 @@ let to_string ?(with_meta = true) tbl =
     tbl;
   Buffer.contents buf
 
-let load ~name path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      parse_string ~name (really_input_string ic n))
+let read_file path =
+  (* Sys_error can fire at open or mid-read (e.g. the path is a
+     directory) — both are I/O errors, not parse errors. *)
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with Sys_error m ->
+    Repair_error.raise_error (Io { file = path; detail = m })
+
+let load ~name path = parse_string ~file:path ~name (read_file path)
+
+let load_result ~name path = Repair_error.guard (fun () -> load ~name path)
 
 let save ?with_meta tbl path =
   let oc = open_out path in

@@ -2,6 +2,8 @@
    the format is implemented: flat objects with string keys and
    string/integer values. *)
 
+module Repair_error = Repair_runtime.Repair_error
+
 type json_scalar = J_int of int | J_str of string
 
 exception Parse_error of string
@@ -142,36 +144,47 @@ let value_of_scalar = function
   | J_int i -> Value.Int i
   | J_str s -> Value.of_string s
 
-let parse_string ~name text =
+let parse_string ?(file = "<jsonl>") ~name text =
+  let parse_err ?line fmt =
+    Fmt.kstr
+      (fun detail ->
+        Repair_error.raise_error (Parse { source = file; line; detail }))
+      fmt
+  in
+  (* Keep original 1-based line numbers through the blank-line filter so
+     errors point at the offending line of the input. *)
   let lines =
     String.split_on_char '\n' text
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "")
+    |> List.mapi (fun i l -> (i + 1, String.trim l))
+    |> List.filter (fun (_, l) -> l <> "")
   in
-  if lines = [] then failwith "Jsonl_io.parse_string: empty input";
+  if lines = [] then parse_err "empty input";
   let objects =
-    List.mapi
-      (fun i line ->
-        try parse_object line
-        with Parse_error m ->
-          failwith (Printf.sprintf "Jsonl_io: line %d: %s" (i + 1) m))
+    List.map
+      (fun (line_no, line) ->
+        try (line_no, parse_object line)
+        with Parse_error m -> parse_err ~line:line_no "%s" m)
       lines
   in
   let attrs =
     match objects with
-    | first :: _ ->
+    | (_, first) :: _ ->
       List.filter (fun (k, _) -> k <> "#id" && k <> "#weight") first
       |> List.map fst
     | [] -> assert false
   in
-  if attrs = [] then failwith "Jsonl_io: no attribute keys";
-  let schema = Schema.make name attrs in
+  if attrs = [] then parse_err ~line:1 "no attribute keys";
+  let schema =
+    try Schema.make name attrs
+    with Invalid_argument m ->
+      Repair_error.raise_error (Schema_mismatch { source = file; detail = m })
+  in
   List.fold_left
-    (fun tbl fields ->
+    (fun tbl (line_no, fields) ->
       let id =
         match List.assoc_opt "#id" fields with
         | Some (J_int i) -> Some i
-        | Some (J_str _) -> failwith "Jsonl_io: #id must be an integer"
+        | Some (J_str _) -> parse_err ~line:line_no "#id must be an integer"
         | None -> None
       in
       let weight =
@@ -180,7 +193,7 @@ let parse_string ~name text =
         | Some (J_str s) -> (
           match float_of_string_opt s with
           | Some f -> f
-          | None -> failwith "Jsonl_io: bad #weight")
+          | None -> parse_err ~line:line_no "bad #weight")
         | None -> 1.0
       in
       let values =
@@ -188,12 +201,15 @@ let parse_string ~name text =
           (fun a ->
             match List.assoc_opt a fields with
             | Some v -> value_of_scalar v
-            | None ->
-              failwith (Printf.sprintf "Jsonl_io: missing attribute %s" a))
+            | None -> parse_err ~line:line_no "missing attribute %s" a)
           attrs
       in
-      Table.add ?id ~weight tbl (Tuple.make values))
+      try Table.add ?id ~weight tbl (Tuple.make values)
+      with Invalid_argument m -> parse_err ~line:line_no "%s" m)
     (Table.empty schema) objects
+
+let parse_result ?file ~name text =
+  Repair_error.guard (fun () -> parse_string ?file ~name text)
 
 (* --- writer --- *)
 
@@ -242,13 +258,22 @@ let to_string ?(with_meta = true) tbl =
     tbl;
   Buffer.contents buf
 
-let load ~name path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      parse_string ~name (really_input_string ic n))
+let read_file path =
+  (* Sys_error can fire at open or mid-read (e.g. the path is a
+     directory) — both are I/O errors, not parse errors. *)
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with Sys_error m ->
+    Repair_error.raise_error (Io { file = path; detail = m })
+
+let load ~name path = parse_string ~file:path ~name (read_file path)
+
+let load_result ~name path = Repair_error.guard (fun () -> load ~name path)
 
 let save ?with_meta tbl path =
   let oc = open_out path in

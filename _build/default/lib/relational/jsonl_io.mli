@@ -13,13 +13,30 @@
     for this format; it accepts arbitrary whitespace and the standard
     string escapes (quote, backslash, slash, n, t, r, b, f, uXXXX). *)
 
-(** [parse_string ~name s] reads JSON-lines text.
-    @raise Failure on malformed input or schema drift between lines. *)
-val parse_string : name:string -> string -> Table.t
+(** [parse_string ?file ~name s] reads JSON-lines text. [file] (default
+    ["<jsonl>"]) labels error values.
+
+    @raise Repair_runtime.Repair_error.Error on malformed input or schema
+    drift between lines — a [Parse] error carrying the source name and
+    1-based line number, or [Schema_mismatch]/[Io] as applicable. *)
+val parse_string : ?file:string -> name:string -> string -> Table.t
+
+(** [parse_result ?file ~name s] is {!parse_string} with the error
+    returned instead of raised. *)
+val parse_result :
+  ?file:string ->
+  name:string ->
+  string ->
+  (Table.t, Repair_runtime.Repair_error.t) result
 
 (** [to_string ?with_meta tbl] renders one object per tuple; [with_meta]
     (default [true]) includes the [#id] and [#weight] keys. *)
 val to_string : ?with_meta:bool -> Table.t -> string
 
 val load : name:string -> string -> Table.t
+
+val load_result :
+  name:string -> string -> (Table.t, Repair_runtime.Repair_error.t) result
+
 val save : ?with_meta:bool -> Table.t -> string -> unit
+

@@ -1,0 +1,1 @@
+lib/runtime/budget.ml: Fault Option Repair_error Unix

@@ -1,0 +1,1 @@
+lib/runtime/fault.ml: Fun Repair_error String

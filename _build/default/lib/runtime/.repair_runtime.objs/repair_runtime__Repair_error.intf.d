@@ -1,0 +1,1 @@
+lib/runtime/repair_error.mli: Format

@@ -1,0 +1,50 @@
+type t = {
+  deadline : float option;
+  max_steps : int option;
+  mutable steps : int;
+  started : float;
+  limited : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create ?timeout_s ?max_steps () =
+  let started = now () in
+  {
+    deadline = Option.map (fun s -> started +. s) timeout_s;
+    max_steps;
+    steps = 0;
+    started;
+    limited = timeout_s <> None || max_steps <> None;
+  }
+
+let unlimited = create ()
+
+let steps b = b.steps
+
+let elapsed b = now () -. b.started
+
+let limited b = b.limited
+
+let exhaust b ~phase =
+  Repair_error.raise_error
+    (Budget_exhausted { phase; elapsed = elapsed b; steps = b.steps })
+
+let tick ?(phase = "unphased") b =
+  b.steps <- b.steps + 1;
+  if Fault.armed () then
+    Fault.on_checkpoint ~phase ~elapsed:(elapsed b) ~steps:b.steps;
+  if b.limited then begin
+    (match b.max_steps with
+    | Some m when b.steps > m -> exhaust b ~phase
+    | _ -> ());
+    match b.deadline with
+    | Some dl when now () > dl -> exhaust b ~phase
+    | _ -> ()
+  end
+
+let exhausted b =
+  b.limited
+  && ((match b.max_steps with Some m -> b.steps >= m | None -> false)
+     ||
+     match b.deadline with Some dl -> now () > dl | None -> false)

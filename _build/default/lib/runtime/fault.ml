@@ -1,0 +1,45 @@
+type mode = Fail | Exhaust
+
+type spec = { phase : string option; at : int; mode : mode }
+
+let spec : spec option ref = ref None
+
+let count = ref 0
+
+let arm ?phase ~at mode =
+  if at < 1 then invalid_arg "Fault.arm: at must be >= 1";
+  spec := Some { phase; at; mode };
+  count := 0
+
+let disarm () =
+  spec := None;
+  count := 0
+
+let armed () = match !spec with Some _ -> true | None -> false
+
+let checkpoints () = !count
+
+let on_checkpoint ~phase ~elapsed ~steps =
+  match !spec with
+  | None -> ()
+  | Some s ->
+    let matches =
+      match s.phase with None -> true | Some p -> String.equal p phase
+    in
+    if matches then begin
+      incr count;
+      if !count >= s.at then begin
+        let checkpoint = !count in
+        (* One-shot: disarm before raising so the fallback path runs
+           clean. *)
+        spec := None;
+        match s.mode with
+        | Fail -> Repair_error.raise_error (Fault_injected { phase; checkpoint })
+        | Exhaust ->
+          Repair_error.raise_error (Budget_exhausted { phase; elapsed; steps })
+      end
+    end
+
+let with_fault ?phase ~at mode f =
+  arm ?phase ~at mode;
+  Fun.protect ~finally:disarm f

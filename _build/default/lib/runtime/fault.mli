@@ -1,0 +1,47 @@
+(** Deterministic fault injection for testing degradation paths.
+
+    Real budget exhaustion depends on wall-clock time and machine speed;
+    tests need every fallback edge of the drivers to fire {e exactly} and
+    {e reproducibly}. This module arms a single global fault that fires at
+    the [N]th budget checkpoint ({!Budget.tick}), optionally restricted to
+    checkpoints of one phase. Because checkpoint counts are a pure
+    function of the input instance, an armed fault is fully
+    deterministic.
+
+    Faults are one-shot: once fired, the fault disarms itself, so a
+    driver's fallback algorithm runs to completion even if it ticks the
+    same phase again.
+
+    Not thread-safe by design — it is test-only machinery. *)
+
+type mode =
+  | Fail  (** raise {!Repair_error.Fault_injected}, simulating a crash *)
+  | Exhaust
+      (** raise {!Repair_error.Budget_exhausted}, simulating a timeout *)
+
+(** [arm ?phase ~at mode] arms the injector: the fault fires at the
+    [at]-th matching checkpoint (1-based) after this call. With [?phase],
+    only checkpoints ticked under that phase count.
+
+    @raise Invalid_argument if [at < 1]. *)
+val arm : ?phase:string -> at:int -> mode -> unit
+
+(** [disarm ()] cancels any armed fault and resets the checkpoint
+    counter. *)
+val disarm : unit -> unit
+
+(** [armed ()] — is a fault currently armed? Cheap; polled by
+    {!Budget.tick} on its fast path. *)
+val armed : unit -> bool
+
+(** [checkpoints ()] is the number of matching checkpoints seen since the
+    last {!arm}. *)
+val checkpoints : unit -> int
+
+(** [with_fault ?phase ~at mode f] runs [f ()] with the fault armed and
+    guarantees the injector is disarmed afterwards. *)
+val with_fault : ?phase:string -> at:int -> mode -> (unit -> 'a) -> 'a
+
+(** [on_checkpoint ~phase ~elapsed ~steps] — internal hook called by
+    {!Budget.tick}; fires the armed fault when its trigger is reached. *)
+val on_checkpoint : phase:string -> elapsed:float -> steps:int -> unit

@@ -1,0 +1,59 @@
+type t =
+  | Parse of { source : string; line : int option; detail : string }
+  | Io of { file : string; detail : string }
+  | Schema_mismatch of { source : string; detail : string }
+  | Budget_exhausted of { phase : string; elapsed : float; steps : int }
+  | Intractable of { what : string; detail : string }
+  | Size_limit of { what : string; limit : int; actual : int }
+  | Fault_injected of { phase : string; checkpoint : int }
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let guard f = try Ok (f ()) with Error e -> Error e
+
+let class_name = function
+  | Parse _ -> "parse"
+  | Io _ -> "io"
+  | Schema_mismatch _ -> "schema-mismatch"
+  | Budget_exhausted _ -> "budget-exhausted"
+  | Intractable _ -> "intractable"
+  | Size_limit _ -> "size-limit"
+  | Fault_injected _ -> "fault-injected"
+
+let exit_code = function
+  | Parse _ -> 2
+  | Io _ -> 3
+  | Schema_mismatch _ -> 4
+  | Budget_exhausted _ -> 5
+  | Intractable _ -> 6
+  | Size_limit _ -> 7
+  | Fault_injected _ -> 8
+
+let pp ppf = function
+  | Parse { source; line = Some l; detail } ->
+    Fmt.pf ppf "%s:%d: %s" source l detail
+  | Parse { source; line = None; detail } -> Fmt.pf ppf "%s: %s" source detail
+  | Io { file; detail } -> Fmt.pf ppf "%s: %s" file detail
+  | Schema_mismatch { source; detail } ->
+    Fmt.pf ppf "%s: schema mismatch: %s" source detail
+  | Budget_exhausted { phase; elapsed; steps } ->
+    Fmt.pf ppf "budget exhausted in %s after %d steps (%.3fs)" phase steps
+      elapsed
+  | Intractable { what; detail } -> Fmt.pf ppf "%s: intractable: %s" what detail
+  | Size_limit { what; limit; actual } ->
+    Fmt.pf ppf "%s: instance size %d exceeds limit %d" what actual limit
+  | Fault_injected { phase; checkpoint } ->
+    Fmt.pf ppf "injected fault in %s at checkpoint %d" phase checkpoint
+
+let to_string e = Fmt.str "%a" pp e
+
+let is_degradable = function
+  | Budget_exhausted _ | Size_limit _ | Fault_injected _ -> true
+  | Parse _ | Io _ | Schema_mismatch _ | Intractable _ -> false
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Repair_error.Error: " ^ to_string e)
+    | _ -> None)

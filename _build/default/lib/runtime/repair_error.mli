@@ -1,0 +1,57 @@
+(** Structured error taxonomy for the whole engine.
+
+    Every recoverable failure mode of the library is a value of {!t}, so
+    callers can match on the class instead of scraping exception strings,
+    and the CLI can map classes to documented exit codes. The companion
+    exception {!Error} carries a {!t} through code that is written in
+    exception style; [Result]-returning entry points ([_result] variants
+    throughout the library) catch it at the boundary. *)
+
+type t =
+  | Parse of { source : string; line : int option; detail : string }
+      (** Malformed textual input — FD strings, CSV/JSONL rows. [source]
+          is a file name or a ["<...>"] pseudo-source; [line] is 1-based
+          when known. *)
+  | Io of { file : string; detail : string }
+      (** File-system failure (missing file, permission, short read). *)
+  | Schema_mismatch of { source : string; detail : string }
+      (** Input whose shape contradicts its declared schema (duplicate
+          attributes, drifting keys between rows, arity violations). *)
+  | Budget_exhausted of { phase : string; elapsed : float; steps : int }
+      (** A cooperative budget ({!Budget}) ran out inside [phase] after
+          [steps] checkpoints and [elapsed] wall-clock seconds. *)
+  | Intractable of { what : string; detail : string }
+      (** A polynomial-time algorithm was requested outside its tractable
+          class (e.g. [Poly] on the hard side of the dichotomy). *)
+  | Size_limit of { what : string; limit : int; actual : int }
+      (** An exponential baseline was refused because the instance exceeds
+          its hard size gate. *)
+  | Fault_injected of { phase : string; checkpoint : int }
+      (** A deterministic test fault ({!Fault}) fired. Never produced in
+          production configurations. *)
+
+exception Error of t
+
+(** [raise_error e] raises {!Error}[ e]. *)
+val raise_error : t -> 'a
+
+(** [guard f] runs [f ()] and catches {!Error}. *)
+val guard : (unit -> 'a) -> ('a, t) result
+
+(** [class_name e] is a stable kebab-case tag for the error class
+    (["parse"], ["budget-exhausted"], ...). *)
+val class_name : t -> string
+
+(** [exit_code e] is the documented CLI exit code for the class:
+    parse = 2, io = 3, schema-mismatch = 4, budget-exhausted = 5,
+    intractable = 6, size-limit = 7, fault-injected = 8. Code 1 is
+    reserved for unexpected internal errors, 0 for success. *)
+val exit_code : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [is_degradable e] — may a driver respond to [e] by falling back to a
+    cheaper certified algorithm? True for budget exhaustion, size limits
+    and injected faults; false for input errors and intractability. *)
+val is_degradable : t -> bool

@@ -1,1 +1,1 @@
-lib/sat/max_sat.ml: Array Cnf Random
+lib/sat/max_sat.ml: Array Budget Cnf Random Repair_runtime

@@ -1,1 +1,1 @@
-lib/sat/max_sat.mli: Cnf
+lib/sat/max_sat.mli: Cnf Repair_runtime

@@ -1,4 +1,6 @@
-let exact f =
+open Repair_runtime
+
+let exact ?(budget = Budget.unlimited) f =
   let n = Cnf.n_vars f in
   if n > 24 then invalid_arg "Max_sat.exact: too many variables";
   let best = ref (Array.make (max n 1) false) in
@@ -6,6 +8,7 @@ let exact f =
   let assignment = Array.make (max n 1) false in
   let total = 1 lsl n in
   for mask = 0 to total - 1 do
+    Budget.tick ~phase:"max-sat" budget;
     for v = 0 to n - 1 do
       assignment.(v) <- mask land (1 lsl v) <> 0
     done;
@@ -17,7 +20,7 @@ let exact f =
   done;
   (!best, !best_count)
 
-let local_search ~seed ~restarts f =
+let local_search ?(budget = Budget.unlimited) ~seed ~restarts f =
   let n = Cnf.n_vars f in
   let rng = Random.State.make [| seed |] in
   let best = ref (Array.make (max n 1) false) in
@@ -26,6 +29,7 @@ let local_search ~seed ~restarts f =
     let a = Array.init (max n 1) (fun _ -> Random.State.bool rng) in
     let improved = ref true in
     while !improved do
+      Budget.tick ~phase:"max-sat-local" budget;
       improved := false;
       let base = Cnf.count_satisfied a f in
       for v = 0 to n - 1 do
@@ -42,6 +46,6 @@ let local_search ~seed ~restarts f =
   done;
   (!best, !best_count)
 
-let min_unsatisfied f =
-  let _, k = exact f in
+let min_unsatisfied ?budget f =
+  let _, k = exact ?budget f in
   Cnf.n_clauses f - k

@@ -1,14 +1,23 @@
 (** MAX-SAT solvers: exact (for baselines) and local search (for scale). *)
 
-(** [exact f] is [(assignment, k)] maximizing the number [k] of satisfied
-    clauses, by exhaustive search over assignments — use only for
-    [n_vars ≲ 22]. *)
-val exact : Cnf.t -> bool array * int
+(** [exact ?budget f] is [(assignment, k)] maximizing the number [k] of
+    satisfied clauses, by exhaustive search over assignments — use only
+    for [n_vars ≲ 22]. Each candidate assignment is a [budget] checkpoint
+    (phase ["max-sat"]); exhaustion raises
+    {!Repair_runtime.Repair_error.Budget_exhausted}. *)
+val exact : ?budget:Repair_runtime.Budget.t -> Cnf.t -> bool array * int
 
-(** [local_search ~seed ~restarts f] is a hill-climbing heuristic with
-    random restarts; returns the best assignment found and its count. *)
-val local_search : seed:int -> restarts:int -> Cnf.t -> bool array * int
+(** [local_search ?budget ~seed ~restarts f] is a hill-climbing heuristic
+    with random restarts (checkpoints under phase ["max-sat-local"]);
+    returns the best assignment found and its count. *)
+val local_search :
+  ?budget:Repair_runtime.Budget.t ->
+  seed:int ->
+  restarts:int ->
+  Cnf.t ->
+  bool array * int
 
-(** [min_unsatisfied f] is [n_clauses − exact count]: the complement
-    objective that the strict reductions of the paper preserve. *)
-val min_unsatisfied : Cnf.t -> int
+(** [min_unsatisfied ?budget f] is [n_clauses − exact count]: the
+    complement objective that the strict reductions of the paper
+    preserve. *)
+val min_unsatisfied : ?budget:Repair_runtime.Budget.t -> Cnf.t -> int

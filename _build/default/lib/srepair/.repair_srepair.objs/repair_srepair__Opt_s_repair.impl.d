@@ -1,1 +1,1 @@
-lib/srepair/opt_s_repair.ml: Array Attr_set Fd Fd_set Fmt Hashtbl List Map Repair_fd Repair_graph Repair_relational Result Table Tuple
+lib/srepair/opt_s_repair.ml: Array Attr_set Budget Fd Fd_set Fmt Hashtbl List Map Repair_fd Repair_graph Repair_relational Repair_runtime Result Table Tuple

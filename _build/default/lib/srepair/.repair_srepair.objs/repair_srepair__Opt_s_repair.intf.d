@@ -1,1 +1,1 @@
-lib/srepair/opt_s_repair.mli: Fd_set Repair_fd Repair_relational Table
+lib/srepair/opt_s_repair.mli: Fd_set Repair_fd Repair_relational Repair_runtime Table

@@ -1,1 +1,1 @@
-lib/srepair/s_exact.ml: Array Conflict_graph Fd_set Repair_fd Repair_graph Repair_relational Table
+lib/srepair/s_exact.ml: Array Budget Conflict_graph Fd_set Repair_fd Repair_graph Repair_relational Repair_runtime Table

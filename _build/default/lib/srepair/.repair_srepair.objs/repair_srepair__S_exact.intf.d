@@ -1,1 +1,1 @@
-lib/srepair/s_exact.mli: Fd_set Repair_fd Repair_relational Table
+lib/srepair/s_exact.mli: Fd_set Repair_fd Repair_relational Repair_runtime Table

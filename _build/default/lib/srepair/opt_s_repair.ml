@@ -1,27 +1,28 @@
 open Repair_relational
 open Repair_fd
+open Repair_runtime
 
 exception Stuck of Fd_set.t
 
 (* Subroutine 1: all FDs share lhs attribute a. Partition on a and solve
    independently under Δ − a; blocks never interact because any violation
    within the result would have to agree on a. *)
-let rec common_lhs_rep delta a tbl =
+let rec common_lhs_rep budget delta a tbl =
   let smaller = Fd_set.minus delta (Attr_set.singleton a) in
   Table.group_by tbl (Attr_set.singleton a)
   |> List.fold_left
-       (fun acc (_, sub) -> Table.union acc (solve smaller sub))
+       (fun acc (_, sub) -> Table.union acc (solve budget smaller sub))
        (Table.empty (Table.schema tbl))
 
 (* Subroutine 2: consensus FD ∅ → X. Every consistent subset lies within a
    single X-block, so solve each block under Δ − X and keep the heaviest
    optimal block repair. *)
-and consensus_rep delta fd tbl =
+and consensus_rep budget delta fd tbl =
   let x = Fd.rhs fd in
   let smaller = Fd_set.minus delta x in
   let candidates =
     Table.group_by tbl x
-    |> List.map (fun (_, sub) -> solve smaller sub)
+    |> List.map (fun (_, sub) -> solve budget smaller sub)
   in
   match candidates with
   | [] -> tbl (* empty table: already consistent *)
@@ -35,7 +36,7 @@ and consensus_rep delta fd tbl =
    X1-value of a tuple determines its X2-value and vice versa (their
    closures coincide), so the kept (a1, a2) combinations form a matching
    between the X1- and X2-projections; maximize its weight. *)
-and marriage_rep delta (x1, x2) tbl =
+and marriage_rep budget delta (x1, x2) tbl =
   let x12 = Attr_set.union x1 x2 in
   let smaller = Fd_set.minus delta x12 in
   let schema = Table.schema tbl in
@@ -46,7 +47,7 @@ and marriage_rep delta (x1, x2) tbl =
            let witness = List.hd (Table.tuples sub) in
            let a1 = Tuple.project schema witness x1 in
            let a2 = Tuple.project schema witness x2 in
-           (a1, a2, solve smaller sub))
+           (a1, a2, solve budget smaller sub))
   in
   let module Tmap = Map.Make (struct
     type t = Tuple.t
@@ -97,7 +98,8 @@ and check_delta_only delta =
           check_delta_only (Fd_set.minus delta (Attr_set.union x1 x2))
         | None -> raise (Stuck delta)))
 
-and solve delta tbl =
+and solve budget delta tbl =
+  Budget.tick ~phase:"opt-s-repair" budget;
   let delta = Fd_set.remove_trivial delta in
   if Fd_set.is_empty delta then tbl
   else if Table.is_empty tbl then begin
@@ -106,27 +108,27 @@ and solve delta tbl =
   end
   else
     match Fd_set.common_lhs delta with
-    | Some a -> common_lhs_rep delta a tbl
+    | Some a -> common_lhs_rep budget delta a tbl
     | None -> (
       match Fd_set.consensus_fd delta with
-      | Some fd -> consensus_rep delta fd tbl
+      | Some fd -> consensus_rep budget delta fd tbl
       | None -> (
         match Fd_set.lhs_marriage delta with
-        | Some marriage -> marriage_rep delta marriage tbl
+        | Some marriage -> marriage_rep budget delta marriage tbl
         | None -> raise (Stuck delta)))
 
-let run d tbl =
-  match solve d tbl with
+let run ?(budget = Budget.unlimited) d tbl =
+  match solve budget d tbl with
   | s -> Ok s
   | exception Stuck stuck -> Error stuck
 
-let run_exn d tbl =
-  match run d tbl with
+let run_exn ?budget d tbl =
+  match run ?budget d tbl with
   | Ok s -> s
   | Error stuck ->
     failwith
       (Fmt.str "OptSRepair failed: no simplification applies to %a" Fd_set.pp
          stuck)
 
-let distance d tbl =
-  Result.map (fun s -> Table.dist_sub s tbl) (run d tbl)
+let distance ?budget d tbl =
+  Result.map (fun s -> Table.dist_sub s tbl) (run ?budget d tbl)

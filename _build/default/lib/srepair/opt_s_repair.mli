@@ -21,14 +21,25 @@
 open Repair_relational
 open Repair_fd
 
-(** [run d tbl] executes OptSRepair. [Ok s] is an optimal S-repair;
-    [Error stuck] reports the simplified-but-nontrivial FD set on which the
-    algorithm got stuck. *)
-val run : Fd_set.t -> Table.t -> (Table.t, Fd_set.t) result
+(** [run ?budget d tbl] executes OptSRepair. [Ok s] is an optimal
+    S-repair; [Error stuck] reports the simplified-but-nontrivial FD set
+    on which the algorithm got stuck. Every recursive simplification step
+    is a [budget] checkpoint (phase ["opt-s-repair"]); exhaustion raises
+    {!Repair_runtime.Repair_error.Budget_exhausted}. *)
+val run :
+  ?budget:Repair_runtime.Budget.t ->
+  Fd_set.t ->
+  Table.t ->
+  (Table.t, Fd_set.t) result
 
-(** [run_exn d tbl] is [run], raising [Failure] on the hard side. *)
-val run_exn : Fd_set.t -> Table.t -> Table.t
+(** [run_exn ?budget d tbl] is [run], raising [Failure] on the hard
+    side. *)
+val run_exn : ?budget:Repair_runtime.Budget.t -> Fd_set.t -> Table.t -> Table.t
 
-(** [distance d tbl] is the optimal S-repair distance
+(** [distance ?budget d tbl] is the optimal S-repair distance
     [dist_sub(S*, T)], when computable by OptSRepair. *)
-val distance : Fd_set.t -> Table.t -> (float, Fd_set.t) result
+val distance :
+  ?budget:Repair_runtime.Budget.t ->
+  Fd_set.t ->
+  Table.t ->
+  (float, Fd_set.t) result

@@ -1,1 +1,1 @@
-lib/urepair/opt_u_repair.ml: Attr_set Fd Fd_set Fmt Hashtbl List Option Repair_dichotomy Repair_fd Repair_relational Repair_srepair Result Table Transform Tuple Value
+lib/urepair/opt_u_repair.ml: Attr_set Budget Fd Fd_set Fmt Hashtbl List Option Repair_dichotomy Repair_fd Repair_relational Repair_runtime Repair_srepair Result Table Transform Tuple Value

@@ -1,1 +1,1 @@
-lib/urepair/opt_u_repair.mli: Attr_set Fd_set Format Repair_fd Repair_relational Table
+lib/urepair/opt_u_repair.mli: Attr_set Fd_set Format Repair_fd Repair_relational Repair_runtime Table

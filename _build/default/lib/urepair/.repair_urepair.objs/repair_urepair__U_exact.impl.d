@@ -1,1 +1,1 @@
-lib/urepair/u_exact.ml: Array Fd_set List Repair_fd Repair_relational Schema Table Tuple Value
+lib/urepair/u_exact.ml: Array Budget Fd_set List Repair_error Repair_fd Repair_relational Repair_runtime Schema Table Tuple Value

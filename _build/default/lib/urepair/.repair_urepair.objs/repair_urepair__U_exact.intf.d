@@ -1,1 +1,1 @@
-lib/urepair/u_exact.mli: Fd_set Repair_fd Repair_relational Table
+lib/urepair/u_exact.mli: Fd_set Repair_fd Repair_relational Repair_runtime Table

@@ -1,5 +1,6 @@
 open Repair_relational
 open Repair_fd
+open Repair_runtime
 module Simplify = Repair_dichotomy.Simplify
 
 type hardness = Known_apx_hard of string | Open_complexity
@@ -36,8 +37,8 @@ let consensus_majority tbl attrs =
     attrs tbl
 
 (* Corollary 4.6 (positive side): common lhs + OSRSucceeds. *)
-let via_common_lhs d tbl =
-  let s_star = Repair_srepair.Opt_s_repair.run_exn d tbl in
+let via_common_lhs ?budget d tbl =
+  let s_star = Repair_srepair.Opt_s_repair.run_exn ?budget d tbl in
   let a =
     match Fd_set.common_lhs d with
     | Some a -> a
@@ -47,9 +48,9 @@ let via_common_lhs d tbl =
 
 (* Proposition 4.9: Δ ≡ {A → B, B → A}. Rewrite each deleted tuple into a
    surviving tuple it agrees with on A or on B. *)
-let via_two_way_unary d (a, b) tbl =
+let via_two_way_unary ?budget d (a, b) tbl =
   let schema = Table.schema tbl in
-  let s_star = Repair_srepair.Opt_s_repair.run_exn d tbl in
+  let s_star = Repair_srepair.Opt_s_repair.run_exn ?budget d tbl in
   Table.map_tuples tbl (fun i t ->
       if Table.mem s_star i then t
       else
@@ -147,14 +148,16 @@ let diagnose_component c =
         Known_apx_hard "Theorem 4.10: Δ_{A↔B→C}"
       else Open_complexity
 
-let solve_component c tbl =
+let solve_component ?(budget = Budget.unlimited) c tbl =
+  Budget.tick ~phase:"opt-u-repair" budget;
   if Fd_set.is_trivial c then tbl
   else
     match is_two_way_unary c with
-    | Some (a, b) when Simplify.succeeds c -> via_two_way_unary c (a, b) tbl
+    | Some (a, b) when Simplify.succeeds c ->
+      via_two_way_unary ~budget c (a, b) tbl
     | _ ->
       if Fd_set.common_lhs c <> None && Simplify.succeeds c then
-        via_common_lhs c tbl
+        via_common_lhs ~budget c tbl
       else raise (Refuse { component = c; hardness = diagnose_component c })
 
 (* Compose component solutions: each solution only modifies attributes
@@ -170,7 +173,7 @@ let compose schema base updates_with_attrs =
             attrs t))
     base updates_with_attrs
 
-let solve d tbl =
+let solve ?budget d tbl =
   let schema = Table.schema tbl in
   let d = Fd_set.normalize d in
   try
@@ -183,20 +186,21 @@ let solve d tbl =
     let component_updates =
       Fd_set.components rest
       |> List.filter (fun c -> not (Fd_set.is_trivial c))
-      |> List.map (fun c -> (Fd_set.attrs c, solve_component c tbl))
+      |> List.map (fun c -> (Fd_set.attrs c, solve_component ?budget c tbl))
     in
     Ok (compose schema base component_updates)
   with Refuse f -> Error f
 
-let solve_exn d tbl =
-  match solve d tbl with
+let solve_exn ?budget d tbl =
+  match solve ?budget d tbl with
   | Ok u -> u
   | Error f ->
     failwith
       (Fmt.str "Opt_u_repair: component %a is not known tractable" Fd_set.pp
          f.component)
 
-let distance d tbl = Result.map (fun u -> Table.dist_upd u tbl) (solve d tbl)
+let distance ?budget d tbl =
+  Result.map (fun u -> Table.dist_upd u tbl) (solve ?budget d tbl)
 
 let diagnose d =
   let d = Fd_set.normalize d in

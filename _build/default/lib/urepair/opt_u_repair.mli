@@ -37,15 +37,26 @@ type failure = { component : Fd_set.t; hardness : hardness }
     written into every other tuple (Proposition B.2 / Corollary B.3). *)
 val consensus_majority : Table.t -> Attr_set.t -> Table.t
 
-(** [solve d tbl] is [Ok u] with [u] an optimal U-repair, or [Error f]
-    naming the first component the solver cannot handle in polynomial
-    time. *)
-val solve : Fd_set.t -> Table.t -> (Table.t, failure) result
+(** [solve ?budget d tbl] is [Ok u] with [u] an optimal U-repair, or
+    [Error f] naming the first component the solver cannot handle in
+    polynomial time. Each component is a [budget] checkpoint (phase
+    ["opt-u-repair"]), and the budget also covers the embedded OptSRepair
+    runs; exhaustion raises
+    {!Repair_runtime.Repair_error.Budget_exhausted}. *)
+val solve :
+  ?budget:Repair_runtime.Budget.t ->
+  Fd_set.t ->
+  Table.t ->
+  (Table.t, failure) result
 
-val solve_exn : Fd_set.t -> Table.t -> Table.t
+val solve_exn : ?budget:Repair_runtime.Budget.t -> Fd_set.t -> Table.t -> Table.t
 
-(** [distance d tbl] is [dist_upd(U*, T)] when tractable. *)
-val distance : Fd_set.t -> Table.t -> (float, failure) result
+(** [distance ?budget d tbl] is [dist_upd(U*, T)] when tractable. *)
+val distance :
+  ?budget:Repair_runtime.Budget.t ->
+  Fd_set.t ->
+  Table.t ->
+  (float, failure) result
 
 (** [tractable d] — would {!solve} succeed? Depends only on Δ. *)
 val tractable : Fd_set.t -> bool

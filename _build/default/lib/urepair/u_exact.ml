@@ -1,14 +1,17 @@
 open Repair_relational
 open Repair_fd
+open Repair_runtime
 
-let optimal ?(fresh = 3) ?(max_cells = 24) d tbl =
+let optimal ?(budget = Budget.unlimited) ?(fresh = 3) ?(max_cells = 24) d tbl =
   let schema = Table.schema tbl in
   let arity = Schema.arity schema in
   let ids = Array.of_list (Table.ids tbl) in
   let n = Array.length ids in
   let n_cells = n * arity in
   if n_cells > max_cells then
-    invalid_arg "U_exact.optimal: table too large for exhaustive search";
+    Repair_error.raise_error
+      (Size_limit
+         { what = "U_exact.optimal"; limit = max_cells; actual = n_cells });
   let d = Fd_set.remove_trivial d in
   if Fd_set.satisfied_by d tbl then tbl
   else begin
@@ -29,6 +32,7 @@ let optimal ?(fresh = 3) ?(max_cells = 24) d tbl =
     (* Choose [k] cells (indices ascending) and values for them; evaluate
        consistency at the leaves, pruning on accumulated cost. *)
     let rec assign u cost start k =
+      Budget.tick ~phase:"u-exact" budget;
       if cost >= !best_cost then ()
       else if k = 0 then begin
         if Fd_set.satisfied_by d u then begin
@@ -73,5 +77,5 @@ let optimal ?(fresh = 3) ?(max_cells = 24) d tbl =
       assert false
   end
 
-let distance ?fresh ?max_cells d tbl =
-  Table.dist_upd (optimal ?fresh ?max_cells d tbl) tbl
+let distance ?budget ?fresh ?max_cells d tbl =
+  Table.dist_upd (optimal ?budget ?fresh ?max_cells d tbl) tbl

@@ -18,11 +18,26 @@
 open Repair_relational
 open Repair_fd
 
-(** [optimal ?fresh ?max_cells d tbl] is an optimal U-repair.
+(** [optimal ?budget ?fresh ?max_cells d tbl] is an optimal U-repair.
+    Every search node is a [budget] checkpoint (phase ["u-exact"]).
 
-    @raise Invalid_argument if the search space is plainly too large
-    (more than [max_cells], default 24, cells in the table). *)
-val optimal : ?fresh:int -> ?max_cells:int -> Fd_set.t -> Table.t -> Table.t
+    @raise Repair_runtime.Repair_error.Error with [Size_limit] if the
+    search space is plainly too large (more than [max_cells], default 24,
+    cells in the table), and with [Budget_exhausted] when [budget] runs
+    out. *)
+val optimal :
+  ?budget:Repair_runtime.Budget.t ->
+  ?fresh:int ->
+  ?max_cells:int ->
+  Fd_set.t ->
+  Table.t ->
+  Table.t
 
-(** [distance ?fresh ?max_cells d tbl] is [dist_upd(U*, T)]. *)
-val distance : ?fresh:int -> ?max_cells:int -> Fd_set.t -> Table.t -> float
+(** [distance ?budget ?fresh ?max_cells d tbl] is [dist_upd(U*, T)]. *)
+val distance :
+  ?budget:Repair_runtime.Budget.t ->
+  ?fresh:int ->
+  ?max_cells:int ->
+  Fd_set.t ->
+  Table.t ->
+  float

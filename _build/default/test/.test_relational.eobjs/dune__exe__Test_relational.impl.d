@@ -1,1 +1,1 @@
-test/test_relational.ml: Alcotest Attr_set Csv_io Database Filename Fun Helpers Jsonl_io List QCheck2 Repair_relational Schema Sys Table Tuple Value
+test/test_relational.ml: Alcotest Attr_set Csv_io Database Filename Fun Helpers Jsonl_io List QCheck2 Repair_relational Repair_runtime Schema Sys Table Tuple Value

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Fd_set Helpers List QCheck2 Repair_core Repair_runtime String Table Tuple Value

@@ -1,0 +1,15 @@
+  $ cat > hard.csv <<'CSV'
+  > #id,A,B,C
+  > 1,1,1,1
+  > 2,1,1,2
+  > 3,1,2,1
+  > CSV
+  $ repair-cli s-repair -f "A -> B; B -> C" hard.csv
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 hard.csv
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 hard.csv 2>/dev/null
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 --on-budget=fail hard.csv 2>/dev/null
+  $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 --on-budget=fail hard.csv 2>&1 | sed -E 's/\([0-9.]+s\)/(_s)/'
+  $ repair-cli s-repair -f "A -> B; B -> C" --timeout 0 --on-budget=fail hard.csv 2>&1 | grep -c "budget exhausted"
+  $ repair-cli u-repair -f "A -> B; B -> C" --max-steps 1 hard.csv 1>/dev/null
+  $ repair-cli s-repair -f "A -> B; B -> C" --strategy poly hard.csv
+  $ mkdir dir && repair-cli s-repair -f "A -> B" dir 2>/dev/null

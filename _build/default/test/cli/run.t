@@ -53,8 +53,8 @@ Most probable database (probabilities as weights):
 Errors are reported cleanly:
 
   $ repair-cli s-repair -f "A -> " office.csv
-  repair-cli: Fd.parse: empty right-hand side in "A ->"
-  [1]
+  repair-cli: <fds>: Fd.parse: empty right-hand side in "A ->"
+  [2]
 
 Generate a reproducible dirty table and repair it end to end:
 
@@ -142,8 +142,8 @@ Explaining an update repair cell by cell:
 Generate validates that FD attributes appear in the schema:
 
   $ repair-cli generate -f "A -> B" -a "A C" --size 3
-  repair-cli: FD attributes B not in --attrs
-  [1]
+  repair-cli: <args>: FD attributes B not in --attrs
+  [2]
 
 Armstrong relations from the command line:
 

@@ -247,12 +247,17 @@ let test_csv_quoting () =
     (Tuple.get (Table.tuple t' 1) 1)
 
 let test_csv_errors () =
-  Alcotest.(check bool) "short row fails" true
+  let module E = Repair_runtime.Repair_error in
+  Alcotest.(check bool) "short row fails with line number" true
     (try ignore (Csv_io.parse_string ~name:"R" "A,B\n1\n"); false
-     with Failure _ -> true);
+     with E.Error (E.Parse { line = Some 2; _ }) -> true);
   Alcotest.(check bool) "empty fails" true
     (try ignore (Csv_io.parse_string ~name:"R" ""); false
-     with Failure _ -> true)
+     with E.Error (E.Parse _) -> true);
+  (match Csv_io.parse_result ~name:"R" "A,B\n1\n" with
+  | Error (E.Parse { source; _ }) ->
+    Alcotest.(check string) "default source label" "<csv>" source
+  | _ -> Alcotest.fail "parse_result must return a Parse error")
 
 (* ---------- JSON lines ---------- *)
 
@@ -287,8 +292,10 @@ let test_jsonl_input_variants () =
   Alcotest.(check bool) "unit weights" true (Table.is_unweighted t)
 
 let test_jsonl_errors () =
+  let module E = Repair_runtime.Repair_error in
   let fails s =
-    try ignore (Jsonl_io.parse_string ~name:"R" s); false with Failure _ -> true
+    try ignore (Jsonl_io.parse_string ~name:"R" s); false
+    with E.Error (E.Parse _) -> true
   in
   Alcotest.(check bool) "float rejected" true (fails "{\"A\": 1.5}");
   Alcotest.(check bool) "bool rejected" true (fails "{\"A\": true}");

@@ -1,0 +1,268 @@
+(* Robustness layer: cooperative budgets, the degradation ladder in the
+   driver, structured errors, and deterministic fault injection. Every
+   fallback edge of Driver.s_repair/u_repair is exercised here without a
+   single real timeout. *)
+
+module R = Repair_core.Repair
+module Budget = Repair_runtime.Budget
+module Fault = Repair_runtime.Fault
+module E = Repair_runtime.Repair_error
+open R.Relational
+open R.Fd
+open Helpers
+module D = R.Workload.Datasets
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let mk a b c = Tuple.make [ Value.int a; Value.int b; Value.int c ]
+
+(* Three tuples violating the APX-hard Δ = {A→B, B→C}. *)
+let hard_table = Table.of_tuples D.r3_schema [ mk 1 1 1; mk 1 1 2; mk 1 2 1 ]
+
+let hard = D.delta_a_to_b_to_c
+
+let ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "driver returned error: %s" (E.to_string e)
+
+(* ---------- budget exhaustion through the public driver ---------- *)
+
+let test_s_budget_degrades () =
+  let budget = Budget.create ~max_steps:1 () in
+  let r = ok (R.Driver.s_repair_result ~budget hard hard_table) in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool) "fallback recorded" true (r.fallbacks <> []);
+  Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by hard r.result);
+  Alcotest.(check bool)
+    "subset" true
+    (R.Srepair.S_check.is_consistent_subset hard ~of_:hard_table r.result);
+  let exact = R.Srepair.S_exact.distance hard hard_table in
+  Alcotest.(check bool)
+    "within certified 2x" true
+    (r.distance <= (2.0 *. exact) +. 1e-9)
+
+let test_s_deadline_degrades () =
+  (* A zero wall-clock budget is exhausted at the very first checkpoint —
+     deterministic even though it is time-based. *)
+  let budget = Budget.create ~timeout_s:0.0 () in
+  let r = ok (R.Driver.s_repair_result ~budget hard hard_table) in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by hard r.result)
+
+let test_s_budget_fail_policy () =
+  let budget = Budget.create ~max_steps:1 () in
+  match R.Driver.s_repair_result ~budget ~on_budget:`Fail hard hard_table with
+  | Ok _ -> Alcotest.fail "expected Budget_exhausted"
+  | Error (E.Budget_exhausted { phase; steps; _ }) ->
+    Alcotest.(check bool) "phase recorded" true (phase <> "");
+    Alcotest.(check bool) "steps counted" true (steps >= 1)
+  | Error e -> Alcotest.failf "wrong error class: %s" (E.class_name e)
+
+let test_s_unlimited_not_degraded () =
+  let r = ok (R.Driver.s_repair_result hard hard_table) in
+  Alcotest.(check bool) "not degraded" false r.degraded;
+  Alcotest.(check (list string)) "no fallbacks" [] r.fallbacks;
+  Alcotest.(check bool) "optimal" true r.optimal
+
+let test_u_budget_degrades () =
+  let t = Table.of_tuples D.r3_schema [ mk 1 1 1; mk 1 2 1 ] in
+  let budget = Budget.create ~max_steps:1 () in
+  let r = ok (R.Driver.u_repair_result ~budget hard t) in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by hard r.result)
+
+(* ---------- every fallback edge, via deterministic faults ---------- *)
+
+let edge ?phase driver =
+  Fault.with_fault ?phase ~at:1 Fault.Exhaust (fun () -> ok (driver ()))
+
+let test_edge_s_poly_to_approx () =
+  let r =
+    edge ~phase:"opt-s-repair" (fun () ->
+        R.Driver.s_repair_result ~strategy:R.Driver.Poly D.office_fds
+          D.office_table)
+  in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool)
+    "edge names Algorithm 1" true
+    (List.exists (fun f -> contains f "OptSRepair") r.fallbacks);
+  Alcotest.(check bool)
+    "consistent" true
+    (Fd_set.satisfied_by D.office_fds r.result)
+
+let test_edge_s_exact_to_approx () =
+  let r =
+    edge ~phase:"vertex-cover" (fun () ->
+        R.Driver.s_repair_result ~strategy:R.Driver.Exact hard hard_table)
+  in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool)
+    "edge names the exact baseline" true
+    (List.exists (fun f -> contains f "vertex cover") r.fallbacks);
+  Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by hard r.result)
+
+let test_edge_u_poly_to_approx () =
+  let r =
+    edge ~phase:"opt-u-repair" (fun () ->
+        R.Driver.u_repair_result ~strategy:R.Driver.Poly D.office_fds
+          D.office_table)
+  in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool)
+    "consistent" true
+    (Fd_set.satisfied_by D.office_fds r.result)
+
+let test_edge_u_exact_to_approx () =
+  let t = Table.of_tuples D.r3_schema [ mk 1 1 1; mk 1 2 1 ] in
+  let r =
+    edge ~phase:"u-exact" (fun () ->
+        R.Driver.u_repair_result ~strategy:R.Driver.Exact hard t)
+  in
+  Alcotest.(check bool) "degraded" true r.degraded;
+  Alcotest.(check bool) "consistent" true (Fd_set.satisfied_by hard r.result)
+
+let test_fault_fail_mode () =
+  (* A simulated crash (not a timeout) also walks the ladder… *)
+  let r =
+    Fault.with_fault ~phase:"vertex-cover" ~at:1 Fault.Fail (fun () ->
+        ok (R.Driver.s_repair_result ~strategy:R.Driver.Exact hard hard_table))
+  in
+  Alcotest.(check bool)
+    "edge records the fault class" true
+    (List.exists (fun f -> contains f "fault-injected") r.fallbacks);
+  (* …unless the policy says fail, in which case the error surfaces. *)
+  (match
+     Fault.with_fault ~phase:"vertex-cover" ~at:1 Fault.Fail (fun () ->
+         R.Driver.s_repair_result ~strategy:R.Driver.Exact ~on_budget:`Fail
+           hard hard_table)
+   with
+  | Error (E.Fault_injected { phase; checkpoint }) ->
+    Alcotest.(check string) "phase" "vertex-cover" phase;
+    Alcotest.(check int) "checkpoint" 1 checkpoint
+  | Ok _ -> Alcotest.fail "fault did not fire"
+  | Error e -> Alcotest.failf "wrong error class: %s" (E.class_name e));
+  Alcotest.(check bool) "injector disarmed" false (Fault.armed ())
+
+let test_fault_one_shot () =
+  (* The fault disarms itself when it fires, so the fallback runs clean
+     even though the approximation never ticks. A second budgeted call
+     after with_fault must not see a stale fault. *)
+  Fault.with_fault ~at:1 Fault.Exhaust (fun () ->
+      match
+        R.Driver.s_repair_result ~strategy:R.Driver.Exact ~on_budget:`Fail
+          hard hard_table
+      with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "fault did not fire");
+  let r = ok (R.Driver.s_repair_result ~strategy:R.Driver.Exact hard hard_table) in
+  Alcotest.(check bool) "no stale fault" false r.degraded
+
+(* ---------- error taxonomy ---------- *)
+
+let test_error_classes () =
+  let be = E.Budget_exhausted { phase = "p"; elapsed = 0.1; steps = 7 } in
+  Alcotest.(check int) "budget exit code" 5 (E.exit_code be);
+  Alcotest.(check string) "budget class" "budget-exhausted" (E.class_name be);
+  Alcotest.(check bool) "budget degradable" true (E.is_degradable be);
+  let pe = E.Parse { source = "f.csv"; line = Some 3; detail = "bad" } in
+  Alcotest.(check int) "parse exit code" 2 (E.exit_code pe);
+  Alcotest.(check bool) "parse not degradable" false (E.is_degradable pe);
+  let ie = E.Intractable { what = "x"; detail = "y" } in
+  Alcotest.(check int) "intractable exit code" 6 (E.exit_code ie);
+  Alcotest.(check bool)
+    "guard catches" true
+    (E.guard (fun () -> E.raise_error be) = Error be)
+
+let test_poly_on_hard_is_intractable () =
+  match
+    R.Driver.s_repair_result ~strategy:R.Driver.Poly hard hard_table
+  with
+  | Error (E.Intractable _) -> ()
+  | Error e -> Alcotest.failf "wrong class: %s" (E.class_name e)
+  | Ok _ -> Alcotest.fail "Poly must refuse the hard side"
+
+(* ---------- budget mechanics ---------- *)
+
+let test_budget_counters () =
+  let b = Budget.create ~max_steps:3 () in
+  Budget.tick ~phase:"t" b;
+  Budget.tick ~phase:"t" b;
+  Alcotest.(check int) "steps" 2 (Budget.steps b);
+  Alcotest.(check bool) "not yet exhausted" false (Budget.exhausted b);
+  Budget.tick ~phase:"t" b;
+  (match Budget.tick ~phase:"t" b with
+  | () -> Alcotest.fail "fourth tick must raise"
+  | exception E.Error (E.Budget_exhausted { phase; steps; _ }) ->
+    Alcotest.(check string) "phase" "t" phase;
+    Alcotest.(check int) "steps" 4 steps);
+  Alcotest.(check bool) "exhausted probe" true (Budget.exhausted b);
+  Alcotest.(check bool) "unlimited is unlimited" false
+    (Budget.limited Budget.unlimited)
+
+(* ---------- properties ---------- *)
+
+let prop_budget_monotone =
+  qcheck ~count:60 "larger budget never worsens the repair"
+    QCheck2.Gen.(
+      triple
+        (gen_table ~max_size:6 small_schema)
+        (gen_fd_set small_schema) (int_range 1 25))
+    (fun (t, d, steps) ->
+      let dist budget_steps =
+        let budget = Budget.create ~max_steps:budget_steps () in
+        (ok (R.Driver.s_repair_result ~budget d t)).distance
+      in
+      dist (steps + 200) <= dist steps +. 1e-6)
+
+let prop_degraded_iff_fallbacks =
+  qcheck ~count:60 "degraded flag agrees with the fallback log"
+    QCheck2.Gen.(
+      triple
+        (gen_table ~max_size:6 small_schema)
+        (gen_fd_set small_schema) (int_range 1 10))
+    (fun (t, d, steps) ->
+      let budget = Budget.create ~max_steps:steps () in
+      let r = ok (R.Driver.s_repair_result ~budget d t) in
+      r.degraded = (r.fallbacks <> []))
+
+let prop_degraded_consistent =
+  qcheck ~count:60 "degraded U-results still satisfy the FDs"
+    QCheck2.Gen.(
+      triple
+        (gen_table ~max_size:4 small_schema)
+        (gen_fd_set small_schema) (int_range 1 10))
+    (fun (t, d, steps) ->
+      let budget = Budget.create ~max_steps:steps () in
+      let r = ok (R.Driver.u_repair_result ~budget d t) in
+      Fd_set.satisfied_by d r.result)
+
+let () =
+  Alcotest.run "robustness"
+    [ ( "budget",
+        [ Alcotest.test_case "s degrade on steps" `Quick test_s_budget_degrades;
+          Alcotest.test_case "s degrade on deadline" `Quick
+            test_s_deadline_degrades;
+          Alcotest.test_case "s fail policy" `Quick test_s_budget_fail_policy;
+          Alcotest.test_case "unlimited clean" `Quick
+            test_s_unlimited_not_degraded;
+          Alcotest.test_case "u degrade on steps" `Quick test_u_budget_degrades;
+          Alcotest.test_case "counters" `Quick test_budget_counters ] );
+      ( "fault-edges",
+        [ Alcotest.test_case "s poly→approx" `Quick test_edge_s_poly_to_approx;
+          Alcotest.test_case "s exact→approx" `Quick
+            test_edge_s_exact_to_approx;
+          Alcotest.test_case "u poly→approx" `Quick test_edge_u_poly_to_approx;
+          Alcotest.test_case "u exact→approx" `Quick
+            test_edge_u_exact_to_approx;
+          Alcotest.test_case "fail mode" `Quick test_fault_fail_mode;
+          Alcotest.test_case "one-shot" `Quick test_fault_one_shot ] );
+      ( "errors",
+        [ Alcotest.test_case "taxonomy" `Quick test_error_classes;
+          Alcotest.test_case "poly on hard" `Quick
+            test_poly_on_hard_is_intractable ] );
+      ( "properties",
+        [ prop_budget_monotone; prop_degraded_iff_fallbacks;
+          prop_degraded_consistent ] ) ]

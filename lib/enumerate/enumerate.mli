@@ -11,18 +11,33 @@
 open Repair_relational
 open Repair_fd
 
-(** [s_repairs ?limit d tbl] lists the S-repairs of [tbl] (maximal
-    consistent subsets), up to [limit] (default 10_000) of them; raises
-    [Failure] if the limit is exceeded — counting repairs is #P-hard in
-    general [26]. Each result is a subset of [tbl]. *)
-val s_repairs : ?limit:int -> Fd_set.t -> Table.t -> Table.t list
+(** [s_repairs ?budget ?limit d tbl] lists the S-repairs of [tbl]
+    (maximal consistent subsets), up to [limit] (default 10_000) of them;
+    raises [Failure] if the limit is exceeded — counting repairs is
+    #P-hard in general [26]. Each result is a subset of [tbl]. Every
+    Bron–Kerbosch node is a [budget] checkpoint (phase ["enumerate"]);
+    exhaustion raises
+    {!Repair_runtime.Repair_error.Budget_exhausted}. *)
+val s_repairs :
+  ?budget:Repair_runtime.Budget.t ->
+  ?limit:int ->
+  Fd_set.t ->
+  Table.t ->
+  Table.t list
 
-(** [count_s_repairs ?limit d tbl] is [List.length (s_repairs d tbl)]. *)
-val count_s_repairs : ?limit:int -> Fd_set.t -> Table.t -> int
+(** [count_s_repairs ?budget ?limit d tbl] is
+    [List.length (s_repairs d tbl)]. *)
+val count_s_repairs :
+  ?budget:Repair_runtime.Budget.t -> ?limit:int -> Fd_set.t -> Table.t -> int
 
-(** [optimal_s_repairs ?limit d tbl] lists only the optimal S-repairs
-    (minimum deleted weight). *)
-val optimal_s_repairs : ?limit:int -> Fd_set.t -> Table.t -> Table.t list
+(** [optimal_s_repairs ?budget ?limit d tbl] lists only the optimal
+    S-repairs (minimum deleted weight). *)
+val optimal_s_repairs :
+  ?budget:Repair_runtime.Budget.t ->
+  ?limit:int ->
+  Fd_set.t ->
+  Table.t ->
+  Table.t list
 
 (** [cardinality_repair_exists d tbl ~max_deletions] — is there a
     consistent subset deleting at most [max_deletions] tuples? (The

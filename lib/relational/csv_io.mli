@@ -5,13 +5,29 @@
     identifier, integer) and [#weight] (positive float). When absent, ids
     are assigned 1..n and weights default to 1. Fields containing commas,
     quotes or newlines are double-quoted on output; quoted fields are
-    understood on input. Values are parsed with {!Value.of_string}. *)
+    understood on input. Values are parsed with {!Value.of_string}.
 
-(** [parse_string ~name s] parses CSV text into a table over a schema named
-    [name].
+    Malformed input is reported as a structured
+    {!Repair_runtime.Repair_error.t} carrying the file (or pseudo-source)
+    name and the 1-based line number: [Parse] for malformed records,
+    [Schema_mismatch] for bad headers (e.g. duplicate attributes), [Io]
+    for file-system failures. Raising entry points throw
+    {!Repair_runtime.Repair_error.Error}; [_result] variants return the
+    error. *)
 
-    @raise Failure on malformed input. *)
-val parse_string : name:string -> string -> Table.t
+(** [parse_string ?file ~name s] parses CSV text into a table over a
+    schema named [name]. [file] (default ["<csv>"]) labels error values.
+
+    @raise Repair_runtime.Repair_error.Error on malformed input. *)
+val parse_string : ?file:string -> name:string -> string -> Table.t
+
+(** [parse_result ?file ~name s] is {!parse_string} with the error
+    returned instead of raised. *)
+val parse_result :
+  ?file:string ->
+  name:string ->
+  string ->
+  (Table.t, Repair_runtime.Repair_error.t) result
 
 (** [to_string ?with_meta tbl] renders a table. With [with_meta] (default
     [true]) the [#id] and [#weight] columns are included. *)
@@ -20,4 +36,8 @@ val to_string : ?with_meta:bool -> Table.t -> string
 (** File variants of the above. *)
 
 val load : name:string -> string -> Table.t
+
+val load_result :
+  name:string -> string -> (Table.t, Repair_runtime.Repair_error.t) result
+
 val save : ?with_meta:bool -> Table.t -> string -> unit
