@@ -1,5 +1,14 @@
-(* Shared benchmark plumbing: section banners, aligned tables, and a thin
-   wrapper over Bechamel's OLS pipeline returning ns/run per test. *)
+(* Shared benchmark plumbing: section banners, aligned tables, a thin
+   wrapper over Bechamel's OLS pipeline returning ns/run per test, and the
+   machine-readable record sink behind BENCH_*.json. *)
+
+module Json = Repair_core.Repair.Obs.Json
+module Metrics = Repair_core.Repair.Obs.Metrics
+
+(* Float comparisons in experiment checks go through an epsilon, never
+   (=): distances are sums of float weights and the experiments must not
+   depend on association order. *)
+let approx_eq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
 
 let section id title =
   Fmt.pr "@.%s@.%s  %s@.%s@." (String.make 78 '=') id title
@@ -8,6 +17,61 @@ let section id title =
 let subsection title = Fmt.pr "@.--- %s@." title
 
 let row fmt = Fmt.pr fmt
+
+(* ---------- machine-readable benchmark records ---------- *)
+
+let current_experiment = ref "startup"
+
+let records : Json.t list ref = ref []
+
+(* [record ~solver ~wall_ms] appends one structured measurement under the
+   experiment currently running; [n]/[noise] describe the instance when
+   the caller has one. *)
+let record ?(n = 0) ?(noise = 0.0) ?(counters = []) ~solver ~wall_ms () =
+  records :=
+    Json.Obj
+      [ ("name", Json.String (!current_experiment ^ "/" ^ solver));
+        ("experiment", Json.String !current_experiment);
+        ("solver", Json.String solver);
+        ("n", Json.Int n);
+        ("noise", Json.Float noise);
+        ("wall_ms", Json.Float wall_ms);
+        ("counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)) ]
+    :: !records
+
+(* Run one experiment with a fresh metrics registry; its wall-clock time
+   and accumulated counters become the "<name>/harness" record. *)
+let run_experiment name f =
+  current_experiment := name;
+  Metrics.reset ();
+  Metrics.enable ();
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  record ~counters:(Metrics.counters ()) ~solver:"harness" ~wall_ms ()
+
+let git_describe () =
+  try
+    let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let write_bench ~file () =
+  let doc =
+    Json.Obj
+      [ ("schema_version", Json.Int 1);
+        ("git", Json.String (git_describe ()));
+        ("recorded_at_unix", Json.Float (Unix.gettimeofday ()));
+        ("records", Json.List (List.rev !records)) ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "@.%d benchmark records → %s@." (List.length !records) file
 
 (* Run a list of (label, thunk) under Bechamel; returns (label, ns/run). *)
 let time_tests ?(quota = 0.3) ~name tests =
@@ -24,16 +88,23 @@ let time_tests ?(quota = 0.3) ~name tests =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-  List.filter_map
-    (fun (label, _) ->
-      let key = name ^ "/" ^ label in
-      match Hashtbl.find_opt results key with
-      | None -> None
-      | Some r -> (
-        match Analyze.OLS.estimates r with
-        | Some (ns :: _) -> Some (label, ns)
-        | _ -> None))
-    tests
+  let measured =
+    List.filter_map
+      (fun (label, _) ->
+        let key = name ^ "/" ^ label in
+        match Hashtbl.find_opt results key with
+        | None -> None
+        | Some r -> (
+          match Analyze.OLS.estimates r with
+          | Some (ns :: _) -> Some (label, ns)
+          | _ -> None))
+      tests
+  in
+  List.iter
+    (fun (label, ns) ->
+      record ~solver:(name ^ "/" ^ label) ~wall_ms:(ns /. 1e6) ())
+    measured;
+  measured
 
 let pp_ns ppf ns =
   if ns >= 1e9 then Fmt.pf ppf "%.2f s" (ns /. 1e9)

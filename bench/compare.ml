@@ -1,0 +1,106 @@
+(* compare — diff two BENCH_*.json files produced by bench/main.exe.
+
+   Records are matched by their "name" field and compared on wall_ms.
+   Exit status: 0 when no regression exceeds the threshold, 1 on a
+   regression, 2 on unreadable input.
+
+   Run with:  dune exec bench/compare.exe -- OLD.json NEW.json
+              [--threshold PCT] [--min-ms MS]  *)
+
+module Json = Repair_core.Repair.Obs.Json
+
+let usage = "usage: compare OLD.json NEW.json [--threshold PCT] [--min-ms MS]"
+
+let die_usage msg =
+  Fmt.epr "compare: %s@.%s@." msg usage;
+  exit 2
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with Sys_error msg -> die_usage msg
+
+let records_of path =
+  match Json.of_string (read_file path) with
+  | Error msg -> die_usage (Fmt.str "%s: %s" path msg)
+  | Ok doc -> (
+    match Option.bind (Json.member "records" doc) Json.list_value with
+    | None -> die_usage (Fmt.str "%s: no \"records\" array" path)
+    | Some rs ->
+      List.filter_map
+        (fun r ->
+          match
+            ( Option.bind (Json.member "name" r) Json.string_value,
+              Option.bind (Json.member "wall_ms" r) Json.float_value )
+          with
+          | Some name, Some ms -> Some (name, ms)
+          | _ -> None)
+        rs)
+
+let () =
+  let threshold = ref 25.0 in
+  (* Records faster than this in both files are below timer noise; a 25%
+     swing on a 50µs microbenchmark is not a regression signal. *)
+  let min_ms = ref 0.5 in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0.0 -> threshold := t
+      | _ -> die_usage "bad --threshold");
+      parse rest
+    | "--min-ms" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> min_ms := t
+      | _ -> die_usage "bad --min-ms");
+      parse rest
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+      positional := arg :: !positional;
+      parse rest
+    | arg :: _ -> die_usage ("unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_file, new_file =
+    match List.rev !positional with
+    | [ a; b ] -> (a, b)
+    | _ -> die_usage "expected exactly two files"
+  in
+  let old_records = records_of old_file and new_records = records_of new_file in
+  let regressions = ref [] and improvements = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun (name, new_ms) ->
+      match List.assoc_opt name old_records with
+      | None -> Fmt.pr "  new        %-50s %10.3f ms@." name new_ms
+      | Some old_ms ->
+        incr compared;
+        if old_ms >= !min_ms || new_ms >= !min_ms then begin
+          let pct = 100.0 *. ((new_ms /. old_ms) -. 1.0) in
+          if pct > !threshold then
+            regressions := (name, old_ms, new_ms, pct) :: !regressions
+          else if pct < -. !threshold then
+            improvements := (name, old_ms, new_ms, pct) :: !improvements
+        end)
+    new_records;
+  List.iter
+    (fun (name, _) ->
+      if List.assoc_opt name new_records = None then
+        Fmt.pr "  vanished   %s@." name)
+    old_records;
+  let report verdict (name, old_ms, new_ms, pct) =
+    Fmt.pr "  %-10s %-50s %10.3f ms → %10.3f ms  (%+.1f%%)@." verdict name
+      old_ms new_ms pct
+  in
+  List.iter (report "FASTER") (List.rev !improvements);
+  List.iter (report "REGRESSED") (List.rev !regressions);
+  Fmt.pr "%d records compared (threshold %g%%, floor %g ms): %d regressed, \
+          %d improved@."
+    !compared !threshold !min_ms
+    (List.length !regressions)
+    (List.length !improvements);
+  if !regressions <> [] then exit 1

@@ -30,7 +30,7 @@ let e1 () =
   List.iter
     (fun (name, expected, measured) ->
       row "  %-10s %-14g %-10g %s@." name expected measured
-        (if expected = measured then "✓" else "✗"))
+        (if approx_eq expected measured then "✓" else "✗"))
     [ ("S1", 2.0, Table.dist_sub D.office_s1 t);
       ("S2", 2.0, Table.dist_sub D.office_s2 t);
       ("S3", 3.0, Table.dist_sub D.office_s3 t);
@@ -44,7 +44,7 @@ let e1 () =
   row "  optimal U-repair distance: %g (paper: 2; U1 optimal)@."
     (Table.dist_upd u t);
   check "both optima equal 2"
-    (Table.dist_sub s t = 2.0 && Table.dist_upd u t = 2.0)
+    (approx_eq (Table.dist_sub s t) 2.0 && approx_eq (Table.dist_upd u t) 2.0)
 
 (* ------------------------------------------------------------------ E2 *)
 
@@ -306,12 +306,12 @@ let e11 () =
       let u = Vg.update_of_cover vg (Vc.exact g) in
       let dist = Table.dist_upd u vg.Vg.table in
       let expected = Vg.expected_distance vg ~tau in
-      if dist <> expected then all_ok := false;
+      if not (approx_eq dist expected) then all_ok := false;
       if i < 5 then
         row "  %-18s %-6d %-6d %-14g %-12g %s@."
           (Fmt.str "random #%d" (i + 1))
           (G.n_edges g) tau dist expected
-          (if dist = expected then "✓" else "✗"))
+          (if approx_eq dist expected then "✓" else "✗"))
     (seeds 10);
   check "construction achieves 2|E|+τ on all 10 random graphs" !all_ok;
   (* lower bound on small graphs via exhaustive search *)
@@ -320,7 +320,7 @@ let e11 () =
   let exact = R.Urepair.U_exact.distance ~max_cells:24 vg.Vg.fds vg.Vg.table in
   row "  P3 path: exhaustive optimal U-distance = %g (expected 2·2+1 = 5)@."
     exact;
-  check "exhaustive optimum matches on P3" (exact = 5.0)
+  check "exhaustive optimum matches on P3" (approx_eq exact 5.0)
 
 (* ----------------------------------------------------------------- E12 *)
 
@@ -524,8 +524,9 @@ let e16 () =
   subsection "exact vertex cover branch & bound, n = 20, p = 0.25";
   List.iter (fun (l, ns) -> row "  %-22s %s@." l (Fmt.str "%a" pp_ns ns)) results;
   check "bounded and unbounded agree"
-    (Vc.cover_weight g (Vc.exact g)
-     = Vc.cover_weight g (Vc.exact ~matching_bound:false g));
+    (approx_eq
+       (Vc.cover_weight g (Vc.exact g))
+       (Vc.cover_weight g (Vc.exact ~matching_bound:false g)));
   (* (c) Hungarian matching vs exhaustive search. *)
   let module Bm = R.Graph.Bipartite_matching in
   let rng = Rng.make 13 in
@@ -537,7 +538,8 @@ let e16 () =
   in
   subsection "maximum-weight bipartite matching (MarriageRep substrate)";
   List.iter (fun (l, ns) -> row "  %-18s %s@." l (Fmt.str "%a" pp_ns ns)) results;
-  check "identical optimum" (snd (Bm.solve w) = snd (Bm.brute_force w));
+  check "identical optimum"
+    (approx_eq (snd (Bm.solve w)) (snd (Bm.brute_force w)));
   (* (d) incremental consistency index vs pairwise scan when extending a
      subset to a maximal one. *)
   let rng = Rng.make 55 in
@@ -600,24 +602,39 @@ let e17 () =
   check "combined never worse"
     (Table.dist_upd combined t2 <= Table.dist_upd certified t2 +. 1e-9)
 
+(* ------------------------------------------------------------- runner *)
+
+let experiments =
+  [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8-E9", e8_e9); ("E10", e10); ("E11", e11); ("E12", e12);
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
+
+(* The --smoke subset: seconds-scale experiments that still cover both
+   repair flavours, exact baselines, and the record-emission path. *)
+let smoke_subset = [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15" ]
+
 let () =
+  let smoke = ref false and out = ref "BENCH_1.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--out" :: file :: rest ->
+      out := file;
+      parse rest
+    | arg :: _ ->
+      Fmt.epr "bench: unknown argument %s (try --smoke, --out FILE)@." arg;
+      exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   Fmt.pr
     "repair-bench — reproduction experiments for 'Computing Optimal Repairs \
-     for Functional Dependencies' (PODS'18)@.";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8_e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
-  e15 ();
-  e16 ();
-  e17 ();
+     for Functional Dependencies' (PODS'18)%s@."
+    (if !smoke then " [smoke subset]" else "");
+  List.iter
+    (fun (name, f) ->
+      if (not !smoke) || List.mem name smoke_subset then run_experiment name f)
+    experiments;
+  write_bench ~file:!out ();
   finish ()

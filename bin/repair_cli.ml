@@ -95,6 +95,38 @@ let on_budget_arg =
        & opt (enum [ ("degrade", `Degrade); ("fail", `Fail) ]) `Degrade
        & info [ "on-budget" ] ~docv:"POLICY" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Record solver counters and spans; write the JSON snapshot to $(docv) \
+     after the repair ('-' = stdout, the default — combine with $(b,-o) to \
+     keep the repair itself out of the way). Use the glued form \
+     $(b,--metrics=FILE) to name a file."
+  in
+  Arg.(value
+       & opt ~vopt:(Some "-") (some string) None
+       & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with the metrics registry enabled and dump the snapshot
+   afterwards. Degraded runs still snapshot (degradation happens inside
+   [f]); error paths exit the process before the snapshot is written. *)
+let with_metrics dest f =
+  match dest with
+  | None -> f ()
+  | Some dest ->
+    let module M = R.Obs.Metrics in
+    M.reset ();
+    M.enable ();
+    let emit_snapshot () =
+      let text = R.Obs.Json.to_string ~pretty:true (M.snapshot ()) ^ "\n" in
+      match dest with
+      | "-" -> print_string text
+      | path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+    in
+    Fun.protect ~finally:emit_snapshot f
+
 let budget_of timeout max_steps =
   match (timeout, max_steps) with
   | None, None -> None
@@ -131,10 +163,12 @@ let s_repair_cmd =
     Arg.(value & flag
          & info [ "explain" ] ~doc:"Print why each tuple was deleted (stderr).")
   in
-  let run fds input out strategy explain verbose timeout max_steps on_budget =
+  let run fds input out strategy explain verbose timeout max_steps on_budget
+      metrics =
     setup_logs verbose;
     let d = or_die_error (parse_fds fds) in
     let tbl = or_die_error (load_table input) in
+    with_metrics metrics @@ fun () ->
     let budget = budget_of timeout max_steps in
     let r =
       or_die_error (R.Driver.s_repair_result ~strategy ?budget ~on_budget d tbl)
@@ -150,17 +184,20 @@ let s_repair_cmd =
   Cmd.v
     (Cmd.info "s-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
-          $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg)
+          $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg
+          $ metrics_arg)
 
 let u_repair_cmd =
   let explain_arg =
     Arg.(value & flag
          & info [ "explain" ] ~doc:"Print every changed cell (stderr).")
   in
-  let run fds input out strategy explain verbose timeout max_steps on_budget =
+  let run fds input out strategy explain verbose timeout max_steps on_budget
+      metrics =
     setup_logs verbose;
     let d = or_die_error (parse_fds fds) in
     let tbl = or_die_error (load_table input) in
+    with_metrics metrics @@ fun () ->
     let budget = budget_of timeout max_steps in
     let r =
       or_die_error (R.Driver.u_repair_result ~strategy ?budget ~on_budget d tbl)
@@ -181,7 +218,8 @@ let u_repair_cmd =
   Cmd.v
     (Cmd.info "u-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
-          $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg)
+          $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg
+          $ metrics_arg)
 
 let mpd_cmd =
   let run fds input out =

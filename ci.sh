@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 gate: build, full test suite (unit + property + cram), then a
+# benchmark smoke run whose BENCH output must parse and self-compare
+# cleanly through the regression harness.
+#
+# The smoke run writes to a scratch file so the committed BENCH_1.json
+# baseline is never clobbered by CI.
+set -eu
+
+dune build
+dune runtest
+
+out=$(mktemp -t bench_smoke.XXXXXX.json)
+trap 'rm -f "$out"' EXIT INT TERM
+
+dune exec bench/main.exe -- --smoke --out "$out"
+
+# Self-comparison exercises the parser and the matching logic; identical
+# inputs must report zero regressions.
+dune exec bench/compare.exe -- "$out" "$out"
+
+echo "ci: OK"

@@ -16,6 +16,7 @@ module Cqa = Repair_cqa
 module Prioritized = Repair_prioritized
 module Cleaning = Repair_cleaning
 module Runtime = Repair_runtime
+module Obs = Repair_obs
 
 module Driver = struct
   open Repair_relational

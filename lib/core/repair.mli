@@ -29,7 +29,9 @@
     certified approximations at scale. {!Runtime} supplies the resilience
     layer — cooperative budgets, the structured error taxonomy, and the
     deterministic fault injector — and the driver degrades along the
-    ladder poly → exact → approx whenever a budget runs out. *)
+    ladder poly → exact → approx whenever a budget runs out. {!Obs} is
+    the observability layer: counters and hierarchical spans the solvers
+    report into (off by default; see {!Obs.Metrics}). *)
 
 module Relational = Repair_relational
 module Fd = Repair_fd
@@ -49,6 +51,7 @@ module Cqa = Repair_cqa
 module Prioritized = Repair_prioritized
 module Cleaning = Repair_cleaning
 module Runtime = Repair_runtime
+module Obs = Repair_obs
 
 module Driver : sig
   open Repair_relational

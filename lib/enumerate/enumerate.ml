@@ -10,6 +10,7 @@ exception Limit_exceeded
    property. We run Bron–Kerbosch with pivoting, where adjacency means
    "this pair of tuples is consistent". *)
 let s_repairs ?(budget = Budget.unlimited) ?(limit = 10_000) d tbl =
+  Repair_obs.Metrics.with_span "enumerate.s-repairs" @@ fun () ->
   let d = Fd_set.remove_trivial d in
   let ids = Array.of_list (Table.ids tbl) in
   let n = Array.length ids in
@@ -37,6 +38,7 @@ let s_repairs ?(budget = Budget.unlimited) ?(limit = 10_000) d tbl =
   let count = ref 0 in
   let emit clique =
     incr count;
+    Repair_obs.Metrics.incr "enumerate.repairs";
     if !count > limit then raise Limit_exceeded;
     found := Table.restrict tbl (List.map (fun v -> ids.(v)) (Iset.elements clique)) :: !found
   in

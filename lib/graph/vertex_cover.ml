@@ -1,4 +1,5 @@
 module Iset = Set.Make (Int)
+module Metrics = Repair_obs.Metrics
 
 let is_cover g vs =
   let s = Iset.of_list vs in
@@ -15,12 +16,15 @@ let cover_weight g vs =
    total payment is a lower bound on OPT and the cover costs at most twice
    the payment. *)
 let approx2 g =
+  Metrics.with_span "vertex-cover.approx2" @@ fun () ->
   let n = Graph.n_vertices g in
   let residual = Array.init n (Graph.weight g) in
   let in_cover = Array.make n false in
+  let payments = ref 0 in
   Graph.fold_edges
     (fun (u, v) () ->
       if not (in_cover.(u) || in_cover.(v)) then begin
+        incr payments;
         let eps = min residual.(u) residual.(v) in
         residual.(u) <- residual.(u) -. eps;
         residual.(v) <- residual.(v) -. eps;
@@ -28,6 +32,7 @@ let approx2 g =
         if residual.(v) <= 0.0 then in_cover.(v) <- true
       end)
     g ();
+  Metrics.incr ~by:!payments "vertex-cover.local-ratio-payments";
   let cover = ref [] in
   for v = n - 1 downto 0 do
     if in_cover.(v) then cover := v :: !cover
@@ -110,6 +115,7 @@ let lp_lower_bound g =
 
 let exact ?(budget = Repair_runtime.Budget.unlimited) ?(matching_bound = true)
     g =
+  Metrics.with_span "vertex-cover.exact" @@ fun () ->
   let all_edges = Graph.edges g in
   let best_cover = ref (Iset.of_list (approx2 g)) in
   let best_weight = ref (cover_weight g (Iset.elements !best_cover)) in

@@ -1,0 +1,36 @@
+(** A minimal JSON tree: just enough for metrics snapshots and the
+    [BENCH_*.json] benchmark records, with zero dependencies.
+
+    The printer always emits valid JSON — floats carry a decimal point or
+    exponent (so masking tools can find them), and non-finite floats
+    become [null]. The parser accepts anything the printer emits plus
+    ordinary interchange JSON (escapes, [\uXXXX], nested containers). It
+    is not a validating parser for adversarial input; benchmark files are
+    trusted local artifacts. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** [to_string ?pretty v] prints [v]; [pretty] (default [false]) indents
+    with two spaces. Object keys keep their construction order. *)
+val to_string : ?pretty:bool -> t -> string
+
+(** [of_string s] parses one JSON value (surrounding whitespace allowed).
+    Numbers without ['.'], ['e'] or ['E'] parse as [Int]. *)
+val of_string : string -> (t, string) result
+
+(** [member k v] — the value under key [k] when [v] is an [Obj]. *)
+val member : string -> t -> t option
+
+(** Coercions; [float_value] accepts both [Int] and [Float]. *)
+val float_value : t -> float option
+
+val int_value : t -> int option
+val string_value : t -> string option
+val list_value : t -> t list option

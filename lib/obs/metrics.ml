@@ -1,0 +1,112 @@
+type node = {
+  mutable count : int;
+  mutable total : float;
+  children : (string, node) Hashtbl.t;
+}
+
+let fresh_node () = { count = 0; total = 0.0; children = Hashtbl.create 4 }
+
+let enabled_flag = ref false
+
+(* The root node never accumulates time itself; its children are the
+   top-level spans. [stack] always has the root at the bottom. *)
+let root = fresh_node ()
+
+let stack = ref [ root ]
+
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16
+
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+let enabled () = !enabled_flag
+
+let reset () =
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset root.children;
+  root.count <- 0;
+  root.total <- 0.0;
+  stack := [ root ]
+
+let incr ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.incr: negative increment";
+  if !enabled_flag then
+    match Hashtbl.find_opt counters_tbl name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add counters_tbl name (ref by)
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+
+let counters () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let now = Unix.gettimeofday
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let parent = List.hd !stack in
+    let node =
+      match Hashtbl.find_opt parent.children name with
+      | Some node -> node
+      | None ->
+        let node = fresh_node () in
+        Hashtbl.add parent.children name node;
+        node
+    in
+    stack := node :: !stack;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.count <- node.count + 1;
+        node.total <- node.total +. (now () -. t0);
+        (* A reset from inside the span replaces the stack wholesale; only
+           pop when our frame is still on top. *)
+        match !stack with
+        | top :: rest when top == node -> stack := rest
+        | _ -> ())
+      f
+  end
+
+type span = {
+  name : string;
+  count : int;
+  total_s : float;
+  children : span list;
+}
+
+let rec tree_of (node : node) =
+  Hashtbl.fold
+    (fun name (child : node) acc ->
+      { name; count = child.count; total_s = child.total;
+        children = tree_of child }
+      :: acc)
+    node.children []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let spans () = tree_of root
+
+let span_total path =
+  let rec find parts spans =
+    match parts with
+    | [] -> None
+    | name :: rest -> (
+      match List.find_opt (fun s -> s.name = name) spans with
+      | None -> None
+      | Some s -> if rest = [] then Some s.total_s else find rest s.children)
+  in
+  find (String.split_on_char '/' path) (spans ())
+
+let snapshot () =
+  let rec span_json s =
+    Json.Obj
+      [ ("name", Json.String s.name);
+        ("count", Json.Int s.count);
+        ("total_ms", Json.Float (s.total_s *. 1000.0));
+        ("children", Json.List (List.map span_json s.children)) ]
+  in
+  Json.Obj
+    [ ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())));
+      ("spans", Json.List (List.map span_json (spans ()))) ]

@@ -1,0 +1,80 @@
+(** Process-wide observability registry: named monotone counters and
+    hierarchical wall-clock spans, reported into by the solver stack.
+
+    Everything is designed so that instrumentation can live permanently in
+    hot paths:
+
+    - recording is O(1) — a hashtable upsert for counters, a stack
+      push/pop plus two clock reads for spans;
+    - when the registry is {e disabled} (the initial state) every
+      operation is a single branch and records nothing, so a solver run
+      with metrics off is observationally identical to one with metrics
+      on (the solvers never read the registry);
+    - {!snapshot} serializes the whole registry to {!Json.t} without
+      disturbing it.
+
+    Spans nest dynamically: [with_span "a" (fun () -> with_span "b" f)]
+    records [b] as a child of [a], and repeated entries into the same
+    child aggregate (count + total duration) rather than append. The
+    registry is global mutable state, single-domain only — same contract
+    as {!Repair_runtime.Budget}. *)
+
+(** {1 Switching} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [reset ()] forgets all counters and spans (and abandons any spans
+    currently open), returning the registry to its pristine state. The
+    enabled flag is left as-is. *)
+val reset : unit -> unit
+
+(** {1 Counters} *)
+
+(** [incr ?by name] adds [by] (default 1) to counter [name], creating it
+    at zero first. No-op while disabled. Counters are monotone: [by] must
+    be non-negative.
+
+    @raise Invalid_argument on negative [by]. *)
+val incr : ?by:int -> string -> unit
+
+(** [counter name] — current value; 0 for never-incremented counters. *)
+val counter : string -> int
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** {1 Spans} *)
+
+(** [with_span name f] runs [f] inside span [name], nested under the
+    innermost open span. The duration is recorded even when [f] raises
+    (budget exhaustion unwinds through spans routinely). While disabled
+    this is exactly [f ()]. *)
+val with_span : string -> (unit -> 'a) -> 'a
+
+type span = {
+  name : string;
+  count : int;  (** completed entries *)
+  total_s : float;  (** summed wall-clock duration, seconds *)
+  children : span list;
+}
+
+(** Top-level spans recorded so far, children sorted by name at every
+    level. Spans still open (e.g. snapshot taken from inside [with_span])
+    report only their completed entries. *)
+val spans : unit -> span list
+
+(** [span_total path] — total seconds under the ['/']-separated path of
+    span names, e.g. ["s-exact/conflict-graph.build"]. [None] if the path
+    was never recorded. *)
+val span_total : string -> float option
+
+(** {1 Snapshots} *)
+
+(** The whole registry as JSON:
+    [{ "counters": { name: int, ... },
+       "spans": [ { "name", "count", "total_ms", "children" }, ... ] }]
+    with counters sorted by name and span durations in milliseconds.
+    Deterministic except for the [total_ms] values. *)
+val snapshot : unit -> Json.t

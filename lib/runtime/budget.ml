@@ -32,6 +32,8 @@ let exhaust b ~phase =
 
 let tick ?(phase = "unphased") b =
   b.steps <- b.steps + 1;
+  if Repair_obs.Metrics.enabled () then
+    Repair_obs.Metrics.incr ("ticks." ^ phase);
   if Fault.armed () then
     Fault.on_checkpoint ~phase ~elapsed:(elapsed b) ~steps:b.steps;
   if b.limited then begin

@@ -34,7 +34,10 @@ val unlimited : t
 
 (** [tick ?phase b] records one checkpoint. Raises
     {!Repair_error.Error}[ (Budget_exhausted _)] if [b] is spent, naming
-    [phase] (default ["unphased"]); may raise an armed {!Fault} first. *)
+    [phase] (default ["unphased"]); may raise an armed {!Fault} first.
+    When {!Repair_obs.Metrics} is enabled, the same call site also bumps
+    the ["ticks.<phase>"] counter, so budget checks and metric increments
+    share one checkpoint. *)
 val tick : ?phase:string -> t -> unit
 
 (** [steps b] — checkpoints recorded so far. *)

@@ -1,6 +1,7 @@
 open Repair_runtime
 
 let exact ?(budget = Budget.unlimited) f =
+  Repair_obs.Metrics.with_span "max-sat.exact" @@ fun () ->
   let n = Cnf.n_vars f in
   if n > 24 then invalid_arg "Max_sat.exact: too many variables";
   let best = ref (Array.make (max n 1) false) in
@@ -21,6 +22,7 @@ let exact ?(budget = Budget.unlimited) f =
   (!best, !best_count)
 
 let local_search ?(budget = Budget.unlimited) ~seed ~restarts f =
+  Repair_obs.Metrics.with_span "max-sat.local-search" @@ fun () ->
   let n = Cnf.n_vars f in
   let rng = Random.State.make [| seed |] in
   let best = ref (Array.make (max n 1) false) in

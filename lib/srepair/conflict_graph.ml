@@ -8,7 +8,15 @@ type t = {
   index : (Table.id, int) Hashtbl.t;
 }
 
+module Metrics = Repair_obs.Metrics
+
+let record_built cg =
+  Metrics.incr ~by:(Array.length cg.ids) "conflict-graph.vertices";
+  Metrics.incr ~by:(G.n_edges cg.graph) "conflict-graph.edges";
+  cg
+
 let build d tbl =
+  Metrics.with_span "conflict-graph.build" @@ fun () ->
   let ids = Array.of_list (Table.ids tbl) in
   let n = Array.length ids in
   let index = Hashtbl.create n in
@@ -44,9 +52,10 @@ let build d tbl =
       groups
   in
   List.iter add_fd (Fd_set.to_list (Fd_set.remove_trivial d));
-  { graph; ids; index }
+  record_built { graph; ids; index }
 
 let build_naive d tbl =
+  Metrics.with_span "conflict-graph.build-naive" @@ fun () ->
   let d = Fd_set.remove_trivial d in
   let schema = Table.schema tbl in
   let ids = Array.of_list (Table.ids tbl) in
@@ -65,7 +74,7 @@ let build_naive d tbl =
       then G.add_edge graph a b
     done
   done;
-  { graph; ids; index }
+  record_built { graph; ids; index }
 
 let graph cg = cg.graph
 let id_of_vertex cg v = cg.ids.(v)

@@ -1,6 +1,7 @@
 open Repair_relational
 open Repair_fd
 open Repair_runtime
+module Metrics = Repair_obs.Metrics
 
 exception Stuck of Fd_set.t
 
@@ -108,17 +109,23 @@ and solve budget delta tbl =
   end
   else
     match Fd_set.common_lhs delta with
-    | Some a -> common_lhs_rep budget delta a tbl
+    | Some a ->
+      Metrics.with_span "common-lhs" (fun () ->
+          common_lhs_rep budget delta a tbl)
     | None -> (
       match Fd_set.consensus_fd delta with
-      | Some fd -> consensus_rep budget delta fd tbl
+      | Some fd ->
+        Metrics.with_span "consensus" (fun () ->
+            consensus_rep budget delta fd tbl)
       | None -> (
         match Fd_set.lhs_marriage delta with
-        | Some marriage -> marriage_rep budget delta marriage tbl
+        | Some marriage ->
+          Metrics.with_span "marriage" (fun () ->
+              marriage_rep budget delta marriage tbl)
         | None -> raise (Stuck delta)))
 
 let run ?(budget = Budget.unlimited) d tbl =
-  match solve budget d tbl with
+  match Metrics.with_span "opt-s-repair" (fun () -> solve budget d tbl) with
   | s -> Ok s
   | exception Stuck stuck -> Error stuck
 

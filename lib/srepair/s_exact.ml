@@ -4,6 +4,7 @@ open Repair_runtime
 module Vc = Repair_graph.Vertex_cover
 
 let optimal ?budget d tbl =
+  Repair_obs.Metrics.with_span "s-exact" @@ fun () ->
   let cg = Conflict_graph.build d tbl in
   let cover = Vc.exact ?budget (Conflict_graph.graph cg) in
   Conflict_graph.delete_cover cg tbl cover
@@ -11,6 +12,7 @@ let optimal ?budget d tbl =
 let distance ?budget d tbl = Table.dist_sub (optimal ?budget d tbl) tbl
 
 let brute_force ?(budget = Budget.unlimited) d tbl =
+  Repair_obs.Metrics.with_span "s-exact.brute-force" @@ fun () ->
   let ids = Array.of_list (Table.ids tbl) in
   let n = Array.length ids in
   if n > 22 then invalid_arg "S_exact.brute_force: table too large";

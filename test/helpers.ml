@@ -63,9 +63,12 @@ let gen_fd_set ?(max_fds = 3) schema =
     int_range 1 max_fds >>= fun n ->
     list_repeat n (gen_fd schema) |> map Fd_set.of_list)
 
-(* Wrap a qcheck property as an alcotest case. *)
-let qcheck ?(count = 100) name gen prop =
+(* Wrap a qcheck property as an alcotest case. The generation seed is
+   fixed so failures reproduce run-to-run; [print] renders the
+   counterexample (for instance-by-seed generators, the seed itself). *)
+let qcheck ?(count = 100) ?(seed = 0xC0FFEE) ?print name gen prop =
   QCheck_alcotest.to_alcotest
-    (QCheck2.Test.make ~count ~name gen prop)
+    ~rand:(Random.State.make [| seed |])
+    (QCheck2.Test.make ~count ~name ?print gen prop)
 
 let consistent_distance_eq ?(eps = 1e-6) a b = Float.abs (a -. b) < eps

@@ -1,0 +1,81 @@
+(* Property-based differential tests: the production solvers against the
+   brute-force baselines on random small instances from Repair_workload.
+
+   Instances are derived deterministically from a generated integer seed
+   (and the qcheck generation seed itself is fixed in Helpers.qcheck), so
+   any reported counterexample reproduces from the printed seed alone. *)
+
+open Repair_relational
+module W = Repair_workload
+module Simplify = Repair_dichotomy.Simplify
+module Opt_s = Repair_srepair.Opt_s_repair
+module S_exact = Repair_srepair.S_exact
+module S_approx = Repair_srepair.S_approx
+
+type instance = { seed : int; n : int; noise : float }
+
+let print_instance { seed; n; noise } =
+  Printf.sprintf "{seed=%d; n=%d; noise=%g}" seed n noise
+
+let gen_instance =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10_000_000 in
+    let* n = int_range 1 8 in
+    let* noise = oneofl [ 0.1; 0.25; 0.5 ] in
+    return { seed; n; noise })
+
+(* Schema, FD set, and dirty table all flow from the one seed. n <= 8 keeps
+   the 2^n brute-force subset search instant. *)
+let build ?(weighted = false) { seed; n; noise } =
+  let rng = W.Rng.make seed in
+  let schema, d = W.Gen_fd.random rng ~n_attrs:3 ~n_fds:2 ~max_lhs:2 in
+  let tbl =
+    W.Gen_table.dirty rng schema d
+      { W.Gen_table.default with n; noise; domain_size = 3; weighted }
+  in
+  (d, tbl)
+
+let brute_weight d tbl = Table.total_weight (S_exact.brute_force d tbl)
+
+(* Theorem 3.2 side: whenever OSRSucceeds, Algorithm 1 is exact. *)
+let opt_s_matches_brute_force =
+  Helpers.qcheck ~count:300 ~print:print_instance
+    "OptSRepair weight = brute force on PTIME sets" gen_instance (fun inst ->
+      let d, tbl = build ~weighted:true inst in
+      QCheck2.assume (Simplify.succeeds d);
+      let poly = Table.total_weight (Opt_s.run_exn d tbl) in
+      Helpers.consistent_distance_eq poly (brute_weight d tbl))
+
+(* The exact vertex-cover baseline against the subset search — two
+   independent exact algorithms must agree on every instance. *)
+let vertex_cover_matches_brute_force =
+  Helpers.qcheck ~count:300 ~print:print_instance
+    "exact vertex cover weight = brute force" gen_instance (fun inst ->
+      let d, tbl = build ~weighted:true inst in
+      Helpers.consistent_distance_eq
+        (Table.total_weight (S_exact.optimal d tbl))
+        (brute_weight d tbl))
+
+(* Proposition 3.3: the local-ratio repair deletes at most twice the
+   optimal weight — on every Δ, tractable or hard. *)
+let approx_within_factor_two =
+  Helpers.qcheck ~count:300 ~print:print_instance
+    "S_approx distance <= 2x optimal" gen_instance (fun inst ->
+      let d, tbl = build ~weighted:true inst in
+      let opt = Table.dist_sub (S_exact.brute_force d tbl) tbl in
+      S_approx.distance d tbl <= (2.0 *. opt) +. 1e-6)
+
+(* The approximation must actually repair: its output satisfies Δ. *)
+let approx_is_consistent =
+  Helpers.qcheck ~count:300 ~print:print_instance
+    "S_approx output satisfies the FDs" gen_instance (fun inst ->
+      let d, tbl = build inst in
+      Repair_fd.Fd_set.satisfied_by d (S_approx.approx2 d tbl))
+
+let () =
+  Alcotest.run "differential"
+    [ ( "s-repair",
+        [ opt_s_matches_brute_force;
+          vertex_cover_matches_brute_force;
+          approx_within_factor_two;
+          approx_is_consistent ] ) ]

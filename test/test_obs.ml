@@ -1,0 +1,261 @@
+(* The observability layer itself: metamorphic properties of the metrics
+   registry (monotone counters, span nesting, pristine reset), the JSON
+   codec, and the guarantee that instrumentation never changes solver
+   results. *)
+
+open Repair_relational
+module Json = Repair_obs.Json
+module Metrics = Repair_obs.Metrics
+module R = Repair_core.Repair
+
+let with_enabled f =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect ~finally:(fun () ->
+      Metrics.disable ();
+      Metrics.reset ())
+    f
+
+(* ---------- counters ---------- *)
+
+let test_counters_monotone () =
+  with_enabled @@ fun () ->
+  let seen = ref [] in
+  List.iter
+    (fun by ->
+      Metrics.incr ~by "m";
+      seen := Metrics.counter "m" :: !seen)
+    [ 1; 0; 5; 2; 0; 3 ];
+  let decreasing =
+    List.exists2 (fun later earlier -> later < earlier) !seen
+      (List.tl !seen @ [ 0 ])
+  in
+  Alcotest.(check bool) "counter never decreases" false decreasing;
+  Alcotest.(check int) "final value is the sum" 11 (Metrics.counter "m")
+
+let test_counter_negative_rejected () =
+  with_enabled @@ fun () ->
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Metrics.incr: negative increment") (fun () ->
+      Metrics.incr ~by:(-1) "m")
+
+let test_counter_default_zero () =
+  with_enabled @@ fun () ->
+  Alcotest.(check int) "unknown counter reads 0" 0 (Metrics.counter "nope")
+
+let test_counters_sorted () =
+  with_enabled @@ fun () ->
+  Metrics.incr "zeta";
+  Metrics.incr "alpha";
+  Metrics.incr "mid";
+  Alcotest.(check (list string))
+    "sorted by name" [ "alpha"; "mid"; "zeta" ]
+    (List.map fst (Metrics.counters ()))
+
+(* ---------- spans ---------- *)
+
+let busy_wait seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ()
+  done
+
+let test_nested_spans_sum_to_parent () =
+  with_enabled @@ fun () ->
+  Metrics.with_span "parent" (fun () ->
+      Metrics.with_span "a" (fun () -> busy_wait 0.002);
+      Metrics.with_span "b" (fun () -> busy_wait 0.002);
+      Metrics.with_span "a" (fun () -> busy_wait 0.001));
+  match Metrics.spans () with
+  | [ parent ] ->
+    Alcotest.(check string) "root span" "parent" parent.Metrics.name;
+    Alcotest.(check int) "two distinct children" 2
+      (List.length parent.Metrics.children);
+    let child_total =
+      List.fold_left
+        (fun acc c -> acc +. c.Metrics.total_s)
+        0.0 parent.Metrics.children
+    in
+    Alcotest.(check bool) "children sum <= parent" true
+      (child_total <= parent.Metrics.total_s +. 1e-6);
+    let a =
+      List.find (fun c -> c.Metrics.name = "a") parent.Metrics.children
+    in
+    Alcotest.(check int) "re-entered child aggregates" 2 a.Metrics.count
+  | spans ->
+    Alcotest.failf "expected exactly one top-level span, got %d"
+      (List.length spans)
+
+let test_span_records_on_raise () =
+  with_enabled @@ fun () ->
+  (try Metrics.with_span "dying" (fun () -> raise Exit) with Exit -> ());
+  match Metrics.span_total "dying" with
+  | Some t -> Alcotest.(check bool) "duration recorded" true (t >= 0.0)
+  | None -> Alcotest.fail "span lost on exception"
+
+let test_span_total_path () =
+  with_enabled @@ fun () ->
+  Metrics.with_span "outer" (fun () ->
+      Metrics.with_span "inner" (fun () -> busy_wait 0.001));
+  Alcotest.(check bool) "path resolves" true
+    (Metrics.span_total "outer/inner" <> None);
+  Alcotest.(check bool) "missing path is None" true
+    (Metrics.span_total "outer/nope" = None)
+
+let test_disabled_records_nothing () =
+  Metrics.reset ();
+  Metrics.disable ();
+  let r = Metrics.with_span "ghost" (fun () -> Metrics.incr "ghost"; 42) in
+  Alcotest.(check int) "with_span is transparent" 42 r;
+  Metrics.enable ();
+  Alcotest.(check int) "no counter" 0 (Metrics.counter "ghost");
+  Alcotest.(check bool) "no span" true (Metrics.spans () = []);
+  Metrics.disable ()
+
+let test_reset_pristine () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let pristine = Json.to_string (Metrics.snapshot ()) in
+  Metrics.incr ~by:7 "dirt";
+  Metrics.with_span "work" (fun () -> busy_wait 0.001);
+  Alcotest.(check bool) "registry is dirty" true
+    (Json.to_string (Metrics.snapshot ()) <> pristine);
+  Metrics.reset ();
+  Alcotest.(check string) "reset restores the pristine snapshot" pristine
+    (Json.to_string (Metrics.snapshot ()));
+  Metrics.disable ()
+
+(* ---------- solver results are instrumentation-independent ---------- *)
+
+let build_instance (seed, n, noise) =
+  let module W = Repair_workload in
+  let rng = W.Rng.make seed in
+  let schema, d = W.Gen_fd.random rng ~n_attrs:3 ~n_fds:2 ~max_lhs:2 in
+  let tbl =
+    W.Gen_table.dirty rng schema d
+      { W.Gen_table.default with n; noise; domain_size = 3 }
+  in
+  (d, tbl)
+
+let gen_instance =
+  QCheck2.Gen.(
+    triple (int_range 0 1_000_000) (int_range 1 8) (oneofl [ 0.1; 0.25; 0.5 ]))
+
+let print_instance (seed, n, noise) =
+  Printf.sprintf "seed=%d n=%d noise=%g" seed n noise
+
+let qcheck_same_repair =
+  Helpers.qcheck ~count:100 ~print:print_instance
+    "driver returns the same repair with metrics on and off" gen_instance
+    (fun inst ->
+      let d, tbl = build_instance inst in
+      Metrics.reset ();
+      Metrics.disable ();
+      let off = R.Driver.s_repair d tbl in
+      Metrics.reset ();
+      Metrics.enable ();
+      let on = R.Driver.s_repair d tbl in
+      Metrics.disable ();
+      Metrics.reset ();
+      Table.equal off.R.Driver.result on.R.Driver.result
+      && off.R.Driver.method_used = on.R.Driver.method_used)
+
+(* ---------- the JSON codec ---------- *)
+
+let sample =
+  Json.Obj
+    [ ("s", Json.String "a \"quoted\"\nline\twith \\ specials");
+      ("i", Json.Int (-42));
+      ("f", Json.Float 2.5);
+      ("whole", Json.Float 12.0);
+      ("b", Json.Bool true);
+      ("nothing", Json.Null);
+      ("l", Json.List [ Json.Int 1; Json.Obj []; Json.List [] ]) ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      match Json.of_string (Json.to_string ~pretty sample) with
+      | Ok v -> Alcotest.(check bool) "round trip" true (v = sample)
+      | Error msg -> Alcotest.failf "parse failed: %s" msg)
+    [ false; true ]
+
+let test_json_float_literals () =
+  Alcotest.(check string) "whole floats keep the point" "12.0"
+    (Json.to_string (Json.Float 12.0));
+  Alcotest.(check string) "ints stay ints" "12" (Json.to_string (Json.Int 12));
+  Alcotest.(check string) "non-finite becomes null" "null"
+    (Json.to_string (Json.Float Float.nan))
+
+let test_json_errors () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" text)
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_json_accessors () =
+  let v = Json.Obj [ ("x", Json.Int 3); ("y", Json.Float 1.5) ] in
+  Alcotest.(check (option int)) "int member" (Some 3)
+    (Option.bind (Json.member "x" v) Json.int_value);
+  Alcotest.(check bool) "int coerces to float" true
+    (Option.bind (Json.member "x" v) Json.float_value = Some 3.0);
+  Alcotest.(check bool) "missing member" true (Json.member "z" v = None)
+
+(* Dyadic floats and printable strings round trip exactly. *)
+let gen_json =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [ return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000) 1000);
+        map (fun i -> Json.Float (float_of_int i /. 4.0)) (int_range (-1000) 1000);
+        map (fun s -> Json.String s) (small_string ~gen:printable) ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      oneof
+        [ leaf;
+          map (fun l -> Json.List l) (small_list (tree (depth - 1)));
+          map
+            (fun kvs ->
+              (* Duplicate keys would defeat the assoc-based comparison. *)
+              Json.Obj
+                (List.mapi (fun i (k, v) -> (Printf.sprintf "%d%s" i k, v)) kvs))
+            (small_list (pair (small_string ~gen:printable) (tree (depth - 1)))) ]
+  in
+  tree 3
+
+let qcheck_json_roundtrip =
+  Helpers.qcheck ~count:500 ~print:(fun v -> Json.to_string ~pretty:true v)
+    "random documents round trip" gen_json (fun v ->
+      Json.of_string (Json.to_string v) = Ok v
+      && Json.of_string (Json.to_string ~pretty:true v) = Ok v)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "counters",
+        [ Alcotest.test_case "monotone" `Quick test_counters_monotone;
+          Alcotest.test_case "negative rejected" `Quick
+            test_counter_negative_rejected;
+          Alcotest.test_case "default zero" `Quick test_counter_default_zero;
+          Alcotest.test_case "sorted" `Quick test_counters_sorted ] );
+      ( "spans",
+        [ Alcotest.test_case "nesting sums to parent" `Quick
+            test_nested_spans_sum_to_parent;
+          Alcotest.test_case "recorded on raise" `Quick
+            test_span_records_on_raise;
+          Alcotest.test_case "path lookup" `Quick test_span_total_path;
+          Alcotest.test_case "disabled is free" `Quick
+            test_disabled_records_nothing;
+          Alcotest.test_case "reset is pristine" `Quick test_reset_pristine ] );
+      ("transparency", [ qcheck_same_repair ]);
+      ( "json",
+        [ Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float literals" `Quick test_json_float_literals;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+          qcheck_json_roundtrip ] ) ]
