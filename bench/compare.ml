@@ -1,8 +1,11 @@
 (* compare — diff two BENCH_*.json files produced by bench/main.exe.
 
    Records are matched by their "name" field and compared on wall_ms.
-   Exit status: 0 when no regression exceeds the threshold, 1 on a
-   regression, 2 on unreadable input.
+   Records present in the baseline but missing from the new run are
+   reported as vanished — a renamed or dropped experiment must not
+   silently disappear from the regression gate. Exit status: 0 when no
+   regression exceeds the threshold and nothing vanished, 1 on a
+   regression or a vanished record, 2 on unreadable input.
 
    Run with:  dune exec bench/compare.exe -- OLD.json NEW.json
               [--threshold PCT] [--min-ms MS]  *)
@@ -87,11 +90,12 @@ let () =
             improvements := (name, old_ms, new_ms, pct) :: !improvements
         end)
     new_records;
-  List.iter
-    (fun (name, _) ->
-      if List.assoc_opt name new_records = None then
-        Fmt.pr "  vanished   %s@." name)
-    old_records;
+  let vanished =
+    List.filter
+      (fun (name, _) -> List.assoc_opt name new_records = None)
+      old_records
+  in
+  List.iter (fun (name, _) -> Fmt.pr "  vanished   %s@." name) vanished;
   let report verdict (name, old_ms, new_ms, pct) =
     Fmt.pr "  %-10s %-50s %10.3f ms → %10.3f ms  (%+.1f%%)@." verdict name
       old_ms new_ms pct
@@ -99,8 +103,9 @@ let () =
   List.iter (report "FASTER") (List.rev !improvements);
   List.iter (report "REGRESSED") (List.rev !regressions);
   Fmt.pr "%d records compared (threshold %g%%, floor %g ms): %d regressed, \
-          %d improved@."
+          %d improved, %d vanished@."
     !compared !threshold !min_ms
     (List.length !regressions)
-    (List.length !improvements);
-  if !regressions <> [] then exit 1
+    (List.length !improvements)
+    (List.length vanished);
+  if !regressions <> [] || vanished <> [] then exit 1

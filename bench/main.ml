@@ -602,16 +602,77 @@ let e17 () =
   check "combined never worse"
     (Table.dist_upd combined t2 <= Table.dist_upd certified t2 +. 1e-9)
 
+(* ----------------------------------------------------------------- E18 *)
+
+let e18 () =
+  section "E18" "Batch-runner overhead — journal, fsync, and resume replay";
+  let module B = R.Batch in
+  let dir =
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "repair_bench_e18_%d" (Unix.getpid ()))
+    in
+    Unix.mkdir d 0o755;
+    d
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let rng = Rng.make 1818 in
+  let n_jobs = 8 in
+  let jobs =
+    List.init n_jobs (fun i ->
+        let t =
+          dirty rng D.office_schema D.office_fds ~n:200 ~noise:0.1 ~dom:12
+        in
+        let input = Filename.concat dir (Printf.sprintf "job%d.csv" i) in
+        Csv_io.save t input;
+        {
+          B.Manifest.id = Printf.sprintf "job%d" i;
+          input;
+          fds = "facility -> city; facility room -> floor";
+          kind = B.Manifest.S_repair;
+          strategy = B.Manifest.Auto;
+          timeout_s = None;
+          max_steps = None;
+          on_budget = `Degrade;
+          output = None;
+        })
+  in
+  let manifest = { B.Manifest.jobs } in
+  let journal = Filename.concat dir "journal.jsonl" in
+  let t0 = Unix.gettimeofday () in
+  let s = B.run ~journal manifest in
+  let run_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  record ~n:n_jobs ~solver:"batch-runner" ~wall_ms:run_ms ();
+  row "  %d jobs through the journaled runner: %.1f ms (%.2f ms/job)@."
+    n_jobs run_ms (run_ms /. float_of_int n_jobs);
+  check "every job committed" (s.B.Runner.ok = n_jobs);
+  let t0 = Unix.gettimeofday () in
+  let s' = B.run ~resume:true ~journal manifest in
+  let resume_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  record ~n:n_jobs ~solver:"batch-resume" ~wall_ms:resume_ms ();
+  row "  resume of the finished run (pure journal replay): %.1f ms@."
+    resume_ms;
+  check "resume replays everything, executes nothing"
+    (s'.B.Runner.replayed = n_jobs && s'.B.Runner.ok = n_jobs)
+
 (* ------------------------------------------------------------- runner *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8-E9", e8_e9); ("E10", e10); ("E11", e11); ("E12", e12);
-    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17) ]
+    ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
+    ("E18", e18) ]
 
 (* The --smoke subset: seconds-scale experiments that still cover both
    repair flavours, exact baselines, and the record-emission path. *)
-let smoke_subset = [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15" ]
+let smoke_subset = [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18" ]
 
 let () =
   let smoke = ref false and out = ref "BENCH_1.json" in

@@ -463,6 +463,90 @@ let session_cmd =
   in
   Cmd.v (Cmd.info "session" ~doc) Term.(const run $ fds_arg $ csv_in)
 
+let batch_cmd =
+  let manifest_arg =
+    let doc =
+      "Manifest JSON file: {\"jobs\": [{\"id\", \"input\", \"fds\", \
+       \"kind\", \"strategy\", \"max_steps\", \"timeout_s\", \
+       \"on-budget\", \"output\"}, ...]}. Only id/input/fds are required."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST.json" ~doc)
+  in
+  let journal_arg =
+    let doc =
+      "Write-ahead journal (JSONL, fsync'd per record). Every job outcome \
+       is committed here; a killed run restarts from it with $(b,--resume)."
+    in
+    Arg.(value & opt string "journal.jsonl" & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Recover the journal, skip jobs whose commit record is durable, and \
+       replay in-flight ones. Without this flag a non-empty journal is an \
+       error."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry transiently failed jobs (timeouts, injected faults) up to \
+       $(docv) extra times; permanently failed jobs are quarantined \
+       immediately."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc =
+      "Base backoff before retry $(i,k), which waits $(docv)·2^(k-1) ms — \
+       deterministic, so journals replay identically."
+    in
+    Arg.(value & opt int 100 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
+  let summary_arg =
+    let doc = "Write the summary JSON to $(docv) (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  let run manifest journal resume retries backoff out verbose metrics =
+    setup_logs verbose;
+    let m = or_die_error (R.Batch.Manifest.load_result manifest) in
+    let code =
+      with_metrics metrics @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let summary =
+        or_die_error
+          (E.guard (fun () ->
+               R.Batch.run ~retries ~backoff_ms:backoff ~resume ~journal m))
+      in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+      let text =
+        R.Obs.Json.to_string ~pretty:true
+          (R.Batch.Runner.summary_json ~wall_ms summary)
+        ^ "\n"
+      in
+      (match out with
+      | None -> print_string text
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc);
+      if summary.R.Batch.Runner.quarantined > 0 then
+        R.Batch.Runner.exit_some_quarantined
+      else 0
+    in
+    exit code
+  in
+  let doc =
+    "Run a manifest of repair jobs through the journaled batch runner: \
+     per-job fault isolation, checkpoint/resume, retries with exponential \
+     backoff, and poison-job quarantine. Exit status 0 when every job \
+     committed cleanly, 9 when the batch finished but some jobs were \
+     quarantined."
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc)
+    Term.(const run $ manifest_arg $ journal_arg $ resume_arg $ retries_arg
+          $ backoff_arg $ summary_arg $ verbose_arg $ metrics_arg)
+
 let armstrong_cmd =
   let attrs_arg =
     let doc = "Attribute names, space-separated (defaults to attr(Δ))." in
@@ -500,11 +584,12 @@ let main =
           4 schema mismatches; 5 budget exhausted under --on-budget=fail; \
           6 a polynomial algorithm was requested outside its tractable \
           class; 7 an exact baseline was refused by its size gate; 8 an \
-          injected test fault fired." ]
+          injected test fault fired; 9 a batch run finished with \
+          quarantined (poison) jobs." ]
   in
   Cmd.group
     (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)
     [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
-      dirtiness_cmd; session_cmd; armstrong_cmd ]
+      dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -10,6 +10,13 @@ set -eu
 dune build
 dune runtest
 
+# Fault-injection sweep: the kill-at-every-checkpoint crash/resume
+# matrix of the batch runner (DESIGN §9), then a short differential-fuzz
+# pass whose trials include random step budgets under the degrade
+# policy. Both are deterministic.
+dune exec test/test_batch.exe -- test crash-resume
+dune exec bin/fuzz.exe -- --trials 60 --quiet
+
 out=$(mktemp -t bench_smoke.XXXXXX.json)
 trap 'rm -f "$out"' EXIT INT TERM
 

@@ -1,0 +1,210 @@
+module Repair_error = Repair_runtime.Repair_error
+module Json = Repair_obs.Json
+
+type entry =
+  | Begin of { jobs : int }
+  | Start of { job : string; attempt : int }
+  | Retry of { job : string; attempt : int; error : string; backoff_ms : int }
+  | Commit of {
+      job : string;
+      attempt : int;
+      status : [ `Ok | `Degraded ];
+      method_used : string;
+      distance : float;
+    }
+  | Quarantine of {
+      job : string;
+      attempts : int;
+      error : string;
+      detail : string;
+      counters : (string * int) list;
+    }
+
+let status_name = function `Ok -> "ok" | `Degraded -> "degraded"
+
+let entry_to_json = function
+  | Begin { jobs } ->
+    Json.Obj [ ("event", Json.String "begin"); ("jobs", Json.Int jobs) ]
+  | Start { job; attempt } ->
+    Json.Obj
+      [ ("event", Json.String "start");
+        ("job", Json.String job);
+        ("attempt", Json.Int attempt) ]
+  | Retry { job; attempt; error; backoff_ms } ->
+    Json.Obj
+      [ ("event", Json.String "retry");
+        ("job", Json.String job);
+        ("attempt", Json.Int attempt);
+        ("error", Json.String error);
+        ("backoff_ms", Json.Int backoff_ms) ]
+  | Commit { job; attempt; status; method_used; distance } ->
+    Json.Obj
+      [ ("event", Json.String "commit");
+        ("job", Json.String job);
+        ("attempt", Json.Int attempt);
+        ("status", Json.String (status_name status));
+        ("method", Json.String method_used);
+        ("distance", Json.Float distance) ]
+  | Quarantine { job; attempts; error; detail; counters } ->
+    Json.Obj
+      [ ("event", Json.String "quarantine");
+        ("job", Json.String job);
+        ("attempts", Json.Int attempts);
+        ("error", Json.String error);
+        ("detail", Json.String detail);
+        ("counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)) ]
+
+let entry_of_json j =
+  let str k = Option.bind (Json.member k j) Json.string_value in
+  let int k = Option.bind (Json.member k j) Json.int_value in
+  let float k = Option.bind (Json.member k j) Json.float_value in
+  let ( let* ) o f =
+    match o with Some v -> f v | None -> Error "missing or ill-typed field"
+  in
+  match str "event" with
+  | Some "begin" ->
+    let* jobs = int "jobs" in
+    Ok (Begin { jobs })
+  | Some "start" ->
+    let* job = str "job" in
+    let* attempt = int "attempt" in
+    Ok (Start { job; attempt })
+  | Some "retry" ->
+    let* job = str "job" in
+    let* attempt = int "attempt" in
+    let* error = str "error" in
+    let* backoff_ms = int "backoff_ms" in
+    Ok (Retry { job; attempt; error; backoff_ms })
+  | Some "commit" ->
+    let* job = str "job" in
+    let* attempt = int "attempt" in
+    let* status = str "status" in
+    let* method_used = str "method" in
+    let* distance = float "distance" in
+    let* status =
+      match status with
+      | "ok" -> Some `Ok
+      | "degraded" -> Some `Degraded
+      | _ -> None
+    in
+    Ok (Commit { job; attempt; status; method_used; distance })
+  | Some "quarantine" ->
+    let* job = str "job" in
+    let* attempts = int "attempts" in
+    let* error = str "error" in
+    let* detail = str "detail" in
+    let counters =
+      match Json.member "counters" j with
+      | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.int_value v))
+          fields
+      | _ -> []
+    in
+    Ok (Quarantine { job; attempts; error; detail; counters })
+  | Some other -> Error (Printf.sprintf "unknown event %S" other)
+  | None -> Error "record has no \"event\" field"
+
+let is_terminal = function
+  | Begin _ | Commit _ | Quarantine _ -> true
+  | Start _ | Retry _ -> false
+
+(* ---------- appending ---------- *)
+
+type writer = { fd : Unix.file_descr; path : string }
+
+let io_err path fmt =
+  Fmt.kstr
+    (fun detail -> Repair_error.raise_error (Io { file = path; detail }))
+    fmt
+
+let open_append path =
+  match Unix.openfile path [ O_WRONLY; O_CREAT; O_APPEND ] 0o644 with
+  | fd -> { fd; path }
+  | exception Unix.Unix_error (e, _, _) ->
+    io_err path "%s" (Unix.error_message e)
+
+let append w entry =
+  let line = Json.to_string (entry_to_json entry) ^ "\n" in
+  let bytes = Bytes.unsafe_of_string line in
+  let n = Bytes.length bytes in
+  let rec write_all off =
+    if off < n then
+      match Unix.write w.fd bytes off (n - off) with
+      | written -> write_all (off + written)
+      | exception Unix.Unix_error (e, _, _) ->
+        io_err w.path "%s" (Unix.error_message e)
+  in
+  write_all 0;
+  try Unix.fsync w.fd
+  with Unix.Unix_error (e, _, _) -> io_err w.path "%s" (Unix.error_message e)
+
+let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+(* ---------- recovery ---------- *)
+
+type recovery = {
+  entries : entry list;
+  committed : (string * entry) list;
+  truncated : bool;
+}
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        really_input_string ic n)
+  with Sys_error m -> Repair_error.raise_error (Io { file = path; detail = m })
+
+let recover path =
+  if not (Sys.file_exists path) then
+    { entries = []; committed = []; truncated = false }
+  else begin
+    let text = read_file path in
+    let len = String.length text in
+    (* Walk line by line, remembering the byte offset just past the last
+       terminal record: that is the committed prefix. Stop at the first
+       line that is torn (no '\n') or fails to parse. *)
+    let committed_end = ref 0 in
+    let committed_entries = ref [] in
+    let pending = ref [] in
+    let pos = ref 0 in
+    (try
+       while !pos < len do
+         match String.index_from_opt text !pos '\n' with
+         | None -> raise Exit (* torn tail: crash mid-write *)
+         | Some nl ->
+           let line = String.sub text !pos (nl - !pos) in
+           (match
+              Result.bind (Json.of_string line) (fun j ->
+                  Result.map_error
+                    (fun m -> m)
+                    (entry_of_json j))
+            with
+           | Error _ -> raise Exit
+           | Ok e ->
+             pending := e :: !pending;
+             if is_terminal e then begin
+               committed_end := nl + 1;
+               committed_entries := !pending @ !committed_entries;
+               pending := []
+             end);
+           pos := nl + 1
+       done
+     with Exit -> ());
+    let truncated = !committed_end < len in
+    if truncated then Unix.truncate path !committed_end;
+    let entries = List.rev !committed_entries in
+    let committed =
+      List.filter_map
+        (function
+          | (Commit { job; _ } | Quarantine { job; _ }) as e -> Some (job, e)
+          | Begin _ | Start _ | Retry _ -> None)
+        entries
+    in
+    { entries; committed; truncated }
+  end

@@ -1,0 +1,88 @@
+(** The write-ahead journal behind the batch runner: an append-only JSONL
+    file, one record per line, every append followed by [fsync].
+
+    {2 Record stream}
+
+    A run writes, in order: one [Begin] header, then per job a [Start]
+    record for each attempt, zero or more [Retry] records, and exactly one
+    terminal record — [Commit] (the job produced a repair, possibly
+    degraded) or [Quarantine] (the job is poison: it failed every attempt,
+    or failed permanently). Terminal records are the {e commit points} of
+    the protocol: a job whose terminal record reached the journal is never
+    executed again.
+
+    {2 Crash recovery}
+
+    {!recover} implements standard WAL recovery: the valid prefix of the
+    file is the longest run of well-formed lines ending at [Begin] or at a
+    terminal record. Anything after it — dangling [Start]/[Retry] records
+    of an in-flight job, or a torn final line from a crash mid-write — is
+    uncommitted and is truncated away, so a resumed run replays the
+    in-flight job from its first attempt and appends exactly the bytes an
+    uninterrupted run would have. Journal records therefore carry no
+    timestamps or durations: a journal is a pure function of the manifest
+    and the (deterministic) job outcomes, which is what makes the
+    kill-at-every-checkpoint test able to demand byte-for-byte equality. *)
+
+type entry =
+  | Begin of { jobs : int }  (** batch header; pins the manifest job count *)
+  | Start of { job : string; attempt : int }  (** attempt [attempt] began *)
+  | Retry of { job : string; attempt : int; error : string; backoff_ms : int }
+      (** attempt [attempt] failed transiently with error class [error];
+          the runner backs off [backoff_ms] ms and tries again *)
+  | Commit of {
+      job : string;
+      attempt : int;
+      status : [ `Ok | `Degraded ];
+      method_used : string;
+      distance : float;
+    }  (** terminal: the repair of attempt [attempt] is durable *)
+  | Quarantine of {
+      job : string;
+      attempts : int;
+      error : string;
+      detail : string;
+      counters : (string * int) list;
+    }
+      (** terminal: poison job — error class, human detail, and the
+          job's metrics-counter deltas (empty when metrics are off) *)
+
+val entry_to_json : entry -> Repair_obs.Json.t
+
+val entry_of_json : Repair_obs.Json.t -> (entry, string) result
+
+(** [is_terminal e] — is [e] a commit point ([Begin]/[Commit]/
+    [Quarantine])? *)
+val is_terminal : entry -> bool
+
+(** {2 Appending} *)
+
+type writer
+
+(** [open_append path] opens (creating if needed) the journal for
+    appending.
+    @raise Repair_runtime.Repair_error.Error ([Io]) on failure. *)
+val open_append : string -> writer
+
+(** [append w e] writes [e] as one JSON line and [fsync]s the file, so the
+    record is durable before the call returns.
+    @raise Repair_runtime.Repair_error.Error ([Io]) on failure. *)
+val append : writer -> entry -> unit
+
+val close : writer -> unit
+
+(** {2 Recovery} *)
+
+type recovery = {
+  entries : entry list;  (** the valid committed prefix, in file order *)
+  committed : (string * entry) list;
+      (** job id → its terminal [Commit]/[Quarantine] record *)
+  truncated : bool;  (** an uncommitted tail was discarded *)
+}
+
+(** [recover path] scans the journal, truncates the file to its valid
+    committed prefix (see above), and returns what survived. A missing
+    file is an empty journal.
+    @raise Repair_runtime.Repair_error.Error ([Io]) on filesystem
+    failure. *)
+val recover : string -> recovery

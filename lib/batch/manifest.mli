@@ -1,0 +1,63 @@
+(** Batch-job manifests: the input of the journaled work-queue runner.
+
+    A manifest is a JSON document listing independent repair jobs —
+    input table, FD set, repair notion, algorithm strategy, and per-job
+    budget. The FD string and the input file are deliberately {e not}
+    opened at manifest-parse time: a malformed FD set or a corrupt table
+    belongs to that one job, and must surface as a per-job failure the
+    runner can quarantine, not as a manifest error that kills the batch.
+
+    {[
+      { "jobs": [
+          { "id": "office",
+            "input": "office.csv",
+            "fds": "facility -> city; facility room -> floor",
+            "kind": "s-repair",
+            "strategy": "auto",
+            "max_steps": 10000,
+            "timeout_s": 5.0,
+            "on-budget": "degrade",
+            "output": "office.repaired.csv" } ] }
+    ]}
+
+    [id], [input] and [fds] are required; everything else has the
+    defaults shown in {!job}. Paths are resolved relative to the
+    process working directory. *)
+
+type kind =
+  | S_repair  (** subset repair (deletions) *)
+  | U_repair  (** update repair (cell changes) *)
+
+type strategy = Auto | Poly | Exact | Approximate
+
+type job = {
+  id : string;  (** unique within the manifest; the journal key *)
+  input : string;  (** CSV or JSONL table path (by file extension) *)
+  fds : string;  (** FD set, [Fd_set.parse] syntax; parsed at exec time *)
+  kind : kind;  (** default [S_repair] *)
+  strategy : strategy;  (** default [Auto] *)
+  timeout_s : float option;  (** per-job wall-clock budget *)
+  max_steps : int option;  (** per-job deterministic step budget *)
+  on_budget : [ `Degrade | `Fail ];
+      (** [`Degrade] (default) commits a degraded result when the budget
+          runs out; [`Fail] surfaces the exhaustion to the runner, which
+          treats it as a transient, retryable failure. *)
+  output : string option;  (** where to write the repaired table *)
+}
+
+type t = { jobs : job list }
+
+(** [parse_string ?file text] parses a manifest.
+
+    @raise Repair_runtime.Repair_error.Error with class [Parse] on
+    malformed JSON, missing required fields, or unknown enum values, and
+    class [Schema_mismatch] on duplicate job ids. *)
+val parse_string : ?file:string -> string -> t
+
+(** [load path] reads and parses a manifest file.
+    @raise Repair_runtime.Repair_error.Error ([Io] on unreadable files,
+    otherwise as {!parse_string}). *)
+val load : string -> t
+
+(** [load_result path] is {!load} with the error returned, not raised. *)
+val load_result : string -> (t, Repair_runtime.Repair_error.t) result

@@ -1,0 +1,109 @@
+(** The journaled batch runner: executes a {!Manifest.t} of repair jobs
+    with per-job fault isolation, write-ahead journaling, checkpoint/
+    resume, bounded retries, and poison-job quarantine.
+
+    The runner is generic over the job executor, so the whole
+    crash/retry/quarantine machinery is testable with a stub executor;
+    the Driver-backed executor lives in [Repair.Batch] (lib/core), which
+    is what the CLI uses.
+
+    {2 Execution contract}
+
+    Per job, in manifest order:
+    + append a [Start] record (durable before the job runs);
+    + run [exec job] — every [Repair_error.Error] and every other
+      exception is caught and classified; nothing a job does can kill
+      the batch;
+    + on success, append the terminal [Commit] record;
+    + on a {e transient} failure (budget exhaustion, injected fault)
+      with attempts left, append a [Retry] record, sleep the
+      deterministic exponential backoff [backoff_ms · 2^(attempt-1)],
+      and go to 1;
+    + on a permanent failure, or when the attempts are spent, append the
+      terminal [Quarantine] record — the job is poison, the batch
+      continues.
+
+    {2 Checkpoints and crash-safety}
+
+    The runner ticks a fresh unlimited {!Repair_runtime.Budget} under
+    phase ["batch"] after the [Begin] header and after every journal
+    append — i.e. at every point where the durable state just changed.
+    Arming {!Repair_runtime.Fault} with [~phase:"batch"] therefore
+    simulates a [kill -9] between any two journal writes: the raised
+    error escapes [run] (runner checkpoints are outside the per-job
+    isolation). A subsequent [run ~resume:true] recovers the journal
+    ({!Journal.recover}), skips every job whose terminal record
+    committed, replays in-flight jobs from attempt 1, and appends
+    exactly the bytes the uninterrupted run would have — the
+    kill-at-every-checkpoint matrix in [test/test_batch.ml] checks the
+    final journals byte for byte.
+
+    Faults armed {e without} a phase filter fire inside the solvers'
+    own checkpoints instead and are handled as ordinary transient job
+    failures — that is the per-job isolation at work. *)
+
+type outcome = {
+  status : [ `Ok | `Degraded ];
+  distance : float;
+  method_used : string;
+}
+
+type state =
+  | Committed of outcome
+  | Quarantined of {
+      error : string;  (** [Repair_error.class_name], or ["internal"] *)
+      detail : string;
+      counters : (string * int) list;
+          (** the job's metrics-counter deltas at the failing attempt
+              (empty when metrics are disabled) *)
+    }
+
+type job_result = {
+  job : Manifest.job;
+  attempts : int;  (** attempts made in this run; 0 when [replayed] *)
+  replayed : bool;  (** committed by a previous run; not executed here *)
+  wall_ms : float;  (** this run's execution time; 0 when [replayed] *)
+  state : state;
+}
+
+type summary = {
+  total : int;
+  ok : int;
+  degraded : int;
+  quarantined : int;
+  retried : int;  (** retry records written in this run *)
+  replayed : int;  (** jobs skipped thanks to a prior commit *)
+  results : job_result list;  (** manifest order *)
+}
+
+(** [run ?retries ?backoff_ms ?resume ~exec ~journal manifest] executes
+    the manifest as described above. [retries] (default 0) bounds extra
+    attempts after the first; [backoff_ms] (default 0) is the base of the
+    exponential backoff. With [resume] (default [false]) an existing
+    journal is recovered and committed jobs are skipped; without it, a
+    non-empty journal is an [Io] error (refusing to silently mix runs).
+
+    When {!Repair_obs.Metrics} is enabled, the whole run executes inside
+    a ["batch"] span with one child span per job id.
+
+    @raise Repair_runtime.Repair_error.Error on journal I/O failures, on
+    a journal/manifest mismatch, and on a phase-["batch"] injected fault
+    (the simulated crash).
+    @raise Invalid_argument on negative [retries] or [backoff_ms]. *)
+val run :
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?resume:bool ->
+  exec:(Manifest.job -> outcome) ->
+  journal:string ->
+  Manifest.t ->
+  summary
+
+(** [summary_json ?wall_ms s] renders the run summary (the CLI's stdout
+    contract): totals, one record per job, and the [poison] list of
+    quarantined jobs with error class, detail, and counter snapshot. *)
+val summary_json : ?wall_ms:float -> summary -> Repair_obs.Json.t
+
+(** Exit code of [repair-cli batch] when the run finished but some jobs
+    were quarantined. *)
+val exit_some_quarantined : int

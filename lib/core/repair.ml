@@ -86,7 +86,7 @@ module Driver = struct
       fallbacks = [];
     }
 
-  let s_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited)
+  let s_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited ())
       ?(on_budget = `Degrade) d tbl =
     let degraded = ref false and fallbacks = ref [] in
     let poly () =
@@ -162,7 +162,7 @@ module Driver = struct
       fallbacks = [];
     }
 
-  let u_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited)
+  let u_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited ())
       ?(on_budget = `Degrade) d tbl =
     let degraded = ref false and fallbacks = ref [] in
     let poly () =
@@ -265,4 +265,69 @@ module Driver = struct
     end;
     Fmt.flush ppf ();
     Buffer.contents buf
+end
+
+module Batch = struct
+  module Manifest = Repair_batch.Manifest
+  module Journal = Repair_batch.Journal
+  module Runner = Repair_batch.Runner
+  module Budget = Repair_runtime.Budget
+  module Repair_error = Repair_runtime.Repair_error
+  open Repair_relational
+
+  let is_jsonl path = Filename.check_suffix path ".jsonl"
+
+  let load_table path =
+    if is_jsonl path then Jsonl_io.load ~name:"T" path
+    else Csv_io.load ~name:"T" path
+
+  let save_table tbl path =
+    if is_jsonl path then Jsonl_io.save tbl path else Csv_io.save tbl path
+
+  (* The Driver-backed executor the CLI uses. Raises Repair_error.Error
+     for everything the runner should isolate: a bad FD string or input
+     file makes the job poison, a per-job budget under `Fail surfaces as
+     a transient failure the runner may retry. *)
+  let exec_job (job : Manifest.job) : Runner.outcome =
+    let d =
+      try Repair_fd.Fd_set.parse job.fds
+      with Failure m ->
+        Repair_error.raise_error
+          (Parse
+             { source = Fmt.str "<fds:%s>" job.id; line = None; detail = m })
+    in
+    let tbl = load_table job.input in
+    let strategy =
+      match job.strategy with
+      | Manifest.Auto -> Driver.Auto
+      | Manifest.Poly -> Driver.Poly
+      | Manifest.Exact -> Driver.Exact
+      | Manifest.Approximate -> Driver.Approximate
+    in
+    let budget =
+      match (job.timeout_s, job.max_steps) with
+      | None, None -> None
+      | timeout_s, max_steps -> Some (Budget.create ?timeout_s ?max_steps ())
+    in
+    let result =
+      match job.kind with
+      | Manifest.S_repair ->
+        Driver.s_repair_result ~strategy ?budget ~on_budget:job.on_budget d
+          tbl
+      | Manifest.U_repair ->
+        Driver.u_repair_result ~strategy ?budget ~on_budget:job.on_budget d
+          tbl
+    in
+    match result with
+    | Error e -> Repair_error.raise_error e
+    | Ok r ->
+      Option.iter (save_table r.result) job.output;
+      {
+        Runner.status = (if r.degraded then `Degraded else `Ok);
+        distance = r.distance;
+        method_used = r.method_used;
+      }
+
+  let run ?retries ?backoff_ms ?resume ~journal manifest =
+    Runner.run ?retries ?backoff_ms ?resume ~exec:exec_job ~journal manifest
 end

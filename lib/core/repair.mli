@@ -147,3 +147,34 @@ module Driver : sig
       tractability, and the approximation ratios of Theorems 4.12/4.13. *)
   val describe : Fd_set.t -> string
 end
+
+(** The journaled batch runner ({!Repair_batch}) wired to the {!Driver}:
+    a manifest of repair jobs executed with per-job isolation, an
+    fsync'd write-ahead journal, checkpoint/resume, bounded retries with
+    deterministic exponential backoff, and poison-job quarantine. See
+    {!Repair_batch.Runner} for the protocol and DESIGN §9 for the
+    journal format. *)
+module Batch : sig
+  module Manifest = Repair_batch.Manifest
+  module Journal = Repair_batch.Journal
+  module Runner = Repair_batch.Runner
+
+  (** [exec_job job] parses the job's FDs, loads its input table
+      (CSV/JSONL by extension), runs the {!Driver} under the job's
+      budget/strategy/policy, writes the repaired table to [job.output]
+      when set, and returns the outcome.
+
+      @raise Runtime.Repair_error.Error on any per-job failure — the
+      runner catches and classifies it. *)
+  val exec_job : Repair_batch.Manifest.job -> Repair_batch.Runner.outcome
+
+  (** [run ?retries ?backoff_ms ?resume ~journal manifest] is
+      {!Repair_batch.Runner.run} with {!exec_job} as the executor. *)
+  val run :
+    ?retries:int ->
+    ?backoff_ms:int ->
+    ?resume:bool ->
+    journal:string ->
+    Repair_batch.Manifest.t ->
+    Repair_batch.Runner.summary
+end

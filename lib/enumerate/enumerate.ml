@@ -9,7 +9,7 @@ exception Limit_exceeded
    complement of the conflict graph): FD consistency is a pairwise
    property. We run Bron–Kerbosch with pivoting, where adjacency means
    "this pair of tuples is consistent". *)
-let s_repairs ?(budget = Budget.unlimited) ?(limit = 10_000) d tbl =
+let s_repairs ?(budget = Budget.unlimited ()) ?(limit = 10_000) d tbl =
   Repair_obs.Metrics.with_span "enumerate.s-repairs" @@ fun () ->
   let d = Fd_set.remove_trivial d in
   let ids = Array.of_list (Table.ids tbl) in

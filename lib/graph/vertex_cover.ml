@@ -113,7 +113,7 @@ let lp_lower_bound g =
     Max_flow.max_flow net ~source ~sink /. 2.0
   end
 
-let exact ?(budget = Repair_runtime.Budget.unlimited) ?(matching_bound = true)
+let exact ?(budget = Repair_runtime.Budget.unlimited ()) ?(matching_bound = true)
     g =
   Metrics.with_span "vertex-cover.exact" @@ fun () ->
   let all_edges = Graph.edges g in

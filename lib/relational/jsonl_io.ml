@@ -63,7 +63,11 @@ let parse_string_literal c =
           | None -> error "truncated \\u escape");
           advance c
         done;
-        let code = int_of_string ("0x" ^ Buffer.contents hex) in
+        let code =
+          match int_of_string_opt ("0x" ^ Buffer.contents hex) with
+          | Some code -> code
+          | None -> error "bad \\u escape %S" (Buffer.contents hex)
+        in
         (* encode as UTF-8 (BMP only) *)
         if code < 0x80 then Buffer.add_char buf (Char.chr code)
         else if code < 0x800 then begin

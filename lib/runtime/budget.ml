@@ -18,7 +18,11 @@ let create ?timeout_s ?max_steps () =
     limited = timeout_s <> None || max_steps <> None;
   }
 
-let unlimited = create ()
+(* A function, not a shared value: a single global unlimited budget would
+   accumulate [steps] across every independent call, skewing the
+   ticks.<phase> metrics and any Fault checkpoint arithmetic that reads
+   [steps]. Each entry point gets its own counter. *)
+let unlimited () = create ()
 
 let steps b = b.steps
 

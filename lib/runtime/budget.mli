@@ -28,9 +28,12 @@ type t
     are unlimited. *)
 val create : ?timeout_s:float -> ?max_steps:int -> unit -> t
 
-(** A shared budget with no limits — the default of every budgeted entry
-    point. Ticking it only feeds the {!Fault} injector. *)
-val unlimited : t
+(** [unlimited ()] is a {e fresh} budget with no limits — the default of
+    every budgeted entry point. Ticking it only feeds the {!Fault}
+    injector and the metrics tick counters. It is a function, not a
+    shared value: a shared unlimited budget would accumulate [steps]
+    across independent calls, so every driver entry creates its own. *)
+val unlimited : unit -> t
 
 (** [tick ?phase b] records one checkpoint. Raises
     {!Repair_error.Error}[ (Budget_exhausted _)] if [b] is spent, naming

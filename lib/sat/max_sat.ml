@@ -1,6 +1,6 @@
 open Repair_runtime
 
-let exact ?(budget = Budget.unlimited) f =
+let exact ?(budget = Budget.unlimited ()) f =
   Repair_obs.Metrics.with_span "max-sat.exact" @@ fun () ->
   let n = Cnf.n_vars f in
   if n > 24 then invalid_arg "Max_sat.exact: too many variables";
@@ -21,7 +21,7 @@ let exact ?(budget = Budget.unlimited) f =
   done;
   (!best, !best_count)
 
-let local_search ?(budget = Budget.unlimited) ~seed ~restarts f =
+let local_search ?(budget = Budget.unlimited ()) ~seed ~restarts f =
   Repair_obs.Metrics.with_span "max-sat.local-search" @@ fun () ->
   let n = Cnf.n_vars f in
   let rng = Random.State.make [| seed |] in

@@ -124,7 +124,7 @@ and solve budget delta tbl =
               marriage_rep budget delta marriage tbl)
         | None -> raise (Stuck delta)))
 
-let run ?(budget = Budget.unlimited) d tbl =
+let run ?(budget = Budget.unlimited ()) d tbl =
   match Metrics.with_span "opt-s-repair" (fun () -> solve budget d tbl) with
   | s -> Ok s
   | exception Stuck stuck -> Error stuck

@@ -11,7 +11,7 @@ let optimal ?budget d tbl =
 
 let distance ?budget d tbl = Table.dist_sub (optimal ?budget d tbl) tbl
 
-let brute_force ?(budget = Budget.unlimited) d tbl =
+let brute_force ?(budget = Budget.unlimited ()) d tbl =
   Repair_obs.Metrics.with_span "s-exact.brute-force" @@ fun () ->
   let ids = Array.of_list (Table.ids tbl) in
   let n = Array.length ids in

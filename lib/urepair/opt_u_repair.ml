@@ -148,7 +148,7 @@ let diagnose_component c =
         Known_apx_hard "Theorem 4.10: Δ_{A↔B→C}"
       else Open_complexity
 
-let solve_component ?(budget = Budget.unlimited) c tbl =
+let solve_component ?(budget = Budget.unlimited ()) c tbl =
   Budget.tick ~phase:"opt-u-repair" budget;
   if Fd_set.is_trivial c then tbl
   else

@@ -2,7 +2,7 @@ open Repair_relational
 open Repair_fd
 open Repair_runtime
 
-let optimal ?(budget = Budget.unlimited) ?(fresh = 3) ?(max_cells = 24) d tbl =
+let optimal ?(budget = Budget.unlimited ()) ?(fresh = 3) ?(max_cells = 24) d tbl =
   Repair_obs.Metrics.with_span "u-exact" @@ fun () ->
   let schema = Table.schema tbl in
   let arity = Schema.arity schema in

@@ -1,0 +1,168 @@
+The journaled batch runner: a manifest of repair jobs, per-job
+isolation, a write-ahead journal, and quarantine for poison jobs.
+Durations are the only nondeterministic values in the summary — the sed
+mask replaces every float; the journal itself carries none and is
+checked verbatim.
+
+  $ cat > office.csv <<'CSV'
+  > #id,#weight,facility,room,floor,city
+  > 1,2,HQ,322,3,Paris
+  > 2,1,HQ,322,30,Madrid
+  > 3,1,HQ,122,1,Madrid
+  > 4,2,Lab1,B35,3,London
+  > CSV
+  $ cat > hard.csv <<'CSV'
+  > #id,A,B,C
+  > 1,1,1,1
+  > 2,1,1,2
+  > 3,1,2,1
+  > CSV
+  $ cat > broken.csv <<'CSV'
+  > #id,A,B
+  > 1,1,2,extra
+  > CSV
+  $ cat > batch.json <<'JSON'
+  > {"jobs": [
+  >   {"id": "office", "input": "office.csv",
+  >    "fds": "facility -> city; facility room -> floor",
+  >    "output": "office.repaired.csv"},
+  >   {"id": "hard", "input": "hard.csv", "fds": "A -> B; B -> C",
+  >    "max_steps": 1},
+  >   {"id": "poison", "input": "broken.csv", "fds": "A -> B"}
+  > ]}
+  > JSON
+
+A mixed batch: one clean repair, one degraded by its step budget, one
+poison job (malformed input). The poison job is quarantined, the batch
+finishes, and the exit code is 9:
+
+  $ repair-cli batch batch.json --journal j.jsonl -o summary.json
+  [9]
+  $ sed -E 's/[0-9]+\.[0-9]+/_/g' summary.json
+  {
+    "total": 3,
+    "ok": 1,
+    "degraded": 1,
+    "quarantined": 1,
+    "retried": 0,
+    "replayed": 0,
+    "wall_ms": _,
+    "jobs": [
+      {
+        "id": "office",
+        "status": "ok",
+        "attempts": 1,
+        "replayed": false,
+        "wall_ms": _,
+        "distance": _,
+        "method": "OptSRepair (Algorithm 1)"
+      },
+      {
+        "id": "hard",
+        "status": "degraded",
+        "attempts": 1,
+        "replayed": false,
+        "wall_ms": _,
+        "distance": _,
+        "method": "Bar-Yehuda–Even 2-approximation (Proposition _)"
+      },
+      {
+        "id": "poison",
+        "status": "quarantined",
+        "attempts": 1,
+        "replayed": false,
+        "wall_ms": _,
+        "error": "parse"
+      }
+    ],
+    "poison": [
+      {
+        "id": "poison",
+        "error": "parse",
+        "detail": "broken.csv:2: row has 4 fields, expected 3",
+        "counters": {}
+      }
+    ]
+  }
+
+The journal is deterministic — no timestamps, one fsync'd record per
+line, terminal records are the commit points:
+
+  $ cat j.jsonl
+  {"event":"begin","jobs":3}
+  {"event":"start","job":"office","attempt":1}
+  {"event":"commit","job":"office","attempt":1,"status":"ok","method":"OptSRepair (Algorithm 1)","distance":2.0}
+  {"event":"start","job":"hard","attempt":1}
+  {"event":"commit","job":"hard","attempt":1,"status":"degraded","method":"Bar-Yehuda–Even 2-approximation (Proposition 3.3)","distance":2.0}
+  {"event":"start","job":"poison","attempt":1}
+  {"event":"quarantine","job":"poison","attempts":1,"error":"parse","detail":"broken.csv:2: row has 4 fields, expected 3","counters":{}}
+
+The clean job's repaired table was written:
+
+  $ cat office.repaired.csv
+  #id,#weight,facility,room,floor,city
+  2,1,HQ,322,30,Madrid
+  3,1,HQ,122,1,Madrid
+  4,2,Lab1,B35,3,London
+
+Resuming a finished run replays every job from the journal without
+executing anything; the journal is untouched and the exit code still
+reports the quarantined job:
+
+  $ cp j.jsonl j.ref
+  $ repair-cli batch batch.json --journal j.jsonl --resume -o resumed.json
+  [9]
+  $ sed -E 's/[0-9]+\.[0-9]+/_/g' resumed.json
+  {
+    "total": 3,
+    "ok": 1,
+    "degraded": 1,
+    "quarantined": 1,
+    "retried": 0,
+    "replayed": 3,
+    "wall_ms": _,
+    "jobs": [
+      {
+        "id": "office",
+        "status": "ok",
+        "attempts": 0,
+        "replayed": true,
+        "wall_ms": _,
+        "distance": _,
+        "method": "OptSRepair (Algorithm 1)"
+      },
+      {
+        "id": "hard",
+        "status": "degraded",
+        "attempts": 0,
+        "replayed": true,
+        "wall_ms": _,
+        "distance": _,
+        "method": "Bar-Yehuda–Even 2-approximation (Proposition _)"
+      },
+      {
+        "id": "poison",
+        "status": "quarantined",
+        "attempts": 0,
+        "replayed": true,
+        "wall_ms": _,
+        "error": "parse"
+      }
+    ],
+    "poison": [
+      {
+        "id": "poison",
+        "error": "parse",
+        "detail": "broken.csv:2: row has 4 fields, expected 3",
+        "counters": {}
+      }
+    ]
+  }
+  $ cmp j.jsonl j.ref
+
+Without --resume an existing journal is refused (exit 3, I/O error) so
+a finished run is never silently clobbered:
+
+  $ repair-cli batch batch.json --journal j.jsonl
+  repair-cli: j.jsonl: journal exists; pass --resume to continue or delete it
+  [3]

@@ -1,0 +1,37 @@
+Malformed inputs surface as classified errors with the structured exit
+codes (2 = parse, 3 = I/O, 4 = schema) — never as an uncaught exception.
+
+A CSV row with the wrong arity is a parse error pointing at its line:
+
+  $ printf '#id,A,B\n1,1,2,extra\n' > arity.csv
+  $ repair-cli s-repair -f "A -> B" arity.csv
+  repair-cli: arity.csv:2: row has 4 fields, expected 3
+  [2]
+
+An unterminated quote is a truncated record, not a crash:
+
+  $ printf 'A,B\n1,"x' > torn.csv
+  $ repair-cli s-repair -f "A -> B" torn.csv
+  repair-cli: torn.csv:2: unterminated quoted field
+  [2]
+
+Duplicate columns are a schema error (exit 4):
+
+  $ printf 'A,A\n1,2\n' > dup.csv
+  $ repair-cli s-repair -f "A -> A" dup.csv
+  repair-cli: dup.csv: schema mismatch: Schema.make: duplicate attribute A
+  [4]
+
+A JSONL string with a non-hex \u escape is a parse error — this used to
+escape the error taxonomy as an uncaught Failure from int_of_string:
+
+  $ printf '{"A": "\\uZZZZ", "B": "y"}\n' > bad.jsonl
+  $ repair-cli s-repair -f "A -> B" bad.jsonl
+  repair-cli: bad.jsonl:1: bad \u escape "ZZZZ"
+  [2]
+
+An unreadable JSONL path (here a directory — missing files are caught
+earlier, by the argument parser) is an I/O error (exit 3):
+
+  $ mkdir dir.jsonl && repair-cli s-repair -f "A -> B" dir.jsonl 2>/dev/null
+  [3]

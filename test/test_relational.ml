@@ -354,6 +354,85 @@ let test_database_distances () =
     (try ignore (Database.dist_sub mismatched db); false
      with Invalid_argument _ -> true)
 
+(* ---------- structured IO error paths ---------- *)
+
+(* Every IO-layer failure must surface as a classified Repair_error —
+   Parse, Io or Schema_mismatch — never as a bare Failure/Sys_error
+   that would bypass the CLI's exit-code mapping. [parse_result] only
+   guards Repair_error.Error, so an unclassified exception escapes and
+   fails the property. *)
+let io_error_classified = function
+  | Ok _ -> true
+  | Error e -> (
+    let module E = Repair_runtime.Repair_error in
+    match e with
+    | E.Parse _ | E.Io _ | E.Schema_mismatch _ -> true
+    | _ -> false)
+
+(* Random near-miss inputs: printable noise interleaved with the
+   delimiters and escapes both parsers are touchiest about. *)
+let gen_io_junk =
+  QCheck2.Gen.(
+    let chunk =
+      oneof
+        [ string_size ~gen:printable (int_range 0 8);
+          oneofl
+            [ "\""; ","; "\n"; "{"; "}"; ":"; "\\"; "\\u12"; "\\uZZZZ";
+              "#id"; "#weight"; "A,B\n1,2\n"; "{\"A\": 1}\n"; "1.5"; "-" ] ]
+    in
+    list_size (int_range 0 12) chunk |> map (String.concat ""))
+
+let prop_csv_errors_classified =
+  qcheck ~count:500 ~print:(fun s -> Printf.sprintf "%S" s)
+    "csv parse_result never raises unclassified" gen_io_junk (fun s ->
+      io_error_classified (Csv_io.parse_result ~name:"R" s))
+
+let prop_jsonl_errors_classified =
+  qcheck ~count:500 ~print:(fun s -> Printf.sprintf "%S" s)
+    "jsonl parse_result never raises unclassified" gen_io_junk (fun s ->
+      io_error_classified (Jsonl_io.parse_result ~name:"R" s))
+
+let test_io_error_classes () =
+  let module E = Repair_runtime.Repair_error in
+  (match Csv_io.parse_result ~name:"R" "A,A\n1,2\n" with
+  | Error (E.Schema_mismatch _) -> ()
+  | _ -> Alcotest.fail "duplicate CSV columns must be Schema_mismatch");
+  (match Jsonl_io.parse_result ~name:"R" "{\"A\": 1, \"A\": 2}" with
+  | Error (E.Schema_mismatch _) -> ()
+  | _ -> Alcotest.fail "duplicate JSONL keys must be Schema_mismatch");
+  (* unterminated quote = truncated record, reported with its line *)
+  (match Csv_io.parse_result ~name:"R" "A,B\n1,\"x" with
+  | Error (E.Parse { line = Some 2; _ }) -> ()
+  | _ -> Alcotest.fail "unterminated quote must be Parse at line 2");
+  (* a non-hex \u escape used to escape as Failure (int_of_string) *)
+  (match Jsonl_io.parse_result ~name:"R" "{\"A\": \"\\uZZZZ\"}" with
+  | Error (E.Parse { line = Some 1; _ }) -> ()
+  | _ -> Alcotest.fail "bad \\u escape must be Parse at line 1");
+  (match Jsonl_io.parse_result ~name:"R" "{\"A\": \"\\u12" with
+  | Error (E.Parse _) -> ()
+  | _ -> Alcotest.fail "truncated \\u escape must be Parse")
+
+let test_io_error_files () =
+  let module E = Repair_runtime.Repair_error in
+  let missing = Filename.temp_file "repair_test" ".gone" in
+  Sys.remove missing;
+  (match Csv_io.load_result ~name:"R" missing with
+  | Error (E.Io { file; _ }) ->
+    Alcotest.(check string) "io error carries path" missing file
+  | _ -> Alcotest.fail "missing CSV file must be Io");
+  (match Jsonl_io.load_result ~name:"R" missing with
+  | Error (E.Io _) -> ()
+  | _ -> Alcotest.fail "missing JSONL file must be Io");
+  let dir = Filename.temp_file "repair_test" ".dir" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> Unix.rmdir dir)
+    (fun () ->
+      match Csv_io.load_result ~name:"R" dir with
+      | Error (E.Io _) -> ()
+      | _ -> Alcotest.fail "directory must be Io")
+
 (* ---------- properties ---------- *)
 
 let prop_group_by_partitions =
@@ -440,6 +519,11 @@ let () =
           Alcotest.test_case "no meta" `Quick test_csv_no_meta;
           Alcotest.test_case "quoting" `Quick test_csv_quoting;
           Alcotest.test_case "errors" `Quick test_csv_errors ] );
+      ( "io-errors",
+        [ Alcotest.test_case "classes" `Quick test_io_error_classes;
+          Alcotest.test_case "files" `Quick test_io_error_files;
+          prop_csv_errors_classified;
+          prop_jsonl_errors_classified ] );
       ( "properties",
         [ prop_jsonl_roundtrip;
           prop_group_by_partitions;

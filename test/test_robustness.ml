@@ -200,7 +200,25 @@ let test_budget_counters () =
     Alcotest.(check int) "steps" 4 steps);
   Alcotest.(check bool) "exhausted probe" true (Budget.exhausted b);
   Alcotest.(check bool) "unlimited is unlimited" false
-    (Budget.limited Budget.unlimited)
+    (Budget.limited (Budget.unlimited ()))
+
+let test_unlimited_is_fresh () =
+  (* Regression: [unlimited] used to be one shared mutable budget, so its
+     step counter leaked across independent calls (skewing ticks.<phase>
+     metrics and fault checkpoint arithmetic). Every entry point must get
+     a pristine counter. *)
+  let a = Budget.unlimited () in
+  Budget.tick ~phase:"t" a;
+  Budget.tick ~phase:"t" a;
+  Alcotest.(check int) "first budget ticked" 2 (Budget.steps a);
+  let b = Budget.unlimited () in
+  Alcotest.(check int) "fresh unlimited starts at zero" 0 (Budget.steps b);
+  (* …including the ones driver entry points create as defaults: a repair
+     run must not advance a budget created afterwards. *)
+  let r = ok (R.Driver.s_repair_result hard hard_table) in
+  Alcotest.(check bool) "repair ran" false r.degraded;
+  Alcotest.(check int) "no cross-call accumulation" 0
+    (Budget.steps (Budget.unlimited ()))
 
 (* ---------- properties ---------- *)
 
@@ -249,7 +267,9 @@ let () =
           Alcotest.test_case "unlimited clean" `Quick
             test_s_unlimited_not_degraded;
           Alcotest.test_case "u degrade on steps" `Quick test_u_budget_degrades;
-          Alcotest.test_case "counters" `Quick test_budget_counters ] );
+          Alcotest.test_case "counters" `Quick test_budget_counters;
+          Alcotest.test_case "unlimited is fresh per call" `Quick
+            test_unlimited_is_fresh ] );
       ( "fault-edges",
         [ Alcotest.test_case "s poly→approx" `Quick test_edge_s_poly_to_approx;
           Alcotest.test_case "s exact→approx" `Quick
