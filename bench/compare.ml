@@ -3,16 +3,21 @@
    Records are matched by their "name" field and compared on wall_ms.
    Records present in the baseline but missing from the new run are
    reported as vanished — a renamed or dropped experiment must not
-   silently disappear from the regression gate. Exit status: 0 when no
-   regression exceeds the threshold and nothing vanished, 1 on a
-   regression or a vanished record, 2 on unreadable input.
+   silently disappear from the regression gate. With --subset the new
+   run is allowed to cover only part of the baseline (e.g. a --smoke
+   run against the full-suite BENCH_1.json): vanished records are not
+   an error, only the intersection is gated. Exit status: 0 when no
+   regression exceeds the threshold and nothing vanished (unless
+   --subset), 1 on a regression or a vanished record, 2 on unreadable
+   input.
 
    Run with:  dune exec bench/compare.exe -- OLD.json NEW.json
-              [--threshold PCT] [--min-ms MS]  *)
+              [--threshold PCT] [--min-ms MS] [--subset]  *)
 
 module Json = Repair_core.Repair.Obs.Json
 
-let usage = "usage: compare OLD.json NEW.json [--threshold PCT] [--min-ms MS]"
+let usage =
+  "usage: compare OLD.json NEW.json [--threshold PCT] [--min-ms MS] [--subset]"
 
 let die_usage msg =
   Fmt.epr "compare: %s@.%s@." msg usage;
@@ -49,9 +54,13 @@ let () =
   (* Records faster than this in both files are below timer noise; a 25%
      swing on a 50µs microbenchmark is not a regression signal. *)
   let min_ms = ref 0.5 in
+  let subset = ref false in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
+    | "--subset" :: rest ->
+      subset := true;
+      parse rest
     | "--threshold" :: v :: rest ->
       (match float_of_string_opt v with
       | Some t when t > 0.0 -> threshold := t
@@ -91,9 +100,11 @@ let () =
         end)
     new_records;
   let vanished =
-    List.filter
-      (fun (name, _) -> List.assoc_opt name new_records = None)
-      old_records
+    if !subset then []
+    else
+      List.filter
+        (fun (name, _) -> List.assoc_opt name new_records = None)
+        old_records
   in
   List.iter (fun (name, _) -> Fmt.pr "  vanished   %s@." name) vanished;
   let report verdict (name, old_ms, new_ms, pct) =

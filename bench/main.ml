@@ -662,17 +662,85 @@ let e18 () =
   check "resume replays everything, executes nothing"
     (s'.B.Runner.replayed = n_jobs && s'.B.Runner.ok = n_jobs)
 
+(* ----------------------------------------------------------------- E19 *)
+
+(* The observability contract (DESIGN.md §8/§10): instrumentation lives
+   permanently in solver hot loops, so the disabled paths must cost one
+   branch and zero allocations — measured with [Gc.allocated_bytes],
+   which is deterministic, unlike a timing ratio. *)
+let e19 () =
+  section "E19" "Observability overhead — disabled instrumentation paths";
+  let module M = R.Obs.Metrics in
+  let module T = R.Obs.Trace in
+  let iters = 1_000_000 in
+  let budget = R.Runtime.Budget.unlimited () in
+  let nothing () = () in
+  let tick_loop () =
+    for _ = 1 to iters do
+      R.Runtime.Budget.tick ~phase:"e19" budget
+    done
+  in
+  let span_loop () =
+    for _ = 1 to iters do
+      M.with_span "e19-span" nothing
+    done
+  in
+  let incr_loop () =
+    for _ = 1 to iters do
+      M.incr "e19-counter"
+    done
+  in
+  let alloc_of f =
+    let a0 = Gc.allocated_bytes () in
+    f ();
+    Gc.allocated_bytes () -. a0
+  in
+  let time_of f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1000.0
+  in
+  (* run_experiment enables the registry; switch everything off to
+     measure the disabled paths, re-enable before returning. *)
+  M.disable ();
+  T.disable ();
+  let d_tick = alloc_of tick_loop in
+  let d_span = alloc_of span_loop in
+  let d_incr = alloc_of incr_loop in
+  row "  disabled, %d iterations: tick %g B, with_span %g B, incr %g B@."
+    iters d_tick d_span d_incr;
+  (* Gc.allocated_bytes itself boxes a few floats per probe; anything
+     beyond that slack means the hot path allocates. *)
+  let slack = 256.0 in
+  check "disabled tick is allocation-free" (d_tick <= slack);
+  check "disabled with_span is allocation-free" (d_span <= slack);
+  check "disabled incr is allocation-free" (d_incr <= slack);
+  let off_ms = time_of tick_loop in
+  record ~n:iters ~solver:"tick-disabled" ~wall_ms:off_ms ();
+  M.enable ();
+  M.reset ();
+  (* First tick of a phase interns its counter name and creates the
+     counter; after that the enabled path is allocation-free too. *)
+  R.Runtime.Budget.tick ~phase:"e19" budget;
+  let d_tick_on = alloc_of tick_loop in
+  row "  metrics enabled (after warm-up): tick %g B@." d_tick_on;
+  check "enabled tick hot path is allocation-free" (d_tick_on <= slack);
+  let on_ms = time_of tick_loop in
+  record ~n:iters ~solver:"tick-enabled" ~wall_ms:on_ms ();
+  row "  %d ticks: disabled %.1f ms, metrics enabled %.1f ms@." iters off_ms
+    on_ms
+
 (* ------------------------------------------------------------- runner *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8-E9", e8_e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18) ]
+    ("E18", e18); ("E19", e19) ]
 
 (* The --smoke subset: seconds-scale experiments that still cover both
    repair flavours, exact baselines, and the record-emission path. *)
-let smoke_subset = [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18" ]
+let smoke_subset = [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19" ]
 
 let () =
   let smoke = ref false and out = ref "BENCH_1.json" in

@@ -106,6 +106,50 @@ let metrics_arg =
        & opt ~vopt:(Some "-") (some string) None
        & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let trace_arg =
+  let doc =
+    "Record begin/end/instant trace events and write them as Chrome \
+     trace-event JSON to $(docv) after the run (default $(b,trace.json); \
+     '-' = stdout). Load the file in Perfetto or chrome://tracing, or \
+     feed it to $(b,repair-cli profile)."
+  in
+  Arg.(value
+       & opt ~vopt:(Some "trace.json") (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let trace_buffer_arg =
+  let doc =
+    "Trace ring-buffer capacity, in events. When the ring is full the \
+     oldest events are dropped (the drop count lands in the \
+     trace.dropped counter and the trace's otherData)."
+  in
+  Arg.(value
+       & opt int R.Obs.Trace.default_capacity
+       & info [ "trace-buffer" ] ~docv:"N" ~doc)
+
+(* Run [f] with the event tracer enabled and export the Chrome trace
+   afterwards — same shape as [with_metrics] below, and independent of
+   it: either, both, or neither can be on. *)
+let with_trace dest capacity f =
+  match dest with
+  | None -> f ()
+  | Some dest ->
+    let module T = R.Obs.Trace in
+    T.enable ~capacity ();
+    let emit_trace () =
+      let doc =
+        R.Obs.Trace_export.to_chrome (T.events ()) ~dropped:(T.dropped ())
+      in
+      let text = R.Obs.Json.to_string ~pretty:true doc ^ "\n" in
+      match dest with
+      | "-" -> print_string text
+      | path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+    in
+    Fun.protect ~finally:emit_trace f
+
 (* Run [f] with the metrics registry enabled and dump the snapshot
    afterwards. Degraded runs still snapshot (degradation happens inside
    [f]); error paths exit the process before the snapshot is written. *)
@@ -164,10 +208,11 @@ let s_repair_cmd =
          & info [ "explain" ] ~doc:"Print why each tuple was deleted (stderr).")
   in
   let run fds input out strategy explain verbose timeout max_steps on_budget
-      metrics =
+      metrics trace trace_buffer =
     setup_logs verbose;
     let d = or_die_error (parse_fds fds) in
     let tbl = or_die_error (load_table input) in
+    with_trace trace trace_buffer @@ fun () ->
     with_metrics metrics @@ fun () ->
     let budget = budget_of timeout max_steps in
     let r =
@@ -185,7 +230,7 @@ let s_repair_cmd =
     (Cmd.info "s-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
           $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg
-          $ metrics_arg)
+          $ metrics_arg $ trace_arg $ trace_buffer_arg)
 
 let u_repair_cmd =
   let explain_arg =
@@ -193,10 +238,11 @@ let u_repair_cmd =
          & info [ "explain" ] ~doc:"Print every changed cell (stderr).")
   in
   let run fds input out strategy explain verbose timeout max_steps on_budget
-      metrics =
+      metrics trace trace_buffer =
     setup_logs verbose;
     let d = or_die_error (parse_fds fds) in
     let tbl = or_die_error (load_table input) in
+    with_trace trace trace_buffer @@ fun () ->
     with_metrics metrics @@ fun () ->
     let budget = budget_of timeout max_steps in
     let r =
@@ -219,7 +265,7 @@ let u_repair_cmd =
     (Cmd.info "u-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
           $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg
-          $ metrics_arg)
+          $ metrics_arg $ trace_arg $ trace_buffer_arg)
 
 let mpd_cmd =
   let run fds input out =
@@ -506,10 +552,12 @@ let batch_cmd =
     let doc = "Write the summary JSON to $(docv) (defaults to stdout)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
   in
-  let run manifest journal resume retries backoff out verbose metrics =
+  let run manifest journal resume retries backoff out verbose metrics trace
+      trace_buffer =
     setup_logs verbose;
     let m = or_die_error (R.Batch.Manifest.load_result manifest) in
     let code =
+      with_trace trace trace_buffer @@ fun () ->
       with_metrics metrics @@ fun () ->
       let t0 = Unix.gettimeofday () in
       let summary =
@@ -545,7 +593,65 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(const run $ manifest_arg $ journal_arg $ resume_arg $ retries_arg
-          $ backoff_arg $ summary_arg $ verbose_arg $ metrics_arg)
+          $ backoff_arg $ summary_arg $ verbose_arg $ metrics_arg $ trace_arg
+          $ trace_buffer_arg)
+
+let profile_cmd =
+  let trace_file_arg =
+    let doc = "Chrome trace-event JSON, as written by $(b,--trace)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json" ~doc)
+  in
+  let top_arg =
+    let doc = "Show the $(docv) hottest span names by self time." in
+    Arg.(value & opt int 15 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let check_arg =
+    let doc =
+      "Only validate the trace — required fields, monotone timestamps, \
+       matched begin/end pairs — and report its size; exit 1 if invalid."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run file top check =
+    let text =
+      try
+        let ic = open_in_bin file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error m -> die_error (E.Io { file; detail = m })
+    in
+    let j =
+      match R.Obs.Json.of_string text with
+      | Ok j -> j
+      | Error m -> die_error (E.Parse { source = file; line = None; detail = m })
+    in
+    let events, dropped =
+      match R.Obs.Trace_export.of_chrome j with
+      | Ok v -> v
+      | Error m -> die_error (E.Parse { source = file; line = None; detail = m })
+    in
+    (match R.Obs.Trace_export.validate ~dropped events with
+    | Ok () -> ()
+    | Error m ->
+      Fmt.epr "repair-cli: %s: invalid trace: %s@." file m;
+      exit 1);
+    if check then
+      Fmt.pr "%s: valid trace, %d events, %d dropped@." file
+        (List.length events) dropped
+    else
+      Fmt.pr "%a"
+        (R.Obs.Trace_export.pp_hotspots ~top)
+        (R.Obs.Trace_export.hotspots events)
+  in
+  let doc =
+    "Replay a trace file (from $(b,--trace)) into a plain-text hotspot \
+     report: per span name, completed count, inclusive and self wall \
+     time, and the longest single span, sorted by self time."
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(const run $ trace_file_arg $ top_arg $ check_arg)
 
 let armstrong_cmd =
   let attrs_arg =
@@ -590,6 +696,6 @@ let main =
   Cmd.group
     (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)
     [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
-      dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd ]
+      dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd; profile_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -1,10 +1,14 @@
 #!/bin/sh
-# Tier-1 gate: build, full test suite (unit + property + cram), then a
-# benchmark smoke run whose BENCH output must parse and self-compare
-# cleanly through the regression harness.
+# Tier-1 gate: build, full test suite (unit + property + cram), a trace
+# round-trip check, then a benchmark smoke run gated against the
+# committed BENCH_1.json baseline through the regression harness.
 #
 # The smoke run writes to a scratch file so the committed BENCH_1.json
-# baseline is never clobbered by CI.
+# baseline is never clobbered by CI. To refresh the baseline after an
+# intentional performance change, run the full suite and commit the
+# result:
+#
+#   dune exec bench/main.exe -- --out BENCH_1.json
 set -eu
 
 dune build
@@ -17,13 +21,26 @@ dune runtest
 dune exec test/test_batch.exe -- test crash-resume
 dune exec bin/fuzz.exe -- --trials 60 --quiet
 
+# Trace round-trip: a traced repair must emit Chrome trace JSON that the
+# profiler accepts — required keys present, timestamps monotone, every
+# Begin matched by an End.
+tdir=$(mktemp -d -t trace_ci.XXXXXX)
 out=$(mktemp -t bench_smoke.XXXXXX.json)
-trap 'rm -f "$out"' EXIT INT TERM
+trap 'rm -rf "$tdir"; rm -f "$out"' EXIT INT TERM
+printf '#id,A,B,C\n1,1,1,1\n2,1,1,2\n3,1,2,1\n' > "$tdir/t.csv"
+dune exec bin/repair_cli.exe -- s-repair -f "A -> B; B -> C" \
+  "$tdir/t.csv" -o /dev/null --trace="$tdir/out.json"
+dune exec bin/repair_cli.exe -- profile --check "$tdir/out.json"
 
 dune exec bench/main.exe -- --smoke --out "$out"
 
 # Self-comparison exercises the parser and the matching logic; identical
 # inputs must report zero regressions.
 dune exec bench/compare.exe -- "$out" "$out"
+
+# Regression gate against the committed baseline: the smoke subset is
+# compared record-by-record; --subset lets the baseline carry the full
+# suite without the smoke run's missing records counting as vanished.
+dune exec bench/compare.exe -- BENCH_1.json "$out" --subset
 
 echo "ci: OK"

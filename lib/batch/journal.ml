@@ -11,6 +11,8 @@ type entry =
       status : [ `Ok | `Degraded ];
       method_used : string;
       distance : float;
+      wall_ms : float;
+      counters : (string * int) list;
     }
   | Quarantine of {
       job : string;
@@ -37,14 +39,18 @@ let entry_to_json = function
         ("attempt", Json.Int attempt);
         ("error", Json.String error);
         ("backoff_ms", Json.Int backoff_ms) ]
-  | Commit { job; attempt; status; method_used; distance } ->
+  | Commit { job; attempt; status; method_used; distance; wall_ms; counters }
+    ->
     Json.Obj
       [ ("event", Json.String "commit");
         ("job", Json.String job);
         ("attempt", Json.Int attempt);
         ("status", Json.String (status_name status));
         ("method", Json.String method_used);
-        ("distance", Json.Float distance) ]
+        ("distance", Json.Float distance);
+        ("wall_ms", Json.Float wall_ms);
+        ("counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)) ]
   | Quarantine { job; attempts; error; detail; counters } ->
     Json.Obj
       [ ("event", Json.String "quarantine");
@@ -54,6 +60,14 @@ let entry_to_json = function
         ("detail", Json.String detail);
         ("counters",
          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)) ]
+
+let counters_field j =
+  match Json.member "counters" j with
+  | Some (Json.Obj fields) ->
+    List.filter_map
+      (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.int_value v))
+      fields
+  | _ -> []
 
 let entry_of_json j =
   let str k = Option.bind (Json.member k j) Json.string_value in
@@ -88,20 +102,17 @@ let entry_of_json j =
       | "degraded" -> Some `Degraded
       | _ -> None
     in
-    Ok (Commit { job; attempt; status; method_used; distance })
+    (* Journals written before telemetry landed lack these two fields;
+       read them as zero so old runs still resume. *)
+    let wall_ms = Option.value (float "wall_ms") ~default:0.0 in
+    let counters = counters_field j in
+    Ok (Commit { job; attempt; status; method_used; distance; wall_ms; counters })
   | Some "quarantine" ->
     let* job = str "job" in
     let* attempts = int "attempts" in
     let* error = str "error" in
     let* detail = str "detail" in
-    let counters =
-      match Json.member "counters" j with
-      | Some (Json.Obj fields) ->
-        List.filter_map
-          (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.int_value v))
-          fields
-      | _ -> []
-    in
+    let counters = counters_field j in
     Ok (Quarantine { job; attempts; error; detail; counters })
   | Some other -> Error (Printf.sprintf "unknown event %S" other)
   | None -> Error "record has no \"event\" field"

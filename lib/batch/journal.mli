@@ -19,10 +19,12 @@
     of an in-flight job, or a torn final line from a crash mid-write — is
     uncommitted and is truncated away, so a resumed run replays the
     in-flight job from its first attempt and appends exactly the bytes an
-    uninterrupted run would have. Journal records therefore carry no
-    timestamps or durations: a journal is a pure function of the manifest
-    and the (deterministic) job outcomes, which is what makes the
-    kill-at-every-checkpoint test able to demand byte-for-byte equality. *)
+    uninterrupted run would have — {e up to the [wall_ms] field} of
+    [Commit] records, the one place a journal records wall-clock time
+    (per-job telemetry feeding the batch latency histograms). Everything
+    else is a pure function of the manifest and the (deterministic) job
+    outcomes, which is what lets the kill-at-every-checkpoint test demand
+    byte-for-byte equality after normalising [wall_ms]. *)
 
 type entry =
   | Begin of { jobs : int }  (** batch header; pins the manifest job count *)
@@ -36,6 +38,13 @@ type entry =
       status : [ `Ok | `Degraded ];
       method_used : string;
       distance : float;
+      wall_ms : float;
+          (** wall-clock duration of the committing attempt; the only
+              non-deterministic journal field. Read back as [0.0] from
+              journals predating telemetry. *)
+      counters : (string * int) list;
+          (** the job's metrics-counter deltas (empty when metrics are
+              off) *)
     }  (** terminal: the repair of attempt [attempt] is durable *)
   | Quarantine of {
       job : string;

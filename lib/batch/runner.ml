@@ -1,6 +1,7 @@
 module Budget = Repair_runtime.Budget
 module Repair_error = Repair_runtime.Repair_error
 module Metrics = Repair_obs.Metrics
+module Histogram = Repair_obs.Histogram
 module Json = Repair_obs.Json
 
 type outcome = {
@@ -33,6 +34,8 @@ type summary = {
   retried : int;
   replayed : int;
   results : job_result list;
+  latency : Histogram.t;
+  latency_by_method : (string * Histogram.t) list;
 }
 
 let exit_some_quarantined = 9
@@ -117,8 +120,10 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
       Journal.append w (Journal.Start { job = job.id; attempt = k });
       tick ();
       (* checkpoint: the Start record is durable, the job is in flight *)
+      let ta = Unix.gettimeofday () in
       match Metrics.with_span job.id (fun () -> exec job) with
       | outcome ->
+        let wall_ms = (Unix.gettimeofday () -. ta) *. 1000.0 in
         Journal.append w
           (Journal.Commit
              {
@@ -127,10 +132,12 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
                status = outcome.status;
                method_used = outcome.method_used;
                distance = outcome.distance;
+               wall_ms;
+               counters = counters_delta ~before (Metrics.counters ());
              });
         tick ();
         (* checkpoint: the job is committed *)
-        (k, Committed outcome)
+        (k, Some wall_ms, Committed outcome)
       | exception exn ->
         let error, detail, transient = classify exn in
         if transient && k <= retries then begin
@@ -151,15 +158,21 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
                { job = job.id; attempts = k; error; detail; counters });
           tick ();
           (* checkpoint: the poison job is quarantined *)
-          (k, Quarantined { error; detail; counters })
+          (k, None, Quarantined { error; detail; counters })
         end
     in
-    let attempts, state = attempt 1 in
+    let attempts, commit_wall_ms, state = attempt 1 in
     {
       job;
       attempts;
       replayed = false;
-      wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+      (* Committed jobs report the committing attempt (what the journal
+         records and the latency histograms aggregate); quarantined jobs
+         report the whole losing fight, backoff included. *)
+      wall_ms =
+        (match commit_wall_ms with
+        | Some ms -> ms
+        | None -> (Unix.gettimeofday () -. t0) *. 1000.0);
       state;
     }
   in
@@ -167,12 +180,16 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
     List.map
       (fun (job : Manifest.job) ->
         match List.assoc_opt job.id recovery.committed with
-        | Some (Journal.Commit { status; method_used; distance; _ }) ->
+        | Some (Journal.Commit { status; method_used; distance; wall_ms; _ })
+          ->
           {
             job;
             attempts = 0;
             replayed = true;
-            wall_ms = 0.0;
+            (* The journal remembers how long the committing attempt took,
+               so a resumed run reports the same latency distribution as
+               the uninterrupted one would have. *)
+            wall_ms;
             state = Committed { status; distance; method_used };
           }
         | Some (Journal.Quarantine { error; detail; counters; _ }) ->
@@ -189,6 +206,29 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
       jobs
   in
   let count p = List.length (List.filter p results) in
+  let latency = Histogram.create () in
+  let by_method : (string, Histogram.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      match r.state with
+      | Committed { method_used; _ } ->
+        let s = r.wall_ms /. 1000.0 in
+        Histogram.observe latency s;
+        let h =
+          match Hashtbl.find_opt by_method method_used with
+          | Some h -> h
+          | None ->
+            let h = Histogram.create () in
+            Hashtbl.add by_method method_used h;
+            h
+        in
+        Histogram.observe h s
+      | Quarantined _ -> ())
+    results;
+  let latency_by_method =
+    Hashtbl.fold (fun k h acc -> (k, h) :: acc) by_method []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   {
     total = List.length results;
     ok =
@@ -205,6 +245,8 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
     retried = !retried;
     replayed = count (fun r -> r.replayed);
     results;
+    latency;
+    latency_by_method;
   }
 
 let job_json (r : job_result) =
@@ -252,5 +294,11 @@ let summary_json ?wall_ms s =
     @ (match wall_ms with
       | Some ms -> [ ("wall_ms", Json.Float ms) ]
       | None -> [])
-    @ [ ("jobs", Json.List (List.map job_json s.results));
+    @ [ ("latency", Histogram.summary_json s.latency);
+        ( "latency_by_method",
+          Json.Obj
+            (List.map
+               (fun (m, h) -> (m, Histogram.summary_json h))
+               s.latency_by_method) );
+        ("jobs", Json.List (List.map job_json s.results));
         ("poison", Json.List (List.filter_map poison_json s.results)) ])

@@ -62,7 +62,11 @@ type job_result = {
   job : Manifest.job;
   attempts : int;  (** attempts made in this run; 0 when [replayed] *)
   replayed : bool;  (** committed by a previous run; not executed here *)
-  wall_ms : float;  (** this run's execution time; 0 when [replayed] *)
+  wall_ms : float;
+      (** committed jobs: the committing attempt's duration — replayed
+          jobs read it back from the journal's [Commit] record, so
+          resumed runs report real latencies; quarantined jobs: the whole
+          run across attempts, backoff included *)
   state : state;
 }
 
@@ -74,6 +78,11 @@ type summary = {
   retried : int;  (** retry records written in this run *)
   replayed : int;  (** jobs skipped thanks to a prior commit *)
   results : job_result list;  (** manifest order *)
+  latency : Repair_obs.Histogram.t;
+      (** commit latencies of every committed job (executed and
+          replayed); quarantined jobs are excluded *)
+  latency_by_method : (string * Repair_obs.Histogram.t) list;
+      (** the same, partitioned by [method_used], sorted by method *)
 }
 
 (** [run ?retries ?backoff_ms ?resume ~exec ~journal manifest] executes
@@ -100,8 +109,11 @@ val run :
   summary
 
 (** [summary_json ?wall_ms s] renders the run summary (the CLI's stdout
-    contract): totals, one record per job, and the [poison] list of
-    quarantined jobs with error class, detail, and counter snapshot. *)
+    contract): totals, the [latency]/[latency_by_method] histograms
+    ({!Repair_obs.Histogram.summary_json} — count, mean, min/max,
+    p50/p90/p99, bucket counts), one record per job, and the [poison]
+    list of quarantined jobs with error class, detail, and counter
+    snapshot. *)
 val summary_json : ?wall_ms:float -> summary -> Repair_obs.Json.t
 
 (** Exit code of [repair-cli batch] when the run finished but some jobs

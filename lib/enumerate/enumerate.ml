@@ -39,6 +39,7 @@ let s_repairs ?(budget = Budget.unlimited ()) ?(limit = 10_000) d tbl =
   let emit clique =
     incr count;
     Repair_obs.Metrics.incr "enumerate.repairs";
+    Repair_obs.Trace.instant "enumerate.repair-found";
     if !count > limit then raise Limit_exceeded;
     found := Table.restrict tbl (List.map (fun v -> ids.(v)) (Iset.elements clique)) :: !found
   in

@@ -136,7 +136,8 @@ let exact ?(budget = Repair_runtime.Budget.unlimited ()) ?(matching_bound = true
     | [] ->
       if chosen_weight < !best_weight then begin
         best_cover := chosen;
-        best_weight := chosen_weight
+        best_weight := chosen_weight;
+        Repair_obs.Trace.instant "vertex-cover.incumbent"
       end
     | _ ->
       let bound =

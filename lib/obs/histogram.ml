@@ -1,0 +1,140 @@
+let lowest = 1e-6
+
+let highest = 1e3
+
+let buckets_per_decade = 5
+
+(* 9 decades (1µs .. 1000s) plus the overflow bucket. *)
+let n_buckets = (9 * buckets_per_decade) + 1
+
+let bucket_of v =
+  if v < lowest then 0
+  else
+    let i =
+      int_of_float
+        (Float.log10 (v /. lowest) *. float_of_int buckets_per_decade)
+    in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let edge i = lowest *. (10.0 ** (float_of_int i /. float_of_int buckets_per_decade))
+
+let bounds i =
+  if i < 0 || i >= n_buckets then invalid_arg "Histogram.bounds";
+  if i = n_buckets - 1 then (highest, infinity) else (edge i, edge (i + 1))
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; total = 0.0; lo = infinity;
+    hi = neg_infinity }
+
+let observe t v =
+  let v = if v < 0.0 then 0.0 else v in
+  let i = bucket_of v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v < t.lo then t.lo <- v;
+  if v > t.hi then t.hi <- v
+
+let merge ~into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.n <- into.n + t.n;
+  into.total <- into.total +. t.total;
+  if t.lo < into.lo then into.lo <- t.lo;
+  if t.hi > into.hi then into.hi <- t.hi
+
+let copy t =
+  { t with counts = Array.copy t.counts }
+
+let count t = t.n
+
+let sum t = t.total
+
+let mean t = if t.n = 0 then 0.0 else t.total /. float_of_int t.n
+
+let min_value t = if t.n = 0 then 0.0 else t.lo
+
+let max_value t = if t.n = 0 then 0.0 else t.hi
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile";
+  if t.n = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+      if r < 1 then 1 else r
+    in
+    let i = ref 0 and cum = ref t.counts.(0) in
+    while !cum < rank do
+      incr i;
+      cum := !cum + t.counts.(!i)
+    done;
+    let lo, hi = bounds !i in
+    (* Geometric midpoint of the bucket; the overflow bucket has no upper
+       edge, so it reports its lower one. Clamping to the observed range
+       keeps single-bucket histograms honest (estimate = the bucket
+       midpoint can exceed the true max by the bucket width). *)
+    let est = if hi = infinity then lo else Float.sqrt (lo *. hi) in
+    Float.min (Float.max est t.lo) t.hi
+  end
+
+let ms s = s *. 1000.0
+
+let summary_json t =
+  let buckets =
+    Array.to_list t.counts
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter_map (fun (i, c) ->
+           if c = 0 then None else Some (string_of_int i, Json.Int c))
+  in
+  Json.Obj
+    [ ("count", Json.Int t.n);
+      ("mean_ms", Json.Float (ms (mean t)));
+      ("min_ms", Json.Float (ms (min_value t)));
+      ("max_ms", Json.Float (ms (max_value t)));
+      ("p50_ms", Json.Float (ms (quantile t 0.5)));
+      ("p90_ms", Json.Float (ms (quantile t 0.9)));
+      ("p99_ms", Json.Float (ms (quantile t 0.99)));
+      ("buckets", Json.Obj buckets) ]
+
+let of_summary_json j =
+  let ( let* ) o f = match o with Some v -> f v | None -> Error "missing or ill-typed histogram field" in
+  let* n = Option.bind (Json.member "count" j) Json.int_value in
+  let* mean_ms = Option.bind (Json.member "mean_ms" j) Json.float_value in
+  let* min_ms = Option.bind (Json.member "min_ms" j) Json.float_value in
+  let* max_ms = Option.bind (Json.member "max_ms" j) Json.float_value in
+  let* buckets =
+    match Json.member "buckets" j with
+    | Some (Json.Obj fields) -> Some fields
+    | _ -> None
+  in
+  let t = create () in
+  let bad = ref None in
+  List.iter
+    (fun (k, v) ->
+      match (int_of_string_opt k, Json.int_value v) with
+      | Some i, Some c when i >= 0 && i < n_buckets && c >= 0 ->
+        t.counts.(i) <- t.counts.(i) + c
+      | _ -> bad := Some (Printf.sprintf "bad bucket entry %S" k))
+    buckets;
+  match !bad with
+  | Some m -> Error m
+  | None ->
+    if Array.fold_left ( + ) 0 t.counts <> n then
+      Error "bucket counts disagree with \"count\""
+    else begin
+      t.n <- n;
+      t.total <- mean_ms /. 1000.0 *. float_of_int n;
+      if n > 0 then begin
+        t.lo <- min_ms /. 1000.0;
+        t.hi <- max_ms /. 1000.0
+      end;
+      Ok t
+    end

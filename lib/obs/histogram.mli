@@ -1,0 +1,88 @@
+(** Fixed-bucket latency histograms: log-spaced buckets over a hardwired
+    range, O(1) observation, exact merging, and deterministic quantile
+    estimates.
+
+    Every histogram in the system shares one bucket scheme —
+    {!buckets_per_decade} buckets per decade from {!lowest} seconds up to
+    {!highest} seconds, plus one overflow bucket — so histograms recorded
+    by different jobs, processes, or batch runs merge by adding bucket
+    counts ({!merge}); no rebinning, no information loss beyond the bucket
+    resolution (≈ 58% relative width at 5 buckets/decade).
+
+    Quantiles are estimated as the geometric midpoint of the bucket
+    containing the requested rank, clamped to the observed [min]/[max]:
+    a pure function of the bucket counts, so two histograms with equal
+    counts report equal quantiles regardless of observation order. *)
+
+type t
+
+(** Bucket scheme constants: buckets span
+    [lowest · 10^(i/buckets_per_decade)] for [i = 0, 1, …]. *)
+
+val lowest : float
+(** lower edge of the first bucket: [1e-6] s (1 µs); smaller observations
+    land in bucket 0 *)
+
+val highest : float
+(** lower edge of the overflow bucket: [1e3] s *)
+
+val buckets_per_decade : int
+(** [5] — every bucket is [10^0.2 ≈ 1.58×] wider than its predecessor *)
+
+val n_buckets : int
+(** total bucket count including the overflow bucket *)
+
+(** [bucket_of seconds] — index of the bucket [seconds] falls in. *)
+val bucket_of : float -> int
+
+(** [bounds i] — the [[lo, hi)] range of bucket [i] in seconds; the
+    overflow bucket reports [infinity] as [hi]. *)
+val bounds : int -> float * float
+
+(** {1 Recording} *)
+
+val create : unit -> t
+
+(** [observe t seconds] adds one observation. Negative observations
+    clamp to 0. O(1). *)
+val observe : t -> float -> unit
+
+(** [merge ~into t] adds every observation of [t] into [into]. *)
+val merge : into:t -> t -> unit
+
+val copy : t -> t
+
+(** {1 Reading} *)
+
+val count : t -> int
+
+val sum : t -> float
+(** summed observations, seconds *)
+
+val mean : t -> float
+(** 0 when empty *)
+
+val min_value : t -> float
+(** smallest observation; 0 when empty *)
+
+val max_value : t -> float
+(** largest observation; 0 when empty *)
+
+(** [quantile t q] — deterministic estimate of the [q]-quantile
+    ([0 ≤ q ≤ 1]) in seconds: the geometric midpoint of the bucket
+    holding the ⌈q·count⌉-th observation, clamped to [[min, max]].
+    0 when empty. *)
+val quantile : t -> float -> float
+
+(** {1 Serialization} *)
+
+(** [summary_json t] — the rendering used in metrics snapshots and batch
+    summaries: [{"count", "mean_ms", "min_ms", "max_ms", "p50_ms",
+    "p90_ms", "p99_ms", "buckets"}], durations in milliseconds, and
+    [buckets] a sparse object mapping bucket index (as a string) to its
+    count — enough to {!of_summary_json} and re-merge. *)
+val summary_json : t -> Json.t
+
+(** [of_summary_json j] rebuilds a histogram from {!summary_json} output
+    (bucket counts, count, sum, min, max; quantiles are re-derived). *)
+val of_summary_json : Json.t -> (t, string) result

@@ -16,12 +16,15 @@ let stack = ref [ root ]
 
 let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16
 
+let hist_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+
 let enable () = enabled_flag := true
 let disable () = enabled_flag := false
 let enabled () = !enabled_flag
 
 let reset () =
   Hashtbl.reset counters_tbl;
+  Hashtbl.reset hist_tbl;
   Hashtbl.reset root.children;
   root.count <- 0;
   root.total <- 0.0;
@@ -30,43 +33,96 @@ let reset () =
 let incr ?(by = 1) name =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
   if !enabled_flag then
-    match Hashtbl.find_opt counters_tbl name with
-    | Some r -> r := !r + by
-    | None -> Hashtbl.add counters_tbl name (ref by)
+    (* [find]/[Not_found] rather than [find_opt]: the hit path of a hot
+       counter must not allocate (see bench E19). *)
+    match Hashtbl.find counters_tbl name with
+    | r -> r := !r + by
+    | exception Not_found -> Hashtbl.add counters_tbl name (ref by)
+
+(* Ring-buffer evictions surface as the synthetic, read-only
+   ["trace.dropped"] counter: the tracer cannot report into this table
+   itself (Metrics sits above Trace in the dependency order), and the
+   counter must exist even when tracing runs with metrics disabled. *)
+let trace_dropped_name = "trace.dropped"
 
 let counter name =
-  match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+  let base =
+    match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+  in
+  if String.equal name trace_dropped_name then base + Trace.dropped ()
+  else base
 
 let counters () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+  let base =
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+  in
+  let base =
+    if Trace.dropped () > 0 && not (List.mem_assoc trace_dropped_name base)
+    then (trace_dropped_name, Trace.dropped ()) :: base
+    else base
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) base
+
+let hist_find name =
+  match Hashtbl.find hist_tbl name with
+  | h -> h
+  | exception Not_found ->
+    let h = Histogram.create () in
+    Hashtbl.add hist_tbl name h;
+    h
+
+let observe_always name seconds = Histogram.observe (hist_find name) seconds
+
+let observe name seconds =
+  if !enabled_flag then observe_always name seconds
+
+let histogram name = Hashtbl.find_opt hist_tbl name
+
+let histograms () =
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) hist_tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let now = Unix.gettimeofday
 
+(* The one instrumentation point behind every solver span: while metrics
+   are enabled it aggregates the span node and feeds the latency
+   histogram of [name]; while tracing is enabled it emits the matched
+   Begin/End event pair. Both are captured on entry so an exception (or
+   an enable/disable flip inside [f]) cannot unbalance the trace. *)
 let with_span name f =
-  if not !enabled_flag then f ()
+  let m = !enabled_flag in
+  let t = Trace.enabled () in
+  if not (m || t) then f ()
   else begin
-    let parent = List.hd !stack in
-    let node =
-      match Hashtbl.find_opt parent.children name with
-      | Some node -> node
-      | None ->
-        let node = fresh_node () in
-        Hashtbl.add parent.children name node;
-        node
-    in
-    stack := node :: !stack;
-    let t0 = now () in
-    Fun.protect
-      ~finally:(fun () ->
-        node.count <- node.count + 1;
-        node.total <- node.total +. (now () -. t0);
-        (* A reset from inside the span replaces the stack wholesale; only
-           pop when our frame is still on top. *)
-        match !stack with
-        | top :: rest when top == node -> stack := rest
-        | _ -> ())
-      f
+    if t then Trace.begin_ name;
+    if not m then
+      Fun.protect ~finally:(fun () -> if t then Trace.end_ name) f
+    else begin
+      let parent = List.hd !stack in
+      let node =
+        match Hashtbl.find_opt parent.children name with
+        | Some node -> node
+        | None ->
+          let node = fresh_node () in
+          Hashtbl.add parent.children name node;
+          node
+      in
+      stack := node :: !stack;
+      let t0 = now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let dt = now () -. t0 in
+          node.count <- node.count + 1;
+          node.total <- node.total +. dt;
+          observe_always name dt;
+          (* A reset from inside the span replaces the stack wholesale; only
+             pop when our frame is still on top. *)
+          (match !stack with
+          | top :: rest when top == node -> stack := rest
+          | _ -> ());
+          if t then Trace.end_ name)
+        f
+    end
   end
 
 type span = {
@@ -109,4 +165,9 @@ let snapshot () =
   Json.Obj
     [ ("counters",
        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())));
-      ("spans", Json.List (List.map span_json (spans ()))) ]
+      ("spans", Json.List (List.map span_json (spans ())));
+      ("histograms",
+       Json.Obj
+         (List.map
+            (fun (k, h) -> (k, Histogram.summary_json h))
+            (histograms ()))) ]

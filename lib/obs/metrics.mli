@@ -1,5 +1,6 @@
-(** Process-wide observability registry: named monotone counters and
-    hierarchical wall-clock spans, reported into by the solver stack.
+(** Process-wide observability registry: named monotone counters,
+    hierarchical wall-clock spans, and per-span latency histograms,
+    reported into by the solver stack.
 
     Everything is designed so that instrumentation can live permanently in
     hot paths:
@@ -17,7 +18,13 @@
     records [b] as a child of [a], and repeated entries into the same
     child aggregate (count + total duration) rather than append. The
     registry is global mutable state, single-domain only — same contract
-    as {!Repair_runtime.Budget}. *)
+    as {!Repair_runtime.Budget}.
+
+    {!with_span} is also the bridge into the event tracer: when {!Trace}
+    is enabled (independently of this registry) every span additionally
+    emits a matched [Begin]/[End] event pair, so one instrumentation
+    point feeds counters, the span tree, latency histograms, and the
+    trace ring at once. *)
 
 (** {1 Switching} *)
 
@@ -39,18 +46,25 @@ val reset : unit -> unit
     @raise Invalid_argument on negative [by]. *)
 val incr : ?by:int -> string -> unit
 
-(** [counter name] — current value; 0 for never-incremented counters. *)
+(** [counter name] — current value; 0 for never-incremented counters.
+    The synthetic ["trace.dropped"] counter reads through to
+    {!Trace.dropped} (ring-buffer evictions) on top of any stored
+    value. *)
 val counter : string -> int
 
-(** All counters, sorted by name. *)
+(** All counters, sorted by name. ["trace.dropped"] is included whenever
+    {!Trace.dropped} is non-zero, even though nothing [incr]s it. *)
 val counters : unit -> (string * int) list
 
 (** {1 Spans} *)
 
 (** [with_span name f] runs [f] inside span [name], nested under the
     innermost open span. The duration is recorded even when [f] raises
-    (budget exhaustion unwinds through spans routinely). While disabled
-    this is exactly [f ()]. *)
+    (budget exhaustion unwinds through spans routinely) — into the span
+    tree {e and} the latency histogram of [name]. When {!Trace} is
+    enabled a matched [Begin]/[End] event pair is emitted regardless of
+    whether this registry is. While both are disabled this is exactly
+    [f ()]. *)
 val with_span : string -> (unit -> 'a) -> 'a
 
 type span = {
@@ -70,11 +84,30 @@ val spans : unit -> span list
     was never recorded. *)
 val span_total : string -> float option
 
+(** {1 Histograms} *)
+
+(** [observe name seconds] adds one sample to the latency histogram of
+    [name], creating it first. No-op while disabled. {!with_span} calls
+    this automatically with the span duration, so explicit calls are
+    only needed for durations measured outside a span (e.g. batch job
+    wall time). *)
+val observe : string -> float -> unit
+
+(** [histogram name] — the live histogram, if any samples were ever
+    recorded under [name]. The returned value is the registry's own;
+    {!Histogram.copy} it before mutating. *)
+val histogram : string -> Histogram.t option
+
+(** All histograms, sorted by name. *)
+val histograms : unit -> (string * Histogram.t) list
+
 (** {1 Snapshots} *)
 
 (** The whole registry as JSON:
     [{ "counters": { name: int, ... },
-       "spans": [ { "name", "count", "total_ms", "children" }, ... ] }]
-    with counters sorted by name and span durations in milliseconds.
-    Deterministic except for the [total_ms] values. *)
+       "spans": [ { "name", "count", "total_ms", "children" }, ... ],
+       "histograms": { name: {!Histogram.summary_json}, ... } }]
+    with counters and histograms sorted by name and span durations in
+    milliseconds. Deterministic except for the timing values (and the
+    histogram bucket indices they fall in). *)
 val snapshot : unit -> Json.t

@@ -1,0 +1,79 @@
+type kind = Begin | End | Instant
+
+type event = { seq : int; ts : float; kind : kind; name : string }
+
+let default_capacity = 65536
+
+let enabled_flag = ref false
+
+(* The ring: [ring.(i)] for [i < count] counted back from [head] holds
+   the newest events. [None] slots only exist before the ring first
+   fills; storing options keeps the module free of dummy events. *)
+let ring : event option array ref = ref (Array.make default_capacity None)
+
+let head = ref 0 (* next slot to write *)
+
+let count = ref 0 (* live events, <= capacity *)
+
+let seq_counter = ref 0
+
+let dropped_counter = ref 0
+
+let epoch = ref 0.0
+
+let last_ts = ref 0.0
+
+let now = Unix.gettimeofday
+
+let reset_clock () =
+  epoch := now ();
+  last_ts := 0.0
+
+let reset () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  head := 0;
+  count := 0;
+  seq_counter := 0;
+  dropped_counter := 0;
+  reset_clock ()
+
+let enable ?(capacity = default_capacity) () =
+  let capacity = max 1 capacity in
+  if Array.length !ring <> capacity then ring := Array.make capacity None;
+  reset ();
+  enabled_flag := true
+
+let disable () = enabled_flag := false
+
+let enabled () = !enabled_flag
+
+let capacity () = Array.length !ring
+
+let dropped () = !dropped_counter
+
+(* O(1): one slot write, two index updates. The wall clock may step
+   backwards (NTP); clamping to [last_ts] keeps the stream monotone,
+   which the Chrome viewers and the validator both require. *)
+let emit kind name =
+  if !enabled_flag then begin
+    let raw = now () -. !epoch in
+    let ts = if raw > !last_ts then raw else !last_ts in
+    last_ts := ts;
+    let cap = Array.length !ring in
+    if !count = cap then incr dropped_counter else incr count;
+    !ring.(!head) <- Some { seq = !seq_counter; ts; kind; name };
+    incr seq_counter;
+    head := if !head + 1 = cap then 0 else !head + 1
+  end
+
+let begin_ name = emit Begin name
+let end_ name = emit End name
+let instant name = emit Instant name
+
+let events () =
+  let cap = Array.length !ring in
+  let oldest = (!head - !count + cap) mod cap in
+  List.init !count (fun i ->
+      match !ring.((oldest + i) mod cap) with
+      | Some e -> e
+      | None -> assert false (* the [count] newest slots are filled *))

@@ -1,0 +1,71 @@
+(** Bounded event tracer: a ring buffer of begin/end/instant events with
+    monotone timestamps, recorded by the same instrumentation points that
+    feed {!Metrics} (every [Metrics.with_span] emits a matched
+    begin/end pair, every {!Repair_runtime.Budget.tick} an instant).
+
+    Design contract, mirroring {!Metrics}:
+
+    - {e off by default}: while disabled every call is one branch and
+      records nothing, so the solvers behave identically with tracing on
+      or off (they never read the tracer);
+    - {e O(1) record}: an event is one ring-buffer slot write; when the
+      buffer is full the {e oldest} event is dropped and the
+      [trace.dropped] counter bumped — tracing never grows memory and
+      never blocks a hot loop;
+    - {e monotone timestamps}: [ts] is seconds since {!enable} (or the
+      last {!reset}), clamped to be non-decreasing across events even if
+      the wall clock steps backwards.
+
+    The tracer is global mutable state, single-domain only — the same
+    contract as {!Metrics} and {!Repair_runtime.Budget}. Export to the
+    Chrome trace-event format lives in {!Trace_export}. *)
+
+type kind =
+  | Begin  (** a span opened ([ph:"B"] in the Chrome format) *)
+  | End  (** the innermost open span closed ([ph:"E"]) *)
+  | Instant  (** a point event, e.g. a budget checkpoint ([ph:"i"]) *)
+
+type event = {
+  seq : int;  (** 0-based emission index, monotone across drops *)
+  ts : float;  (** seconds since enable/reset; non-decreasing *)
+  kind : kind;
+  name : string;
+}
+
+(** {1 Switching} *)
+
+(** Ring capacity used when [enable] is not given one: [65536] events. *)
+val default_capacity : int
+
+(** [enable ?capacity ()] switches tracing on with an empty ring of
+    [capacity] events (default {!default_capacity}, minimum 1) and
+    restarts the clock. Re-enabling an enabled tracer resets it. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [reset ()] empties the ring, zeroes [seq]/[dropped], and restarts the
+    clock; the enabled flag and capacity are left as-is. *)
+val reset : unit -> unit
+
+(** {1 Recording} *)
+
+val begin_ : string -> unit
+val end_ : string -> unit
+val instant : string -> unit
+
+(** {1 Reading} *)
+
+(** Events currently in the ring, oldest first. When [dropped () > 0]
+    the head of the list may contain [End] events whose [Begin] was
+    evicted. *)
+val events : unit -> event list
+
+(** Events evicted by ring overflow since the last reset. Surfaced as
+    the ["trace.dropped"] counter in {!Metrics.counters} and in the
+    [otherData] block of the Chrome export. *)
+val dropped : unit -> int
+
+(** The capacity of the current ring. *)
+val capacity : unit -> int

@@ -1,0 +1,193 @@
+let us_per_s = 1e6
+
+let ph_of_kind = function
+  | Trace.Begin -> "B"
+  | Trace.End -> "E"
+  | Trace.Instant -> "i"
+
+let kind_of_ph = function
+  | "B" -> Some Trace.Begin
+  | "E" -> Some Trace.End
+  | "i" | "I" -> Some Trace.Instant
+  | _ -> None
+
+let event_json (e : Trace.event) =
+  let base =
+    [ ("name", Json.String e.name);
+      ("cat", Json.String "repair");
+      ("ph", Json.String (ph_of_kind e.kind));
+      ("ts", Json.Float (e.ts *. us_per_s));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1) ]
+  in
+  (* Instant events must carry a scope; "t" (thread) is the narrowest. *)
+  Json.Obj
+    (if e.kind = Trace.Instant then base @ [ ("s", Json.String "t") ]
+     else base)
+
+let to_chrome events ~dropped =
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.String "ms");
+      ("otherData", Json.Obj [ ("dropped", Json.Int dropped) ]) ]
+
+let number_value = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let of_chrome j =
+  let ( let* ) r f = Result.bind r f in
+  let* evs =
+    match Json.member "traceEvents" j with
+    | Some (Json.List l) -> Ok l
+    | Some _ -> Error "\"traceEvents\" is not an array"
+    | None -> Error "missing \"traceEvents\""
+  in
+  let dropped =
+    match Option.bind (Json.member "otherData" j) (Json.member "dropped") with
+    | Some (Json.Int n) when n >= 0 -> n
+    | _ -> 0
+  in
+  let parse_one i ev =
+    let field name = Json.member name ev in
+    match
+      ( Option.bind (field "name") Json.string_value,
+        Option.bind (Option.bind (field "ph") Json.string_value) kind_of_ph,
+        Option.bind (field "ts") number_value )
+    with
+    | Some name, Some kind, Some ts_us ->
+      Ok { Trace.seq = i; ts = ts_us /. us_per_s; kind; name }
+    | None, _, _ -> Error (Printf.sprintf "event %d: missing \"name\"" i)
+    | _, None, _ ->
+      Error (Printf.sprintf "event %d: missing or unknown \"ph\"" i)
+    | _, _, None -> Error (Printf.sprintf "event %d: missing \"ts\"" i)
+  in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | ev :: rest -> (
+      match parse_one i ev with
+      | Ok e -> go (i + 1) (e :: acc) rest
+      | Error _ as e -> e)
+  in
+  let* events = go 0 [] evs in
+  Ok (events, dropped)
+
+let validate ?(dropped = 0) events =
+  let ( let* ) r f = Result.bind r f in
+  let* _ =
+    let rec mono prev = function
+      | [] -> Ok ()
+      | (e : Trace.event) :: rest ->
+        if e.ts < prev then
+          Error
+            (Printf.sprintf "timestamp regression at %S: %g < %g" e.name e.ts
+               prev)
+        else mono e.ts rest
+    in
+    mono neg_infinity events
+  in
+  (* Eviction removes a strict prefix of the stream, so a lossy trace may
+     open with orphaned [End]s and close with unmatched [Begin]s, but an
+     [End] can never disagree with the innermost surviving [Begin]. *)
+  let rec balance stack = function
+    | [] ->
+      if stack = [] || dropped > 0 then Ok ()
+      else
+        Error
+          (Printf.sprintf "unclosed span %S at end of trace" (List.hd stack))
+    | (e : Trace.event) :: rest -> (
+      match (e.kind, stack) with
+      | Trace.Instant, _ -> balance stack rest
+      | Trace.Begin, _ -> balance (e.name :: stack) rest
+      | Trace.End, top :: below ->
+        if String.equal top e.name then balance below rest
+        else
+          Error
+            (Printf.sprintf "end of %S inside span %S" e.name top)
+      | Trace.End, [] ->
+        if dropped > 0 then balance [] rest
+        else Error (Printf.sprintf "end of %S with no open span" e.name))
+  in
+  balance [] events
+
+type hotspot = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  max_s : float;
+}
+
+type open_span = {
+  span_name : string;
+  t0 : float;
+  mutable child_s : float;
+}
+
+let hotspots events =
+  let tbl : (string, hotspot ref) Hashtbl.t = Hashtbl.create 16 in
+  let touch name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref { name; count = 0; total_s = 0.0; self_s = 0.0; max_s = 0.0 } in
+      Hashtbl.add tbl name r;
+      r
+  in
+  let instants : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let stack = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match e.kind with
+      | Trace.Instant -> (
+        match Hashtbl.find_opt instants e.name with
+        | Some r -> incr r
+        | None -> Hashtbl.add instants e.name (ref 1))
+      | Trace.Begin ->
+        stack := { span_name = e.name; t0 = e.ts; child_s = 0.0 } :: !stack
+      | Trace.End -> (
+        match !stack with
+        | top :: below when String.equal top.span_name e.name ->
+          stack := below;
+          let dur = e.ts -. top.t0 in
+          let self = Float.max 0.0 (dur -. top.child_s) in
+          (match below with
+          | parent :: _ -> parent.child_s <- parent.child_s +. dur
+          | [] -> ());
+          let r = touch e.name in
+          let h = !r in
+          r :=
+            { h with
+              count = h.count + 1;
+              total_s = h.total_s +. dur;
+              self_s = h.self_s +. self;
+              max_s = Float.max h.max_s dur }
+        | _ -> (* orphaned end in a lossy trace: skip *) ()))
+    events;
+  Hashtbl.iter
+    (fun name n ->
+      if not (Hashtbl.mem tbl name) then
+        Hashtbl.add tbl name
+          (ref { name; count = !n; total_s = 0.0; self_s = 0.0; max_s = 0.0 }))
+    instants;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.self_s a.self_s with
+         | 0 -> String.compare a.name b.name
+         | c -> c)
+
+let pp_hotspots ~top fmt hs =
+  let shown = List.filteri (fun i _ -> i < top) hs in
+  Format.fprintf fmt "%-40s %8s %12s %12s %12s@."
+    "NAME" "COUNT" "TOTAL_MS" "SELF_MS" "MAX_MS";
+  List.iter
+    (fun h ->
+      Format.fprintf fmt "%-40s %8d %12.3f %12.3f %12.3f@."
+        h.name h.count (h.total_s *. 1000.0) (h.self_s *. 1000.0)
+        (h.max_s *. 1000.0))
+    shown;
+  let spans = List.fold_left (fun acc h -> acc + h.count) 0 hs in
+  let self = List.fold_left (fun acc h -> acc +. h.self_s) 0.0 hs in
+  Format.fprintf fmt "total: %d events across %d names, %.3f ms self time@."
+    spans (List.length hs) (self *. 1000.0)

@@ -1,0 +1,54 @@
+(** Export {!Trace} rings to the Chrome trace-event format and derive
+    plain-text hotspot reports from them.
+
+    The export is the JSON-object flavour of the format understood by
+    [chrome://tracing], Perfetto, and [speedscope]:
+
+    {v
+    { "traceEvents": [ {"name": "...", "cat": "repair", "ph": "B"|"E"|"i",
+                        "ts": <µs>, "pid": 1, "tid": 1, ...}, ... ],
+      "displayTimeUnit": "ms",
+      "otherData": { "dropped": <n> } }
+    v}
+
+    Timestamps are microseconds since trace start ({!Trace.event}[.ts] ×
+    10⁶), instants carry the mandatory [s:"t"] (thread) scope, and the
+    number of ring-buffer evictions is preserved in [otherData] so a
+    round-trip through {!of_chrome} loses nothing the ring still had. *)
+
+(** [to_chrome events ~dropped] builds the Chrome trace-event document. *)
+val to_chrome : Trace.event list -> dropped:int -> Json.t
+
+(** [of_chrome j] parses a document produced by {!to_chrome} (or by hand)
+    back into events — ordered as written, [seq] re-derived from
+    position — plus the recorded drop count. Unknown phase letters and
+    missing required fields are errors. *)
+val of_chrome : Json.t -> (Trace.event list * int, string) result
+
+(** [validate ?dropped events] checks the stream is well formed:
+    timestamps non-decreasing, and — when [dropped] is 0 (the default) —
+    every [End] matches the innermost open [Begin] and nothing is left
+    open. With [dropped > 0] the head of the stream may legitimately
+    contain orphaned [End]s (their [Begin]s were evicted), so only
+    monotonicity and the tail balance are enforced. *)
+val validate : ?dropped:int -> Trace.event list -> (unit, string) result
+
+type hotspot = {
+  name : string;
+  count : int;  (** completed spans of this name *)
+  total_s : float;  (** inclusive wall time *)
+  self_s : float;  (** total minus time in child spans *)
+  max_s : float;  (** longest single span *)
+}
+
+(** [hotspots events] pairs up begin/end events with a stack and
+    aggregates per-name inclusive/self time, tolerating orphaned events
+    at the head of a lossy trace (they are skipped). Sorted by
+    [self_s], largest first. Instants are counted into a hotspot with
+    zero duration only if no span of that name exists. *)
+val hotspots : Trace.event list -> hotspot list
+
+(** [pp_hotspots ~top fmt hs] renders the report consumed by
+    [repair-cli profile]: a fixed-width table of the [top] entries by
+    self time, followed by a one-line total. *)
+val pp_hotspots : top:int -> Format.formatter -> hotspot list -> unit

@@ -34,10 +34,27 @@ let exhaust b ~phase =
   Repair_error.raise_error
     (Budget_exhausted { phase; elapsed = elapsed b; steps = b.steps })
 
+(* Phase strings come from a handful of literal call sites, so the
+   "ticks." ^ phase counter names are interned: building the name on
+   every tick would allocate in the hottest loop of every solver (the
+   disabled path must allocate nothing at all — bench E19 asserts it). *)
+let tick_names : (string, string) Hashtbl.t = Hashtbl.create 8
+
+let tick_name phase =
+  match Hashtbl.find tick_names phase with
+  | name -> name
+  | exception Not_found ->
+    let name = "ticks." ^ phase in
+    Hashtbl.add tick_names phase name;
+    name
+
 let tick ?(phase = "unphased") b =
   b.steps <- b.steps + 1;
-  if Repair_obs.Metrics.enabled () then
-    Repair_obs.Metrics.incr ("ticks." ^ phase);
+  if Repair_obs.Metrics.enabled () || Repair_obs.Trace.enabled () then begin
+    let name = tick_name phase in
+    Repair_obs.Metrics.incr name;
+    Repair_obs.Trace.instant name
+  end;
   if Fault.armed () then
     Fault.on_checkpoint ~phase ~elapsed:(elapsed b) ~steps:b.steps;
   if b.limited then begin

@@ -13,6 +13,7 @@ module Metrics = Repair_obs.Metrics
 let record_built cg =
   Metrics.incr ~by:(Array.length cg.ids) "conflict-graph.vertices";
   Metrics.incr ~by:(G.n_edges cg.graph) "conflict-graph.edges";
+  Repair_obs.Trace.instant "conflict-graph.built";
   cg
 
 let build d tbl =

@@ -1,8 +1,9 @@
 The journaled batch runner: a manifest of repair jobs, per-job
-isolation, a write-ahead journal, and quarantine for poison jobs.
-Durations are the only nondeterministic values in the summary — the sed
-mask replaces every float; the journal itself carries none and is
-checked verbatim.
+isolation, a write-ahead journal, quarantine for poison jobs, and
+per-batch latency histograms. Durations are the only nondeterministic
+values — the sed masks replace every float and drop the
+timing-dependent histogram bucket lines; the journal carries exactly
+one wall-clock field per commit (wall_ms), masked the same way.
 
   $ cat > office.csv <<'CSV'
   > #id,#weight,facility,room,floor,city
@@ -38,7 +39,7 @@ finishes, and the exit code is 9:
 
   $ repair-cli batch batch.json --journal j.jsonl -o summary.json
   [9]
-  $ sed -E 's/[0-9]+\.[0-9]+/_/g' summary.json
+  $ sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e '/^ *"[0-9]+": [0-9]+,?$/d' summary.json
   {
     "total": 3,
     "ok": 1,
@@ -47,6 +48,41 @@ finishes, and the exit code is 9:
     "retried": 0,
     "replayed": 0,
     "wall_ms": _,
+    "latency": {
+      "count": 2,
+      "mean_ms": _,
+      "min_ms": _,
+      "max_ms": _,
+      "p50_ms": _,
+      "p90_ms": _,
+      "p99_ms": _,
+      "buckets": {
+      }
+    },
+    "latency_by_method": {
+      "Bar-Yehuda–Even 2-approximation (Proposition _)": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "OptSRepair (Algorithm 1)": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      }
+    },
     "jobs": [
       {
         "id": "office",
@@ -85,15 +121,16 @@ finishes, and the exit code is 9:
     ]
   }
 
-The journal is deterministic — no timestamps, one fsync'd record per
-line, terminal records are the commit points:
+The journal is deterministic up to the wall_ms telemetry on commit
+records — one fsync'd record per line, terminal records are the commit
+points:
 
-  $ cat j.jsonl
+  $ sed -E 's/[0-9]+\.[0-9]+/_/g' j.jsonl
   {"event":"begin","jobs":3}
   {"event":"start","job":"office","attempt":1}
-  {"event":"commit","job":"office","attempt":1,"status":"ok","method":"OptSRepair (Algorithm 1)","distance":2.0}
+  {"event":"commit","job":"office","attempt":1,"status":"ok","method":"OptSRepair (Algorithm 1)","distance":_,"wall_ms":_,"counters":{}}
   {"event":"start","job":"hard","attempt":1}
-  {"event":"commit","job":"hard","attempt":1,"status":"degraded","method":"Bar-Yehuda–Even 2-approximation (Proposition 3.3)","distance":2.0}
+  {"event":"commit","job":"hard","attempt":1,"status":"degraded","method":"Bar-Yehuda–Even 2-approximation (Proposition _)","distance":_,"wall_ms":_,"counters":{}}
   {"event":"start","job":"poison","attempt":1}
   {"event":"quarantine","job":"poison","attempts":1,"error":"parse","detail":"broken.csv:2: row has 4 fields, expected 3","counters":{}}
 
@@ -112,7 +149,7 @@ reports the quarantined job:
   $ cp j.jsonl j.ref
   $ repair-cli batch batch.json --journal j.jsonl --resume -o resumed.json
   [9]
-  $ sed -E 's/[0-9]+\.[0-9]+/_/g' resumed.json
+  $ sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e '/^ *"[0-9]+": [0-9]+,?$/d' resumed.json
   {
     "total": 3,
     "ok": 1,
@@ -121,6 +158,41 @@ reports the quarantined job:
     "retried": 0,
     "replayed": 3,
     "wall_ms": _,
+    "latency": {
+      "count": 2,
+      "mean_ms": _,
+      "min_ms": _,
+      "max_ms": _,
+      "p50_ms": _,
+      "p90_ms": _,
+      "p99_ms": _,
+      "buckets": {
+      }
+    },
+    "latency_by_method": {
+      "Bar-Yehuda–Even 2-approximation (Proposition _)": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "OptSRepair (Algorithm 1)": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      }
+    },
     "jobs": [
       {
         "id": "office",

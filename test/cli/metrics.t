@@ -1,8 +1,9 @@
 Metrics snapshots from the command line: --metrics records solver
-counters and hierarchical spans and dumps them as JSON after the repair.
-Durations are the only nondeterministic values; the sed mask replaces
-every float so the checked output is stable (counters are ints and
-deterministic, and the snapshot carries no timestamps).
+counters, hierarchical spans, and per-span latency histograms and dumps
+them as JSON after the repair. Durations are the only nondeterministic
+values; the sed masks replace every float and drop the timing-dependent
+histogram bucket lines so the checked output is stable (counters are
+ints and deterministic, and the snapshot carries no timestamps).
 
   $ cat > t.csv <<'CSV'
   > #id,A,B,C
@@ -14,7 +15,7 @@ deterministic, and the snapshot carries no timestamps).
 A tractable set runs OptSRepair (Algorithm 1); the span tree mirrors the
 simplification chain — CommonLHSRep then ConsensusRep recursions:
 
-  $ repair-cli s-repair -f "A -> B; A -> C" t.csv -o /dev/null --metrics 2>/dev/null | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  $ repair-cli s-repair -f "A -> B; A -> C" t.csv -o /dev/null --metrics 2>/dev/null | sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e '/^ *"[0-9]+": [0-9]+,?$/d'
   {
     "counters": {
       "ticks.opt-s-repair": 7
@@ -47,14 +48,49 @@ simplification chain — CommonLHSRep then ConsensusRep recursions:
           }
         ]
       }
-    ]
+    ],
+    "histograms": {
+      "common-lhs": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "consensus": {
+        "count": 3,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "opt-s-repair": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      }
+    }
   }
 
 A hard set at this size takes the exact baseline: conflict-graph
 construction, then branch-and-bound vertex cover (which warm-starts from
 the 2-approximation — hence the nested approx2 span):
 
-  $ repair-cli s-repair -f "A -> B; B -> C" t.csv -o /dev/null --metrics 2>/dev/null | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  $ repair-cli s-repair -f "A -> B; B -> C" t.csv -o /dev/null --metrics 2>/dev/null | sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e '/^ *"[0-9]+": [0-9]+,?$/d'
   {
     "counters": {
       "conflict-graph.edges": 3,
@@ -89,7 +125,53 @@ the 2-approximation — hence the nested approx2 span):
           }
         ]
       }
-    ]
+    ],
+    "histograms": {
+      "conflict-graph.build": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "s-exact": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "vertex-cover.approx2": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "vertex-cover.exact": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      }
+    }
   }
 
 --metrics composes with the robustness flags: under --max-steps the exact
@@ -98,7 +180,7 @@ approximation — the snapshot (here written to a file) keeps both attempts,
 and the tick counter shows exactly where the budget ran out:
 
   $ repair-cli s-repair -f "A -> B; B -> C" --max-steps 1 t.csv -o /dev/null --metrics=m.json 2>/dev/null
-  $ sed -E 's/[0-9]+\.[0-9]+/_/g' m.json
+  $ sed -E -e 's/[0-9]+\.[0-9]+/_/g' -e '/^ *"[0-9]+": [0-9]+,?$/d' m.json
   {
     "counters": {
       "conflict-graph.edges": 6,
@@ -152,7 +234,64 @@ and the tick counter shows exactly where the budget ran out:
           }
         ]
       }
-    ]
+    ],
+    "histograms": {
+      "conflict-graph.build": {
+        "count": 2,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "s-approx": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "s-exact": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "vertex-cover.approx2": {
+        "count": 2,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      },
+      "vertex-cover.exact": {
+        "count": 1,
+        "mean_ms": _,
+        "min_ms": _,
+        "max_ms": _,
+        "p50_ms": _,
+        "p90_ms": _,
+        "p99_ms": _,
+        "buckets": {
+        }
+      }
+    }
   }
 
 u-repair records through the same registry, and an ample --timeout leaves

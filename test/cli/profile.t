@@ -1,0 +1,66 @@
+The offline profiler: repair-cli profile replays a Chrome trace file
+(written by --trace) into a per-name hotspot table — completed spans
+with inclusive, self, and max wall time, instants as zero-duration
+marks. Durations are the only nondeterministic values; the sed mask
+replaces every float.
+
+  $ cat > t.csv <<'CSV'
+  > #id,A,B,C
+  > 1,1,1,1
+  > 2,1,1,2
+  > 3,1,2,1
+  > CSV
+  $ repair-cli s-repair -f "A -> B; B -> C" t.csv -o /dev/null --trace=out.json 2>/dev/null
+
+The report is sorted by self time; --top bounds the table (the trailing
+total line always covers the whole trace):
+
+  $ repair-cli profile out.json | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  NAME                                        COUNT     TOTAL_MS      SELF_MS       MAX_MS
+  conflict-graph.build                            1        _        _        _
+  vertex-cover.exact                              1        _        _        _
+  s-exact                                         1        _        _        _
+  vertex-cover.approx2                            1        _        _        _
+  conflict-graph.built                            1        _        _        _
+  ticks.vertex-cover                              3        _        _        _
+  total: 8 events across 6 names, _ ms self time
+  $ repair-cli profile --top 2 out.json | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  NAME                                        COUNT     TOTAL_MS      SELF_MS       MAX_MS
+  conflict-graph.build                            1        _        _        _
+  vertex-cover.exact                              1        _        _        _
+  total: 8 events across 6 names, _ ms self time
+
+--check validates without printing the table:
+
+  $ repair-cli profile --check out.json
+  out.json: valid trace, 12 events, 0 dropped
+
+A file that is not JSON is a parse error (exit 2); JSON that is not a
+trace document is too; a structurally broken trace — here an End with no
+matching Begin in a lossless (dropped: 0) trace — fails validation with
+exit 1:
+
+  $ echo 'not json' > bad.json
+  $ repair-cli profile bad.json
+  repair-cli: bad.json: expected null at offset 0
+  [2]
+  $ cat > notrace.json <<'JSON'
+  > {"hello": "world"}
+  > JSON
+  $ repair-cli profile notrace.json
+  repair-cli: notrace.json: missing "traceEvents"
+  [2]
+  $ cat > broken.json <<'JSON'
+  > {"traceEvents": [
+  >   {"name": "a", "cat": "repair", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1}
+  > ], "displayTimeUnit": "ms", "otherData": {"dropped": 0}}
+  > JSON
+  $ repair-cli profile broken.json
+  repair-cli: broken.json: invalid trace: end of "a" with no open span
+  [1]
+
+A missing file is caught by the command line parser before the profiler
+runs:
+
+  $ repair-cli profile nope.json 2>&1 | head -1
+  repair-cli: TRACE.json argument: no 'nope.json' file or directory

@@ -119,7 +119,8 @@ let all_entries =
     J.Start { job = "a"; attempt = 1 };
     J.Retry { job = "a"; attempt = 1; error = "budget-exhausted"; backoff_ms = 100 };
     J.Commit
-      { job = "a"; attempt = 2; status = `Degraded; method_used = "m"; distance = 2.5 };
+      { job = "a"; attempt = 2; status = `Degraded; method_used = "m";
+        distance = 2.5; wall_ms = 12.5; counters = [ ("ticks.y", 3) ] };
     J.Quarantine
       { job = "b"; attempts = 3; error = "parse"; detail = "bad row";
         counters = [ ("ticks.x", 7) ] } ]
@@ -155,7 +156,8 @@ let test_journal_truncates_uncommitted_tail () =
   J.append w (J.Start { job = "a"; attempt = 1 });
   J.append w
     (J.Commit
-       { job = "a"; attempt = 1; status = `Ok; method_used = "m"; distance = 0.0 });
+       { job = "a"; attempt = 1; status = `Ok; method_used = "m";
+         distance = 0.0; wall_ms = 0.0; counters = [] });
   let committed_bytes = read_file path in
   (* a dangling start plus a torn half-line: crash mid-job, mid-write *)
   J.append w (J.Start { job = "b"; attempt = 1 });
@@ -279,6 +281,49 @@ let test_runner_full_resume_is_noop () =
   Alcotest.(check int) "nothing executed" 0 (Hashtbl.length counts);
   Alcotest.(check string) "journal bytes unchanged" bytes (read_file journal)
 
+let test_summary_latency_histograms () =
+  let module H = Repair_obs.Histogram in
+  let dir = fresh_dir () in
+  let journal = Filename.concat dir "j.jsonl" in
+  let counts = Hashtbl.create 8 in
+  let behave id _ = if id = "poison" then raise_parse "bad" else ok_outcome in
+  let exec = counting_exec ~behave counts in
+  let s = Runner.run ~exec ~journal (stub_manifest [ "a"; "poison"; "b" ]) in
+  Alcotest.(check int) "committed jobs only" 2 (H.count s.latency);
+  (match s.latency_by_method with
+  | [ ("stub", h) ] -> Alcotest.(check int) "by-method count" 2 (H.count h)
+  | _ -> Alcotest.fail "expected exactly the \"stub\" method histogram");
+  (* resume: replayed jobs reload their commit latency from the journal,
+     so the resumed run's histogram matches the uninterrupted one *)
+  let s2 =
+    Runner.run ~resume:true ~exec ~journal (stub_manifest [ "a"; "poison"; "b" ])
+  in
+  Alcotest.(check int) "replayed latencies counted" 2 (H.count s2.latency);
+  let journal_walls =
+    List.filter_map
+      (function
+        | J.Commit { job; wall_ms; _ } -> Some (job, wall_ms) | _ -> None)
+      (J.recover journal).entries
+  in
+  List.iter
+    (fun (r : Runner.job_result) ->
+      match r.state with
+      | Runner.Committed _ ->
+        Alcotest.(check (float 0.0))
+          ("replayed wall_ms read back from journal: " ^ r.job.M.id)
+          (List.assoc r.job.M.id journal_walls)
+          r.wall_ms
+      | Runner.Quarantined _ -> ())
+    s2.results;
+  let j = Runner.summary_json s2 in
+  let mem k o = Repair_obs.Json.member k o in
+  (match Option.bind (mem "latency" j) (mem "p99_ms") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "summary latency lacks p99_ms");
+  match Option.bind (mem "latency_by_method" j) (mem "stub") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "summary lacks the per-method histogram"
+
 (* ---------- the kill-at-every-checkpoint matrix ---------- *)
 
 (* The runner ticks a phase-"batch" budget checkpoint after the Begin
@@ -288,9 +333,27 @@ let test_runner_full_resume_is_noop () =
    simulates kill -9 between two journal writes: the error escapes
    [Runner.run] (the runner's own ticks sit outside per-job isolation).
    Crash-safety means: for every k, crash-at-k then resume yields a
-   journal byte-for-byte identical to the uninterrupted run's, and no
-   job whose terminal record was durable at the crash is executed
-   again. *)
+   journal byte-for-byte identical to the uninterrupted run's — after
+   zeroing [wall_ms], the one wall-clock field Commit records carry —
+   and no job whose terminal record was durable at the crash is
+   executed again. *)
+
+let normalize_journal text =
+  String.split_on_char '\n' text
+  |> List.map (fun line ->
+         if line = "" then line
+         else
+           match Repair_obs.Json.of_string line with
+           | Ok (Repair_obs.Json.Obj fields) ->
+             Repair_obs.Json.to_string
+               (Repair_obs.Json.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       if k = "wall_ms" then (k, Repair_obs.Json.Float 0.0)
+                       else (k, v))
+                     fields))
+           | Ok _ | Error _ -> line)
+  |> String.concat "\n"
 
 let matrix_ids = [ "j1"; "j2"; "poison"; "j4"; "j5" ]
 
@@ -308,7 +371,7 @@ let test_crash_resume_matrix () =
   let ref_dir = fresh_dir () in
   let ref_journal = Filename.concat ref_dir "j.jsonl" in
   ignore (run_matrix ~journal:ref_journal (Hashtbl.create 8) ~resume:false);
-  let reference = read_file ref_journal in
+  let reference = normalize_journal (read_file ref_journal) in
   for k = 1 to matrix_checkpoints do
     let dir = fresh_dir () in
     let journal = Filename.concat dir "j.jsonl" in
@@ -334,7 +397,8 @@ let test_crash_resume_matrix () =
       (List.length committed) s.replayed;
     Alcotest.(check string)
       (Printf.sprintf "checkpoint %d: journal byte-identical to reference" k)
-      reference (read_file journal);
+      reference
+      (normalize_journal (read_file journal));
     List.iter
       (fun (id, n) ->
         Alcotest.(check int)
@@ -419,6 +483,8 @@ let () =
           Alcotest.test_case "retries" `Quick test_runner_retries_then_succeeds;
           Alcotest.test_case "quarantine" `Quick test_runner_quarantines;
           Alcotest.test_case "full resume" `Quick test_runner_full_resume_is_noop;
+          Alcotest.test_case "latency histograms" `Quick
+            test_summary_latency_histograms;
           Alcotest.test_case "solver fault is per-job" `Quick
             test_solver_fault_is_per_job ] );
       ( "crash-resume",

@@ -160,6 +160,305 @@ let qcheck_same_repair =
       Table.equal off.R.Driver.result on.R.Driver.result
       && off.R.Driver.method_used = on.R.Driver.method_used)
 
+(* ---------- the tracer ---------- *)
+
+module Trace = Repair_obs.Trace
+module Trace_export = Repair_obs.Trace_export
+module Histogram = Repair_obs.Histogram
+
+let with_trace ?capacity f =
+  Trace.enable ?capacity ();
+  Fun.protect ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+let names events = List.map (fun e -> e.Trace.name) events
+let kinds events = List.map (fun e -> e.Trace.kind) events
+
+let test_trace_spans_balanced () =
+  with_trace @@ fun () ->
+  Metrics.with_span "outer" (fun () ->
+      Metrics.with_span "inner" ignore;
+      Trace.instant "tick");
+  let events = Trace.events () in
+  Alcotest.(check (list string))
+    "names in emission order"
+    [ "outer"; "inner"; "inner"; "tick"; "outer" ]
+    (names events);
+  Alcotest.(check bool)
+    "kinds are B B E i E" true
+    (kinds events = Trace.[ Begin; Begin; End; Instant; End ]);
+  match Trace_export.validate events with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "validate rejected a balanced trace: %s" msg
+
+let test_trace_balanced_on_raise () =
+  with_trace @@ fun () ->
+  (try Metrics.with_span "dying" (fun () -> raise Exit) with Exit -> ());
+  let events = Trace.events () in
+  Alcotest.(check bool)
+    "B/E pair survives the exception" true
+    (kinds events = Trace.[ Begin; End ] && names events = [ "dying"; "dying" ]);
+  Alcotest.(check bool) "validates" true (Trace_export.validate events = Ok ())
+
+let test_trace_overflow_drops_oldest () =
+  with_trace ~capacity:4 @@ fun () ->
+  for i = 0 to 9 do
+    Trace.instant (Printf.sprintf "i%d" i)
+  done;
+  Alcotest.(check (list string))
+    "ring keeps the newest events" [ "i6"; "i7"; "i8"; "i9" ]
+    (names (Trace.events ()));
+  Alcotest.(check int) "six evictions" 6 (Trace.dropped ());
+  Alcotest.(check int) "surfaced as the trace.dropped counter" 6
+    (Metrics.counter "trace.dropped");
+  Alcotest.(check bool) "and listed in counters ()" true
+    (List.assoc_opt "trace.dropped" (Metrics.counters ()) = Some 6);
+  Trace.reset ();
+  Alcotest.(check int) "reset clears the drop count" 0 (Trace.dropped ())
+
+let test_trace_monotone () =
+  with_trace ~capacity:8 @@ fun () ->
+  for i = 0 to 19 do
+    Trace.instant (string_of_int i)
+  done;
+  let events = Trace.events () in
+  let ok_ts =
+    List.for_all2
+      (fun a b -> a.Trace.ts <= b.Trace.ts && a.Trace.seq < b.Trace.seq)
+      (List.filteri (fun i _ -> i < List.length events - 1) events)
+      (List.tl events)
+  in
+  Alcotest.(check bool) "ts non-decreasing, seq increasing" true ok_ts
+
+let test_trace_disabled_records_nothing () =
+  Trace.disable ();
+  Trace.reset ();
+  Trace.begin_ "ghost";
+  Trace.instant "ghost";
+  Trace.end_ "ghost";
+  Alcotest.(check bool) "no events" true (Trace.events () = []);
+  Alcotest.(check int) "no drops" 0 (Trace.dropped ())
+
+let qcheck_same_repair_traced =
+  Helpers.qcheck ~count:50 ~print:print_instance
+    "driver returns the same repair with tracing on and off" gen_instance
+    (fun inst ->
+      let d, tbl = build_instance inst in
+      Trace.disable ();
+      Trace.reset ();
+      let off = R.Driver.s_repair d tbl in
+      Trace.enable ~capacity:1024 ();
+      let on =
+        Fun.protect ~finally:(fun () ->
+            Trace.disable ();
+            Trace.reset ())
+          (fun () -> R.Driver.s_repair d tbl)
+      in
+      Table.equal off.R.Driver.result on.R.Driver.result
+      && off.R.Driver.method_used = on.R.Driver.method_used)
+
+(* ---------- histograms ---------- *)
+
+let test_histogram_buckets () =
+  Alcotest.(check int) "zero lands in bucket 0" 0 (Histogram.bucket_of 0.0);
+  Alcotest.(check int) "below lowest lands in bucket 0" 0
+    (Histogram.bucket_of (Histogram.lowest /. 10.0));
+  Alcotest.(check int) "above highest lands in the overflow bucket"
+    (Histogram.n_buckets - 1)
+    (Histogram.bucket_of (2.0 *. Histogram.highest));
+  for i = 0 to Histogram.n_buckets - 2 do
+    let lo, hi = Histogram.bounds i in
+    Alcotest.(check int)
+      (Printf.sprintf "geometric midpoint of bucket %d maps back" i)
+      i
+      (Histogram.bucket_of (Float.sqrt (lo *. hi)))
+  done;
+  let lo, hi = Histogram.bounds (Histogram.n_buckets - 1) in
+  Alcotest.(check bool) "overflow bucket is [highest, inf)" true
+    (lo = Histogram.highest && hi = infinity)
+
+let test_histogram_stats () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Histogram.quantile h 0.5);
+  List.iter (Histogram.observe h) [ 0.001; 0.002; 0.004; -1.0 ];
+  Alcotest.(check int) "count" 4 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum (negative clamped to 0)" 0.007
+    (Histogram.sum h);
+  Alcotest.(check (float 0.0)) "min" 0.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max" 0.004 (Histogram.max_value h);
+  (* All mass in one value: every quantile is clamped to that value. *)
+  let h1 = Histogram.create () in
+  for _ = 1 to 100 do
+    Histogram.observe h1 0.001
+  done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "degenerate q=%g" q)
+        0.001 (Histogram.quantile h1 q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_histogram_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  List.iter (Histogram.observe a) [ 0.001; 0.010 ];
+  List.iter (Histogram.observe b) [ 0.100; 0.500; 2.0 ];
+  let all = Histogram.create () in
+  List.iter (Histogram.observe all) [ 0.001; 0.010; 0.100; 0.500; 2.0 ];
+  let m = Histogram.copy a in
+  Histogram.merge ~into:m b;
+  Alcotest.(check int) "merged count" 5 (Histogram.count m);
+  Alcotest.(check bool) "merge equals observing everything" true
+    (Histogram.summary_json m = Histogram.summary_json all);
+  Alcotest.(check int) "merge source untouched" 3 (Histogram.count b);
+  Alcotest.(check int) "copy detached a from m" 2 (Histogram.count a)
+
+let test_histogram_json_roundtrip () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0.0005; 0.003; 0.003; 0.047; 1.5 ];
+  let j = Histogram.summary_json h in
+  (* Through the printer too: the summary must survive the codec. *)
+  let reparsed =
+    match Json.of_string (Json.to_string j) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "summary does not reparse: %s" msg
+  in
+  match Histogram.of_summary_json reparsed with
+  | Error msg -> Alcotest.failf "of_summary_json: %s" msg
+  | Ok h' ->
+    Alcotest.(check int) "count" (Histogram.count h) (Histogram.count h');
+    Alcotest.(check (float 1e-9)) "mean" (Histogram.mean h) (Histogram.mean h');
+    List.iter
+      (fun q ->
+        Alcotest.(check (float 1e-9))
+          (Printf.sprintf "q=%g" q)
+          (Histogram.quantile h q) (Histogram.quantile h' q))
+      [ 0.5; 0.9; 0.99 ];
+    Alcotest.(check bool) "bucket counts identical" true
+      (Json.member "buckets" (Histogram.summary_json h')
+      = Json.member "buckets" j)
+
+let test_histogram_json_rejects_mismatch () =
+  let j =
+    Json.Obj
+      [ ("count", Json.Int 3);
+        ("mean_ms", Json.Float 1.0);
+        ("min_ms", Json.Float 1.0);
+        ("max_ms", Json.Float 1.0);
+        ("p50_ms", Json.Float 1.0);
+        ("p90_ms", Json.Float 1.0);
+        ("p99_ms", Json.Float 1.0);
+        ("buckets", Json.Obj [ ("0", Json.Int 1) ]) ]
+  in
+  match Histogram.of_summary_json j with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bucket counts that disagree with count"
+
+let test_span_histograms () =
+  with_enabled @@ fun () ->
+  Metrics.with_span "h" (fun () -> busy_wait 0.001);
+  Metrics.with_span "h" ignore;
+  match Metrics.histogram "h" with
+  | None -> Alcotest.fail "with_span did not feed a histogram"
+  | Some h ->
+    Alcotest.(check int) "one observation per span" 2 (Histogram.count h);
+    Alcotest.(check bool) "max >= busy wait" true
+      (Histogram.max_value h >= 0.001);
+    Alcotest.(check bool) "listed in histograms ()" true
+      (List.mem_assoc "h" (Metrics.histograms ()))
+
+(* ---------- Chrome export ---------- *)
+
+let ev seq ts kind name = { Trace.seq; ts; kind; name }
+
+let test_chrome_roundtrip () =
+  with_trace @@ fun () ->
+  Metrics.with_span "a" (fun () ->
+      Trace.instant "p";
+      Metrics.with_span "b" ignore);
+  let events = Trace.events () in
+  let doc = Trace_export.to_chrome events ~dropped:0 in
+  (* Reparse through the printer, as repair-cli profile does. *)
+  let doc =
+    match Json.of_string (Json.to_string ~pretty:true doc) with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "export does not reparse: %s" msg
+  in
+  match Trace_export.of_chrome doc with
+  | Error msg -> Alcotest.failf "of_chrome: %s" msg
+  | Ok (events', dropped) ->
+    Alcotest.(check int) "dropped preserved" 0 dropped;
+    Alcotest.(check (list string)) "names" (names events) (names events');
+    Alcotest.(check bool) "kinds" true (kinds events = kinds events');
+    List.iter2
+      (fun e e' ->
+        Alcotest.(check (float 1e-6)) "ts survives µs round trip" e.Trace.ts
+          e'.Trace.ts)
+      events events'
+
+let test_chrome_dropped_preserved () =
+  with_trace ~capacity:2 @@ fun () ->
+  List.iter Trace.instant [ "a"; "b"; "c"; "d"; "e" ];
+  let doc = Trace_export.to_chrome (Trace.events ()) ~dropped:(Trace.dropped ()) in
+  match Trace_export.of_chrome doc with
+  | Ok (events', dropped) ->
+    Alcotest.(check int) "dropped round trips" 3 dropped;
+    Alcotest.(check (list string)) "surviving events" [ "d"; "e" ]
+      (names events')
+  | Error msg -> Alcotest.failf "of_chrome: %s" msg
+
+let test_validate_rejects () =
+  let reject what events =
+    match Trace_export.validate events with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "validate accepted %s" what
+  in
+  reject "an unclosed span" [ ev 0 0.0 Trace.Begin "a" ];
+  reject "an orphan end"
+    [ ev 0 0.0 Trace.Begin "a"; ev 1 1.0 Trace.End "a"; ev 2 2.0 Trace.End "a" ];
+  reject "a name mismatch"
+    [ ev 0 0.0 Trace.Begin "a"; ev 1 1.0 Trace.End "b" ];
+  reject "a clock step backwards"
+    [ ev 0 1.0 Trace.Instant "a"; ev 1 0.5 Trace.Instant "b" ];
+  (* A lossy ring legitimately starts with orphaned ends. *)
+  match
+    Trace_export.validate ~dropped:1
+      [ ev 0 0.0 Trace.End "evicted"; ev 1 1.0 Trace.Begin "a";
+        ev 2 2.0 Trace.End "a" ]
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "lossy head rejected: %s" msg
+
+let test_hotspots () =
+  (* a [0,4] contains b [1,3]: a self = 2, b self = 2; instants only
+     count when no span shares the name. *)
+  let events =
+    [ ev 0 0.0 Trace.Begin "a"; ev 1 1.0 Trace.Begin "b";
+      ev 2 1.5 Trace.Instant "b"; ev 3 3.0 Trace.End "b";
+      ev 4 3.5 Trace.Instant "mark"; ev 5 4.0 Trace.End "a" ]
+  in
+  let hs = Trace_export.hotspots events in
+  let find n = List.find (fun h -> h.Trace_export.name = n) hs in
+  let a = find "a" and b = find "b" and mark = find "mark" in
+  Alcotest.(check (float 1e-9)) "a total" 4.0 a.Trace_export.total_s;
+  Alcotest.(check (float 1e-9)) "a self" 2.0 a.Trace_export.self_s;
+  Alcotest.(check (float 1e-9)) "b total" 2.0 b.Trace_export.total_s;
+  Alcotest.(check (float 1e-9)) "b self" 2.0 b.Trace_export.self_s;
+  Alcotest.(check int) "span beats instant for b" 1 b.Trace_export.count;
+  Alcotest.(check int) "bare instant counted" 1 mark.Trace_export.count;
+  Alcotest.(check (float 0.0)) "bare instant has no duration" 0.0
+    mark.Trace_export.total_s;
+  let report = Fmt.str "%a" (Trace_export.pp_hotspots ~top:10) hs in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report has a total line" true
+    (contains report "total:")
+
 (* ---------- the JSON codec ---------- *)
 
 let sample =
@@ -252,7 +551,32 @@ let () =
           Alcotest.test_case "disabled is free" `Quick
             test_disabled_records_nothing;
           Alcotest.test_case "reset is pristine" `Quick test_reset_pristine ] );
-      ("transparency", [ qcheck_same_repair ]);
+      ("transparency", [ qcheck_same_repair; qcheck_same_repair_traced ]);
+      ( "trace",
+        [ Alcotest.test_case "spans balanced" `Quick test_trace_spans_balanced;
+          Alcotest.test_case "balanced on raise" `Quick
+            test_trace_balanced_on_raise;
+          Alcotest.test_case "overflow drops oldest" `Quick
+            test_trace_overflow_drops_oldest;
+          Alcotest.test_case "monotone" `Quick test_trace_monotone;
+          Alcotest.test_case "disabled is free" `Quick
+            test_trace_disabled_records_nothing ] );
+      ( "histograms",
+        [ Alcotest.test_case "bucket scheme" `Quick test_histogram_buckets;
+          Alcotest.test_case "stats" `Quick test_histogram_stats;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+          Alcotest.test_case "json round trip" `Quick
+            test_histogram_json_roundtrip;
+          Alcotest.test_case "json rejects mismatch" `Quick
+            test_histogram_json_rejects_mismatch;
+          Alcotest.test_case "spans feed histograms" `Quick
+            test_span_histograms ] );
+      ( "chrome export",
+        [ Alcotest.test_case "round trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "dropped preserved" `Quick
+            test_chrome_dropped_preserved;
+          Alcotest.test_case "validate rejects" `Quick test_validate_rejects;
+          Alcotest.test_case "hotspots" `Quick test_hotspots ] );
       ( "json",
         [ Alcotest.test_case "round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "float literals" `Quick test_json_float_literals;
