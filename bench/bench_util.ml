@@ -40,16 +40,95 @@ let record ?(n = 0) ?(noise = 0.0) ?(counters = []) ~solver ~wall_ms () =
          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) counters)) ]
     :: !records
 
+(* Median-of-N runs: with [set_runs n], every experiment body is executed
+   [n] times and each emitted record keeps the median wall_ms across the
+   repetitions (all other fields come from the first run). This makes the
+   compare.ml regression gate far less sensitive to scheduler noise. *)
+let runs = ref 1
+
+let set_runs n =
+  if n < 1 then invalid_arg "Bench_util.set_runs: need at least one run";
+  runs := n
+
+let median xs =
+  let sorted = List.sort compare xs in
+  let len = List.length sorted in
+  let lo = List.nth sorted ((len - 1) / 2) and hi = List.nth sorted (len / 2) in
+  (lo +. hi) /. 2.0
+
+let field_of json key =
+  match json with
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let with_wall_ms json v =
+  match json with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (fun (k, x) -> if k = "wall_ms" then (k, Json.Float v) else (k, x))
+         fields)
+  | other -> other
+
+(* Records within one repetition are matched across repetitions by
+   (name, occurrence index): experiments emit records in a deterministic
+   order, and a name may legitimately recur (e.g. one record per sweep
+   point under the same solver label). *)
+let occurrence_keys recs =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun r ->
+      let name =
+        match field_of r "name" with Some (Json.String s) -> s | _ -> ""
+      in
+      let k = try Hashtbl.find seen name with Not_found -> 0 in
+      Hashtbl.replace seen name (k + 1);
+      (name, k))
+    recs
+
 (* Run one experiment with a fresh metrics registry; its wall-clock time
    and accumulated counters become the "<name>/harness" record. *)
 let run_experiment name f =
   current_experiment := name;
-  Metrics.reset ();
-  Metrics.enable ();
-  let t0 = Unix.gettimeofday () in
-  f ();
-  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-  record ~counters:(Metrics.counters ()) ~solver:"harness" ~wall_ms ()
+  let outer = !records in
+  let one () =
+    records := [];
+    Metrics.reset ();
+    Metrics.enable ();
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    record ~counters:(Metrics.counters ()) ~solver:"harness" ~wall_ms ();
+    List.rev !records (* chronological *)
+  in
+  let first = one () in
+  let merged =
+    if !runs = 1 then first
+    else begin
+      let walls = Hashtbl.create 64 in
+      let stash recs =
+        List.iter2
+          (fun key r ->
+            match field_of r "wall_ms" with
+            | Some (Json.Float w) ->
+              Hashtbl.replace walls key
+                (w :: (try Hashtbl.find walls key with Not_found -> []))
+            | _ -> ())
+          (occurrence_keys recs) recs
+      in
+      stash first;
+      for _ = 2 to !runs do
+        stash (one ())
+      done;
+      List.map2
+        (fun key r ->
+          match Hashtbl.find_opt walls key with
+          | Some ws -> with_wall_ms r (median ws)
+          | None -> r)
+        (occurrence_keys first) first
+    end
+  in
+  records := List.rev_append merged outer
 
 let git_describe () =
   try

@@ -1,0 +1,109 @@
+(* Frozen replica of the seed (pre-columnar) table representation, kept
+   as the "before" baseline for the E20 scaling experiments. The seed
+   stored a table as [row Imap.t]; [group_by] collected the distinct
+   keys into a [Tmap] and then rebuilt a filtered copy of the whole map
+   per group (O(g·n) work per grouping), and conflict-graph construction
+   looked every tuple id up in a [Hashtbl] inside the innermost
+   cross-product loop. None of this code is reachable from the library —
+   it exists only so the benchmark can measure the representation the
+   columnar core replaced, on identical inputs. *)
+
+module R = Repair_core.Repair
+open R.Relational
+module G = R.Graph.Graph
+module Imap = Map.Make (Int)
+
+module Tmap = Map.Make (struct
+  type t = Tuple.t
+
+  let compare = Tuple.compare
+end)
+
+type row = { tuple : Tuple.t; weight : float }
+type t = { schema : Schema.t; rows : row Imap.t }
+
+let of_table tbl =
+  {
+    schema = Table.schema tbl;
+    rows =
+      Table.fold
+        (fun i tuple weight acc -> Imap.add i { tuple; weight } acc)
+        tbl Imap.empty;
+  }
+
+let size m = Imap.cardinal m.rows
+
+let group_by m x =
+  let keys =
+    Imap.fold
+      (fun _ r acc -> Tmap.add (Tuple.project m.schema r.tuple x) () acc)
+      m.rows Tmap.empty
+  in
+  Tmap.bindings keys
+  |> List.map (fun (key, ()) ->
+         let rows =
+           Imap.filter
+             (fun _ r ->
+               Tuple.equal (Tuple.project m.schema r.tuple x) key)
+             m.rows
+         in
+         (key, { m with rows }))
+
+let union m1 m2 =
+  {
+    m1 with
+    rows =
+      Imap.union
+        (fun i _ _ ->
+          invalid_arg (Printf.sprintf "Legacy.union: identifier %d in both" i))
+        m1.rows m2.rows;
+  }
+
+let ids m = List.map fst (Imap.bindings m.rows)
+
+let total_weight m =
+  Imap.fold (fun _ r acc -> acc +. r.weight) m.rows 0.0
+
+(* The seed's common-lhs recursion skeleton: partition on the common lhs
+   attribute and fold the per-group results back together with [union]
+   (each per-group "solve" is the identity, isolating the grouping and
+   union cost that Opt_s_repair pays at every recursion level). *)
+let chain_pass m x =
+  group_by m x
+  |> List.fold_left
+       (fun acc (_, sub) -> union acc sub)
+       { m with rows = Imap.empty }
+
+(* Seed conflict-graph construction for a single FD X→Y: group by X,
+   subgroup by Y, then cross-product distinct subgroups resolving every
+   tuple id through the id→vertex Hashtbl. *)
+let conflict_graph m ~lhs ~rhs =
+  let ids = Array.of_list (ids m) in
+  let n = Array.length ids in
+  let index = Hashtbl.create n in
+  Array.iteri (fun v i -> Hashtbl.add index i v) ids;
+  let weights = Array.map (fun i -> (Imap.find i m.rows).weight) ids in
+  let graph = G.create_weighted weights in
+  List.iter
+    (fun (_, sub) ->
+      let subgroups = group_by sub rhs in
+      let id_lists = List.map (fun (_, s) -> List.map fst (Imap.bindings s.rows)) subgroups in
+      let rec cross = function
+        | [] -> ()
+        | g1 :: rest ->
+          List.iter
+            (fun g2 ->
+              List.iter
+                (fun i ->
+                  List.iter
+                    (fun j ->
+                      G.add_edge graph (Hashtbl.find index i)
+                        (Hashtbl.find index j))
+                    g2)
+                g1)
+            rest;
+          cross rest
+      in
+      cross id_lists)
+    (group_by m lhs);
+  graph

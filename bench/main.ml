@@ -730,17 +730,157 @@ let e19 () =
   row "  %d ticks: disabled %.1f ms, metrics enabled %.1f ms@." iters off_ms
     on_ms
 
+(* ----------------------------------------------------------------- E20 *)
+
+(* Scaling sweep for the columnar table core: identical random instances
+   are run through the frozen seed representation (bench/legacy.ml — the
+   [Imap]-backed tables with per-group [Imap.filter] grouping and the
+   Hashtbl-in-the-inner-loop conflict build) and through the live
+   columnar path, across three workloads shaped like the library's hot
+   paths:
+
+   - chain:    common-lhs recursion skeleton — group_by on one attribute,
+               then fold the groups back together with union;
+   - marriage: group_by on a two-attribute key (the lhs-marriage block
+               partition);
+   - conflict: conflict-graph construction for one FD plus the VC
+               2-approximation.
+
+   In the full run the 100k sweep point asserts the ≥5× speedup the
+   columnar rework was built for (chain and conflict workloads); the
+   smoke subset keeps only the 1k point so CI can gate the records
+   cheaply. *)
+let e20_smoke = ref false
+
+let e20 () =
+  section "E20"
+    "Columnar core scaling — legacy Imap representation vs id-slice views";
+  let schema = Schema.make "Scale" [ "A"; "B"; "C" ] in
+  let xa = Attr_set.of_list [ "A" ] in
+  let xb = Attr_set.of_list [ "B" ] in
+  let xab = Attr_set.of_list [ "A"; "B" ] in
+  let fd_ab = Fd_set.of_list [ Fd.make xa xb ] in
+  let sizes = if !e20_smoke then [ 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  (* (workload, n) -> legacy_ms /. columnar_ms, for the final checks *)
+  let ratios = Hashtbl.create 16 in
+  let sweep ~workload ~n ~legacy_ms ~columnar_ms =
+    let ratio = legacy_ms /. columnar_ms in
+    Hashtbl.replace ratios (workload, n) ratio;
+    record ~n ~solver:(Printf.sprintf "%s-legacy/n=%d" workload n)
+      ~wall_ms:legacy_ms ();
+    record ~n ~solver:(Printf.sprintf "%s-columnar/n=%d" workload n)
+      ~wall_ms:columnar_ms ();
+    row "  %-10s n=%-7d legacy %10.2f ms   columnar %8.2f ms   %6.1fx@."
+      workload n legacy_ms columnar_ms ratio
+  in
+  row "  %-10s %-9s %-20s %-19s %s@." "workload" "" "" "" "speedup";
+  List.iter
+    (fun n ->
+      let rng = Rng.make (9000 + n) in
+      (* chain/marriage instance: A has ~n/200-sized groups, B is a
+         10-valued secondary key. *)
+      let chain_tbl =
+        Table.of_list schema
+          (List.init n (fun i ->
+               ( i + 1,
+                 1.0,
+                 Tuple.make
+                   [ Value.int (Rng.in_range rng 1 (max 2 (n / 500)));
+                     Value.int (Rng.in_range rng 1 10);
+                     Value.int (Rng.in_range rng 1 10) ] )))
+      in
+      let chain_legacy = Legacy.of_table chain_tbl in
+      (* conflict instance: ~40-tuple A-groups, B dirty in ~10% of rows
+         so the conflict graph stays sparse while the grouping work
+         scales with g·n. *)
+      let conflict_tbl =
+        Table.of_list schema
+          (List.init n (fun i ->
+               ( i + 1,
+                 1.0,
+                 Tuple.make
+                   [ Value.int (Rng.in_range rng 1 (max 2 (n / 40)));
+                     Value.int (if Rng.bernoulli rng 0.1 then 2 else 1);
+                     Value.int (Rng.in_range rng 1 10) ] )))
+      in
+      let conflict_legacy = Legacy.of_table conflict_tbl in
+
+      (* --- chain: group_by A then fold union --- *)
+      let l_res, legacy_ms =
+        time (fun () -> Legacy.chain_pass chain_legacy xa)
+      in
+      let c_res, columnar_ms =
+        time (fun () ->
+            Table.group_by chain_tbl xa
+            |> List.fold_left
+                 (fun acc (_, sub) -> Table.union acc sub)
+                 (Table.empty schema))
+      in
+      check
+        (Printf.sprintf "chain n=%d: columnar result matches legacy" n)
+        (Table.size c_res = Legacy.size l_res
+        && approx_eq (Table.total_weight c_res) (Legacy.total_weight l_res));
+      sweep ~workload:"chain" ~n ~legacy_ms ~columnar_ms;
+
+      (* --- marriage: group_by on the two-attribute key --- *)
+      let l_groups, legacy_ms =
+        time (fun () -> List.length (Legacy.group_by chain_legacy xab))
+      in
+      let c_groups, columnar_ms =
+        time (fun () -> List.length (Table.group_by chain_tbl xab))
+      in
+      check
+        (Printf.sprintf "marriage n=%d: same number of blocks" n)
+        (l_groups = c_groups);
+      sweep ~workload:"marriage" ~n ~legacy_ms ~columnar_ms;
+
+      (* --- conflict: graph for A→B plus the VC 2-approximation --- *)
+      let module G = R.Graph.Graph in
+      let module Vc = R.Graph.Vertex_cover in
+      let module Cg = R.Srepair.Conflict_graph in
+      let (l_edges, l_cover), legacy_ms =
+        time (fun () ->
+            let g = Legacy.conflict_graph conflict_legacy ~lhs:xa ~rhs:xb in
+            (G.n_edges g, Vc.cover_weight g (Vc.approx2 g)))
+      in
+      let (c_edges, c_cover), columnar_ms =
+        time (fun () ->
+            let cg = Cg.build fd_ab conflict_tbl in
+            let g = Cg.graph cg in
+            (G.n_edges g, Vc.cover_weight g (Vc.approx2 g)))
+      in
+      check
+        (Printf.sprintf "conflict n=%d: same edges and same approx2 cover" n)
+        (l_edges = c_edges && approx_eq l_cover c_cover);
+      sweep ~workload:"conflict" ~n ~legacy_ms ~columnar_ms)
+    sizes;
+  if not !e20_smoke then begin
+    let ratio_at workload n =
+      try Hashtbl.find ratios (workload, n) with Not_found -> 0.0
+    in
+    check "chain speedup at 100k is at least 5x"
+      (ratio_at "chain" 100_000 >= 5.0);
+    check "conflict speedup at 100k is at least 5x"
+      (ratio_at "conflict" 100_000 >= 5.0)
+  end
+
 (* ------------------------------------------------------------- runner *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8-E9", e8_e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19) ]
+    ("E18", e18); ("E19", e19); ("E20", e20) ]
 
 (* The --smoke subset: seconds-scale experiments that still cover both
    repair flavours, exact baselines, and the record-emission path. *)
-let smoke_subset = [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19" ]
+let smoke_subset =
+  [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19"; "E20" ]
 
 let () =
   let smoke = ref false and out = ref "BENCH_1.json" in
@@ -752,11 +892,20 @@ let () =
     | "--out" :: file :: rest ->
       out := file;
       parse rest
+    | "--runs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some k when k >= 1 -> set_runs k
+      | _ ->
+        Fmt.epr "bench: --runs expects a positive integer, got %s@." n;
+        exit 2);
+      parse rest
     | arg :: _ ->
-      Fmt.epr "bench: unknown argument %s (try --smoke, --out FILE)@." arg;
+      Fmt.epr
+        "bench: unknown argument %s (try --smoke, --out FILE, --runs N)@." arg;
       exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
+  e20_smoke := !smoke;
   Fmt.pr
     "repair-bench — reproduction experiments for 'Computing Optimal Repairs \
      for Functional Dependencies' (PODS'18)%s@."

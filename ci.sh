@@ -32,7 +32,9 @@ dune exec bin/repair_cli.exe -- s-repair -f "A -> B; B -> C" \
   "$tdir/t.csv" -o /dev/null --trace="$tdir/out.json"
 dune exec bin/repair_cli.exe -- profile --check "$tdir/out.json"
 
-dune exec bench/main.exe -- --smoke --out "$out"
+# Median-of-3 runs keep the ms-scale smoke records (including the E20
+# 1k sweep point) below the compare gate's noise threshold.
+dune exec bench/main.exe -- --smoke --runs 3 --out "$out"
 
 # Self-comparison exercises the parser and the matching logic; identical
 # inputs must report zero regressions.

@@ -113,7 +113,8 @@ let parse_string ?(file = "<csv>") ~name s =
       with Invalid_argument m ->
         Repair_error.raise_error (Schema_mismatch { source = file; detail = m })
     in
-    let parse_row line_no tbl record =
+    let builder = Table.Builder.create ~capacity:(List.length body) schema in
+    let parse_row line_no record =
       let fields = fields_of ~line:line_no record in
       if List.length fields <> List.length cols then
         parse_err ~file ~line:line_no "row has %d fields, expected %d"
@@ -140,13 +141,11 @@ let parse_string ?(file = "<csv>") ~name s =
           fields
         |> List.map Value.of_string
       in
-      try Table.add ?id ~weight tbl (Tuple.make vs)
+      try Table.Builder.add ?id ~weight builder (Tuple.make vs)
       with Invalid_argument m -> parse_err ~file ~line:line_no "%s" m
     in
-    List.fold_left
-      (fun (line_no, tbl) record -> (line_no + 1, parse_row line_no tbl record))
-      (2, Table.empty schema) body
-    |> snd
+    List.iteri (fun k record -> parse_row (k + 2) record) body;
+    Table.Builder.build builder
 
 let parse_result ?file ~name s =
   Repair_error.guard (fun () -> parse_string ?file ~name s)

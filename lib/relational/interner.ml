@@ -1,0 +1,41 @@
+(* Value interning: an append-only dictionary assigning each distinct
+   [Value.t] a dense integer code. Codes are handed out in first-seen
+   order, so equal values always share a code and distinct values never
+   do. A pool is shared between a columnar store and every store derived
+   from it, which lets derived stores copy code columns verbatim instead
+   of re-hashing the values. *)
+
+module H = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = { codes : int H.t; mutable values : Value.t array; mutable n : int }
+
+let create ?(capacity = 64) () =
+  { codes = H.create capacity; values = Array.make 16 Value.Unit; n = 0 }
+
+let size p = p.n
+
+let intern p v =
+  match H.find_opt p.codes v with
+  | Some c -> c
+  | None ->
+    let c = p.n in
+    if c = Array.length p.values then begin
+      let grown = Array.make (2 * c) Value.Unit in
+      Array.blit p.values 0 grown 0 c;
+      p.values <- grown
+    end;
+    p.values.(c) <- v;
+    p.n <- c + 1;
+    H.add p.codes v c;
+    c
+
+let code_opt p v = H.find_opt p.codes v
+
+let value p c =
+  if c < 0 || c >= p.n then invalid_arg "Interner.value: code out of range";
+  p.values.(c)

@@ -1,0 +1,26 @@
+(** Append-only interning of {!Value.t} into dense integer codes.
+
+    Equal values (under {!Value.equal}) always receive the same code and
+    distinct values never share one, so comparing codes with [(=)] is
+    equivalent to comparing the underlying values. Codes are dense:
+    the [n]-th distinct value interned gets code [n - 1]. Pools only
+    grow; they are shared freely between the columnar stores derived
+    from one another (see {!Table}). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Number of distinct values interned so far. *)
+val size : t -> int
+
+(** [intern p v] returns the code of [v], assigning the next dense code
+    on first sight. *)
+val intern : t -> Value.t -> int
+
+(** [code_opt p v] is [v]'s code if it has been interned. *)
+val code_opt : t -> Value.t -> int option
+
+(** [value p c] decodes a code.
+    @raise Invalid_argument if [c] was never assigned. *)
+val value : t -> int -> Value.t

@@ -183,8 +183,9 @@ let parse_string ?(file = "<jsonl>") ~name text =
     with Invalid_argument m ->
       Repair_error.raise_error (Schema_mismatch { source = file; detail = m })
   in
-  List.fold_left
-    (fun tbl (line_no, fields) ->
+  let builder = Table.Builder.create ~capacity:(List.length objects) schema in
+  List.iter
+    (fun (line_no, fields) ->
       let id =
         match List.assoc_opt "#id" fields with
         | Some (J_int i) -> Some i
@@ -208,9 +209,10 @@ let parse_string ?(file = "<jsonl>") ~name text =
             | None -> parse_err ~line:line_no "missing attribute %s" a)
           attrs
       in
-      try Table.add ?id ~weight tbl (Tuple.make values)
+      try Table.Builder.add ?id ~weight builder (Tuple.make values)
       with Invalid_argument m -> parse_err ~line:line_no "%s" m)
-    (Table.empty schema) objects
+    objects;
+  Table.Builder.build builder
 
 let parse_result ?file ~name text =
   Repair_error.guard (fun () -> parse_string ?file ~name text)

@@ -3,7 +3,14 @@
     A table [T] over a schema maps each tuple identifier [i ∈ ids(T)] to a
     tuple [T[i]] and a positive weight [w_T(i)]. Duplicate tuples (equal
     tuples under distinct identifiers) are allowed. Tables are immutable;
-    all operations are persistent. *)
+    all operations are persistent.
+
+    Internally a table is an id-slice view over an append-only columnar
+    store whose values are interned into dense codes (see DESIGN §11):
+    [group_by], [select], [restrict] and same-store [union] return
+    O(result-size) views sharing the backing arrays, and grouping is a
+    single hash pass over interned code columns. None of this changes
+    the observable semantics above. *)
 
 type t
 
@@ -27,6 +34,29 @@ val of_list : Schema.t -> (id * float * Tuple.t) list -> t
 
 (** [of_tuples schema tuples] numbers tuples 1..n with unit weights. *)
 val of_tuples : Schema.t -> Tuple.t list -> t
+
+(** Bulk construction. A builder accumulates rows and commits them into
+    a columnar store in one pass — ids are tracked with a hash set and a
+    running maximum, so loading n rows is O(n) instead of the O(n log n)
+    (plus a max-binding walk per insert) of folding {!add}. Used by the
+    IO front-ends. *)
+module Builder : sig
+  type table := t
+  type t
+
+  val create : ?capacity:int -> Schema.t -> t
+
+  (** Rows accumulated so far. *)
+  val length : t -> int
+
+  (** Same contract and error messages as {!Table.add}: omitted ids get
+      one above the current maximum, duplicate ids / non-positive
+      weights / arity mismatches raise [Invalid_argument]. *)
+  val add : ?id:id -> ?weight:float -> t -> Tuple.t -> unit
+
+  (** Commit the accumulated rows. The builder must not be reused. *)
+  val build : t -> table
+end
 
 (** {1 Access} *)
 
@@ -146,3 +176,43 @@ val all_values : t -> Value.t list
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** {1 Zero-copy view access}
+
+    Positional access to a table's visible rows, bypassing id lookups.
+    A table exposes its rows at positions [0 .. length tbl - 1] in
+    increasing id order; positions are dense, so algorithms (e.g.
+    conflict-graph construction) can use them directly as vertex
+    indices without a side [Hashtbl]. *)
+module View : sig
+  (** Number of visible rows (equals {!Table.size}). *)
+  val length : t -> int
+
+  (** [id tbl k] / [tuple tbl k] / [weight tbl k] access the row at
+      visible position [k] (0-based, id order). No bounds checks beyond
+      the backing array's. *)
+  val id : t -> int -> id
+
+  val tuple : t -> int -> Tuple.t
+  val weight : t -> int -> float
+
+  (** All visible ids, in increasing order. *)
+  val ids_array : t -> id array
+
+  (** [of_positions tbl ps] is the sub-view of [tbl] keeping the rows at
+      positions [ps].
+      @raise Invalid_argument if [ps] is not strictly increasing or a
+      position is out of range. *)
+  val of_positions : t -> int array -> t
+
+  (** [group_within tbl ps x] partitions the rows at positions [ps] by
+      their projection on [x], returning position arrays: groups in
+      first-seen order, members in input order. A single hash pass over
+      the interned code columns — no keys or subtables are built. *)
+  val group_within : t -> int array -> Attr_set.t -> int array list
+
+  (** [groups tbl x] is {!Table.group_by} without the subtables: each
+      distinct key (sorted) paired with the visible positions of its
+      rows (increasing). *)
+  val groups : t -> Attr_set.t -> (Tuple.t * int array) list
+end

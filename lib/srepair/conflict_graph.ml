@@ -18,38 +18,35 @@ let record_built cg =
 
 let build d tbl =
   Metrics.with_span "conflict-graph.build" @@ fun () ->
-  let ids = Array.of_list (Table.ids tbl) in
+  let ids = Table.View.ids_array tbl in
   let n = Array.length ids in
   let index = Hashtbl.create n in
   Array.iteri (fun v i -> Hashtbl.add index i v) ids;
-  let weights = Array.map (fun i -> Table.weight tbl i) ids in
+  let weights = Array.init n (fun v -> Table.View.weight tbl v) in
   let graph = G.create_weighted weights in
   (* For each FD X → Y: group tuples by their X-projection; within a group,
      split by the Y-projection; any two tuples in different Y-subgroups of
-     the same X-group conflict. *)
+     the same X-group conflict. Grouping works on visible row positions,
+     which ARE the dense vertex ids, so the cross-product loop adds edges
+     straight from the position arrays — no id→vertex lookups. *)
+  let all = Array.init n (fun v -> v) in
   let add_fd fd =
-    let groups = Table.group_by tbl (Fd.lhs fd) in
+    let groups = Table.View.group_within tbl all (Fd.lhs fd) in
     List.iter
-      (fun (_, sub) ->
-        let subgroups = Table.group_by sub (Fd.rhs fd) in
-        let id_lists = List.map (fun (_, s) -> Table.ids s) subgroups in
+      (fun group ->
+        let subgroups = Table.View.group_within tbl group (Fd.rhs fd) in
         let rec cross = function
           | [] -> ()
           | g1 :: rest ->
             List.iter
               (fun g2 ->
-                List.iter
-                  (fun i ->
-                    List.iter
-                      (fun j ->
-                        G.add_edge graph (Hashtbl.find index i)
-                          (Hashtbl.find index j))
-                      g2)
+                Array.iter
+                  (fun u -> Array.iter (fun v -> G.add_edge graph u v) g2)
                   g1)
               rest;
             cross rest
         in
-        cross id_lists)
+        cross subgroups)
       groups
   in
   List.iter add_fd (Fd_set.to_list (Fd_set.remove_trivial d));

@@ -13,22 +13,23 @@ replaces every float.
   $ repair-cli s-repair -f "A -> B; B -> C" t.csv -o /dev/null --trace=out.json 2>/dev/null
 
 The report is sorted by self time; --top bounds the table (the trailing
-total line always covers the whole trace):
+total line always covers the whole trace). Sub-millisecond rows can
+swap ranks run to run, so the full table is re-sorted by name here:
 
-  $ repair-cli profile out.json | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  $ repair-cli profile out.json | sed -E 's/[0-9]+\.[0-9]+/_/g' | LC_ALL=C sort
   NAME                                        COUNT     TOTAL_MS      SELF_MS       MAX_MS
   conflict-graph.build                            1        _        _        _
-  vertex-cover.exact                              1        _        _        _
-  s-exact                                         1        _        _        _
-  vertex-cover.approx2                            1        _        _        _
   conflict-graph.built                            1        _        _        _
+  s-exact                                         1        _        _        _
   ticks.vertex-cover                              3        _        _        _
   total: 8 events across 6 names, _ ms self time
-  $ repair-cli profile --top 2 out.json | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  vertex-cover.approx2                            1        _        _        _
+  vertex-cover.exact                              1        _        _        _
+  $ repair-cli profile --top 2 out.json | sed -E 's/[0-9]+\.[0-9]+/_/g' | LC_ALL=C sort
   NAME                                        COUNT     TOTAL_MS      SELF_MS       MAX_MS
   conflict-graph.build                            1        _        _        _
-  vertex-cover.exact                              1        _        _        _
   total: 8 events across 6 names, _ ms self time
+  vertex-cover.exact                              1        _        _        _
 
 --check validates without printing the table:
 
