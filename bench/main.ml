@@ -869,18 +869,147 @@ let e20 () =
       (ratio_at "conflict" 100_000 >= 5.0)
   end
 
+(* ----------------------------------------------------------------- E21 *)
+
+(* Sustained serving throughput and tail latency for the admission
+   engine under the Driver-backed executor. No sockets here — the event
+   loop's I/O is drilled by the cram test and ci.sh; this measures the
+   serving core itself in two regimes:
+
+   - steady: admit one request, execute it, repeat — the queue never
+     reaches the degrade watermark, so nothing is downgraded or shed and
+     the per-request latency histogram gives the service-time tail;
+   - burst: slam the queue past both watermarks, then drain — the
+     above-watermark admissions must come back degraded (downgraded to
+     the approximation rung), the overflow must be shed with structured
+     `overloaded` errors, and the accounting identity must balance. *)
+let e21_smoke = ref false
+
+let e21 () =
+  section "E21" "Serving engine — sustained throughput and tail latency";
+  let module Engine = R.Serve.Engine in
+  let module Protocol = R.Serve.Protocol in
+  let module Hist = R.Obs.Histogram in
+  let module Json = R.Obs.Json in
+  let n_requests = if !e21_smoke then 120 else 600 in
+  let rng = Rng.make 42 in
+  let fd_sets =
+    List.init 3 (fun _ -> Gen_fd.random rng ~n_attrs:4 ~n_fds:2 ~max_lhs:2)
+  in
+  let render_fds d =
+    Fd_set.to_list d
+    |> List.map (fun fd ->
+           String.concat " " (Attr_set.to_list (Fd.lhs fd))
+           ^ " -> "
+           ^ String.concat " " (Attr_set.to_list (Fd.rhs fd)))
+    |> String.concat "; "
+  in
+  let request i =
+    let schema, d = List.nth fd_sets (i mod List.length fd_sets) in
+    let tbl =
+      dirty rng schema d ~n:(if !e21_smoke then 20 else 40) ~noise:0.15 ~dom:8
+    in
+    let line =
+      Protocol.request_line
+        ~id:(Json.String (Printf.sprintf "b%d" i))
+        ~op:Protocol.S_repair ~fds:(render_fds d)
+        ~table:(Csv_io.to_string tbl) ()
+    in
+    String.trim line
+  in
+  let corpus = List.init n_requests request in
+  let cache = R.Serve.make_cache () in
+  let exec ~degraded req =
+    R.Serve.exec ~cache ~degraded
+      ~budget:(R.Runtime.Budget.create ~timeout_s:5.0 ())
+      req
+  in
+  (* --- steady regime: depth never reaches the watermark --- *)
+  let engine =
+    Engine.create
+      { Engine.default_config with queue_capacity = 64; degrade_watermark = 32 }
+  in
+  let latency = Hist.create () in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun line ->
+      (match Engine.handle_line engine ~conn:0 ~quota_used:0 line with
+      | `Enqueued -> ()
+      | _ -> failwith "steady request not admitted");
+      match Engine.take engine with
+      | Some p ->
+        let s0 = Unix.gettimeofday () in
+        ignore (Engine.execute engine ~exec p);
+        Hist.observe latency (Unix.gettimeofday () -. s0)
+      | None -> failwith "steady queue empty")
+    corpus;
+  let steady_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let c = Engine.counters engine in
+  let p50 = Hist.quantile latency 0.5 and p99 = Hist.quantile latency 0.99 in
+  row "  steady: %d requests in %.1f ms (%.0f req/s)@." n_requests steady_ms
+    (float_of_int n_requests /. (steady_ms /. 1000.0));
+  row "  latency p50 %.3f ms, p99 %.3f ms (cache: %d hits, %d misses)@."
+    (p50 *. 1000.0) (p99 *. 1000.0)
+    (R.Serve.Cache.stats cache).R.Serve.Cache.hits
+    (R.Serve.Cache.stats cache).R.Serve.Cache.misses;
+  check "steady: everything completed, nothing degraded or shed"
+    (c.Engine.completed = n_requests && c.Engine.degraded = 0
+   && c.Engine.shed = 0);
+  check "steady: p99 is finite and positive"
+    (Float.is_finite p99 && p99 > 0.0);
+  check "steady: accounting identity" (Engine.balanced engine);
+  record ~n:n_requests ~solver:"steady" ~wall_ms:steady_ms ();
+  record ~n:n_requests ~solver:"steady-p99" ~wall_ms:(p99 *. 1000.0) ();
+  (* --- burst regime: past both watermarks, then drain --- *)
+  let capacity = 32 and watermark = 16 in
+  let burst_n = 40 in
+  let engine =
+    Engine.create
+      { Engine.default_config with
+        queue_capacity = capacity;
+        degrade_watermark = watermark }
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i line ->
+      if i < burst_n then
+        ignore (Engine.handle_line engine ~conn:0 ~quota_used:0 line))
+    corpus;
+  let rec drain () =
+    match Engine.take engine with
+    | Some p ->
+      ignore (Engine.execute engine ~exec p);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let burst_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let c = Engine.counters engine in
+  row "  burst: %d at capacity %d/watermark %d -> %d admitted, %d degraded, \
+       %d shed in %.1f ms@."
+    burst_n capacity watermark c.Engine.admitted c.Engine.degraded
+    c.Engine.shed burst_ms;
+  check "burst: overflow shed with structured errors"
+    (c.Engine.shed = burst_n - capacity);
+  check "burst: above-watermark admissions degraded"
+    (c.Engine.degraded = capacity - watermark);
+  check "burst: accepted requests all completed"
+    (c.Engine.completed = c.Engine.admitted);
+  check "burst: accounting identity" (Engine.balanced engine);
+  record ~n:burst_n ~solver:"burst-drain" ~wall_ms:burst_ms ()
+
 (* ------------------------------------------------------------- runner *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8-E9", e8_e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20) ]
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21) ]
 
 (* The --smoke subset: seconds-scale experiments that still cover both
    repair flavours, exact baselines, and the record-emission path. *)
 let smoke_subset =
-  [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19"; "E20" ]
+  [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19"; "E20"; "E21" ]
 
 let () =
   let smoke = ref false and out = ref "BENCH_1.json" in
@@ -906,6 +1035,7 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   e20_smoke := !smoke;
+  e21_smoke := !smoke;
   Fmt.pr
     "repair-bench — reproduction experiments for 'Computing Optimal Repairs \
      for Functional Dependencies' (PODS'18)%s@."

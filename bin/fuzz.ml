@@ -152,6 +152,153 @@ let check_budgeted rng d t =
         (R.Runtime.Repair_error.to_string e)
         Fd_set.pp d
 
+(* --- protocol mode: request-parser and admission-engine fuzzing -----
+
+   Every line a client can send — malformed, truncated, mutated,
+   type-confused, oversized, or valid — must come back as exactly one
+   structured reply line, the engine's books must stay balanced, and the
+   engine must keep answering afterwards. Mirrors the server's line
+   handling (size gate, then Engine.handle_line) without sockets. *)
+
+module Protocol = R.Serve.Protocol
+module Engine = R.Serve.Engine
+module Json = R.Obs.Json
+
+let random_op rng =
+  Rng.pick rng
+    [ Protocol.S_repair; Protocol.U_repair; Protocol.Classify; Protocol.Ping;
+      Protocol.Metrics; Protocol.Invalidate_cache ]
+
+let valid_line rng =
+  let op = random_op rng in
+  Protocol.request_line
+    ~id:(Json.String (Printf.sprintf "f%d" (Rng.int rng 1000)))
+    ~op ~fds:"A -> B" ~table:"A,B\n1,2\n2,3\n"
+    ?timeout_s:(if Rng.bool rng then Some 1.0 else None)
+    ?max_steps:(if Rng.bool rng then Some (1 + Rng.int rng 100) else None)
+    ()
+
+let garbage_line rng =
+  String.init (Rng.int rng 64) (fun _ ->
+      (* any byte but the line terminator *)
+      match Char.chr (Rng.int rng 256) with '\n' -> 'x' | c -> c)
+
+let type_confused_line rng =
+  Rng.pick rng
+    [ {|{"op": 42}|};
+      {|{"op": "s-repair", "fds": 42, "table": "A\n1\n"}|};
+      {|{"op": "s-repair", "fds": "A -> B", "table": ["A"]}|};
+      {|{"op": "s-repair", "fds": "A -> B", "table": "A\n1\n", "timeout_s": "fast"}|};
+      {|{"op": "s-repair", "fds": "A -> B", "table": "A\n1\n", "max_steps": 0.5}|};
+      {|{"op": "s-repair", "fds": "A -> B", "table": "A\n1\n", "strategy": "psychic"}|};
+      {|{"op": "s-repair", "fds": "A -> B", "table": "A\n1\n", "format": "xml"}|};
+      {|{"op": "nonsense"}|};
+      {|[1, 2, 3]|};
+      {|"just a string"|};
+      {|{}|};
+      {|null|} ]
+
+let fuzz_request_line rng =
+  match Rng.int rng 6 with
+  | 0 -> valid_line rng
+  | 1 -> garbage_line rng
+  | 2 ->
+    let v = valid_line rng in
+    String.sub v 0 (Rng.int rng (String.length v))
+  | 3 ->
+    let v = Bytes.of_string (valid_line rng) in
+    if Bytes.length v > 0 then begin
+      let i = Rng.int rng (Bytes.length v) in
+      Bytes.set v i
+        (match Char.chr (Rng.int rng 256) with '\n' -> '"' | c -> c)
+    end;
+    Bytes.to_string v
+  | 4 -> type_confused_line rng
+  | _ -> String.make (300 + Rng.int rng 200) 'a' (* oversized at 256 cap *)
+
+let check_reply_line line =
+  if line = "" || line.[String.length line - 1] <> '\n' then
+    fail "reply is not newline-terminated: %S" line;
+  if String.contains (String.sub line 0 (String.length line - 1)) '\n' then
+    fail "reply spans multiple lines: %S" line;
+  match Json.of_string line with
+  | Error m -> fail "reply is not valid JSON (%s): %S" m line
+  | Ok reply -> (
+    match Json.member "ok" reply with
+    | Some (Json.Bool true) -> ()
+    | Some (Json.Bool false) -> (
+      match
+        Option.bind (Json.member "error" reply) (Json.member "class")
+      with
+      | Some (Json.String c) when c <> "" -> ()
+      | _ -> fail "error reply without error.class: %S" line)
+    | _ -> fail "reply lacks a boolean \"ok\" field: %S" line)
+
+(* The poison executor: most requests succeed, some raise classified
+   errors, some raise junk — the isolation boundary must classify all of
+   them into replies rather than let anything unwind the server. *)
+let stub_exec rng ~degraded:_ (_ : Protocol.request) =
+  match Rng.int rng 4 with
+  | 0 -> R.Runtime.Repair_error.raise_error
+           (Parse { source = "<fuzz>"; line = None; detail = "poison" })
+  | 1 -> failwith "poison exception"
+  | _ -> [ ("distance", Json.Float 0.0) ]
+
+let protocol_trial seed =
+  let rng = Rng.make seed in
+  let config =
+    {
+      Engine.default_config with
+      queue_capacity = 1 + Rng.int rng 8;
+      max_request_bytes = 256;
+      quota = (if Rng.bool rng then Some (1 + Rng.int rng 8) else None);
+    }
+  in
+  let config =
+    { config with
+      degrade_watermark = 1 + Rng.int rng config.Engine.queue_capacity }
+  in
+  let engine = Engine.create config in
+  for _ = 1 to 32 do
+    let line = fuzz_request_line rng in
+    (* the server's size gate, then the engine — total by construction *)
+    (match
+       if String.length line > config.Engine.max_request_bytes then
+         `Reply (Engine.reject_oversized engine)
+       else Engine.handle_line engine ~conn:0 ~quota_used:0 line
+     with
+    | `Reply reply | `Drain reply -> check_reply_line reply
+    | `Enqueued -> ()
+    | exception exn ->
+      fail "engine raised on %S: %s" line (Printexc.to_string exn));
+    (* opportunistically run some queued work mid-stream *)
+    if Rng.bool rng then
+      match Engine.take engine with
+      | Some p ->
+        check_reply_line (Engine.execute engine ~exec:(stub_exec rng) p)
+      | None -> ()
+  done;
+  let rec drain_queue () =
+    match Engine.take engine with
+    | Some p ->
+      check_reply_line (Engine.execute engine ~exec:(stub_exec rng) p);
+      drain_queue ()
+    | None -> ()
+  in
+  drain_queue ();
+  if not (Engine.balanced engine) then
+    fail "accounting identity violated after seed %d" seed;
+  (* the server must still be alive and answering *)
+  match
+    Engine.handle_line engine ~conn:0 ~quota_used:0
+      {|{"id": "live", "op": "ping"}|}
+  with
+  | `Reply reply ->
+    check_reply_line reply;
+    if not (String.length reply > 4 && Json.of_string reply <> Error "") then
+      ()
+  | _ -> fail "ping after fuzzing did not produce an immediate reply"
+
 let trial seed =
   let rng = Rng.make seed in
   let n_attrs = Rng.in_range rng 2 4 in
@@ -177,7 +324,8 @@ let trial seed =
   check_mpd d t;
   check_budgeted rng d t
 
-let run trials seed0 quiet =
+let run mode trials seed0 quiet =
+  let trial = match mode with `Differential -> trial | `Protocol -> protocol_trial in
   let failures = ref 0 in
   (try
      for i = 0 to trials - 1 do
@@ -202,6 +350,19 @@ let run trials seed0 quiet =
   end
 
 let main =
+  let mode =
+    let doc =
+      "What to fuzz: $(b,differential) cross-checks polynomial algorithms \
+       against exponential baselines; $(b,protocol) throws malformed, \
+       truncated, mutated, and oversized request lines at the serving \
+       engine and checks every one yields a structured reply, the \
+       accounting identity holds, and the engine keeps answering."
+    in
+    Arg.(value
+         & opt (enum [ ("differential", `Differential); ("protocol", `Protocol) ])
+             `Differential
+         & info [ "mode" ] ~docv:"MODE" ~doc)
+  in
   let trials =
     Arg.(value & opt int 1_000 & info [ "t"; "trials" ] ~doc:"Number of trials.")
   in
@@ -210,6 +371,6 @@ let main =
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output.") in
   let doc = "differential fuzzer for the repair algorithms" in
-  Cmd.v (Cmd.info "repair-fuzz" ~doc) Term.(const run $ trials $ seed $ quiet)
+  Cmd.v (Cmd.info "repair-fuzz" ~doc) Term.(const run $ mode $ trials $ seed $ quiet)
 
 let () = exit (Cmd.eval main)

@@ -681,6 +681,221 @@ let armstrong_cmd =
     (Cmd.info "armstrong" ~doc)
     Term.(const run $ fds_arg $ attrs_arg $ csv_out)
 
+let socket_arg =
+  let doc = "Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port on 127.0.0.1 (alternative to $(b,--socket))." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let listen_of socket port : R.Serve.Server.listen =
+  match (socket, port) with
+  | Some path, None -> Unix_sock path
+  | None, Some p -> Tcp p
+  | _ ->
+    or_die (Error (`Msg "exactly one of --socket or --port is required"))
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Admission queue capacity: once $(docv) repair requests are queued, \
+       further ones are shed with a structured 'overloaded' error."
+    in
+    Arg.(value & opt int R.Serve.Engine.default_config.queue_capacity
+         & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let watermark_arg =
+    let doc =
+      "Degrade watermark: requests admitted at queue depth >= $(docv) are \
+       downgraded to the certified polynomial approximation rung, \
+       whatever strategy they asked for."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "degrade-watermark" ] ~docv:"N" ~doc)
+  in
+  let quota_arg =
+    let doc =
+      "Per-connection repair-request quota; excess requests on the same \
+       connection are shed with 'quota-exceeded'."
+    in
+    Arg.(value & opt (some int) None & info [ "quota" ] ~docv:"N" ~doc)
+  in
+  let default_timeout_arg =
+    let doc =
+      "Default per-request wall budget in seconds for requests that do \
+       not send their own timeout_s. 0 means unlimited."
+    in
+    Arg.(value & opt float 10.0 & info [ "default-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let max_steps_cap_arg =
+    let doc = "Hard cap on any request's max_steps budget." in
+    Arg.(value & opt (some int) None & info [ "max-steps-cap" ] ~docv:"N" ~doc)
+  in
+  let drain_arg =
+    let doc =
+      "Drain deadline in seconds: after SIGTERM/SIGINT/drain, queued work \
+       gets this long to finish before remaining requests are cancelled."
+    in
+    Arg.(value & opt float R.Serve.Engine.default_config.drain_deadline_s
+         & info [ "drain-deadline" ] ~docv:"SEC" ~doc)
+  in
+  let max_bytes_arg =
+    let doc = "Maximum request line size in bytes; longer lines are rejected." in
+    Arg.(value & opt int R.Serve.Engine.default_config.max_request_bytes
+         & info [ "max-request-bytes" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Warm FD-set cache capacity (LRU entries)." in
+    Arg.(value & opt int R.Serve.default_cache_capacity
+         & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let metrics_out_arg =
+    let doc =
+      "Where to flush the final metrics snapshot on drain: a path, or '-' \
+       for stdout (default stderr)."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"OUT" ~doc)
+  in
+  let run socket port queue watermark quota default_timeout max_steps_cap
+      drain max_bytes cache_capacity metrics_out verbose =
+    setup_logs verbose;
+    let listen = listen_of socket port in
+    let config =
+      {
+        R.Serve.Engine.queue_capacity = queue;
+        degrade_watermark =
+          (match watermark with Some w -> w | None -> max 1 (queue / 2));
+        quota;
+        default_timeout_s =
+          (if default_timeout <= 0.0 then None else Some default_timeout);
+        max_steps_cap;
+        drain_deadline_s = drain;
+        max_request_bytes = max_bytes;
+      }
+    in
+    let code =
+      try R.Serve.run ~config ~cache_capacity ?metrics_out listen with
+      | Invalid_argument m ->
+        (* config validation (watermark vs capacity etc.) *)
+        die_error (E.Parse { source = "<args>"; line = None; detail = m })
+      | E.Error e -> die_error e
+    in
+    exit code
+  in
+  let doc =
+    "Serve repairs over a newline-delimited JSON protocol on a Unix or \
+     loopback-TCP socket: watermark admission control (downgrade, then \
+     shed), per-request budget and error isolation, a warm FD-set cache, \
+     and graceful drain on SIGTERM/SIGINT. Exit status 0 after a clean \
+     drain, 10 when the drain deadline cancelled queued requests."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ queue_arg $ watermark_arg
+          $ quota_arg $ default_timeout_arg $ max_steps_cap_arg $ drain_arg
+          $ max_bytes_arg $ cache_arg $ metrics_out_arg $ verbose_arg)
+
+let load_cmd =
+  let requests_arg =
+    let doc = "Repair requests to pipeline at the server." in
+    Arg.(value & opt int 50 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+  in
+  let connections_arg =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 4 & info [ "c"; "connections" ] ~docv:"N" ~doc)
+  in
+  let op_arg =
+    let ops =
+      [ ("s-repair", R.Serve.Protocol.S_repair);
+        ("u-repair", R.Serve.Protocol.U_repair);
+        ("classify", R.Serve.Protocol.Classify) ]
+    in
+    Arg.(value & opt (enum ops) R.Serve.Protocol.S_repair
+         & info [ "op" ] ~doc:"Request op: s-repair, u-repair, classify.")
+  in
+  let rows_arg =
+    let doc = "Rows per generated table." in
+    Arg.(value & opt int 30 & info [ "rows" ] ~docv:"N" ~doc)
+  in
+  let poison_arg =
+    let doc = "Make every $(docv)-th request a poison one (garbage FDs)." in
+    Arg.(value & opt (some int) None & info [ "poison-every" ] ~docv:"K" ~doc)
+  in
+  let malformed_arg =
+    let doc = "Interleave one raw non-JSON line per $(docv) requests." in
+    Arg.(value & opt (some int) None & info [ "malformed-every" ] ~docv:"K" ~doc)
+  in
+  let wall_arg =
+    let doc = "Give up waiting for replies after $(docv) seconds." in
+    Arg.(value & opt float 60.0 & info [ "wall-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload generator seed.")
+  in
+  let run socket port requests connections op rows poison malformed timeout
+      wall seed out verbose =
+    setup_logs verbose;
+    let target : R.Workload.Load_gen.target =
+      match listen_of socket port with
+      | R.Serve.Server.Unix_sock p -> Unix_sock p
+      | R.Serve.Server.Tcp p -> Tcp p
+    in
+    let spec =
+      {
+        R.Workload.Load_gen.default_spec with
+        requests;
+        connections;
+        op;
+        n_rows = rows;
+        poison_every = poison;
+        malformed_every = malformed;
+        timeout_s = timeout;
+        wall_timeout_s = wall;
+        seed;
+      }
+    in
+    let report =
+      try R.Workload.Load_gen.run spec target with
+      | Failure m ->
+        let file =
+          match target with
+          | R.Workload.Load_gen.Unix_sock p -> p
+          | R.Workload.Load_gen.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+        in
+        die_error (E.Io { file; detail = m })
+      | Invalid_argument m ->
+        die_error (E.Parse { source = "<args>"; line = None; detail = m })
+    in
+    let text =
+      R.Obs.Json.to_string ~pretty:true
+        (R.Workload.Load_gen.report_json report)
+      ^ "\n"
+    in
+    (match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc);
+    exit (if report.R.Workload.Load_gen.unanswered > 0 then 1 else 0)
+  in
+  let out_arg =
+    let doc = "Write the load report JSON to $(docv) (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
+  in
+  let doc =
+    "Generate pipelined load against a running $(b,repair-cli serve) \
+     daemon and report outcome counts and latency quantiles. Exit status \
+     1 if any request went unanswered within --wall-timeout."
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ requests_arg $ connections_arg
+          $ op_arg $ rows_arg $ poison_arg $ malformed_arg $ timeout_arg
+          $ wall_arg $ seed_arg $ out_arg $ verbose_arg)
+
 let main =
   let doc = "optimal repairs for functional dependencies (PODS'18)" in
   let man =
@@ -691,11 +906,14 @@ let main =
           6 a polynomial algorithm was requested outside its tractable \
           class; 7 an exact baseline was refused by its size gate; 8 an \
           injected test fault fired; 9 a batch run finished with \
-          quarantined (poison) jobs." ]
+          quarantined (poison) jobs; 10 a serve drain deadline expired \
+          with queued requests still pending (they were cancelled with \
+          structured replies)." ]
   in
   Cmd.group
     (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)
     [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
-      dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd; profile_cmd ]
+      dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd; profile_cmd;
+      serve_cmd; load_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -21,16 +21,56 @@ dune runtest
 dune exec test/test_batch.exe -- test crash-resume
 dune exec bin/fuzz.exe -- --trials 60 --quiet
 
+# Request-parser fuzz: malformed, truncated, mutated, and oversized
+# lines against the serving engine — every line must yield a structured
+# reply, the accounting identity must hold, and the engine must keep
+# answering (DESIGN §12).
+dune exec bin/fuzz.exe -- --mode protocol --trials 400 --quiet
+
 # Trace round-trip: a traced repair must emit Chrome trace JSON that the
 # profiler accepts — required keys present, timestamps monotone, every
 # Begin matched by an End.
 tdir=$(mktemp -d -t trace_ci.XXXXXX)
+sdir=$(mktemp -d -t serve_ci.XXXXXX)
 out=$(mktemp -t bench_smoke.XXXXXX.json)
-trap 'rm -rf "$tdir"; rm -f "$out"' EXIT INT TERM
+trap 'rm -rf "$tdir" "$sdir"; rm -f "$out"' EXIT INT TERM
 printf '#id,A,B,C\n1,1,1,1\n2,1,1,2\n3,1,2,1\n' > "$tdir/t.csv"
 dune exec bin/repair_cli.exe -- s-repair -f "A -> B; B -> C" \
   "$tdir/t.csv" -o /dev/null --trace="$tdir/out.json"
 dune exec bin/repair_cli.exe -- profile --check "$tdir/out.json"
+
+# Serving drill (DESIGN §12): daemon on a temp Unix socket; a pipelined
+# burst with poison requests and malformed lines — every line must be
+# answered (so tail latency is finite, not a hang); then SIGTERM while a
+# second burst is in flight — the drain must finish with a documented
+# exit code (0 clean, 10 deadline cancellations) and flush a snapshot
+# whose accounting identity balances.
+./_build/default/bin/repair_cli.exe serve --socket "$sdir/s.sock" \
+  --metrics-out "$sdir/snap.json" 2> "$sdir/server.log" &
+srv=$!
+for _ in $(seq 100); do [ -S "$sdir/s.sock" ] && break; sleep 0.1; done
+[ -S "$sdir/s.sock" ]
+./_build/default/bin/repair_cli.exe load --socket "$sdir/s.sock" \
+  -n 40 -c 4 --rows 12 --poison-every 7 --malformed-every 9 \
+  -o "$sdir/load1.json"
+grep -q '"unanswered": 0' "$sdir/load1.json"       # nothing hung
+grep -q '"count": 40' "$sdir/load1.json"           # p99 over all 40 requests
+./_build/default/bin/repair_cli.exe load --socket "$sdir/s.sock" \
+  -n 60 -c 4 --rows 40 --wall-timeout 30 -o "$sdir/load2.json" &
+ldr=$!
+sleep 0.3
+kill -TERM "$srv"
+drain_code=0; wait "$srv" || drain_code=$?
+[ "$drain_code" -eq 0 ] || [ "$drain_code" -eq 10 ]
+wait "$ldr" || true   # mid-drain lines may legitimately go unanswered
+grep -q '"mode": "draining"' "$sdir/snap.json"
+# admitted = completed + quarantined + cancelled + queue_depth — the
+# serve section leads the snapshot, so first matches are the right ones.
+snap_field() { grep -m1 "\"$1\":" "$sdir/snap.json" | tr -dc '0-9'; }
+admitted=$(snap_field admitted)
+settled=$(( $(snap_field completed) + $(snap_field quarantined) \
+  + $(snap_field cancelled) + $(snap_field queue_depth) ))
+[ "$admitted" -eq "$settled" ]
 
 # Median-of-3 runs keep the ms-scale smoke records (including the E20
 # 1k sweep point) below the compare gate's noise threshold.

@@ -331,3 +331,111 @@ module Batch = struct
   let run ?retries ?backoff_ms ?resume ~journal manifest =
     Runner.run ?retries ?backoff_ms ?resume ~exec:exec_job ~journal manifest
 end
+
+module Serve = struct
+  module Protocol = Repair_serve.Protocol
+  module Cache = Repair_serve.Cache
+  module Engine = Repair_serve.Engine
+  module Server = Repair_serve.Server
+  module Budget = Repair_runtime.Budget
+  module Repair_error = Repair_runtime.Repair_error
+  open Repair_relational
+  open Repair_fd
+  module Json = Repair_obs.Json
+
+  type warm = {
+    fds : Fd_set.t;
+    normalized : Fd_set.t;
+    s_tractable : bool;
+    u_tractable : bool;
+    describe : string Lazy.t;
+  }
+
+  let default_cache_capacity = 128
+
+  let make_cache ?(capacity = default_cache_capacity) () : (string, warm) Cache.t =
+    Cache.create ~name:"serve.fd-cache" ~capacity
+
+  (* Key: the raw FD string — the request's "schema". The warm value
+     carries everything derivable from the FD set alone: the parsed and
+     normalized sets, both dichotomy verdicts, and (lazily, for the
+     classify op) the full complexity report. A parse failure is raised,
+     never cached — see Cache.find_or_add. *)
+  let lookup cache fds_text =
+    Cache.find_or_add cache fds_text (fun () ->
+        let d =
+          try Fd_set.parse fds_text
+          with Failure m ->
+            Repair_error.raise_error
+              (Parse { source = "<fds>"; line = None; detail = m })
+        in
+        {
+          fds = d;
+          normalized = Fd_set.normalize d;
+          s_tractable = Repair_dichotomy.Simplify.succeeds d;
+          u_tractable = Repair_urepair.Opt_u_repair.tractable d;
+          describe = lazy (Driver.describe d);
+        })
+
+  let parse_table (req : Protocol.request) =
+    match req.format with
+    | Protocol.Csv -> Csv_io.parse_string ~file:"<request>" ~name:"T" req.table
+    | Protocol.Jsonl ->
+      Jsonl_io.parse_string ~file:"<request>" ~name:"T" req.table
+
+  let render_table (req : Protocol.request) tbl =
+    match req.format with
+    | Protocol.Csv -> Csv_io.to_string tbl
+    | Protocol.Jsonl -> Jsonl_io.to_string tbl
+
+  let strategy_of = function
+    | Protocol.Auto -> Driver.Auto
+    | Protocol.Poly -> Driver.Poly
+    | Protocol.Exact -> Driver.Exact
+    | Protocol.Approximate -> Driver.Approximate
+
+  let exec ~cache ~degraded ~budget (req : Protocol.request) =
+    match req.Protocol.op with
+    | Protocol.Classify ->
+      let warm = lookup cache req.fds in
+      [ ("report", Json.String (Lazy.force warm.describe));
+        ("s_tractable", Json.Bool warm.s_tractable);
+        ("u_tractable", Json.Bool warm.u_tractable) ]
+    | Protocol.S_repair | Protocol.U_repair ->
+      let warm = lookup cache req.fds in
+      let tbl = parse_table req in
+      (* The overload downgrade: a request admitted above the degrade
+         watermark skips straight to the bottom rung of the ladder — the
+         certified polynomial approximation — whatever it asked for. *)
+      let strategy =
+        if degraded then Driver.Approximate else strategy_of req.strategy
+      in
+      let solve =
+        match req.Protocol.op with
+        | Protocol.S_repair -> Driver.s_repair_result
+        | _ -> Driver.u_repair_result
+      in
+      (match solve ~strategy ~budget ~on_budget:`Degrade warm.fds tbl with
+      | Error e -> Repair_error.raise_error e
+      | Ok r ->
+        [ ("distance", Json.Float r.Driver.distance);
+          ("method", Json.String r.Driver.method_used);
+          ("optimal", Json.Bool r.Driver.optimal);
+          ("ratio", Json.Float r.Driver.ratio);
+          ("degraded", Json.Bool r.Driver.degraded);
+          ( "fallbacks",
+            Json.List (List.map (fun f -> Json.String f) r.Driver.fallbacks) );
+          ("table", Json.String (render_table req r.Driver.result)) ])
+    | Protocol.Ping | Protocol.Metrics | Protocol.Invalidate_cache
+    | Protocol.Drain ->
+      (* Control ops are answered by the engine and never reach an
+         executor. *)
+      invalid_arg "Serve.exec: control op"
+
+  let run ?config ?cache_capacity ?metrics_out listen =
+    let cache = make_cache ?capacity:cache_capacity () in
+    Server.run ?config ?metrics_out
+      ~on_invalidate:(fun () -> Cache.clear cache)
+      ~exec:(fun ~degraded ~budget req -> exec ~cache ~degraded ~budget req)
+      listen
+end

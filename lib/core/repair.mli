@@ -178,3 +178,60 @@ module Batch : sig
     Repair_batch.Manifest.t ->
     Repair_batch.Runner.summary
 end
+
+(** The serving daemon ({!Repair_serve}) wired to the {!Driver}: the
+    newline-delimited JSON protocol served from a single-threaded select
+    loop, with watermark admission control (downgrade, then shed),
+    per-request budget/error isolation, a bounded LRU of warm FD-set
+    state, and graceful drain. See {!Repair_serve.Server} for the event
+    loop and DESIGN §12 for the overload ladder. *)
+module Serve : sig
+  open Repair_fd
+  module Protocol = Repair_serve.Protocol
+  module Cache = Repair_serve.Cache
+  module Engine = Repair_serve.Engine
+  module Server = Repair_serve.Server
+
+  (** Warm per-FD-set state kept in the serving cache: the parsed and
+      normalized sets, both dichotomy verdicts, and the lazily-rendered
+      complexity report. Keyed by the raw FD string of the request. *)
+  type warm = {
+    fds : Fd_set.t;
+    normalized : Fd_set.t;
+    s_tractable : bool;
+    u_tractable : bool;
+    describe : string Lazy.t;
+  }
+
+  val default_cache_capacity : int
+
+  (** [make_cache ()] is the warm-state LRU ([capacity] defaults to
+      {!default_cache_capacity}), registered under ["serve.fd-cache"]
+      in {!Obs.Metrics}. *)
+  val make_cache : ?capacity:int -> unit -> (string, warm) Cache.t
+
+  (** [exec ~cache ~degraded ~budget req] executes one repair request
+      against the {!Driver}: [classify] answers from the warm cache;
+      [s-repair]/[u-repair] run the ladder with [on_budget:`Degrade]
+      under [budget], forcing the [Approximate] rung when [degraded].
+
+      @raise Runtime.Repair_error.Error on any classified failure — the
+      engine catches it at the isolation boundary.
+      @raise Invalid_argument on control ops (the engine answers those). *)
+  val exec :
+    cache:(string, warm) Cache.t ->
+    degraded:bool ->
+    budget:Runtime.Budget.t ->
+    Protocol.request ->
+    (string * Obs.Json.t) list
+
+  (** [run ?config ?cache_capacity ?metrics_out listen] is
+      {!Server.run} with a fresh warm cache and {!exec}; [invalidate]
+      requests clear the cache. Returns the process exit code. *)
+  val run :
+    ?config:Engine.config ->
+    ?cache_capacity:int ->
+    ?metrics_out:string ->
+    Server.listen ->
+    int
+end

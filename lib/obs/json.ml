@@ -112,14 +112,19 @@ let of_string s =
     else fail (Printf.sprintf "expected %s" word)
   in
   let utf8_of_code b code =
-    (* Good enough for \uXXXX escapes; surrogate pairs are not combined. *)
     if code < 0x80 then Buffer.add_char b (Char.chr code)
     else if code < 0x800 then begin
       Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
     end
-    else begin
+    else if code < 0x10000 then begin
       Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
       Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
       Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
     end
@@ -143,13 +148,37 @@ let of_string s =
         | Some 'r' -> Buffer.add_char b '\r'
         | Some 't' -> Buffer.add_char b '\t'
         | Some 'u' ->
-          if !pos + 4 >= n then fail "truncated \\u escape";
-          let hex = String.sub s (!pos + 1) 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code ->
+          let read_hex4 at =
+            if at + 4 > n then fail "truncated \\u escape"
+            else
+              match int_of_string_opt ("0x" ^ String.sub s at 4) with
+              | Some code -> code
+              | None -> fail "bad \\u escape"
+          in
+          let code = read_hex4 (!pos + 1) in
+          if code >= 0xD800 && code <= 0xDBFF then begin
+            (* High surrogate: the low half must follow as another \uXXXX
+               escape; the pair encodes one astral-plane scalar (RFC 8259
+               §7 / RFC 7159). Emitting the two halves separately would
+               produce CESU-8, not UTF-8. *)
+            let lo_at = !pos + 5 in
+            if lo_at + 1 >= n || s.[lo_at] <> '\\' || s.[lo_at + 1] <> 'u'
+            then fail "unpaired high surrogate";
+            let lo = read_hex4 (lo_at + 2) in
+            if not (lo >= 0xDC00 && lo <= 0xDFFF) then
+              fail "unpaired high surrogate";
+            let scalar =
+              0x10000 + ((code - 0xD800) lsl 10) + (lo - 0xDC00)
+            in
+            utf8_of_code b scalar;
+            pos := lo_at + 5
+          end
+          else if code >= 0xDC00 && code <= 0xDFFF then
+            fail "unpaired low surrogate"
+          else begin
             utf8_of_code b code;
             pos := !pos + 4
-          | None -> fail "bad \\u escape")
+          end
         | _ -> fail "bad escape");
         advance ();
         go ()

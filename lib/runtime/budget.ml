@@ -28,6 +28,8 @@ let steps b = b.steps
 
 let elapsed b = now () -. b.started
 
+let remaining_s b = Option.map (fun dl -> dl -. now ()) b.deadline
+
 let limited b = b.limited
 
 let exhaust b ~phase =

@@ -53,6 +53,13 @@ val steps : t -> int
 (** [elapsed b] — wall-clock seconds since [b] was created. *)
 val elapsed : t -> float
 
+(** [remaining_s b] — wall-clock seconds until the deadline ([None] when
+    [b] has no wall limit; negative once the deadline has passed).
+    Drivers that split one deadline across phases — e.g. the serving
+    daemon capping per-request budgets by the drain deadline — read the
+    remainder here instead of re-deriving it from [elapsed]. *)
+val remaining_s : t -> float option
+
 (** [limited b] — does [b] carry any finite limit? *)
 val limited : t -> bool
 

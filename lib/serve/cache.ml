@@ -1,0 +1,102 @@
+module Json = Repair_obs.Json
+module Metrics = Repair_obs.Metrics
+
+type ('k, 'v) t = {
+  name : string;
+  capacity : int;
+  table : ('k, 'v * int ref) Hashtbl.t;  (** value, last-touch tick *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  (* Counter names are built once here, not per lookup. *)
+  hit_name : string;
+  miss_name : string;
+  evict_name : string;
+}
+
+let create ~name ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    name;
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    hit_name = name ^ ".hit";
+    miss_name = name ^ ".miss";
+    evict_name = name ^ ".evict";
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let touch t recency =
+  t.tick <- t.tick + 1;
+  recency := t.tick
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some (v, recency) ->
+    touch t recency;
+    t.hits <- t.hits + 1;
+    Metrics.incr t.hit_name;
+    Some v
+  | None ->
+    t.misses <- t.misses + 1;
+    Metrics.incr t.miss_name;
+    None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k (_, recency) acc ->
+        match acc with
+        | Some (_, best) when best <= !recency -> acc
+        | _ -> Some (k, !recency))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+    Hashtbl.remove t.table k;
+    t.evictions <- t.evictions + 1;
+    Metrics.incr t.evict_name
+
+let add t k v =
+  if not (Hashtbl.mem t.table k) && Hashtbl.length t.table >= t.capacity then
+    evict_lru t;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table k (v, ref t.tick)
+
+let find_or_add t k produce =
+  match find t k with
+  | Some v -> v
+  | None ->
+    let v = produce () in
+    add t k v;
+    v
+
+let remove t k = Hashtbl.remove t.table k
+
+let clear t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  n
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+let stats (t : ('k, 'v) t) : stats =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions;
+    size = Hashtbl.length t.table }
+
+let stats_json t =
+  Json.Obj
+    [ ("name", Json.String t.name);
+      ("capacity", Json.Int t.capacity);
+      ("size", Json.Int (Hashtbl.length t.table));
+      ("hits", Json.Int t.hits);
+      ("misses", Json.Int t.misses);
+      ("evictions", Json.Int t.evictions) ]

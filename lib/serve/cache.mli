@@ -1,0 +1,54 @@
+(** Bounded LRU cache for warm cross-request state.
+
+    The serving daemon keeps normalized FD sets and dichotomy verdicts
+    warm between requests; this is the container that makes that reuse
+    {e bounded} (strict capacity, least-recently-used eviction) and
+    {e observable} (hit/miss/eviction counters, reported both through
+    {!stats_json} and — when enabled — the {!Repair_obs.Metrics}
+    registry as ["<name>.hit"], ["<name>.miss"], ["<name>.evict"]).
+
+    Explicit invalidation ({!clear}, or per-key {!remove}) is part of
+    the contract: a cache bug must be fixable at runtime without a
+    restart, and cross-request leakage is bounded by the capacity.
+
+    Not thread-safe — same single-domain contract as the rest of the
+    runtime. Eviction scans for the least recent entry, O(capacity);
+    capacities here are tens to hundreds, not millions. *)
+
+type ('k, 'v) t
+
+(** [create ~name ~capacity] — an empty cache holding at most
+    [capacity] entries. [name] prefixes the metrics counters.
+    @raise Invalid_argument when [capacity < 1]. *)
+val create : name:string -> capacity:int -> ('k, 'v) t
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+(** [find t k] — the cached value, bumping [k]'s recency. Counts a hit
+    or a miss. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] inserts or replaces [k], evicting the least recently
+    used entry if the cache is full. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [find_or_add t k produce] — [find], or [produce ()] then [add]. If
+    [produce] raises, nothing is cached: a poison key (e.g. a malformed
+    FD set) is re-evaluated — and re-fails — on every lookup rather than
+    poisoning the cache. *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+(** [remove t k] — explicit single-key invalidation. *)
+val remove : ('k, 'v) t -> 'k -> unit
+
+(** [clear t] — explicit full invalidation; returns how many entries
+    were dropped. Hit/miss/eviction statistics survive. *)
+val clear : ('k, 'v) t -> int
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+val stats : ('k, 'v) t -> stats
+
+(** [{"name", "capacity", "size", "hits", "misses", "evictions"}] *)
+val stats_json : ('k, 'v) t -> Repair_obs.Json.t

@@ -1,0 +1,276 @@
+module Json = Repair_obs.Json
+module Metrics = Repair_obs.Metrics
+module E = Repair_runtime.Repair_error
+
+type config = {
+  queue_capacity : int;
+  degrade_watermark : int;
+  quota : int option;
+  default_timeout_s : float option;
+  max_steps_cap : int option;
+  drain_deadline_s : float;
+  max_request_bytes : int;
+}
+
+let default_config =
+  {
+    queue_capacity = 64;
+    degrade_watermark = 32;
+    quota = None;
+    default_timeout_s = Some 10.0;
+    max_steps_cap = None;
+    drain_deadline_s = 5.0;
+    max_request_bytes = 8 * 1024 * 1024;
+  }
+
+type admission = Normal | Downgraded
+
+type pending = {
+  conn : int;
+  request : Protocol.request;
+  admission : admission;
+}
+
+type counters = {
+  received : int;
+  admitted : int;
+  completed : int;
+  degraded : int;
+  shed : int;
+  quarantined : int;
+  cancelled : int;
+  protocol_errors : int;
+  queue_depth_max : int;
+}
+
+type state = {
+  mutable received : int;
+  mutable admitted : int;
+  mutable completed : int;
+  mutable degraded : int;
+  mutable shed : int;
+  mutable quarantined : int;
+  mutable cancelled : int;
+  mutable protocol_errors : int;
+  mutable queue_depth_max : int;
+}
+
+type t = {
+  config : config;
+  queue : pending Queue.t;
+  c : state;
+  mutable mode : [ `Accepting | `Draining ];
+  on_invalidate : unit -> int;
+}
+
+let create ?(on_invalidate = fun () -> 0) config =
+  if config.queue_capacity < 1 then
+    invalid_arg "Engine.create: queue_capacity must be >= 1";
+  if
+    config.degrade_watermark < 1
+    || config.degrade_watermark > config.queue_capacity
+  then
+    invalid_arg
+      "Engine.create: degrade_watermark must be in 1..queue_capacity";
+  (match config.quota with
+  | Some q when q < 1 -> invalid_arg "Engine.create: quota must be >= 1"
+  | _ -> ());
+  if config.drain_deadline_s <= 0.0 then
+    invalid_arg "Engine.create: drain_deadline_s must be positive";
+  if config.max_request_bytes < 2 then
+    invalid_arg "Engine.create: max_request_bytes must be >= 2";
+  {
+    config;
+    queue = Queue.create ();
+    c =
+      {
+        received = 0;
+        admitted = 0;
+        completed = 0;
+        degraded = 0;
+        shed = 0;
+        quarantined = 0;
+        cancelled = 0;
+        protocol_errors = 0;
+        queue_depth_max = 0;
+      };
+    mode = `Accepting;
+    on_invalidate;
+  }
+
+let config t = t.config
+let mode t = t.mode
+let drain t = t.mode <- `Draining
+let queue_depth t = Queue.length t.queue
+
+let accounting_json t =
+  Json.Obj
+    [ ("received", Json.Int t.c.received);
+      ("admitted", Json.Int t.c.admitted);
+      ("completed", Json.Int t.c.completed);
+      ("degraded", Json.Int t.c.degraded);
+      ("shed", Json.Int t.c.shed);
+      ("quarantined", Json.Int t.c.quarantined);
+      ("cancelled", Json.Int t.c.cancelled);
+      ("protocol_errors", Json.Int t.c.protocol_errors);
+      ("queue_depth", Json.Int (Queue.length t.queue));
+      ("queue_depth_max", Json.Int t.c.queue_depth_max);
+      ( "mode",
+        Json.String
+          (match t.mode with
+          | `Accepting -> "accepting"
+          | `Draining -> "draining") ) ]
+
+let snapshot_json t =
+  match Metrics.snapshot () with
+  | Json.Obj fields -> Json.Obj (("serve", accounting_json t) :: fields)
+  | other -> Json.Obj [ ("serve", accounting_json t); ("metrics", other) ]
+
+let balanced t =
+  t.c.admitted
+  = t.c.completed + t.c.quarantined + t.c.cancelled + Queue.length t.queue
+
+let counters t : counters =
+  {
+    received = t.c.received;
+    admitted = t.c.admitted;
+    completed = t.c.completed;
+    degraded = t.c.degraded;
+    shed = t.c.shed;
+    quarantined = t.c.quarantined;
+    cancelled = t.c.cancelled;
+    protocol_errors = t.c.protocol_errors;
+    queue_depth_max = t.c.queue_depth_max;
+  }
+
+let shed t ~id ~error_class ~detail =
+  t.c.shed <- t.c.shed + 1;
+  Metrics.incr "serve.shed";
+  `Reply (Protocol.error_line ~id ~error_class ~detail)
+
+let reject_oversized t =
+  t.c.received <- t.c.received + 1;
+  t.c.protocol_errors <- t.c.protocol_errors + 1;
+  Metrics.incr "serve.protocol-errors";
+  Protocol.error_line ~id:Json.Null ~error_class:Protocol.err_oversized
+    ~detail:
+      (Printf.sprintf "request line exceeds %d bytes"
+         t.config.max_request_bytes)
+
+let handle_line t ~conn ~quota_used line =
+  t.c.received <- t.c.received + 1;
+  match Protocol.parse line with
+  | Error reject ->
+    t.c.protocol_errors <- t.c.protocol_errors + 1;
+    Metrics.incr "serve.protocol-errors";
+    `Reply (Protocol.reject_line reject)
+  | Ok req -> (
+    let id = req.Protocol.id in
+    match req.Protocol.op with
+    | Protocol.Ping -> `Reply (Protocol.ok_line ~id [ ("pong", Json.Bool true) ])
+    | Protocol.Metrics ->
+      `Reply (Protocol.ok_line ~id [ ("snapshot", snapshot_json t) ])
+    | Protocol.Invalidate_cache ->
+      let dropped = t.on_invalidate () in
+      `Reply
+        (Protocol.ok_line ~id
+           [ ("invalidated", Json.Bool true); ("entries", Json.Int dropped) ])
+    | Protocol.Drain ->
+      drain t;
+      `Drain (Protocol.ok_line ~id [ ("draining", Json.Bool true) ])
+    | Protocol.S_repair | Protocol.U_repair | Protocol.Classify ->
+      if t.mode = `Draining then
+        shed t ~id ~error_class:Protocol.err_draining
+          ~detail:"server is draining; no new work is admitted"
+      else if
+        match t.config.quota with
+        | Some q -> quota_used >= q
+        | None -> false
+      then
+        shed t ~id ~error_class:Protocol.err_quota
+          ~detail:
+            (Printf.sprintf "connection quota of %d repair requests spent"
+               (Option.get t.config.quota))
+      else begin
+        let depth = Queue.length t.queue in
+        if depth >= t.config.queue_capacity then
+          shed t ~id ~error_class:Protocol.err_overloaded
+            ~detail:
+              (Printf.sprintf "queue depth %d at capacity %d" depth
+                 t.config.queue_capacity)
+        else begin
+          let admission =
+            if depth >= t.config.degrade_watermark then Downgraded
+            else Normal
+          in
+          t.c.admitted <- t.c.admitted + 1;
+          Metrics.incr "serve.admitted";
+          Queue.push { conn; request = req; admission } t.queue;
+          t.c.queue_depth_max <-
+            max t.c.queue_depth_max (Queue.length t.queue);
+          `Enqueued
+        end
+      end)
+
+type exec = degraded:bool -> Protocol.request -> (string * Json.t) list
+
+let take t = Queue.take_opt t.queue
+
+let execute t ~exec p =
+  let id = p.request.Protocol.id in
+  let downgraded = p.admission = Downgraded in
+  let t0 = Unix.gettimeofday () in
+  let result =
+    (* The per-request isolation boundary: classified errors keep their
+       class, everything else — including a stack overflow from an
+       adversarial instance — becomes an [internal] reply. Nothing a
+       request does can unwind past this point. *)
+    match exec ~degraded:downgraded p.request with
+    | fields -> Ok fields
+    | exception E.Error e -> Error (E.class_name e, E.to_string e)
+    | exception Stack_overflow -> Error (Protocol.err_internal, "stack overflow")
+    | exception exn -> Error (Protocol.err_internal, Printexc.to_string exn)
+  in
+  Metrics.observe
+    ("serve." ^ Protocol.op_name p.request.Protocol.op)
+    (Unix.gettimeofday () -. t0);
+  Metrics.incr "serve.requests";
+  match result with
+  | Ok fields ->
+    t.c.completed <- t.c.completed + 1;
+    let solver_degraded =
+      match List.assoc_opt "degraded" fields with
+      | Some (Json.Bool b) -> b
+      | _ -> false
+    in
+    let degraded = downgraded || solver_degraded in
+    if degraded then begin
+      t.c.degraded <- t.c.degraded + 1;
+      Metrics.incr "serve.degraded"
+    end;
+    let fields =
+      List.filter (fun (k, _) -> k <> "degraded") fields
+      @ [ ("degraded", Json.Bool degraded) ]
+      @ if downgraded then [ ("downgraded", Json.String "overload") ] else []
+    in
+    Protocol.ok_line ~id fields
+  | Error (error_class, detail) ->
+    t.c.quarantined <- t.c.quarantined + 1;
+    Metrics.incr "serve.quarantined";
+    Protocol.error_line ~id ~error_class ~detail
+
+let cancel_remaining t =
+  let cancelled = ref [] in
+  Queue.iter
+    (fun p ->
+      t.c.cancelled <- t.c.cancelled + 1;
+      Metrics.incr "serve.cancelled";
+      cancelled :=
+        ( p.conn,
+          Protocol.error_line ~id:p.request.Protocol.id
+            ~error_class:Protocol.err_cancelled
+            ~detail:"drain deadline expired before the request ran" )
+        :: !cancelled)
+    t.queue;
+  Queue.clear t.queue;
+  List.rev !cancelled

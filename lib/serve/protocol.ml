@@ -1,0 +1,169 @@
+module Json = Repair_obs.Json
+
+type op =
+  | S_repair
+  | U_repair
+  | Classify
+  | Ping
+  | Metrics
+  | Invalidate_cache
+  | Drain
+
+let op_name = function
+  | S_repair -> "s-repair"
+  | U_repair -> "u-repair"
+  | Classify -> "classify"
+  | Ping -> "ping"
+  | Metrics -> "metrics"
+  | Invalidate_cache -> "invalidate-cache"
+  | Drain -> "drain"
+
+let op_of_name = function
+  | "s-repair" -> Some S_repair
+  | "u-repair" -> Some U_repair
+  | "classify" -> Some Classify
+  | "ping" -> Some Ping
+  | "metrics" -> Some Metrics
+  | "invalidate-cache" -> Some Invalidate_cache
+  | "drain" -> Some Drain
+  | _ -> None
+
+let is_control = function
+  | Ping | Metrics | Invalidate_cache | Drain -> true
+  | S_repair | U_repair | Classify -> false
+
+type format = Csv | Jsonl
+type strategy = Auto | Poly | Exact | Approximate
+
+type request = {
+  id : Json.t;
+  op : op;
+  fds : string;
+  table : string;
+  format : format;
+  strategy : strategy;
+  timeout_s : float option;
+  max_steps : int option;
+}
+
+type reject = { id : Json.t; error_class : string; detail : string }
+
+let err_protocol = "protocol"
+let err_oversized = "oversized"
+let err_overloaded = "overloaded"
+let err_quota = "quota-exceeded"
+let err_draining = "draining"
+let err_cancelled = "cancelled"
+let err_internal = "internal"
+
+exception Bad of string
+
+let parse line =
+  let id_of obj = Option.value (Json.member "id" obj) ~default:Json.Null in
+  match Json.of_string line with
+  | Error msg ->
+    Error { id = Json.Null; error_class = err_protocol; detail = msg }
+  | Ok (Json.Obj _ as obj) -> (
+    let id = id_of obj in
+    let fail fmt = Fmt.kstr (fun m -> raise (Bad m)) fmt in
+    let string_field ?default key =
+      match Json.member key obj with
+      | None | Some Json.Null -> (
+        match default with
+        | Some d -> d
+        | None -> fail "missing required field %S" key)
+      | Some (Json.String s) -> s
+      | Some _ -> fail "field %S must be a string" key
+    in
+    try
+      let op =
+        let name = string_field "op" in
+        match op_of_name name with
+        | Some op -> op
+        | None -> fail "unknown op %S" name
+      in
+      let fds =
+        if is_control op then "" else string_field "fds"
+      in
+      let table =
+        match op with
+        | S_repair | U_repair -> string_field "table"
+        | _ -> ""
+      in
+      let format =
+        match string_field ~default:"csv" "format" with
+        | "csv" -> Csv
+        | "jsonl" -> Jsonl
+        | f -> fail "unknown format %S (want \"csv\" or \"jsonl\")" f
+      in
+      let strategy =
+        match string_field ~default:"auto" "strategy" with
+        | "auto" -> Auto
+        | "poly" -> Poly
+        | "exact" -> Exact
+        | "approx" -> Approximate
+        | s -> fail "unknown strategy %S" s
+      in
+      let timeout_s =
+        match Json.member "timeout_s" obj with
+        | None | Some Json.Null -> None
+        | Some j -> (
+          match Json.float_value j with
+          | Some f when f > 0.0 -> Some f
+          | _ -> fail "field \"timeout_s\" must be a positive number")
+      in
+      let max_steps =
+        match Json.member "max_steps" obj with
+        | None | Some Json.Null -> None
+        | Some (Json.Int i) when i >= 1 -> Some i
+        | Some _ -> fail "field \"max_steps\" must be a positive integer"
+      in
+      Ok { id; op; fds; table; format; strategy; timeout_s; max_steps }
+    with Bad detail -> Error { id; error_class = err_protocol; detail })
+  | Ok _ ->
+    Error
+      {
+        id = Json.Null;
+        error_class = err_protocol;
+        detail = "request must be a JSON object";
+      }
+
+let format_name = function Csv -> "csv" | Jsonl -> "jsonl"
+
+let strategy_name = function
+  | Auto -> "auto"
+  | Poly -> "poly"
+  | Exact -> "exact"
+  | Approximate -> "approx"
+
+let request_line ~id ~op ?fds ?table ?format ?strategy ?timeout_s ?max_steps ()
+    =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  Json.to_string
+    (Json.Obj
+       ([ ("id", id); ("op", Json.String (op_name op)) ]
+       @ opt "fds" (fun s -> Json.String s) fds
+       @ opt "table" (fun s -> Json.String s) table
+       @ opt "format" (fun f -> Json.String (format_name f)) format
+       @ opt "strategy" (fun s -> Json.String (strategy_name s)) strategy
+       @ opt "timeout_s" (fun f -> Json.Float f) timeout_s
+       @ opt "max_steps" (fun i -> Json.Int i) max_steps))
+  ^ "\n"
+
+let ok_line ~id fields =
+  Json.to_string (Json.Obj (("id", id) :: ("ok", Json.Bool true) :: fields))
+  ^ "\n"
+
+let error_line ~id ~error_class ~detail =
+  Json.to_string
+    (Json.Obj
+       [ ("id", id);
+         ("ok", Json.Bool false);
+         ( "error",
+           Json.Obj
+             [ ("class", Json.String error_class);
+               ("detail", Json.String detail) ] ) ])
+  ^ "\n"
+
+let reject_line r =
+  error_line ~id:r.id ~error_class:r.error_class ~detail:r.detail

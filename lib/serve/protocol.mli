@@ -1,0 +1,109 @@
+(** The repair-serve wire protocol: newline-delimited JSON.
+
+    One request per line, one response line per request, in no
+    guaranteed order (control requests are answered immediately while
+    repair requests queue) — clients correlate by [id]. The codec is
+    deliberately total: {e every} byte sequence a client can send maps
+    to either a {!request} or a structured {!reject}; nothing raises.
+
+    {2 Request grammar}
+
+    {[
+      { "id": <any scalar>,          // echoed back; null when absent
+        "op": "s-repair" | "u-repair" | "classify" | "ping"
+            | "metrics" | "invalidate-cache" | "drain",
+        "fds": "A -> B; B -> C",     // repair + classify ops
+        "table": "A,B\n1,2\n",       // repair ops; CSV or JSONL text
+        "format": "csv" | "jsonl",   // of "table", default "csv"
+        "strategy": "auto" | "poly" | "exact" | "approx",
+        "timeout_s": 1.5,            // per-request wall budget
+        "max_steps": 10000 }         // per-request step budget
+    ]}
+
+    Unknown fields are ignored (forward compatibility). Responses are
+    [{"id", "ok": true, ...}] or
+    [{"id", "ok": false, "error": {"class", "detail"}}]. *)
+
+module Json = Repair_obs.Json
+
+type op =
+  | S_repair
+  | U_repair
+  | Classify  (** dichotomy/complexity report for the FD set *)
+  | Ping
+  | Metrics  (** snapshot of the live metrics registry + serve counters *)
+  | Invalidate_cache  (** drop every warm FD-set cache entry *)
+  | Drain  (** begin graceful drain, as if SIGTERM had arrived *)
+
+val op_name : op -> string
+
+(** [is_control op] — is [op] answered inline by the engine (true) or
+    queued through admission control (false)? *)
+val is_control : op -> bool
+
+type format = Csv | Jsonl
+type strategy = Auto | Poly | Exact | Approximate
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the response; [Null] when absent *)
+  op : op;
+  fds : string;  (** [""] for control ops *)
+  table : string;  (** [""] for non-repair ops *)
+  format : format;
+  strategy : strategy;
+  timeout_s : float option;
+  max_steps : int option;
+}
+
+(** A structurally invalid request, already classified for the error
+    response. [id] is recovered from the malformed request whenever the
+    line at least parsed as a JSON object. *)
+type reject = { id : Json.t; error_class : string; detail : string }
+
+(** {2 Error classes}
+
+    The closed set of [error.class] values a server may send. Requests
+    that reached a solver reuse {!Repair_runtime.Repair_error.class_name}
+    (["parse"], ["budget-exhausted"], ...) instead. *)
+
+val err_protocol : string  (** malformed line / missing or bad fields *)
+
+val err_oversized : string  (** line exceeded the request byte limit *)
+
+val err_overloaded : string  (** shed: the admission queue is full *)
+
+val err_quota : string  (** shed: per-connection request quota spent *)
+
+val err_draining : string  (** shed: server is draining, no admission *)
+
+val err_cancelled : string  (** admitted but cancelled by the drain deadline *)
+
+val err_internal : string  (** unclassified server-side exception *)
+
+(** [parse line] decodes one request line. Total: malformed input comes
+    back as [Error reject], never an exception. *)
+val parse : string -> (request, reject) result
+
+val format_name : format -> string
+val strategy_name : strategy -> string
+
+(** [request_line ~id ~op ... ()] builds a request wire line (one compact
+    JSON object plus ["\n"]) — the client-side dual of {!parse}. Omitted
+    optional fields are left off the wire. *)
+val request_line :
+  id:Json.t ->
+  op:op ->
+  ?fds:string ->
+  ?table:string ->
+  ?format:format ->
+  ?strategy:strategy ->
+  ?timeout_s:float ->
+  ?max_steps:int ->
+  unit ->
+  string
+
+(** {2 Response lines} — each is one compact JSON object plus ["\n"]. *)
+
+val ok_line : id:Json.t -> (string * Json.t) list -> string
+val error_line : id:Json.t -> error_class:string -> detail:string -> string
+val reject_line : reject -> string

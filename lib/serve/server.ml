@@ -1,0 +1,354 @@
+module Json = Repair_obs.Json
+module Metrics = Repair_obs.Metrics
+module Budget = Repair_runtime.Budget
+module E = Repair_runtime.Repair_error
+
+type listen = Unix_sock of string | Tcp of int
+
+let exit_drain_cancelled = 10
+let max_conn_out_bytes = 16 * 1024 * 1024
+
+type exec =
+  degraded:bool ->
+  budget:Budget.t ->
+  Protocol.request ->
+  (string * Json.t) list
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  mutable inbuf : string;  (** partial line carried between reads *)
+  out_q : string Queue.t;
+  mutable out_off : int;  (** bytes of the queue head already written *)
+  mutable out_bytes : int;
+  mutable quota_used : int;
+  mutable skipping : bool;  (** discarding the rest of an oversized line *)
+}
+
+let listen_name = function
+  | Unix_sock path -> path
+  | Tcp port -> Printf.sprintf "127.0.0.1:%d" port
+
+let write_snapshot engine metrics_out =
+  let text =
+    Json.to_string ~pretty:true (Engine.snapshot_json engine) ^ "\n"
+  in
+  match metrics_out with
+  | Some "-" ->
+    print_string text;
+    flush stdout
+  | Some path ->
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  | None ->
+    prerr_string text;
+    flush stderr
+
+(* Extract complete lines out of [conn.inbuf ^ chunk], respecting the
+   oversized-line discard mode, and leave any partial tail buffered.
+   [on_line] sees each complete line (newline stripped); [on_oversized]
+   is called once per over-limit line, complete or still partial. *)
+let feed ~max_bytes conn chunk ~on_line ~on_oversized =
+  let data = if conn.inbuf = "" then chunk else conn.inbuf ^ chunk in
+  conn.inbuf <- "";
+  let n = String.length data in
+  let start = ref 0 in
+  for i = 0 to n - 1 do
+    if data.[i] = '\n' then begin
+      if conn.skipping then conn.skipping <- false
+      else begin
+        let len = i - !start in
+        let len = if len > 0 && data.[i - 1] = '\r' then len - 1 else len in
+        let line = String.sub data !start len in
+        if String.length line > max_bytes then on_oversized ()
+        else on_line line
+      end;
+      start := i + 1
+    end
+  done;
+  if not conn.skipping then begin
+    let rest = String.sub data !start (n - !start) in
+    if String.length rest > max_bytes then begin
+      (* The line is already over budget with no newline in sight: answer
+         now and discard until the terminator shows up. *)
+      on_oversized ();
+      conn.skipping <- true
+    end
+    else conn.inbuf <- rest
+  end
+
+let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ~exec
+    listen =
+  let engine = Engine.create ?on_invalidate config in
+  Metrics.reset ();
+  Metrics.enable ();
+  let drain_requested = ref false in
+  let install signal =
+    Sys.signal signal (Sys.Signal_handle (fun _ -> drain_requested := true))
+  in
+  let old_term = install Sys.sigterm in
+  let old_int = install Sys.sigint in
+  let old_pipe =
+    (* Writes to vanished clients must surface as EPIPE, not kill us. *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore_signals () =
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    match old_pipe with
+    | Some behavior -> Sys.set_signal Sys.sigpipe behavior
+    | None -> ()
+  in
+  let lfd, cleanup_listen =
+    try
+      match listen with
+      | Unix_sock path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (fd, fun () -> (try Unix.unlink path with Unix.Unix_error _ -> ()))
+      | Tcp port ->
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        (fd, fun () -> ())
+    with Unix.Unix_error (err, fn, _) ->
+      restore_signals ();
+      E.raise_error
+        (Io
+           {
+             file = listen_name listen;
+             detail = Printf.sprintf "%s: %s" fn (Unix.error_message err);
+           })
+  in
+  Unix.set_nonblock lfd;
+  Fmt.epr "repair-serve: listening on %s@." (listen_name listen);
+  let conns : (int, conn) Hashtbl.t = Hashtbl.create 16 in
+  let next_cid = ref 0 in
+  let listening = ref true in
+  let drain_budget = ref None in
+  let read_buf = Bytes.create 65536 in
+  let close_conn c =
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove conns c.cid
+  in
+  let enqueue_out c line =
+    Queue.push line c.out_q;
+    c.out_bytes <- c.out_bytes + String.length line;
+    if c.out_bytes > max_conn_out_bytes then begin
+      (* A reader this slow would otherwise grow the buffer without
+         bound — disconnecting it is the OOM-safe answer. *)
+      Metrics.incr "serve.slow-client-drops";
+      close_conn c
+    end
+  in
+  let route cid line =
+    match Hashtbl.find_opt conns cid with
+    | Some c -> enqueue_out c line
+    | None -> () (* client left; the outcome is already accounted *)
+  in
+  let flush_conn c =
+    let closed = ref false in
+    let progress = ref true in
+    while (not !closed) && !progress && not (Queue.is_empty c.out_q) do
+      let head = Queue.peek c.out_q in
+      let len = String.length head - c.out_off in
+      match Unix.write_substring c.fd head c.out_off len with
+      | written ->
+        c.out_bytes <- c.out_bytes - written;
+        if written = len then begin
+          ignore (Queue.pop c.out_q);
+          c.out_off <- 0
+        end
+        else begin
+          c.out_off <- c.out_off + written;
+          progress := false
+        end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) ->
+        progress := false
+      | exception Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _) ->
+        closed := true
+    done;
+    if !closed then close_conn c
+  in
+  let begin_drain () =
+    if Engine.mode engine = `Accepting then Engine.drain engine;
+    if !listening then begin
+      listening := false;
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      cleanup_listen ()
+    end;
+    if !drain_budget = None then
+      drain_budget :=
+        Some (Budget.create ~timeout_s:config.Engine.drain_deadline_s ())
+  in
+  let drain_remaining () = Option.bind !drain_budget Budget.remaining_s in
+  let budget_for (req : Protocol.request) =
+    let base =
+      match req.Protocol.timeout_s with
+      | Some s -> Some s
+      | None -> config.Engine.default_timeout_s
+    in
+    let timeout_s =
+      (* During drain every request budget is additionally capped by the
+         remaining drain allowance, so in-flight work cannot outlive the
+         deadline by more than one checkpoint interval. *)
+      match (drain_remaining (), base) with
+      | Some rem, Some b -> Some (Float.max 0.001 (Float.min rem b))
+      | Some rem, None -> Some (Float.max 0.001 rem)
+      | None, b -> b
+    in
+    let max_steps =
+      match (req.Protocol.max_steps, config.Engine.max_steps_cap) with
+      | Some a, Some b -> Some (min a b)
+      | Some a, None -> Some a
+      | None, cap -> cap
+    in
+    Budget.create ?timeout_s ?max_steps ()
+  in
+  let exec_wrapped ~degraded req = exec ~degraded ~budget:(budget_for req) req in
+  let handle_line_for c line =
+    match
+      Engine.handle_line engine ~conn:c.cid ~quota_used:c.quota_used line
+    with
+    | `Reply reply -> enqueue_out c reply
+    | `Enqueued -> c.quota_used <- c.quota_used + 1
+    | `Drain reply ->
+      enqueue_out c reply;
+      drain_requested := true
+  in
+  let handle_readable c =
+    match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+    | 0 -> close_conn c
+    | n ->
+      feed ~max_bytes:config.Engine.max_request_bytes c
+        (Bytes.sub_string read_buf 0 n)
+        ~on_line:(fun line -> handle_line_for c line)
+        ~on_oversized:(fun () ->
+          enqueue_out c (Engine.reject_oversized engine))
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((ECONNRESET | EPIPE | EBADF), _, _) ->
+      close_conn c
+  in
+  let accept_ready () =
+    let continue = ref !listening in
+    while !continue do
+      match Unix.accept ~cloexec:true lfd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        incr next_cid;
+        Hashtbl.add conns !next_cid
+          {
+            fd;
+            cid = !next_cid;
+            inbuf = "";
+            out_q = Queue.create ();
+            out_off = 0;
+            out_bytes = 0;
+            quota_used = 0;
+            skipping = false;
+          };
+        Metrics.incr "serve.connections"
+      | exception
+          Unix.Unix_error
+            ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+        continue := false
+    done
+  in
+  let out_pending () =
+    Hashtbl.fold
+      (fun _ c acc -> acc || not (Queue.is_empty c.out_q))
+      conns false
+  in
+  (* Best-effort flush window after the deadline fires: push what we can
+     for a short, bounded moment, then give up. *)
+  let flush_briefly () =
+    let give_up = Budget.create ~timeout_s:0.5 () in
+    let deadline_ok () =
+      match Budget.remaining_s give_up with
+      | Some r -> r > 0.0
+      | None -> false
+    in
+    while out_pending () && deadline_ok () do
+      let wfds =
+        Hashtbl.fold
+          (fun _ c acc ->
+            if Queue.is_empty c.out_q then acc else (c.fd, c) :: acc)
+          conns []
+      in
+      match Unix.select [] (List.map fst wfds) [] 0.05 with
+      | _, writable, _ ->
+        List.iter
+          (fun (fd, c) -> if List.memq fd writable then flush_conn c)
+          wfds
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+    done
+  in
+  let finished = ref false in
+  while not !finished do
+    if !drain_requested || Engine.mode engine = `Draining then begin_drain ();
+    let queue_empty = Engine.queue_depth engine = 0 in
+    if Engine.mode engine = `Draining && queue_empty && not (out_pending ())
+    then finished := true
+    else begin
+      match drain_remaining () with
+      | Some remaining when remaining <= 0.0 ->
+        List.iter
+          (fun (cid, line) -> route cid line)
+          (Engine.cancel_remaining engine);
+        flush_briefly ();
+        finished := true
+      | _ ->
+        let fd_conns =
+          Hashtbl.fold (fun _ c acc -> (c.fd, c) :: acc) conns []
+        in
+        let rfds =
+          (if !listening then [ lfd ] else []) @ List.map fst fd_conns
+        in
+        let wfds =
+          List.filter_map
+            (fun (fd, c) ->
+              if Queue.is_empty c.out_q then None else Some fd)
+            fd_conns
+        in
+        let timeout =
+          let base = if queue_empty then 0.2 else 0.0 in
+          match drain_remaining () with
+          | Some remaining -> Float.min base (Float.max 0.0 remaining)
+          | None -> base
+        in
+        let readable, writable, _ =
+          try Unix.select rfds wfds [] timeout
+          with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+        in
+        if !listening && List.memq lfd readable then accept_ready ();
+        List.iter
+          (fun (fd, c) -> if List.memq fd readable then handle_readable c)
+          fd_conns;
+        List.iter
+          (fun (fd, c) ->
+            if List.memq fd writable && Hashtbl.mem conns c.cid then
+              flush_conn c)
+          fd_conns;
+        (match Engine.take engine with
+        | Some p ->
+          route p.Engine.conn (Engine.execute engine ~exec:exec_wrapped p)
+        | None -> ())
+    end
+  done;
+  flush_briefly ();
+  Hashtbl.iter (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    conns;
+  Hashtbl.reset conns;
+  if !listening then begin
+    (try Unix.close lfd with Unix.Unix_error _ -> ());
+    cleanup_listen ()
+  end;
+  restore_signals ();
+  write_snapshot engine metrics_out;
+  if (Engine.counters engine).Engine.cancelled > 0 then exit_drain_cancelled
+  else 0

@@ -1,0 +1,75 @@
+(** The socket shell around {!Engine}: a single-threaded, select-driven
+    daemon speaking the newline-delimited JSON {!Protocol} over a Unix
+    or loopback-TCP socket.
+
+    {2 Event loop}
+
+    One [select] loop multiplexes the listening socket and every client
+    connection; between polls it executes at most one admitted request,
+    so I/O stays responsive while the queue drains. Requests remember
+    their connection; replies to connections that have since closed are
+    dropped (the accounting still records the outcome — a vanished
+    client cannot corrupt the server's books). Per-connection buffers
+    are bounded in both directions: request lines beyond the engine's
+    [max_request_bytes] are answered with an [oversized] error and the
+    rest of the line is discarded; a client that stops reading is
+    disconnected once its pending output exceeds {!max_conn_out_bytes}.
+
+    {2 Graceful drain}
+
+    SIGTERM, SIGINT, or a [drain] request stops admission: the listening
+    socket closes, queued requests keep executing — each under a budget
+    capped by the remaining drain allowance
+    ({!Repair_runtime.Budget.remaining_s}) — and when the drain deadline
+    expires, still-queued requests are answered with structured
+    [cancelled] errors. Either way the final metrics snapshot
+    ({!Engine.snapshot_json}) is flushed before exit, so
+    [admitted = completed + quarantined + cancelled] holds in the last
+    thing the daemon writes.
+
+    {2 Exit codes}
+
+    {!run} returns the process exit code: [0] — clean drain, every
+    admitted request executed; {!exit_drain_cancelled} ([10]) — the
+    drain deadline forced cancellations. The caller [exit]s with it. *)
+
+module Json = Repair_obs.Json
+
+type listen =
+  | Unix_sock of string  (** Unix-domain socket path (stale file replaced) *)
+  | Tcp of int  (** TCP port, bound to 127.0.0.1 only *)
+
+(** [10] — the drain deadline expired with requests still queued; they
+    were cancelled (with structured replies), not silently dropped. *)
+val exit_drain_cancelled : int
+
+(** Pending output cap per connection (16 MiB); slower readers are
+    disconnected rather than buffered without bound. *)
+val max_conn_out_bytes : int
+
+(** The Driver-backed executor contract: [budget] is the per-request
+    budget already capped by the server (request [timeout_s]/[max_steps],
+    the configured defaults, and — during drain — the remaining drain
+    allowance). See {!Engine.exec} for [degraded] and error handling. *)
+type exec =
+  degraded:bool ->
+  budget:Repair_runtime.Budget.t ->
+  Protocol.request ->
+  (string * Json.t) list
+
+(** [run ?config ?on_invalidate ?metrics_out ~exec listen] serves until
+    a drain completes, then writes the final snapshot to [metrics_out]
+    (a path, ["-"] for stdout; default stderr) and returns the exit
+    code. Enables {!Repair_obs.Metrics} for the lifetime of the serve.
+    SIGTERM/SIGINT handlers are installed for the duration and restored
+    on exit.
+
+    @raise Repair_runtime.Repair_error.Error ([Io]) when the socket
+    cannot be bound. *)
+val run :
+  ?config:Engine.config ->
+  ?on_invalidate:(unit -> int) ->
+  ?metrics_out:string ->
+  exec:exec ->
+  listen ->
+  int

@@ -1,0 +1,359 @@
+module Protocol = Repair_serve.Protocol
+module Json = Repair_obs.Json
+module Histogram = Repair_obs.Histogram
+open Repair_relational
+open Repair_fd
+
+type target = Unix_sock of string | Tcp of int
+
+type spec = {
+  requests : int;
+  connections : int;
+  op : Protocol.op;
+  n_rows : int;
+  n_attrs : int;
+  n_fds : int;
+  noise : float;
+  distinct_fd_sets : int;
+  poison_every : int option;
+  malformed_every : int option;
+  timeout_s : float option;
+  strategy : Protocol.strategy option;
+  wall_timeout_s : float;
+  seed : int;
+}
+
+let default_spec =
+  {
+    requests = 50;
+    connections = 4;
+    op = Protocol.S_repair;
+    n_rows = 30;
+    n_attrs = 4;
+    n_fds = 2;
+    noise = 0.1;
+    distinct_fd_sets = 4;
+    poison_every = None;
+    malformed_every = None;
+    timeout_s = Some 5.0;
+    strategy = None;
+    wall_timeout_s = 60.0;
+    seed = 7;
+  }
+
+type report = {
+  sent : int;
+  answered : int;
+  ok : int;
+  degraded : int;
+  shed : int;
+  failed : int;
+  protocol_errors : int;
+  unanswered : int;
+  wall_s : float;
+  latency : Histogram.t;
+}
+
+(* One outbound line: [id] is the correlation key for latency ([None]
+   for deliberately malformed lines, whose replies carry a null id). *)
+type line = { text : string; id : string option }
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable outbox : line list;  (** head is in flight *)
+  mutable out_off : int;  (** bytes of the head already written *)
+  inbox : Buffer.t;
+  mutable alive : bool;
+}
+
+(* Render in the exact grammar [Fd_set.parse] accepts ([Fd_set.pp] adds
+   set braces that the parser would read as attribute names). *)
+let fd_render d =
+  Fd_set.to_list d
+  |> List.map (fun fd ->
+         String.concat " " (Attr_set.to_list (Fd.lhs fd))
+         ^ " -> "
+         ^ String.concat " " (Attr_set.to_list (Fd.rhs fd)))
+  |> String.concat "; "
+
+let make_corpus spec =
+  let rng = Rng.make spec.seed in
+  let schemas =
+    List.init (max 1 spec.distinct_fd_sets) (fun _ ->
+        Gen_fd.random rng ~n_attrs:spec.n_attrs ~n_fds:spec.n_fds ~max_lhs:2)
+  in
+  let tspec =
+    {
+      Gen_table.default with
+      n = spec.n_rows;
+      noise = spec.noise;
+      domain_size = max 4 (spec.n_rows / 4);
+    }
+  in
+  let every k i = match k with Some k when k > 0 -> (i + 1) mod k = 0 | _ -> false in
+  List.init spec.requests (fun i ->
+      let id = Printf.sprintf "r%d" i in
+      let jid = Json.String id in
+      if every spec.poison_every i then
+        (* Well-formed envelope, unparsable payload: must come back as a
+           classified error while the server keeps serving. *)
+        {
+          text =
+            Protocol.request_line ~id:jid ~op:spec.op
+              ~fds:"this is not a functional dependency" ~table:"A\n1\n" ();
+          id = Some id;
+        }
+      else
+        let schema, d = List.nth schemas (i mod List.length schemas) in
+        let table =
+          match spec.op with
+          | Protocol.Classify -> None
+          | _ ->
+            Some (Csv_io.to_string (Gen_table.dirty rng schema d tspec))
+        in
+        {
+          text =
+            Protocol.request_line ~id:jid ~op:spec.op ~fds:(fd_render d)
+              ?table ?timeout_s:spec.timeout_s ?strategy:spec.strategy ();
+          id = Some id;
+        })
+
+let malformed_lines spec n_requests =
+  match spec.malformed_every with
+  | Some k when k > 0 ->
+    List.init (n_requests / k) (fun i ->
+        let text =
+          match i mod 3 with
+          | 0 -> "this is not json\n"
+          | 1 -> "{\"op\": \"s-repair\", \"fds\": 42}\n"
+          | _ -> "{\"truncated\": \n"
+        in
+        { text; id = None })
+  | _ -> []
+
+(* Interleave malformed lines evenly through the request stream. *)
+let interleave requests malformed =
+  match malformed with
+  | [] -> requests
+  | _ ->
+    let n = List.length requests and m = List.length malformed in
+    let stride = max 1 (n / (m + 1)) in
+    let rec weave i reqs mals acc =
+      match (reqs, mals) with
+      | [], rest -> List.rev_append acc rest
+      | rest, [] -> List.rev_append acc rest
+      | r :: rs, m :: ms ->
+        if i > 0 && i mod stride = 0 then weave (i + 1) reqs ms (m :: acc)
+        else weave (i + 1) rs mals (r :: acc)
+    in
+    weave 1 requests malformed []
+
+let connect target =
+  let domain, addr =
+    match target with
+    | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp port ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd addr
+   with Unix.Unix_error (e, _, _) ->
+     Unix.close fd;
+     failwith
+       (Printf.sprintf "load_gen: cannot connect: %s" (Unix.error_message e)));
+  Unix.set_nonblock fd;
+  { fd; outbox = []; out_off = 0; inbox = Buffer.create 4096; alive = true }
+
+let classify_reply reply =
+  let ok =
+    match Json.member "ok" reply with Some (Json.Bool b) -> b | _ -> false
+  in
+  if ok then
+    let degraded =
+      match Json.member "degraded" reply with
+      | Some (Json.Bool b) -> b
+      | _ -> false
+    in
+    `Ok degraded
+  else
+    match
+      Option.bind (Json.member "error" reply) (Json.member "class")
+    with
+    | Some (Json.String c)
+      when c = Protocol.err_overloaded || c = Protocol.err_quota
+           || c = Protocol.err_draining ->
+      `Shed
+    | Some (Json.String c)
+      when c = Protocol.err_protocol || c = Protocol.err_oversized ->
+      `Protocol
+    | _ -> `Failed
+
+let run spec target =
+  if spec.requests < 1 then invalid_arg "Load_gen.run: requests must be >= 1";
+  if spec.connections < 1 then
+    invalid_arg "Load_gen.run: connections must be >= 1";
+  let lines = interleave (make_corpus spec) (malformed_lines spec spec.requests) in
+  let conns = Array.init spec.connections (fun _ -> connect target) in
+  (* Round-robin the burst across connections up front; the select loop
+     below just flushes outboxes and drains inboxes. *)
+  List.iteri
+    (fun i line ->
+      let c = conns.(i mod spec.connections) in
+      c.outbox <- c.outbox @ [ line ])
+    lines;
+  let sent_at : (string, float) Hashtbl.t = Hashtbl.create 256 in
+  let latency = Histogram.create () in
+  let sent = ref 0
+  and answered = ref 0
+  and ok = ref 0
+  and degraded = ref 0
+  and shed = ref 0
+  and failed = ref 0
+  and protocol_errors = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. spec.wall_timeout_s in
+  let expected () =
+    (* every fully flushed line earns exactly one reply line *)
+    !sent
+  in
+  let handle_reply line =
+    incr answered;
+    match Json.of_string line with
+    | Error _ -> incr failed
+    | Ok reply ->
+      (match Json.member "id" reply with
+      | Some (Json.String id) -> (
+        match Hashtbl.find_opt sent_at id with
+        | Some t ->
+          Histogram.observe latency (Unix.gettimeofday () -. t);
+          Hashtbl.remove sent_at id
+        | None -> ())
+      | _ -> ());
+      (match classify_reply reply with
+      | `Ok d ->
+        incr ok;
+        if d then incr degraded
+      | `Shed -> incr shed
+      | `Protocol -> incr protocol_errors
+      | `Failed -> incr failed)
+  in
+  let drain_inbox c =
+    let data = Buffer.contents c.inbox in
+    let rec split from =
+      match String.index_from_opt data from '\n' with
+      | None ->
+        Buffer.clear c.inbox;
+        Buffer.add_substring c.inbox data from (String.length data - from)
+      | Some nl ->
+        handle_reply (String.sub data from (nl - from));
+        split (nl + 1)
+    in
+    split 0
+  in
+  let kill c =
+    if c.alive then begin
+      c.alive <- false;
+      (try Unix.close c.fd with Unix.Unix_error _ -> ());
+      c.outbox <- []
+    end
+  in
+  let pump_out c =
+    match c.outbox with
+    | [] -> ()
+    | line :: rest -> (
+      let len = String.length line.text in
+      match
+        Unix.write_substring c.fd line.text c.out_off (len - c.out_off)
+      with
+      | 0 -> ()
+      | n ->
+        c.out_off <- c.out_off + n;
+        if c.out_off = len then begin
+          c.outbox <- rest;
+          c.out_off <- 0;
+          incr sent;
+          match line.id with
+          | Some id -> Hashtbl.replace sent_at id (Unix.gettimeofday ())
+          | None -> ()
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error _ -> kill c)
+  in
+  let pump_in c =
+    let buf = Bytes.create 65536 in
+    match Unix.read c.fd buf 0 (Bytes.length buf) with
+    | 0 -> kill c
+    | n ->
+      Buffer.add_subbytes c.inbox buf 0 n;
+      drain_inbox c
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+      ()
+    | exception Unix.Unix_error _ -> kill c
+  in
+  let live () = Array.exists (fun c -> c.alive) conns in
+  let outstanding () =
+    Array.exists (fun c -> c.alive && c.outbox <> []) conns
+    || !answered < expected ()
+  in
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    if now >= deadline || (not (live ())) || not (outstanding ()) then ()
+    else begin
+      let readers =
+        Array.to_list conns
+        |> List.filter (fun c -> c.alive)
+        |> List.map (fun c -> c.fd)
+      in
+      let writers =
+        Array.to_list conns
+        |> List.filter (fun c -> c.alive && c.outbox <> [])
+        |> List.map (fun c -> c.fd)
+      in
+      let timeout = min 0.2 (deadline -. now) in
+      match Unix.select readers writers [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | rs, ws, _ ->
+        Array.iter (fun c -> if c.alive && List.mem c.fd ws then pump_out c) conns;
+        Array.iter (fun c -> if c.alive && List.mem c.fd rs then pump_in c) conns;
+        loop ()
+    end
+  in
+  loop ();
+  Array.iter kill conns;
+  {
+    sent = !sent;
+    answered = !answered;
+    ok = !ok;
+    degraded = !degraded;
+    shed = !shed;
+    failed = !failed;
+    protocol_errors = !protocol_errors;
+    unanswered = !sent - !answered;
+    wall_s = Unix.gettimeofday () -. t0;
+    latency;
+  }
+
+let report_json r =
+  Json.Obj
+    [ ("sent", Json.Int r.sent);
+      ("answered", Json.Int r.answered);
+      ("ok", Json.Int r.ok);
+      ("degraded", Json.Int r.degraded);
+      ("shed", Json.Int r.shed);
+      ("failed", Json.Int r.failed);
+      ("protocol_errors", Json.Int r.protocol_errors);
+      ("unanswered", Json.Int r.unanswered);
+      ("wall_s", Json.Float r.wall_s);
+      ("latency", Histogram.summary_json r.latency) ]
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "sent %d answered %d (ok %d, degraded %d, shed %d, failed %d, protocol \
+     %d, unanswered %d) in %.2fs; latency p50 %.4fs p99 %.4fs"
+    r.sent r.answered r.ok r.degraded r.shed r.failed r.protocol_errors
+    r.unanswered r.wall_s
+    (Histogram.quantile r.latency 0.5)
+    (Histogram.quantile r.latency 0.99)

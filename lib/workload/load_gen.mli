@@ -1,0 +1,66 @@
+(** A pipelined load generator for the repair-serve daemon.
+
+    Drives a running server over its newline-delimited JSON protocol:
+    opens [connections] sockets, pipelines [requests] randomly generated
+    repair requests across them (optionally interleaving {e poison}
+    requests — well-formed envelopes with garbage payloads — and raw
+    {e malformed} lines), then reads replies until every line sent has
+    been answered or [wall_timeout_s] expires. Single-threaded; a
+    [select] loop keeps all connections moving, so a full server output
+    buffer cannot deadlock the generator.
+
+    Latency is measured per request id from kernel write to reply line
+    and recorded in a log-bucketed {!Repair_obs.Histogram}, so [p99]
+    is deterministic for a given set of observations. Replies are
+    classified by outcome: [ok] (further split by [degraded]), shed
+    ([overloaded]/[quota-exceeded]/[draining]), failed (any other
+    [ok:false]), and protocol errors (replies to malformed lines).
+
+    The generator is the client half of the overload drills in [ci.sh]
+    and the [repair-cli load] subcommand; tests drive {!Repair_serve}
+    engines directly instead. *)
+
+type target = Unix_sock of string | Tcp of int
+
+type spec = {
+  requests : int;  (** repair requests to send (excluding poison/malformed) *)
+  connections : int;  (** sockets to spread the burst across *)
+  op : Repair_serve.Protocol.op;  (** [S_repair], [U_repair] or [Classify] *)
+  n_rows : int;  (** rows per generated table *)
+  n_attrs : int;
+  n_fds : int;
+  noise : float;  (** cell perturbation rate of the dirty tables *)
+  distinct_fd_sets : int;  (** schemas cycled across requests (cache churn) *)
+  poison_every : int option;  (** every k-th request gets unparsable FDs *)
+  malformed_every : int option;  (** every k-th line is raw non-JSON garbage *)
+  timeout_s : float option;  (** per-request budget sent on the wire *)
+  strategy : Repair_serve.Protocol.strategy option;
+  wall_timeout_s : float;  (** give up waiting for replies after this *)
+  seed : int;
+}
+
+val default_spec : spec
+
+type report = {
+  sent : int;  (** request lines written, including poison and malformed *)
+  answered : int;  (** reply lines received *)
+  ok : int;
+  degraded : int;  (** subset of [ok] with [degraded:true] *)
+  shed : int;  (** [overloaded] + [quota-exceeded] + [draining] *)
+  failed : int;  (** other [ok:false] replies (parse, budget, internal...) *)
+  protocol_errors : int;  (** replies classified [protocol]/[oversized] *)
+  unanswered : int;  (** sent - answered at [wall_timeout_s] *)
+  wall_s : float;
+  latency : Repair_obs.Histogram.t;  (** seconds, per answered request id *)
+}
+
+(** [run spec target] executes one burst against a listening server.
+
+    @raise Failure when the target cannot be connected. *)
+val run : spec -> target -> report
+
+(** [report_json r] summarises [r] (latency via
+    {!Repair_obs.Histogram.summary_json}). *)
+val report_json : report -> Repair_obs.Json.t
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,66 @@
+The serving daemon end to end: start it on a Unix socket, throw a
+pipelined burst at it — including poison requests (well-formed envelopes
+with garbage FDs) and raw malformed lines — then drain it with SIGTERM
+and check the final snapshot's accounting identity.
+
+10 repair requests plus one malformed line per 5 requests = 12 lines on
+the wire; every line gets exactly one structured reply. Requests 5 and
+10 are poison: they come back as classified errors ("failed" here), the
+malformed lines as protocol errors, and the server keeps serving.
+
+  $ repair-cli serve --socket ./s.sock --metrics-out snapshot.json 2>server.log &
+  $ SRV=$!
+  $ for i in $(seq 100); do [ -S ./s.sock ] && break; sleep 0.1; done
+
+  $ repair-cli load --socket ./s.sock -n 10 -c 2 --rows 8 --poison-every 5 --malformed-every 5 -o report.json
+  $ grep -E '"(sent|answered|ok|degraded|shed|failed|protocol_errors|unanswered)"' report.json
+    "sent": 12,
+    "answered": 12,
+    "ok": 8,
+    "degraded": 0,
+    "shed": 0,
+    "failed": 2,
+    "protocol_errors": 2,
+    "unanswered": 0,
+
+SIGTERM begins the graceful drain: admission stops, the (empty) queue is
+settled, the final snapshot is flushed, and the exit code is 0 because
+nothing had to be cancelled.
+
+  $ kill -TERM $SRV
+  $ wait $SRV
+
+  $ cat server.log
+  repair-serve: listening on ./s.sock
+
+The snapshot's serve section carries the accounting identity
+admitted = completed + quarantined + cancelled (the poison requests were
+admitted, then quarantined at the isolation boundary). queue_depth_max
+depends on scheduling, so it is masked:
+
+  $ sed -n '/"serve": {/,/}/p' snapshot.json | sed -E 's/"queue_depth_max": [0-9]+/"queue_depth_max": _/'
+    "serve": {
+      "received": 12,
+      "admitted": 10,
+      "completed": 8,
+      "degraded": 0,
+      "shed": 0,
+      "quarantined": 2,
+      "cancelled": 0,
+      "protocol_errors": 2,
+      "queue_depth": 0,
+      "queue_depth_max": _,
+      "mode": "draining"
+    },
+
+The socket file is removed on drain:
+
+  $ [ -S ./s.sock ] || echo gone
+  gone
+
+Config validation is a structured CLI error, not a crash:
+
+  $ repair-cli serve --socket ./s2.sock --queue-capacity 4 --degrade-watermark 9 2>&1 | head -1
+  repair-cli: <args>: Engine.create: degrade_watermark must be in 1..queue_capacity
+  $ repair-cli load --socket ./nowhere.sock -n 1 2>&1 | head -1
+  repair-cli: ./nowhere.sock: load_gen: cannot connect: No such file or directory

@@ -494,6 +494,44 @@ let test_json_errors () =
       | Ok _ -> Alcotest.failf "accepted malformed input %S" text)
     [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated" ]
 
+(* \uXXXX decoding: surrogate pairs must combine into one astral-plane
+   scalar (proper UTF-8, not CESU-8), and lone halves are malformed. *)
+let test_json_surrogate_pairs () =
+  let check_decodes escaped utf8 =
+    match Json.of_string (Printf.sprintf "\"%s\"" escaped) with
+    | Ok (Json.String s) ->
+      Alcotest.(check string) (Printf.sprintf "decode %s" escaped) utf8 s
+    | Ok _ -> Alcotest.failf "%s: not a string" escaped
+    | Error msg -> Alcotest.failf "%s: %s" escaped msg
+  in
+  (* U+1F600 GRINNING FACE, U+10348 GOTHIC HWAIR, U+1D11E MUSICAL G CLEF *)
+  check_decodes "\\ud83d\\ude00" "\xf0\x9f\x98\x80";
+  check_decodes "\\uD800\\uDF48" "\xf0\x90\x8d\x88";
+  check_decodes "\\uD834\\uDD1E" "\xf0\x9d\x84\x9e";
+  check_decodes "x\\ud83d\\ude00y" "x\xf0\x9f\x98\x80y";
+  (* BMP escapes still decode to 1-3 byte sequences. *)
+  check_decodes "\\u00e9" "\xc3\xa9";
+  check_decodes "\\u20ac" "\xe2\x82\xac";
+  (* The decoded astral character round-trips as raw UTF-8 bytes. *)
+  let v = Json.String "\xf0\x9f\x98\x80 clef \xf0\x9d\x84\x9e" in
+  Alcotest.(check bool) "astral round trip" true
+    (Json.of_string (Json.to_string v) = Ok v
+    && Json.of_string (Json.to_string ~pretty:true v) = Ok v)
+
+let test_json_unpaired_surrogates () =
+  List.iter
+    (fun text ->
+      match Json.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted unpaired surrogate %S" text)
+    [ "\"\\ud83d\"" (* lone high *);
+      "\"\\ude00\"" (* lone low *);
+      "\"\\ud83d\\ud83d\"" (* high followed by high *);
+      "\"\\ud83dx\"" (* high followed by a plain char *);
+      "\"\\ud83d\\n\"" (* high followed by a non-u escape *);
+      "\"\\ud83d\\u00e9\"" (* high followed by a BMP escape *);
+      "\"\\ud83d" (* truncated input after the high half *) ]
+
 let test_json_accessors () =
   let v = Json.Obj [ ("x", Json.Int 3); ("y", Json.Float 1.5) ] in
   Alcotest.(check (option int)) "int member" (Some 3)
@@ -581,5 +619,8 @@ let () =
         [ Alcotest.test_case "round trip" `Quick test_json_roundtrip;
           Alcotest.test_case "float literals" `Quick test_json_float_literals;
           Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "surrogate pairs" `Quick test_json_surrogate_pairs;
+          Alcotest.test_case "unpaired surrogates" `Quick
+            test_json_unpaired_surrogates;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           qcheck_json_roundtrip ] ) ]

@@ -1,0 +1,432 @@
+(* The serving daemon: protocol totality, the warm LRU cache, watermark
+   admission control (downgrade, then shed), per-request isolation,
+   graceful drain with cancellation, the accounting identity — and a
+   forked end-to-end drill over a real Unix socket. *)
+
+module Protocol = Repair_serve.Protocol
+module Cache = Repair_serve.Cache
+module Engine = Repair_serve.Engine
+module Server = Repair_serve.Server
+module Json = Repair_obs.Json
+module E = Repair_runtime.Repair_error
+module R = Repair_core.Repair
+
+let reply_json line =
+  match Json.of_string line with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "reply is not JSON (%s): %S" m line
+
+let reply_ok line =
+  match Json.member "ok" (reply_json line) with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "reply lacks ok: %S" line
+
+let reply_class line =
+  match
+    Option.bind (Json.member "error" (reply_json line)) (Json.member "class")
+  with
+  | Some (Json.String c) -> c
+  | _ -> Alcotest.failf "reply lacks error.class: %S" line
+
+let reply_bool key line =
+  match Json.member key (reply_json line) with
+  | Some (Json.Bool b) -> b
+  | _ -> false
+
+(* ---------- protocol ---------- *)
+
+let test_protocol_roundtrip () =
+  let line =
+    Protocol.request_line ~id:(Json.String "r1") ~op:Protocol.S_repair
+      ~fds:"A -> B" ~table:"A,B\n1,2\n" ~format:Protocol.Csv
+      ~strategy:Protocol.Exact ~timeout_s:1.5 ~max_steps:42 ()
+  in
+  match Protocol.parse (String.trim line) with
+  | Error r -> Alcotest.failf "round-trip rejected: %s" r.Protocol.detail
+  | Ok req ->
+    Alcotest.(check string) "op" "s-repair" (Protocol.op_name req.Protocol.op);
+    Alcotest.(check string) "fds" "A -> B" req.Protocol.fds;
+    Alcotest.(check string) "table" "A,B\n1,2\n" req.Protocol.table;
+    Alcotest.(check bool) "strategy" true (req.Protocol.strategy = Protocol.Exact);
+    Alcotest.(check (option int)) "max_steps" (Some 42) req.Protocol.max_steps;
+    (match req.Protocol.timeout_s with
+    | Some t -> Alcotest.(check (float 1e-9)) "timeout" 1.5 t
+    | None -> Alcotest.fail "timeout lost")
+
+let test_protocol_total () =
+  let reject line =
+    match Protocol.parse line with
+    | Error r ->
+      Alcotest.(check string) "class" Protocol.err_protocol r.Protocol.error_class
+    | Ok _ -> Alcotest.failf "accepted %S" line
+  in
+  reject "";
+  reject "not json";
+  reject "[1,2]";
+  reject "\"str\"";
+  reject "{}";
+  reject {|{"op": 42}|};
+  reject {|{"op": "warp"}|};
+  reject {|{"op": "s-repair"}|};
+  reject {|{"op": "s-repair", "fds": "A -> B"}|};
+  reject {|{"op": "s-repair", "fds": "A -> B", "table": "A\n1\n", "format": "xml"}|};
+  reject {|{"op": "s-repair", "fds": "A -> B", "table": "A\n1\n", "timeout_s": -1}|};
+  (* id is recovered whenever the line parsed as an object *)
+  match Protocol.parse {|{"id": "x7", "op": "warp"}|} with
+  | Error r -> Alcotest.(check bool) "id kept" true (r.Protocol.id = Json.String "x7")
+  | Ok _ -> Alcotest.fail "accepted unknown op"
+
+let test_protocol_control_ops () =
+  List.iter
+    (fun (name, control) ->
+      match
+        Protocol.parse (Printf.sprintf {|{"op": %S, "fds": "A -> B"}|} name)
+      with
+      | Ok req ->
+        Alcotest.(check bool) name control (Protocol.is_control req.Protocol.op)
+      | Error r -> Alcotest.failf "%s rejected: %s" name r.Protocol.detail)
+    [ ("ping", true); ("metrics", true); ("invalidate-cache", true);
+      ("drain", true); ("classify", false) ]
+
+(* ---------- cache ---------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~name:"t" ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.find c "a");
+  Cache.add c "c" 3;
+  (* "b" was least recently used *)
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.find c "c");
+  let s = Cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "size" 2 s.Cache.size;
+  Alcotest.(check int) "cleared" 2 (Cache.clear c);
+  Alcotest.(check int) "empty" 0 (Cache.length c)
+
+let test_cache_failed_produce_not_cached () =
+  let c = Cache.create ~name:"t" ~capacity:4 in
+  let calls = ref 0 in
+  (try
+     ignore (Cache.find_or_add c "k" (fun () -> incr calls; failwith "no"))
+   with Failure _ -> ());
+  Alcotest.(check (option int)) "not cached" None (Cache.find c "k");
+  ignore (Cache.find_or_add c "k" (fun () -> incr calls; 9));
+  Alcotest.(check int) "produce retried" 2 !calls;
+  Alcotest.(check (option int)) "now cached" (Some 9) (Cache.find c "k")
+
+(* ---------- engine ---------- *)
+
+let repair_line i =
+  Protocol.request_line
+    ~id:(Json.String (Printf.sprintf "r%d" i))
+    ~op:Protocol.S_repair ~fds:"A -> B" ~table:"A,B\n1,2\n1,3\n" ()
+  |> String.trim
+
+let config ~capacity ~watermark =
+  { Engine.default_config with
+    queue_capacity = capacity;
+    degrade_watermark = watermark }
+
+let ok_exec ~degraded:_ (_ : Protocol.request) = [ ("distance", Json.Float 1.0) ]
+
+let feed engine i =
+  Engine.handle_line engine ~conn:0 ~quota_used:0 (repair_line i)
+
+(* Satellite: the deterministic overload scenario. Capacity 4, watermark
+   2: requests 0-1 are admitted normally, 2-3 are admitted downgraded,
+   4 is shed with a structured `overloaded` error; every accepted request
+   completes; the final accounting identity balances. *)
+let test_deterministic_overload () =
+  let engine = Engine.create (config ~capacity:4 ~watermark:2) in
+  for i = 0 to 3 do
+    match feed engine i with
+    | `Enqueued -> ()
+    | _ -> Alcotest.failf "request %d was not admitted" i
+  done;
+  (match feed engine 4 with
+  | `Reply line ->
+    Alcotest.(check bool) "shed is an error" false (reply_ok line);
+    Alcotest.(check string) "shed class" Protocol.err_overloaded
+      (reply_class line)
+  | _ -> Alcotest.fail "request 4 should have been shed");
+  (* drain the queue; record which replies carry the downgrade marker *)
+  let downgraded = ref [] in
+  let rec run () =
+    match Engine.take engine with
+    | None -> ()
+    | Some p ->
+      let line = Engine.execute engine ~exec:ok_exec p in
+      Alcotest.(check bool) "completed ok" true (reply_ok line);
+      if reply_bool "degraded" line then begin
+        (match Json.member "downgraded" (reply_json line) with
+        | Some (Json.String "overload") -> ()
+        | _ -> Alcotest.failf "degraded reply lacks downgrade marker: %S" line);
+        downgraded := line :: !downgraded
+      end;
+      run ()
+  in
+  run ();
+  Alcotest.(check int) "exactly the above-watermark admissions degraded" 2
+    (List.length !downgraded);
+  let c = Engine.counters engine in
+  Alcotest.(check int) "admitted" 4 c.Engine.admitted;
+  Alcotest.(check int) "completed" 4 c.Engine.completed;
+  Alcotest.(check int) "shed" 1 c.Engine.shed;
+  Alcotest.(check int) "degraded" 2 c.Engine.degraded;
+  Alcotest.(check int) "queue_depth_max" 4 c.Engine.queue_depth_max;
+  Alcotest.(check bool) "accounting identity" true (Engine.balanced engine)
+
+let test_poison_isolation () =
+  let engine = Engine.create (config ~capacity:8 ~watermark:8) in
+  let poison_exec ~degraded:_ (req : Protocol.request) =
+    match req.Protocol.id with
+    | Json.String "r0" ->
+      E.raise_error (Parse { source = "<t>"; line = None; detail = "bad fds" })
+    | Json.String "r1" -> failwith "wild exception"
+    | _ -> [ ("distance", Json.Float 0.0) ]
+  in
+  for i = 0 to 2 do
+    match feed engine i with
+    | `Enqueued -> ()
+    | _ -> Alcotest.failf "request %d not admitted" i
+  done;
+  let classes = ref [] in
+  let rec run () =
+    match Engine.take engine with
+    | None -> ()
+    | Some p ->
+      let line = Engine.execute engine ~exec:poison_exec p in
+      if not (reply_ok line) then classes := reply_class line :: !classes;
+      run ()
+  in
+  run ();
+  Alcotest.(check (list string)) "classified errors"
+    [ "parse"; Protocol.err_internal ]
+    (List.rev !classes);
+  let c = Engine.counters engine in
+  Alcotest.(check int) "quarantined" 2 c.Engine.quarantined;
+  Alcotest.(check int) "completed" 1 c.Engine.completed;
+  Alcotest.(check bool) "identity" true (Engine.balanced engine);
+  (* poison must not poison the server: next request still served *)
+  (match feed engine 9 with
+  | `Enqueued -> ()
+  | _ -> Alcotest.fail "engine stopped admitting after poison");
+  match Engine.take engine with
+  | Some p ->
+    Alcotest.(check bool) "still serving" true
+      (reply_ok (Engine.execute engine ~exec:ok_exec p))
+  | None -> Alcotest.fail "queue empty"
+
+let test_drain_and_cancel () =
+  let engine = Engine.create (config ~capacity:8 ~watermark:8) in
+  for i = 0 to 2 do ignore (feed engine i) done;
+  Engine.drain engine;
+  (* no admission during drain *)
+  (match feed engine 3 with
+  | `Reply line ->
+    Alcotest.(check string) "draining class" Protocol.err_draining
+      (reply_class line)
+  | _ -> Alcotest.fail "admitted during drain");
+  (* one request finishes inside the deadline, the rest are cancelled *)
+  (match Engine.take engine with
+  | Some p -> ignore (Engine.execute engine ~exec:ok_exec p)
+  | None -> Alcotest.fail "queue empty");
+  let cancelled = Engine.cancel_remaining engine in
+  Alcotest.(check int) "two cancelled" 2 (List.length cancelled);
+  List.iter
+    (fun (_, line) ->
+      Alcotest.(check string) "cancelled class" Protocol.err_cancelled
+        (reply_class line))
+    cancelled;
+  let c = Engine.counters engine in
+  Alcotest.(check int) "admitted" 3 c.Engine.admitted;
+  Alcotest.(check int) "completed" 1 c.Engine.completed;
+  Alcotest.(check int) "cancelled" 2 c.Engine.cancelled;
+  Alcotest.(check bool) "identity after drain" true (Engine.balanced engine);
+  match Json.member "serve" (Engine.snapshot_json engine) with
+  | Some (Json.Obj fields) ->
+    Alcotest.(check bool) "snapshot mode" true
+      (List.assoc_opt "mode" fields = Some (Json.String "draining"))
+  | _ -> Alcotest.fail "snapshot lacks serve accounting"
+
+let test_quota_shed () =
+  let engine =
+    Engine.create { (config ~capacity:8 ~watermark:8) with quota = Some 2 }
+  in
+  (match Engine.handle_line engine ~conn:0 ~quota_used:2 (repair_line 0) with
+  | `Reply line ->
+    Alcotest.(check string) "quota class" Protocol.err_quota (reply_class line)
+  | _ -> Alcotest.fail "quota not enforced");
+  match Engine.handle_line engine ~conn:0 ~quota_used:1 (repair_line 1) with
+  | `Enqueued -> Alcotest.(check bool) "identity" true (Engine.balanced engine)
+  | _ -> Alcotest.fail "under-quota request rejected"
+
+let test_control_ops_bypass_admission () =
+  let engine = Engine.create (config ~capacity:1 ~watermark:1) in
+  ignore (feed engine 0);
+  (* queue is now full; control ops must still answer immediately *)
+  (match Engine.handle_line engine ~conn:0 ~quota_used:99
+           {|{"id": "p", "op": "ping"}|} with
+  | `Reply line -> Alcotest.(check bool) "pong" true (reply_ok line)
+  | _ -> Alcotest.fail "ping queued");
+  match Engine.handle_line engine ~conn:0 ~quota_used:0
+          {|{"id": "d", "op": "drain"}|} with
+  | `Drain line -> Alcotest.(check bool) "drain acked" true (reply_ok line)
+  | _ -> Alcotest.fail "drain not signalled"
+
+(* ---------- driver-backed executor ---------- *)
+
+let budget () = Repair_runtime.Budget.create ()
+
+let test_core_exec_repair () =
+  let cache = R.Serve.make_cache () in
+  let req line =
+    match Protocol.parse line with
+    | Ok r -> r
+    | Error r -> Alcotest.failf "bad request: %s" r.Protocol.detail
+  in
+  let fields =
+    R.Serve.exec ~cache ~degraded:false ~budget:(budget ())
+      (req {|{"op": "s-repair", "fds": "A -> B", "table": "A,B\n1,2\n1,3\n"}|})
+  in
+  (match List.assoc_opt "distance" fields with
+  | Some (Json.Float d) -> Alcotest.(check (float 1e-9)) "distance" 1.0 d
+  | _ -> Alcotest.fail "no distance");
+  (match List.assoc_opt "optimal" fields with
+  | Some (Json.Bool b) -> Alcotest.(check bool) "optimal" true b
+  | _ -> Alcotest.fail "no optimal flag");
+  (* degraded forces the approximation rung *)
+  let fields =
+    R.Serve.exec ~cache ~degraded:true ~budget:(budget ())
+      (req {|{"op": "s-repair", "fds": "A -> B", "table": "A,B\n1,2\n1,3\n"}|})
+  in
+  (match List.assoc_opt "method" fields with
+  | Some (Json.String m) ->
+    let contains_sub hay needle =
+      let h = String.lowercase_ascii hay and n = String.length needle in
+      let rec at i = i + n <= String.length h
+                     && (String.sub h i n = needle || at (i + 1)) in
+      at 0
+    in
+    Alcotest.(check bool) "approx method" true
+      (contains_sub m "approx" || contains_sub m "local")
+  | _ -> Alcotest.fail "no method");
+  (* classify is answered from the warm cache: same fds key hits *)
+  let stats_before = (Cache.stats cache).Cache.hits in
+  let fields =
+    R.Serve.exec ~cache ~degraded:false ~budget:(budget ())
+      (req {|{"op": "classify", "fds": "A -> B"}|})
+  in
+  (match List.assoc_opt "s_tractable" fields with
+  | Some (Json.Bool b) -> Alcotest.(check bool) "tractable" true b
+  | _ -> Alcotest.fail "no s_tractable");
+  Alcotest.(check bool) "warm hit" true
+    ((Cache.stats cache).Cache.hits > stats_before)
+
+let test_core_exec_parse_error_classified () =
+  let cache = R.Serve.make_cache () in
+  match
+    R.Serve.exec ~cache ~degraded:false ~budget:(budget ())
+      (match Protocol.parse {|{"op": "classify", "fds": "not an fd"}|} with
+      | Ok r -> r
+      | Error _ -> Alcotest.fail "request rejected")
+  with
+  | _ -> Alcotest.fail "garbage fds accepted"
+  | exception E.Error (E.Parse _) -> ()
+
+(* ---------- end to end over a real socket ---------- *)
+
+let socket_path () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "repair_serve_%d.sock" (Unix.getpid ()))
+
+let test_end_to_end_unix_socket () =
+  let path = socket_path () in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    (* child: the daemon. Quiet stderr; never return into alcotest. *)
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stderr;
+    let code =
+      try
+        R.Serve.run
+          ~config:
+            { Engine.default_config with
+              queue_capacity = 16;
+              degrade_watermark = 8 }
+          (Server.Unix_sock path)
+      with _ -> 99
+    in
+    Unix._exit code
+  | pid ->
+    let cleanup () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while
+      (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline
+    do
+      ignore (Unix.select [] [] [] 0.02)
+    done;
+    Alcotest.(check bool) "socket appeared" true (Sys.file_exists path);
+    let report =
+      Repair_workload.Load_gen.run
+        { Repair_workload.Load_gen.default_spec with
+          requests = 12;
+          connections = 2;
+          n_rows = 10;
+          poison_every = Some 5;
+          malformed_every = Some 6;
+          wall_timeout_s = 20.0 }
+        (Repair_workload.Load_gen.Unix_sock path)
+    in
+    Alcotest.(check int) "everything answered"
+      report.Repair_workload.Load_gen.sent
+      report.Repair_workload.Load_gen.answered;
+    Alcotest.(check bool) "some requests repaired" true
+      (report.Repair_workload.Load_gen.ok > 0);
+    Alcotest.(check bool) "poison classified, not fatal" true
+      (report.Repair_workload.Load_gen.failed > 0);
+    Alcotest.(check bool) "malformed answered" true
+      (report.Repair_workload.Load_gen.protocol_errors > 0);
+    (* graceful drain on SIGTERM with an idle queue: clean exit 0 *)
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
+    | _ -> Alcotest.fail "daemon killed by signal"
+
+let () =
+  Alcotest.run "serve"
+    [ ( "protocol",
+        [ Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "total parser" `Quick test_protocol_total;
+          Alcotest.test_case "control ops" `Quick test_protocol_control_ops ] );
+      ( "cache",
+        [ Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "failed produce" `Quick
+            test_cache_failed_produce_not_cached ] );
+      ( "engine",
+        [ Alcotest.test_case "deterministic overload" `Quick
+            test_deterministic_overload;
+          Alcotest.test_case "poison isolation" `Quick test_poison_isolation;
+          Alcotest.test_case "drain and cancel" `Quick test_drain_and_cancel;
+          Alcotest.test_case "quota shed" `Quick test_quota_shed;
+          Alcotest.test_case "control ops bypass admission" `Quick
+            test_control_ops_bypass_admission ] );
+      ( "executor",
+        [ Alcotest.test_case "driver-backed repair" `Quick
+            test_core_exec_repair;
+          Alcotest.test_case "parse error classified" `Quick
+            test_core_exec_parse_error_classified ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "unix socket burst + drain" `Quick
+            test_end_to_end_unix_socket ] ) ]
