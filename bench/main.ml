@@ -998,18 +998,151 @@ let e21 () =
   check "burst: accounting identity" (Engine.balanced engine);
   record ~n:burst_n ~solver:"burst-drain" ~wall_ms:burst_ms ()
 
+(* ----------------------------------------------------------------- E22 *)
+
+(* Multicore scaling sweep for the domain-pool layer: the E20 workload
+   shapes (chain grouping, two-attribute marriage grouping, conflict
+   graph + VC approximation) run through the parallel entry points on
+   pools of 1/2/4/8 domains, against the sequential single-domain
+   baseline. Every width must produce bit-identical results — the pool
+   buys wall-clock only. The ≥2.5× target at 4 domains (conflict
+   workload) is asserted only when the host actually has ≥4 cores
+   ([Domain.recommended_domain_count]); the ratio is recorded either
+   way, so single-core CI boxes keep the record without a vacuous
+   failure. The smoke subset keeps the 2-domain point on the small
+   instance so CI gates the records cheaply. *)
+let e22_smoke = ref false
+
+let e22 () =
+  section "E22" "Domain-pool scaling — parallel hot loops vs sequential";
+  let module Pool = R.Par.Pool in
+  let module G = R.Graph.Graph in
+  let module Vc = R.Graph.Vertex_cover in
+  let module Cg = R.Srepair.Conflict_graph in
+  let schema = Schema.make "Scale" [ "A"; "B"; "C" ] in
+  let xa = Attr_set.of_list [ "A" ] in
+  let xab = Attr_set.of_list [ "A"; "B" ] in
+  let fd_ab = Fd_set.of_list [ Fd.make xa (Attr_set.of_list [ "B" ]) ] in
+  let n = if !e22_smoke then 1_000 else 100_000 in
+  let domain_counts = if !e22_smoke then [ 2 ] else [ 2; 4; 8 ] in
+  let cores = Domain.recommended_domain_count () in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let rng = Rng.make (9000 + n) in
+  let chain_tbl =
+    Table.of_list schema
+      (List.init n (fun i ->
+           ( i + 1,
+             1.0,
+             Tuple.make
+               [ Value.int (Rng.in_range rng 1 (max 2 (n / 500)));
+                 Value.int (Rng.in_range rng 1 10);
+                 Value.int (Rng.in_range rng 1 10) ] )))
+  in
+  let conflict_tbl =
+    Table.of_list schema
+      (List.init n (fun i ->
+           ( i + 1,
+             1.0,
+             Tuple.make
+               [ Value.int (Rng.in_range rng 1 (max 2 (n / 40)));
+                 Value.int (if Rng.bernoulli rng 0.1 then 2 else 1);
+                 Value.int (Rng.in_range rng 1 10) ] )))
+  in
+  (* sequential baselines — and the reference results for bit-identity *)
+  let chain_pass groups =
+    List.fold_left (fun acc (_, sub) -> Table.union acc sub) (Table.empty schema)
+      groups
+  in
+  let seq_chain, chain_seq_ms =
+    time (fun () -> chain_pass (Table.group_by chain_tbl xa))
+  in
+  let seq_marriage, marriage_seq_ms =
+    time (fun () -> Table.group_by chain_tbl xab)
+  in
+  let (seq_edges, seq_cover), conflict_seq_ms =
+    time (fun () ->
+        let g = Cg.graph (Cg.build fd_ab conflict_tbl) in
+        (G.n_edges g, Vc.cover_weight g (Vc.approx2 g)))
+  in
+  record ~n ~solver:"chain-seq" ~wall_ms:chain_seq_ms ();
+  record ~n ~solver:"marriage-seq" ~wall_ms:marriage_seq_ms ();
+  record ~n ~solver:"conflict-seq" ~wall_ms:conflict_seq_ms ();
+  row "  %d cores available; n=%d; sequential: chain %.2f ms, marriage \
+       %.2f ms, conflict %.2f ms@."
+    cores n chain_seq_ms marriage_seq_ms conflict_seq_ms;
+  (* (workload, domains) -> seq_ms /. par_ms *)
+  let ratios = Hashtbl.create 16 in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let runner = Pool.runner pool in
+          let c_res, chain_ms =
+            time (fun () -> chain_pass (Table.group_by_par runner chain_tbl xa))
+          in
+          check
+            (Printf.sprintf "chain @%dd is bit-identical" domains)
+            (Table.equal c_res seq_chain);
+          let m_res, marriage_ms =
+            time (fun () -> Table.group_by_par runner chain_tbl xab)
+          in
+          check
+            (Printf.sprintf "marriage @%dd: same blocks in the same order"
+               domains)
+            (List.length m_res = List.length seq_marriage
+            && List.for_all2
+                 (fun (k1, t1) (k2, t2) ->
+                   Tuple.equal k1 k2 && Table.equal t1 t2)
+                 m_res seq_marriage);
+          let (p_edges, p_cover), conflict_ms =
+            time (fun () ->
+                let g = Cg.graph (Cg.build_par runner fd_ab conflict_tbl) in
+                (G.n_edges g, Vc.cover_weight g (Vc.approx2 g)))
+          in
+          check
+            (Printf.sprintf "conflict @%dd: same edges, same cover" domains)
+            (p_edges = seq_edges && approx_eq p_cover seq_cover);
+          List.iter
+            (fun (workload, seq_ms, par_ms) ->
+              let ratio = seq_ms /. par_ms in
+              Hashtbl.replace ratios (workload, domains) ratio;
+              record ~n
+                ~solver:(Printf.sprintf "%s-par/domains=%d" workload domains)
+                ~wall_ms:par_ms ();
+              row "  %-10s domains=%d   %8.2f ms   %5.2fx@." workload domains
+                par_ms ratio)
+            [ ("chain", chain_seq_ms, chain_ms);
+              ("marriage", marriage_seq_ms, marriage_ms);
+              ("conflict", conflict_seq_ms, conflict_ms) ]))
+    domain_counts;
+  if not !e22_smoke then begin
+    let ratio =
+      try Hashtbl.find ratios ("conflict", 4) with Not_found -> 0.0
+    in
+    if cores >= 4 then
+      check "conflict speedup at 4 domains is at least 2.5x" (ratio >= 2.5)
+    else
+      row "  [skip] conflict @4d speedup gate: only %d core(s) available \
+           (measured %.2fx, recorded)@."
+        cores ratio
+  end
+
 (* ------------------------------------------------------------- runner *)
 
 let experiments =
   [ ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8-E9", e8_e9); ("E10", e10); ("E11", e11); ("E12", e12);
     ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16); ("E17", e17);
-    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21) ]
+    ("E18", e18); ("E19", e19); ("E20", e20); ("E21", e21); ("E22", e22) ]
 
 (* The --smoke subset: seconds-scale experiments that still cover both
    repair flavours, exact baselines, and the record-emission path. *)
 let smoke_subset =
-  [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19"; "E20"; "E21" ]
+  [ "E1"; "E2"; "E3"; "E6"; "E7"; "E13"; "E15"; "E18"; "E19"; "E20"; "E21";
+    "E22" ]
 
 let () =
   let smoke = ref false and out = ref "BENCH_1.json" in
@@ -1036,6 +1169,7 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   e20_smoke := !smoke;
   e21_smoke := !smoke;
+  e22_smoke := !smoke;
   Fmt.pr
     "repair-bench — reproduction experiments for 'Computing Optimal Repairs \
      for Functional Dependencies' (PODS'18)%s@."

@@ -299,6 +299,82 @@ let protocol_trial seed =
       ()
   | _ -> fail "ping after fuzzing did not produce an immediate reply"
 
+(* --- par mode: parallel vs sequential cross-check -------------------
+
+   Same instance generators as differential mode, but the property is
+   the DESIGN §13 contract: a driver run on a domain pool is
+   bit-identical to the sequential run — result table, distance, method,
+   degraded flag, fallbacks, and on the error path the error class.
+   Budgeted runs ride along because a limited budget must take the
+   sequential path unchanged. *)
+
+let par_pool = lazy (R.Par.Pool.create ~domains:4)
+
+let reports_agree what d (seq : (R.Driver.report, _) result)
+    (par : (R.Driver.report, _) result) =
+  match (seq, par) with
+  | Ok s, Ok p ->
+    if not (Table.equal s.R.Driver.result p.R.Driver.result) then
+      fail "%s: parallel result table differs under %a" what Fd_set.pp d;
+    if s.distance <> p.distance then
+      fail "%s: parallel distance %g != sequential %g under %a" what
+        p.distance s.distance Fd_set.pp d;
+    if s.method_used <> p.method_used then
+      fail "%s: parallel method %S != sequential %S under %a" what
+        p.method_used s.method_used Fd_set.pp d;
+    if s.degraded <> p.degraded || s.fallbacks <> p.fallbacks then
+      fail "%s: parallel degradation trace differs under %a" what Fd_set.pp d
+  | Error es, Error ep ->
+    let cs = R.Runtime.Repair_error.class_name es
+    and cp = R.Runtime.Repair_error.class_name ep in
+    if cs <> cp then
+      fail "%s: parallel error class %S != sequential %S under %a" what cp cs
+        Fd_set.pp d
+  | Ok _, Error e ->
+    fail "%s: parallel run failed (%s) where sequential succeeded under %a"
+      what (R.Runtime.Repair_error.class_name e) Fd_set.pp d
+  | Error e, Ok _ ->
+    fail "%s: parallel run succeeded where sequential failed (%s) under %a"
+      what (R.Runtime.Repair_error.class_name e) Fd_set.pp d
+
+let par_trial seed =
+  let rng = Rng.make seed in
+  let n_attrs = Rng.in_range rng 2 4 in
+  let schema, d =
+    Gen_fd.random rng ~n_attrs ~n_fds:(Rng.in_range rng 1 3) ~max_lhs:2
+  in
+  let t =
+    Gen_table.dirty rng schema d
+      {
+        Gen_table.default with
+        n = Rng.in_range rng 0 10;
+        noise = 0.3;
+        domain_size = 3;
+        weighted = Rng.bool rng;
+        duplicate_rate = 0.1;
+      }
+  in
+  let pool = Lazy.force par_pool in
+  reports_agree "s-repair" d
+    (R.Driver.s_repair_result d t)
+    (R.Driver.s_repair_result ~pool d t);
+  reports_agree "u-repair" d
+    (R.Driver.u_repair_result d t)
+    (R.Driver.u_repair_result ~pool d t);
+  (* Budgeted, both policies: limited budgets force the sequential path
+     inside the pool run, so exhaustion points must be preserved. *)
+  let max_steps = Rng.in_range rng 1 50 in
+  List.iter
+    (fun on_budget ->
+      let budget () = R.Runtime.Budget.create ~max_steps () in
+      reports_agree "budgeted s-repair" d
+        (R.Driver.s_repair_result ~budget:(budget ()) ~on_budget d t)
+        (R.Driver.s_repair_result ~pool ~budget:(budget ()) ~on_budget d t);
+      reports_agree "budgeted u-repair" d
+        (R.Driver.u_repair_result ~budget:(budget ()) ~on_budget d t)
+        (R.Driver.u_repair_result ~pool ~budget:(budget ()) ~on_budget d t))
+    [ `Degrade; `Fail ]
+
 let trial seed =
   let rng = Rng.make seed in
   let n_attrs = Rng.in_range rng 2 4 in
@@ -325,7 +401,12 @@ let trial seed =
   check_budgeted rng d t
 
 let run mode trials seed0 quiet =
-  let trial = match mode with `Differential -> trial | `Protocol -> protocol_trial in
+  let trial =
+    match mode with
+    | `Differential -> trial
+    | `Protocol -> protocol_trial
+    | `Par -> par_trial
+  in
   let failures = ref 0 in
   (try
      for i = 0 to trials - 1 do
@@ -356,10 +437,16 @@ let main =
        against exponential baselines; $(b,protocol) throws malformed, \
        truncated, mutated, and oversized request lines at the serving \
        engine and checks every one yields a structured reply, the \
-       accounting identity holds, and the engine keeps answering."
+       accounting identity holds, and the engine keeps answering; \
+       $(b,par) cross-checks driver runs on a 4-domain pool against \
+       sequential runs, asserting bit-identical reports and preserved \
+       error classes (DESIGN §13)."
     in
     Arg.(value
-         & opt (enum [ ("differential", `Differential); ("protocol", `Protocol) ])
+         & opt
+             (enum
+                [ ("differential", `Differential); ("protocol", `Protocol);
+                  ("par", `Par) ])
              `Differential
          & info [ "mode" ] ~docv:"MODE" ~doc)
   in

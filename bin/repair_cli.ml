@@ -176,6 +176,27 @@ let budget_of timeout max_steps =
   | None, None -> None
   | timeout_s, max_steps -> Some (R.Runtime.Budget.create ?timeout_s ?max_steps ())
 
+let domains_arg =
+  let doc =
+    "Execute on $(docv) domains (the submitting one plus $(docv)-1 \
+     workers). Results are bit-identical to a single-domain run: the \
+     pool's merges are deterministic (DESIGN §13). 1, the default, \
+     disables the pool entirely."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+(* Bracketed pool for the --domains flag. A value below 1 is a usage
+   error (exit 2, like any bad argument) — there is no dedicated exit
+   code for pool startup failure; a failed Domain.spawn surfaces as an
+   internal error (exit 1). *)
+let with_domains domains f =
+  if domains < 1 then
+    die_error
+      (E.Parse
+         { source = "<args>"; line = None; detail = "--domains must be >= 1" })
+  else if domains = 1 then f None
+  else R.Par.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
 let emit out tbl =
   match out with
   | None -> print_string (Csv_io.to_string tbl)
@@ -208,15 +229,17 @@ let s_repair_cmd =
          & info [ "explain" ] ~doc:"Print why each tuple was deleted (stderr).")
   in
   let run fds input out strategy explain verbose timeout max_steps on_budget
-      metrics trace trace_buffer =
+      domains metrics trace trace_buffer =
     setup_logs verbose;
     let d = or_die_error (parse_fds fds) in
     let tbl = or_die_error (load_table input) in
     with_trace trace trace_buffer @@ fun () ->
     with_metrics metrics @@ fun () ->
+    with_domains domains @@ fun pool ->
     let budget = budget_of timeout max_steps in
     let r =
-      or_die_error (R.Driver.s_repair_result ~strategy ?budget ~on_budget d tbl)
+      or_die_error
+        (R.Driver.s_repair_result ?pool ~strategy ?budget ~on_budget d tbl)
     in
     report_header "s-repair" r;
     if explain then
@@ -230,7 +253,7 @@ let s_repair_cmd =
     (Cmd.info "s-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
           $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg
-          $ metrics_arg $ trace_arg $ trace_buffer_arg)
+          $ domains_arg $ metrics_arg $ trace_arg $ trace_buffer_arg)
 
 let u_repair_cmd =
   let explain_arg =
@@ -238,15 +261,17 @@ let u_repair_cmd =
          & info [ "explain" ] ~doc:"Print every changed cell (stderr).")
   in
   let run fds input out strategy explain verbose timeout max_steps on_budget
-      metrics trace trace_buffer =
+      domains metrics trace trace_buffer =
     setup_logs verbose;
     let d = or_die_error (parse_fds fds) in
     let tbl = or_die_error (load_table input) in
     with_trace trace trace_buffer @@ fun () ->
     with_metrics metrics @@ fun () ->
+    with_domains domains @@ fun pool ->
     let budget = budget_of timeout max_steps in
     let r =
-      or_die_error (R.Driver.u_repair_result ~strategy ?budget ~on_budget d tbl)
+      or_die_error
+        (R.Driver.u_repair_result ?pool ~strategy ?budget ~on_budget d tbl)
     in
     report_header "u-repair" r;
     if explain then begin
@@ -265,7 +290,7 @@ let u_repair_cmd =
     (Cmd.info "u-repair" ~doc)
     Term.(const run $ fds_arg $ csv_in $ csv_out $ strategy_arg $ explain_arg
           $ verbose_arg $ timeout_arg $ max_steps_arg $ on_budget_arg
-          $ metrics_arg $ trace_arg $ trace_buffer_arg)
+          $ domains_arg $ metrics_arg $ trace_arg $ trace_buffer_arg)
 
 let mpd_cmd =
   let run fds input out =
@@ -552,18 +577,20 @@ let batch_cmd =
     let doc = "Write the summary JSON to $(docv) (defaults to stdout)." in
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc)
   in
-  let run manifest journal resume retries backoff out verbose metrics trace
-      trace_buffer =
+  let run manifest journal resume retries backoff out verbose domains metrics
+      trace trace_buffer =
     setup_logs verbose;
     let m = or_die_error (R.Batch.Manifest.load_result manifest) in
     let code =
       with_trace trace trace_buffer @@ fun () ->
       with_metrics metrics @@ fun () ->
+      with_domains domains @@ fun pool ->
       let t0 = Unix.gettimeofday () in
       let summary =
         or_die_error
           (E.guard (fun () ->
-               R.Batch.run ~retries ~backoff_ms:backoff ~resume ~journal m))
+               R.Batch.run ?pool ~retries ~backoff_ms:backoff ~resume ~journal
+                 m))
       in
       let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
       let text =
@@ -593,8 +620,8 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch" ~doc)
     Term.(const run $ manifest_arg $ journal_arg $ resume_arg $ retries_arg
-          $ backoff_arg $ summary_arg $ verbose_arg $ metrics_arg $ trace_arg
-          $ trace_buffer_arg)
+          $ backoff_arg $ summary_arg $ verbose_arg $ domains_arg
+          $ metrics_arg $ trace_arg $ trace_buffer_arg)
 
 let profile_cmd =
   let trace_file_arg =
@@ -759,8 +786,12 @@ let serve_cmd =
          & info [ "metrics-out" ] ~docv:"OUT" ~doc)
   in
   let run socket port queue watermark quota default_timeout max_steps_cap
-      drain max_bytes cache_capacity metrics_out verbose =
+      drain max_bytes cache_capacity metrics_out domains verbose =
     setup_logs verbose;
+    if domains < 1 then
+      die_error
+        (E.Parse
+           { source = "<args>"; line = None; detail = "--domains must be >= 1" });
     let listen = listen_of socket port in
     let config =
       {
@@ -776,7 +807,7 @@ let serve_cmd =
       }
     in
     let code =
-      try R.Serve.run ~config ~cache_capacity ?metrics_out listen with
+      try R.Serve.run ~config ~cache_capacity ?metrics_out ~domains listen with
       | Invalid_argument m ->
         (* config validation (watermark vs capacity etc.) *)
         die_error (E.Parse { source = "<args>"; line = None; detail = m })
@@ -795,7 +826,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ port_arg $ queue_arg $ watermark_arg
           $ quota_arg $ default_timeout_arg $ max_steps_cap_arg $ drain_arg
-          $ max_bytes_arg $ cache_arg $ metrics_out_arg $ verbose_arg)
+          $ max_bytes_arg $ cache_arg $ metrics_out_arg $ domains_arg
+          $ verbose_arg)
 
 let load_cmd =
   let requests_arg =

@@ -27,6 +27,12 @@ dune exec bin/fuzz.exe -- --trials 60 --quiet
 # answering (DESIGN §12).
 dune exec bin/fuzz.exe -- --mode protocol --trials 400 --quiet
 
+# Parallelism determinism (DESIGN §13): the pool differential suite,
+# then the par-mode fuzz — driver runs on a 4-domain pool must be
+# bit-identical to sequential runs, error classes included.
+dune exec test/test_par.exe
+dune exec bin/fuzz.exe -- --mode par --trials 500 --quiet
+
 # Trace round-trip: a traced repair must emit Chrome trace JSON that the
 # profiler accepts — required keys present, timestamps monotone, every
 # Begin matched by an End.
@@ -38,6 +44,17 @@ printf '#id,A,B,C\n1,1,1,1\n2,1,1,2\n3,1,2,1\n' > "$tdir/t.csv"
 dune exec bin/repair_cli.exe -- s-repair -f "A -> B; B -> C" \
   "$tdir/t.csv" -o /dev/null --trace="$tdir/out.json"
 dune exec bin/repair_cli.exe -- profile --check "$tdir/out.json"
+
+# CLI determinism across --domains: the same repair at 1 and 4 domains
+# must write byte-identical repaired tables and reports (DESIGN §13).
+for sub in s-repair u-repair; do
+  dune exec bin/repair_cli.exe -- "$sub" -f "A -> B; B -> C" \
+    --domains 1 "$tdir/t.csv" -o "$tdir/d1.csv" > "$tdir/d1.out"
+  dune exec bin/repair_cli.exe -- "$sub" -f "A -> B; B -> C" \
+    --domains 4 "$tdir/t.csv" -o "$tdir/d4.csv" > "$tdir/d4.out"
+  cmp "$tdir/d1.csv" "$tdir/d4.csv"
+  cmp "$tdir/d1.out" "$tdir/d4.out"
+done
 
 # Serving drill (DESIGN §12): daemon on a temp Unix socket; a pipelined
 # burst with poison requests and malformed lines — every line must be

@@ -1,5 +1,6 @@
 module Budget = Repair_runtime.Budget
 module Repair_error = Repair_runtime.Repair_error
+module Pool = Repair_par.Pool
 module Metrics = Repair_obs.Metrics
 module Histogram = Repair_obs.Histogram
 module Json = Repair_obs.Json
@@ -66,8 +67,8 @@ let counters_delta ~before after =
       if v > prior then Some (name, v - prior) else None)
     after
 
-let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
-    manifest =
+let run ?pool ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec
+    ~journal manifest =
   if retries < 0 then invalid_arg "Runner.run: retries must be >= 0";
   if backoff_ms < 0 then invalid_arg "Runner.run: backoff_ms must be >= 0";
   let jobs = manifest.Manifest.jobs in
@@ -110,20 +111,74 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
   if recovery.entries = [] then
     Journal.append w (Journal.Begin { jobs = List.length jobs });
   tick ();
+  (* Speculative parallel first attempts: with a pool, every
+     not-yet-committed job's attempt 1 runs up front as a pool task —
+     outcome and metrics captured per job, nothing merged, nothing
+     written. The journal writer below then walks the manifest in order
+     exactly as the sequential runner does, consuming each job's
+     speculative result where attempt 1 would have run and merging its
+     metrics capture at that same point, so the record sequence, the
+     phase-"batch" checkpoint arithmetic, and every Commit counter delta
+     are byte-identical to the sequential run. Retries (attempt >= 2)
+     always run inline. The WAL caveat: speculative work predates its
+     Start record, so a crash can discard compute the journal never saw
+     — harmless, since resume re-executes exactly the uncommitted
+     jobs. *)
+  let speculative =
+    match pool with
+    | None -> fun _ -> None
+    | Some pool ->
+      let todo =
+        List.filter
+          (fun (j : Manifest.job) ->
+            not (List.mem_assoc j.id recovery.committed))
+          jobs
+      in
+      if List.length todo <= 1 then fun _ -> None
+      else begin
+        let task (job : Manifest.job) () =
+          let ta = Unix.gettimeofday () in
+          let outcome = Metrics.with_span job.id (fun () -> exec job) in
+          (outcome, (Unix.gettimeofday () -. ta) *. 1000.0)
+        in
+        let results =
+          Pool.run_captured pool (Array.of_list (List.map task todo))
+        in
+        let tbl = Hashtbl.create (List.length todo) in
+        List.iteri
+          (fun i (j : Manifest.job) -> Hashtbl.replace tbl j.id results.(i))
+          todo;
+        fun id -> Hashtbl.find_opt tbl id
+      end
+  in
   let retried = ref 0 in
   let run_job (job : Manifest.job) =
     tick ();
     (* checkpoint: about to start this job; nothing durable yet *)
     let t0 = Unix.gettimeofday () in
     let before = Metrics.counters () in
+    let speculative = speculative job.id in
     let rec attempt k =
       Journal.append w (Journal.Start { job = job.id; attempt = k });
       tick ();
       (* checkpoint: the Start record is durable, the job is in flight *)
       let ta = Unix.gettimeofday () in
-      match Metrics.with_span job.id (fun () -> exec job) with
-      | outcome ->
-        let wall_ms = (Unix.gettimeofday () -. ta) *. 1000.0 in
+      let first_attempt () =
+        match speculative with
+        | Some (result, cap) when k = 1 ->
+          (* Merge where the inline attempt would have recorded. *)
+          Metrics.merge cap;
+          (match result with
+          | Ok (outcome, wall_ms) -> `Done (outcome, wall_ms)
+          | Error exn -> `Raised exn)
+        | _ -> (
+          match Metrics.with_span job.id (fun () -> exec job) with
+          | outcome ->
+            `Done (outcome, (Unix.gettimeofday () -. ta) *. 1000.0)
+          | exception exn -> `Raised exn)
+      in
+      match first_attempt () with
+      | `Done (outcome, wall_ms) ->
         Journal.append w
           (Journal.Commit
              {
@@ -138,7 +193,7 @@ let run ?(retries = 0) ?(backoff_ms = 0) ?(resume = false) ~exec ~journal
         tick ();
         (* checkpoint: the job is committed *)
         (k, Some wall_ms, Committed outcome)
-      | exception exn ->
+      | `Raised exn ->
         let error, detail, transient = classify exn in
         if transient && k <= retries then begin
           let backoff = backoff_ms * (1 lsl (k - 1)) in

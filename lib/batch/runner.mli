@@ -85,12 +85,22 @@ type summary = {
       (** the same, partitioned by [method_used], sorted by method *)
 }
 
-(** [run ?retries ?backoff_ms ?resume ~exec ~journal manifest] executes
-    the manifest as described above. [retries] (default 0) bounds extra
-    attempts after the first; [backoff_ms] (default 0) is the base of the
-    exponential backoff. With [resume] (default [false]) an existing
-    journal is recovered and committed jobs are skipped; without it, a
-    non-empty journal is an [Io] error (refusing to silently mix runs).
+(** [run ?pool ?retries ?backoff_ms ?resume ~exec ~journal manifest]
+    executes the manifest as described above. [retries] (default 0)
+    bounds extra attempts after the first; [backoff_ms] (default 0) is
+    the base of the exponential backoff. With [resume] (default
+    [false]) an existing journal is recovered and committed jobs are
+    skipped; without it, a non-empty journal is an [Io] error (refusing
+    to silently mix runs).
+
+    With a [pool], the first attempt of every not-yet-committed job runs
+    speculatively in parallel (the WAL's per-job isolation makes this
+    safe); the journal writer then walks the manifest in order,
+    consuming the speculative outcomes and merging their metrics
+    captures exactly where the inline attempts would have recorded.
+    The journal bytes, checkpoint arithmetic, Commit counter deltas, and
+    summary are identical to the sequential run (wall-clock fields
+    aside); retries always run inline.
 
     When {!Repair_obs.Metrics} is enabled, the whole run executes inside
     a ["batch"] span with one child span per job id.
@@ -100,6 +110,7 @@ type summary = {
     (the simulated crash).
     @raise Invalid_argument on negative [retries] or [backoff_ms]. *)
 val run :
+  ?pool:Repair_par.Pool.t ->
   ?retries:int ->
   ?backoff_ms:int ->
   ?resume:bool ->

@@ -18,11 +18,14 @@ module Cleaning = Repair_cleaning
 module Runtime = Repair_runtime
 module Obs = Repair_obs
 
+module Par = Repair_par
+
 module Driver = struct
   open Repair_relational
   open Repair_fd
   module Budget = Repair_runtime.Budget
   module Repair_error = Repair_runtime.Repair_error
+  module Pool = Repair_par.Pool
 
   let src = Logs.Src.create "repair.driver" ~doc:"algorithm selection"
 
@@ -86,11 +89,17 @@ module Driver = struct
       fallbacks = [];
     }
 
-  let s_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited ())
+  let s_repair_result ?pool ?(strategy = Auto) ?(budget = Budget.unlimited ())
       ?(on_budget = `Degrade) d tbl =
     let degraded = ref false and fallbacks = ref [] in
+    let runner = Option.map Pool.runner pool in
     let poly () =
-      match Repair_srepair.Opt_s_repair.run ~budget d tbl with
+      let solved =
+        match runner with
+        | Some runner -> Repair_srepair.Opt_s_repair.run_par ~budget runner d tbl
+        | None -> Repair_srepair.Opt_s_repair.run ~budget d tbl
+      in
+      match solved with
       | Ok s -> s_report tbl s ~optimal:true ~ratio:1.0 ~method_used:s_poly_name
       | Error stuck ->
         Repair_error.raise_error
@@ -107,9 +116,12 @@ module Driver = struct
         ~optimal:true ~ratio:1.0 ~method_used:s_exact_name
     in
     let approx () =
-      s_report tbl
-        (Repair_srepair.S_approx.approx2 d tbl)
-        ~optimal:false ~ratio:2.0 ~method_used:s_approx_name
+      let s =
+        match runner with
+        | Some runner -> Repair_srepair.S_approx.approx2_par runner d tbl
+        | None -> Repair_srepair.S_approx.approx2 d tbl
+      in
+      s_report tbl s ~optimal:false ~ratio:2.0 ~method_used:s_approx_name
     in
     let rung name f =
       rung ~on_budget ~degraded ~fallbacks ~name
@@ -148,8 +160,8 @@ module Driver = struct
       failwith (Fmt.str "%s failed: %s" what detail)
     | Error e -> Repair_error.raise_error e
 
-  let s_repair ?strategy ?budget ?on_budget d tbl =
-    raise_report (s_repair_result ?strategy ?budget ?on_budget d tbl)
+  let s_repair ?pool ?strategy ?budget ?on_budget d tbl =
+    raise_report (s_repair_result ?pool ?strategy ?budget ?on_budget d tbl)
 
   let u_report tbl result ~optimal ~ratio ~method_used =
     {
@@ -162,11 +174,18 @@ module Driver = struct
       fallbacks = [];
     }
 
-  let u_repair_result ?(strategy = Auto) ?(budget = Budget.unlimited ())
+  let u_repair_result ?pool ?(strategy = Auto) ?(budget = Budget.unlimited ())
       ?(on_budget = `Degrade) d tbl =
     let degraded = ref false and fallbacks = ref [] in
+    let runner = Option.map Pool.runner pool in
     let poly () =
-      match Repair_urepair.Opt_u_repair.solve ~budget d tbl with
+      let solved =
+        match runner with
+        | Some runner ->
+          Repair_urepair.Opt_u_repair.solve_par ~budget runner d tbl
+        | None -> Repair_urepair.Opt_u_repair.solve ~budget d tbl
+      in
+      match solved with
       | Ok u -> u_report tbl u ~optimal:true ~ratio:1.0 ~method_used:u_poly_name
       | Error f ->
         Repair_error.raise_error
@@ -215,8 +234,8 @@ module Driver = struct
         in
         { r with degraded = !degraded; fallbacks = List.rev !fallbacks })
 
-  let u_repair ?strategy ?budget ?on_budget d tbl =
-    raise_report (u_repair_result ?strategy ?budget ?on_budget d tbl)
+  let u_repair ?pool ?strategy ?budget ?on_budget d tbl =
+    raise_report (u_repair_result ?pool ?strategy ?budget ?on_budget d tbl)
 
   let s_repair_database ?strategy ?budget ?on_budget constraints db =
     let total = ref 0.0 in
@@ -328,8 +347,9 @@ module Batch = struct
         method_used = r.method_used;
       }
 
-  let run ?retries ?backoff_ms ?resume ~journal manifest =
-    Runner.run ?retries ?backoff_ms ?resume ~exec:exec_job ~journal manifest
+  let run ?pool ?retries ?backoff_ms ?resume ~journal manifest =
+    Runner.run ?pool ?retries ?backoff_ms ?resume ~exec:exec_job ~journal
+      manifest
 end
 
 module Serve = struct
@@ -432,10 +452,15 @@ module Serve = struct
          executor. *)
       invalid_arg "Serve.exec: control op"
 
-  let run ?config ?cache_capacity ?metrics_out listen =
+  let run ?config ?cache_capacity ?metrics_out ?(domains = 1) listen =
     let cache = make_cache ?capacity:cache_capacity () in
-    Server.run ?config ?metrics_out
-      ~on_invalidate:(fun () -> Cache.clear cache)
-      ~exec:(fun ~degraded ~budget req -> exec ~cache ~degraded ~budget req)
-      listen
+    let serve ?pool () =
+      Server.run ?config ?metrics_out ?pool
+        ~on_invalidate:(fun () -> Cache.clear cache)
+        ~exec:(fun ~degraded ~budget req -> exec ~cache ~degraded ~budget req)
+        listen
+    in
+    if domains <= 1 then serve ()
+    else
+      Repair_par.Pool.with_pool ~domains (fun pool -> serve ~pool ())
 end

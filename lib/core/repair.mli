@@ -53,6 +53,12 @@ module Cleaning = Repair_cleaning
 module Runtime = Repair_runtime
 module Obs = Repair_obs
 
+(** The domain-pool parallelism layer ({!Repair_par}): a fixed-size
+    domain pool with bit-deterministic batch semantics (DESIGN §13).
+    Every [?pool]/[?domains] parameter below threads through to it;
+    results are bit-identical with and without a pool. *)
+module Par = Repair_par
+
 module Driver : sig
   open Repair_relational
   open Repair_fd
@@ -83,15 +89,20 @@ module Driver : sig
             [degraded] *)
   }
 
-  (** [s_repair ?strategy ?budget ?on_budget d tbl] computes a subset
-      repair. The [budget] (default unlimited) is polled cooperatively
-      inside the solvers' hot loops; on exhaustion the driver degrades or
-      fails per [on_budget].
+  (** [s_repair ?pool ?strategy ?budget ?on_budget d tbl] computes a
+      subset repair. The [budget] (default unlimited) is polled
+      cooperatively inside the solvers' hot loops; on exhaustion the
+      driver degrades or fails per [on_budget]. With [pool], the poly
+      rung runs {!Srepair.Opt_s_repair.run_par} and the approximation
+      rung builds its conflict graph through
+      {!Srepair.S_approx.approx2_par} — the report (distance, method,
+      degraded flag, fallbacks) is bit-identical either way.
 
       @raise Failure if [Poly] was requested on the APX-hard side.
       @raise Runtime.Repair_error.Error on budget exhaustion under
       [`Fail]. *)
   val s_repair :
+    ?pool:Repair_par.Pool.t ->
     ?strategy:strategy ->
     ?budget:Runtime.Budget.t ->
     ?on_budget:on_budget ->
@@ -102,6 +113,7 @@ module Driver : sig
   (** [s_repair_result] is {!s_repair} with every failure returned as a
       structured {!Runtime.Repair_error.t} instead of raised. *)
   val s_repair_result :
+    ?pool:Repair_par.Pool.t ->
     ?strategy:strategy ->
     ?budget:Runtime.Budget.t ->
     ?on_budget:on_budget ->
@@ -109,9 +121,13 @@ module Driver : sig
     Table.t ->
     (report, Runtime.Repair_error.t) result
 
-  (** [u_repair ?strategy ?budget ?on_budget d tbl] computes an update
-      repair; budget and degradation semantics as in {!s_repair}. *)
+  (** [u_repair ?pool ?strategy ?budget ?on_budget d tbl] computes an
+      update repair; budget and degradation semantics as in {!s_repair}.
+      With [pool], the poly rung solves Theorem 4.1's attribute-disjoint
+      components as pool tasks ({!Urepair.Opt_u_repair.solve_par}) —
+      again bit-identical. *)
   val u_repair :
+    ?pool:Repair_par.Pool.t ->
     ?strategy:strategy ->
     ?budget:Runtime.Budget.t ->
     ?on_budget:on_budget ->
@@ -120,6 +136,7 @@ module Driver : sig
     report
 
   val u_repair_result :
+    ?pool:Repair_par.Pool.t ->
     ?strategy:strategy ->
     ?budget:Runtime.Budget.t ->
     ?on_budget:on_budget ->
@@ -168,9 +185,12 @@ module Batch : sig
       runner catches and classifies it. *)
   val exec_job : Repair_batch.Manifest.job -> Repair_batch.Runner.outcome
 
-  (** [run ?retries ?backoff_ms ?resume ~journal manifest] is
-      {!Repair_batch.Runner.run} with {!exec_job} as the executor. *)
+  (** [run ?pool ?retries ?backoff_ms ?resume ~journal manifest] is
+      {!Repair_batch.Runner.run} with {!exec_job} as the executor. With
+      [pool], first attempts run speculatively on the pool; the journal
+      is byte-identical (modulo wall-clock fields) either way. *)
   val run :
+    ?pool:Repair_par.Pool.t ->
     ?retries:int ->
     ?backoff_ms:int ->
     ?resume:bool ->
@@ -225,13 +245,17 @@ module Serve : sig
     Protocol.request ->
     (string * Obs.Json.t) list
 
-  (** [run ?config ?cache_capacity ?metrics_out listen] is
+  (** [run ?config ?cache_capacity ?metrics_out ?domains listen] is
       {!Server.run} with a fresh warm cache and {!exec}; [invalidate]
-      requests clear the cache. Returns the process exit code. *)
+      requests clear the cache. With [domains > 1] (default [1]) the
+      serve owns a {!Par.Pool} for its lifetime and executes queued
+      requests' solver halves on it, batch by batch, under the
+      unchanged admission ladder. Returns the process exit code. *)
   val run :
     ?config:Engine.config ->
     ?cache_capacity:int ->
     ?metrics_out:string ->
+    ?domains:int ->
     Server.listen ->
     int
 end

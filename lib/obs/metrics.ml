@@ -6,35 +6,54 @@ type node = {
 
 let fresh_node () = { count = 0; total = 0.0; children = Hashtbl.create 4 }
 
-let enabled_flag = ref false
+(* The enabled switch is shared by every domain (workers must know
+   whether to record), so it lives in an atomic; everything else is
+   per-domain. *)
+let enabled_flag = Atomic.make false
 
-(* The root node never accumulates time itself; its children are the
-   top-level spans. [stack] always has the root at the bottom. *)
-let root = fresh_node ()
+(* One registry per domain, held in domain-local storage. The root node
+   never accumulates time itself; its children are the top-level spans.
+   [stack] always has the root at the bottom. Worker domains record into
+   their own registry; {!capture}/{!merge} move the result back into the
+   parent's registry at a deterministic point, so cross-domain runs
+   aggregate exactly without any cross-domain mutation. *)
+type registry = {
+  root : node;
+  mutable stack : node list;
+  counters_tbl : (string, int ref) Hashtbl.t;
+  hist_tbl : (string, Histogram.t) Hashtbl.t;
+}
 
-let stack = ref [ root ]
+let fresh_registry () =
+  let root = fresh_node () in
+  { root;
+    stack = [ root ];
+    counters_tbl = Hashtbl.create 16;
+    hist_tbl = Hashtbl.create 16 }
 
-let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let registry_key = Domain.DLS.new_key fresh_registry
 
-let hist_tbl : (string, Histogram.t) Hashtbl.t = Hashtbl.create 16
+let reg () = Domain.DLS.get registry_key
 
-let enable () = enabled_flag := true
-let disable () = enabled_flag := false
-let enabled () = !enabled_flag
+let enable () = Atomic.set enabled_flag true
+let disable () = Atomic.set enabled_flag false
+let enabled () = Atomic.get enabled_flag
 
 let reset () =
-  Hashtbl.reset counters_tbl;
-  Hashtbl.reset hist_tbl;
-  Hashtbl.reset root.children;
-  root.count <- 0;
-  root.total <- 0.0;
-  stack := [ root ]
+  let r = reg () in
+  Hashtbl.reset r.counters_tbl;
+  Hashtbl.reset r.hist_tbl;
+  Hashtbl.reset r.root.children;
+  r.root.count <- 0;
+  r.root.total <- 0.0;
+  r.stack <- [ r.root ]
 
 let incr ?(by = 1) name =
   if by < 0 then invalid_arg "Metrics.incr: negative increment";
-  if !enabled_flag then
+  if Atomic.get enabled_flag then
     (* [find]/[Not_found] rather than [find_opt]: the hit path of a hot
        counter must not allocate (see bench E19). *)
+    let counters_tbl = (Domain.DLS.get registry_key).counters_tbl in
     match Hashtbl.find counters_tbl name with
     | r -> r := !r + by
     | exception Not_found -> Hashtbl.add counters_tbl name (ref by)
@@ -47,14 +66,16 @@ let trace_dropped_name = "trace.dropped"
 
 let counter name =
   let base =
-    match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+    match Hashtbl.find_opt (reg ()).counters_tbl name with
+    | Some r -> !r
+    | None -> 0
   in
   if String.equal name trace_dropped_name then base + Trace.dropped ()
   else base
 
 let counters () =
   let base =
-    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) counters_tbl []
+    Hashtbl.fold (fun k r acc -> (k, !r) :: acc) (reg ()).counters_tbl []
   in
   let base =
     if Trace.dropped () > 0 && not (List.mem_assoc trace_dropped_name base)
@@ -64,6 +85,7 @@ let counters () =
   List.sort (fun (a, _) (b, _) -> String.compare a b) base
 
 let hist_find name =
+  let hist_tbl = (reg ()).hist_tbl in
   match Hashtbl.find hist_tbl name with
   | h -> h
   | exception Not_found ->
@@ -74,12 +96,12 @@ let hist_find name =
 let observe_always name seconds = Histogram.observe (hist_find name) seconds
 
 let observe name seconds =
-  if !enabled_flag then observe_always name seconds
+  if Atomic.get enabled_flag then observe_always name seconds
 
-let histogram name = Hashtbl.find_opt hist_tbl name
+let histogram name = Hashtbl.find_opt (reg ()).hist_tbl name
 
 let histograms () =
-  Hashtbl.fold (fun k h acc -> (k, h) :: acc) hist_tbl []
+  Hashtbl.fold (fun k h acc -> (k, h) :: acc) (reg ()).hist_tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let now = Unix.gettimeofday
@@ -90,7 +112,7 @@ let now = Unix.gettimeofday
    Begin/End event pair. Both are captured on entry so an exception (or
    an enable/disable flip inside [f]) cannot unbalance the trace. *)
 let with_span name f =
-  let m = !enabled_flag in
+  let m = Atomic.get enabled_flag in
   let t = Trace.enabled () in
   if not (m || t) then f ()
   else begin
@@ -98,7 +120,8 @@ let with_span name f =
     if not m then
       Fun.protect ~finally:(fun () -> if t then Trace.end_ name) f
     else begin
-      let parent = List.hd !stack in
+      let r = reg () in
+      let parent = List.hd r.stack in
       let node =
         match Hashtbl.find_opt parent.children name with
         | Some node -> node
@@ -107,7 +130,7 @@ let with_span name f =
           Hashtbl.add parent.children name node;
           node
       in
-      stack := node :: !stack;
+      r.stack <- node :: r.stack;
       let t0 = now () in
       Fun.protect
         ~finally:(fun () ->
@@ -117,13 +140,60 @@ let with_span name f =
           observe_always name dt;
           (* A reset from inside the span replaces the stack wholesale; only
              pop when our frame is still on top. *)
-          (match !stack with
-          | top :: rest when top == node -> stack := rest
+          (match r.stack with
+          | top :: rest when top == node -> r.stack <- rest
           | _ -> ());
           if t then Trace.end_ name)
         f
     end
   end
+
+(* {2 Cross-domain capture and merge} *)
+
+type captured = registry
+
+let capture f =
+  let saved = Domain.DLS.get registry_key in
+  let fresh = fresh_registry () in
+  Domain.DLS.set registry_key fresh;
+  let result = try Ok (f ()) with e -> Error e in
+  Domain.DLS.set registry_key saved;
+  (result, fresh)
+
+let merge (c : captured) =
+  let r = reg () in
+  Hashtbl.iter
+    (fun name v ->
+      match Hashtbl.find_opt r.counters_tbl name with
+      | Some dst -> dst := !dst + !v
+      | None -> Hashtbl.add r.counters_tbl name (ref !v))
+    c.counters_tbl;
+  Hashtbl.iter
+    (fun name h ->
+      match Hashtbl.find_opt r.hist_tbl name with
+      | Some dst -> Histogram.merge ~into:dst h
+      | None -> Hashtbl.add r.hist_tbl name (Histogram.copy h))
+    c.hist_tbl;
+  (* Graft the captured span forest under the innermost span currently
+     open here, mirroring where the spans would have nested had the work
+     run inline. *)
+  let rec graft (dst : node) (src : node) =
+    Hashtbl.iter
+      (fun name (child : node) ->
+        let dnode =
+          match Hashtbl.find_opt dst.children name with
+          | Some n -> n
+          | None ->
+            let n = fresh_node () in
+            Hashtbl.add dst.children name n;
+            n
+        in
+        dnode.count <- dnode.count + child.count;
+        dnode.total <- dnode.total +. child.total;
+        graft dnode child)
+      src.children
+  in
+  graft (List.hd r.stack) c.root
 
 type span = {
   name : string;
@@ -141,7 +211,7 @@ let rec tree_of (node : node) =
     node.children []
   |> List.sort (fun a b -> String.compare a.name b.name)
 
-let spans () = tree_of root
+let spans () = tree_of (reg ()).root
 
 let span_total path =
   let rec find parts spans =

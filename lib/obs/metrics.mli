@@ -16,9 +16,18 @@
 
     Spans nest dynamically: [with_span "a" (fun () -> with_span "b" f)]
     records [b] as a child of [a], and repeated entries into the same
-    child aggregate (count + total duration) rather than append. The
-    registry is global mutable state, single-domain only — same contract
-    as {!Repair_runtime.Budget}.
+    child aggregate (count + total duration) rather than append.
+
+    {b Domains.} Each domain records into its own registry (domain-local
+    storage); the enable flag is shared. Nothing ever mutates another
+    domain's registry, so concurrent recording is race-free by
+    construction. A parallel runner moves worker results back into its
+    own registry with {!capture} (run the work under a fresh registry)
+    and {!merge} (fold a captured registry into the current one) — at a
+    deterministic point and in a deterministic order, so a parallel run
+    aggregates to exactly the sequential totals: counters are integer
+    sums, histograms merge exactly bucket-by-bucket, and span trees graft
+    under the span open at the merge site.
 
     {!with_span} is also the bridge into the event tracer: when {!Trace}
     is enabled (independently of this registry) every span additionally
@@ -100,6 +109,33 @@ val histogram : string -> Histogram.t option
 
 (** All histograms, sorted by name. *)
 val histograms : unit -> (string * Histogram.t) list
+
+(** {1 Cross-domain capture}
+
+    The bridge used by {!Repair_par.Pool}: a worker runs each task under
+    {!capture}, and the pool {!merge}s the captured registries back on
+    the submitting domain, in task-index order, once all tasks of a batch
+    have finished. *)
+
+(** A detached registry holding everything one {!capture} recorded. *)
+type captured
+
+(** [capture f] runs [f] with a fresh, empty registry installed for the
+    current domain (the previous registry is restored afterwards, even on
+    exceptions — the exception is returned, not raised, so callers can
+    merge first and re-raise at a deterministic point). Everything [f]
+    records lands in the returned {!captured} value. The enabled flag is
+    shared, not per-registry: capture under a disabled registry records
+    nothing, same as inline execution. *)
+val capture : (unit -> 'a) -> ('a, exn) result * captured
+
+(** [merge c] folds [c] into the current domain's registry: counters add,
+    histograms merge exactly ({!Histogram.merge}), and [c]'s top-level
+    spans graft under the innermost span currently open here (so merged
+    spans nest exactly where the work would have, had it run inline).
+    Merging the captures of a batch in task-index order reproduces the
+    sequential aggregate bit-for-bit on every integer quantity. *)
+val merge : captured -> unit
 
 (** {1 Snapshots} *)
 

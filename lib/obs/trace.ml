@@ -6,6 +6,15 @@ let default_capacity = 65536
 
 let enabled_flag = ref false
 
+(* Single-writer contract: the ring is plain mutable state owned by the
+   domain that called {!enable} (re-pinned on every [enable]). Events
+   emitted from any other domain are silently discarded — worker domains
+   in a {!Repair_par.Pool} run with tracing effectively off, which keeps
+   the ring race-free without locking the hot path. *)
+let owner = ref (Domain.self ())
+
+let owned () = Domain.self () = !owner
+
 (* The ring: [ring.(i)] for [i < count] counted back from [head] holds
    the newest events. [None] slots only exist before the ring first
    fills; storing options keeps the module free of dummy events. *)
@@ -41,6 +50,7 @@ let enable ?(capacity = default_capacity) () =
   let capacity = max 1 capacity in
   if Array.length !ring <> capacity then ring := Array.make capacity None;
   reset ();
+  owner := Domain.self ();
   enabled_flag := true
 
 let disable () = enabled_flag := false
@@ -55,7 +65,7 @@ let dropped () = !dropped_counter
    backwards (NTP); clamping to [last_ts] keeps the stream monotone,
    which the Chrome viewers and the validator both require. *)
 let emit kind name =
-  if !enabled_flag then begin
+  if !enabled_flag && owned () then begin
     let raw = now () -. !epoch in
     let ts = if raw > !last_ts then raw else !last_ts in
     last_ts := ts;

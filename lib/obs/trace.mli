@@ -16,9 +16,13 @@
       last {!reset}), clamped to be non-decreasing across events even if
       the wall clock steps backwards.
 
-    The tracer is global mutable state, single-domain only — the same
-    contract as {!Metrics} and {!Repair_runtime.Budget}. Export to the
-    Chrome trace-event format lives in {!Trace_export}. *)
+    The tracer is global mutable state with a {e single-writer} domain
+    contract: the ring belongs to the domain that called {!enable}, and
+    events emitted from any other domain (e.g. {!Repair_par.Pool}
+    workers) are silently discarded — the ring stays race-free without a
+    lock on the hot path, and parallel runs simply trace the
+    orchestrating domain. Export to the Chrome trace-event format lives
+    in {!Trace_export}. *)
 
 type kind =
   | Begin  (** a span opened ([ph:"B"] in the Chrome format) *)

@@ -1,0 +1,214 @@
+module Metrics = Repair_obs.Metrics
+module Table = Repair_relational.Table
+
+(* A fixed-size domain pool with chunked static batches.
+
+   Concurrency model: at most one batch is active per pool. The
+   submitting domain installs the batch under [lock], wakes the workers,
+   then helps execute tasks itself, so a pool created with [~domains:n]
+   runs tasks on exactly [n] domains (the submitter plus [n - 1]
+   workers). Tasks are handed out by index (or by an explicit [schedule]
+   permutation — the perturbation hook used by the determinism tests);
+   results land in per-index slots, so completion order is irrelevant to
+   the outcome.
+
+   Determinism contract (DESIGN §13): every task runs under
+   [Metrics.capture], and the captures are merged on the submitting
+   domain in task-index order once the whole batch has finished. Worker
+   exceptions are values in the per-index slots; [run] re-raises the
+   lowest-index one after the merge. Nothing about scheduling — domain
+   count, task interleaving, the [schedule] permutation — can therefore
+   change what [run] returns, raises, or records. *)
+
+type batch = {
+  exec : int -> unit;  (* run task [i]; never raises *)
+  n : int;
+  order : int array;  (* hand-out permutation of [0 .. n-1] *)
+  mutable next : int;  (* next position in [order] *)
+  mutable unfinished : int;
+}
+
+type t = {
+  domains : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* workers: a batch arrived / shutdown *)
+  finished : Condition.t;  (* submitter: batch fully executed *)
+  mutable batch : batch option;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True while the current domain is executing a pool task: nested
+   [run] calls fall back to inline execution instead of deadlocking on
+   the (single-batch) pool. *)
+let in_task_key = Domain.DLS.new_key (fun () -> false)
+
+let in_task () = Domain.DLS.get in_task_key
+
+let take_index b =
+  if b.next >= b.n then None
+  else begin
+    let i = b.order.(b.next) in
+    b.next <- b.next + 1;
+    Some i
+  end
+
+let finish_one t b =
+  b.unfinished <- b.unfinished - 1;
+  if b.unfinished = 0 then Condition.broadcast t.finished
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.stopped then None
+    else
+      match t.batch with
+      | Some b when b.next < b.n -> take_index b |> Option.map (fun i -> (b, i))
+      | _ ->
+        Condition.wait t.work t.lock;
+        next ()
+  in
+  match next () with
+  | None -> Mutex.unlock t.lock
+  | Some (b, i) ->
+    Mutex.unlock t.lock;
+    b.exec i;
+    Mutex.lock t.lock;
+    finish_one t b;
+    Mutex.unlock t.lock;
+    worker_loop t
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains must be >= 1";
+  let t =
+    { domains;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      batch = None;
+      stopped = false;
+      workers = [||] }
+  in
+  (try
+     t.workers <-
+       Array.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+   with e ->
+     (* Partial spawn: release whatever came up, then let the failure
+        surface to the caller (the CLI reports it as an internal error). *)
+     Mutex.lock t.lock;
+     t.stopped <- true;
+     Condition.broadcast t.work;
+     Mutex.unlock t.lock;
+     Array.iter Domain.join t.workers;
+     t.workers <- [||];
+     raise e);
+  t
+
+let domains t = t.domains
+
+let shutdown t =
+  Mutex.lock t.lock;
+  if t.stopped then Mutex.unlock t.lock
+  else begin
+    t.stopped <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let check_schedule n = function
+  | None -> Array.init n (fun i -> i)
+  | Some order ->
+    if Array.length order <> n then
+      invalid_arg "Pool.run: schedule length mismatch";
+    let seen = Array.make n false in
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= n || seen.(i) then
+          invalid_arg "Pool.run: schedule is not a permutation";
+        seen.(i) <- true)
+      order;
+    Array.copy order
+
+(* Capture-only execution: every task runs under a fresh metrics
+   registry; nothing is merged here. The inline fallback (1 domain, a
+   nested call, or a pool already running a batch) executes in index
+   order on the calling domain — captures and all — so callers see one
+   uniform shape. *)
+let run_captured ?schedule t fns =
+  let n = Array.length fns in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let exec i =
+      Domain.DLS.set in_task_key true;
+      let r = Metrics.capture (fun () -> fns.(i) ()) in
+      Domain.DLS.set in_task_key false;
+      results.(i) <- Some r
+    in
+    let inline () =
+      for i = 0 to n - 1 do
+        exec i
+      done
+    in
+    if t.domains = 1 || n = 1 || in_task () then inline ()
+    else begin
+      let order = check_schedule n schedule in
+      let b = { exec; n; order; next = 0; unfinished = n } in
+      Mutex.lock t.lock;
+      let installed =
+        match t.batch with
+        | Some _ -> false (* a concurrent submitter owns the pool *)
+        | None ->
+          if t.stopped then
+            invalid_arg "Pool.run: pool has been shut down";
+          t.batch <- Some b;
+          Condition.broadcast t.work;
+          true
+      in
+      if not installed then begin
+        Mutex.unlock t.lock;
+        inline ()
+      end
+      else begin
+        (* Help until the hand-out queue drains, then wait for stragglers. *)
+        let rec help () =
+          match take_index b with
+          | Some i ->
+            Mutex.unlock t.lock;
+            exec i;
+            Mutex.lock t.lock;
+            finish_one t b;
+            help ()
+          | None -> ()
+        in
+        help ();
+        while b.unfinished > 0 do
+          Condition.wait t.finished t.lock
+        done;
+        t.batch <- None;
+        Mutex.unlock t.lock
+      end
+    end;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let run ?schedule t fns =
+  let results = run_captured ?schedule t fns in
+  (* Merge first — even failed tasks recorded work, exactly as a
+     sequential run records everything up to the raise — then surface
+     the lowest-index failure. *)
+  Array.iter (fun (_, cap) -> Metrics.merge cap) results;
+  Array.iter
+    (fun (r, _) -> match r with Error e -> raise e | Ok _ -> ())
+    results;
+  Array.map
+    (fun (r, _) -> match r with Ok v -> v | Error _ -> assert false)
+    results
+
+let runner t = { Table.run = (fun fns -> run t fns); width = t.domains }

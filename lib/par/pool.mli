@@ -1,0 +1,77 @@
+(** Fixed-size domain pool with bit-deterministic batch semantics.
+
+    A pool created with [~domains:n] executes task batches on exactly
+    [n] domains: the submitting domain plus [n - 1] worker domains
+    spawned once at {!create} and reused across batches. Batches use
+    chunked static hand-out — tasks are taken by index (or by an
+    explicit {e schedule} permutation, the perturbation hook of the
+    determinism tests) and results land in per-index slots.
+
+    {b Determinism contract} (DESIGN §13). Scheduling can never change
+    an outcome:
+
+    - results are returned in task-index order, whatever the completion
+      order;
+    - every task runs under {!Repair_obs.Metrics.capture}, and {!run}
+      merges the captures on the submitting domain in task-index order
+      after the barrier — counters and histogram buckets aggregate to
+      exactly the sequential totals;
+    - a task exception is a value in its slot, not a pool failure:
+      the batch always runs to completion, the pool stays usable, and
+      {!run} re-raises the {e lowest-index} exception after merging;
+    - {!Repair_obs.Trace} events and {!Repair_runtime.Fault} checkpoints
+      from worker domains are no-ops (single-writer contracts), so the
+      orchestrating domain's event stream is unchanged.
+
+    Nested parallelism is guarded, not an error: {!run} called from
+    inside a pool task (any pool) executes its tasks inline on the
+    calling domain, in index order. The same fallback covers pools of
+    one domain and a pool whose single batch slot is already taken by a
+    concurrent submitter, so [run] never deadlocks. *)
+
+type t
+
+(** [create ~domains] spawns [domains - 1] worker domains (so [1] spawns
+    none and all execution is inline).
+    @raise Invalid_argument if [domains < 1]. Failures spawning domains
+    (resource exhaustion) re-raise after releasing any workers that did
+    start; no dedicated exit code — the CLI reports them as internal
+    errors. *)
+val create : domains:int -> t
+
+(** The configured domain count (total, including the submitter). *)
+val domains : t -> int
+
+(** [run ?schedule t tasks] executes the batch and returns results in
+    task-index order; merges all task metrics captures in task-index
+    order; then re-raises the lowest-index task exception, if any.
+    [schedule] permutes only the hand-out order (a determinism-test
+    hook); it cannot affect the result.
+    @raise Invalid_argument if [schedule] is not a permutation of the
+    task indices, or if the pool was {!shutdown}. *)
+val run : ?schedule:int array -> t -> (unit -> 'a) array -> 'a array
+
+(** [run_captured] is {!run} without the merge/re-raise step: each
+    task's outcome is paired with its unmerged metrics capture, letting
+    callers that need sequential interleaving semantics (the batch
+    runner's journal writer) merge each capture at the exact point the
+    task would have run inline. *)
+val run_captured :
+  ?schedule:int array -> t -> (unit -> 'a) array ->
+  (('a, exn) result * Repair_obs.Metrics.captured) array
+
+(** The pool as a {!Repair_relational.Table.runner}, for the parallel
+    grouping entry points. *)
+val runner : t -> Repair_relational.Table.runner
+
+(** True while the calling domain is executing a pool task (the nested
+    fallback trigger). *)
+val in_task : unit -> bool
+
+(** [shutdown t] joins the workers; idempotent. Subsequent {!run} calls
+    raise. {!create} installs no finalizer — long-lived callers (the
+    serving daemon) own the pool lifecycle explicitly. *)
+val shutdown : t -> unit
+
+(** [with_pool ~domains f] — bracketed create/shutdown. *)
+val with_pool : domains:int -> (t -> 'a) -> 'a

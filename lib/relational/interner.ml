@@ -12,30 +12,57 @@ module H = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-type t = { codes : int H.t; mutable values : Value.t array; mutable n : int }
+(* Pools are shared across every store derived from one table, and under
+   a domain pool those stores can be decoded from worker domains while
+   the owner keeps appending. A single mutex over the append/decode paths
+   makes the pool domain-safe; the parallel hot loops (partition,
+   same-store union) work purely on code arrays and never take it, so
+   the lock is uncontended in practice. *)
+type t = {
+  codes : int H.t;
+  mutable values : Value.t array;
+  mutable n : int;
+  lock : Mutex.t;
+}
 
 let create ?(capacity = 64) () =
-  { codes = H.create capacity; values = Array.make 16 Value.Unit; n = 0 }
+  { codes = H.create capacity;
+    values = Array.make 16 Value.Unit;
+    n = 0;
+    lock = Mutex.create () }
 
-let size p = p.n
+let locked p f =
+  Mutex.lock p.lock;
+  match f () with
+  | v ->
+    Mutex.unlock p.lock;
+    v
+  | exception e ->
+    Mutex.unlock p.lock;
+    raise e
+
+let size p = locked p (fun () -> p.n)
 
 let intern p v =
-  match H.find_opt p.codes v with
-  | Some c -> c
-  | None ->
-    let c = p.n in
-    if c = Array.length p.values then begin
-      let grown = Array.make (2 * c) Value.Unit in
-      Array.blit p.values 0 grown 0 c;
-      p.values <- grown
-    end;
-    p.values.(c) <- v;
-    p.n <- c + 1;
-    H.add p.codes v c;
-    c
+  locked p (fun () ->
+      match H.find_opt p.codes v with
+      | Some c -> c
+      | None ->
+        let c = p.n in
+        if c = Array.length p.values then begin
+          let grown = Array.make (2 * c) Value.Unit in
+          Array.blit p.values 0 grown 0 c;
+          p.values <- grown
+        end;
+        p.values.(c) <- v;
+        p.n <- c + 1;
+        H.add p.codes v c;
+        c)
 
-let code_opt p v = H.find_opt p.codes v
+let code_opt p v = locked p (fun () -> H.find_opt p.codes v)
 
 let value p c =
-  if c < 0 || c >= p.n then invalid_arg "Interner.value: code out of range";
-  p.values.(c)
+  locked p (fun () ->
+      if c < 0 || c >= p.n then
+        invalid_arg "Interner.value: code out of range";
+      p.values.(c))

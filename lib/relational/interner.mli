@@ -5,7 +5,15 @@
     equivalent to comparing the underlying values. Codes are dense:
     the [n]-th distinct value interned gets code [n - 1]. Pools only
     grow; they are shared freely between the columnar stores derived
-    from one another (see {!Table}). *)
+    from one another (see {!Table}).
+
+    Pools are domain-safe: the append and decode paths are serialized by
+    an internal mutex, so concurrent [intern]/[value] calls from a
+    {!Repair_par.Pool} worker and the owning domain cannot observe a
+    torn append. Code assignment order (and thus the codes themselves)
+    still depends on call order, so deterministic parallel drivers only
+    {e read} existing codes from workers and leave interning to the
+    orchestrating domain. *)
 
 type t
 

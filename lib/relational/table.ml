@@ -397,10 +397,129 @@ let visible_rows tbl =
 
 let cols_of tbl x = Array.of_list (Schema.indices_of tbl.schema x)
 
+(* ---------- parallel grouping ---------- *)
+
+type runner = {
+  run : 'a. (unit -> 'a) array -> 'a array;
+  width : int;  (* natural fan-out: chunk count when the caller has no
+                   better choice (a pool's domain count) *)
+}
+
+let seq_runner = { run = (fun tasks -> Array.map (fun f -> f ()) tasks); width = 1 }
+
+(* Deterministic chunk layout: [chunks] near-equal contiguous slices of
+   [0 .. n-1], the remainder spread over the leading chunks.
+   [chunk_sizes] overrides the layout (scheduler-perturbation tests
+   exercise this); the sizes must sum to [n]. *)
+let chunk_layout ?chunk_sizes ~chunks n =
+  match chunk_sizes with
+  | Some sizes ->
+    if Array.exists (fun s -> s < 0) sizes then
+      invalid_arg "Table.chunk_layout: negative chunk size";
+    if Array.fold_left ( + ) 0 sizes <> n then
+      invalid_arg "Table.chunk_layout: chunk sizes must sum to the row count";
+    let off = ref 0 in
+    Array.map
+      (fun len ->
+        let lo = !off in
+        off := lo + len;
+        (lo, len))
+      sizes
+  | None ->
+    let chunks = max 1 (min chunks (max 1 n)) in
+    let base = n / chunks and rem = n mod chunks in
+    Array.init chunks (fun c ->
+        let len = base + if c < rem then 1 else 0 in
+        let lo = (c * base) + min c rem in
+        (lo, len))
+
+(* Parallel [partition]: per-chunk local partitions merged in chunk
+   order. The merge reconstitutes the sequential result exactly and
+   independently of the chunk layout — scanning chunks in index order
+   (and, within a chunk, local groups in first-seen order) visits keys
+   in global first-seen order, and appending member slices chunk by
+   chunk preserves global input order. Workers only read code arrays;
+   all mutation is chunk-local or happens here after the barrier. *)
+let partition_par runner ?chunk_sizes ?chunks (st : store) cols rows =
+  let chunks = match chunks with Some c -> c | None -> runner.width in
+  let k = Array.length cols in
+  let n = Array.length rows in
+  let layout = chunk_layout ?chunk_sizes ~chunks n in
+  if n = 0 || k = 0 || Array.length layout <= 1 then partition st cols rows
+  else begin
+    let code_cols = Array.map (fun c -> st.codes.(c)) cols in
+    let local (lo, len) () =
+      let gid = Array.make len 0 in
+      let n_groups = ref 0 in
+      let keys_rev = ref [] in
+      let index = Ktbl.create (2 * len) in
+      for j = 0 to len - 1 do
+        let r = rows.(lo + j) in
+        let key = Array.map (fun col -> col.(r)) code_cols in
+        match Ktbl.find_opt index key with
+        | Some g -> gid.(j) <- g
+        | None ->
+          let g = !n_groups in
+          incr n_groups;
+          Ktbl.add index key g;
+          keys_rev := key :: !keys_rev;
+          gid.(j) <- g
+      done;
+      let keys = Array.of_list (List.rev !keys_rev) in
+      let counts = Array.make !n_groups 0 in
+      Array.iter (fun g -> counts.(g) <- counts.(g) + 1) gid;
+      let out = Array.map (fun c -> Array.make c 0) counts in
+      let fill = Array.make !n_groups 0 in
+      for j = 0 to len - 1 do
+        let g = gid.(j) in
+        out.(g).(fill.(g)) <- lo + j;
+        fill.(g) <- fill.(g) + 1
+      done;
+      Array.map2 (fun key members -> (key, members)) keys out
+    in
+    let locals = runner.run (Array.map local layout) in
+    let index = Ktbl.create (2 * n) in
+    let n_groups = ref 0 in
+    let parts = ref (Array.make 16 []) in
+    Array.iter
+      (fun lgroups ->
+        Array.iter
+          (fun (key, members) ->
+            let g =
+              match Ktbl.find_opt index key with
+              | Some g -> g
+              | None ->
+                let g = !n_groups in
+                incr n_groups;
+                Ktbl.add index key g;
+                if g = Array.length !parts then begin
+                  let grown = Array.make (2 * g) [] in
+                  Array.blit !parts 0 grown 0 g;
+                  parts := grown
+                end;
+                g
+            in
+            !parts.(g) <- members :: !parts.(g))
+          lgroups)
+      locals;
+    List.init !n_groups (fun g -> Array.concat (List.rev !parts.(g)))
+  end
+
 let group_by tbl x =
   let cols = cols_of tbl x in
   let rows = visible_rows tbl in
   partition tbl.store cols rows
+  |> List.map (fun idxs ->
+         let members = Array.map (fun j -> rows.(j)) idxs in
+         let witness = tbl.store.tuples.(members.(0)) in
+         let key = Tuple.project tbl.schema witness x in
+         (key, { tbl with view = Rows members }))
+  |> List.sort (fun (k1, _) (k2, _) -> Tuple.compare k1 k2)
+
+let group_by_par runner ?chunk_sizes ?chunks tbl x =
+  let cols = cols_of tbl x in
+  let rows = visible_rows tbl in
+  partition_par runner ?chunk_sizes ?chunks tbl.store cols rows
   |> List.map (fun idxs ->
          let members = Array.map (fun j -> rows.(j)) idxs in
          let witness = tbl.store.tuples.(members.(0)) in
@@ -786,6 +905,12 @@ module View = struct
     let cols = cols_of tbl x in
     let rows = Array.map (row_at tbl) positions in
     partition tbl.store cols rows
+    |> List.map (fun idxs -> Array.map (fun j -> positions.(j)) idxs)
+
+  let group_within_par runner ?chunk_sizes ?chunks tbl positions x =
+    let cols = cols_of tbl x in
+    let rows = Array.map (row_at tbl) positions in
+    partition_par runner ?chunk_sizes ?chunks tbl.store cols rows
     |> List.map (fun idxs -> Array.map (fun j -> positions.(j)) idxs)
 
   let groups tbl x =

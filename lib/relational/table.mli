@@ -119,6 +119,40 @@ val project_distinct : t -> Attr_set.t -> Tuple.t list
     original identifiers and weights, so they are subsets of [tbl]. *)
 val group_by : t -> Attr_set.t -> (Tuple.t * t) list
 
+(** {2 Parallel grouping}
+
+    The grouping passes accept a {!runner} — an executor for an array of
+    independent thunks, returning their results in index order — so they
+    can fan per-chunk work out to a {!Repair_par.Pool} without this
+    library depending on it ({!seq_runner} runs the thunks inline). The
+    parallel variants are {e exactly} equivalent to their sequential
+    counterparts for every chunk layout: rows are split into contiguous
+    chunks, partitioned per chunk by interned code keys, and the chunk
+    results merged in chunk order, which provably reconstitutes the
+    sequential first-seen group order and input member order. *)
+
+(** An executor for independent tasks; [run tasks] returns the results
+    in task-index order and re-raises task exceptions deterministically
+    (first failing index) — see {!Repair_par.Pool.runner}. [width] is
+    the executor's natural fan-out (a pool's domain count), used as the
+    default chunk count. *)
+type runner = {
+  run : 'a. (unit -> 'a) array -> 'a array;
+  width : int;
+}
+
+(** Runs tasks inline, in index order. *)
+val seq_runner : runner
+
+(** [group_by_par runner tbl x] — {!group_by}, with the hash partition
+    fanned out over [chunks] (default [runner.width]) row chunks.
+    [chunk_sizes] overrides the (deterministic, near-equal) chunk
+    layout; sizes must sum to the visible row count.
+    @raise Invalid_argument on a malformed [chunk_sizes]. *)
+val group_by_par :
+  runner -> ?chunk_sizes:int array -> ?chunks:int -> t -> Attr_set.t ->
+  (Tuple.t * t) list
+
 (** [restrict tbl ids] is the subset of [tbl] with the given identifiers
     (identifiers absent from [tbl] are ignored). *)
 val restrict : t -> id list -> t
@@ -210,6 +244,13 @@ module View : sig
       first-seen order, members in input order. A single hash pass over
       the interned code columns — no keys or subtables are built. *)
   val group_within : t -> int array -> Attr_set.t -> int array list
+
+  (** [group_within_par runner tbl ps x] — {!group_within} with the
+      partition fanned out over row chunks; bit-identical output for
+      every chunk layout (see {!Table.group_by_par}). *)
+  val group_within_par :
+    runner -> ?chunk_sizes:int array -> ?chunks:int -> t -> int array ->
+    Attr_set.t -> int array list
 
   (** [groups tbl x] is {!Table.group_by} without the subtables: each
       distinct key (sorted) paired with the visible positions of its

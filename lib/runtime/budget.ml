@@ -39,10 +39,14 @@ let exhaust b ~phase =
 (* Phase strings come from a handful of literal call sites, so the
    "ticks." ^ phase counter names are interned: building the name on
    every tick would allocate in the hottest loop of every solver (the
-   disabled path must allocate nothing at all — bench E19 asserts it). *)
-let tick_names : (string, string) Hashtbl.t = Hashtbl.create 8
+   disabled path must allocate nothing at all — bench E19 asserts it).
+   The table is domain-local so worker domains ticking concurrently
+   never share (or race on) one hashtable. *)
+let tick_names_key : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 let tick_name phase =
+  let tick_names = Domain.DLS.get tick_names_key in
   match Hashtbl.find tick_names phase with
   | name -> name
   | exception Not_found ->
@@ -67,6 +71,14 @@ let tick ?(phase = "unphased") b =
     | Some dl when now () > dl -> exhaust b ~phase
     | _ -> ()
   end
+
+(* Parallel drivers hand each worker task a fresh unlimited budget and
+   fold the spent steps back into the orchestrating budget once the
+   barrier has passed — integer addition, so the sum is independent of
+   completion order. No limit check here: absorption happens only on the
+   unlimited path (limited budgets run sequentially so their exhaustion
+   point stays bit-identical). *)
+let absorb b ~steps = b.steps <- b.steps + steps
 
 let exhausted b =
   b.limited

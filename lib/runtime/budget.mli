@@ -50,6 +50,14 @@ val tick : ?phase:string -> t -> unit
 (** [steps b] — checkpoints recorded so far. *)
 val steps : t -> int
 
+(** [absorb b ~steps] adds [steps] checkpoints to [b] without raising,
+    checkpointing, or feeding metrics — the accounting half of a tick,
+    used by parallel drivers to fold the steps their worker tasks spent
+    (each under its own fresh budget) back into the orchestrating
+    budget at the barrier. Integer addition, so the total is independent
+    of worker completion order. *)
+val absorb : t -> steps:int -> unit
+
 (** [elapsed b] — wall-clock seconds since [b] was created. *)
 val elapsed : t -> float
 

@@ -6,16 +6,28 @@ let spec : spec option ref = ref None
 
 let count = ref 0
 
+(* Single-writer contract (same as Trace): the injector belongs to the
+   domain that armed it. Checkpoints hit from other domains — worker
+   tasks in a Repair_par.Pool tick their own budgets — neither count nor
+   fire, so the checkpoint arithmetic stays deterministic: exactly the
+   orchestrating domain's tick sequence, which for the batch runner is
+   identical at any domain count. *)
+let owner = ref (Domain.self ())
+
 let arm ?phase ~at mode =
   if at < 1 then invalid_arg "Fault.arm: at must be >= 1";
   spec := Some { phase; at; mode };
+  owner := Domain.self ();
   count := 0
 
 let disarm () =
   spec := None;
   count := 0
 
-let armed () = match !spec with Some _ -> true | None -> false
+let armed () =
+  match !spec with
+  | Some _ -> Domain.self () = !owner
+  | None -> false
 
 let checkpoints () = !count
 

@@ -216,8 +216,20 @@ type exec = degraded:bool -> Protocol.request -> (string * Json.t) list
 
 let take t = Queue.take_opt t.queue
 
-let execute t ~exec p =
-  let id = p.request.Protocol.id in
+(* The execute step is split in two so a domain pool can run the solver
+   halves of several queued requests concurrently: [run_exec] is the
+   pure half — solver call, isolation boundary, wall-clock — touching no
+   engine state, so it is safe on a worker domain; [settle] is the
+   mutating half — counters, metrics, the reply line — and always runs
+   on the engine's owning domain, in take-order, preserving the
+   accounting identity and the reply order of the sequential server. *)
+
+type executed = {
+  result : ((string * Json.t) list, string * string) result;
+  wall_s : float;
+}
+
+let run_exec ~exec p =
   let downgraded = p.admission = Downgraded in
   let t0 = Unix.gettimeofday () in
   let result =
@@ -231,11 +243,16 @@ let execute t ~exec p =
     | exception Stack_overflow -> Error (Protocol.err_internal, "stack overflow")
     | exception exn -> Error (Protocol.err_internal, Printexc.to_string exn)
   in
+  { result; wall_s = Unix.gettimeofday () -. t0 }
+
+let settle t p executed =
+  let id = p.request.Protocol.id in
+  let downgraded = p.admission = Downgraded in
   Metrics.observe
     ("serve." ^ Protocol.op_name p.request.Protocol.op)
-    (Unix.gettimeofday () -. t0);
+    executed.wall_s;
   Metrics.incr "serve.requests";
-  match result with
+  match executed.result with
   | Ok fields ->
     t.c.completed <- t.c.completed + 1;
     let solver_degraded =
@@ -258,6 +275,8 @@ let execute t ~exec p =
     t.c.quarantined <- t.c.quarantined + 1;
     Metrics.incr "serve.quarantined";
     Protocol.error_line ~id ~error_class ~detail
+
+let execute t ~exec p = settle t p (run_exec ~exec p)
 
 let cancel_remaining t =
   let cancelled = ref [] in

@@ -118,8 +118,25 @@ val take : t -> pending option
 (** [execute t ~exec p] runs one admitted request under the isolation
     boundary and returns its response line. Counts [completed] (or
     [quarantined] on failure) and, for downgraded admissions or
-    solver-side degradation, [degraded]. *)
+    solver-side degradation, [degraded]. Equal to
+    [settle t p (run_exec ~exec p)]. *)
 val execute : t -> exec:exec -> pending -> string
+
+(** The outcome of the pure half of {!execute}: the solver result (or
+    its classified error) plus the wall-clock spent. *)
+type executed
+
+(** [run_exec ~exec p] — the pure half of {!execute}: runs the solver
+    under the per-request isolation boundary without touching any
+    engine state, so a {!Repair_par.Pool} may run several queued
+    requests' [run_exec] concurrently on worker domains. *)
+val run_exec : exec:exec -> pending -> executed
+
+(** [settle t p executed] — the mutating half of {!execute}: records
+    latency and counters and builds the reply line. Must run on the
+    engine's owning domain; settling a batch in take-order preserves
+    the sequential server's accounting and reply order exactly. *)
+val settle : t -> pending -> executed -> string
 
 (** [cancel_remaining t] empties the queue, counting each request
     [cancelled], and returns the [(conn, reply-line)] pairs to send —

@@ -78,8 +78,8 @@ let feed ~max_bytes conn chunk ~on_line ~on_oversized =
     else conn.inbuf <- rest
   end
 
-let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ~exec
-    listen =
+let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
+    ~exec listen =
   let engine = Engine.create ?on_invalidate config in
   Metrics.reset ();
   Metrics.enable ();
@@ -334,10 +334,53 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ~exec
             if List.memq fd writable && Hashtbl.mem conns c.cid then
               flush_conn c)
           fd_conns;
-        (match Engine.take engine with
-        | Some p ->
+        (* Drain up to [width] queued requests per poll: the pure halves
+           run as pool tasks (or inline when no pool is given), then each
+           request settles — counters, reply — on this domain, in
+           take-order, so accounting and reply order match the
+           sequential server exactly. Budgets are created here, before
+           dispatch, because drain-deadline capping reads the drain
+           state, which stays single-writer on this domain. *)
+        let width =
+          match pool with Some p -> Repair_par.Pool.domains p | None -> 1
+        in
+        let rec take_batch k acc =
+          if k = 0 then List.rev acc
+          else
+            match Engine.take engine with
+            | Some p -> take_batch (k - 1) (p :: acc)
+            | None -> List.rev acc
+        in
+        (match take_batch width [] with
+        | [] -> ()
+        | [ p ] ->
           route p.Engine.conn (Engine.execute engine ~exec:exec_wrapped p)
-        | None -> ())
+        | batch -> (
+          match pool with
+          | None ->
+            (* unreachable: width is 1 without a pool *)
+            List.iter
+              (fun p ->
+                route p.Engine.conn
+                  (Engine.execute engine ~exec:exec_wrapped p))
+              batch
+          | Some pool ->
+            let prepared =
+              List.map
+                (fun p ->
+                  let budget = budget_for p.Engine.request in
+                  let exec ~degraded req = exec ~degraded ~budget req in
+                  (p, fun () -> Engine.run_exec ~exec p))
+                batch
+            in
+            let results =
+              Repair_par.Pool.run pool
+                (Array.of_list (List.map snd prepared))
+            in
+            List.iteri
+              (fun i (p, _) ->
+                route p.Engine.conn (Engine.settle engine p results.(i)))
+              prepared))
     end
   done;
   flush_briefly ();

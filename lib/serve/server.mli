@@ -57,12 +57,22 @@ type exec =
   Protocol.request ->
   (string * Json.t) list
 
-(** [run ?config ?on_invalidate ?metrics_out ~exec listen] serves until
-    a drain completes, then writes the final snapshot to [metrics_out]
-    (a path, ["-"] for stdout; default stderr) and returns the exit
-    code. Enables {!Repair_obs.Metrics} for the lifetime of the serve.
-    SIGTERM/SIGINT handlers are installed for the duration and restored
-    on exit.
+(** [run ?config ?on_invalidate ?metrics_out ?pool ~exec listen] serves
+    until a drain completes, then writes the final snapshot to
+    [metrics_out] (a path, ["-"] for stdout; default stderr) and returns
+    the exit code. Enables {!Repair_obs.Metrics} for the lifetime of the
+    serve. SIGTERM/SIGINT handlers are installed for the duration and
+    restored on exit.
+
+    With [pool], each poll drains up to [Repair_par.Pool.domains pool]
+    queued requests: their pure halves ({!Engine.run_exec}) run as pool
+    tasks, and each request then settles ({!Engine.settle}) on the
+    server's domain in take-order — replies, counters, and the
+    accounting identity are exactly those of the sequential server. The
+    admission ladder is untouched: budgets are computed before dispatch
+    on the owning domain, so drain-deadline capping still sees a
+    single-writer drain state. The pool is borrowed, not owned; the
+    caller shuts it down.
 
     @raise Repair_runtime.Repair_error.Error ([Io]) when the socket
     cannot be bound. *)
@@ -70,6 +80,7 @@ val run :
   ?config:Engine.config ->
   ?on_invalidate:(unit -> int) ->
   ?metrics_out:string ->
+  ?pool:Repair_par.Pool.t ->
   exec:exec ->
   listen ->
   int

@@ -16,6 +16,15 @@ type t
     quadratic. *)
 val build : Fd_set.t -> Table.t -> t
 
+(** [build_par runner d tbl] is {!build} with the grouping pass fanned
+    out over row chunks and the edge-discovery pass sharded over
+    contiguous runs of lhs-groups, both through [runner] (see
+    {!Table.runner}). Shards emit edge lists that are replayed in shard
+    order, reproducing the sequential [add_edge] sequence exactly: the
+    result is bit-identical to {!build} — same graph, same adjacency
+    order, same counters — for every runner width. *)
+val build_par : Table.runner -> Fd_set.t -> Table.t -> t
+
 (** [build_naive d tbl] constructs the same graph by testing all O(|T|²)
     tuple pairs against every FD — the ablation baseline showing why
     {!build} groups on lhs projections first. *)

@@ -5,6 +5,42 @@ module Metrics = Repair_obs.Metrics
 
 exception Stuck of Fd_set.t
 
+(* The matching tail of subroutine 3, shared by the sequential and
+   parallel drivers: given each (X1∪X2)-block's projections and its
+   solved repair, keep the maximum-weight matching between X1- and
+   X2-values. *)
+let marriage_matching schema blocks =
+  let module Tmap = Map.Make (struct
+    type t = Tuple.t
+
+    let compare = Tuple.compare
+  end) in
+  let number side =
+    List.fold_left
+      (fun (next, m) key ->
+        if Tmap.mem key m then (next, m) else (next + 1, Tmap.add key next m))
+      (0, Tmap.empty) side
+    |> snd
+  in
+  let v1 = number (List.map (fun (a1, _, _) -> a1) blocks) in
+  let v2 = number (List.map (fun (_, a2, _) -> a2) blocks) in
+  let n1 = Tmap.cardinal v1 and n2 = Tmap.cardinal v2 in
+  let weights = Array.make_matrix n1 n2 0.0 in
+  let repair_of = Hashtbl.create 16 in
+  List.iter
+    (fun (a1, a2, s) ->
+      let i = Tmap.find a1 v1 and j = Tmap.find a2 v2 in
+      weights.(i).(j) <- Table.total_weight s;
+      Hashtbl.replace repair_of (i, j) s)
+    blocks;
+  let matching, _ = Repair_graph.Bipartite_matching.solve weights in
+  List.fold_left
+    (fun acc (i, j) ->
+      match Hashtbl.find_opt repair_of (i, j) with
+      | Some s -> Table.union acc s
+      | None -> acc)
+    (Table.empty schema) matching
+
 (* Subroutine 1: all FDs share lhs attribute a. Partition on a and solve
    independently under Δ − a; blocks never interact because any violation
    within the result would have to agree on a. *)
@@ -50,36 +86,7 @@ and marriage_rep budget delta (x1, x2) tbl =
            let a2 = Tuple.project schema witness x2 in
            (a1, a2, solve budget smaller sub))
   in
-  let module Tmap = Map.Make (struct
-    type t = Tuple.t
-
-    let compare = Tuple.compare
-  end) in
-  let number side =
-    List.fold_left
-      (fun (next, m) key ->
-        if Tmap.mem key m then (next, m) else (next + 1, Tmap.add key next m))
-      (0, Tmap.empty) side
-    |> snd
-  in
-  let v1 = number (List.map (fun (a1, _, _) -> a1) blocks) in
-  let v2 = number (List.map (fun (_, a2, _) -> a2) blocks) in
-  let n1 = Tmap.cardinal v1 and n2 = Tmap.cardinal v2 in
-  let weights = Array.make_matrix n1 n2 0.0 in
-  let repair_of = Hashtbl.create 16 in
-  List.iter
-    (fun (a1, a2, s) ->
-      let i = Tmap.find a1 v1 and j = Tmap.find a2 v2 in
-      weights.(i).(j) <- Table.total_weight s;
-      Hashtbl.replace repair_of (i, j) s)
-    blocks;
-  let matching, _ = Repair_graph.Bipartite_matching.solve weights in
-  List.fold_left
-    (fun acc (i, j) ->
-      match Hashtbl.find_opt repair_of (i, j) with
-      | Some s -> Table.union acc s
-      | None -> acc)
-    (Table.empty schema) matching
+  marriage_matching schema blocks
 
 (* Success must depend on Δ only (Theorem 3.4): when a recursion branch
    runs out of tuples, we still simulate the simplification chain so that a
@@ -124,8 +131,107 @@ and solve budget delta tbl =
               marriage_rep budget delta marriage tbl)
         | None -> raise (Stuck delta)))
 
+(* ---------- parallel driver ---------- *)
+
+(* The recursion fans out once, at the top level: the blocks of the
+   first simplification are solved as independent runner tasks (each
+   block's own recursion stays sequential inside its task — runners
+   guard nested submission). Fan-out is restricted to unlimited budgets:
+   a limited budget's exhaustion point is part of the observable
+   behaviour, so limited runs take the sequential path unchanged. Each
+   task solves its block under a fresh unlimited budget, and the spent
+   steps are absorbed into the orchestrating budget at the barrier, in
+   block order — tick totals (and the ticks.opt-s-repair counter, which
+   the worker tasks feed through their captured registries) come out
+   exactly equal to the sequential run's. *)
+let solve_blocks (runner : Table.runner) budget smaller subs =
+  match subs with
+  | [] | [ _ ] -> List.map (solve budget smaller) subs
+  | _ ->
+    let tasks =
+      List.map
+        (fun sub () ->
+          let b = Budget.unlimited () in
+          let s = solve b smaller sub in
+          (s, Budget.steps b))
+        subs
+    in
+    let results = runner.Table.run (Array.of_list tasks) in
+    Array.iter (fun (_, steps) -> Budget.absorb budget ~steps) results;
+    Array.to_list (Array.map fst results)
+
+let common_lhs_par runner budget delta a tbl =
+  let smaller = Fd_set.minus delta (Attr_set.singleton a) in
+  let groups = Table.group_by_par runner tbl (Attr_set.singleton a) in
+  solve_blocks runner budget smaller (List.map snd groups)
+  |> List.fold_left Table.union (Table.empty (Table.schema tbl))
+
+let consensus_par runner budget delta fd tbl =
+  let x = Fd.rhs fd in
+  let smaller = Fd_set.minus delta x in
+  let groups = Table.group_by_par runner tbl x in
+  let candidates = solve_blocks runner budget smaller (List.map snd groups) in
+  match candidates with
+  | [] -> tbl
+  | first :: rest ->
+    List.fold_left
+      (fun best s ->
+        if Table.total_weight s > Table.total_weight best then s else best)
+      first rest
+
+let marriage_par runner budget delta (x1, x2) tbl =
+  let x12 = Attr_set.union x1 x2 in
+  let smaller = Fd_set.minus delta x12 in
+  let schema = Table.schema tbl in
+  let groups = Table.group_by_par runner tbl x12 in
+  let projections =
+    List.map
+      (fun (_, sub) ->
+        let witness = List.hd (Table.tuples sub) in
+        (Tuple.project schema witness x1, Tuple.project schema witness x2))
+      groups
+  in
+  let solved = solve_blocks runner budget smaller (List.map snd groups) in
+  let blocks = List.map2 (fun (a1, a2) s -> (a1, a2, s)) projections solved in
+  marriage_matching schema blocks
+
+let solve_par runner budget delta tbl =
+  if Budget.limited budget then solve budget delta tbl
+  else begin
+    Budget.tick ~phase:"opt-s-repair" budget;
+    let delta = Fd_set.remove_trivial delta in
+    if Fd_set.is_empty delta then tbl
+    else if Table.is_empty tbl then begin
+      check_delta_only delta;
+      tbl
+    end
+    else
+      match Fd_set.common_lhs delta with
+      | Some a ->
+        Metrics.with_span "common-lhs" (fun () ->
+            common_lhs_par runner budget delta a tbl)
+      | None -> (
+        match Fd_set.consensus_fd delta with
+        | Some fd ->
+          Metrics.with_span "consensus" (fun () ->
+              consensus_par runner budget delta fd tbl)
+        | None -> (
+          match Fd_set.lhs_marriage delta with
+          | Some marriage ->
+            Metrics.with_span "marriage" (fun () ->
+                marriage_par runner budget delta marriage tbl)
+          | None -> raise (Stuck delta)))
+  end
+
 let run ?(budget = Budget.unlimited ()) d tbl =
   match Metrics.with_span "opt-s-repair" (fun () -> solve budget d tbl) with
+  | s -> Ok s
+  | exception Stuck stuck -> Error stuck
+
+let run_par ?(budget = Budget.unlimited ()) runner d tbl =
+  match
+    Metrics.with_span "opt-s-repair" (fun () -> solve_par runner budget d tbl)
+  with
   | s -> Ok s
   | exception Stuck stuck -> Error stuck
 

@@ -32,6 +32,24 @@ val run :
   Table.t ->
   (Table.t, Fd_set.t) result
 
+(** [run_par ?budget runner d tbl] is {!run} with the top-level
+    simplification's blocks solved as independent [runner] tasks (each
+    block's recursion stays sequential inside its task): the grouping
+    pass goes through {!Table.group_by_par} and the per-block solves
+    through [runner.run]. Results are bit-identical to {!run} —
+    distances, block unions, metrics counters and tick totals — because
+    blocks merge in group order, each task solves under a fresh
+    unlimited budget whose steps are absorbed at the barrier, and worker
+    metrics merge exactly. A {e limited} [budget] disables fan-out
+    entirely (the sequential path runs unchanged), so exhaustion points
+    are preserved bit-for-bit. *)
+val run_par :
+  ?budget:Repair_runtime.Budget.t ->
+  Table.runner ->
+  Fd_set.t ->
+  Table.t ->
+  (Table.t, Fd_set.t) result
+
 (** [run_exn ?budget d tbl] is [run], raising [Failure] on the hard
     side. *)
 val run_exn : ?budget:Repair_runtime.Budget.t -> Fd_set.t -> Table.t -> Table.t

@@ -7,4 +7,10 @@ let approx2 d tbl =
   let cover = Vc.approx2 (Conflict_graph.graph cg) in
   Conflict_graph.delete_cover cg tbl cover
 
+let approx2_par runner d tbl =
+  Repair_obs.Metrics.with_span "s-approx" @@ fun () ->
+  let cg = Conflict_graph.build_par runner d tbl in
+  let cover = Vc.approx2 (Conflict_graph.graph cg) in
+  Conflict_graph.delete_cover cg tbl cover
+
 let distance d tbl = Table.dist_sub (approx2 d tbl) tbl

@@ -218,6 +218,54 @@ let diagnose d =
 
 let tractable d = diagnose d = None
 
+(* Parallel driver: Theorem 4.1's components touch disjoint attribute
+   sets, so they solve as independent runner tasks and compose exactly
+   as in the sequential pass. Fan-out needs two preconditions: an
+   unlimited budget (a limited budget's exhaustion point is observable,
+   so limited runs stay on the sequential path), and a refusal-free Δ —
+   refusal depends on Δ only ({!diagnose}), and checking it up front
+   keeps the Error path byte-identical to the sequential solver's (same
+   first-refused component, no extra work on later components). Worker
+   budgets are fresh and unlimited; their spent steps are absorbed into
+   the orchestrating budget in component order, so tick totals match the
+   sequential run exactly. *)
+let solve_par ?(budget = Budget.unlimited ()) (runner : Table.runner) d tbl =
+  if Budget.limited budget || diagnose d <> None then solve ~budget d tbl
+  else
+    let schema = Table.schema tbl in
+    let d = Fd_set.normalize d in
+    let consensus = Fd_set.consensus_attrs d in
+    let base =
+      if Attr_set.is_empty consensus then tbl
+      else consensus_majority tbl consensus
+    in
+    let rest = Fd_set.remove_trivial (Fd_set.minus d consensus) in
+    let comps =
+      Fd_set.components rest
+      |> List.filter (fun c -> not (Fd_set.is_trivial c))
+    in
+    let component_updates =
+      match comps with
+      | [] | [ _ ] ->
+        List.map (fun c -> (Fd_set.attrs c, solve_component ~budget c tbl)) comps
+      | _ ->
+        let tasks =
+          List.map
+            (fun c () ->
+              let b = Budget.unlimited () in
+              let u = solve_component ~budget:b c tbl in
+              (u, Budget.steps b))
+            comps
+        in
+        let results = runner.Table.run (Array.of_list tasks) in
+        Array.iter (fun (_, steps) -> Budget.absorb budget ~steps) results;
+        List.map2
+          (fun c (u, _) -> (Fd_set.attrs c, u))
+          comps
+          (Array.to_list results)
+    in
+    Ok (compose schema base component_updates)
+
 let pp_failure ppf f =
   Fmt.pf ppf "component %a: %s" Fd_set.pp f.component
     (match f.hardness with

@@ -49,6 +49,20 @@ val solve :
   Table.t ->
   (Table.t, failure) result
 
+(** [solve_par ?budget runner d tbl] is {!solve} with Theorem 4.1's
+    attribute-disjoint components solved as independent [runner] tasks.
+    Bit-identical to {!solve}: components compose in component order,
+    each task runs under a fresh unlimited budget whose steps are
+    absorbed at the barrier, and worker metrics merge exactly. A
+    {e limited} [budget], or a Δ with any refused component (refusal is
+    Δ-only), takes the sequential path unchanged. *)
+val solve_par :
+  ?budget:Repair_runtime.Budget.t ->
+  Repair_relational.Table.runner ->
+  Fd_set.t ->
+  Table.t ->
+  (Table.t, failure) result
+
 val solve_exn : ?budget:Repair_runtime.Budget.t -> Fd_set.t -> Table.t -> Table.t
 
 (** [distance ?budget d tbl] is [dist_upd(U*, T)] when tractable. *)

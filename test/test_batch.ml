@@ -416,6 +416,61 @@ let test_crash_resume_matrix () =
   in
   Alcotest.(check int) "run past the last checkpoint completes" 5 s.total
 
+(* The same matrix on a 4-domain pool: speculative parallel first
+   attempts must not change the journal. Crash at every checkpoint,
+   resume on the pool, and require the journal byte-identical (modulo
+   wall_ms) to the uninterrupted *sequential* reference — the strongest
+   form of the DESIGN §13 contract for the batch runner. The exec
+   call-count table is mutex-guarded because first attempts now run on
+   worker domains. *)
+let test_crash_resume_matrix_par () =
+  let locked_exec lock counts job =
+    Mutex.lock lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock lock)
+      (fun () -> counting_exec ~behave:matrix_behave counts job)
+  in
+  let ref_dir = fresh_dir () in
+  let ref_journal = Filename.concat ref_dir "j.jsonl" in
+  ignore (run_matrix ~journal:ref_journal (Hashtbl.create 8) ~resume:false);
+  let reference = normalize_journal (read_file ref_journal) in
+  let pool = Repair_par.Pool.create ~domains:4 in
+  Fun.protect
+    ~finally:(fun () -> Repair_par.Pool.shutdown pool)
+    (fun () ->
+      let run_par ~journal counts ~resume =
+        let lock = Mutex.create () in
+        Runner.run ~pool ~resume ~exec:(locked_exec lock counts) ~journal
+          (stub_manifest matrix_ids)
+      in
+      (* uninterrupted pooled run: already byte-identical *)
+      let dir = fresh_dir () in
+      let journal = Filename.concat dir "j.jsonl" in
+      ignore (run_par ~journal (Hashtbl.create 8) ~resume:false);
+      Alcotest.(check string) "pooled journal = sequential reference"
+        reference
+        (normalize_journal (read_file journal));
+      for k = 1 to matrix_checkpoints do
+        let dir = fresh_dir () in
+        let journal = Filename.concat dir "j.jsonl" in
+        let counts = Hashtbl.create 8 in
+        Fault.arm ~phase:"batch" ~at:k Fault.Fail;
+        (match run_par ~journal counts ~resume:false with
+        | _ -> Alcotest.failf "checkpoint %d: fault did not fire" k
+        | exception E.Error (E.Fault_injected _) -> ());
+        Fault.disarm ();
+        let committed = (J.recover journal).committed in
+        let s = run_par ~journal counts ~resume:true in
+        Alcotest.(check int)
+          (Printf.sprintf "checkpoint %d: committed jobs replayed" k)
+          (List.length committed) s.replayed;
+        Alcotest.(check string)
+          (Printf.sprintf
+             "checkpoint %d: resumed pooled journal = sequential reference" k)
+          reference
+          (normalize_journal (read_file journal))
+      done)
+
 (* A mid-solver fault (no phase filter) fires inside [exec], where the
    per-job isolation catches it as a transient, retryable failure — a
    crash of the job, not of the runner. *)
@@ -489,6 +544,8 @@ let () =
             test_solver_fault_is_per_job ] );
       ( "crash-resume",
         [ Alcotest.test_case "kill at every checkpoint" `Quick
-            test_crash_resume_matrix ] );
+            test_crash_resume_matrix;
+          Alcotest.test_case "kill at every checkpoint, 4-domain pool" `Quick
+            test_crash_resume_matrix_par ] );
       ( "driver",
         [ Alcotest.test_case "end to end" `Quick test_batch_with_driver ] ) ]

@@ -404,6 +404,90 @@ let test_end_to_end_unix_socket () =
     | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
     | _ -> Alcotest.fail "daemon killed by signal"
 
+(* The same drill against a 4-domain server: queued requests execute on
+   the pool batch by batch, and the accounting identity
+   [admitted = completed + quarantined + cancelled + queue_depth] must
+   hold in the final snapshot the drained daemon writes. *)
+let test_end_to_end_parallel_accounting () =
+  let path = socket_path () ^ ".par" in
+  let metrics_path = path ^ ".metrics.json" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  (try Unix.unlink metrics_path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stderr;
+    let code =
+      try
+        R.Serve.run
+          ~config:
+            { Engine.default_config with
+              queue_capacity = 16;
+              degrade_watermark = 8 }
+          ~metrics_out:metrics_path ~domains:4 (Server.Unix_sock path)
+      with _ -> 99
+    in
+    Unix._exit code
+  | pid ->
+    let cleanup () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      try Unix.unlink metrics_path with Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [] [] [] 0.02)
+    done;
+    Alcotest.(check bool) "socket appeared" true (Sys.file_exists path);
+    let report =
+      Repair_workload.Load_gen.run
+        { Repair_workload.Load_gen.default_spec with
+          requests = 24;
+          connections = 3;
+          n_rows = 10;
+          poison_every = Some 5;
+          malformed_every = Some 7;
+          wall_timeout_s = 20.0 }
+        (Repair_workload.Load_gen.Unix_sock path)
+    in
+    Alcotest.(check int) "everything answered"
+      report.Repair_workload.Load_gen.sent
+      report.Repair_workload.Load_gen.answered;
+    Alcotest.(check bool) "some requests repaired" true
+      (report.Repair_workload.Load_gen.ok > 0);
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    (match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
+    | _ -> Alcotest.fail "daemon killed by signal");
+    let ic = open_in_bin metrics_path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let snapshot =
+      match Json.of_string text with
+      | Ok j -> j
+      | Error m -> Alcotest.failf "metrics snapshot is not JSON: %s" m
+    in
+    let serve_int key =
+      match
+        Option.bind
+          (Option.bind (Json.member "serve" snapshot) (Json.member key))
+          Json.int_value
+      with
+      | Some n -> n
+      | None -> Alcotest.failf "snapshot lacks serve.%s" key
+    in
+    Alcotest.(check bool) "work was admitted" true (serve_int "admitted" > 0);
+    Alcotest.(check int) "admitted = completed + quarantined + cancelled + queue_depth"
+      (serve_int "admitted")
+      (serve_int "completed" + serve_int "quarantined"
+      + serve_int "cancelled" + serve_int "queue_depth")
+
 let () =
   Alcotest.run "serve"
     [ ( "protocol",
@@ -429,4 +513,6 @@ let () =
             test_core_exec_parse_error_classified ] );
       ( "end-to-end",
         [ Alcotest.test_case "unix socket burst + drain" `Quick
-            test_end_to_end_unix_socket ] ) ]
+            test_end_to_end_unix_socket;
+          Alcotest.test_case "4-domain server keeps the books balanced"
+            `Quick test_end_to_end_parallel_accounting ] ) ]
