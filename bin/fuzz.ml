@@ -375,6 +375,241 @@ let par_trial seed =
         (R.Driver.u_repair_result ~pool ~budget:(budget ()) ~on_budget d t))
     [ `Degrade; `Fail ]
 
+(* --- chaos mode: IO fault injection against the durability layer ----
+
+   Every trial arms a randomized Io_fault plan and asserts the
+   torn-world contract end to end. Even seeds hit the batch journal: a
+   run under injected short writes / EINTR / ENOSPC / torn tails / bit
+   flips either completes, dies with the simulated Crash, or raises a
+   classified error; recovery then either truncates the torn tail or
+   quarantines corruption to the sidecar with the structured Corruption
+   class — never an unclassified exception; a faultless resume never
+   re-executes a job whose terminal record survived; and the final
+   journal matches the unfaulted reference run record for record
+   (modulo the wall_ms telemetry field). Odd seeds hit the serving
+   engine with an executor publishing through write_file_atomic while
+   faults are armed: every reply must stay structured, the accounting
+   identity must hold, and the engine must keep answering. *)
+
+module Io_fault = R.Runtime.Io_fault
+module Journal = R.Batch.Journal
+module Manifest = R.Batch.Manifest
+module Runner = R.Batch.Runner
+module Rerr = R.Runtime.Repair_error
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Unix.unlink path
+  | exception Unix.Unix_error (ENOENT, _, _) -> ()
+
+let fresh_dir seed =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repair-chaos-%d-%d" (Unix.getpid ()) seed)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+(* Journal equality modulo wall_ms, the one nondeterministic field. *)
+let scrub_entry = function
+  | Journal.Commit c -> Journal.Commit { c with wall_ms = 0.0 }
+  | e -> e
+
+let journal_entries path =
+  List.map scrub_entry (Journal.recover path).Journal.entries
+
+let chaos_job id =
+  {
+    Manifest.id;
+    input = id ^ ".csv";
+    fds = "A -> B";
+    kind = Manifest.S_repair;
+    strategy = Manifest.Auto;
+    timeout_s = None;
+    max_steps = None;
+    on_budget = `Degrade;
+    output = None;
+  }
+
+let random_io_kind rng =
+  match Rng.int rng 5 with
+  | 0 -> Io_fault.Short_write
+  | 1 -> Io_fault.Eintr
+  | 2 -> Io_fault.Enospc
+  | 3 -> Io_fault.Torn (Rng.int rng 48)
+  | _ -> Io_fault.Bit_flip (Rng.int rng 2048)
+
+let random_batch_plan rng =
+  List.init
+    (1 + Rng.int rng 2)
+    (fun _ ->
+      {
+        Io_fault.op = (if Rng.bool rng then Io_fault.Write else Io_fault.Fsync);
+        at = 1 + Rng.int rng 14;
+        kind = random_io_kind rng;
+      })
+
+let batch_chaos seed =
+  let rng = Rng.make seed in
+  let dir = fresh_dir seed in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let n_jobs = 1 + Rng.int rng 4 in
+  let ids =
+    List.init n_jobs (fun i ->
+        if Rng.int rng 8 = 0 then Printf.sprintf "poison%d" i
+        else Printf.sprintf "job%d" i)
+  in
+  let manifest = { Manifest.jobs = List.map chaos_job ids } in
+  let exec_log : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let exec (job : Manifest.job) =
+    Hashtbl.replace exec_log job.Manifest.id
+      (1 + Option.value (Hashtbl.find_opt exec_log job.Manifest.id) ~default:0);
+    if String.length job.Manifest.id >= 6
+       && String.sub job.Manifest.id 0 6 = "poison"
+    then
+      Rerr.raise_error
+        (Parse { source = job.Manifest.id; line = None; detail = "poison job" });
+    {
+      Runner.status = `Ok;
+      distance = float_of_int (String.length job.Manifest.id);
+      method_used = "stub";
+    }
+  in
+  let reference =
+    let j = Filename.concat dir "reference.jsonl" in
+    ignore (Runner.run ~exec ~journal:j manifest);
+    journal_entries j
+  in
+  let journal = Filename.concat dir "batch.jsonl" in
+  let plan = random_batch_plan rng in
+  (match
+     Io_fault.with_plan plan (fun () -> Runner.run ~exec ~journal manifest)
+   with
+  | (_ : Runner.summary) -> ()
+  | exception Io_fault.Crash _ -> () (* simulated kill mid-write *)
+  | exception Rerr.Error _ -> () (* classified IO failure *)
+  | exception exn ->
+    fail "chaos batch: unclassified escape under faults: %s"
+      (Printexc.to_string exn));
+  (* Recovery must classify what the faults left behind: a clean or torn
+     journal recovers silently; corruption quarantines the damage and
+     raises the structured class, after which the trusted prefix must
+     recover cleanly. *)
+  let recovered =
+    match Journal.recover journal with
+    | r -> r
+    | exception Rerr.Error (Rerr.Corruption { file; _ }) -> (
+      if not (Sys.file_exists (Journal.corrupt_sidecar file)) then
+        fail "chaos batch: corruption raised without a quarantine sidecar";
+      match Journal.recover journal with
+      | r -> r
+      | exception exn ->
+        fail "chaos batch: trusted prefix failed to recover: %s"
+          (Printexc.to_string exn))
+    | exception exn ->
+      fail "chaos batch: recovery raised unclassified: %s"
+        (Printexc.to_string exn)
+  in
+  Hashtbl.reset exec_log;
+  (match Runner.run ~resume:true ~exec ~journal manifest with
+  | (_ : Runner.summary) -> ()
+  | exception exn ->
+    fail "chaos batch: faultless resume failed: %s" (Printexc.to_string exn));
+  List.iter
+    (fun (id, _) ->
+      if Hashtbl.mem exec_log id then
+        fail "chaos batch: job %s re-executed past its terminal record" id)
+    recovered.Journal.committed;
+  if journal_entries journal <> reference then
+    fail "chaos batch: resumed journal diverged from the unfaulted run"
+
+(* No Torn (= Crash) in serving plans: a crash is process death, not
+   something the isolation boundary should absorb. Everything else must
+   come back as a classified error reply. *)
+let random_serve_plan rng =
+  List.init
+    (1 + Rng.int rng 3)
+    (fun _ ->
+      {
+        Io_fault.op =
+          Rng.pick rng [ Io_fault.Write; Io_fault.Fsync; Io_fault.Rename ];
+        at = 1 + Rng.int rng 20;
+        kind =
+          (match Rng.int rng 3 with
+          | 0 -> Io_fault.Short_write
+          | 1 -> Io_fault.Eintr
+          | _ -> Io_fault.Enospc);
+      })
+
+let serve_chaos seed =
+  let rng = Rng.make seed in
+  let dir = fresh_dir seed in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let out = Filename.concat dir "answer.json" in
+  let config =
+    {
+      Engine.default_config with
+      queue_capacity = 1 + Rng.int rng 8;
+      max_request_bytes = 256;
+    }
+  in
+  let config =
+    { config with
+      degrade_watermark = 1 + Rng.int rng config.Engine.queue_capacity }
+  in
+  let engine = Engine.create config in
+  let exec ~degraded:_ (_ : Protocol.request) =
+    (* durably publish through the shim: injected faults must surface as
+       classified Io errors the isolation boundary turns into replies *)
+    Io_fault.write_file_atomic out
+      (Printf.sprintf "{\"seq\": %d}\n" (Rng.int rng 1_000_000));
+    [ ("distance", Json.Float 0.0) ]
+  in
+  Io_fault.with_plan (random_serve_plan rng) (fun () ->
+      for _ = 1 to 24 do
+        let line =
+          if Rng.int rng 4 = 0 then fuzz_request_line rng else valid_line rng
+        in
+        (match
+           if String.length line > config.Engine.max_request_bytes then
+             `Reply (Engine.reject_oversized engine)
+           else Engine.handle_line engine ~conn:0 ~quota_used:0 line
+         with
+        | `Reply reply | `Drain reply -> check_reply_line reply
+        | `Enqueued -> ()
+        | exception exn ->
+          fail "chaos serve: engine raised on %S: %s" line
+            (Printexc.to_string exn));
+        if Rng.bool rng then
+          match Engine.take engine with
+          | Some p -> check_reply_line (Engine.execute engine ~exec p)
+          | None -> ()
+      done;
+      let rec drain () =
+        match Engine.take engine with
+        | Some p ->
+          check_reply_line (Engine.execute engine ~exec p);
+          drain ()
+        | None -> ()
+      in
+      drain ());
+  if not (Engine.balanced engine) then
+    fail "chaos serve: accounting identity violated (seed %d)" seed;
+  match
+    Engine.handle_line engine ~conn:0 ~quota_used:0
+      {|{"id": "live", "op": "ping"}|}
+  with
+  | `Reply reply -> check_reply_line reply
+  | _ -> fail "chaos serve: ping after fault sweep not answered inline"
+
+let chaos_trial seed =
+  if seed mod 2 = 0 then batch_chaos seed else serve_chaos seed
+
 let trial seed =
   let rng = Rng.make seed in
   let n_attrs = Rng.in_range rng 2 4 in
@@ -406,6 +641,7 @@ let run mode trials seed0 quiet =
     | `Differential -> trial
     | `Protocol -> protocol_trial
     | `Par -> par_trial
+    | `Chaos -> chaos_trial
   in
   let failures = ref 0 in
   (try
@@ -440,13 +676,18 @@ let main =
        accounting identity holds, and the engine keeps answering; \
        $(b,par) cross-checks driver runs on a 4-domain pool against \
        sequential runs, asserting bit-identical reports and preserved \
-       error classes (DESIGN §13)."
+       error classes (DESIGN §13); $(b,chaos) arms randomized IO fault \
+       plans (short writes, EINTR, ENOSPC, torn tails, bit flips) \
+       against the batch journal and the serving engine, asserting \
+       recovery truncates torn tails, quarantines corruption with the \
+       structured error class, never re-executes a committed job, and \
+       keeps the serve accounting identity balanced (DESIGN §14)."
     in
     Arg.(value
          & opt
              (enum
                 [ ("differential", `Differential); ("protocol", `Protocol);
-                  ("par", `Par) ])
+                  ("par", `Par); ("chaos", `Chaos) ])
              `Differential
          & info [ "mode" ] ~docv:"MODE" ~doc)
   in

@@ -41,12 +41,19 @@ let strategy_arg =
 (* Error classes map to documented exit codes (see Repair_error.exit_code):
    0 success, 1 unexpected internal error, 2 parse, 3 i/o,
    4 schema mismatch, 5 budget exhausted, 6 intractable, 7 size limit,
-   8 injected fault. *)
+   8 injected fault, 11 corruption. *)
 let die_error e =
   Fmt.epr "repair-cli: %a@." E.pp e;
   exit (E.exit_code e)
 
 let or_die_error = function Ok v -> v | Error e -> die_error e
+
+(* Every file the CLI produces goes down atomically (tmp + fsync +
+   rename): a crash mid-write leaves either the old artifact or the new
+   one, never a torn file for downstream tooling to choke on. *)
+let write_out path text =
+  try R.Runtime.Io_fault.write_file_atomic path text
+  with E.Error e -> die_error e
 
 let parse_fds s =
   try Ok (Fd_set.parse s)
@@ -143,10 +150,7 @@ let with_trace dest capacity f =
       let text = R.Obs.Json.to_string ~pretty:true doc ^ "\n" in
       match dest with
       | "-" -> print_string text
-      | path ->
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc
+      | path -> write_out path text
     in
     Fun.protect ~finally:emit_trace f
 
@@ -164,10 +168,7 @@ let with_metrics dest f =
       let text = R.Obs.Json.to_string ~pretty:true (M.snapshot ()) ^ "\n" in
       match dest with
       | "-" -> print_string text
-      | path ->
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc
+      | path -> write_out path text
     in
     Fun.protect ~finally:emit_snapshot f
 
@@ -204,9 +205,7 @@ let emit out tbl =
     let text =
       if is_jsonl path then Jsonl_io.to_string tbl else Csv_io.to_string tbl
     in
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc
+    write_out path text
 
 let classify_cmd =
   let run fds =
@@ -600,10 +599,7 @@ let batch_cmd =
       in
       (match out with
       | None -> print_string text
-      | Some path ->
-        let oc = open_out path in
-        output_string oc text;
-        close_out oc);
+      | Some path -> write_out path text);
       if summary.R.Batch.Runner.quarantined > 0 then
         R.Batch.Runner.exit_some_quarantined
       else 0
@@ -772,6 +768,23 @@ let serve_cmd =
     Arg.(value & opt int R.Serve.Engine.default_config.max_request_bytes
          & info [ "max-request-bytes" ] ~docv:"N" ~doc)
   in
+  let read_deadline_arg =
+    let doc =
+      "Slow-loris defense: a connection holding a partial request line \
+       must make read progress within $(docv) seconds or it is evicted \
+       with a 'deadline-exceeded' error. 0 disables."
+    in
+    Arg.(value & opt float 30.0
+         & info [ "read-deadline" ] ~docv:"SEC" ~doc)
+  in
+  let write_deadline_arg =
+    let doc =
+      "Slow-reader defense: a connection with pending replies must accept \
+       bytes within $(docv) seconds or it is evicted. 0 disables."
+    in
+    Arg.(value & opt float 30.0
+         & info [ "write-deadline" ] ~docv:"SEC" ~doc)
+  in
   let cache_arg =
     let doc = "Warm FD-set cache capacity (LRU entries)." in
     Arg.(value & opt int R.Serve.default_cache_capacity
@@ -786,7 +799,8 @@ let serve_cmd =
          & info [ "metrics-out" ] ~docv:"OUT" ~doc)
   in
   let run socket port queue watermark quota default_timeout max_steps_cap
-      drain max_bytes cache_capacity metrics_out domains verbose =
+      drain max_bytes read_deadline write_deadline cache_capacity metrics_out
+      domains verbose =
     setup_logs verbose;
     if domains < 1 then
       die_error
@@ -804,6 +818,10 @@ let serve_cmd =
         max_steps_cap;
         drain_deadline_s = drain;
         max_request_bytes = max_bytes;
+        read_deadline_s =
+          (if read_deadline <= 0.0 then None else Some read_deadline);
+        write_deadline_s =
+          (if write_deadline <= 0.0 then None else Some write_deadline);
       }
     in
     let code =
@@ -826,8 +844,8 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(const run $ socket_arg $ port_arg $ queue_arg $ watermark_arg
           $ quota_arg $ default_timeout_arg $ max_steps_cap_arg $ drain_arg
-          $ max_bytes_arg $ cache_arg $ metrics_out_arg $ domains_arg
-          $ verbose_arg)
+          $ max_bytes_arg $ read_deadline_arg $ write_deadline_arg
+          $ cache_arg $ metrics_out_arg $ domains_arg $ verbose_arg)
 
 let load_cmd =
   let requests_arg =
@@ -866,8 +884,19 @@ let load_cmd =
   let seed_arg =
     Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Workload generator seed.")
   in
+  let retries_arg =
+    let doc =
+      "Retry each shed request up to $(docv) times with jittered \
+       exponential backoff (deterministic for a given --seed)."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let retry_backoff_arg =
+    let doc = "Base backoff in milliseconds for the first retry." in
+    Arg.(value & opt int 50 & info [ "retry-backoff" ] ~docv:"MS" ~doc)
+  in
   let run socket port requests connections op rows poison malformed timeout
-      wall seed out verbose =
+      wall seed retries retry_backoff out verbose =
     setup_logs verbose;
     let target : R.Workload.Load_gen.target =
       match listen_of socket port with
@@ -886,6 +915,8 @@ let load_cmd =
         timeout_s = timeout;
         wall_timeout_s = wall;
         seed;
+        retries;
+        retry_backoff_ms = retry_backoff;
       }
     in
     let report =
@@ -907,10 +938,7 @@ let load_cmd =
     in
     (match out with
     | None -> print_string text
-    | Some path ->
-      let oc = open_out path in
-      output_string oc text;
-      close_out oc);
+    | Some path -> write_out path text);
     exit (if report.R.Workload.Load_gen.unanswered > 0 then 1 else 0)
   in
   let out_arg =
@@ -926,7 +954,8 @@ let load_cmd =
     (Cmd.info "load" ~doc)
     Term.(const run $ socket_arg $ port_arg $ requests_arg $ connections_arg
           $ op_arg $ rows_arg $ poison_arg $ malformed_arg $ timeout_arg
-          $ wall_arg $ seed_arg $ out_arg $ verbose_arg)
+          $ wall_arg $ seed_arg $ retries_arg $ retry_backoff_arg $ out_arg
+          $ verbose_arg)
 
 let main =
   let doc = "optimal repairs for functional dependencies (PODS'18)" in
@@ -940,7 +969,11 @@ let main =
           injected test fault fired; 9 a batch run finished with \
           quarantined (poison) jobs; 10 a serve drain deadline expired \
           with queued requests still pending (they were cancelled with \
-          structured replies)." ]
+          structured replies); 11 durable state failed its integrity \
+          check — a journal record with a bad length prefix, checksum, \
+          or payload that a torn tail cannot explain; the damaged \
+          suffix was moved to a .corrupt sidecar and replay stopped at \
+          the last valid commit point." ]
   in
   Cmd.group
     (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)

@@ -27,6 +27,14 @@ dune exec bin/fuzz.exe -- --trials 60 --quiet
 # answering (DESIGN §12).
 dune exec bin/fuzz.exe -- --mode protocol --trials 400 --quiet
 
+# Torn-world sweep (DESIGN §14): randomized syscall fault plans against
+# the batch runner (crash/short-write/EINTR/ENOSPC/torn-tail/bit-flip on
+# the journal path — recovery must classify, never re-execute a
+# committed job, and converge to the fault-free journal) and the serving
+# engine (non-crash faults on result publication — every reply stays
+# structured and the accounting identity holds).
+dune exec bin/fuzz.exe -- --mode chaos --trials 60 --quiet
+
 # Parallelism determinism (DESIGN §13): the pool differential suite,
 # then the par-mode fuzz — driver runs on a 4-domain pool must be
 # bit-identical to sequential runs, error classes included.
@@ -55,6 +63,34 @@ for sub in s-repair u-repair; do
   cmp "$tdir/d1.csv" "$tdir/d4.csv"
   cmp "$tdir/d1.out" "$tdir/d4.out"
 done
+
+# Journal format upgrade (DESIGN §14): a legacy plain-JSONL journal
+# written before framing must resume cleanly — the committed job
+# replayed, not re-executed, appends staying legacy — and damage in a
+# legacy journal must still surface as the structured corruption error:
+# exit code 11, a quarantine sidecar, and a clean second resume.
+printf '{"jobs": [{"id": "a", "input": "%s", "fds": "A -> B; B -> C"},
+ {"id": "b", "input": "%s", "fds": "A -> B; B -> C"}]}\n' \
+  "$tdir/t.csv" "$tdir/t.csv" > "$tdir/m.json"
+printf '%s\n' '{"event":"begin","jobs":2}' \
+  '{"event":"start","job":"a","attempt":1}' \
+  '{"event":"commit","job":"a","attempt":1,"status":"ok","method":"m","distance":1.0}' \
+  > "$tdir/legacy.jsonl"
+dune exec bin/repair_cli.exe -- batch "$tdir/m.json" \
+  --journal "$tdir/legacy.jsonl" --resume -o "$tdir/upg.json"
+grep -q '"replayed": 1' "$tdir/upg.json"
+[ "$(grep -c '^@' "$tdir/legacy.jsonl")" -eq 0 ]   # appends stayed legacy
+printf '%s\n' '{"event":"begin","jobs":2}' '{"event":"comm_DAMAGE"}' \
+  > "$tdir/legacy.jsonl"
+upg_code=0
+dune exec bin/repair_cli.exe -- batch "$tdir/m.json" \
+  --journal "$tdir/legacy.jsonl" --resume -o /dev/null \
+  2> "$tdir/upg.err" || upg_code=$?
+[ "$upg_code" -eq 11 ]
+grep -q 'corruption' "$tdir/upg.err"
+[ -f "$tdir/legacy.jsonl.corrupt" ]
+dune exec bin/repair_cli.exe -- batch "$tdir/m.json" \
+  --journal "$tdir/legacy.jsonl" --resume -o /dev/null
 
 # Serving drill (DESIGN §12): daemon on a temp Unix socket; a pipelined
 # burst with poison requests and malformed lines — every line must be
@@ -100,6 +136,12 @@ dune exec bench/compare.exe -- "$out" "$out"
 # Regression gate against the committed baseline: the smoke subset is
 # compared record-by-record; --subset lets the baseline carry the full
 # suite without the smoke run's missing records counting as vanished.
-dune exec bench/compare.exe -- BENCH_1.json "$out" --subset
+# The allowance is calibrated for shared CI hosts, where even the frozen
+# seed-replica records (code no PR touches) swing 1.5-2x between runs:
+# this gate exists to catch accidental asymptotic blowups (those show up
+# as 10x+), while precise tracking belongs to full-suite runs on a quiet
+# machine with the default 25% threshold.
+dune exec bench/compare.exe -- BENCH_1.json "$out" --subset \
+  --threshold 150 --min-ms 2
 
 echo "ci: OK"

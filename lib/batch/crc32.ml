@@ -1,0 +1,33 @@
+(* CRC-32 (IEEE 802.3, polynomial 0xedb88320, reflected), the checksum
+   behind framed journal records. Table-driven; the table is built once
+   on first use. Results fit in 32 bits, returned as a non-negative
+   [int] (OCaml ints are 63-bit on every platform we build for). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let string s =
+  let t = Lazy.force table in
+  let crc = ref 0xffffffff in
+  String.iter
+    (fun ch -> crc := t.((!crc lxor Char.code ch) land 0xff) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xffffffff
+
+let to_hex c = Printf.sprintf "%08x" c
+
+let of_hex s =
+  if String.length s <> 8 then None
+  else
+    let ok =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+        s
+    in
+    if ok then Some (int_of_string ("0x" ^ s)) else None

@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3) over strings — the integrity check on framed
+    journal records. *)
+
+(** [string s] is the CRC-32 of [s], in [\[0, 2{^32})]. *)
+val string : string -> int
+
+(** [to_hex c] renders [c] as exactly 8 lowercase hex digits. *)
+val to_hex : int -> string
+
+(** [of_hex s] parses what {!to_hex} produces; [None] unless [s] is
+    exactly 8 lowercase hex digits. *)
+val of_hex : string -> int option

@@ -121,35 +121,74 @@ let is_terminal = function
   | Begin _ | Commit _ | Quarantine _ -> true
   | Start _ | Retry _ -> false
 
+(* ---------- framing ---------- *)
+
+type format = [ `Framed | `Legacy ]
+
+(* Framed record: ['@' len ':' crc8 ':' payload '\n'] where [len] is the
+   decimal byte length of [payload], [crc8] is 8 lowercase hex digits of
+   CRC-32(payload), and [payload] is the compact JSON rendering of the
+   entry. The JSON encoder escapes control characters, so a payload
+   never contains a raw newline: a record is torn iff its final '\n' is
+   missing, and any {e complete} line that fails the frame grammar, the
+   checksum, or the JSON parse can only be corruption. Legacy journals
+   (plain JSONL, first byte '{') predate framing and are still read and
+   appended to. *)
+let frame payload =
+  Printf.sprintf "@%d:%s:%s\n" (String.length payload)
+    (Crc32.to_hex (Crc32.string payload)) payload
+
 (* ---------- appending ---------- *)
 
-type writer = { fd : Unix.file_descr; path : string }
+module Io_fault = Repair_runtime.Io_fault
+
+type writer = {
+  fd : Unix.file_descr;
+  path : string;
+  format : format;
+  sync : bool;
+}
 
 let io_err path fmt =
   Fmt.kstr
     (fun detail -> Repair_error.raise_error (Io { file = path; detail }))
     fmt
 
-let open_append path =
+let open_append ?(format = `Framed) ?(sync = true) path =
   match Unix.openfile path [ O_WRONLY; O_CREAT; O_APPEND ] 0o644 with
-  | fd -> { fd; path }
+  | fd -> { fd; path; format; sync }
   | exception Unix.Unix_error (e, _, _) ->
     io_err path "%s" (Unix.error_message e)
 
 let append w entry =
-  let line = Json.to_string (entry_to_json entry) ^ "\n" in
+  let payload = Json.to_string (entry_to_json entry) in
+  let line =
+    match w.format with `Framed -> frame payload | `Legacy -> payload ^ "\n"
+  in
   let bytes = Bytes.unsafe_of_string line in
   let n = Bytes.length bytes in
+  (* Through the fault shim: short writes loop, EINTR retries; any other
+     Unix_error is a classified Io failure. Io_fault.Crash (simulated
+     kill) propagates raw, as a real kill would. *)
   let rec write_all off =
     if off < n then
-      match Unix.write w.fd bytes off (n - off) with
+      match Io_fault.write w.fd bytes off (n - off) with
       | written -> write_all (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
       | exception Unix.Unix_error (e, _, _) ->
         io_err w.path "%s" (Unix.error_message e)
   in
   write_all 0;
-  try Unix.fsync w.fd
-  with Unix.Unix_error (e, _, _) -> io_err w.path "%s" (Unix.error_message e)
+  if w.sync then begin
+    let rec sync () =
+      match Io_fault.fsync w.fd with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> sync ()
+      | exception Unix.Unix_error (e, _, _) ->
+        io_err w.path "%s" (Unix.error_message e)
+    in
+    sync ()
+  end
 
 let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()
 
@@ -159,63 +198,120 @@ type recovery = {
   entries : entry list;
   committed : (string * entry) list;
   truncated : bool;
+  format : format;
 }
 
-let read_file path =
-  try
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let n = in_channel_length ic in
-        really_input_string ic n)
-  with Sys_error m -> Repair_error.raise_error (Io { file = path; detail = m })
+let corrupt_sidecar path = path ^ ".corrupt"
+
+(* One scanned record: parsed, torn (incomplete final chunk — the only
+   shape an interrupted append can leave), or bad (a complete line that
+   fails validation — only corruption produces this). *)
+type verdict = Parsed of entry * int | Torn | Bad of string
+
+let is_digits s = s <> "" && String.for_all (function '0' .. '9' -> true | _ -> false) s
+
+let parse_json_line line =
+  match Result.bind (Json.of_string line) entry_of_json with
+  | Ok e -> Ok e
+  | Error m -> Error m
+
+let scan_framed text pos =
+  match String.index_from_opt text pos '\n' with
+  | None -> Torn
+  | Some nl -> (
+    let line = String.sub text pos (nl - pos) in
+    let bad m = Bad m in
+    if String.length line < 12 || line.[0] <> '@' then
+      bad "malformed frame header"
+    else
+      match String.index_from_opt line 1 ':' with
+      | None -> bad "malformed frame header"
+      | Some c1 -> (
+        let len_field = String.sub line 1 (c1 - 1) in
+        if not (is_digits len_field && String.length len_field <= 9) then
+          bad "malformed length prefix"
+        else
+          let rlen = int_of_string len_field in
+          if String.length line < c1 + 10 || line.[c1 + 9] <> ':' then
+            bad "malformed frame header"
+          else
+            let crc_field = String.sub line (c1 + 1) 8 in
+            let payload = String.sub line (c1 + 10) (String.length line - c1 - 10) in
+            match Crc32.of_hex crc_field with
+            | None -> bad "malformed checksum field"
+            | Some crc ->
+              if String.length payload <> rlen then bad "length mismatch"
+              else if Crc32.string payload <> crc then bad "checksum mismatch"
+              else (
+                match parse_json_line payload with
+                | Ok e -> Parsed (e, nl + 1)
+                | Error m -> bad m)))
+
+let scan_legacy text pos =
+  match String.index_from_opt text pos '\n' with
+  | None -> Torn
+  | Some nl -> (
+    let line = String.sub text pos (nl - pos) in
+    match parse_json_line line with
+    | Ok e -> Parsed (e, nl + 1)
+    | Error m -> Bad m)
 
 let recover path =
   if not (Sys.file_exists path) then
-    { entries = []; committed = []; truncated = false }
+    { entries = []; committed = []; truncated = false; format = `Framed }
   else begin
-    let text = read_file path in
+    let text = Io_fault.read_file path in
     let len = String.length text in
-    (* Walk line by line, remembering the byte offset just past the last
-       terminal record: that is the committed prefix. Stop at the first
-       line that is torn (no '\n') or fails to parse. *)
+    let format = if len > 0 && text.[0] = '{' then `Legacy else `Framed in
+    let scan = match format with `Framed -> scan_framed | `Legacy -> scan_legacy in
+    (* Walk record by record, remembering the byte offset just past the
+       last terminal record: that is the committed prefix. Stop at the
+       first torn or bad record. *)
     let committed_end = ref 0 in
     let committed_entries = ref [] in
     let pending = ref [] in
     let pos = ref 0 in
+    let stopped = ref None in
     (try
        while !pos < len do
-         match String.index_from_opt text !pos '\n' with
-         | None -> raise Exit (* torn tail: crash mid-write *)
-         | Some nl ->
-           let line = String.sub text !pos (nl - !pos) in
-           (match
-              Result.bind (Json.of_string line) (fun j ->
-                  Result.map_error
-                    (fun m -> m)
-                    (entry_of_json j))
-            with
-           | Error _ -> raise Exit
-           | Ok e ->
-             pending := e :: !pending;
-             if is_terminal e then begin
-               committed_end := nl + 1;
-               committed_entries := !pending @ !committed_entries;
-               pending := []
-             end);
-           pos := nl + 1
+         match scan text !pos with
+         | Torn -> raise Exit
+         | Bad detail ->
+           stopped := Some detail;
+           raise Exit
+         | Parsed (e, next) ->
+           pending := e :: !pending;
+           if is_terminal e then begin
+             committed_end := next;
+             committed_entries := !pending @ !committed_entries;
+             pending := []
+           end;
+           pos := next
        done
      with Exit -> ());
-    let truncated = !committed_end < len in
-    if truncated then Unix.truncate path !committed_end;
-    let entries = List.rev !committed_entries in
-    let committed =
-      List.filter_map
-        (function
-          | (Commit { job; _ } | Quarantine { job; _ }) as e -> Some (job, e)
-          | Begin _ | Start _ | Retry _ -> None)
-        entries
-    in
-    { entries; committed; truncated }
+    match !stopped with
+    | Some detail ->
+      (* Mid-file corruption: a complete record failed its integrity
+         check. Quarantine everything past the last valid commit point
+         to a sidecar, truncate the journal to that point, and refuse to
+         replay further — the caller decides what to do with the
+         structured error. A subsequent recover of the (now valid)
+         prefix proceeds normally. *)
+      Io_fault.write_file_atomic (corrupt_sidecar path)
+        (String.sub text !committed_end (len - !committed_end));
+      Unix.truncate path !committed_end;
+      Repair_error.raise_error
+        (Corruption { file = path; offset = !committed_end; detail })
+    | None ->
+      let truncated = !committed_end < len in
+      if truncated then Unix.truncate path !committed_end;
+      let entries = List.rev !committed_entries in
+      let committed =
+        List.filter_map
+          (function
+            | (Commit { job; _ } | Quarantine { job; _ }) as e -> Some (job, e)
+            | Begin _ | Start _ | Retry _ -> None)
+          entries
+      in
+      { entries; committed; truncated; format }
   end

@@ -1,5 +1,17 @@
-(** The write-ahead journal behind the batch runner: an append-only JSONL
-    file, one record per line, every append followed by [fsync].
+(** The write-ahead journal behind the batch runner: an append-only
+    file, one checksummed record per line, every append followed by
+    [fsync].
+
+    {2 Framing}
+
+    A framed record is ['@' len ':' crc ':' payload '\n']: [len] is the
+    decimal byte length of [payload], [crc] is the CRC-32 of [payload]
+    as 8 lowercase hex digits, and [payload] is the compact JSON
+    rendering of the entry (control characters escaped, so a payload
+    never contains a raw newline). Journals written before framing are
+    plain JSONL; the first byte of the file (['{'] vs ['@']) selects the
+    format on recovery, and appends continue in the journal's existing
+    format so a file is never mixed.
 
     {2 Record stream}
 
@@ -14,17 +26,30 @@
     {2 Crash recovery}
 
     {!recover} implements standard WAL recovery: the valid prefix of the
-    file is the longest run of well-formed lines ending at [Begin] or at a
-    terminal record. Anything after it — dangling [Start]/[Retry] records
-    of an in-flight job, or a torn final line from a crash mid-write — is
-    uncommitted and is truncated away, so a resumed run replays the
-    in-flight job from its first attempt and appends exactly the bytes an
-    uninterrupted run would have — {e up to the [wall_ms] field} of
-    [Commit] records, the one place a journal records wall-clock time
-    (per-job telemetry feeding the batch latency histograms). Everything
-    else is a pure function of the manifest and the (deterministic) job
-    outcomes, which is what lets the kill-at-every-checkpoint test demand
-    byte-for-byte equality after normalising [wall_ms]. *)
+    file is the longest run of well-formed records ending at [Begin] or at
+    a terminal record. Anything after it — dangling [Start]/[Retry]
+    records of an in-flight job, or a torn final record from a crash
+    mid-write — is uncommitted and is truncated away, so a resumed run
+    replays the in-flight job from its first attempt and appends exactly
+    the bytes an uninterrupted run would have — {e up to the [wall_ms]
+    field} of [Commit] records, the one place a journal records
+    wall-clock time (per-job telemetry feeding the batch latency
+    histograms). Everything else is a pure function of the manifest and
+    the (deterministic) job outcomes, which is what lets the
+    kill-at-every-checkpoint test demand byte-for-byte equality after
+    normalising [wall_ms].
+
+    Torn tail vs corruption: an interrupted append can only leave an
+    {e incomplete} final chunk (no terminating newline), which is
+    truncated exactly as above. A {e complete} record that fails the
+    frame grammar, its CRC-32, or the JSON parse cannot be explained by
+    a crash — it is damage. Recovery then stops at the last valid commit
+    point, moves every byte past it to a [<journal>.corrupt] sidecar,
+    truncates the journal to the trusted prefix, and raises the
+    structured {!Repair_runtime.Repair_error.t}[.Corruption] class (CLI
+    exit code 11) — it never replays past damage and never raises an
+    unclassified exception. A subsequent resume recovers the trusted
+    prefix cleanly and re-runs what was lost. *)
 
 type entry =
   | Begin of { jobs : int }  (** batch header; pins the manifest job count *)
@@ -66,15 +91,27 @@ val is_terminal : entry -> bool
 
 (** {2 Appending} *)
 
+(** Journal file format: [`Framed] (checksummed, length-prefixed — the
+    format every new journal is written in) or [`Legacy] (plain JSONL,
+    read and appended for journals that predate framing). *)
+type format = [ `Framed | `Legacy ]
+
 type writer
 
-(** [open_append path] opens (creating if needed) the journal for
-    appending.
+(** [open_append ?format ?sync path] opens (creating if needed) the
+    journal for appending. [format] defaults to [`Framed]; when resuming,
+    pass the {!recovery}'s [format] so the file stays single-format.
+    [sync] (default [true]) controls the per-append [fsync]; benchmarks
+    disable it to isolate framing cost — durable runs never do.
     @raise Repair_runtime.Repair_error.Error ([Io]) on failure. *)
-val open_append : string -> writer
+val open_append : ?format:format -> ?sync:bool -> string -> writer
 
-(** [append w e] writes [e] as one JSON line and [fsync]s the file, so the
-    record is durable before the call returns.
+(** [append w e] writes [e] as one framed (or legacy JSON) line and
+    [fsync]s the file, so the record is durable before the call returns.
+    All writes go through {!Repair_runtime.Io_fault}: short writes and
+    [EINTR] (injected or genuine) are absorbed, other failures raise the
+    classified [Io] error, and {!Repair_runtime.Io_fault.Crash}
+    propagates raw.
     @raise Repair_runtime.Repair_error.Error ([Io]) on failure. *)
 val append : writer -> entry -> unit
 
@@ -87,11 +124,21 @@ type recovery = {
   committed : (string * entry) list;
       (** job id → its terminal [Commit]/[Quarantine] record *)
   truncated : bool;  (** an uncommitted tail was discarded *)
+  format : format;
+      (** detected file format; feed back into {!open_append} on resume.
+          Empty or missing journals report [`Framed]. *)
 }
+
+(** [corrupt_sidecar path] is the sidecar file ([path ^ ".corrupt"])
+    where recovery quarantines damaged bytes. *)
+val corrupt_sidecar : string -> string
 
 (** [recover path] scans the journal, truncates the file to its valid
     committed prefix (see above), and returns what survived. A missing
     file is an empty journal.
     @raise Repair_runtime.Repair_error.Error ([Io]) on filesystem
-    failure. *)
+    failure, and ([Corruption]) when a complete record fails validation
+    mid-file — in which case the damaged suffix has been moved to
+    {!corrupt_sidecar} and the journal truncated to its trusted
+    prefix. *)
 val recover : string -> recovery

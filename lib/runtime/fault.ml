@@ -34,6 +34,12 @@ let checkpoints () = !count
 let on_checkpoint ~phase ~elapsed ~steps =
   match !spec with
   | None -> ()
+  | Some _ when not (Domain.self () = !owner) ->
+    (* Enforce the single-writer contract here, not only in [armed]:
+       this hook is public and callers other than Budget.tick may reach
+       it without the [armed] pre-check. Non-owner checkpoints neither
+       count nor fire. *)
+    ()
   | Some s ->
     let matches =
       match s.phase with None -> true | Some p -> String.equal p phase
@@ -43,8 +49,11 @@ let on_checkpoint ~phase ~elapsed ~steps =
       if !count >= s.at then begin
         let checkpoint = !count in
         (* One-shot: disarm before raising so the fallback path runs
-           clean. *)
+           clean. Resetting [count] too keeps [checkpoints ()] consistent
+           with [disarm]: after a fire it reads 0, not the stale trigger
+           value. *)
         spec := None;
+        count := 0;
         match s.mode with
         | Fail -> Repair_error.raise_error (Fault_injected { phase; checkpoint })
         | Exhaust ->

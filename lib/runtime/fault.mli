@@ -8,11 +8,20 @@
     function of the input instance, an armed fault is fully
     deterministic.
 
-    Faults are one-shot: once fired, the fault disarms itself, so a
+    Faults are one-shot: once fired, the fault disarms itself {e and
+    resets the checkpoint counter} — after a fire, {!armed} is [false]
+    and {!checkpoints} reads [0], exactly as after {!disarm} — so a
     driver's fallback algorithm runs to completion even if it ticks the
     same phase again.
 
-    Not thread-safe by design — it is test-only machinery. *)
+    Single-writer contract: the injector belongs to the domain that
+    called {!arm}. Checkpoints reached from any other domain (worker
+    tasks in a [Repair_par.Pool] tick their own budgets) neither count
+    nor fire — enforced inside {!on_checkpoint} itself, so even direct
+    calls to the hook from a worker domain are inert.
+
+    Not thread-safe beyond that contract by design — it is test-only
+    machinery. *)
 
 type mode =
   | Fail  (** raise {!Repair_error.Fault_injected}, simulating a crash *)

@@ -6,6 +6,7 @@ type t =
   | Intractable of { what : string; detail : string }
   | Size_limit of { what : string; limit : int; actual : int }
   | Fault_injected of { phase : string; checkpoint : int }
+  | Corruption of { file : string; offset : int; detail : string }
 
 exception Error of t
 
@@ -21,6 +22,7 @@ let class_name = function
   | Intractable _ -> "intractable"
   | Size_limit _ -> "size-limit"
   | Fault_injected _ -> "fault-injected"
+  | Corruption _ -> "corruption"
 
 let exit_code = function
   | Parse _ -> 2
@@ -30,6 +32,9 @@ let exit_code = function
   | Intractable _ -> 6
   | Size_limit _ -> 7
   | Fault_injected _ -> 8
+  (* 9 = batch quarantine, 10 = serve drain-cancelled: both are whole-run
+     outcomes owned by the CLI, not error classes. *)
+  | Corruption _ -> 11
 
 let pp ppf = function
   | Parse { source; line = Some l; detail } ->
@@ -46,12 +51,14 @@ let pp ppf = function
     Fmt.pf ppf "%s: instance size %d exceeds limit %d" what actual limit
   | Fault_injected { phase; checkpoint } ->
     Fmt.pf ppf "injected fault in %s at checkpoint %d" phase checkpoint
+  | Corruption { file; offset; detail } ->
+    Fmt.pf ppf "%s: corruption at byte %d: %s" file offset detail
 
 let to_string e = Fmt.str "%a" pp e
 
 let is_degradable = function
   | Budget_exhausted _ | Size_limit _ | Fault_injected _ -> true
-  | Parse _ | Io _ | Schema_mismatch _ | Intractable _ -> false
+  | Parse _ | Io _ | Schema_mismatch _ | Intractable _ | Corruption _ -> false
 
 let () =
   Printexc.register_printer (function

@@ -29,6 +29,14 @@ type t =
   | Fault_injected of { phase : string; checkpoint : int }
       (** A deterministic test fault ({!Fault}) fired. Never produced in
           production configurations. *)
+  | Corruption of { file : string; offset : int; detail : string }
+      (** Durable state failed its integrity check {e before} a torn
+          tail could explain it: a framed journal record whose length
+          prefix, CRC-32, or payload is invalid while later bytes are
+          still present. [offset] is the byte position of the last valid
+          commit point — everything before it is trusted, everything
+          after it has been quarantined to a [.corrupt] sidecar. Replay
+          never proceeds past [offset]. *)
 
 exception Error of t
 
@@ -44,8 +52,10 @@ val class_name : t -> string
 
 (** [exit_code e] is the documented CLI exit code for the class:
     parse = 2, io = 3, schema-mismatch = 4, budget-exhausted = 5,
-    intractable = 6, size-limit = 7, fault-injected = 8. Code 1 is
-    reserved for unexpected internal errors, 0 for success. *)
+    intractable = 6, size-limit = 7, fault-injected = 8,
+    corruption = 11. Code 1 is reserved for unexpected internal errors,
+    0 for success; 9 (batch quarantine) and 10 (serve drain
+    cancellations) are whole-run outcomes owned by the CLI. *)
 val exit_code : t -> int
 
 val pp : Format.formatter -> t -> unit

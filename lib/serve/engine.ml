@@ -10,6 +10,8 @@ type config = {
   max_steps_cap : int option;
   drain_deadline_s : float;
   max_request_bytes : int;
+  read_deadline_s : float option;
+  write_deadline_s : float option;
 }
 
 let default_config =
@@ -21,6 +23,8 @@ let default_config =
     max_steps_cap = None;
     drain_deadline_s = 5.0;
     max_request_bytes = 8 * 1024 * 1024;
+    read_deadline_s = Some 30.0;
+    write_deadline_s = Some 30.0;
   }
 
 type admission = Normal | Downgraded
@@ -79,6 +83,14 @@ let create ?(on_invalidate = fun () -> 0) config =
     invalid_arg "Engine.create: drain_deadline_s must be positive";
   if config.max_request_bytes < 2 then
     invalid_arg "Engine.create: max_request_bytes must be >= 2";
+  (match config.read_deadline_s with
+  | Some d when d <= 0.0 ->
+    invalid_arg "Engine.create: read_deadline_s must be positive"
+  | _ -> ());
+  (match config.write_deadline_s with
+  | Some d when d <= 0.0 ->
+    invalid_arg "Engine.create: write_deadline_s must be positive"
+  | _ -> ());
   {
     config;
     queue = Queue.create ();

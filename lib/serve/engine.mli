@@ -53,10 +53,20 @@ type config = {
   drain_deadline_s : float;
       (** seconds granted to in-flight + queued work after drain begins *)
   max_request_bytes : int;  (** longest admissible request line *)
+  read_deadline_s : float option;
+      (** slow-loris defense: a connection with a {e partial} request
+          line buffered must make read progress within this window or
+          the server evicts it ([None] disables; wholly idle keep-alive
+          connections are never evicted) *)
+  write_deadline_s : float option;
+      (** slow-reader defense: a connection with pending replies must
+          accept bytes within this window or be evicted ([None]
+          disables) *)
 }
 
 (** queue 64, degrade at 32, no quota, 10 s default request budget, no
-    step cap, 5 s drain deadline, 8 MiB request lines *)
+    step cap, 5 s drain deadline, 8 MiB request lines, 30 s read/write
+    deadlines *)
 val default_config : config
 
 type admission = Normal | Downgraded
@@ -73,7 +83,7 @@ type t
     [invalidate-cache] op and returns how many entries were dropped
     (default: none).
     @raise Invalid_argument on nonsensical watermarks (capacity < 1,
-    degrade watermark outside [1..capacity], non-positive deadline or
+    degrade watermark outside [1..capacity], non-positive deadlines or
     byte limit). *)
 val create : ?on_invalidate:(unit -> int) -> config -> t
 

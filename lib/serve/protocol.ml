@@ -55,6 +55,7 @@ let err_quota = "quota-exceeded"
 let err_draining = "draining"
 let err_cancelled = "cancelled"
 let err_internal = "internal"
+let err_deadline = "deadline-exceeded"
 
 exception Bad of string
 

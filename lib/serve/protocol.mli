@@ -80,6 +80,10 @@ val err_cancelled : string  (** admitted but cancelled by the drain deadline *)
 
 val err_internal : string  (** unclassified server-side exception *)
 
+val err_deadline : string
+(** connection evicted: no read/write progress within its deadline
+    (slow-loris / slow-reader defense) *)
+
 (** [parse line] decodes one request line. Total: malformed input comes
     back as [Error reject], never an exception. *)
 val parse : string -> (request, reject) result

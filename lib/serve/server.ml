@@ -23,6 +23,12 @@ type conn = {
   mutable out_bytes : int;
   mutable quota_used : int;
   mutable skipping : bool;  (** discarding the rest of an oversized line *)
+  mutable last_read : float;
+      (** last moment read progress was made; deadline base while a
+          partial line is buffered *)
+  mutable last_write : float;
+      (** last moment write progress was made; deadline base while
+          replies are pending *)
 }
 
 let listen_name = function
@@ -38,9 +44,9 @@ let write_snapshot engine metrics_out =
     print_string text;
     flush stdout
   | Some path ->
-    let oc = open_out path in
-    output_string oc text;
-    close_out oc
+    (* Atomic (tmp + fsync + rename): a crash mid-flush must never leave
+       a torn snapshot for monitoring to misread. *)
+    Repair_runtime.Io_fault.write_file_atomic path text
   | None ->
     prerr_string text;
     flush stderr
@@ -137,6 +143,11 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
     Hashtbl.remove conns c.cid
   in
   let enqueue_out c line =
+    (* The write-stall clock measures pending-output-without-progress, so
+       it restarts when the queue goes from empty to non-empty — a conn
+       that flushed its last reply long ago must get the full deadline
+       for this one, not be charged for the idle time in between. *)
+    if Queue.is_empty c.out_q then c.last_write <- Unix.gettimeofday ();
     Queue.push line c.out_q;
     c.out_bytes <- c.out_bytes + String.length line;
     if c.out_bytes > max_conn_out_bytes then begin
@@ -160,6 +171,7 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
       match Unix.write_substring c.fd head c.out_off len with
       | written ->
         c.out_bytes <- c.out_bytes - written;
+        if written > 0 then c.last_write <- Unix.gettimeofday ();
         if written = len then begin
           ignore (Queue.pop c.out_q);
           c.out_off <- 0
@@ -174,6 +186,58 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
         closed := true
     done;
     if !closed then close_conn c
+  in
+  (* Per-connection progress deadlines (slow-loris / slow-reader
+     defense): a connection holding a partial request line, or replies
+     it will not read, must make progress within its deadline or it is
+     evicted. Wholly idle connections (no partial input, nothing to
+     write) are legitimate keep-alive and never evicted. Returns the
+     earliest pending deadline so the select timeout can wake for it. *)
+  let evict_stalled now =
+    let victims = ref [] in
+    let nearest = ref None in
+    let consider d =
+      nearest :=
+        Some (match !nearest with None -> d | Some n -> Float.min n d)
+    in
+    Hashtbl.iter
+      (fun _ c ->
+        (match config.Engine.write_deadline_s with
+        | Some d when not (Queue.is_empty c.out_q) ->
+          if now -. c.last_write > d then victims := (c, `Write) :: !victims
+          else consider (c.last_write +. d)
+        | _ -> ());
+        match config.Engine.read_deadline_s with
+        | Some d when c.inbuf <> "" || c.skipping ->
+          if now -. c.last_read > d then victims := (c, `Read) :: !victims
+          else consider (c.last_read +. d)
+        | _ -> ())
+      conns;
+    List.iter
+      (fun (c, side) ->
+        Metrics.incr "serve.evictions";
+        Metrics.incr
+          (match side with
+          | `Read -> "serve.read-evictions"
+          | `Write -> "serve.write-evictions");
+        (* Best-effort goodbye on a read-stall: the socket buffer is
+           almost certainly empty, but the client owes us nothing, so a
+           single nonblocking write attempt is all it gets. A
+           write-stalled client is not accepting bytes by definition. *)
+        (match side with
+        | `Read ->
+          let line =
+            Protocol.error_line ~id:Json.Null
+              ~error_class:Protocol.err_deadline
+              ~detail:"no request progress within read deadline; disconnecting"
+          in
+          (try
+             ignore (Unix.write_substring c.fd line 0 (String.length line))
+           with Unix.Unix_error _ -> ())
+        | `Write -> ());
+        close_conn c)
+      !victims;
+    !nearest
   in
   let begin_drain () =
     if Engine.mode engine = `Accepting then Engine.drain engine;
@@ -225,6 +289,7 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
     match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
     | 0 -> close_conn c
     | n ->
+      c.last_read <- Unix.gettimeofday ();
       feed ~max_bytes:config.Engine.max_request_bytes c
         (Bytes.sub_string read_buf 0 n)
         ~on_line:(fun line -> handle_line_for c line)
@@ -241,6 +306,7 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
       | fd, _ ->
         Unix.set_nonblock fd;
         incr next_cid;
+        let now = Unix.gettimeofday () in
         Hashtbl.add conns !next_cid
           {
             fd;
@@ -251,6 +317,8 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
             out_bytes = 0;
             quota_used = 0;
             skipping = false;
+            last_read = now;
+            last_write = now;
           };
         Metrics.incr "serve.connections"
       | exception
@@ -303,6 +371,7 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
         flush_briefly ();
         finished := true
       | _ ->
+        let next_deadline = evict_stalled (Unix.gettimeofday ()) in
         let fd_conns =
           Hashtbl.fold (fun _ c acc -> (c.fd, c) :: acc) conns []
         in
@@ -317,6 +386,15 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
         in
         let timeout =
           let base = if queue_empty then 0.2 else 0.0 in
+          let base =
+            (* Wake in time for the earliest connection deadline so
+               eviction latency is bounded by the deadline itself, not
+               by poll granularity. *)
+            match next_deadline with
+            | Some at ->
+              Float.min base (Float.max 0.0 (at -. Unix.gettimeofday ()))
+            | None -> base
+          in
           match drain_remaining () with
           | Some remaining -> Float.min base (Float.max 0.0 remaining)
           | None -> base

@@ -21,6 +21,8 @@ type spec = {
   strategy : Protocol.strategy option;
   wall_timeout_s : float;
   seed : int;
+  retries : int;
+  retry_backoff_ms : int;
 }
 
 let default_spec =
@@ -39,6 +41,8 @@ let default_spec =
     strategy = None;
     wall_timeout_s = 60.0;
     seed = 7;
+    retries = 0;
+    retry_backoff_ms = 50;
   }
 
 type report = {
@@ -50,6 +54,7 @@ type report = {
   failed : int;
   protocol_errors : int;
   unanswered : int;
+  retried : int;
   wall_s : float;
   latency : Histogram.t;
 }
@@ -209,9 +214,37 @@ let run spec target =
   and degraded = ref 0
   and shed = ref 0
   and failed = ref 0
+  and retried = ref 0
   and protocol_errors = ref 0 in
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. spec.wall_timeout_s in
+  (* Client-side retry with jittered exponential backoff: a shed reply
+     re-enqueues the same request line after
+     backoff * 2^(attempt-1) * U[0.5, 1.5) seconds. The jitter comes
+     from the spec's seeded Rng, so a load run is reproducible; spacing
+     retries out (rather than hammering in lockstep) is what lets a
+     drained or briefly overloaded server recover. *)
+  let by_id : (string, line) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun l ->
+      match l.id with Some id -> Hashtbl.replace by_id id l | None -> ())
+    lines;
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let retry_rng = Rng.make (spec.seed + 0x5eed) in
+  let retry_q : (float * line) list ref = ref [] in
+  let next_conn = ref 0 in
+  let schedule_retry id =
+    match Hashtbl.find_opt by_id id with
+    | None -> ()
+    | Some l ->
+      let k = 1 + (try Hashtbl.find attempts id with Not_found -> 0) in
+      Hashtbl.replace attempts id k;
+      let base = float_of_int spec.retry_backoff_ms /. 1000.0 in
+      let backoff = base *. (2.0 ** float_of_int (k - 1)) in
+      let jittered = backoff *. (0.5 +. Rng.float retry_rng 1.0) in
+      retry_q := (Unix.gettimeofday () +. jittered, l) :: !retry_q;
+      incr retried
+  in
   let expected () =
     (* every fully flushed line earns exactly one reply line *)
     !sent
@@ -221,21 +254,56 @@ let run spec target =
     match Json.of_string line with
     | Error _ -> incr failed
     | Ok reply ->
-      (match Json.member "id" reply with
-      | Some (Json.String id) -> (
+      let rid =
+        match Json.member "id" reply with
+        | Some (Json.String id) -> Some id
+        | _ -> None
+      in
+      (match rid with
+      | Some id -> (
         match Hashtbl.find_opt sent_at id with
         | Some t ->
           Histogram.observe latency (Unix.gettimeofday () -. t);
           Hashtbl.remove sent_at id
         | None -> ())
-      | _ -> ());
+      | None -> ());
       (match classify_reply reply with
       | `Ok d ->
         incr ok;
         if d then incr degraded
-      | `Shed -> incr shed
+      | `Shed ->
+        incr shed;
+        (match rid with
+        | Some id
+          when spec.retries > 0
+               && (try Hashtbl.find attempts id with Not_found -> 0)
+                  < spec.retries ->
+          schedule_retry id
+        | _ -> ())
       | `Protocol -> incr protocol_errors
       | `Failed -> incr failed)
+  in
+  (* Move due retries onto a live connection, round-robin. *)
+  let release_due now =
+    match !retry_q with
+    | [] -> ()
+    | q ->
+      let due, later = List.partition (fun (at, _) -> at <= now) q in
+      retry_q := later;
+      List.iter
+        (fun (_, l) ->
+          let n = Array.length conns in
+          let rec pick k =
+            if k >= n then None
+            else
+              let c = conns.((!next_conn + k) mod n) in
+              if c.alive then Some c else pick (k + 1)
+          in
+          incr next_conn;
+          match pick 0 with
+          | Some c -> c.outbox <- c.outbox @ [ l ]
+          | None -> ())
+        due
   in
   let drain_inbox c =
     let data = Buffer.contents c.inbox in
@@ -297,9 +365,11 @@ let run spec target =
   let outstanding () =
     Array.exists (fun c -> c.alive && c.outbox <> []) conns
     || !answered < expected ()
+    || !retry_q <> []
   in
   let rec loop () =
     let now = Unix.gettimeofday () in
+    release_due now;
     if now >= deadline || (not (live ())) || not (outstanding ()) then ()
     else begin
       let readers =
@@ -313,6 +383,12 @@ let run spec target =
         |> List.map (fun c -> c.fd)
       in
       let timeout = min 0.2 (deadline -. now) in
+      let timeout =
+        (* wake in time for the earliest scheduled retry *)
+        List.fold_left
+          (fun t (at, _) -> Float.min t (Float.max 0.0 (at -. now)))
+          timeout !retry_q
+      in
       match Unix.select readers writers [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | rs, ws, _ ->
@@ -332,6 +408,7 @@ let run spec target =
     failed = !failed;
     protocol_errors = !protocol_errors;
     unanswered = !sent - !answered;
+    retried = !retried;
     wall_s = Unix.gettimeofday () -. t0;
     latency;
   }
@@ -346,14 +423,15 @@ let report_json r =
       ("failed", Json.Int r.failed);
       ("protocol_errors", Json.Int r.protocol_errors);
       ("unanswered", Json.Int r.unanswered);
+      ("retried", Json.Int r.retried);
       ("wall_s", Json.Float r.wall_s);
       ("latency", Histogram.summary_json r.latency) ]
 
 let pp_report ppf r =
   Fmt.pf ppf
     "sent %d answered %d (ok %d, degraded %d, shed %d, failed %d, protocol \
-     %d, unanswered %d) in %.2fs; latency p50 %.4fs p99 %.4fs"
+     %d, unanswered %d, retried %d) in %.2fs; latency p50 %.4fs p99 %.4fs"
     r.sent r.answered r.ok r.degraded r.shed r.failed r.protocol_errors
-    r.unanswered r.wall_s
+    r.unanswered r.retried r.wall_s
     (Histogram.quantile r.latency 0.5)
     (Histogram.quantile r.latency 0.99)

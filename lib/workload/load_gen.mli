@@ -37,6 +37,13 @@ type spec = {
   strategy : Repair_serve.Protocol.strategy option;
   wall_timeout_s : float;  (** give up waiting for replies after this *)
   seed : int;
+  retries : int;
+      (** max retry attempts per shed request (0, the default, disables
+          retries). A request answered [overloaded]/[quota-exceeded]/
+          [draining] is re-sent after a jittered exponential backoff —
+          [retry_backoff_ms * 2^(attempt-1) * U\[0.5, 1.5)] — drawn
+          from the seeded Rng, so retry schedules are reproducible. *)
+  retry_backoff_ms : int;  (** base backoff for the first retry (50) *)
 }
 
 val default_spec : spec
@@ -50,6 +57,7 @@ type report = {
   failed : int;  (** other [ok:false] replies (parse, budget, internal...) *)
   protocol_errors : int;  (** replies classified [protocol]/[oversized] *)
   unanswered : int;  (** sent - answered at [wall_timeout_s] *)
+  retried : int;  (** retry sends scheduled (each also counts in [sent]) *)
   wall_s : float;
   latency : Repair_obs.Histogram.t;  (** seconds, per answered request id *)
 }

@@ -122,10 +122,12 @@ finishes, and the exit code is 9:
   }
 
 The journal is deterministic up to the wall_ms telemetry on commit
-records — one fsync'd record per line, terminal records are the commit
-points:
+records — one fsync'd, CRC-framed record per line ("@len:crc:payload"),
+terminal records are the commit points. The frame header is a pure
+function of the payload, so the first sed strips it and the second
+masks the one wall-clock field:
 
-  $ sed -E 's/[0-9]+\.[0-9]+/_/g' j.jsonl
+  $ sed -E -e 's/^@[0-9]+:[0-9a-f]{8}://' -e 's/[0-9]+\.[0-9]+/_/g' j.jsonl
   {"event":"begin","jobs":3}
   {"event":"start","job":"office","attempt":1}
   {"event":"commit","job":"office","attempt":1,"status":"ok","method":"OptSRepair (Algorithm 1)","distance":_,"wall_ms":_,"counters":{}}

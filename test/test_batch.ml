@@ -172,6 +172,123 @@ let test_journal_truncates_uncommitted_tail () =
   let r2 = J.recover path in
   Alcotest.(check bool) "second pass clean" false r2.truncated
 
+(* Byte-level damage matrix: flip a bit in every byte of a committed
+   framed journal, and separately truncate it at every offset. Recovery
+   must classify every outcome — torn tail (truncate silently) or
+   corruption (quarantine the damaged suffix to the sidecar, truncate to
+   the last valid commit point, raise the structured class) — and a
+   subsequent resume must never re-execute a job whose terminal record
+   survived. Never an unclassified exception. *)
+let test_journal_corruption_matrix () =
+  let dir = fresh_dir () in
+  let pristine_path = Filename.concat dir "pristine.jsonl" in
+  ignore
+    (Runner.run
+       ~exec:(counting_exec (Hashtbl.create 8))
+       ~journal:pristine_path
+       (stub_manifest [ "a"; "b" ]));
+  let pristine = read_file pristine_path in
+  let n = String.length pristine in
+  let scratch = Filename.concat dir "mutated.jsonl" in
+  let check_resume what =
+    let survivors = (J.recover scratch).J.committed in
+    let counts = Hashtbl.create 8 in
+    ignore
+      (Runner.run ~resume:true ~exec:(counting_exec counts) ~journal:scratch
+         (stub_manifest [ "a"; "b" ]));
+    List.iter
+      (fun (id, _) ->
+        if Hashtbl.mem counts id then
+          Alcotest.failf "%s: job %s re-executed past its terminal record"
+            what id)
+      survivors
+  in
+  let corruptions = ref 0 and survived = ref 0 in
+  for i = 0 to n - 1 do
+    let mutated = Bytes.of_string pristine in
+    Bytes.set mutated i (Char.chr (Char.code pristine.[i] lxor 1));
+    write_file scratch (Bytes.to_string mutated);
+    (match J.recover scratch with
+    | (_ : J.recovery) -> incr survived (* torn tail or harmless *)
+    | exception E.Error (E.Corruption _) ->
+      incr corruptions;
+      Alcotest.(check bool)
+        "damage quarantined to sidecar" true
+        (Sys.file_exists (J.corrupt_sidecar scratch));
+      Sys.remove (J.corrupt_sidecar scratch);
+      (* the trusted prefix must now recover silently *)
+      ignore (J.recover scratch)
+    | exception exn ->
+      Alcotest.failf "bit flip at byte %d/%d escaped classification: %s" i n
+        (Printexc.to_string exn));
+    check_resume (Printf.sprintf "flip at byte %d" i);
+    Sys.remove scratch
+  done;
+  (* a checksummed journal cannot fail to notice mid-file damage *)
+  Alcotest.(check bool) "some flips detected as corruption" true
+    (!corruptions > 0);
+  Alcotest.(check bool) "flipping the final newline reads as torn" true
+    (!survived > 0);
+  (* an interrupted append is always a torn tail, never corruption *)
+  for i = 0 to n - 1 do
+    write_file scratch (String.sub pristine 0 i);
+    (match J.recover scratch with
+    | (_ : J.recovery) -> ()
+    | exception exn ->
+      Alcotest.failf "truncation at byte %d raised: %s" i
+        (Printexc.to_string exn));
+    check_resume (Printf.sprintf "truncation at byte %d" i);
+    Sys.remove scratch
+  done
+
+(* Journals written before framing are plain JSONL: still recovered,
+   still resumable, and appends continue in legacy format so a file is
+   never format-mixed. Damage in a legacy journal is still corruption. *)
+let test_journal_legacy_format () =
+  let dir = fresh_dir () in
+  let path = Filename.concat dir "legacy.jsonl" in
+  write_file path
+    ({|{"event":"begin","jobs":2}|} ^ "\n"
+   ^ {|{"event":"start","job":"a","attempt":1}|} ^ "\n"
+   ^ {|{"event":"commit","job":"a","attempt":1,"status":"ok","method":"m","distance":1.0}|}
+   ^ "\n");
+  let r = J.recover path in
+  Alcotest.(check bool) "detected as legacy" true (r.J.format = `Legacy);
+  Alcotest.(check int) "entries read" 3 (List.length r.J.entries);
+  (match List.assoc "a" r.J.committed with
+  | J.Commit { wall_ms; _ } ->
+    Alcotest.(check (float 0.0)) "missing wall_ms reads as zero" 0.0 wall_ms
+  | _ -> Alcotest.fail "terminal record for a is not a commit");
+  (* resume executes only b and appends in the journal's own format *)
+  let counts = Hashtbl.create 8 in
+  let s =
+    Runner.run ~resume:true ~exec:(counting_exec counts) ~journal:path
+      (stub_manifest [ "a"; "b" ])
+  in
+  Alcotest.(check int) "one job replayed" 1 s.Runner.replayed;
+  Alcotest.(check bool) "a not re-executed" false (Hashtbl.mem counts "a");
+  Alcotest.(check int) "b executed once" 1 (Hashtbl.find counts "b");
+  let text = read_file path in
+  Alcotest.(check bool) "appends stayed legacy JSONL" true (text.[0] = '{');
+  Alcotest.(check bool) "no framed record crept in" false
+    (List.exists
+       (fun l -> l <> "" && l.[0] = '@')
+       (String.split_on_char '\n' text));
+  let r2 = J.recover path in
+  Alcotest.(check bool) "still legacy after resume" true (r2.J.format = `Legacy);
+  Alcotest.(check int) "both terminal" 2 (List.length r2.J.committed);
+  (* mid-file damage in a legacy journal is corruption too *)
+  let lines = String.split_on_char '\n' (read_file path) in
+  let mangled =
+    List.mapi (fun i l -> if i = 2 then {|{"event":"comm_DAMAGE"}|} else l) lines
+  in
+  write_file path (String.concat "\n" mangled);
+  (match J.recover path with
+  | (_ : J.recovery) -> Alcotest.fail "legacy damage not detected"
+  | exception E.Error (E.Corruption _) ->
+    Alcotest.(check bool) "legacy damage quarantined" true
+      (Sys.file_exists (J.corrupt_sidecar path)))
+
 (* ---------- runner ---------- *)
 
 let test_runner_happy_path () =
@@ -338,20 +455,41 @@ let test_summary_latency_histograms () =
    and no job whose terminal record was durable at the crash is
    executed again. *)
 
+(* Zero the wall_ms telemetry field, the journal's one wall-clock value.
+   Framed lines are unwrapped, normalized, and re-framed (the length
+   prefix and CRC are pure functions of the payload, so normalized
+   journals are still byte-comparable). *)
+let reframe payload =
+  Printf.sprintf "@%d:%s:%s" (String.length payload)
+    (Repair_batch.Crc32.to_hex (Repair_batch.Crc32.string payload))
+    payload
+
 let normalize_journal text =
   String.split_on_char '\n' text
   |> List.map (fun line ->
          if line = "" then line
          else
-           match Repair_obs.Json.of_string line with
+           let payload, framed =
+             if line.[0] = '@' then
+               match String.index_opt line ':' with
+               | Some c1 when String.length line >= c1 + 10 ->
+                 ( String.sub line (c1 + 10) (String.length line - c1 - 10),
+                   true )
+               | _ -> (line, false)
+             else (line, false)
+           in
+           match Repair_obs.Json.of_string payload with
            | Ok (Repair_obs.Json.Obj fields) ->
-             Repair_obs.Json.to_string
-               (Repair_obs.Json.Obj
-                  (List.map
-                     (fun (k, v) ->
-                       if k = "wall_ms" then (k, Repair_obs.Json.Float 0.0)
-                       else (k, v))
-                     fields))
+             let normalized =
+               Repair_obs.Json.to_string
+                 (Repair_obs.Json.Obj
+                    (List.map
+                       (fun (k, v) ->
+                         if k = "wall_ms" then (k, Repair_obs.Json.Float 0.0)
+                         else (k, v))
+                       fields))
+             in
+             if framed then reframe normalized else normalized
            | Ok _ | Error _ -> line)
   |> String.concat "\n"
 
@@ -529,6 +667,9 @@ let () =
       ( "journal",
         [ Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "append/recover" `Quick test_journal_append_recover;
+          Alcotest.test_case "corruption matrix" `Quick
+            test_journal_corruption_matrix;
+          Alcotest.test_case "legacy format" `Quick test_journal_legacy_format;
           Alcotest.test_case "truncates tail" `Quick
             test_journal_truncates_uncommitted_tail ] );
       ( "runner",

@@ -536,6 +536,42 @@ let test_hammer_trace_single_writer () =
   T.disable ();
   T.reset ()
 
+let test_hammer_fault_single_writer () =
+  let module Fault = Repair_runtime.Fault in
+  Fault.disarm ();
+  Fault.arm ~phase:"hammer" ~at:4 Fault.Fail;
+  (* Worker domains reach the hook both through Budget.tick and by
+     calling it directly: neither may count against, or fire, the
+     owner's fault — the guard lives inside on_checkpoint itself. *)
+  let worker () =
+    let b = Budget.create ~max_steps:1_000 () in
+    for _ = 1 to 3 do
+      Budget.tick ~phase:"hammer" b;
+      Fault.on_checkpoint ~phase:"hammer" ~elapsed:0.0 ~steps:1
+    done
+  in
+  let ((), ()) = spawn_pair worker in
+  Alcotest.(check bool) "fault still armed after worker checkpoints" true
+    (Fault.armed ());
+  Alcotest.(check int) "worker checkpoints did not count" 0
+    (Fault.checkpoints ());
+  (* the owner's own ticks still count and fire at the armed trigger *)
+  let b = Budget.create ~max_steps:1_000 () in
+  for _ = 1 to 3 do
+    Budget.tick ~phase:"hammer" b
+  done;
+  Alcotest.(check int) "owner checkpoints counted" 3 (Fault.checkpoints ());
+  Alcotest.(check bool) "fourth owner tick fires" true
+    (try
+       Budget.tick ~phase:"hammer" b;
+       false
+     with
+    | Repair_runtime.Repair_error.Error
+        (Repair_runtime.Repair_error.Fault_injected _) -> true);
+  Alcotest.(check bool) "one-shot: disarmed after firing" false (Fault.armed ());
+  Alcotest.(check int) "one-shot: counter reset after firing" 0
+    (Fault.checkpoints ())
+
 (* ---------- suite ---------------------------------------------------- *)
 
 let () =
@@ -573,4 +609,6 @@ let () =
           unit "budget tick names are domain-local" test_hammer_budget_ticks;
           unit "vertex-cover heuristics are reentrant across domains"
             test_hammer_vertex_cover;
-          unit "trace is single-writer" test_hammer_trace_single_writer ] ) ]
+          unit "trace is single-writer" test_hammer_trace_single_writer;
+          unit "fault injector is single-writer"
+            test_hammer_fault_single_writer ] ) ]

@@ -158,7 +158,13 @@ let test_fault_one_shot () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "fault did not fire");
   let r = ok (R.Driver.s_repair_result ~strategy:R.Driver.Exact hard hard_table) in
-  Alcotest.(check bool) "no stale fault" false r.degraded
+  Alcotest.(check bool) "no stale fault" false r.degraded;
+  (* firing also resets the checkpoint counter, exactly like disarm *)
+  Fault.with_fault ~at:1 Fault.Exhaust (fun () ->
+      (match Budget.tick ~phase:"t" (Budget.create ~max_steps:10 ()) with
+      | () -> Alcotest.fail "fault did not fire"
+      | exception E.Error (E.Budget_exhausted _) -> ());
+      Alcotest.(check int) "counter reset by the fire" 0 (Fault.checkpoints ()))
 
 (* ---------- error taxonomy ---------- *)
 
@@ -172,6 +178,10 @@ let test_error_classes () =
   Alcotest.(check bool) "parse not degradable" false (E.is_degradable pe);
   let ie = E.Intractable { what = "x"; detail = "y" } in
   Alcotest.(check int) "intractable exit code" 6 (E.exit_code ie);
+  let ce = E.Corruption { file = "j.jsonl"; offset = 42; detail = "bad crc" } in
+  Alcotest.(check int) "corruption exit code" 11 (E.exit_code ce);
+  Alcotest.(check string) "corruption class" "corruption" (E.class_name ce);
+  Alcotest.(check bool) "corruption not degradable" false (E.is_degradable ce);
   Alcotest.(check bool)
     "guard catches" true
     (E.guard (fun () -> E.raise_error be) = Error be)
@@ -257,6 +267,151 @@ let prop_degraded_consistent =
       let r = ok (R.Driver.u_repair_result ~budget d t) in
       Fd_set.satisfied_by d r.result)
 
+(* ---------- IO fault shim (DESIGN §14) ---------- *)
+
+module Io_fault = Repair_runtime.Io_fault
+
+let tmp_path =
+  let seq = ref 0 in
+  fun () ->
+    incr seq;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repair_iofault_%d_%d" (Unix.getpid ()) !seq)
+
+let with_fd path f =
+  let fd = Unix.openfile path [ O_RDWR; O_CREAT; O_TRUNC ] 0o600 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> f fd)
+
+let file_contents path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_io_fault_passthrough () =
+  Io_fault.disarm ();
+  Alcotest.(check bool) "disarmed by default" false (Io_fault.armed ());
+  let path = tmp_path () in
+  with_fd path (fun fd ->
+      let n = Io_fault.write fd (Bytes.of_string "hello") 0 5 in
+      Alcotest.(check int) "full write" 5 n;
+      Io_fault.fsync fd);
+  Alcotest.(check string) "bytes on disk" "hello" (file_contents path);
+  Alcotest.(check int) "nothing counted while disarmed" 0
+    (Io_fault.seen Io_fault.Write);
+  Sys.remove path
+
+let test_io_fault_kinds () =
+  let path = tmp_path () in
+  let buf = Bytes.of_string "0123456789" in
+  Io_fault.with_plan
+    [ { Io_fault.op = Io_fault.Write; at = 1; kind = Io_fault.Short_write };
+      { Io_fault.op = Io_fault.Write; at = 2; kind = Io_fault.Eintr };
+      { Io_fault.op = Io_fault.Write; at = 3; kind = Io_fault.Enospc };
+      { Io_fault.op = Io_fault.Write; at = 4; kind = Io_fault.Bit_flip 1 } ]
+    (fun () ->
+      with_fd path (fun fd ->
+          Alcotest.(check int) "short write transfers half" 5
+            (Io_fault.write fd buf 0 10);
+          (match Io_fault.write fd buf 0 10 with
+          | _ -> Alcotest.fail "EINTR step did not fire"
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          (match Io_fault.write fd buf 0 10 with
+          | _ -> Alcotest.fail "ENOSPC step did not fire"
+          | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> ());
+          Alcotest.(check int) "bit flip still transfers fully" 10
+            (Io_fault.write fd buf 0 10));
+      Alcotest.(check int) "four writes counted" 4
+        (Io_fault.seen Io_fault.Write);
+      Alcotest.(check int) "all steps fired" 4
+        (List.length (Io_fault.fired ())));
+  Alcotest.(check string) "caller's buffer never mutated" "0123456789"
+    (Bytes.to_string buf);
+  let on_disk = file_contents path in
+  Alcotest.(check int) "short prefix + flipped copy" 15 (String.length on_disk);
+  Alcotest.(check string) "first write was short" "01234"
+    (String.sub on_disk 0 5);
+  Alcotest.(check char) "bit 1 of byte 0 inverted"
+    (Char.chr (Char.code '0' lxor 2))
+    on_disk.[5];
+  Alcotest.(check string) "rest of flipped write intact" "123456789"
+    (String.sub on_disk 6 9);
+  Sys.remove path
+
+let test_io_fault_torn_crash () =
+  let path = tmp_path () in
+  Io_fault.with_plan
+    [ { Io_fault.op = Io_fault.Write; at = 1; kind = Io_fault.Torn 3 } ]
+    (fun () ->
+      with_fd path (fun fd ->
+          match Io_fault.write_all fd (Bytes.of_string "0123456789") with
+          | () -> Alcotest.fail "torn write did not crash"
+          | exception Io_fault.Crash { op = Io_fault.Write; n = 1 } -> ()
+          | exception Io_fault.Crash _ -> Alcotest.fail "wrong crash site"));
+  Alcotest.(check string) "exactly the torn prefix hit the disk" "012"
+    (file_contents path);
+  Sys.remove path
+
+let test_io_fault_write_all_absorbs () =
+  (* short writes and EINTR — injected here, genuine in production — are
+     absorbed by the hardened helper *)
+  let path = tmp_path () in
+  Io_fault.with_plan
+    [ { Io_fault.op = Io_fault.Write; at = 1; kind = Io_fault.Short_write };
+      { Io_fault.op = Io_fault.Write; at = 2; kind = Io_fault.Eintr } ]
+    (fun () ->
+      with_fd path (fun fd ->
+          Io_fault.write_all fd (Bytes.of_string "0123456789")));
+  Alcotest.(check string) "full payload despite the faults" "0123456789"
+    (file_contents path);
+  Sys.remove path
+
+let test_io_fault_atomic_write () =
+  let path = tmp_path () in
+  Io_fault.write_file_atomic path "old contents";
+  (* a crash at the rename leaves the destination untouched *)
+  (match
+     Io_fault.with_plan
+       [ { Io_fault.op = Io_fault.Rename; at = 1; kind = Io_fault.Torn 0 } ]
+       (fun () -> Io_fault.write_file_atomic path "new contents")
+   with
+  | () -> Alcotest.fail "crash step did not fire"
+  | exception Io_fault.Crash _ -> ());
+  Alcotest.(check string) "crash before rename: old contents survive"
+    "old contents" (file_contents path);
+  (* a classified failure mid-write also leaves it untouched *)
+  (match
+     Io_fault.with_plan
+       [ { Io_fault.op = Io_fault.Write; at = 1; kind = Io_fault.Enospc } ]
+       (fun () -> Io_fault.write_file_atomic path "new contents")
+   with
+  | () -> Alcotest.fail "ENOSPC step did not fire"
+  | exception E.Error (E.Io _) -> ());
+  Alcotest.(check string) "failed write: old contents survive" "old contents"
+    (file_contents path);
+  (* and the faultless path replaces the file *)
+  Io_fault.write_file_atomic path "new contents";
+  Alcotest.(check string) "clean write lands" "new contents"
+    (file_contents path);
+  Sys.remove path
+
+let test_io_fault_single_writer () =
+  Io_fault.with_plan
+    [ { Io_fault.op = Io_fault.Write; at = 1; kind = Io_fault.Enospc } ]
+    (fun () ->
+      let path = tmp_path () in
+      let worker () =
+        with_fd path (fun fd -> Io_fault.write fd (Bytes.of_string "ok") 0 2)
+      in
+      let n = Domain.join (Domain.spawn worker) in
+      Alcotest.(check int) "non-owner write passes through" 2 n;
+      Alcotest.(check int) "non-owner ops do not count" 0
+        (Io_fault.seen Io_fault.Write);
+      Alcotest.(check bool) "plan still armed for the owner" true
+        (Io_fault.armed ());
+      Sys.remove path)
+
 let () =
   Alcotest.run "robustness"
     [ ( "budget",
@@ -283,6 +438,18 @@ let () =
         [ Alcotest.test_case "taxonomy" `Quick test_error_classes;
           Alcotest.test_case "poly on hard" `Quick
             test_poly_on_hard_is_intractable ] );
+      ( "io-fault",
+        [ Alcotest.test_case "disarmed passthrough" `Quick
+            test_io_fault_passthrough;
+          Alcotest.test_case "every kind fires" `Quick test_io_fault_kinds;
+          Alcotest.test_case "torn write crashes" `Quick
+            test_io_fault_torn_crash;
+          Alcotest.test_case "write_all absorbs faults" `Quick
+            test_io_fault_write_all_absorbs;
+          Alcotest.test_case "atomic file replace" `Quick
+            test_io_fault_atomic_write;
+          Alcotest.test_case "single-writer" `Quick
+            test_io_fault_single_writer ] );
       ( "properties",
         [ prop_budget_monotone; prop_degraded_iff_fallbacks;
           prop_degraded_consistent ] ) ]

@@ -404,6 +404,109 @@ let test_end_to_end_unix_socket () =
     | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
     | _ -> Alcotest.fail "daemon killed by signal"
 
+(* Slow-loris drill: a client that sends half a request line and stalls
+   must be evicted within the read deadline — with the structured
+   deadline-exceeded error on its way out — while a well-behaved
+   connection keeps completing requests throughout, and the daemon still
+   drains cleanly on SIGTERM. Wholly idle keep-alive connections (like B
+   between its pings) are never evicted. *)
+let test_slow_loris_eviction () =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  let path = socket_path () ^ ".loris" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stderr;
+    let code =
+      try
+        R.Serve.run
+          ~config:
+            { Engine.default_config with
+              queue_capacity = 16;
+              degrade_watermark = 8;
+              read_deadline_s = Some 0.4;
+              write_deadline_s = Some 0.4 }
+          (Server.Unix_sock path)
+      with _ -> 99
+    in
+    Unix._exit code
+  | pid ->
+    let cleanup () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [] [] [] 0.02)
+    done;
+    Alcotest.(check bool) "socket appeared" true (Sys.file_exists path);
+    let connect () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    in
+    let a = connect () and b = connect () in
+    let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> () in
+    Fun.protect
+      ~finally:(fun () ->
+        close_quiet a;
+        close_quiet b)
+    @@ fun () ->
+    (* A: half a request line, then silence *)
+    let partial = {|{"id": "loris", "op|} in
+    ignore (Unix.write_substring a partial 0 (String.length partial));
+    (* B: a healthy client that keeps completing *)
+    let ping_b () =
+      let line = {|{"id": "live", "op": "ping"}|} ^ "\n" in
+      ignore (Unix.write_substring b line 0 (String.length line));
+      match Unix.select [ b ] [] [] 5.0 with
+      | [], _, _ -> Alcotest.fail "healthy connection starved"
+      | _ ->
+        let buf = Bytes.create 4096 in
+        let n = Unix.read b buf 0 4096 in
+        Alcotest.(check bool) "B got a reply" true (n > 0);
+        Alcotest.(check bool) "B's reply is ok" true
+          (reply_ok (Bytes.sub_string buf 0 n))
+    in
+    ping_b ();
+    (* A must be evicted within the deadline plus slack: the structured
+       error (best-effort) and then EOF *)
+    let t0 = Unix.gettimeofday () in
+    let out = Buffer.create 256 in
+    let chunk = Bytes.create 4096 in
+    let rec drain_a () =
+      match Unix.select [ a ] [] [] 3.0 with
+      | [], _, _ ->
+        Alcotest.fail "stalled connection not evicted within its deadline"
+      | _ -> (
+        match Unix.read a chunk 0 4096 with
+        | 0 -> () (* EOF: evicted *)
+        | n ->
+          Buffer.add_subbytes out chunk 0 n;
+          drain_a ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          ())
+    in
+    drain_a ();
+    Alcotest.(check bool) "evicted within deadline + slack" true
+      (Unix.gettimeofday () -. t0 < 3.0);
+    Alcotest.(check bool) "eviction reply names the error class" true
+      (contains (Buffer.contents out) Protocol.err_deadline);
+    (* the healthy connection is unaffected by the eviction *)
+    ping_b ();
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
+    | _ -> Alcotest.fail "daemon killed by signal"
+
 (* The same drill against a 4-domain server: queued requests execute on
    the pool batch by batch, and the accounting identity
    [admitted = completed + quarantined + cancelled + queue_depth] must
@@ -514,5 +617,7 @@ let () =
       ( "end-to-end",
         [ Alcotest.test_case "unix socket burst + drain" `Quick
             test_end_to_end_unix_socket;
+          Alcotest.test_case "slow-loris client evicted" `Quick
+            test_slow_loris_eviction;
           Alcotest.test_case "4-domain server keeps the books balanced"
             `Quick test_end_to_end_parallel_accounting ] ) ]
