@@ -167,7 +167,7 @@ module Json = R.Obs.Json
 let random_op rng =
   Rng.pick rng
     [ Protocol.S_repair; Protocol.U_repair; Protocol.Classify; Protocol.Ping;
-      Protocol.Metrics; Protocol.Invalidate_cache ]
+      Protocol.Metrics; Protocol.Stats; Protocol.Invalidate_cache ]
 
 let valid_line rng =
   let op = random_op rng in

@@ -798,9 +798,47 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"OUT" ~doc)
   in
+  let slow_ms_arg =
+    let doc =
+      "Slow-request threshold in milliseconds: settled requests whose \
+       solver wall time reaches $(docv) are logged as structured JSON \
+       records (one per line) to --slow-log. 0 disables."
+    in
+    Arg.(value & opt float 0.0 & info [ "slow-ms" ] ~docv:"MS" ~doc)
+  in
+  let slow_log_arg =
+    let doc =
+      "Where slow-request records go: a path (appended), or '-' for \
+       stdout (default stderr)."
+    in
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~docv:"OUT" ~doc)
+  in
+  let stats_interval_arg =
+    let doc =
+      "Width in seconds of one rolling time-series window (the 'stats' \
+       op's resolution)."
+    in
+    Arg.(value & opt float R.Serve.Engine.default_config.stats_interval_s
+         & info [ "stats-interval" ] ~docv:"SEC" ~doc)
+  in
+  let stats_windows_arg =
+    let doc = "Rolling time-series ring capacity, in windows." in
+    Arg.(value & opt int R.Serve.Engine.default_config.stats_windows
+         & info [ "stats-windows" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Record request-scoped spans for the serve's lifetime and write a \
+       Chrome trace-event JSON document to $(docv) (atomic write) after \
+       drain. With --domains > 1, worker spans appear on per-task lanes \
+       tagged with their wire request id."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT" ~doc)
+  in
   let run socket port queue watermark quota default_timeout max_steps_cap
       drain max_bytes read_deadline write_deadline cache_capacity metrics_out
-      domains verbose =
+      slow_ms slow_log stats_interval stats_windows trace_out domains verbose
+      =
     setup_logs verbose;
     if domains < 1 then
       die_error
@@ -822,10 +860,16 @@ let serve_cmd =
           (if read_deadline <= 0.0 then None else Some read_deadline);
         write_deadline_s =
           (if write_deadline <= 0.0 then None else Some write_deadline);
+        slow_ms = (if slow_ms <= 0.0 then None else Some slow_ms);
+        stats_interval_s = stats_interval;
+        stats_windows;
       }
     in
     let code =
-      try R.Serve.run ~config ~cache_capacity ?metrics_out ~domains listen with
+      try
+        R.Serve.run ~config ~cache_capacity ?metrics_out ?slow_log ?trace_out
+          ~domains listen
+      with
       | Invalid_argument m ->
         (* config validation (watermark vs capacity etc.) *)
         die_error (E.Parse { source = "<args>"; line = None; detail = m })
@@ -845,7 +889,9 @@ let serve_cmd =
     Term.(const run $ socket_arg $ port_arg $ queue_arg $ watermark_arg
           $ quota_arg $ default_timeout_arg $ max_steps_cap_arg $ drain_arg
           $ max_bytes_arg $ read_deadline_arg $ write_deadline_arg
-          $ cache_arg $ metrics_out_arg $ domains_arg $ verbose_arg)
+          $ cache_arg $ metrics_out_arg $ slow_ms_arg $ slow_log_arg
+          $ stats_interval_arg $ stats_windows_arg $ trace_arg $ domains_arg
+          $ verbose_arg)
 
 let load_cmd =
   let requests_arg =
@@ -957,6 +1003,78 @@ let load_cmd =
           $ wall_arg $ seed_arg $ retries_arg $ retry_backoff_arg $ out_arg
           $ verbose_arg)
 
+let top_cmd =
+  let interval_arg =
+    let doc = "Seconds between dashboard refreshes." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SEC" ~doc)
+  in
+  let once_arg =
+    let doc =
+      "Fetch one stats sample, print stable machine-readable 'key value' \
+       lines, and exit."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let expo_arg =
+    let doc =
+      "Print the server's Prometheus-style text exposition instead of \
+       the dashboard, and exit."
+    in
+    Arg.(value & flag & info [ "expo" ] ~doc)
+  in
+  let run socket port interval once expo verbose =
+    setup_logs verbose;
+    let target : R.Workload.Load_gen.target =
+      match listen_of socket port with
+      | R.Serve.Server.Unix_sock p -> Unix_sock p
+      | R.Serve.Server.Tcp p -> Tcp p
+    in
+    let file =
+      match target with
+      | R.Workload.Load_gen.Unix_sock p -> p
+      | R.Workload.Load_gen.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+    in
+    let fetch () =
+      match R.Workload.Top.fetch target with
+      | Ok s -> s
+      | Error detail -> die_error (E.Io { file; detail })
+    in
+    if expo then begin
+      print_string (R.Workload.Top.exposition (fetch ()));
+      exit 0
+    end;
+    if once then begin
+      R.Workload.Top.pp_machine Format.std_formatter (fetch ());
+      Format.pp_print_flush Format.std_formatter ();
+      exit 0
+    end;
+    if interval <= 0.0 then
+      die_error
+        (E.Parse
+           { source = "<args>"; line = None; detail = "--interval must be > 0" });
+    (* Live loop: home the cursor and clear to end-of-screen per frame
+       (no full clears, so the terminal does not flicker); Ctrl-C exits. *)
+    let rec loop () =
+      let s = fetch () in
+      print_string "\027[H\027[J";
+      Format.printf "%a@?" R.Workload.Top.pp_dashboard s;
+      Unix.sleepf interval;
+      loop ()
+    in
+    loop ()
+  in
+  let doc =
+    "Live operator view of a running $(b,repair-cli serve) daemon: \
+     polls the 'stats' op and renders windowed rates, rolling latency \
+     tails, gauges, and cumulative totals. $(b,--once) prints one \
+     machine-readable sample; $(b,--expo) prints the Prometheus-style \
+     text exposition."
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(const run $ socket_arg $ port_arg $ interval_arg $ once_arg
+          $ expo_arg $ verbose_arg)
+
 let main =
   let doc = "optimal repairs for functional dependencies (PODS'18)" in
   let man =
@@ -979,6 +1097,6 @@ let main =
     (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)
     [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
       dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd; profile_cmd;
-      serve_cmd; load_cmd ]
+      serve_cmd; load_cmd; top_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -125,6 +125,50 @@ settled=$(( $(snap_field completed) + $(snap_field quarantined) \
   + $(snap_field cancelled) + $(snap_field queue_depth) ))
 [ "$admitted" -eq "$settled" ]
 
+# Telemetry drill (DESIGN §15): a 4-domain daemon with tracing, a slow
+# log, and fast stats windows; a burst; a mid-burst scrape of the text
+# exposition (validated by the grammar checker); a `top --once` view
+# whose totals cross-check the final snapshot; and a Chrome trace with
+# worker-lane spans carrying wire request ids.
+./_build/default/bin/repair_cli.exe serve --socket "$sdir/t.sock" \
+  --domains 4 --slow-ms 0.001 --slow-log "$sdir/slow.jsonl" \
+  --stats-interval 0.2 --trace "$sdir/t.trace.json" \
+  --metrics-out "$sdir/tsnap.json" 2> "$sdir/tserver.log" &
+tsrv=$!
+for _ in $(seq 100); do [ -S "$sdir/t.sock" ] && break; sleep 0.1; done
+[ -S "$sdir/t.sock" ]
+./_build/default/bin/repair_cli.exe load --socket "$sdir/t.sock" \
+  -n 30 -c 3 --rows 12 -o "$sdir/tload.json" &
+tldr=$!
+./_build/default/bin/repair_cli.exe top --socket "$sdir/t.sock" --expo \
+  | ./_build/default/test/expo_check.exe
+wait "$tldr"
+grep -q '"unanswered": 0' "$sdir/tload.json"
+sleep 0.5   # let the last stats window close past the 0.2s interval
+./_build/default/bin/repair_cli.exe top --socket "$sdir/t.sock" --once \
+  > "$sdir/top.txt"
+grep -q '^windows [1-9]' "$sdir/top.txt"             # non-empty series
+grep -q '^total.serve.requests 30' "$sdir/top.txt"   # totals match the burst
+grep -Eq '^rate\.serve\.requests [0-9]*\.?[0-9]*[1-9]' "$sdir/top.txt"
+./_build/default/bin/repair_cli.exe top --socket "$sdir/t.sock" --expo \
+  | ./_build/default/test/expo_check.exe
+[ -s "$sdir/slow.jsonl" ]                            # 1µs threshold: all slow
+grep -q '"req": *"c' "$sdir/slow.jsonl"
+kill -TERM "$tsrv"
+tdrain=0; wait "$tsrv" || tdrain=$?
+[ "$tdrain" -eq 0 ]
+# `top` totals were a live view of the same counters the snapshot
+# flushes: a clean 30-request burst settles 30, so the top view's
+# cumulative serve.requests equals the snapshot's completed count.
+tsnap_field() { grep -m1 "\"$1\":" "$sdir/tsnap.json" | tr -dc '0-9'; }
+[ "$(tsnap_field completed)" -eq \
+  "$(grep -m1 '^total.serve.requests ' "$sdir/top.txt" | tr -dc '0-9')" ]
+# Worker-domain spans ride per-task lanes (tid >= 2) stamped with the
+# wire request id of the request whose solver half they ran.
+grep -q '"req": *"c' "$sdir/t.trace.json"
+grep -Eq '"tid": *[2-9]' "$sdir/t.trace.json"
+grep -q '"traceEvents"' "$sdir/t.trace.json"
+
 # Median-of-3 runs keep the ms-scale smoke records (including the E20
 # 1k sweep point) below the compare gate's noise threshold.
 dune exec bench/main.exe -- --smoke --runs 3 --out "$out"

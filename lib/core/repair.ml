@@ -446,16 +446,17 @@ module Serve = struct
           ( "fallbacks",
             Json.List (List.map (fun f -> Json.String f) r.Driver.fallbacks) );
           ("table", Json.String (render_table req r.Driver.result)) ])
-    | Protocol.Ping | Protocol.Metrics | Protocol.Invalidate_cache
-    | Protocol.Drain ->
+    | Protocol.Ping | Protocol.Metrics | Protocol.Stats
+    | Protocol.Invalidate_cache | Protocol.Drain ->
       (* Control ops are answered by the engine and never reach an
          executor. *)
       invalid_arg "Serve.exec: control op"
 
-  let run ?config ?cache_capacity ?metrics_out ?(domains = 1) listen =
+  let run ?config ?cache_capacity ?metrics_out ?slow_log ?trace_out
+      ?(domains = 1) listen =
     let cache = make_cache ?capacity:cache_capacity () in
     let serve ?pool () =
-      Server.run ?config ?metrics_out ?pool
+      Server.run ?config ?metrics_out ?slow_log ?trace_out ?pool
         ~on_invalidate:(fun () -> Cache.clear cache)
         ~exec:(fun ~degraded ~budget req -> exec ~cache ~degraded ~budget req)
         listen

@@ -245,16 +245,21 @@ module Serve : sig
     Protocol.request ->
     (string * Obs.Json.t) list
 
-  (** [run ?config ?cache_capacity ?metrics_out ?domains listen] is
-      {!Server.run} with a fresh warm cache and {!exec}; [invalidate]
-      requests clear the cache. With [domains > 1] (default [1]) the
-      serve owns a {!Par.Pool} for its lifetime and executes queued
-      requests' solver halves on it, batch by batch, under the
-      unchanged admission ladder. Returns the process exit code. *)
+  (** [run ?config ?cache_capacity ?metrics_out ?slow_log ?domains
+      listen] is {!Server.run} with a fresh warm cache and {!exec};
+      [invalidate] requests clear the cache. [slow_log] is the
+      slow-request record destination and [trace_out] the Chrome
+      trace-event destination (see {!Server.run}). With [domains > 1]
+      (default [1]) the serve owns a {!Par.Pool} for its lifetime and
+      executes queued requests' solver halves on it, batch by batch,
+      under the unchanged admission ladder. Returns the process exit
+      code. *)
   val run :
     ?config:Engine.config ->
     ?cache_capacity:int ->
     ?metrics_out:string ->
+    ?slow_log:string ->
+    ?trace_out:string ->
     ?domains:int ->
     Server.listen ->
     int

@@ -1,0 +1,218 @@
+(* Prometheus text exposition, format version 0.0.4: one family per
+   metric, a [# TYPE] line before its samples, histograms as cumulative
+   [_bucket{le="..."}] series plus [_sum]/[_count]. Families are
+   suffixed by kind ([_total] / bare / [_seconds]) so a counter and a
+   histogram sharing a registry name can never collide after
+   sanitization. *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let sanitize name = String.map (fun c -> if is_name_char c then c else '_') name
+
+(* Deterministic float rendering: integers without an exponent, the rest
+   via %.9g — enough digits to keep distinct bucket edges distinct. *)
+let fmt_float f =
+  if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let render ?(namespace = "repair") ~counters ~gauges ~histograms () =
+  let buf = Buffer.create 4096 in
+  let fam name suffix = namespace ^ "_" ^ sanitize name ^ suffix in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = fam name "_total" in
+      line "# TYPE %s counter\n%s %d\n" n n v)
+    counters;
+  List.iter
+    (fun (name, v) ->
+      let n = fam name "" in
+      line "# TYPE %s gauge\n%s %s\n" n n (fmt_float v))
+    gauges;
+  List.iter
+    (fun (name, h) ->
+      let n = fam name "_seconds" in
+      line "# TYPE %s histogram\n" n;
+      (* Sparse but still cumulative: only buckets that grew the running
+         count are emitted, plus the mandatory +Inf bucket. *)
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          let _, le = Histogram.bounds i in
+          line "%s_bucket{le=\"%s\"} %d\n" n (fmt_float le) !cum)
+        (Histogram.buckets h);
+      line "%s_bucket{le=\"+Inf\"} %d\n" n (Histogram.count h);
+      line "%s_sum %s\n" n (fmt_float (Histogram.sum h));
+      line "%s_count %d\n" n (Histogram.count h))
+    histograms;
+  Buffer.contents buf
+
+(* {2 Grammar checker} *)
+
+let well_formed_name s =
+  String.length s > 0
+  && (let c = s.[0] in not (c >= '0' && c <= '9'))
+  && String.for_all is_name_char s
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some Float.nan
+  | _ -> float_of_string_opt s
+
+(* "name{k=\"v\",...} value" or "name value" -> (name, labels, value).
+   Minimal label parsing: no escaped quotes, which the writer never
+   emits. *)
+let parse_sample s =
+  let ( let* ) o f = Option.bind o f in
+  match String.index_opt s '{' with
+  | Some lb ->
+    let* rb = String.index_opt s '}' in
+    if rb < lb then None
+    else
+      let name = String.sub s 0 lb in
+      let labels_s = String.sub s (lb + 1) (rb - lb - 1) in
+      let rest = String.sub s (rb + 1) (String.length s - rb - 1) in
+      let* labels =
+        String.split_on_char ',' labels_s
+        |> List.filter (fun p -> String.trim p <> "")
+        |> List.fold_left
+             (fun acc p ->
+               let* acc = acc in
+               let* eq = String.index_opt p '=' in
+               let k = String.sub p 0 eq in
+               let v = String.sub p (eq + 1) (String.length p - eq - 1) in
+               let n = String.length v in
+               if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then
+                 Some ((k, String.sub v 1 (n - 2)) :: acc)
+               else None)
+             (Some [])
+      in
+      let* value = parse_value (String.trim rest) in
+      Some (name, List.rev labels, value)
+  | None -> (
+    match String.index_opt s ' ' with
+    | None -> None
+    | Some sp ->
+      let name = String.sub s 0 sp in
+      let* value =
+        parse_value (String.trim (String.sub s sp (String.length s - sp)))
+      in
+      Some (name, [], value))
+
+type hist_acc = {
+  mutable hbuckets : (float * float) list; (* (le, cumulative), reversed *)
+  mutable hsum : float option;
+  mutable hcount : float option;
+}
+
+let strip_suffix s suffix =
+  let n = String.length s and m = String.length suffix in
+  if n > m && String.sub s (n - m) m = suffix then Some (String.sub s 0 (n - m))
+  else None
+
+let check text =
+  let ( let* ) r f = Result.bind r f in
+  let types : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let hists : (string, hist_acc) Hashtbl.t = Hashtbl.create 16 in
+  let err ln fmt = Printf.ksprintf (fun s -> Error (Printf.sprintf "line %d: %s" ln s)) fmt in
+  let check_line ln line =
+    if line = "" then Ok ()
+    else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then
+      match
+        String.split_on_char ' ' (String.sub line 7 (String.length line - 7))
+        |> List.filter (fun s -> s <> "")
+      with
+      | [ name; kind ] ->
+        if not (well_formed_name name) then err ln "bad metric name %S" name
+        else if
+          not
+            (List.mem kind
+               [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+        then err ln "unknown type %S" kind
+        else if Hashtbl.mem types name then err ln "duplicate TYPE for %S" name
+        else begin
+          Hashtbl.replace types name kind;
+          if kind = "histogram" then
+            Hashtbl.replace hists name
+              { hbuckets = []; hsum = None; hcount = None };
+          Ok ()
+        end
+      | _ -> err ln "malformed TYPE line"
+    else if line.[0] = '#' then Ok () (* HELP or comment *)
+    else
+      match parse_sample line with
+      | None -> err ln "malformed sample %S" line
+      | Some (name, labels, value) ->
+        if not (well_formed_name name) then err ln "bad metric name %S" name
+        else
+          (* Resolve the family: a histogram's series use suffixed names. *)
+          let hist_base suffix =
+            Option.bind (strip_suffix name suffix) (fun base ->
+                match Hashtbl.find_opt types base with
+                | Some "histogram" -> Some base
+                | _ -> None)
+          in
+          (match (hist_base "_bucket", hist_base "_sum", hist_base "_count") with
+          | Some base, _, _ -> (
+            let h = Hashtbl.find hists base in
+            match List.assoc_opt "le" labels with
+            | None -> err ln "%s_bucket without le label" base
+            | Some le_s -> (
+              match parse_value le_s with
+              | None -> err ln "unparseable le %S" le_s
+              | Some le -> (
+                match h.hbuckets with
+                | (prev_le, _) :: _ when le <= prev_le ->
+                  err ln "le not increasing in %s (%s after %s)" base le_s
+                    (fmt_float prev_le)
+                | (_, prev_c) :: _ when value < prev_c ->
+                  err ln "bucket counts not cumulative in %s" base
+                | _ ->
+                  h.hbuckets <- (le, value) :: h.hbuckets;
+                  Ok ())))
+          | None, Some base, _ ->
+            let h = Hashtbl.find hists base in
+            h.hsum <- Some value;
+            Ok ()
+          | None, None, Some base ->
+            let h = Hashtbl.find hists base in
+            h.hcount <- Some value;
+            Ok ()
+          | None, None, None ->
+            if not (Hashtbl.mem types name) then
+              err ln "sample %S before its TYPE line" name
+            else Ok ())
+  in
+  let lines = String.split_on_char '\n' text in
+  let* () =
+    List.fold_left
+      (fun acc (ln, line) -> Result.bind acc (fun () -> check_line ln line))
+      (Ok ())
+      (List.mapi (fun i l -> (i + 1, l)) lines)
+  in
+  Hashtbl.fold
+    (fun base h acc ->
+      let* () = acc in
+      match (h.hbuckets, h.hsum, h.hcount) with
+      | [], _, _ -> Error (Printf.sprintf "histogram %s has no buckets" base)
+      | _, None, _ -> Error (Printf.sprintf "histogram %s missing _sum" base)
+      | _, _, None -> Error (Printf.sprintf "histogram %s missing _count" base)
+      | (last_le, last_c) :: _, _, Some count ->
+        if last_le <> infinity then
+          Error (Printf.sprintf "histogram %s missing +Inf bucket" base)
+        else if last_c <> count then
+          Error
+            (Printf.sprintf "histogram %s: _count %s <> +Inf bucket %s" base
+               (fmt_float count) (fmt_float last_c))
+        else Ok ())
+    hists (Ok ())

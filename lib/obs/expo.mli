@@ -1,0 +1,47 @@
+(** Prometheus-style text exposition (format 0.0.4) for the metrics
+    registry, plus a grammar checker used by CI to validate scrapes.
+
+    Family naming is collision-proof by construction: every registry
+    name is sanitized (non-[[a-zA-Z0-9_:]] bytes become [_]), prefixed
+    with the namespace, and suffixed by kind — counters get [_total],
+    gauges nothing, histograms [_seconds] — so a counter and a histogram
+    sharing a registry name render as distinct families:
+
+    {v
+    # TYPE repair_serve_requests_total counter
+    repair_serve_requests_total 42
+    # TYPE repair_serve_queue_depth gauge
+    repair_serve_queue_depth 3
+    # TYPE repair_serve_s_repair_seconds histogram
+    repair_serve_s_repair_seconds_bucket{le="0.000158489319"} 7
+    repair_serve_s_repair_seconds_bucket{le="+Inf"} 42
+    repair_serve_s_repair_seconds_sum 0.0123
+    repair_serve_s_repair_seconds_count 42
+    v}
+
+    Histogram buckets are cumulative with [le] = the bucket's upper edge
+    in seconds; empty buckets are elided (the emitted series is still
+    cumulative and ends with the mandatory [+Inf] bucket). Rendering is
+    deterministic: input order is preserved and floats print via a fixed
+    format. *)
+
+(** [render ?namespace ~counters ~gauges ~histograms ()] — the text
+    exposition of the given families, in the given order (callers pass
+    name-sorted lists for a deterministic document). [namespace]
+    defaults to ["repair"]. *)
+val render :
+  ?namespace:string ->
+  counters:(string * int) list ->
+  gauges:(string * float) list ->
+  histograms:(string * Histogram.t) list ->
+  unit ->
+  string
+
+(** [check text] — validate an exposition document: every sample's
+    family has a prior [# TYPE] line (histogram series resolve through
+    their [_bucket]/[_sum]/[_count] suffixes), no duplicate [TYPE]s,
+    names well formed, values parseable, and per histogram: [le]
+    strictly increasing, bucket counts cumulative, a [+Inf] bucket
+    present and equal to [_count], [_sum] present. Errors carry the
+    offending line number. *)
+val check : string -> (unit, string) result

@@ -53,6 +53,47 @@ let merge ~into t =
 let copy t =
   { t with counts = Array.copy t.counts }
 
+(* Windowed subtraction. Bucket counts and [n] are monotone, so the
+   per-bucket deltas are exact; [total]/[lo]/[hi] are not recoverable
+   from two cumulative states (the window's min/max were folded into the
+   running extrema), so [total] is the clamped difference and the range
+   is re-derived from the bucket edges of the lowest/highest non-empty
+   delta bucket. That loses nothing rolling windows care about:
+   quantiles are a pure function of bucket counts, and the edge-derived
+   clamp is at most one bucket width (≈58%) off the true extremum.
+   Callers needing an exact per-window [sum]/[min]/[max] must keep a
+   fresh histogram per window instead of diffing a cumulative one. *)
+let diff ~since t =
+  let d = create () in
+  Array.iteri
+    (fun i c ->
+      let dc = c - since.counts.(i) in
+      if dc > 0 then begin
+        d.counts.(i) <- dc;
+        d.n <- d.n + dc
+      end)
+    t.counts;
+  if d.n > 0 then begin
+    d.total <- Float.max 0.0 (t.total -. since.total);
+    let lo_i = ref (-1) and hi_i = ref (-1) in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          if !lo_i < 0 then lo_i := i;
+          hi_i := i
+        end)
+      d.counts;
+    d.lo <- fst (bounds !lo_i);
+    let _, hi_edge = bounds !hi_i in
+    d.hi <- (if hi_edge = infinity then fst (bounds !hi_i) else hi_edge)
+  end;
+  d
+
+let buckets t =
+  Array.to_list t.counts
+  |> List.mapi (fun i c -> (i, c))
+  |> List.filter (fun (_, c) -> c > 0)
+
 let count t = t.n
 
 let sum t = t.total

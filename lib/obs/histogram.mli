@@ -52,6 +52,17 @@ val merge : into:t -> t -> unit
 
 val copy : t -> t
 
+(** [diff ~since t] — the histogram of observations added to [t] after
+    [since] was {!copy}ed from it (windowed subtraction). Bucket counts
+    and {!count} are exact (both monotone); {!sum} is the clamped
+    difference of totals, and min/max are approximated from the bucket
+    edges of the extreme non-empty delta buckets, since per-window
+    extrema are not recoverable from two cumulative states. Quantiles of
+    the delta are exact up to bucket resolution — the property rolling
+    windows rely on. Negative bucket deltas (possible only if [since]
+    was not a snapshot of [t]) clamp to 0. *)
+val diff : since:t -> t -> t
+
 (** {1 Reading} *)
 
 val count : t -> int
@@ -73,6 +84,11 @@ val max_value : t -> float
     holding the ⌈q·count⌉-th observation, clamped to [[min, max]].
     0 when empty. *)
 val quantile : t -> float -> float
+
+(** Non-empty buckets as [(index, count)] pairs, index-ascending — the
+    raw data behind {!summary_json}'s sparse [buckets] object, exposed
+    for exposition writers that need cumulative bucket counts. *)
+val buckets : t -> (int * int) list
 
 (** {1 Serialization} *)
 

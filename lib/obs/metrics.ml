@@ -213,6 +213,17 @@ let rec tree_of (node : node) =
 
 let spans () = tree_of (reg ()).root
 
+(* Read-only views into a capture, for per-request records (slow-request
+   logging) that want the work's own counters and span breakdown before
+   — or regardless of — the capture being merged. Raw table contents:
+   no synthetic [trace.dropped] read-through, which is global, not
+   per-capture. *)
+let captured_counters (c : captured) =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.counters_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let captured_spans (c : captured) = tree_of c.root
+
 let span_total path =
   let rec find parts spans =
     match parts with

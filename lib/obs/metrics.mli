@@ -137,6 +137,16 @@ val capture : (unit -> 'a) -> ('a, exn) result * captured
     sequential aggregate bit-for-bit on every integer quantity. *)
 val merge : captured -> unit
 
+(** [captured_counters c] — the counters [c] recorded, sorted by name.
+    Unlike {!counters}, no synthetic ["trace.dropped"] read-through: the
+    view is exactly what the captured work incremented. *)
+val captured_counters : captured -> (string * int) list
+
+(** [captured_spans c] — the span forest [c] recorded, children sorted
+    by name at every level. Reading does not consume [c]; it can still
+    be {!merge}d. *)
+val captured_spans : captured -> span list
+
 (** {1 Snapshots} *)
 
 (** The whole registry as JSON:

@@ -1,0 +1,200 @@
+type source = {
+  counters : unit -> (string * int) list;
+  histograms : unit -> (string * Histogram.t) list;
+  gauges : unit -> (string * float) list;
+}
+
+type window = {
+  seq : int;
+  t_start : float;
+  span_s : float;
+  counters : (string * int) list;
+  histograms : (string * Histogram.t) list;
+  gauges : (string * float) list;
+}
+
+type t = {
+  source : source;
+  clock : unit -> float;
+  interval_s : float;
+  ring : window option array;
+  mutable head : int; (* next slot to write *)
+  mutable count : int; (* live windows, <= capacity *)
+  mutable seq : int;
+  mutable window_start : float;
+  base_counters : (string, int) Hashtbl.t;
+  base_hists : (string, Histogram.t) Hashtbl.t;
+}
+
+let default_windows = 60
+
+let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+(* Re-baseline from the current cumulative state: the next window's
+   deltas are measured against this snapshot. Histograms are copied —
+   the source hands out its live, still-mutating instances. *)
+let rebase t counters hists =
+  Hashtbl.reset t.base_counters;
+  List.iter (fun (k, v) -> Hashtbl.replace t.base_counters k v) counters;
+  Hashtbl.reset t.base_hists;
+  List.iter (fun (k, h) -> Hashtbl.replace t.base_hists k (Histogram.copy h)) hists
+
+let create ?(windows = default_windows) ~interval_s ?clock source =
+  if interval_s <= 0.0 then invalid_arg "Timeseries.create: interval_s <= 0";
+  if windows < 1 then invalid_arg "Timeseries.create: windows < 1";
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  let t =
+    { source; clock; interval_s;
+      ring = Array.make windows None;
+      head = 0; count = 0; seq = 0;
+      window_start = clock ();
+      base_counters = Hashtbl.create 16;
+      base_hists = Hashtbl.create 16 }
+  in
+  rebase t (source.counters ()) (source.histograms ());
+  t
+
+let of_metrics ?(gauges = fun () -> []) ?windows ~interval_s ?clock () =
+  create ?windows ~interval_s ?clock
+    { counters = Metrics.counters;
+      histograms = Metrics.histograms;
+      gauges }
+
+let interval_s t = t.interval_s
+
+let capacity t = Array.length t.ring
+
+let n_windows t = t.count
+
+let push t w =
+  let cap = Array.length t.ring in
+  if t.count < cap then t.count <- t.count + 1;
+  t.ring.(t.head) <- Some w;
+  t.head <- (if t.head + 1 = cap then 0 else t.head + 1)
+
+(* Close at most one window per call. A stalled sampler (poll loop
+   asleep with no traffic) closes a single wide window covering the
+   whole stall — [span_s] a multiple of the interval — rather than
+   looping to emit a backlog of empties; rates divide by [span_s], so
+   the wide window reports the same rate the backlog would have. *)
+let tick t =
+  let now = t.clock () in
+  let elapsed = now -. t.window_start in
+  if elapsed >= t.interval_s then begin
+    let k = max 1 (int_of_float (Float.floor (elapsed /. t.interval_s))) in
+    let span_s = float_of_int k *. t.interval_s in
+    let cur_counters = by_name (t.source.counters ()) in
+    let cur_hists = by_name (t.source.histograms ()) in
+    let deltas =
+      List.filter_map
+        (fun (name, v) ->
+          let base =
+            Option.value ~default:0 (Hashtbl.find_opt t.base_counters name)
+          in
+          if v - base <> 0 then Some (name, v - base) else None)
+        cur_counters
+    in
+    let hdeltas =
+      List.filter_map
+        (fun (name, h) ->
+          let d =
+            match Hashtbl.find_opt t.base_hists name with
+            | Some base -> Histogram.diff ~since:base h
+            | None -> Histogram.copy h
+          in
+          if Histogram.count d > 0 then Some (name, d) else None)
+        cur_hists
+    in
+    let gauges = by_name (t.source.gauges ()) in
+    push t
+      { seq = t.seq; t_start = t.window_start; span_s;
+        counters = deltas; histograms = hdeltas; gauges };
+    t.seq <- t.seq + 1;
+    t.window_start <- t.window_start +. span_s;
+    rebase t cur_counters cur_hists
+  end
+
+let windows t =
+  let cap = Array.length t.ring in
+  let oldest = (t.head - t.count + cap) mod cap in
+  List.init t.count (fun i ->
+      match t.ring.((oldest + i) mod cap) with
+      | Some w -> w
+      | None -> assert false)
+
+let span_total t =
+  List.fold_left (fun acc w -> acc +. w.span_s) 0.0 (windows t)
+
+let rate t name =
+  let ws = windows t in
+  let span = List.fold_left (fun acc w -> acc +. w.span_s) 0.0 ws in
+  if span <= 0.0 then 0.0
+  else
+    let total =
+      List.fold_left
+        (fun acc w ->
+          acc + Option.value ~default:0 (List.assoc_opt name w.counters))
+        0 ws
+    in
+    float_of_int total /. span
+
+let rolling t name =
+  let into = Histogram.create () in
+  List.iter
+    (fun w ->
+      match List.assoc_opt name w.histograms with
+      | Some h -> Histogram.merge ~into h
+      | None -> ())
+    (windows t);
+  into
+
+let last_gauge t name =
+  match List.rev (windows t) with
+  | [] -> None
+  | w :: _ -> List.assoc_opt name w.gauges
+
+(* Union of names across windows, each name once, sorted. *)
+let names proj t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun w -> List.iter (fun (k, _) -> Hashtbl.replace tbl k ()) (proj w))
+    (windows t);
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort String.compare
+
+let counter_names = names (fun w -> w.counters)
+let histogram_names = names (fun w -> w.histograms)
+let gauge_names = names (fun w -> w.gauges)
+
+let window_json (w : window) =
+  Json.Obj
+    [ ("seq", Json.Int w.seq);
+      ("t_start", Json.Float w.t_start);
+      ("span_s", Json.Float w.span_s);
+      ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) w.counters));
+      ("histograms",
+       Json.Obj
+         (List.map (fun (k, h) -> (k, Histogram.summary_json h)) w.histograms));
+      ("gauges",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) w.gauges)) ]
+
+let to_json t =
+  Json.Obj
+    [ ("interval_s", Json.Float t.interval_s);
+      ("capacity", Json.Int (Array.length t.ring));
+      ("span_s", Json.Float (span_total t));
+      ("rates",
+       Json.Obj
+         (List.map (fun k -> (k, Json.Float (rate t k))) (counter_names t)));
+      ("rolling",
+       Json.Obj
+         (List.map
+            (fun k -> (k, Histogram.summary_json (rolling t k)))
+            (histogram_names t)));
+      ("gauges",
+       Json.Obj
+         (List.filter_map
+            (fun k ->
+              Option.map (fun v -> (k, Json.Float v)) (last_gauge t k))
+            (gauge_names t)));
+      ("windows", Json.List (List.map window_json (windows t))) ]

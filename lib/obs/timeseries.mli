@@ -1,0 +1,104 @@
+(** Rolling time-series over a cumulative metrics source: a
+    fixed-capacity ring of periodic {e delta} windows, turning
+    since-boot totals into windowed rates, per-window histograms (hence
+    rolling quantiles), and sampled gauges.
+
+    The series never touches {!Metrics} global state directly — it reads
+    a {!source} of cumulative counters/histograms plus instantaneous
+    gauges, keeps a baseline snapshot, and on each {!tick} that crosses
+    the interval boundary closes one window holding the deltas since the
+    baseline ({!Histogram.diff} for histograms) and the gauges sampled
+    at close. Old windows fall off the ring.
+
+    {b Determinism.} The clock is injectable: under a fake clock and a
+    deterministic source, window boundaries, deltas, and {!to_json}
+    output are all pure functions of the tick sequence — two series
+    driven identically render byte-identical JSON. {b Stalls} close a
+    single wide window ([span_s] = the stalled multiple of the
+    interval), not a backlog of empty windows, so rates — which divide
+    by summed [span_s] — are unaffected by sampler jitter.
+
+    Single-domain: a series belongs to the domain that ticks it (the
+    server poll loop); it is not thread-safe. *)
+
+type source = {
+  counters : unit -> (string * int) list;  (** cumulative, monotone *)
+  histograms : unit -> (string * Histogram.t) list;
+      (** cumulative; the live instances, copied internally *)
+  gauges : unit -> (string * float) list;  (** instantaneous levels *)
+}
+
+type window = {
+  seq : int;  (** 0-based close index, monotone across evictions *)
+  t_start : float;  (** clock value at window open *)
+  span_s : float;  (** window width; a multiple of the interval *)
+  counters : (string * int) list;  (** non-zero deltas, sorted by name *)
+  histograms : (string * Histogram.t) list;
+      (** non-empty per-window deltas, sorted by name *)
+  gauges : (string * float) list;  (** sampled at close, sorted by name *)
+}
+
+type t
+
+(** Ring capacity used when [create] is not given one: [60] windows. *)
+val default_windows : int
+
+(** [create ?windows ~interval_s ?clock source] — an empty series that
+    will close a window every [interval_s] seconds (per [clock], default
+    [Unix.gettimeofday]), keeping the last [windows] (default
+    {!default_windows}). The baseline is snapshotted immediately, so the
+    first window's deltas count from creation.
+
+    @raise Invalid_argument if [interval_s <= 0] or [windows < 1]. *)
+val create :
+  ?windows:int -> interval_s:float -> ?clock:(unit -> float) -> source -> t
+
+(** [of_metrics ?gauges ?windows ~interval_s ?clock ()] — a series over
+    the current domain's {!Metrics} registry (its counters and
+    histograms), plus the caller's [gauges] (default none). *)
+val of_metrics :
+  ?gauges:(unit -> (string * float) list) ->
+  ?windows:int ->
+  interval_s:float ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+
+(** [tick t] — close at most one window if the interval has elapsed;
+    otherwise a cheap no-op (one clock read). Call from the sampling
+    loop as often as convenient. *)
+val tick : t -> unit
+
+(** {1 Reading} *)
+
+val interval_s : t -> float
+val capacity : t -> int
+
+(** Windows currently held, oldest first. *)
+val windows : t -> window list
+
+val n_windows : t -> int
+
+(** Total seconds covered by the held windows. *)
+val span_total : t -> float
+
+(** [rate t name] — counter [name]'s increments per second over the held
+    windows (summed deltas / summed spans); 0 with no windows. *)
+val rate : t -> string -> float
+
+(** [rolling t name] — the merge of histogram [name]'s per-window deltas
+    across the held windows: the rolling distribution, for tail
+    quantiles over the ring's span rather than since boot. *)
+val rolling : t -> string -> Histogram.t
+
+(** [last_gauge t name] — gauge [name] as sampled at the newest window's
+    close, if any. *)
+val last_gauge : t -> string -> float option
+
+(** The series as JSON: [{"interval_s", "capacity", "span_s", "rates":
+    {name: per-second}, "rolling": {name: {!Histogram.summary_json}},
+    "gauges": {name: latest}, "windows": [{"seq", "t_start", "span_s",
+    "counters", "histograms", "gauges"}, ...]}] — every object sorted by
+    name, windows oldest first. Deterministic given a deterministic
+    clock and source. *)
+val to_json : t -> Json.t

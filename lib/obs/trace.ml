@@ -1,16 +1,27 @@
 type kind = Begin | End | Instant
 
-type event = { seq : int; ts : float; kind : kind; name : string }
+type event = {
+  seq : int;
+  ts : float;
+  kind : kind;
+  name : string;
+  req : string option;
+  tid : int;
+}
 
 let default_capacity = 65536
+
+let tid_main = 1
 
 let enabled_flag = ref false
 
 (* Single-writer contract: the ring is plain mutable state owned by the
    domain that called {!enable} (re-pinned on every [enable]). Events
-   emitted from any other domain are silently discarded — worker domains
-   in a {!Repair_par.Pool} run with tracing effectively off, which keeps
-   the ring race-free without locking the hot path. *)
+   emitted from any other domain are silently discarded — unless a
+   capture buffer is installed ({!with_capture}), in which case they are
+   buffered domain-locally and handed back to the owner, which may
+   {!inject} them. Either way the ring itself is only ever touched by
+   its owner, race-free without locking the hot path. *)
 let owner = ref (Domain.self ())
 
 let owned () = Domain.self () = !owner
@@ -28,6 +39,10 @@ let seq_counter = ref 0
 
 let dropped_counter = ref 0
 
+(* [epoch] is written only by [enable]/[reset] on the owner domain and
+   read by capture buffers on workers; pool batches never overlap an
+   enable, so worker reads see a stable value and all domains share one
+   timeline. *)
 let epoch = ref 0.0
 
 let last_ts = ref 0.0
@@ -61,24 +76,86 @@ let capacity () = Array.length !ring
 
 let dropped () = !dropped_counter
 
+(* {2 Request context}
+
+   A domain-local request id attached to every event the domain emits
+   while the context is set. Domain-local so that a worker executing a
+   request's task stamps that request's id, independent of what the
+   owner domain is doing concurrently. *)
+
+let ctx_key = Domain.DLS.new_key (fun () -> (None : string option))
+
+let current_request () = Domain.DLS.get ctx_key
+
+let with_request id f =
+  let saved = Domain.DLS.get ctx_key in
+  Domain.DLS.set ctx_key (Some id);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ctx_key saved) f
+
+(* {2 Capture buffers}
+
+   While a buffer is installed (domain-locally), [emit] appends to it
+   instead of the ring — from any domain, since the buffer is private to
+   the emitting domain. Buffered events get their own monotone clamp
+   ([last]) and provisional [seq]/[tid]; both are reassigned by
+   {!inject} on the owner. Presence of the buffer, not the enabled
+   flag, gates buffering: the installer ({!Repair_par.Pool}) checks the
+   flag on the submitting domain, which keeps [emit] free of
+   cross-domain flag reads. *)
+
+type buf = { mutable evs : event list; mutable last : float; mutable n : int }
+
+let buf_key = Domain.DLS.new_key (fun () -> (None : buf option))
+
+let ring_push e =
+  let cap = Array.length !ring in
+  if !count = cap then incr dropped_counter else incr count;
+  !ring.(!head) <- Some e;
+  incr seq_counter;
+  head := if !head + 1 = cap then 0 else !head + 1
+
 (* O(1): one slot write, two index updates. The wall clock may step
-   backwards (NTP); clamping to [last_ts] keeps the stream monotone,
-   which the Chrome viewers and the validator both require. *)
+   backwards (NTP); clamping to [last_ts] keeps the stream monotone per
+   writer, which the Chrome viewers and the validator both require. *)
 let emit kind name =
-  if !enabled_flag && owned () then begin
+  match Domain.DLS.get buf_key with
+  | Some b ->
     let raw = now () -. !epoch in
-    let ts = if raw > !last_ts then raw else !last_ts in
-    last_ts := ts;
-    let cap = Array.length !ring in
-    if !count = cap then incr dropped_counter else incr count;
-    !ring.(!head) <- Some { seq = !seq_counter; ts; kind; name };
-    incr seq_counter;
-    head := if !head + 1 = cap then 0 else !head + 1
-  end
+    let ts = if raw > b.last then raw else b.last in
+    b.last <- ts;
+    b.evs <-
+      { seq = b.n; ts; kind; name; req = Domain.DLS.get ctx_key; tid = 0 }
+      :: b.evs;
+    b.n <- b.n + 1
+  | None ->
+    if !enabled_flag && owned () then begin
+      let raw = now () -. !epoch in
+      let ts = if raw > !last_ts then raw else !last_ts in
+      last_ts := ts;
+      ring_push
+        { seq = !seq_counter; ts; kind; name;
+          req = Domain.DLS.get ctx_key; tid = tid_main }
+    end
 
 let begin_ name = emit Begin name
 let end_ name = emit End name
 let instant name = emit Instant name
+
+let with_capture sink f =
+  let saved = Domain.DLS.get buf_key in
+  let b = { evs = []; last = 0.0; n = 0 } in
+  Domain.DLS.set buf_key (Some b);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.set buf_key saved;
+      sink (List.rev b.evs))
+    f
+
+let inject ?(tid = 2) events =
+  if !enabled_flag && owned () then
+    List.iter
+      (fun e -> ring_push { e with seq = !seq_counter; tid })
+      events
 
 let events () =
   let cap = Array.length !ring in

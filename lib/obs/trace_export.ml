@@ -18,7 +18,12 @@ let event_json (e : Trace.event) =
       ("ph", Json.String (ph_of_kind e.kind));
       ("ts", Json.Float (e.ts *. us_per_s));
       ("pid", Json.Int 1);
-      ("tid", Json.Int 1) ]
+      ("tid", Json.Int e.tid) ]
+  in
+  let base =
+    match e.req with
+    | Some r -> base @ [ ("args", Json.Obj [ ("req", Json.String r) ]) ]
+    | None -> base
   in
   (* Instant events must carry a scope; "t" (thread) is the narrowest. *)
   Json.Obj
@@ -57,7 +62,17 @@ let of_chrome j =
         Option.bind (field "ts") number_value )
     with
     | Some name, Some kind, Some ts_us ->
-      Ok { Trace.seq = i; ts = ts_us /. us_per_s; kind; name }
+      let tid =
+        match Option.bind (field "tid") number_value with
+        | Some f -> int_of_float f
+        | None -> Trace.tid_main
+      in
+      let req =
+        Option.bind
+          (Option.bind (field "args") (Json.member "req"))
+          Json.string_value
+      in
+      Ok { Trace.seq = i; ts = ts_us /. us_per_s; kind; name; req; tid }
     | None, _, _ -> Error (Printf.sprintf "event %d: missing \"name\"" i)
     | _, None, _ ->
       Error (Printf.sprintf "event %d: missing or unknown \"ph\"" i)
@@ -73,43 +88,65 @@ let of_chrome j =
   let* events = go 0 [] evs in
   Ok (events, dropped)
 
+(* Each [tid] is an independent lane (its own writer, its own monotone
+   clamp, its own span stack), so validation partitions by [tid] —
+   preserving in-lane order — and checks every lane separately. *)
+let by_tid events =
+  let tbl : (int, Trace.event list ref) Hashtbl.t = Hashtbl.create 4 in
+  let order = ref [] in
+  List.iter
+    (fun (e : Trace.event) ->
+      match Hashtbl.find_opt tbl e.tid with
+      | Some r -> r := e :: !r
+      | None ->
+        Hashtbl.add tbl e.tid (ref [ e ]);
+        order := e.tid :: !order)
+    events;
+  List.rev_map (fun tid -> (tid, List.rev !(Hashtbl.find tbl tid))) !order
+  |> List.rev
+
 let validate ?(dropped = 0) events =
   let ( let* ) r f = Result.bind r f in
-  let* _ =
-    let rec mono prev = function
-      | [] -> Ok ()
-      | (e : Trace.event) :: rest ->
-        if e.ts < prev then
-          Error
-            (Printf.sprintf "timestamp regression at %S: %g < %g" e.name e.ts
-               prev)
-        else mono e.ts rest
+  let validate_lane events =
+    let* _ =
+      let rec mono prev = function
+        | [] -> Ok ()
+        | (e : Trace.event) :: rest ->
+          if e.ts < prev then
+            Error
+              (Printf.sprintf "timestamp regression at %S: %g < %g" e.name e.ts
+                 prev)
+          else mono e.ts rest
+      in
+      mono neg_infinity events
     in
-    mono neg_infinity events
-  in
-  (* Eviction removes a strict prefix of the stream, so a lossy trace may
-     open with orphaned [End]s and close with unmatched [Begin]s, but an
-     [End] can never disagree with the innermost surviving [Begin]. *)
-  let rec balance stack = function
-    | [] ->
-      if stack = [] || dropped > 0 then Ok ()
-      else
-        Error
-          (Printf.sprintf "unclosed span %S at end of trace" (List.hd stack))
-    | (e : Trace.event) :: rest -> (
-      match (e.kind, stack) with
-      | Trace.Instant, _ -> balance stack rest
-      | Trace.Begin, _ -> balance (e.name :: stack) rest
-      | Trace.End, top :: below ->
-        if String.equal top e.name then balance below rest
+    (* Eviction removes a strict prefix of the stream, so a lossy trace may
+       open with orphaned [End]s and close with unmatched [Begin]s, but an
+       [End] can never disagree with the innermost surviving [Begin]. *)
+    let rec balance stack = function
+      | [] ->
+        if stack = [] || dropped > 0 then Ok ()
         else
           Error
-            (Printf.sprintf "end of %S inside span %S" e.name top)
-      | Trace.End, [] ->
-        if dropped > 0 then balance [] rest
-        else Error (Printf.sprintf "end of %S with no open span" e.name))
+            (Printf.sprintf "unclosed span %S at end of trace" (List.hd stack))
+      | (e : Trace.event) :: rest -> (
+        match (e.kind, stack) with
+        | Trace.Instant, _ -> balance stack rest
+        | Trace.Begin, _ -> balance (e.name :: stack) rest
+        | Trace.End, top :: below ->
+          if String.equal top e.name then balance below rest
+          else
+            Error
+              (Printf.sprintf "end of %S inside span %S" e.name top)
+        | Trace.End, [] ->
+          if dropped > 0 then balance [] rest
+          else Error (Printf.sprintf "end of %S with no open span" e.name))
+    in
+    balance [] events
   in
-  balance [] events
+  List.fold_left
+    (fun acc (_, lane) -> Result.bind acc (fun () -> validate_lane lane))
+    (Ok ()) (by_tid events)
 
 type hotspot = {
   name : string;
@@ -136,9 +173,20 @@ let hotspots events =
       r
   in
   let instants : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
-  let stack = ref [] in
+  (* One span stack per tid: worker-lane spans pair up within their own
+     lane, never against the owner lane they interleave with. *)
+  let stacks : (int, open_span list ref) Hashtbl.t = Hashtbl.create 4 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add stacks tid r;
+      r
+  in
   List.iter
     (fun (e : Trace.event) ->
+      let stack = stack_of e.tid in
       match e.kind with
       | Trace.Instant -> (
         match Hashtbl.find_opt instants e.name with

@@ -6,15 +6,18 @@
 
     {v
     { "traceEvents": [ {"name": "...", "cat": "repair", "ph": "B"|"E"|"i",
-                        "ts": <µs>, "pid": 1, "tid": 1, ...}, ... ],
+                        "ts": <µs>, "pid": 1, "tid": <lane>, ...}, ... ],
       "displayTimeUnit": "ms",
       "otherData": { "dropped": <n> } }
     v}
 
     Timestamps are microseconds since trace start ({!Trace.event}[.ts] ×
-    10⁶), instants carry the mandatory [s:"t"] (thread) scope, and the
-    number of ring-buffer evictions is preserved in [otherData] so a
-    round-trip through {!of_chrome} loses nothing the ring still had. *)
+    10⁶), instants carry the mandatory [s:"t"] (thread) scope, [tid] is
+    the event's lane ({!Trace.tid_main} for the ring owner, [2+i] for
+    pool task [i]), events carrying a request context export it as
+    [args.req], and the number of ring-buffer evictions is preserved in
+    [otherData] so a round-trip through {!of_chrome} loses nothing the
+    ring still had. *)
 
 (** [to_chrome events ~dropped] builds the Chrome trace-event document. *)
 val to_chrome : Trace.event list -> dropped:int -> Json.t
@@ -25,12 +28,13 @@ val to_chrome : Trace.event list -> dropped:int -> Json.t
     missing required fields are errors. *)
 val of_chrome : Json.t -> (Trace.event list * int, string) result
 
-(** [validate ?dropped events] checks the stream is well formed:
-    timestamps non-decreasing, and — when [dropped] is 0 (the default) —
-    every [End] matches the innermost open [Begin] and nothing is left
-    open. With [dropped > 0] the head of the stream may legitimately
-    contain orphaned [End]s (their [Begin]s were evicted), so only
-    monotonicity and the tail balance are enforced. *)
+(** [validate ?dropped events] checks the stream is well formed, one
+    lane ([tid]) at a time: per-lane timestamps non-decreasing, and —
+    when [dropped] is 0 (the default) — every [End] matches the
+    innermost open [Begin] of its lane and nothing is left open. With
+    [dropped > 0] a lane may legitimately contain orphaned [End]s
+    (their [Begin]s were evicted), so only monotonicity and the tail
+    balance are enforced. Lanes may freely interleave in the stream. *)
 val validate : ?dropped:int -> Trace.event list -> (unit, string) result
 
 type hotspot = {
@@ -41,9 +45,10 @@ type hotspot = {
   max_s : float;  (** longest single span *)
 }
 
-(** [hotspots events] pairs up begin/end events with a stack and
-    aggregates per-name inclusive/self time, tolerating orphaned events
-    at the head of a lossy trace (they are skipped). Sorted by
+(** [hotspots events] pairs up begin/end events with one stack per lane
+    ([tid]) and aggregates per-name inclusive/self time across lanes,
+    tolerating orphaned events at the head of a lossy trace (they are
+    skipped). Sorted by
     [self_s], largest first. Instants are counted into a hotspot with
     zero duration only if no span of that name exists. *)
 val hotspots : Trace.event list -> hotspot list

@@ -1,4 +1,5 @@
 module Metrics = Repair_obs.Metrics
+module Trace = Repair_obs.Trace
 module Table = Repair_relational.Table
 
 (* A fixed-size domain pool with chunked static batches.
@@ -199,11 +200,30 @@ let run_captured ?schedule t fns =
   end
 
 let run ?schedule t fns =
+  (* Worker-domain trace events: the decision is taken here, on the
+     submitting domain — which must be the ring owner — before hand-out.
+     Each task then runs under a domain-local capture buffer (even when
+     the submitter helps execute it), and after the batch barrier the
+     buffers are injected in task-index order, one trace lane per task
+     ([tid = 2 + index]). Nested runs skip this so inner tasks buffer
+     into their outer task's lane; [run_captured] callers (the batch
+     Runner) keep the old behavior — owner-helped tasks write the ring
+     directly, worker events drop. *)
+  let tracing = Trace.enabled () && Trace.owned () && not (in_task ()) in
+  let bufs = if tracing then Array.make (Array.length fns) [] else [||] in
+  let fns =
+    if tracing then
+      Array.mapi
+        (fun i fn () -> Trace.with_capture (fun evs -> bufs.(i) <- evs) fn)
+        fns
+    else fns
+  in
   let results = run_captured ?schedule t fns in
   (* Merge first — even failed tasks recorded work, exactly as a
      sequential run records everything up to the raise — then surface
      the lowest-index failure. *)
   Array.iter (fun (_, cap) -> Metrics.merge cap) results;
+  if tracing then Array.iteri (fun i evs -> Trace.inject ~tid:(2 + i) evs) bufs;
   Array.iter
     (fun (r, _) -> match r with Error e -> raise e | Ok _ -> ())
     results;

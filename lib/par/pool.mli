@@ -19,9 +19,15 @@
     - a task exception is a value in its slot, not a pool failure:
       the batch always runs to completion, the pool stays usable, and
       {!run} re-raises the {e lowest-index} exception after merging;
-    - {!Repair_obs.Trace} events and {!Repair_runtime.Fault} checkpoints
-      from worker domains are no-ops (single-writer contracts), so the
-      orchestrating domain's event stream is unchanged.
+    - {!Repair_obs.Trace} events from pool tasks are captured
+      domain-locally ({!Repair_obs.Trace.with_capture}) and injected
+      into the ring after the barrier, in task-index order, one trace
+      lane per task ([tid = 2 + index]) — so worker spans appear in the
+      export, request context intact, without the workers ever touching
+      the single-writer ring. {!run_captured} skips this (its callers
+      predate lanes and expect owner-only streams), and nested [run]s
+      buffer into the enclosing task's lane. {!Repair_runtime.Fault}
+      checkpoints from worker domains remain no-ops.
 
     Nested parallelism is guarded, not an error: {!run} called from
     inside a pool task (any pool) executes its tasks inline on the

@@ -62,11 +62,17 @@ type config = {
       (** slow-reader defense: a connection with pending replies must
           accept bytes within this window or be evicted ([None]
           disables) *)
+  slow_ms : float option;
+      (** slow-request threshold: a settled request whose solver wall
+          time is at least this many milliseconds fires the [on_slow]
+          callback with a structured JSON record ([None] disables) *)
+  stats_interval_s : float;  (** width of one time-series window *)
+  stats_windows : int;  (** time-series ring capacity *)
 }
 
 (** queue 64, degrade at 32, no quota, 10 s default request budget, no
     step cap, 5 s drain deadline, 8 MiB request lines, 30 s read/write
-    deadlines *)
+    deadlines, no slow threshold, 60 × 1 s stats windows *)
 val default_config : config
 
 type admission = Normal | Downgraded
@@ -75,17 +81,29 @@ type pending = {
   conn : int;  (** connection cookie, routed back by the server *)
   request : Protocol.request;
   admission : admission;
+  req_id : string;
+      (** deterministic request id, ["c<conn>.<admission #>"] — carried
+          by trace events ([args.req]) and slow-request records *)
+  enqueued_at : float;  (** admission wall-clock, for queue-wait *)
 }
 
 type t
 
-(** [create ?on_invalidate config] — [on_invalidate] backs the
-    [invalidate-cache] op and returns how many entries were dropped
-    (default: none).
+(** [create ?on_invalidate ?on_slow ?clock config] — [on_invalidate]
+    backs the [invalidate-cache] op and returns how many entries were
+    dropped (default: none); [on_slow] receives one JSON record per
+    request at or above [slow_ms] (default: drop them); [clock] drives
+    the time-series windows only (injectable for deterministic tests;
+    default [Unix.gettimeofday]).
     @raise Invalid_argument on nonsensical watermarks (capacity < 1,
-    degrade watermark outside [1..capacity], non-positive deadlines or
-    byte limit). *)
-val create : ?on_invalidate:(unit -> int) -> config -> t
+    degrade watermark outside [1..capacity], non-positive deadlines,
+    byte limit, stats interval, or window count). *)
+val create :
+  ?on_invalidate:(unit -> int) ->
+  ?on_slow:(Json.t -> unit) ->
+  ?clock:(unit -> float) ->
+  config ->
+  t
 
 val config : t -> config
 val mode : t -> [ `Accepting | `Draining ]
@@ -94,6 +112,9 @@ val mode : t -> [ `Accepting | `Draining ]
 val drain : t -> unit
 
 val queue_depth : t -> int
+
+(** Requests taken off the queue but not yet settled. *)
+val in_flight : t -> int
 
 (** [handle_line t ~conn ~quota_used line] processes one request line:
     - [`Reply line] — answer immediately (control op, malformed line, or
@@ -133,18 +154,24 @@ val take : t -> pending option
 val execute : t -> exec:exec -> pending -> string
 
 (** The outcome of the pure half of {!execute}: the solver result (or
-    its classified error) plus the wall-clock spent. *)
+    its classified error), the wall-clock spent, and the metrics/span
+    capture the work recorded. *)
 type executed
 
 (** [run_exec ~exec p] — the pure half of {!execute}: runs the solver
     under the per-request isolation boundary without touching any
     engine state, so a {!Repair_par.Pool} may run several queued
-    requests' [run_exec] concurrently on worker domains. *)
+    requests' [run_exec] concurrently on worker domains. The work runs
+    under {!Repair_obs.Metrics.capture} with the trace request context
+    set to [p.req_id], so worker-domain spans carry the request id and
+    the capture travels back with the result. *)
 val run_exec : exec:exec -> pending -> executed
 
-(** [settle t p executed] — the mutating half of {!execute}: records
-    latency and counters and builds the reply line. Must run on the
-    engine's owning domain; settling a batch in take-order preserves
+(** [settle t p executed] — the mutating half of {!execute}: merges the
+    capture into the owning domain's registry, records latency,
+    queue-wait, and counters, fires the slow-request callback when the
+    [slow_ms] threshold is met, and builds the reply line. Must run on
+    the engine's owning domain; settling a batch in take-order preserves
     the sequential server's accounting and reply order exactly. *)
 val settle : t -> pending -> executed -> string
 
@@ -169,6 +196,28 @@ val snapshot_json : t -> Json.t
 (** [balanced t] — does the accounting identity hold?
     [admitted = completed + quarantined + cancelled + queue_depth]. *)
 val balanced : t -> bool
+
+(** {2 Live telemetry} *)
+
+(** The engine's rolling time-series over the metrics registry (plus the
+    [serve.queue_depth] / [serve.in_flight] gauges). Windows close only
+    via {!tick_stats}. *)
+val timeseries : t -> Repair_obs.Timeseries.t
+
+(** [tick_stats t] — close a time-series window if [stats_interval_s]
+    has elapsed on the engine's clock; cheap no-op otherwise. The server
+    poll loop calls this every iteration. *)
+val tick_stats : t -> unit
+
+(** The [stats] op's response fields: [("stats", timeseries)],
+    [("totals", cumulative counters)], [("serve", accounting)],
+    [("exposition", text)]. *)
+val stats_fields : t -> (string * Json.t) list
+
+(** The Prometheus-style text exposition of the current registry state
+    (cumulative counters, live gauges, cumulative histograms) via
+    {!Repair_obs.Expo.render}. *)
+val exposition : t -> string
 
 type counters = {
   received : int;  (** request lines seen, malformed included *)

@@ -6,6 +6,7 @@ type op =
   | Classify
   | Ping
   | Metrics
+  | Stats
   | Invalidate_cache
   | Drain
 
@@ -15,6 +16,7 @@ let op_name = function
   | Classify -> "classify"
   | Ping -> "ping"
   | Metrics -> "metrics"
+  | Stats -> "stats"
   | Invalidate_cache -> "invalidate-cache"
   | Drain -> "drain"
 
@@ -24,12 +26,13 @@ let op_of_name = function
   | "classify" -> Some Classify
   | "ping" -> Some Ping
   | "metrics" -> Some Metrics
+  | "stats" -> Some Stats
   | "invalidate-cache" -> Some Invalidate_cache
   | "drain" -> Some Drain
   | _ -> None
 
 let is_control = function
-  | Ping | Metrics | Invalidate_cache | Drain -> true
+  | Ping | Metrics | Stats | Invalidate_cache | Drain -> true
   | S_repair | U_repair | Classify -> false
 
 type format = Csv | Jsonl

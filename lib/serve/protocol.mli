@@ -11,7 +11,7 @@
     {[
       { "id": <any scalar>,          // echoed back; null when absent
         "op": "s-repair" | "u-repair" | "classify" | "ping"
-            | "metrics" | "invalidate-cache" | "drain",
+            | "metrics" | "stats" | "invalidate-cache" | "drain",
         "fds": "A -> B; B -> C",     // repair + classify ops
         "table": "A,B\n1,2\n",       // repair ops; CSV or JSONL text
         "format": "csv" | "jsonl",   // of "table", default "csv"
@@ -32,6 +32,10 @@ type op =
   | Classify  (** dichotomy/complexity report for the FD set *)
   | Ping
   | Metrics  (** snapshot of the live metrics registry + serve counters *)
+  | Stats
+      (** rolling time-series over the registry: windowed rates, rolling
+          tail quantiles, sampled gauges, cumulative totals, and the
+          Prometheus-style text exposition *)
   | Invalidate_cache  (** drop every warm FD-set cache entry *)
   | Drain  (** begin graceful drain, as if SIGTERM had arrived *)
 

@@ -1,5 +1,7 @@
 module Json = Repair_obs.Json
 module Metrics = Repair_obs.Metrics
+module Trace = Repair_obs.Trace
+module Trace_export = Repair_obs.Trace_export
 module Budget = Repair_runtime.Budget
 module E = Repair_runtime.Repair_error
 
@@ -84,11 +86,41 @@ let feed ~max_bytes conn chunk ~on_line ~on_oversized =
     else conn.inbuf <- rest
   end
 
-let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
-    ~exec listen =
-  let engine = Engine.create ?on_invalidate config in
+let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out
+    ?slow_log ?trace_out ?pool ~exec listen =
+  (* Slow-request records are JSONL, one line per offending request,
+     flushed eagerly — the log exists to be tailed while the incident is
+     happening. *)
+  let slow_chan =
+    match slow_log with
+    | Some "-" -> Some (stdout, false)
+    | Some path ->
+      Some (open_out_gen [ Open_append; Open_creat ] 0o644 path, true)
+    | None -> None
+  in
+  let on_slow record =
+    let line = Json.to_string record ^ "\n" in
+    match slow_chan with
+    | Some (ch, _) ->
+      output_string ch line;
+      flush ch
+    | None ->
+      prerr_string line;
+      flush stderr
+  in
+  let close_slow () =
+    match slow_chan with
+    | Some (ch, owned) -> if owned then close_out_noerr ch
+    | None -> ()
+  in
+  let engine = Engine.create ?on_invalidate ~on_slow config in
   Metrics.reset ();
   Metrics.enable ();
+  (* With a trace destination, the serve owns the (single-writer) trace
+     ring for its lifetime: request spans land on the owner lane, and —
+     with a pool — worker-domain spans are captured and injected on
+     per-task lanes, every event stamped with its wire request id. *)
+  if trace_out <> None then Trace.enable ();
   let drain_requested = ref false in
   let install signal =
     Sys.signal signal (Sys.Signal_handle (fun _ -> drain_requested := true))
@@ -358,6 +390,10 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
   in
   let finished = ref false in
   while not !finished do
+    (* Window boundaries for the rolling stats: once per poll iteration,
+       so gauge samples and window closes track the poll cadence (and
+       thus lag the configured interval by at most one poll timeout). *)
+    Engine.tick_stats engine;
     if !drain_requested || Engine.mode engine = `Draining then begin_drain ();
     let queue_empty = Engine.queue_depth engine = 0 in
     if Engine.mode engine = `Draining && queue_empty && not (out_pending ())
@@ -471,5 +507,15 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out ?pool
   end;
   restore_signals ();
   write_snapshot engine metrics_out;
+  (match trace_out with
+  | Some path ->
+    let doc =
+      Trace_export.to_chrome (Trace.events ()) ~dropped:(Trace.dropped ())
+    in
+    Repair_runtime.Io_fault.write_file_atomic path (Json.to_string doc ^ "\n");
+    Trace.disable ();
+    Trace.reset ()
+  | None -> ());
+  close_slow ();
   if (Engine.counters engine).Engine.cancelled > 0 then exit_drain_cancelled
   else 0

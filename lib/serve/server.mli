@@ -57,12 +57,28 @@ type exec =
   Protocol.request ->
   (string * Json.t) list
 
-(** [run ?config ?on_invalidate ?metrics_out ?pool ~exec listen] serves
-    until a drain completes, then writes the final snapshot to
-    [metrics_out] (a path, ["-"] for stdout; default stderr) and returns
-    the exit code. Enables {!Repair_obs.Metrics} for the lifetime of the
-    serve. SIGTERM/SIGINT handlers are installed for the duration and
-    restored on exit.
+(** [run ?config ?on_invalidate ?metrics_out ?slow_log ?pool ~exec
+    listen] serves until a drain completes, then writes the final
+    snapshot to [metrics_out] (a path, ["-"] for stdout; default stderr)
+    and returns the exit code. Enables {!Repair_obs.Metrics} for the
+    lifetime of the serve. SIGTERM/SIGINT handlers are installed for the
+    duration and restored on exit.
+
+    [slow_log] is where slow-request records go when the engine's
+    [slow_ms] threshold is configured: a path (appended, created 0644),
+    ["-"] for stdout, default stderr. One JSON record per line, flushed
+    per record.
+
+    [trace_out] enables the {!Repair_obs.Trace} ring for the serve's
+    lifetime and writes the Chrome trace-event document there (atomic
+    write) after drain. Request spans carry their wire request id as
+    [args.req]; with [pool], worker-domain spans ride per-task lanes
+    ([tid >= 2]) via capture/injection.
+
+    The poll loop ticks the engine's rolling time-series once per
+    iteration ({!Engine.tick_stats}), so the [stats] op served from a
+    live daemon carries windows that close within one poll timeout of
+    the configured interval.
 
     With [pool], each poll drains up to [Repair_par.Pool.domains pool]
     queued requests: their pure halves ({!Engine.run_exec}) run as pool
@@ -80,6 +96,8 @@ val run :
   ?config:Engine.config ->
   ?on_invalidate:(unit -> int) ->
   ?metrics_out:string ->
+  ?slow_log:string ->
+  ?trace_out:string ->
   ?pool:Repair_par.Pool.t ->
   exec:exec ->
   listen ->

@@ -1,6 +1,7 @@
 module Protocol = Repair_serve.Protocol
 module Json = Repair_obs.Json
 module Histogram = Repair_obs.Histogram
+module Timeseries = Repair_obs.Timeseries
 open Repair_relational
 open Repair_fd
 
@@ -57,6 +58,7 @@ type report = {
   retried : int;
   wall_s : float;
   latency : Histogram.t;
+  rolling : Json.t;
 }
 
 (* One outbound line: [id] is the correlation key for latency ([None]
@@ -216,6 +218,31 @@ let run spec target =
   and failed = ref 0
   and retried = ref 0
   and protocol_errors = ref 0 in
+  (* Client-side rolling tails: the same {!Timeseries} machinery the
+     server's [stats] op uses, pointed at the generator's own counters
+     and latency histogram, so a drill can cross-check windowed rates
+     and rolling quantiles from both ends of the wire. [skew] forces
+     the final partial window closed when the burst ends, so short
+     bursts still report at least one window. *)
+  let skew = ref 0.0 in
+  let ts_interval = 0.5 in
+  let ts =
+    Timeseries.create ~windows:240 ~interval_s:ts_interval
+      ~clock:(fun () -> Unix.gettimeofday () +. !skew)
+      {
+        Timeseries.counters =
+          (fun () ->
+            [ ("load.sent", !sent);
+              ("load.answered", !answered);
+              ("load.ok", !ok);
+              ("load.shed", !shed);
+              ("load.retried", !retried) ]);
+        histograms = (fun () -> [ ("load.latency", latency) ]);
+        gauges =
+          (fun () ->
+            [ ("load.outstanding", float_of_int (!sent - !answered)) ]);
+      }
+  in
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. spec.wall_timeout_s in
   (* Client-side retry with jittered exponential backoff: a shed reply
@@ -233,9 +260,13 @@ let run spec target =
   let retry_rng = Rng.make (spec.seed + 0x5eed) in
   let retry_q : (float * line) list ref = ref [] in
   let next_conn = ref 0 in
+  (* Returns whether a retry was actually scheduled: the caller counts
+     the triggering reply in [retried] exactly when it was, and in
+     [shed] otherwise — each reply lands in exactly one outcome
+     bucket. *)
   let schedule_retry id =
     match Hashtbl.find_opt by_id id with
-    | None -> ()
+    | None -> false
     | Some l ->
       let k = 1 + (try Hashtbl.find attempts id with Not_found -> 0) in
       Hashtbl.replace attempts id k;
@@ -243,7 +274,8 @@ let run spec target =
       let backoff = base *. (2.0 ** float_of_int (k - 1)) in
       let jittered = backoff *. (0.5 +. Rng.float retry_rng 1.0) in
       retry_q := (Unix.gettimeofday () +. jittered, l) :: !retry_q;
-      incr retried
+      incr retried;
+      true
   in
   let expected () =
     (* every fully flushed line earns exactly one reply line *)
@@ -272,14 +304,19 @@ let run spec target =
         incr ok;
         if d then incr degraded
       | `Shed ->
-        incr shed;
-        (match rid with
-        | Some id
-          when spec.retries > 0
-               && (try Hashtbl.find attempts id with Not_found -> 0)
-                  < spec.retries ->
-          schedule_retry id
-        | _ -> ())
+        (* A shed reply that earns a retry is counted once, in
+           [retried]; only terminal sheds (retries disabled or
+           exhausted) count in [shed]. *)
+        let retrying =
+          match rid with
+          | Some id
+            when spec.retries > 0
+                 && (try Hashtbl.find attempts id with Not_found -> 0)
+                    < spec.retries ->
+            schedule_retry id
+          | _ -> false
+        in
+        if not retrying then incr shed
       | `Protocol -> incr protocol_errors
       | `Failed -> incr failed)
   in
@@ -370,6 +407,7 @@ let run spec target =
   let rec loop () =
     let now = Unix.gettimeofday () in
     release_due now;
+    Timeseries.tick ts;
     if now >= deadline || (not (live ())) || not (outstanding ()) then ()
     else begin
       let readers =
@@ -399,6 +437,8 @@ let run spec target =
   in
   loop ();
   Array.iter kill conns;
+  skew := ts_interval;
+  Timeseries.tick ts;
   {
     sent = !sent;
     answered = !answered;
@@ -411,9 +451,19 @@ let run spec target =
     retried = !retried;
     wall_s = Unix.gettimeofday () -. t0;
     latency;
+    rolling = Timeseries.to_json ts;
   }
 
+(* The accounting identities: every line sent is answered or not, and
+   every reply lands in exactly one outcome bucket ([retried] holds the
+   shed replies that scheduled a retry). Checked at reporting time so a
+   classification regression fails loudly rather than skewing tallies. *)
+let check_identities r =
+  assert (r.sent = r.answered + r.unanswered);
+  assert (r.answered = r.ok + r.shed + r.failed + r.protocol_errors + r.retried)
+
 let report_json r =
+  check_identities r;
   Json.Obj
     [ ("sent", Json.Int r.sent);
       ("answered", Json.Int r.answered);
@@ -425,9 +475,11 @@ let report_json r =
       ("unanswered", Json.Int r.unanswered);
       ("retried", Json.Int r.retried);
       ("wall_s", Json.Float r.wall_s);
-      ("latency", Histogram.summary_json r.latency) ]
+      ("latency", Histogram.summary_json r.latency);
+      ("rolling", r.rolling) ]
 
 let pp_report ppf r =
+  check_identities r;
   Fmt.pf ppf
     "sent %d answered %d (ok %d, degraded %d, shed %d, failed %d, protocol \
      %d, unanswered %d, retried %d) in %.2fs; latency p50 %.4fs p99 %.4fs"

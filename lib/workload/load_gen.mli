@@ -53,13 +53,27 @@ type report = {
   answered : int;  (** reply lines received *)
   ok : int;
   degraded : int;  (** subset of [ok] with [degraded:true] *)
-  shed : int;  (** [overloaded] + [quota-exceeded] + [draining] *)
+  shed : int;
+      (** {e terminal} shed replies — [overloaded]/[quota-exceeded]/
+          [draining] with retries disabled or exhausted. A shed reply
+          that schedules a retry counts in [retried] instead, so every
+          answered reply lands in exactly one outcome bucket. *)
   failed : int;  (** other [ok:false] replies (parse, budget, internal...) *)
   protocol_errors : int;  (** replies classified [protocol]/[oversized] *)
   unanswered : int;  (** sent - answered at [wall_timeout_s] *)
-  retried : int;  (** retry sends scheduled (each also counts in [sent]) *)
+  retried : int;
+      (** shed replies that scheduled a retry (the retry line itself
+          counts in [sent] again once flushed) *)
   wall_s : float;
   latency : Repair_obs.Histogram.t;  (** seconds, per answered request id *)
+  rolling : Repair_obs.Json.t;
+      (** client-side {!Repair_obs.Timeseries.to_json}: 0.5 s windows
+          over the generator's own counters and latency histogram
+          (names [load.sent], [load.answered], [load.ok], [load.shed],
+          [load.retried], [load.latency], gauge [load.outstanding]),
+          with the final partial window force-closed — for
+          cross-checking windowed rates and rolling tails against the
+          server's [stats] op *)
 }
 
 (** [run spec target] executes one burst against a listening server.
@@ -68,7 +82,11 @@ type report = {
 val run : spec -> target -> report
 
 (** [report_json r] summarises [r] (latency via
-    {!Repair_obs.Histogram.summary_json}). *)
+    {!Repair_obs.Histogram.summary_json}; [rolling] passed through).
+    Asserts the accounting identities
+    [sent = answered + unanswered] and
+    [answered = ok + shed + failed + protocol_errors + retried]. *)
 val report_json : report -> Repair_obs.Json.t
 
+(** Same identities asserted as {!report_json}. *)
 val pp_report : Format.formatter -> report -> unit

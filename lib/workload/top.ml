@@ -1,0 +1,174 @@
+module Json = Repair_obs.Json
+module Histogram = Repair_obs.Histogram
+
+type sample = {
+  stats : Json.t;
+  totals : (string * int) list;
+  serve : Json.t;
+  exposition : string;
+}
+
+(* Blocking one-shot client: the operator view has no pipelining needs,
+   so a plain connect / write line / read line keeps the failure modes
+   obvious. *)
+let fetch target =
+  let domain, addr =
+    match target with
+    | Load_gen.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Load_gen.Tcp port ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match
+    Fun.protect ~finally (fun () ->
+        Unix.connect fd addr;
+        let line = "{\"id\": \"top\", \"op\": \"stats\"}\n" in
+        let _ = Unix.write_substring fd line 0 (String.length line) in
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 65536 in
+        let rec read_line () =
+          if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) = '\n'
+          then ()
+          else
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> ()
+            | n ->
+              (match Bytes.index_from_opt chunk 0 '\n' with
+              | Some i when i < n -> Buffer.add_subbytes buf chunk 0 (i + 1)
+              | _ ->
+                Buffer.add_subbytes buf chunk 0 n;
+                read_line ())
+        in
+        read_line ();
+        Buffer.contents buf)
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Printf.sprintf "top: cannot reach server: %s" (Unix.error_message e))
+  | "" -> Error "top: server closed the connection without a reply"
+  | line -> (
+    match Json.of_string line with
+    | Error e -> Error (Printf.sprintf "top: unparsable stats reply: %s" e)
+    | Ok reply -> (
+      match Json.member "ok" reply with
+      | Some (Json.Bool true) ->
+        let obj k = Option.value ~default:(Json.Obj []) (Json.member k reply) in
+        let totals =
+          match Json.member "totals" reply with
+          | Some (Json.Obj kvs) ->
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.int_value v))
+              kvs
+          | _ -> []
+        in
+        let exposition =
+          match Json.member "exposition" reply with
+          | Some (Json.String s) -> s
+          | _ -> ""
+        in
+        Ok { stats = obj "stats"; totals; serve = obj "serve"; exposition }
+      | _ ->
+        Error
+          (Printf.sprintf "top: server refused the stats op: %s"
+             (String.trim line))))
+
+let exposition s = s.exposition
+
+(* {2 Pulling fields out of the stats object} *)
+
+let float_member k j =
+  Option.bind (Json.member k j) Json.float_value |> Option.value ~default:0.0
+
+let obj_members k j =
+  match Json.member k j with Some (Json.Obj kvs) -> kvs | _ -> []
+
+let rates s =
+  obj_members "rates" s.stats
+  |> List.filter_map (fun (k, v) ->
+         Option.map (fun f -> (k, f)) (Json.float_value v))
+
+let gauges s =
+  obj_members "gauges" s.stats
+  |> List.filter_map (fun (k, v) ->
+         Option.map (fun f -> (k, f)) (Json.float_value v))
+
+(* Rolling per-histogram tails, rebuilt from the summary JSON so the
+   quantile estimator is the library's own. *)
+let rolling s =
+  obj_members "rolling" s.stats
+  |> List.filter_map (fun (k, v) ->
+         match Histogram.of_summary_json v with
+         | Ok h -> Some (k, h)
+         | Error _ -> None)
+
+let n_windows s =
+  match Json.member "windows" s.stats with
+  | Some (Json.List ws) -> List.length ws
+  | _ -> 0
+
+let span_s s = float_member "span_s" s.stats
+
+let serve_str k s =
+  match Option.bind (Json.member k s.serve) Json.string_value with
+  | Some v -> v
+  | None -> "?"
+
+let serve_int k s =
+  match Option.bind (Json.member k s.serve) Json.int_value with
+  | Some v -> v
+  | None -> 0
+
+(* {2 Rendering} *)
+
+(* One stable [key value] pair per line, keys sorted within each group —
+   the [--once] contract scripts grep against. *)
+let pp_machine ppf s =
+  let kv fmt = Format.fprintf ppf fmt in
+  kv "windows %d@." (n_windows s);
+  kv "span_s %.3f@." (span_s s);
+  kv "mode %s@." (serve_str "mode" s);
+  kv "queue_depth %d@." (serve_int "queue_depth" s);
+  List.iter (fun (k, v) -> kv "gauge.%s %g@." k v) (gauges s);
+  List.iter (fun (k, v) -> kv "rate.%s %g@." k v) (rates s);
+  List.iter
+    (fun (k, h) ->
+      kv "p50.%s_ms %.3f@." k (Histogram.quantile h 0.5 *. 1000.0);
+      kv "p99.%s_ms %.3f@." k (Histogram.quantile h 0.99 *. 1000.0);
+      kv "rolling_count.%s %d@." k (Histogram.count h))
+    (rolling s);
+  List.iter (fun (k, v) -> kv "total.%s %d@." k v) s.totals
+
+let pp_dashboard ppf s =
+  let pf fmt = Format.fprintf ppf fmt in
+  pf "repair-serve  mode %s  queue %d (max %d)  completed %d  shed %d@."
+    (serve_str "mode" s)
+    (serve_int "queue_depth" s)
+    (serve_int "queue_depth_max" s)
+    (serve_int "completed" s) (serve_int "shed" s);
+  pf "rolling window: %d samples spanning %.1fs@." (n_windows s) (span_s s);
+  (match gauges s with
+  | [] -> ()
+  | gs ->
+    pf "@.GAUGES@.";
+    List.iter (fun (k, v) -> pf "  %-28s %10g@." k v) gs);
+  (match rates s with
+  | [] -> pf "@.RATES: no closed windows yet@."
+  | rs ->
+    pf "@.RATES (per second)@.";
+    List.iter (fun (k, v) -> pf "  %-28s %10.2f@." k v) rs);
+  (match rolling s with
+  | [] -> ()
+  | hs ->
+    pf "@.TAILS (rolling, ms)      %10s %10s %10s %8s@." "p50" "p90" "p99"
+      "count";
+    List.iter
+      (fun (k, h) ->
+        let q p = Histogram.quantile h p *. 1000.0 in
+        pf "  %-22s %10.3f %10.3f %10.3f %8d@." k (q 0.5) (q 0.9) (q 0.99)
+          (Histogram.count h))
+      hs);
+  (match s.totals with
+  | [] -> ()
+  | ts ->
+    pf "@.TOTALS (since boot)@.";
+    List.iter (fun (k, v) -> pf "  %-28s %10d@." k v) ts)

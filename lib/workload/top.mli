@@ -1,0 +1,54 @@
+(** The client half of the [repair-cli top] operator view: fetch one
+    [stats] reply from a running repair-serve daemon and render it.
+
+    {!fetch} opens a blocking one-shot connection, sends a single
+    [stats] request, and parses the reply into a {!sample}: the rolling
+    time-series object ({!Repair_obs.Timeseries.to_json} shape), the
+    cumulative counter totals, the ["serve"] accounting section, and the
+    Prometheus-style text exposition.
+
+    Two renderers share the sample: {!pp_machine} prints stable
+    [key value] lines for scripts ([repair-cli top --once]), and
+    {!pp_dashboard} prints the human view the live [top] loop redraws.
+    Rolling tails are rebuilt via {!Repair_obs.Histogram.of_summary_json}
+    so quantiles come from the library's own estimator, not a client
+    reimplementation. *)
+
+type sample = {
+  stats : Repair_obs.Json.t;  (** the reply's ["stats"] time-series object *)
+  totals : (string * int) list;  (** cumulative counters, sorted by name *)
+  serve : Repair_obs.Json.t;  (** the ["serve"] accounting section *)
+  exposition : string;  (** Prometheus-style text exposition *)
+}
+
+(** [fetch target] — one blocking [stats] round-trip. [Error] carries a
+    human-readable reason (unreachable server, refused op, unparsable
+    reply); it never raises. *)
+val fetch : Load_gen.target -> (sample, string) result
+
+val exposition : sample -> string
+
+(** Windowed per-second counter rates, as served. *)
+val rates : sample -> (string * float) list
+
+(** Gauges sampled at the newest window's close. *)
+val gauges : sample -> (string * float) list
+
+(** Rolling histograms (merged per-window deltas), rebuilt from the
+    summary JSON; entries that fail to parse are dropped. *)
+val rolling : sample -> (string * Repair_obs.Histogram.t) list
+
+(** Closed windows currently held by the server's ring. *)
+val n_windows : sample -> int
+
+(** Seconds covered by the held windows. *)
+val span_s : sample -> float
+
+(** Stable machine-readable lines, one [key value] pair each:
+    [windows]/[span_s]/[mode]/[queue_depth], then [gauge.*], [rate.*],
+    [p50.*_ms]/[p99.*_ms]/[rolling_count.*], then [total.*]. *)
+val pp_machine : Format.formatter -> sample -> unit
+
+(** The live dashboard body: header, gauges, rates, rolling tails,
+    cumulative totals. *)
+val pp_dashboard : Format.formatter -> sample -> unit

@@ -1,0 +1,18 @@
+(* Validate a Prometheus-style text exposition read from stdin against
+   the grammar checker in Repair_obs.Expo — the CI telemetry drill pipes
+   a live scrape through this. Exit 0 when the document checks, 1 with
+   the offending line on stderr otherwise. *)
+
+let () =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf stdin 1
+     done
+   with End_of_file -> ());
+  match Repair_obs.Expo.check (Buffer.contents buf) with
+  | Ok () ->
+    Printf.printf "exposition ok (%d bytes)\n" (Buffer.length buf)
+  | Error msg ->
+    Printf.eprintf "exposition invalid: %s\n" msg;
+    exit 1

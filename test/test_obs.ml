@@ -371,7 +371,8 @@ let test_span_histograms () =
 
 (* ---------- Chrome export ---------- *)
 
-let ev seq ts kind name = { Trace.seq; ts; kind; name }
+let ev seq ts kind name =
+  { Trace.seq; ts; kind; name; req = None; tid = Trace.tid_main }
 
 let test_chrome_roundtrip () =
   with_trace @@ fun () ->
@@ -458,6 +459,312 @@ let test_hotspots () =
   in
   Alcotest.(check bool) "report has a total line" true
     (contains report "total:")
+
+(* ---------- windowed histogram subtraction ---------- *)
+
+let test_histogram_diff () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0.001; 0.010 ];
+  let base = Histogram.copy h in
+  List.iter (Histogram.observe h) [ 0.010; 0.500 ];
+  let d = Histogram.diff ~since:base h in
+  Alcotest.(check int) "delta count" 2 (Histogram.count d);
+  (* The delta's bucket counts equal a histogram of just the window's
+     observations — the property rolling quantiles rely on. *)
+  let fresh = Histogram.create () in
+  List.iter (Histogram.observe fresh) [ 0.010; 0.500 ];
+  Alcotest.(check bool) "delta buckets equal fresh observation" true
+    (Histogram.buckets d = Histogram.buckets fresh);
+  Alcotest.(check (float 1e-9)) "delta sum" 0.510 (Histogram.sum d);
+  (* min/max are bucket-edge approximations bracketing the real extremes *)
+  Alcotest.(check bool) "approx min below real min" true
+    (Histogram.min_value d <= 0.010 && Histogram.min_value d > 0.0);
+  Alcotest.(check bool) "approx max above real max" true
+    (Histogram.max_value d >= 0.500);
+  (* diff against the current state is empty *)
+  let e = Histogram.diff ~since:(Histogram.copy h) h in
+  Alcotest.(check int) "empty window" 0 (Histogram.count e);
+  Alcotest.(check (float 0.0)) "empty window sum" 0.0 (Histogram.sum e);
+  (* a reversed diff (since ahead of t) clamps to empty, never negative *)
+  let r = Histogram.diff ~since:h base in
+  Alcotest.(check int) "reversed diff clamps to empty" 0 (Histogram.count r)
+
+let test_histogram_empty_json () =
+  let e = Histogram.create () in
+  match Histogram.of_summary_json (Histogram.summary_json e) with
+  | Error msg -> Alcotest.failf "empty summary does not round trip: %s" msg
+  | Ok e' ->
+    Alcotest.(check int) "empty round trips to empty" 0 (Histogram.count e');
+    Alcotest.(check (float 0.0)) "empty quantile" 0.0
+      (Histogram.quantile e' 0.99);
+    (* merging two round-tripped empties is still the pristine summary *)
+    let m = Histogram.create () in
+    Histogram.merge ~into:m e';
+    (match Histogram.of_summary_json (Histogram.summary_json e) with
+    | Error msg -> Alcotest.failf "second empty: %s" msg
+    | Ok e'' -> Histogram.merge ~into:m e'');
+    Alcotest.(check int) "merge of empties is empty" 0 (Histogram.count m);
+    Alcotest.(check bool) "merge of empties has the pristine summary" true
+      (Histogram.summary_json m = Histogram.summary_json (Histogram.create ()))
+
+(* ---------- ring wrap with mixed event kinds ---------- *)
+
+let test_trace_wrap_mixed () =
+  with_trace ~capacity:8 @@ fun () ->
+  (* 5 spans of B/i/E = 15 events through an 8-slot ring *)
+  for i = 1 to 5 do
+    let s = Printf.sprintf "s%d" i in
+    Trace.begin_ s;
+    Trace.instant (Printf.sprintf "i%d" i);
+    Trace.end_ s
+  done;
+  let events = Trace.events () in
+  Alcotest.(check int) "ring holds exactly capacity" 8 (List.length events);
+  Alcotest.(check int) "dropped counts every eviction" 7 (Trace.dropped ());
+  (* the survivors are the newest events, in order, seq preserved *)
+  Alcotest.(check (list int)) "survivor seqs contiguous to the end"
+    [ 7; 8; 9; 10; 11; 12; 13; 14 ]
+    (List.map (fun e -> e.Trace.seq) events);
+  Alcotest.(check bool) "head is an orphaned non-Begin" true
+    (match events with e :: _ -> e.Trace.kind <> Trace.Begin | [] -> false);
+  (* the lossy stream still validates when drops are declared... *)
+  (match Trace_export.validate ~dropped:(Trace.dropped ()) events with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "lossy trace should validate: %s" m);
+  (* ...and the Chrome export round-trips events and the drop count *)
+  let doc = Trace_export.to_chrome events ~dropped:(Trace.dropped ()) in
+  match Trace_export.of_chrome doc with
+  | Error m -> Alcotest.failf "export does not reparse: %s" m
+  | Ok (events', dropped') ->
+    Alcotest.(check int) "drop count survives export" 7 dropped';
+    Alcotest.(check (list string)) "names survive export"
+      (List.map (fun e -> e.Trace.name) events)
+      (List.map (fun e -> e.Trace.name) events');
+    Alcotest.(check bool) "kinds survive export" true
+      (List.map (fun e -> e.Trace.kind) events
+      = List.map (fun e -> e.Trace.kind) events')
+
+(* ---------- request context, capture, and lanes ---------- *)
+
+let test_trace_request_context () =
+  with_trace @@ fun () ->
+  Trace.instant "outside";
+  Trace.with_request "r1" (fun () ->
+      Trace.instant "inside";
+      Trace.with_request "r2" (fun () -> Trace.instant "nested"));
+  (try Trace.with_request "r3" (fun () -> failwith "boom") with _ -> ());
+  Alcotest.(check bool) "context restored after raise" true
+    (Trace.current_request () = None);
+  Trace.instant "after";
+  let reqs = List.map (fun e -> e.Trace.req) (Trace.events ()) in
+  Alcotest.(check bool) "req threaded and restored" true
+    (reqs = [ None; Some "r1"; Some "r2"; None ]);
+  Alcotest.(check bool) "owner events ride lane tid_main" true
+    (List.for_all (fun e -> e.Trace.tid = Trace.tid_main) (Trace.events ()))
+
+let test_trace_capture_inject () =
+  with_trace @@ fun () ->
+  Trace.begin_ "owner";
+  let got = ref [] in
+  Trace.with_capture
+    (fun evs -> got := evs)
+    (fun () ->
+      Trace.with_request "r9" (fun () ->
+          Trace.begin_ "task";
+          Trace.instant "tick";
+          Trace.end_ "task"));
+  Alcotest.(check int) "captured events bypass the ring" 1
+    (List.length (Trace.events ()));
+  Alcotest.(check int) "capture delivered all three" 3 (List.length !got);
+  Trace.inject ~tid:5 !got;
+  Trace.end_ "owner";
+  let events = Trace.events () in
+  Alcotest.(check int) "ring has owner pair plus injected three" 5
+    (List.length events);
+  Alcotest.(check (list int)) "seqs reassigned contiguously" [ 0; 1; 2; 3; 4 ]
+    (List.map (fun e -> e.Trace.seq) events);
+  let lanes = List.map (fun e -> e.Trace.tid) events in
+  Alcotest.(check (list int)) "injected events take their lane"
+    [ Trace.tid_main; 5; 5; 5; Trace.tid_main ] lanes;
+  Alcotest.(check bool) "request id travels with the capture" true
+    (List.map (fun e -> e.Trace.req) events
+    = [ None; Some "r9"; Some "r9"; Some "r9"; None ]);
+  (* per-lane validation accepts the interleaved stream *)
+  (match Trace_export.validate events with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "lanes should validate independently: %s" m);
+  (* capture delivers even when the task raises *)
+  let got2 = ref [] in
+  (try
+     Trace.with_capture
+       (fun evs -> got2 := evs)
+       (fun () ->
+         Trace.begin_ "dying";
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "capture survives a raise" 1 (List.length !got2)
+
+(* ---------- rolling time-series ---------- *)
+
+module Timeseries = Repair_obs.Timeseries
+
+let synthetic_source () =
+  let c = ref 0 and h = Histogram.create () in
+  let src =
+    {
+      Timeseries.counters = (fun () -> [ ("reqs", !c) ]);
+      histograms = (fun () -> [ ("lat", h) ]);
+      gauges = (fun () -> [ ("depth", float_of_int (!c mod 3)) ]);
+    }
+  in
+  (src, c, h)
+
+let test_timeseries_windows () =
+  let src, c, h = synthetic_source () in
+  let now = ref 0.0 in
+  let ts = Timeseries.create ~windows:4 ~interval_s:1.0 ~clock:(fun () -> !now) src in
+  Timeseries.tick ts;
+  Alcotest.(check int) "no elapsed, no window" 0 (Timeseries.n_windows ts);
+  c := 5;
+  Histogram.observe h 0.01;
+  now := 1.0;
+  Timeseries.tick ts;
+  Alcotest.(check int) "first window closed" 1 (Timeseries.n_windows ts);
+  Alcotest.(check (float 1e-9)) "rate over one window" 5.0
+    (Timeseries.rate ts "reqs");
+  Alcotest.(check int) "histogram delta captured" 1
+    (Histogram.count (Timeseries.rolling ts "lat"));
+  c := 8;
+  now := 2.0;
+  Timeseries.tick ts;
+  Alcotest.(check (float 1e-9)) "rate averages windows" 4.0
+    (Timeseries.rate ts "reqs");
+  (* a stalled sampler closes ONE wide window, leaving rates unbiased *)
+  c := 14;
+  now := 5.0;
+  Timeseries.tick ts;
+  Alcotest.(check int) "stall closes a single window" 3
+    (Timeseries.n_windows ts);
+  (match List.rev (Timeseries.windows ts) with
+  | w :: _ ->
+    Alcotest.(check (float 1e-9)) "wide window spans the stall" 3.0
+      w.Timeseries.span_s;
+    Alcotest.(check bool) "wide window holds the whole delta" true
+      (w.Timeseries.counters = [ ("reqs", 6) ])
+  | [] -> Alcotest.fail "no windows");
+  Alcotest.(check (float 1e-9)) "rate unbiased by the stall" (14.0 /. 5.0)
+    (Timeseries.rate ts "reqs");
+  (* ring eviction: two more ticks push out the first window *)
+  now := 6.0;
+  Timeseries.tick ts;
+  now := 7.0;
+  Timeseries.tick ts;
+  Alcotest.(check int) "ring capped at capacity" 4 (Timeseries.n_windows ts);
+  Alcotest.(check (float 1e-9)) "span over held windows" 6.0
+    (Timeseries.span_total ts);
+  Alcotest.(check (float 1e-9)) "rate over held windows only" 1.5
+    (Timeseries.rate ts "reqs");
+  Alcotest.(check (float 1e-9)) "gauge sampled at last close"
+    (float_of_int (14 mod 3))
+    (match Timeseries.last_gauge ts "depth" with
+    | Some g -> g
+    | None -> -1.0)
+
+(* Acceptance (c): two series driven by identical deterministic sources
+   and the same fake clock render byte-identical JSON. *)
+let test_timeseries_deterministic_json () =
+  let drive () =
+    let src, c, h = synthetic_source () in
+    let now = ref 0.0 in
+    let ts =
+      Timeseries.create ~windows:8 ~interval_s:0.5 ~clock:(fun () -> !now) src
+    in
+    List.iter
+      (fun (t, n, obs) ->
+        c := n;
+        List.iter (Histogram.observe h) obs;
+        now := t;
+        Timeseries.tick ts)
+      [ (0.5, 3, [ 0.001; 0.02 ]);
+        (1.0, 7, []);
+        (2.7, 11, [ 0.3 ]);
+        (3.0, 11, []) ];
+    Repair_obs.Json.to_string (Timeseries.to_json ts)
+  in
+  let a = drive () and b = drive () in
+  Alcotest.(check string) "byte-identical stats JSON" a b;
+  (* and the document reparses *)
+  match Json.of_string a with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "stats JSON does not reparse: %s" m
+
+(* ---------- text exposition ---------- *)
+
+module Expo = Repair_obs.Expo
+
+let test_expo_render_and_check () =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) [ 0.001; 0.2; 50.0 ];
+  let text =
+    Expo.render
+      ~counters:[ ("serve.requests", 12); ("trace.dropped", 0) ]
+      ~gauges:[ ("serve.queue depth", 2.5) ]
+      ~histograms:[ ("serve.request", h) ]
+      ()
+  in
+  (match Expo.check text with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "render output fails its own checker: %s" m);
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter family suffixed _total" true
+    (contains "# TYPE repair_serve_requests_total counter");
+  Alcotest.(check bool) "gauge name sanitized" true
+    (contains "repair_serve_queue_depth 2.5");
+  Alcotest.(check bool) "histogram suffixed _seconds" true
+    (contains "# TYPE repair_serve_request_seconds histogram");
+  Alcotest.(check bool) "mandatory +Inf bucket" true
+    (contains "repair_serve_request_seconds_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "histogram count series" true
+    (contains "repair_serve_request_seconds_count 3");
+  (* empty registries render an empty, valid document *)
+  match Expo.check (Expo.render ~counters:[] ~gauges:[] ~histograms:[] ()) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "empty exposition should check: %s" m
+
+let test_expo_check_rejects () =
+  let reject label text =
+    match Expo.check text with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "checker accepted %s" label
+  in
+  reject "a sample without a TYPE declaration" "repair_x_total 1\n";
+  reject "duplicate TYPE lines"
+    "# TYPE repair_x_total counter\n\
+     # TYPE repair_x_total counter\n\
+     repair_x_total 1\n";
+  reject "an unparsable value"
+    "# TYPE repair_x_total counter\nrepair_x_total banana\n";
+  reject "a histogram without +Inf"
+    "# TYPE repair_h_seconds histogram\n\
+     repair_h_seconds_bucket{le=\"0.5\"} 1\n\
+     repair_h_seconds_sum 0.1\n\
+     repair_h_seconds_count 1\n";
+  reject "non-cumulative buckets"
+    "# TYPE repair_h_seconds histogram\n\
+     repair_h_seconds_bucket{le=\"0.5\"} 2\n\
+     repair_h_seconds_bucket{le=\"1\"} 1\n\
+     repair_h_seconds_bucket{le=\"+Inf\"} 2\n\
+     repair_h_seconds_sum 0.1\n\
+     repair_h_seconds_count 2\n";
+  reject "+Inf disagreeing with _count"
+    "# TYPE repair_h_seconds histogram\n\
+     repair_h_seconds_bucket{le=\"+Inf\"} 2\n\
+     repair_h_seconds_sum 0.1\n\
+     repair_h_seconds_count 3\n"
 
 (* ---------- the JSON codec ---------- *)
 
@@ -598,7 +905,13 @@ let () =
             test_trace_overflow_drops_oldest;
           Alcotest.test_case "monotone" `Quick test_trace_monotone;
           Alcotest.test_case "disabled is free" `Quick
-            test_trace_disabled_records_nothing ] );
+            test_trace_disabled_records_nothing;
+          Alcotest.test_case "wrap with mixed kinds" `Quick
+            test_trace_wrap_mixed;
+          Alcotest.test_case "request context" `Quick
+            test_trace_request_context;
+          Alcotest.test_case "capture and inject" `Quick
+            test_trace_capture_inject ] );
       ( "histograms",
         [ Alcotest.test_case "bucket scheme" `Quick test_histogram_buckets;
           Alcotest.test_case "stats" `Quick test_histogram_stats;
@@ -608,7 +921,20 @@ let () =
           Alcotest.test_case "json rejects mismatch" `Quick
             test_histogram_json_rejects_mismatch;
           Alcotest.test_case "spans feed histograms" `Quick
-            test_span_histograms ] );
+            test_span_histograms;
+          Alcotest.test_case "windowed diff" `Quick test_histogram_diff;
+          Alcotest.test_case "empty summary round trip" `Quick
+            test_histogram_empty_json ] );
+      ( "timeseries",
+        [ Alcotest.test_case "windows, rates, stalls, eviction" `Quick
+            test_timeseries_windows;
+          Alcotest.test_case "deterministic json" `Quick
+            test_timeseries_deterministic_json ] );
+      ( "exposition",
+        [ Alcotest.test_case "render passes check" `Quick
+            test_expo_render_and_check;
+          Alcotest.test_case "check rejects malformed" `Quick
+            test_expo_check_rejects ] );
       ( "chrome export",
         [ Alcotest.test_case "round trip" `Quick test_chrome_roundtrip;
           Alcotest.test_case "dropped preserved" `Quick

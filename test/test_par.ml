@@ -255,6 +255,60 @@ let test_pool_capture_merge_point () =
   Metrics.disable ();
   Metrics.reset ()
 
+let test_pool_trace_lanes () =
+  (* Pool.run gives each task's trace events a lane of its own: worker
+     spans are captured domain-locally, then injected into the owner's
+     ring on tid 2+i with the task's request context intact — so a
+     worker-domain span carries a wire request id end to end. *)
+  let module Trace = Repair_obs.Trace in
+  let module Trace_export = Repair_obs.Trace_export in
+  Metrics.reset ();
+  Metrics.enable ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ();
+      Metrics.disable ();
+      Metrics.reset ())
+  @@ fun () ->
+  let pool = pool_of 4 in
+  Trace.begin_ "batch";
+  let r =
+    Pool.run pool
+      (Array.init 6 (fun i () ->
+           Trace.with_request
+             (Printf.sprintf "req-%d" i)
+             (fun () -> Metrics.with_span "par.task" (fun () -> i * i))))
+  in
+  Trace.end_ "batch";
+  Alcotest.(check bool) "results unchanged by capture" true
+    (r = Array.init 6 (fun i -> i * i));
+  let events = Trace.events () in
+  for i = 0 to 5 do
+    let lane = List.filter (fun e -> e.Trace.tid = 2 + i) events in
+    Alcotest.(check bool) (Printf.sprintf "lane %d has events" (2 + i)) true
+      (lane <> []);
+    Alcotest.(check bool)
+      (Printf.sprintf "lane %d carries its request id" (2 + i))
+      true
+      (List.for_all
+         (fun e -> e.Trace.req = Some (Printf.sprintf "req-%d" i))
+         lane)
+  done;
+  Alcotest.(check bool) "owner lane still present" true
+    (List.exists (fun e -> e.Trace.tid = Trace.tid_main) events);
+  (* per-lane validation and the Chrome round trip both hold *)
+  (match Trace_export.validate events with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "per-lane validation failed: %s" m);
+  match Trace_export.of_chrome (Trace_export.to_chrome events ~dropped:0) with
+  | Error m -> Alcotest.failf "chrome round trip failed: %s" m
+  | Ok (events', _) ->
+    Alcotest.(check bool) "request ids survive the chrome export" true
+      (List.map (fun e -> (e.Trace.tid, e.Trace.req)) events
+      = List.map (fun e -> (e.Trace.tid, e.Trace.req)) events')
+
 let test_budget_absorb () =
   let b = Budget.unlimited () in
   Budget.tick b;
@@ -590,6 +644,7 @@ let () =
           unit "shutdown is idempotent and final"
             test_pool_shutdown_idempotent;
           unit "run_captured defers the merge" test_pool_capture_merge_point;
+          unit "worker trace events get per-task lanes" test_pool_trace_lanes;
           unit "Budget.absorb sums steps" test_budget_absorb ] );
       ( "differential",
         List.map group_by_par_matches widths

@@ -344,6 +344,148 @@ let socket_path () =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "repair_serve_%d.sock" (Unix.getpid ()))
 
+(* ---------- live telemetry ---------- *)
+
+let with_metrics f =
+  Repair_obs.Metrics.reset ();
+  Repair_obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Repair_obs.Metrics.disable ();
+      Repair_obs.Metrics.reset ())
+    f
+
+(* The stats op under an injected clock: windows close deterministically,
+   the windowed rate is non-zero after traffic, and the reply's
+   cumulative totals equal the registry counters the metrics op reports
+   (acceptance check (b) at engine level). *)
+let test_stats_op () =
+  with_metrics @@ fun () ->
+  let now = ref 0.0 in
+  let engine =
+    Engine.create
+      ~clock:(fun () -> !now)
+      { (config ~capacity:8 ~watermark:8) with
+        stats_interval_s = 1.0;
+        stats_windows = 8 }
+  in
+  for i = 0 to 3 do
+    match feed engine i with
+    | `Enqueued -> ()
+    | _ -> Alcotest.failf "request %d not admitted" i
+  done;
+  let rec drain () =
+    match Engine.take engine with
+    | Some p ->
+      ignore (Engine.execute engine ~exec:ok_exec p);
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  now := 1.5;
+  Engine.tick_stats engine;
+  let line = {|{"id": "s1", "op": "stats", "fds": "-"}|} in
+  match Engine.handle_line engine ~conn:0 ~quota_used:0 line with
+  | `Enqueued | `Drain _ -> Alcotest.fail "stats must answer inline"
+  | `Reply reply ->
+    Alcotest.(check bool) "stats reply ok" true (reply_ok reply);
+    let j = reply_json reply in
+    let stats =
+      match Json.member "stats" j with
+      | Some s -> s
+      | None -> Alcotest.fail "reply lacks stats"
+    in
+    (match Json.member "windows" stats with
+    | Some (Json.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "no closed windows in the stats reply");
+    let rate =
+      match
+        Option.bind
+          (Option.bind (Json.member "rates" stats)
+             (Json.member "serve.requests"))
+          Json.float_value
+      with
+      | Some r -> r
+      | None -> Alcotest.fail "no serve.requests rate"
+    in
+    Alcotest.(check bool) "windowed rate non-zero" true (rate > 0.0);
+    let total key =
+      match
+        Option.bind
+          (Option.bind (Json.member "totals" j) (Json.member key))
+          Json.int_value
+      with
+      | Some n -> n
+      | None -> Alcotest.failf "no total for %s" key
+    in
+    Alcotest.(check int) "totals equal the registry counters"
+      (Repair_obs.Metrics.counter "serve.requests")
+      (total "serve.requests");
+    Alcotest.(check int) "four requests settled" 4 (total "serve.requests");
+    (* rolling p99 present for the request histogram *)
+    (match
+       Option.bind (Json.member "rolling" stats)
+         (Json.member "serve.request")
+     with
+    | Some summary -> (
+      match Repair_obs.Histogram.of_summary_json summary with
+      | Ok h ->
+        Alcotest.(check int) "rolling histogram holds the window" 4
+          (Repair_obs.Histogram.count h)
+      | Error m -> Alcotest.failf "rolling summary invalid: %s" m)
+    | None -> Alcotest.fail "no rolling serve.request histogram");
+    (* the embedded exposition passes the grammar checker *)
+    (match Json.member "exposition" j with
+    | Some (Json.String text) -> (
+      match Repair_obs.Expo.check text with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "exposition fails its checker: %s" m)
+    | _ -> Alcotest.fail "reply lacks exposition");
+    (* accounting section rides along and still balances *)
+    Alcotest.(check bool) "accounting balanced" true (Engine.balanced engine)
+
+(* Slow-request records: with the threshold at 0 every settled request
+   fires the callback with a structured record carrying the
+   deterministic request id, op, outcome, and span breakdown. *)
+let test_slow_log_records () =
+  with_metrics @@ fun () ->
+  let records = ref [] in
+  let engine =
+    Engine.create
+      ~on_slow:(fun r -> records := r :: !records)
+      { (config ~capacity:8 ~watermark:8) with slow_ms = Some 0.0 }
+  in
+  (match feed engine 0 with
+  | `Enqueued -> ()
+  | _ -> Alcotest.fail "not admitted");
+  (match Engine.take engine with
+  | Some p ->
+    Alcotest.(check string) "deterministic request id" "c0.1"
+      p.Engine.req_id;
+    ignore (Engine.execute engine ~exec:ok_exec p)
+  | None -> Alcotest.fail "nothing queued");
+  match !records with
+  | [ record ] ->
+    let str key =
+      match Option.bind (Json.member key record) Json.string_value with
+      | Some s -> s
+      | None -> Alcotest.failf "record lacks %s" key
+    in
+    Alcotest.(check string) "record req id" "c0.1" (str "req");
+    Alcotest.(check string) "record op" "s-repair" (str "op");
+    Alcotest.(check string) "record outcome" "ok" (str "outcome");
+    Alcotest.(check bool) "wall_ms present" true
+      (Option.bind (Json.member "wall_ms" record) Json.float_value <> None);
+    Alcotest.(check bool) "queue_ms present" true
+      (Option.bind (Json.member "queue_ms" record) Json.float_value <> None);
+    Alcotest.(check bool) "span breakdown present" true
+      (match Json.member "spans" record with
+      | Some (Json.List _) -> true
+      | _ -> false);
+    Alcotest.(check int) "serve.slow counted" 1
+      (Repair_obs.Metrics.counter "serve.slow")
+  | rs -> Alcotest.failf "expected one slow record, got %d" (List.length rs)
+
 let test_end_to_end_unix_socket () =
   let path = socket_path () in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
@@ -591,6 +733,69 @@ let test_end_to_end_parallel_accounting () =
       (serve_int "completed" + serve_int "quarantined"
       + serve_int "cancelled" + serve_int "queue_depth")
 
+(* Regression: a shed reply that schedules a retry must count once (in
+   [retried]), not in [shed] as well — so with retries enabled against a
+   deliberately tiny queue, every original request still resolves to
+   exactly one terminal outcome: ok + shed + failed + protocol = requests.
+   (The old double-count made that sum exceed [requests] by [retried].)
+   report_json additionally asserts the reply-level identities. *)
+let test_load_gen_retry_accounting () =
+  let path = socket_path () ^ ".retry" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  match Unix.fork () with
+  | 0 ->
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stderr;
+    let code =
+      try
+        R.Serve.run
+          ~config:
+            { Engine.default_config with
+              queue_capacity = 1;
+              degrade_watermark = 1 }
+          (Server.Unix_sock path)
+      with _ -> 99
+    in
+    Unix._exit code
+  | pid ->
+    let cleanup () =
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ()
+    in
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+      ignore (Unix.select [] [] [] 0.02)
+    done;
+    Alcotest.(check bool) "socket appeared" true (Sys.file_exists path);
+    let requests = 30 in
+    let report =
+      Repair_workload.Load_gen.run
+        { Repair_workload.Load_gen.default_spec with
+          requests;
+          connections = 6;
+          op = Repair_serve.Protocol.Classify;
+          retries = 6;
+          retry_backoff_ms = 20;
+          wall_timeout_s = 30.0 }
+        (Repair_workload.Load_gen.Unix_sock path)
+    in
+    let open Repair_workload.Load_gen in
+    (* report_json runs the identity assertions *)
+    ignore (report_json report);
+    Alcotest.(check int) "everything answered" report.sent report.answered;
+    Alcotest.(check bool) "the tiny queue shed and retries fired" true
+      (report.retried > 0);
+    Alcotest.(check int)
+      "each request resolved to exactly one terminal outcome" requests
+      (report.ok + report.shed + report.failed + report.protocol_errors);
+    Unix.kill pid Sys.sigterm;
+    let _, status = Unix.waitpid [] pid in
+    match status with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED c -> Alcotest.failf "daemon exited %d" c
+    | _ -> Alcotest.fail "daemon killed by signal"
+
 let () =
   Alcotest.run "serve"
     [ ( "protocol",
@@ -609,6 +814,11 @@ let () =
           Alcotest.test_case "quota shed" `Quick test_quota_shed;
           Alcotest.test_case "control ops bypass admission" `Quick
             test_control_ops_bypass_admission ] );
+      ( "telemetry",
+        [ Alcotest.test_case "stats op: windows, rates, totals" `Quick
+            test_stats_op;
+          Alcotest.test_case "slow-request records" `Quick
+            test_slow_log_records ] );
       ( "executor",
         [ Alcotest.test_case "driver-backed repair" `Quick
             test_core_exec_repair;
@@ -620,4 +830,6 @@ let () =
           Alcotest.test_case "slow-loris client evicted" `Quick
             test_slow_loris_eviction;
           Alcotest.test_case "4-domain server keeps the books balanced"
-            `Quick test_end_to_end_parallel_accounting ] ) ]
+            `Quick test_end_to_end_parallel_accounting;
+          Alcotest.test_case "retry accounting counts each reply once"
+            `Quick test_load_gen_retry_accounting ] ) ]
