@@ -237,7 +237,7 @@ let check_reply_line line =
 (* The poison executor: most requests succeed, some raise classified
    errors, some raise junk — the isolation boundary must classify all of
    them into replies rather than let anything unwind the server. *)
-let stub_exec rng ~degraded:_ (_ : Protocol.request) =
+let stub_exec rng ~conn:_ ~degraded:_ (_ : Protocol.request) =
   match Rng.int rng 4 with
   | 0 -> R.Runtime.Repair_error.raise_error
            (Parse { source = "<fuzz>"; line = None; detail = "poison" })
@@ -563,7 +563,7 @@ let serve_chaos seed =
       degrade_watermark = 1 + Rng.int rng config.Engine.queue_capacity }
   in
   let engine = Engine.create config in
-  let exec ~degraded:_ (_ : Protocol.request) =
+  let exec ~conn:_ ~degraded:_ (_ : Protocol.request) =
     (* durably publish through the shim: injected faults must surface as
        classified Io errors the isolation boundary turns into replies *)
     Io_fault.write_file_atomic out
@@ -610,6 +610,106 @@ let serve_chaos seed =
 let chaos_trial seed =
   if seed mod 2 = 0 then batch_chaos seed else serve_chaos seed
 
+(* --- stream mode: incremental session vs cold recompute -------------
+
+   DESIGN §16's identity contract, fuzzed: after EVERY delta on a random
+   tape the session's summary must match a cold driver run on the
+   materialized table — result table, distance, method, optimal flag,
+   ratio, all compared exactly, no epsilon. A random edit script over
+   Vertex_cover.Incremental rides along: the maintained store's cover
+   must equal the batch greedy on the final graph, modulo slot
+   renaming. *)
+
+let check_vc_incremental rng =
+  let module Vc = R.Graph.Vertex_cover in
+  let module Vci = Vc.Incremental in
+  let t = Vci.create () in
+  let slots = ref [] in
+  let pick ss = List.nth ss (Rng.int rng (List.length ss)) in
+  for _ = 1 to Rng.in_range rng 2 16 do
+    match (Rng.int rng 4, !slots) with
+    | (0 | 1), _ | _, [] ->
+      slots :=
+        Vci.add_vertex t ~weight:(float_of_int (Rng.in_range rng 1 5))
+        :: !slots
+    | 2, ss ->
+      let u = pick ss and v = pick ss in
+      if u <> v then
+        if Rng.bool rng then Vci.add_edge t u v else Vci.remove_edge t u v
+    | _, ss ->
+      let v = pick ss in
+      Vci.remove_vertex t v;
+      slots := List.filter (fun s -> s <> v) ss
+  done;
+  let g, map = Vci.to_graph t in
+  let batch = List.map (fun i -> map.(i)) (Vc.greedy g) in
+  if Vci.cover t <> batch then
+    fail "incremental cover %a != batch greedy %a"
+      Fmt.(Dump.list int)
+      (Vci.cover t)
+      Fmt.(Dump.list int)
+      batch
+
+let stream_trial seed =
+  let module Ss = R.Stream.Session in
+  let rng = Rng.make seed in
+  check_vc_incremental rng;
+  let n_attrs = Rng.in_range rng 2 3 in
+  let schema, d =
+    Gen_fd.random rng ~n_attrs ~n_fds:(Rng.in_range rng 1 2) ~max_lhs:2
+  in
+  let base =
+    Gen_table.dirty rng schema d
+      {
+        Gen_table.default with
+        n = Rng.in_range rng 0 8;
+        noise = 0.4;
+        domain_size = 3;
+        weighted = Rng.bool rng;
+        duplicate_rate = 0.1;
+      }
+  in
+  let session = Ss.create d base in
+  let next_id = ref (List.fold_left max (-1) (Table.ids base) + 1) in
+  let live = ref (Table.ids base) in
+  for _ = 1 to Rng.in_range rng 1 12 do
+    (if !live <> [] && Rng.int rng 3 = 0 then begin
+       let id = List.nth !live (Rng.int rng (List.length !live)) in
+       live := List.filter (fun i -> i <> id) !live;
+       Ss.tick session (R.Stream.Delta.Delete { id })
+     end
+     else begin
+       let values = List.init n_attrs (fun _ -> Value.int (Rng.int rng 3)) in
+       let weight =
+         if Rng.bool rng then 1.0 else float_of_int (Rng.in_range rng 1 5)
+       in
+       let id = !next_id in
+       incr next_id;
+       live := id :: !live;
+       Ss.tick session (R.Stream.Delta.Insert { id = Some id; weight; values })
+     end);
+    let m = Ss.materialized session in
+    let s = Ss.summary session in
+    match R.Driver.s_repair_result d m with
+    | Error e ->
+      fail "cold driver failed on materialized table: %s under %a"
+        (R.Runtime.Repair_error.to_string e)
+        Fd_set.pp d
+    | Ok cold ->
+      if not (Table.equal s.Ss.result cold.R.Driver.result) then
+        fail "stream result table differs from cold recompute under %a"
+          Fd_set.pp d;
+      if s.Ss.distance <> cold.distance then
+        fail "stream distance %g != cold %g under %a" s.Ss.distance
+          cold.distance Fd_set.pp d;
+      if s.Ss.method_used <> cold.method_used then
+        fail "stream method %S != cold %S under %a" s.Ss.method_used
+          cold.method_used Fd_set.pp d;
+      if s.Ss.optimal <> cold.optimal || s.Ss.ratio <> cold.ratio then
+        fail "stream optimality certificate differs from cold under %a"
+          Fd_set.pp d
+  done
+
 let trial seed =
   let rng = Rng.make seed in
   let n_attrs = Rng.in_range rng 2 4 in
@@ -642,6 +742,7 @@ let run mode trials seed0 quiet =
     | `Protocol -> protocol_trial
     | `Par -> par_trial
     | `Chaos -> chaos_trial
+    | `Stream -> stream_trial
   in
   let failures = ref 0 in
   (try
@@ -681,13 +782,18 @@ let main =
        against the batch journal and the serving engine, asserting \
        recovery truncates torn tails, quarantines corruption with the \
        structured error class, never re-executes a committed job, and \
-       keeps the serve accounting identity balanced (DESIGN §14)."
+       keeps the serve accounting identity balanced (DESIGN §14); \
+       $(b,stream) replays random delta tapes through an incremental \
+       streaming session, asserting after every tick that the summary is \
+       identical to a cold driver run on the materialized table, and \
+       that the maintained vertex-cover store matches the batch greedy \
+       (DESIGN §16)."
     in
     Arg.(value
          & opt
              (enum
                 [ ("differential", `Differential); ("protocol", `Protocol);
-                  ("par", `Par); ("chaos", `Chaos) ])
+                  ("par", `Par); ("chaos", `Chaos); ("stream", `Stream) ])
              `Differential
          & info [ "mode" ] ~docv:"MODE" ~doc)
   in

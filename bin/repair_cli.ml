@@ -1075,6 +1075,239 @@ let top_cmd =
     Term.(const run $ socket_arg $ port_arg $ interval_arg $ once_arg
           $ expo_arg $ verbose_arg)
 
+let stream_cmd =
+  let module Session = R.Stream.Session in
+  let module Delta = R.Stream.Delta in
+  let deltas_arg =
+    let doc =
+      "JSONL delta log: one {\"op\":\"insert\",\"tuple\":[...],\"weight\",\
+       \"id\"} or {\"op\":\"delete\",\"id\"} object per line."
+    in
+    Arg.(required & opt (some file) None & info [ "deltas" ] ~docv:"FILE" ~doc)
+  in
+  let dump_table_arg =
+    let doc =
+      "Also write the materialized table (base plus applied deltas) to \
+       $(docv) — the table a cold $(b,s-repair) run would see."
+    in
+    Arg.(value & opt (some string) None & info [ "dump-table" ] ~docv:"FILE" ~doc)
+  in
+  let chunk_arg =
+    let doc = "Client mode: delta lines sent per request." in
+    Arg.(value & opt int 256 & info [ "chunk" ] ~docv:"N" ~doc)
+  in
+  let read_lines path =
+    match
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      let rec go acc n =
+        match input_line ic with
+        | line -> go ((n, line) :: acc) (n + 1)
+        | exception End_of_file -> List.rev acc
+      in
+      go [] 1
+    with
+    | lines -> lines
+    | exception Sys_error m -> die_error (E.Io { file = path; detail = m })
+  in
+  let finish ?dump_table out (r : R.Driver.report) =
+    report_header "stream" r;
+    Option.iter (fun (path, tbl) -> write_out path (Csv_io.to_string tbl))
+      dump_table;
+    emit out r.result
+  in
+  (* Local mode: the session lives in this process; a malformed delta
+     line is reported on stderr and the stream keeps going, exactly like
+     the daemon keeping a session alive across a rejected request. *)
+  let run_local d tbl lines out dump_table =
+    let session = Session.create d tbl in
+    let rejected = ref 0 in
+    List.iter
+      (fun (n, line) ->
+        if String.trim line <> "" then
+          try Session.tick session (Delta.parse ~line:n line)
+          with E.Error e ->
+            incr rejected;
+            Fmt.epr "stream: delta line %d rejected: %a@." n E.pp e)
+      lines;
+    let s = Session.summary session in
+    let st = Session.stats session in
+    Fmt.epr "stream: ticks=%d rejected=%d live-rows=%d@." st.Session.ticks
+      !rejected st.Session.live;
+    let r : R.Driver.report =
+      { result = s.Session.result; distance = s.Session.distance;
+        optimal = s.Session.optimal; ratio = s.Session.ratio;
+        method_used = s.Session.method_used; degraded = false; fallbacks = [] }
+    in
+    let dump_table =
+      Option.map (fun p -> (p, Session.materialized session)) dump_table
+    in
+    finish ?dump_table out r
+  in
+  (* Client mode: replay the (locally pre-validated) delta log through a
+     running daemon's per-connection stream session, chunked so the
+     request lines stay under the server's byte limit. *)
+  let run_client fds tbl target lines chunk out dump_table =
+    let module Json = R.Obs.Json in
+    let file =
+      match target with
+      | R.Workload.Load_gen.Unix_sock p -> p
+      | R.Workload.Load_gen.Tcp p -> Printf.sprintf "127.0.0.1:%d" p
+    in
+    let io detail = die_error (E.Io { file; detail }) in
+    let valid =
+      List.filter_map
+        (fun (n, line) ->
+          if String.trim line = "" then None
+          else
+            match Delta.parse ~line:n line with
+            | _ -> Some line
+            | exception E.Error e ->
+              Fmt.epr "stream: delta line %d rejected: %a@." n E.pp e;
+              None)
+        lines
+    in
+    let rec chunks = function
+      | [] -> []
+      | rest ->
+        let rec take k acc = function
+          | r when k = 0 -> (List.rev acc, r)
+          | [] -> (List.rev acc, [])
+          | x :: r -> take (k - 1) (x :: acc) r
+        in
+        let c, rest = take chunk [] rest in
+        c :: chunks rest
+    in
+    let batches = match chunks valid with [] -> [ [] ] | bs -> bs in
+    let domain, addr =
+      match target with
+      | R.Workload.Load_gen.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      | R.Workload.Load_gen.Tcp port ->
+        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+    match
+      Fun.protect ~finally @@ fun () ->
+      Unix.connect fd addr;
+      let rec write_all s off =
+        if off < String.length s then
+          write_all s (off + Unix.write_substring fd s off (String.length s - off))
+      in
+      let pending = ref "" in
+      let chunk_buf = Bytes.create 65536 in
+      let read_reply () =
+        let rec go acc =
+          match String.index_opt acc '\n' with
+          | Some i ->
+            pending := String.sub acc (i + 1) (String.length acc - i - 1);
+            String.sub acc 0 i
+          | None -> (
+            match Unix.read fd chunk_buf 0 (Bytes.length chunk_buf) with
+            | 0 -> io "server closed the connection mid-stream"
+            | n -> go (acc ^ Bytes.sub_string chunk_buf 0 n))
+        in
+        go !pending
+      in
+      let exchange ~first k batch =
+        let line =
+          R.Serve.Protocol.request_line ~id:(Json.Int k) ~op:R.Serve.Protocol.Stream ~fds
+            ?table:(if first then Some (Csv_io.to_string tbl) else None)
+            ~deltas:(String.concat "\n" batch) ()
+        in
+        write_all line 0;
+        match Json.of_string (read_reply ()) with
+        | Error m -> io (Printf.sprintf "unparsable reply: %s" m)
+        | Ok reply -> (
+          match Json.member "ok" reply with
+          | Some (Json.Bool true) -> reply
+          | _ ->
+            let err k' =
+              match Option.bind (Json.member "error" reply)
+                      (fun e -> Json.member k' e) with
+              | Some (Json.String s) -> s
+              | _ -> "?"
+            in
+            die_error
+              (E.Parse
+                 { source = "<server>"; line = None;
+                   detail =
+                     Printf.sprintf "stream request refused (%s): %s"
+                       (err "class") (err "detail") }))
+      in
+      let last = List.length batches - 1 in
+      List.mapi (fun k batch -> exchange ~first:(k = 0) k batch) batches
+      |> fun replies -> List.nth replies last
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      io (Printf.sprintf "cannot reach server: %s" (Unix.error_message e))
+    | reply ->
+      let module Json = R.Obs.Json in
+      let fstr k = match Json.member k reply with
+        | Some (Json.String s) -> s | _ -> "" in
+      let ffloat k =
+        Option.bind (Json.member k reply) Json.float_value
+        |> Option.value ~default:0.0 in
+      let fint k =
+        Option.bind (Json.member k reply) Json.int_value
+        |> Option.value ~default:0 in
+      let fbool k = match Json.member k reply with
+        | Some (Json.Bool b) -> b | _ -> false in
+      let result =
+        or_die_error
+          (Csv_io.parse_result ~file:"<reply>" ~name:"T" (fstr "table"))
+      in
+      Fmt.epr "stream: ticks=%d live-rows=%d@." (fint "ticks") (fint "rows");
+      let r : R.Driver.report =
+        { result; distance = ffloat "distance"; optimal = fbool "optimal";
+          ratio = ffloat "ratio"; method_used = fstr "method";
+          degraded = false; fallbacks = [] }
+      in
+      finish out r;
+      Option.iter
+        (fun p ->
+          Fmt.epr "stream: --dump-table is local-mode only; %s not written@." p)
+        dump_table
+  in
+  let run fds input deltas out dump_table socket port chunk verbose metrics
+      trace trace_buffer =
+    setup_logs verbose;
+    if chunk < 1 then
+      die_error
+        (E.Parse
+           { source = "<args>"; line = None; detail = "--chunk must be >= 1" });
+    let d = or_die_error (parse_fds fds) in
+    let tbl = or_die_error (load_table input) in
+    let lines = read_lines deltas in
+    match (socket, port) with
+    | None, None ->
+      with_trace trace trace_buffer @@ fun () ->
+      with_metrics metrics @@ fun () -> run_local d tbl lines out dump_table
+    | _ ->
+      let target : R.Workload.Load_gen.target =
+        match listen_of socket port with
+        | R.Serve.Server.Unix_sock p -> Unix_sock p
+        | R.Serve.Server.Tcp p -> Tcp p
+      in
+      run_client fds tbl target lines chunk out dump_table
+  in
+  let doc =
+    "Maintain a repair incrementally under a JSONL delta log \
+     (DESIGN §16): each insert/delete re-solves only its own block, and \
+     the final summary is byte-identical to a cold $(b,s-repair) run on \
+     the materialized table. Without $(b,--socket)/$(b,--port) the \
+     session runs in-process; with one, the log replays through a \
+     running $(b,repair-cli serve) daemon's per-connection stream \
+     session. A malformed delta line is rejected on stderr and the \
+     stream keeps going. Exit codes are the standard table — streaming \
+     adds none."
+  in
+  Cmd.v
+    (Cmd.info "stream" ~doc)
+    Term.(const run $ fds_arg $ csv_in $ deltas_arg $ csv_out $ dump_table_arg
+          $ socket_arg $ port_arg $ chunk_arg $ verbose_arg $ metrics_arg
+          $ trace_arg $ trace_buffer_arg)
+
 let main =
   let doc = "optimal repairs for functional dependencies (PODS'18)" in
   let man =
@@ -1097,6 +1330,6 @@ let main =
     (Cmd.info "repair-cli" ~version:"1.0.0" ~doc ~man)
     [ classify_cmd; s_repair_cmd; u_repair_cmd; mpd_cmd; generate_cmd; cqa_cmd; normalize_cmd;
       dirtiness_cmd; session_cmd; armstrong_cmd; batch_cmd; profile_cmd;
-      serve_cmd; load_cmd; top_cmd ]
+      serve_cmd; load_cmd; top_cmd; stream_cmd ]
 
 let () = exit (Cmd.eval main)

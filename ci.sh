@@ -41,6 +41,11 @@ dune exec bin/fuzz.exe -- --mode chaos --trials 60 --quiet
 dune exec test/test_par.exe
 dune exec bin/fuzz.exe -- --mode par --trials 500 --quiet
 
+# Streaming identity (DESIGN §16): random delta tapes against a live
+# session — after every tick the summary must be byte-identical to a
+# from-scratch driver run on the materialized table.
+dune exec bin/fuzz.exe -- --mode stream --trials 200 --quiet
+
 # Trace round-trip: a traced repair must emit Chrome trace JSON that the
 # profiler accepts — required keys present, timestamps monotone, every
 # Begin matched by an End.
@@ -168,6 +173,48 @@ tsnap_field() { grep -m1 "\"$1\":" "$sdir/tsnap.json" | tr -dc '0-9'; }
 grep -q '"req": *"c' "$sdir/t.trace.json"
 grep -Eq '"tid": *[2-9]' "$sdir/t.trace.json"
 grep -q '"traceEvents"' "$sdir/t.trace.json"
+
+# Streaming drill (DESIGN §16): a 4-domain daemon; a 1000-delta JSONL
+# tape replayed through `repair-cli stream` over the socket in 50-line
+# chunks; the final repaired table and summary must be byte-identical
+# to a cold s-repair run on the materialized table (dumped by a
+# local-mode replay of the same tape); and the `top --once` stream row
+# must reflect the tape (1000 ticks, a live block-cache hit rate).
+awk 'BEGIN{print "#id,#weight,A,B";
+  for(i=1;i<=500;i++) printf "%d,1,%d,%d\n", i, i%100+1, i%7+1}' \
+  > "$sdir/sbase.csv"
+awk 'BEGIN{for(k=0;k<1000;k++){
+  if(k%2==0)
+    printf "{\"op\":\"insert\",\"id\":%d,\"weight\":1.0,\"tuple\":[%d,%d]}\n", \
+      501+k,(k*13)%100+1,(k*3)%7+1;
+  else printf "{\"op\":\"delete\",\"id\":%d}\n",(97*(k-1)/2)%500+1 }}' \
+  > "$sdir/tape.jsonl"
+./_build/default/bin/repair_cli.exe serve --socket "$sdir/st.sock" \
+  --domains 4 --metrics-out "$sdir/ssnap.json" 2> "$sdir/sserver.log" &
+ssrv=$!
+for _ in $(seq 100); do [ -S "$sdir/st.sock" ] && break; sleep 0.1; done
+[ -S "$sdir/st.sock" ]
+./_build/default/bin/repair_cli.exe stream -f "A -> B" "$sdir/sbase.csv" \
+  --deltas "$sdir/tape.jsonl" --socket "$sdir/st.sock" --chunk 50 \
+  -o "$sdir/swire.csv" > "$sdir/swire.out" 2>&1
+./_build/default/bin/repair_cli.exe stream -f "A -> B" "$sdir/sbase.csv" \
+  --deltas "$sdir/tape.jsonl" --dump-table "$sdir/smat.csv" \
+  -o "$sdir/slocal.csv" > /dev/null 2>&1
+./_build/default/bin/repair_cli.exe s-repair -f "A -> B" "$sdir/smat.csv" \
+  -o "$sdir/scold.csv" 2> "$sdir/scold.err"
+cmp "$sdir/swire.csv" "$sdir/scold.csv"    # wire repair = cold repair
+cmp "$sdir/swire.csv" "$sdir/slocal.csv"   # wire repair = local replay
+[ "$(sed -n 's/^stream: \(distance=.*\)/\1/p' "$sdir/swire.out")" = \
+  "$(sed -n 's/^s-repair: \(distance=.*\)/\1/p' "$sdir/scold.err")" ]
+./_build/default/bin/repair_cli.exe top --socket "$sdir/st.sock" --once \
+  > "$sdir/stop.txt"
+grep -q '^total.stream.ticks 1000' "$sdir/stop.txt"
+grep -q '^stream.ticks_per_s ' "$sdir/stop.txt"
+grep -Eq '^stream.affected_ratio 0\.[0-9]+' "$sdir/stop.txt"
+grep -Eq '^stream.cache_hit_rate 0\.[0-9]+' "$sdir/stop.txt"
+kill -TERM "$ssrv"
+sdrain=0; wait "$ssrv" || sdrain=$?
+[ "$sdrain" -eq 0 ]
 
 # Median-of-3 runs keep the ms-scale smoke records (including the E20
 # 1k sweep point) below the compare gate's noise threshold.

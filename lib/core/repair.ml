@@ -19,6 +19,7 @@ module Runtime = Repair_runtime
 module Obs = Repair_obs
 
 module Par = Repair_par
+module Stream = Repair_stream
 
 module Driver = struct
   open Repair_relational
@@ -397,6 +398,23 @@ module Serve = struct
           describe = lazy (Driver.describe d);
         })
 
+  (* Streaming sessions (DESIGN §16): per-connection state, keyed by
+     the engine's connection cookie. A bounded LRU caps resident
+     sessions (counters stream.sessions.hit/.miss/.evict); a mutex
+     serializes session
+     access because pool worker domains may execute two stream requests
+     concurrently. A stream request with a nonempty table (re)builds the
+     connection's session from it; with an empty table it continues the
+     existing one (same FD text required — a mismatch is a structured
+     parse reject). *)
+  type session_slot = { fds_text : string; session : Repair_stream.Session.t }
+
+  let default_session_capacity = 64
+
+  let make_sessions ?(capacity = default_session_capacity) () :
+      (int, session_slot) Cache.t =
+    Cache.create ~name:"stream.sessions" ~capacity
+
   let parse_table (req : Protocol.request) =
     match req.format with
     | Protocol.Csv -> Csv_io.parse_string ~file:"<request>" ~name:"T" req.table
@@ -414,7 +432,60 @@ module Serve = struct
     | Protocol.Exact -> Driver.Exact
     | Protocol.Approximate -> Driver.Approximate
 
-  let exec ~cache ~degraded ~budget (req : Protocol.request) =
+  let stream_exec ~cache ~sessions ~mutex ~conn (req : Protocol.request) =
+    Mutex.lock mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock mutex) @@ fun () ->
+    let warm = lookup cache req.fds in
+    let session =
+      match Cache.find sessions conn with
+      | Some slot when slot.fds_text = req.fds && req.table = "" ->
+        slot.session
+      | _ ->
+        let base =
+          if req.table = "" then
+            Repair_error.raise_error
+              (Parse
+                 {
+                   source = "<request>";
+                   line = None;
+                   detail =
+                     "stream: no live session for this connection (or the \
+                      FD set changed); send a \"table\" to initialize one";
+                 })
+          else parse_table req
+        in
+        let session = Repair_stream.Session.create warm.fds base in
+        Cache.add sessions conn { fds_text = req.fds; session };
+        session
+    in
+    (* Apply the delta lines in order. The first malformed or
+       inapplicable line stops the batch with a structured reject; the
+       valid prefix stays applied and the session remains live. *)
+    let lines = String.split_on_char '\n' req.deltas in
+    let applied = ref 0 in
+    List.iteri
+      (fun i line ->
+        if String.trim line <> "" then begin
+          let d = Repair_stream.Delta.parse ~line:(i + 1) line in
+          Repair_stream.Session.tick session d;
+          incr applied
+        end)
+      lines;
+    let r = Repair_stream.Session.summary session in
+    let st = Repair_stream.Session.stats session in
+    [ ("distance", Json.Float r.Repair_stream.Session.distance);
+      ("method", Json.String r.Repair_stream.Session.method_used);
+      ("optimal", Json.Bool r.Repair_stream.Session.optimal);
+      ("ratio", Json.Float r.Repair_stream.Session.ratio);
+      ("degraded", Json.Bool false);
+      ("fallbacks", Json.List []);
+      ("table", Json.String (render_table req r.Repair_stream.Session.result));
+      ("applied", Json.Int !applied);
+      ("ticks", Json.Int st.Repair_stream.Session.ticks);
+      ("rows", Json.Int st.Repair_stream.Session.live) ]
+
+  let exec ~cache ~sessions ~mutex ~conn ~degraded ~budget
+      (req : Protocol.request) =
     match req.Protocol.op with
     | Protocol.Classify ->
       let warm = lookup cache req.fds in
@@ -446,6 +517,12 @@ module Serve = struct
           ( "fallbacks",
             Json.List (List.map (fun f -> Json.String f) r.Driver.fallbacks) );
           ("table", Json.String (render_table req r.Driver.result)) ])
+    | Protocol.Stream ->
+      (* Streaming sessions run under unlimited budgets (the identity
+         contract with a cold recompute leaves no room for exhaustion
+         points); admission control still queues and sheds them. *)
+      ignore budget;
+      stream_exec ~cache ~sessions ~mutex ~conn req
     | Protocol.Ping | Protocol.Metrics | Protocol.Stats
     | Protocol.Invalidate_cache | Protocol.Drain ->
       (* Control ops are answered by the engine and never reach an
@@ -455,10 +532,13 @@ module Serve = struct
   let run ?config ?cache_capacity ?metrics_out ?slow_log ?trace_out
       ?(domains = 1) listen =
     let cache = make_cache ?capacity:cache_capacity () in
+    let sessions = make_sessions () in
+    let mutex = Mutex.create () in
     let serve ?pool () =
       Server.run ?config ?metrics_out ?slow_log ?trace_out ?pool
-        ~on_invalidate:(fun () -> Cache.clear cache)
-        ~exec:(fun ~degraded ~budget req -> exec ~cache ~degraded ~budget req)
+        ~on_invalidate:(fun () -> Cache.clear cache + Cache.clear sessions)
+        ~exec:(fun ~conn ~degraded ~budget req ->
+          exec ~cache ~sessions ~mutex ~conn ~degraded ~budget req)
         listen
     in
     if domains <= 1 then serve ()

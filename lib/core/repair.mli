@@ -59,6 +59,11 @@ module Obs = Repair_obs
     results are bit-identical with and without a pool. *)
 module Par = Repair_par
 
+(** The incremental streaming repair layer ({!Repair_stream}):
+    delta-driven sessions that keep a repair fresh at O(affected-group)
+    cost per update (DESIGN §16). *)
+module Stream = Repair_stream
+
 module Driver : sig
   open Repair_relational
   open Repair_fd
@@ -230,24 +235,45 @@ module Serve : sig
       in {!Obs.Metrics}. *)
   val make_cache : ?capacity:int -> unit -> (string, warm) Cache.t
 
-  (** [exec ~cache ~degraded ~budget req] executes one repair request
-      against the {!Driver}: [classify] answers from the warm cache;
-      [s-repair]/[u-repair] run the ladder with [on_budget:`Degrade]
-      under [budget], forcing the [Approximate] rung when [degraded].
+  (** One connection's streaming repair session (DESIGN §16): the
+      {!Stream.Session} plus the FD text it was initialized under. *)
+  type session_slot = {
+    fds_text : string;
+    session : Repair_stream.Session.t;
+  }
+
+  val default_session_capacity : int
+
+  (** [make_sessions ()] is the per-connection stream-session LRU,
+      registered under ["stream.sessions"] in {!Obs.Metrics}. Keyed by
+      the engine's connection cookie. *)
+  val make_sessions : ?capacity:int -> unit -> (int, session_slot) Cache.t
+
+  (** [exec ~cache ~sessions ~mutex ~conn ~degraded ~budget req]
+      executes one repair request against the {!Driver}: [classify]
+      answers from the warm cache; [s-repair]/[u-repair] run the ladder
+      with [on_budget:`Degrade] under [budget], forcing the
+      [Approximate] rung when [degraded]; [stream] applies the
+      request's deltas to connection [conn]'s session under [mutex] and
+      returns the refreshed summary (a nonempty [table] field
+      (re)initializes the session, an empty one continues it).
 
       @raise Runtime.Repair_error.Error on any classified failure — the
       engine catches it at the isolation boundary.
       @raise Invalid_argument on control ops (the engine answers those). *)
   val exec :
     cache:(string, warm) Cache.t ->
+    sessions:(int, session_slot) Cache.t ->
+    mutex:Mutex.t ->
+    conn:int ->
     degraded:bool ->
     budget:Runtime.Budget.t ->
     Protocol.request ->
     (string * Obs.Json.t) list
 
   (** [run ?config ?cache_capacity ?metrics_out ?slow_log ?domains
-      listen] is {!Server.run} with a fresh warm cache and {!exec};
-      [invalidate] requests clear the cache. [slow_log] is the
+      listen] is {!Server.run} with a fresh warm cache, a fresh stream
+      session registry, and {!exec}; [invalidate] requests clear both. [slow_log] is the
       slow-request record destination and [trace_out] the Chrome
       trace-event destination (see {!Server.run}). With [domains > 1]
       (default [1]) the serve owns a {!Par.Pool} for its lifetime and

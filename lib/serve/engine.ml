@@ -253,7 +253,8 @@ let handle_line t ~conn ~quota_used line =
     | Protocol.Drain ->
       drain t;
       `Drain (Protocol.ok_line ~id [ ("draining", Json.Bool true) ])
-    | Protocol.S_repair | Protocol.U_repair | Protocol.Classify ->
+    | Protocol.S_repair | Protocol.U_repair | Protocol.Classify
+    | Protocol.Stream ->
       if t.mode = `Draining then
         shed t ~id ~error_class:Protocol.err_draining
           ~detail:"server is draining; no new work is admitted"
@@ -295,7 +296,7 @@ let handle_line t ~conn ~quota_used line =
         end
       end)
 
-type exec = degraded:bool -> Protocol.request -> (string * Json.t) list
+type exec = conn:int -> degraded:bool -> Protocol.request -> (string * Json.t) list
 
 let take t =
   match Queue.take_opt t.queue with
@@ -339,7 +340,7 @@ let run_exec ~exec p =
                    overflow from an adversarial instance — becomes an
                    [internal] reply. Nothing a request does can unwind
                    past this point. *)
-                match exec ~degraded:downgraded p.request with
+                match exec ~conn:p.conn ~degraded:downgraded p.request with
                 | fields -> Ok fields
                 | exception E.Error e -> Error (E.class_name e, E.to_string e)
                 | exception Stack_overflow ->

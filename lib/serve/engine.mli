@@ -137,11 +137,14 @@ val handle_line :
 val reject_oversized : t -> string
 
 (** The executor: produces the [ok] response fields for one request.
-    [degraded] is true for downgraded admissions — implementations run
-    the certified-approximation rung. May raise
+    [conn] is the connection cookie of the admitting connection (the
+    [c<conn>] of the request id) — per-session executors (the stream op)
+    key their state on it. [degraded] is true for downgraded admissions —
+    implementations run the certified-approximation rung. May raise
     {!Repair_runtime.Repair_error.Error} (classified reply) or anything
     else (internal-error reply); {!execute} isolates both. *)
-type exec = degraded:bool -> Protocol.request -> (string * Json.t) list
+type exec =
+  conn:int -> degraded:bool -> Protocol.request -> (string * Json.t) list
 
 (** [take t] pops the oldest admitted request, if any. *)
 val take : t -> pending option

@@ -4,6 +4,7 @@ type op =
   | S_repair
   | U_repair
   | Classify
+  | Stream
   | Ping
   | Metrics
   | Stats
@@ -14,6 +15,7 @@ let op_name = function
   | S_repair -> "s-repair"
   | U_repair -> "u-repair"
   | Classify -> "classify"
+  | Stream -> "stream"
   | Ping -> "ping"
   | Metrics -> "metrics"
   | Stats -> "stats"
@@ -24,6 +26,7 @@ let op_of_name = function
   | "s-repair" -> Some S_repair
   | "u-repair" -> Some U_repair
   | "classify" -> Some Classify
+  | "stream" -> Some Stream
   | "ping" -> Some Ping
   | "metrics" -> Some Metrics
   | "stats" -> Some Stats
@@ -33,7 +36,7 @@ let op_of_name = function
 
 let is_control = function
   | Ping | Metrics | Stats | Invalidate_cache | Drain -> true
-  | S_repair | U_repair | Classify -> false
+  | S_repair | U_repair | Classify | Stream -> false
 
 type format = Csv | Jsonl
 type strategy = Auto | Poly | Exact | Approximate
@@ -47,6 +50,7 @@ type request = {
   strategy : strategy;
   timeout_s : float option;
   max_steps : int option;
+  deltas : string;
 }
 
 type reject = { id : Json.t; error_class : string; detail : string }
@@ -92,6 +96,9 @@ let parse line =
       let table =
         match op with
         | S_repair | U_repair -> string_field "table"
+        (* A stream request without a table continues (or starts empty)
+           the connection's session; with a table it (re)initializes. *)
+        | Stream -> string_field ~default:"" "table"
         | _ -> ""
       in
       let format =
@@ -122,7 +129,10 @@ let parse line =
         | Some (Json.Int i) when i >= 1 -> Some i
         | Some _ -> fail "field \"max_steps\" must be a positive integer"
       in
-      Ok { id; op; fds; table; format; strategy; timeout_s; max_steps }
+      let deltas =
+        match op with Stream -> string_field ~default:"" "deltas" | _ -> ""
+      in
+      Ok { id; op; fds; table; format; strategy; timeout_s; max_steps; deltas }
     with Bad detail -> Error { id; error_class = err_protocol; detail })
   | Ok _ ->
     Error
@@ -140,8 +150,8 @@ let strategy_name = function
   | Exact -> "exact"
   | Approximate -> "approx"
 
-let request_line ~id ~op ?fds ?table ?format ?strategy ?timeout_s ?max_steps ()
-    =
+let request_line ~id ~op ?fds ?table ?format ?strategy ?timeout_s ?max_steps
+    ?deltas () =
   let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
   Json.to_string
     (Json.Obj
@@ -151,7 +161,8 @@ let request_line ~id ~op ?fds ?table ?format ?strategy ?timeout_s ?max_steps ()
        @ opt "format" (fun f -> Json.String (format_name f)) format
        @ opt "strategy" (fun s -> Json.String (strategy_name s)) strategy
        @ opt "timeout_s" (fun f -> Json.Float f) timeout_s
-       @ opt "max_steps" (fun i -> Json.Int i) max_steps))
+       @ opt "max_steps" (fun i -> Json.Int i) max_steps
+       @ opt "deltas" (fun s -> Json.String s) deltas))
   ^ "\n"
 
 let ok_line ~id fields =

@@ -10,14 +10,15 @@
 
     {[
       { "id": <any scalar>,          // echoed back; null when absent
-        "op": "s-repair" | "u-repair" | "classify" | "ping"
+        "op": "s-repair" | "u-repair" | "classify" | "stream" | "ping"
             | "metrics" | "stats" | "invalidate-cache" | "drain",
         "fds": "A -> B; B -> C",     // repair + classify ops
         "table": "A,B\n1,2\n",       // repair ops; CSV or JSONL text
         "format": "csv" | "jsonl",   // of "table", default "csv"
         "strategy": "auto" | "poly" | "exact" | "approx",
         "timeout_s": 1.5,            // per-request wall budget
-        "max_steps": 10000 }         // per-request step budget
+        "max_steps": 10000,          // per-request step budget
+        "deltas": "{\"op\":...}\n" } // stream op: JSONL delta lines
     ]}
 
     Unknown fields are ignored (forward compatibility). Responses are
@@ -30,6 +31,10 @@ type op =
   | S_repair
   | U_repair
   | Classify  (** dichotomy/complexity report for the FD set *)
+  | Stream
+      (** apply JSONL deltas to this connection's streaming repair
+          session and return the refreshed repair summary (DESIGN §16);
+          queued through admission control like the repair ops *)
   | Ping
   | Metrics  (** snapshot of the live metrics registry + serve counters *)
   | Stats
@@ -57,6 +62,11 @@ type request = {
   strategy : strategy;
   timeout_s : float option;
   max_steps : int option;
+  deltas : string;
+      (** stream op only: newline-separated {!Repair_stream.Delta} lines;
+          [""] otherwise. A stream request with a nonempty [table]
+          (re)initializes the connection's session from it; with [""] it
+          continues the existing session. *)
 }
 
 (** A structurally invalid request, already classified for the error
@@ -107,6 +117,7 @@ val request_line :
   ?strategy:strategy ->
   ?timeout_s:float ->
   ?max_steps:int ->
+  ?deltas:string ->
   unit ->
   string
 

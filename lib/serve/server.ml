@@ -11,6 +11,7 @@ let exit_drain_cancelled = 10
 let max_conn_out_bytes = 16 * 1024 * 1024
 
 type exec =
+  conn:int ->
   degraded:bool ->
   budget:Budget.t ->
   Protocol.request ->
@@ -306,7 +307,9 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out
     in
     Budget.create ?timeout_s ?max_steps ()
   in
-  let exec_wrapped ~degraded req = exec ~degraded ~budget:(budget_for req) req in
+  let exec_wrapped ~conn ~degraded req =
+    exec ~conn ~degraded ~budget:(budget_for req) req
+  in
   let handle_line_for c line =
     match
       Engine.handle_line engine ~conn:c.cid ~quota_used:c.quota_used line
@@ -483,7 +486,9 @@ let run ?(config = Engine.default_config) ?on_invalidate ?metrics_out
               List.map
                 (fun p ->
                   let budget = budget_for p.Engine.request in
-                  let exec ~degraded req = exec ~degraded ~budget req in
+                  let exec ~conn ~degraded req =
+                    exec ~conn ~degraded ~budget req
+                  in
                   (p, fun () -> Engine.run_exec ~exec p))
                 batch
             in

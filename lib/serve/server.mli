@@ -52,6 +52,7 @@ val max_conn_out_bytes : int
     the configured defaults, and — during drain — the remaining drain
     allowance). See {!Engine.exec} for [degraded] and error handling. *)
 type exec =
+  conn:int ->
   degraded:bool ->
   budget:Repair_runtime.Budget.t ->
   Protocol.request ->

@@ -223,6 +223,13 @@ let solve_par runner budget delta tbl =
           | None -> raise (Stuck delta)))
   end
 
+(* Streaming entry points (DESIGN §16): the per-block solve and the
+   marriage tail, exposed so an incremental maintainer can re-run exactly
+   the computation a batch [run] performs on one block and combine cached
+   block repairs the way the batch top level would. *)
+let solve_block ?(budget = Budget.unlimited ()) d tbl = solve budget d tbl
+let marriage_combine = marriage_matching
+
 let run ?(budget = Budget.unlimited ()) d tbl =
   match Metrics.with_span "opt-s-repair" (fun () -> solve budget d tbl) with
   | s -> Ok s

@@ -61,3 +61,30 @@ val distance :
   Fd_set.t ->
   Table.t ->
   (float, Fd_set.t) result
+
+(** Raised by the raw entry points below when no simplification applies
+    to the (simplified, nontrivial) FD set — the hard side of the
+    dichotomy. [run]/[run_par] turn it into [Error]. *)
+exception Stuck of Fd_set.t
+
+(** [solve_block ?budget d tbl] is the raw recursive solve on one block:
+    exactly the computation a batch [run] performs on a sub-table under a
+    residual FD set, including its spans and budget ticks, but without
+    the top-level ["opt-s-repair"] span. Streaming maintenance (DESIGN
+    §16) uses it to (re)solve a single dirty block.
+    @raise Stuck on the hard side. *)
+val solve_block :
+  ?budget:Repair_runtime.Budget.t -> Fd_set.t -> Table.t -> Table.t
+
+(** [check_delta_only d] simulates the simplification chain without data
+    (Theorem 3.4: success depends on Δ only).
+    @raise Stuck when the chain gets stuck. *)
+val check_delta_only : Fd_set.t -> unit
+
+(** [marriage_combine schema blocks] is the matching tail of Subroutine 3:
+    given each (X1∪X2)-block's two projections and its solved repair,
+    keep the maximum-weight matching between X1- and X2-values. Exposed
+    so cached block repairs can be recombined exactly as the batch path
+    combines fresh ones. *)
+val marriage_combine :
+  Schema.t -> (Tuple.t * Tuple.t * Table.t) list -> Table.t

@@ -1,0 +1,89 @@
+(** A delta-driven repair maintainer (DESIGN §16).
+
+    [create d base] classifies Δ once: trivial, polynomial (the first
+    OptSRepair simplification fixes a partition attribute set — blocks
+    under it never interact, so locality is sound), or hard (no
+    decomposition exists; the conflict graph is maintained incrementally
+    instead). [tick] applies one {!Delta.t} at O(affected-group) cost:
+    inserts extend the store tip, deletes tombstone a position, and on
+    the polynomial side exactly the touched block is marked dirty —
+    re-solved lazily at the next [summary], every clean block served
+    from the cache. [summary] recombines the block results (replaying
+    their captured metrics and budget steps in block order) into a
+    report that is byte-identical — result table, distance, method, and
+    integer metrics modulo the [stream.*] counters — to a from-scratch
+    driver run on {!materialized}.
+
+    Metrics caveat: a block result captures its metrics when it is
+    first solved (at some summary), so the identity contract requires
+    metrics to be enabled consistently across summaries, not only at
+    the one being compared (the serving daemon always has them
+    enabled). *)
+
+open Repair_relational
+open Repair_fd
+
+type t
+
+(** Duplicated from the driver ladder (lib/core sits above this
+    library); test_stream pins them to the driver's values. *)
+
+val exact_size_limit : int
+
+val poly_method : string
+
+val exact_method : string
+
+val approx_method : string
+
+val default_cache_capacity : int
+
+(** [create ?cache_capacity d base] — copies [base] (O(n)) into a store
+    the session owns the tip of. [cache_capacity] bounds the LRU block
+    cache (counters [stream.block-cache.*]). *)
+val create : ?cache_capacity:int -> Fd_set.t -> Table.t -> t
+
+(** [tick t delta] applies one delta. O(affected-group).
+    @raise Repair_runtime.Repair_error.Error
+      ([Parse]) on arity mismatch, non-positive weight, an insert id not
+      above every id seen, or a delete of an unknown id. A rejected tick
+      leaves the session state unchanged. *)
+val tick : t -> Delta.t -> unit
+
+(** The current table: base plus inserts, minus tombstoned deletes.
+    O(n) when deletes exist; the tombstones are applied here, never per
+    tick. *)
+val materialized : t -> Table.t
+
+type report = {
+  result : Table.t;
+  distance : float;
+  optimal : bool;
+  ratio : float;
+  method_used : string;
+}
+
+(** [summary t] — the refreshed repair, byte-identical to a cold driver
+    run on {!materialized} (which always reports [degraded = false] and
+    no fallbacks here: sessions solve under unlimited budgets). *)
+val summary : t -> report
+
+val fds : t -> Fd_set.t
+val schema : t -> Schema.t
+
+(** Live row count (inserts applied, tombstones excluded). *)
+val size : t -> int
+
+type stats = {
+  ticks : int;
+  inserts : int;
+  deletes : int;
+  rejects : int;
+  summaries : int;
+  live : int;
+  blocks : int; (* live blocks; 0 outside the polynomial mode *)
+  conflicts : int option; (* live conflict count; hard mode only *)
+  cache : Repair_serve.Cache.stats;
+}
+
+val stats : t -> stats

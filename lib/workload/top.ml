@@ -108,6 +108,43 @@ let n_windows s =
 
 let span_s s = float_member "span_s" s.stats
 
+(* {2 Streaming-repair derivations}
+
+   The stream row condenses the [stream.*] counters: tick throughput
+   from the windowed rate, the affected-block ratio (dirty blocks
+   re-solved per live block scanned — the locality the incremental
+   engine is selling), and the block-cache hit rate. All three are
+   hidden until the daemon has actually ticked a stream session. *)
+
+let total k s = match List.assoc_opt k s.totals with Some n -> n | None -> 0
+
+let ratio num den = if den = 0 then 0.0 else float_of_int num /. float_of_int den
+
+type stream_row = {
+  ticks : int;
+  ticks_per_s : float;
+  affected_ratio : float;  (** dirty blocks / live blocks, cumulative *)
+  cache_hit_rate : float;  (** block-cache hits / (hits + misses) *)
+}
+
+let stream s =
+  match total "stream.ticks" s with
+  | 0 -> None
+  | ticks ->
+    let hits = total "stream.block-cache.hit" s in
+    Some
+      {
+        ticks;
+        ticks_per_s =
+          (match List.assoc_opt "stream.ticks" (rates s) with
+          | Some r -> r
+          | None -> 0.0);
+        affected_ratio =
+          ratio (total "stream.dirty-blocks" s) (total "stream.blocks" s);
+        cache_hit_rate =
+          ratio hits (hits + total "stream.block-cache.miss" s);
+      }
+
 let serve_str k s =
   match Option.bind (Json.member k s.serve) Json.string_value with
   | Some v -> v
@@ -136,6 +173,12 @@ let pp_machine ppf s =
       kv "p99.%s_ms %.3f@." k (Histogram.quantile h 0.99 *. 1000.0);
       kv "rolling_count.%s %d@." k (Histogram.count h))
     (rolling s);
+  (match stream s with
+  | None -> ()
+  | Some r ->
+    kv "stream.ticks_per_s %g@." r.ticks_per_s;
+    kv "stream.affected_ratio %g@." r.affected_ratio;
+    kv "stream.cache_hit_rate %g@." r.cache_hit_rate);
   List.iter (fun (k, v) -> kv "total.%s %d@." k v) s.totals
 
 let pp_dashboard ppf s =
@@ -167,6 +210,14 @@ let pp_dashboard ppf s =
         pf "  %-22s %10.3f %10.3f %10.3f %8d@." k (q 0.5) (q 0.9) (q 0.99)
           (Histogram.count h))
       hs);
+  (match stream s with
+  | None -> ()
+  | Some r ->
+    pf "@.STREAM@.";
+    pf "  %-28s %10d@." "ticks" r.ticks;
+    pf "  %-28s %10.2f@." "ticks/s" r.ticks_per_s;
+    pf "  %-28s %10.2f%%@." "affected blocks" (100.0 *. r.affected_ratio);
+    pf "  %-28s %10.2f%%@." "block-cache hits" (100.0 *. r.cache_hit_rate));
   (match s.totals with
   | [] -> ()
   | ts ->

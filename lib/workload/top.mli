@@ -44,11 +44,26 @@ val n_windows : sample -> int
 (** Seconds covered by the held windows. *)
 val span_s : sample -> float
 
+(** The streaming-repair row, condensed from the [stream.*] counters
+    (DESIGN §16). *)
+type stream_row = {
+  ticks : int;
+  ticks_per_s : float;  (** windowed rate of [stream.ticks] *)
+  affected_ratio : float;  (** dirty blocks / live blocks, cumulative *)
+  cache_hit_rate : float;  (** block-cache hits / (hits + misses) *)
+}
+
+(** [stream s] is [None] until the daemon has ticked a stream session
+    ([total.stream.ticks = 0]). *)
+val stream : sample -> stream_row option
+
 (** Stable machine-readable lines, one [key value] pair each:
     [windows]/[span_s]/[mode]/[queue_depth], then [gauge.*], [rate.*],
-    [p50.*_ms]/[p99.*_ms]/[rolling_count.*], then [total.*]. *)
+    [p50.*_ms]/[p99.*_ms]/[rolling_count.*], then — only once stream
+    ticks exist — [stream.ticks_per_s]/[stream.affected_ratio]/
+    [stream.cache_hit_rate], then [total.*]. *)
 val pp_machine : Format.formatter -> sample -> unit
 
-(** The live dashboard body: header, gauges, rates, rolling tails,
-    cumulative totals. *)
+(** The live dashboard body: header, gauges, rates, rolling tails, the
+    STREAM section (hidden until ticks exist), cumulative totals. *)
 val pp_dashboard : Format.formatter -> sample -> unit

@@ -130,7 +130,7 @@ let config ~capacity ~watermark =
     queue_capacity = capacity;
     degrade_watermark = watermark }
 
-let ok_exec ~degraded:_ (_ : Protocol.request) = [ ("distance", Json.Float 1.0) ]
+let ok_exec ~conn:_ ~degraded:_ (_ : Protocol.request) = [ ("distance", Json.Float 1.0) ]
 
 let feed engine i =
   Engine.handle_line engine ~conn:0 ~quota_used:0 (repair_line i)
@@ -181,7 +181,7 @@ let test_deterministic_overload () =
 
 let test_poison_isolation () =
   let engine = Engine.create (config ~capacity:8 ~watermark:8) in
-  let poison_exec ~degraded:_ (req : Protocol.request) =
+  let poison_exec ~conn:_ ~degraded:_ (req : Protocol.request) =
     match req.Protocol.id with
     | Json.String "r0" ->
       E.raise_error (Parse { source = "<t>"; line = None; detail = "bad fds" })
@@ -283,13 +283,15 @@ let budget () = Repair_runtime.Budget.create ()
 
 let test_core_exec_repair () =
   let cache = R.Serve.make_cache () in
+  let sessions = R.Serve.make_sessions () in
+  let mutex = Mutex.create () in
   let req line =
     match Protocol.parse line with
     | Ok r -> r
     | Error r -> Alcotest.failf "bad request: %s" r.Protocol.detail
   in
   let fields =
-    R.Serve.exec ~cache ~degraded:false ~budget:(budget ())
+    R.Serve.exec ~cache ~sessions ~mutex ~conn:0 ~degraded:false ~budget:(budget ())
       (req {|{"op": "s-repair", "fds": "A -> B", "table": "A,B\n1,2\n1,3\n"}|})
   in
   (match List.assoc_opt "distance" fields with
@@ -300,7 +302,7 @@ let test_core_exec_repair () =
   | _ -> Alcotest.fail "no optimal flag");
   (* degraded forces the approximation rung *)
   let fields =
-    R.Serve.exec ~cache ~degraded:true ~budget:(budget ())
+    R.Serve.exec ~cache ~sessions ~mutex ~conn:0 ~degraded:true ~budget:(budget ())
       (req {|{"op": "s-repair", "fds": "A -> B", "table": "A,B\n1,2\n1,3\n"}|})
   in
   (match List.assoc_opt "method" fields with
@@ -317,7 +319,7 @@ let test_core_exec_repair () =
   (* classify is answered from the warm cache: same fds key hits *)
   let stats_before = (Cache.stats cache).Cache.hits in
   let fields =
-    R.Serve.exec ~cache ~degraded:false ~budget:(budget ())
+    R.Serve.exec ~cache ~sessions ~mutex ~conn:0 ~degraded:false ~budget:(budget ())
       (req {|{"op": "classify", "fds": "A -> B"}|})
   in
   (match List.assoc_opt "s_tractable" fields with
@@ -328,8 +330,10 @@ let test_core_exec_repair () =
 
 let test_core_exec_parse_error_classified () =
   let cache = R.Serve.make_cache () in
+  let sessions = R.Serve.make_sessions () in
+  let mutex = Mutex.create () in
   match
-    R.Serve.exec ~cache ~degraded:false ~budget:(budget ())
+    R.Serve.exec ~cache ~sessions ~mutex ~conn:0 ~degraded:false ~budget:(budget ())
       (match Protocol.parse {|{"op": "classify", "fds": "not an fd"}|} with
       | Ok r -> r
       | Error _ -> Alcotest.fail "request rejected")
